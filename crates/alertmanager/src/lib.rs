@@ -1,0 +1,442 @@
+//! A Prometheus Alertmanager substitute.
+//!
+//! "Alertmanager receives events, groups them by priority, category,
+//! source, etc. and sends alert messages to Slack or ServiceNow." (§IV)
+//!
+//! * [`route::Route`] — the routing tree deciding which receiver handles
+//!   which alert;
+//! * [`Alertmanager`] — grouping with `group_wait` / `group_interval` /
+//!   `repeat_interval`, inhibition rules and silences (the noise-reduction
+//!   machinery of experiment C7);
+//! * [`slack`] — the Slack message formatter reproducing Figures 6 and 9.
+
+pub mod route;
+pub mod slack;
+
+pub use route::Route;
+pub use slack::{format_slack_message, SlackMessage, SlackSink};
+
+use omni_logql::Matcher;
+use omni_model::{LabelSet, Timestamp};
+use std::collections::HashMap;
+
+/// Alert status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertStatus {
+    /// Active.
+    Firing,
+    /// Cleared.
+    Resolved,
+}
+
+/// An alert as received from the Ruler / vmalert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Identity labels (`alertname` + series + rule labels).
+    pub labels: LabelSet,
+    /// Rendered annotations.
+    pub annotations: Vec<(String, String)>,
+    /// Current status.
+    pub status: AlertStatus,
+    /// When it became active.
+    pub starts_at: Timestamp,
+}
+
+impl Alert {
+    /// The `alertname` label (empty if missing).
+    pub fn name(&self) -> &str {
+        self.labels.get("alertname").unwrap_or("")
+    }
+}
+
+/// One inhibition rule: a firing source mutes matching targets when the
+/// `equal` labels agree.
+#[derive(Debug, Clone)]
+pub struct InhibitRule {
+    /// Matchers selecting source alerts.
+    pub source_matchers: Vec<Matcher>,
+    /// Matchers selecting target alerts to mute.
+    pub target_matchers: Vec<Matcher>,
+    /// Labels that must be equal between source and target.
+    pub equal: Vec<String>,
+}
+
+/// A silence: matching alerts are muted between `starts_at` and `ends_at`.
+#[derive(Debug, Clone)]
+pub struct Silence {
+    /// Matchers.
+    pub matchers: Vec<Matcher>,
+    /// Activation time.
+    pub starts_at: Timestamp,
+    /// Expiry time.
+    pub ends_at: Timestamp,
+    /// Who created it (audit trail).
+    pub created_by: String,
+}
+
+/// A flushed notification: one receiver, one group, its current alerts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// Receiver name from the routing tree.
+    pub receiver: String,
+    /// The labels the group is keyed by.
+    pub group_labels: LabelSet,
+    /// Alerts in the group (firing and newly-resolved).
+    pub alerts: Vec<Alert>,
+}
+
+#[derive(Debug)]
+struct Group {
+    receiver: String,
+    group_labels: LabelSet,
+    group_wait_ns: i64,
+    group_interval_ns: i64,
+    repeat_interval_ns: i64,
+    /// Alert fingerprint → alert.
+    alerts: HashMap<u64, Alert>,
+    /// Fingerprints changed since last flush.
+    dirty: bool,
+    created_at: Timestamp,
+    last_flush: Option<Timestamp>,
+}
+
+/// The Alertmanager core.
+pub struct Alertmanager {
+    route: Route,
+    inhibit_rules: Vec<InhibitRule>,
+    silences: Vec<Silence>,
+    groups: HashMap<(String, LabelSet), Group>,
+    received: u64,
+    notified: u64,
+    suppressed: u64,
+}
+
+impl Alertmanager {
+    /// Build with a routing tree.
+    pub fn new(route: Route) -> Self {
+        Self {
+            route,
+            inhibit_rules: Vec::new(),
+            silences: Vec::new(),
+            groups: HashMap::new(),
+            received: 0,
+            notified: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Add an inhibition rule.
+    pub fn add_inhibit_rule(&mut self, rule: InhibitRule) {
+        self.inhibit_rules.push(rule);
+    }
+
+    /// Add a silence.
+    pub fn add_silence(&mut self, silence: Silence) {
+        self.silences.push(silence);
+    }
+
+    /// Receive one alert (firing or resolved) at `now`. Routing decides
+    /// the receiver; the group updates and is flushed by [`Self::tick`].
+    pub fn receive(&mut self, alert: Alert, now: Timestamp) {
+        self.received += 1;
+        for matched in self.route.resolve(&alert.labels) {
+            let group_labels = alert.labels.project(&matched.group_by);
+            let key = (matched.receiver.clone(), group_labels.clone());
+            let group = self.groups.entry(key).or_insert_with(|| Group {
+                receiver: matched.receiver.clone(),
+                group_labels,
+                group_wait_ns: matched.group_wait_ns,
+                group_interval_ns: matched.group_interval_ns,
+                repeat_interval_ns: matched.repeat_interval_ns,
+                alerts: HashMap::new(),
+                dirty: false,
+                created_at: now,
+                last_flush: None,
+            });
+            let fp = alert.labels.fingerprint();
+            let changed = match group.alerts.get(&fp) {
+                Some(prev) => prev.status != alert.status,
+                None => alert.status == AlertStatus::Firing,
+            };
+            group.alerts.insert(fp, alert.clone());
+            if changed {
+                group.dirty = true;
+            }
+        }
+    }
+
+    /// Whether an alert is currently muted by a silence or inhibition.
+    fn is_muted(&self, alert: &Alert, now: Timestamp) -> bool {
+        for s in &self.silences {
+            if now >= s.starts_at
+                && now < s.ends_at
+                && s.matchers.iter().all(|m| m.matches(&alert.labels))
+            {
+                return true;
+            }
+        }
+        for rule in &self.inhibit_rules {
+            if !rule.target_matchers.iter().all(|m| m.matches(&alert.labels)) {
+                continue;
+            }
+            // Any firing source alert (in any group) with equal labels?
+            let source_fires = self.groups.values().flat_map(|g| g.alerts.values()).any(|a| {
+                a.status == AlertStatus::Firing
+                    && rule.source_matchers.iter().all(|m| m.matches(&a.labels))
+                    && rule.equal.iter().all(|l| a.labels.get(l) == alert.labels.get(l))
+                    && a.labels != alert.labels // don't self-inhibit
+            });
+            if source_fires {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Flush groups that are due at `now`; returns the notifications to
+    /// dispatch.
+    pub fn tick(&mut self, now: Timestamp) -> Vec<Notification> {
+        let keys: Vec<(String, LabelSet)> = self.groups.keys().cloned().collect();
+        let mut out = Vec::new();
+        for key in keys {
+            let g = &self.groups[&key];
+            let due = match g.last_flush {
+                None => g.dirty && now - g.created_at >= g.group_wait_ns,
+                Some(last) => {
+                    (g.dirty && now - last >= g.group_interval_ns)
+                        || (!g.alerts.is_empty()
+                            && g.alerts.values().any(|a| a.status == AlertStatus::Firing)
+                            && now - last >= g.repeat_interval_ns)
+                }
+            };
+            if !due {
+                continue;
+            }
+            // Collect unmuted alerts.
+            let alerts: Vec<Alert> = {
+                let g = &self.groups[&key];
+                let mut alerts: Vec<Alert> =
+                    g.alerts.values().filter(|a| !self.is_muted(a, now)).cloned().collect();
+                alerts.sort_by(|a, b| a.labels.cmp(&b.labels));
+                alerts
+            };
+            let muted_count = self.groups[&key].alerts.len() - alerts.len();
+            self.suppressed += muted_count as u64;
+            let g = self.groups.get_mut(&key).unwrap();
+            g.dirty = false;
+            g.last_flush = Some(now);
+            // Resolved alerts leave the group after being notified once.
+            let resolved: Vec<u64> = g
+                .alerts
+                .iter()
+                .filter(|(_, a)| a.status == AlertStatus::Resolved)
+                .map(|(fp, _)| *fp)
+                .collect();
+            for fp in resolved {
+                g.alerts.remove(&fp);
+            }
+            if alerts.is_empty() {
+                continue;
+            }
+            self.notified += 1;
+            out.push(Notification {
+                receiver: g.receiver.clone(),
+                group_labels: g.group_labels.clone(),
+                alerts,
+            });
+        }
+        out.sort_by(|a, b| a.receiver.cmp(&b.receiver).then_with(|| a.group_labels.cmp(&b.group_labels)));
+        out
+    }
+
+    /// `(alerts received, notifications sent, alerts suppressed)` — the
+    /// noise-reduction numbers of experiment C7.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.received, self.notified, self.suppressed)
+    }
+
+    /// Number of active groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::{labels, NANOS_PER_SEC};
+
+    fn sec(n: i64) -> i64 {
+        n * NANOS_PER_SEC
+    }
+
+    fn fast_route() -> Route {
+        let mut r = Route::default_route("slack");
+        r.group_by = vec!["alertname".into()];
+        r.group_wait_ns = sec(5);
+        r.group_interval_ns = sec(30);
+        r.repeat_interval_ns = sec(3600);
+        r
+    }
+
+    fn firing(name: &str, extra: &[(&str, &str)], at: Timestamp) -> Alert {
+        let mut labels = labels!("alertname" => name);
+        for (k, v) in extra {
+            labels.insert(*k, *v);
+        }
+        Alert { labels, annotations: vec![], status: AlertStatus::Firing, starts_at: at }
+    }
+
+    #[test]
+    fn group_wait_batches_storm_into_one_notification() {
+        let mut am = Alertmanager::new(fast_route());
+        // A storm: 10 leak alerts from different locations in 2 seconds.
+        for i in 0..10 {
+            am.receive(
+                firing("CabinetLeak", &[("context", &format!("x{i}"))], sec(1)),
+                sec(1) + i,
+            );
+        }
+        // Before group_wait: nothing.
+        assert!(am.tick(sec(2)).is_empty());
+        // After group_wait: exactly one notification with all 10 alerts.
+        let notifs = am.tick(sec(7));
+        assert_eq!(notifs.len(), 1);
+        assert_eq!(notifs[0].alerts.len(), 10);
+        assert_eq!(notifs[0].receiver, "slack");
+        let (received, notified, _) = am.stats();
+        assert_eq!(received, 10);
+        assert_eq!(notified, 1);
+    }
+
+    #[test]
+    fn duplicate_alert_does_not_renotify_before_repeat_interval() {
+        let mut am = Alertmanager::new(fast_route());
+        am.receive(firing("X", &[], sec(0)), sec(0));
+        assert_eq!(am.tick(sec(6)).len(), 1);
+        // Same alert keeps firing; no state change -> no notification
+        // until repeat_interval.
+        am.receive(firing("X", &[], sec(0)), sec(10));
+        assert!(am.tick(sec(40)).is_empty());
+        // repeat_interval elapsed: re-notify.
+        assert_eq!(am.tick(sec(3700)).len(), 1);
+    }
+
+    #[test]
+    fn new_alert_in_group_flushes_after_group_interval() {
+        let mut am = Alertmanager::new(fast_route());
+        am.receive(firing("X", &[("loc", "a")], sec(0)), sec(0));
+        assert_eq!(am.tick(sec(6)).len(), 1);
+        am.receive(firing("X", &[("loc", "b")], sec(10)), sec(10));
+        // group_interval (30s) not yet elapsed since last flush.
+        assert!(am.tick(sec(20)).is_empty());
+        let notifs = am.tick(sec(37));
+        assert_eq!(notifs.len(), 1);
+        assert_eq!(notifs[0].alerts.len(), 2);
+    }
+
+    #[test]
+    fn resolved_alerts_notified_once_then_dropped() {
+        let mut am = Alertmanager::new(fast_route());
+        let mut a = firing("X", &[], sec(0));
+        am.receive(a.clone(), sec(0));
+        am.tick(sec(6));
+        a.status = AlertStatus::Resolved;
+        am.receive(a, sec(50));
+        let notifs = am.tick(sec(80));
+        assert_eq!(notifs.len(), 1);
+        assert_eq!(notifs[0].alerts[0].status, AlertStatus::Resolved);
+        // Group is now empty; nothing further.
+        assert!(am.tick(sec(4000)).is_empty());
+    }
+
+    #[test]
+    fn silence_mutes_matching_alerts() {
+        let mut am = Alertmanager::new(fast_route());
+        am.add_silence(Silence {
+            matchers: vec![Matcher::eq("alertname", "Noisy")],
+            starts_at: sec(0),
+            ends_at: sec(100),
+            created_by: "oncall".into(),
+        });
+        am.receive(firing("Noisy", &[], sec(1)), sec(1));
+        am.receive(firing("Important", &[], sec(1)), sec(1));
+        let notifs = am.tick(sec(7));
+        // Only the Important group notifies; the Noisy group's alerts are
+        // all muted.
+        assert_eq!(notifs.len(), 1);
+        assert_eq!(notifs[0].alerts[0].name(), "Important");
+        assert!(am.stats().2 >= 1);
+    }
+
+    #[test]
+    fn silence_expires() {
+        let mut am = Alertmanager::new(fast_route());
+        am.add_silence(Silence {
+            matchers: vec![Matcher::eq("alertname", "X")],
+            starts_at: sec(0),
+            ends_at: sec(10),
+            created_by: "oncall".into(),
+        });
+        am.receive(firing("X", &[], sec(1)), sec(1));
+        assert!(am.tick(sec(7)).is_empty());
+        // After expiry the still-firing alert notifies on group_interval.
+        am.receive(firing("X", &[("extra", "new")], sec(11)), sec(11));
+        let notifs = am.tick(sec(45));
+        assert_eq!(notifs.len(), 1);
+    }
+
+    #[test]
+    fn inhibition_mutes_downstream_alerts() {
+        let mut am = Alertmanager::new(fast_route());
+        // Switch-offline inhibits node-unreachable alerts in the same
+        // chassis (the classic noise-reduction rule).
+        am.add_inhibit_rule(InhibitRule {
+            source_matchers: vec![Matcher::eq("alertname", "SwitchOffline")],
+            target_matchers: vec![Matcher::eq("alertname", "NodeUnreachable")],
+            equal: vec!["chassis".into()],
+        });
+        am.receive(firing("SwitchOffline", &[("chassis", "x1002c1")], sec(0)), sec(0));
+        for n in 0..8 {
+            am.receive(
+                firing(
+                    "NodeUnreachable",
+                    &[("chassis", "x1002c1"), ("node", &format!("n{n}"))],
+                    sec(1),
+                ),
+                sec(1),
+            );
+        }
+        // Different chassis: not inhibited.
+        am.receive(firing("NodeUnreachable", &[("chassis", "x1111c0")], sec(1)), sec(1));
+        let notifs = am.tick(sec(7));
+        let names: Vec<(&str, usize)> =
+            notifs.iter().map(|n| (n.alerts[0].name(), n.alerts.len())).collect();
+        // SwitchOffline notification + exactly one NodeUnreachable (other
+        // chassis); the 8 same-chassis ones are inhibited.
+        assert_eq!(names.len(), 2);
+        let unreachable = notifs.iter().find(|n| n.alerts[0].name() == "NodeUnreachable").unwrap();
+        assert_eq!(unreachable.alerts.len(), 1);
+        assert_eq!(unreachable.alerts[0].labels.get("chassis"), Some("x1111c0"));
+    }
+
+    #[test]
+    fn routing_by_severity() {
+        let mut root = Route::default_route("slack");
+        root.group_by = vec!["alertname".into()];
+        root.group_wait_ns = 0;
+        let mut crit = Route::matching("servicenow", vec![Matcher::eq("severity", "critical")]);
+        crit.group_by = vec!["alertname".into()];
+        crit.group_wait_ns = 0;
+        root.routes.push(crit);
+        let mut am = Alertmanager::new(root);
+        am.receive(firing("Hot", &[("severity", "critical")], 0), 0);
+        am.receive(firing("Warm", &[("severity", "warning")], 0), 0);
+        let notifs = am.tick(1);
+        let receivers: Vec<&str> = notifs.iter().map(|n| n.receiver.as_str()).collect();
+        assert!(receivers.contains(&"servicenow"));
+        assert!(receivers.contains(&"slack"));
+        let sn = notifs.iter().find(|n| n.receiver == "servicenow").unwrap();
+        assert_eq!(sn.alerts[0].name(), "Hot");
+    }
+}

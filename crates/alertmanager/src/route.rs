@@ -1,0 +1,161 @@
+//! The routing tree: which receiver handles which alert, with what
+//! grouping and timing.
+
+use omni_logql::Matcher;
+use omni_model::{LabelSet, NANOS_PER_SEC};
+
+/// One node of the routing tree.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Receiver name for alerts that stop at this node.
+    pub receiver: String,
+    /// Matchers an alert must satisfy to enter this node (root matches
+    /// everything).
+    pub matchers: Vec<Matcher>,
+    /// Labels to group by.
+    pub group_by: Vec<String>,
+    /// Wait before the first notification of a new group.
+    pub group_wait_ns: i64,
+    /// Minimum gap between notifications of a changed group.
+    pub group_interval_ns: i64,
+    /// Re-notify cadence for unchanged firing groups.
+    pub repeat_interval_ns: i64,
+    /// Child routes, tried in order.
+    pub routes: Vec<Route>,
+    /// When true, keep trying siblings after this node matches.
+    pub continue_matching: bool,
+}
+
+/// The routing decision for one alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteMatch {
+    /// Receiver to notify.
+    pub receiver: String,
+    /// Group-by labels in effect.
+    pub group_by: Vec<String>,
+    /// Effective timings.
+    pub group_wait_ns: i64,
+    /// See [`Route::group_interval_ns`].
+    pub group_interval_ns: i64,
+    /// See [`Route::repeat_interval_ns`].
+    pub repeat_interval_ns: i64,
+}
+
+impl Route {
+    /// A catch-all root with Alertmanager's default timings
+    /// (30s / 5m / 4h).
+    pub fn default_route(receiver: &str) -> Self {
+        Self {
+            receiver: receiver.to_string(),
+            matchers: Vec::new(),
+            group_by: vec!["alertname".to_string()],
+            group_wait_ns: 30 * NANOS_PER_SEC,
+            group_interval_ns: 5 * 60 * NANOS_PER_SEC,
+            repeat_interval_ns: 4 * 3600 * NANOS_PER_SEC,
+            routes: Vec::new(),
+            continue_matching: false,
+        }
+    }
+
+    /// A child route with matchers, inheriting default timings.
+    pub fn matching(receiver: &str, matchers: Vec<Matcher>) -> Self {
+        Self { matchers, ..Self::default_route(receiver) }
+    }
+
+    fn matches(&self, labels: &LabelSet) -> bool {
+        self.matchers.iter().all(|m| m.matches(labels))
+    }
+
+    /// Resolve an alert against the tree. Returns every matched terminal
+    /// node (more than one when `continue` routes are involved); an empty
+    /// vec never happens if the root is a catch-all.
+    pub fn resolve(&self, labels: &LabelSet) -> Vec<RouteMatch> {
+        let mut out = Vec::new();
+        if !self.matches(labels) {
+            return out;
+        }
+        let mut child_matched = false;
+        for child in &self.routes {
+            let ms = child.resolve(labels);
+            if !ms.is_empty() {
+                child_matched = true;
+                let stop = !child.continue_matching;
+                out.extend(ms);
+                if stop {
+                    break;
+                }
+            }
+        }
+        if !child_matched {
+            out.push(RouteMatch {
+                receiver: self.receiver.clone(),
+                group_by: self.group_by.clone(),
+                group_wait_ns: self.group_wait_ns,
+                group_interval_ns: self.group_interval_ns,
+                repeat_interval_ns: self.repeat_interval_ns,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::labels;
+
+    #[test]
+    fn root_catches_everything() {
+        let r = Route::default_route("slack");
+        let m = r.resolve(&labels!("alertname" => "X"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].receiver, "slack");
+        assert_eq!(m[0].group_by, vec!["alertname"]);
+    }
+
+    #[test]
+    fn first_matching_child_wins() {
+        let mut root = Route::default_route("slack");
+        root.routes.push(Route::matching("sn", vec![Matcher::eq("severity", "critical")]));
+        root.routes.push(Route::matching("email", vec![Matcher::eq("severity", "critical")]));
+        let m = root.resolve(&labels!("severity" => "critical"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].receiver, "sn");
+    }
+
+    #[test]
+    fn continue_routes_fan_out() {
+        let mut root = Route::default_route("slack");
+        let mut first = Route::matching("sn", vec![Matcher::eq("severity", "critical")]);
+        first.continue_matching = true;
+        root.routes.push(first);
+        root.routes.push(Route::matching("pager", vec![Matcher::eq("severity", "critical")]));
+        let m = root.resolve(&labels!("severity" => "critical"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].receiver, "sn");
+        assert_eq!(m[1].receiver, "pager");
+    }
+
+    #[test]
+    fn unmatched_children_fall_back_to_parent() {
+        let mut root = Route::default_route("slack");
+        root.routes.push(Route::matching("sn", vec![Matcher::eq("severity", "critical")]));
+        let m = root.resolve(&labels!("severity" => "warning"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].receiver, "slack");
+    }
+
+    #[test]
+    fn nested_routes() {
+        let mut root = Route::default_route("slack");
+        let mut facility = Route::matching("facility-team", vec![Matcher::eq("category", "facility")]);
+        facility
+            .routes
+            .push(Route::matching("facility-pager", vec![Matcher::eq("severity", "critical")]));
+        root.routes.push(facility);
+        let m = root.resolve(&labels!("category" => "facility", "severity" => "critical"));
+        assert_eq!(m[0].receiver, "facility-pager");
+        let m = root.resolve(&labels!("category" => "facility", "severity" => "warning"));
+        assert_eq!(m[0].receiver, "facility-team");
+    }
+}

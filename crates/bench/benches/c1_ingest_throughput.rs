@@ -1,0 +1,103 @@
+//! C1 — "OMNI is able to ingest at a rate of up to 400,000 messages per
+//! second from heterogeneous and distributed sources."
+//!
+//! Measures sustained push throughput into the Loki cluster (single and
+//! multi-producer) and into the TSDB; Criterion's throughput mode reports
+//! elements/second to compare against the paper's 400k msg/s figure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omni_bench::syslog_corpus;
+use omni_loki::{Limits, LokiCluster};
+use omni_model::{labels, SimClock};
+use omni_tsdb::{Tsdb, TsdbConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c1_ingest_throughput");
+    g.sample_size(10);
+
+    // Single-threaded log ingest per batch of 10k messages.
+    let corpus = syslog_corpus(10_000, 64);
+    g.throughput(Throughput::Elements(corpus.len() as u64));
+    g.bench_function("loki_single_producer_10k", |b| {
+        b.iter_with_setup(
+            || {
+                (
+                    LokiCluster::new(8, Limits::default(), SimClock::starting_at(0)),
+                    corpus.clone(),
+                )
+            },
+            |(cluster, corpus)| {
+                for r in corpus {
+                    cluster.push_record(r).unwrap();
+                }
+                black_box(cluster.stats().entries)
+            },
+        );
+    });
+
+    // Concurrent producers (the "distributed sources" part of the claim).
+    for &producers in &[2usize, 4, 8] {
+        g.throughput(Throughput::Elements(10_000));
+        g.bench_with_input(
+            BenchmarkId::new("loki_concurrent_producers", producers),
+            &producers,
+            |b, &producers| {
+                b.iter_with_setup(
+                    || {
+                        (
+                            LokiCluster::new(8, Limits::default(), SimClock::starting_at(0)),
+                            syslog_corpus(10_000, 64),
+                        )
+                    },
+                    |(cluster, corpus)| {
+                        // Partition by stream fingerprint so each producer
+                        // owns disjoint streams (contiguous chunks would
+                        // race one stream across producers and trip the
+                        // out-of-order check).
+                        let mut parts: Vec<Vec<omni_model::LogRecord>> =
+                            (0..producers).map(|_| Vec::new()).collect();
+                        for r in corpus {
+                            let p = (r.labels.fingerprint() % producers as u64) as usize;
+                            parts[p].push(r);
+                        }
+                        std::thread::scope(|s| {
+                            for part in parts {
+                                let cluster = cluster.clone();
+                                s.spawn(move || {
+                                    for r in part {
+                                        cluster.push_record(r).unwrap();
+                                    }
+                                });
+                            }
+                        });
+                        black_box(cluster.stats().entries)
+                    },
+                );
+            },
+        );
+    }
+
+    // Metric-side ingest.
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("tsdb_ingest_10k_samples", |b| {
+        b.iter_with_setup(
+            || Tsdb::new(TsdbConfig::default()),
+            |db| {
+                for i in 0..10_000i64 {
+                    db.ingest_sample(
+                        "shasta_temperature_celsius",
+                        labels!("xname" => format!("x{}", i % 100)),
+                        i * 1_000_000,
+                        42.0 + (i % 10) as f64,
+                    );
+                }
+                black_box(db.samples_ingested())
+            },
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

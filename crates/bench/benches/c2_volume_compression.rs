@@ -1,0 +1,87 @@
+//! C2 — "Phase 1 of Perlmutter is projected to produce over 400
+//! gigabytes of data per day" + Loki's compression claims.
+//!
+//! Prints the workload model's daily volume for a Perlmutter-like machine
+//! and measures chunk compression (ratio and encode cost) on a
+//! representative one-minute slice.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use omni_loki::chunk::SealedChunk;
+use omni_model::{LogEntry, SimClock};
+use omni_shasta::{ShastaMachine, WorkloadMix, WorkloadModel};
+use omni_tsdb::GorillaEncoder;
+use omni_xname::TopologySpec;
+
+fn bench(c: &mut Criterion) {
+    // The volume model itself (printed once; the paper's figure is a
+    // projection, not a benchmark).
+    let machine = ShastaMachine::new(TopologySpec::perlmutter_like(), SimClock::new(), 1);
+    let model = WorkloadModel::for_machine(&machine, WorkloadMix::default());
+    println!(
+        "\n[c2] Perlmutter-like volume model: {:.1} GB/day ({:.0} msgs/s, {:.2} MB/s) — paper projects \"over 400 GB per day\"",
+        model.gb_per_day(),
+        model.messages_per_sec(),
+        model.bytes_per_sec() / 1e6,
+    );
+
+    // A one-minute log slice for compression measurements.
+    let lines = model.generate_log_slice(&machine, 60.0, 20_000, 99);
+    let entries: Vec<LogEntry> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, (_, line))| LogEntry::new(i as i64 * 1_000_000, line.clone()))
+        .collect();
+    let raw_bytes: usize = entries.iter().map(|e| e.line.len()).sum();
+
+    let chunk = SealedChunk::from_entries(&entries);
+    println!(
+        "[c2] chunk compression: {} lines, {} raw bytes -> {} compressed ({:.2}x)",
+        entries.len(),
+        raw_bytes,
+        chunk.compressed_size(),
+        chunk.ratio(),
+    );
+    assert!(chunk.ratio() > 2.0, "log chunks must compress meaningfully");
+
+    let mut g = c.benchmark_group("c2_compression");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(raw_bytes as u64));
+    g.bench_function("chunk_seal_syslog_slice", |b| {
+        b.iter(|| black_box(SealedChunk::from_entries(black_box(&entries))));
+    });
+    g.bench_function("chunk_decode_syslog_slice", |b| {
+        b.iter(|| black_box(chunk.decode().unwrap()));
+    });
+
+    // Metric-side compression (Gorilla) on a day of 15-second scrapes.
+    let samples: Vec<omni_model::Sample> = (0..5_760)
+        .map(|i| omni_model::Sample::new(i * 15_000_000_000, 42.0 + ((i % 7) as f64) * 0.25))
+        .collect();
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("gorilla_encode_day_of_scrapes", |b| {
+        b.iter(|| {
+            let mut enc = GorillaEncoder::new();
+            for &s in &samples {
+                enc.append(s);
+            }
+            black_box(enc.finish().compressed_size())
+        });
+    });
+    {
+        let mut enc = GorillaEncoder::new();
+        for &s in &samples {
+            enc.append(s);
+        }
+        let block = enc.finish();
+        println!(
+            "[c2] gorilla: {} samples, {} bytes ({:.2} bytes/sample vs 16 raw)",
+            samples.len(),
+            block.compressed_size(),
+            block.compressed_size() as f64 / samples.len() as f64,
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

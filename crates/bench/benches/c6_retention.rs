@@ -1,0 +1,70 @@
+//! C6 — retention and archive/restore cost: "up to two years of
+//! operational data is immediately available and more can be restored."
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use omni_core::Omni;
+use omni_loki::Limits;
+use omni_model::{labels, SimClock, NANOS_PER_SEC};
+
+const DAY: i64 = 86_400 * NANOS_PER_SEC;
+const MESSAGES: usize = 20_000;
+
+fn populated_omni() -> Omni {
+    let limits = Limits { retention_ns: 730 * DAY, chunk_target_bytes: 16 * 1024, ..Default::default() };
+    let omni = Omni::new(4, limits, SimClock::starting_at(0));
+    // Three years of sparse history: most of it is already expired
+    // relative to "now" = day 1095. Timestamps increase monotonically so
+    // every stream accepts its entries.
+    let step = 1095 * DAY / MESSAGES as i64;
+    for i in 0..MESSAGES {
+        let ts = i as i64 * step;
+        omni.ingest_log(
+            labels!("app" => "history", "shard" => format!("{}", i % 8)),
+            ts,
+            format!("log line {i} from day {}", ts / DAY),
+        )
+        .unwrap();
+    }
+    omni.loki().flush();
+    omni.clock().set(1095 * DAY);
+    omni
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c6_retention");
+    g.sample_size(10);
+
+    g.throughput(Throughput::Elements(MESSAGES as u64));
+    g.bench_function("enforce_two_year_retention", |b| {
+        b.iter_with_setup(populated_omni, |omni| {
+            let dropped = omni.loki().enforce_retention();
+            black_box(dropped)
+        });
+    });
+
+    g.bench_function("archive_one_year_window", |b| {
+        b.iter_with_setup(populated_omni, |omni| {
+            let archived = omni
+                .archive_window(r#"{app="history"}"#, 0, 365 * DAY)
+                .unwrap();
+            black_box(archived)
+        });
+    });
+
+    g.bench_function("restore_one_year_window", |b| {
+        b.iter_with_setup(
+            || {
+                let omni = populated_omni();
+                omni.archive_window(r#"{app="history"}"#, 0, 365 * DAY).unwrap();
+                omni.loki().enforce_retention();
+                omni
+            },
+            |omni| black_box(omni.restore_window(0, 365 * DAY)),
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! C7 — Alertmanager noise reduction under an alert storm: how many
+//! notifications leave the system per alert that enters it, and what one
+//! grouping pass costs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omni_alertmanager::{Alert, Alertmanager, AlertStatus, Route};
+use omni_model::{labels, NANOS_PER_SEC};
+
+const SEC: i64 = NANOS_PER_SEC;
+
+fn storm(n_alertnames: usize, n_locations: usize) -> Vec<Alert> {
+    let mut alerts = Vec::with_capacity(n_alertnames * n_locations);
+    for a in 0..n_alertnames {
+        for l in 0..n_locations {
+            alerts.push(Alert {
+                labels: labels!(
+                    "alertname" => format!("Alert{a}"),
+                    "severity" => "critical",
+                    "xname" => format!("x{:04}c{}r0b0", 1000 + l, l % 8)
+                ),
+                annotations: vec![("summary".into(), "storm".into())],
+                status: AlertStatus::Firing,
+                starts_at: SEC,
+            });
+        }
+    }
+    alerts
+}
+
+fn am() -> Alertmanager {
+    let mut route = Route::default_route("slack");
+    route.group_by = vec!["alertname".into()];
+    route.group_wait_ns = 10 * SEC;
+    Alertmanager::new(route)
+}
+
+fn bench(c: &mut Criterion) {
+    // Report the noise-reduction factor once.
+    for (names, locs) in [(1usize, 100usize), (4, 64), (16, 16)] {
+        let mut m = am();
+        for a in storm(names, locs) {
+            m.receive(a, SEC);
+        }
+        let notifs = m.tick(30 * SEC);
+        let (received, notified, _) = m.stats();
+        println!(
+            "[c7] storm {names} alertnames x {locs} locations: {received} alerts -> {} notifications ({:.0}x reduction)",
+            notifs.len(),
+            received as f64 / notified.max(1) as f64
+        );
+        assert_eq!(notifs.len(), names);
+    }
+
+    let mut g = c.benchmark_group("c7_alertmanager_grouping");
+    g.sample_size(10);
+    for &(names, locs) in &[(1usize, 512usize), (16, 32), (64, 8)] {
+        let alerts = storm(names, locs);
+        g.throughput(Throughput::Elements(alerts.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("receive_and_flush", format!("{names}x{locs}")),
+            &alerts,
+            |b, alerts| {
+                b.iter_with_setup(
+                    || (am(), alerts.clone()),
+                    |(mut m, alerts)| {
+                        for a in alerts {
+                            m.receive(a, SEC);
+                        }
+                        black_box(m.tick(30 * SEC).len())
+                    },
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E1 — Figures 2→3: throughput of the Telemetry-API → Loki transform
+//! (payload parse, event decode, clean-up, re-serialize).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use omni_core::bridge::telemetry_payload_to_loki;
+use omni_core::redfish_to_loki;
+use omni_redfish::RedfishEvent;
+
+fn bench(c: &mut Criterion) {
+    let event = RedfishEvent::paper_leak_event();
+    let payload = event.to_telemetry_json().dump();
+
+    let mut g = c.benchmark_group("fig2_fig3_transform");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("event_struct_to_loki_record", |b| {
+        b.iter(|| black_box(redfish_to_loki(black_box(&event), "perlmutter")));
+    });
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("raw_payload_to_loki_record", |b| {
+        b.iter(|| black_box(telemetry_payload_to_loki(black_box(&payload), "perlmutter")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E3 — Figure 5: the `count_over_time ... | json [60m]` range query that
+//! turns the leak event into a metric, evaluated as a Grafana graph
+//! (range query at fixed steps).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use omni_bench::{corpus_end, loaded_cluster};
+use omni_core::redfish_to_loki;
+use omni_model::NANOS_PER_SEC;
+use omni_redfish::RedfishEvent;
+
+const FIG5_QUERY: &str = r#"sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (Severity, cluster, Context, MessageId, Message)"#;
+
+fn bench(c: &mut Criterion) {
+    let cluster = loaded_cluster(8, 50_000, 64);
+    let event = RedfishEvent::paper_leak_event();
+    let mut record = redfish_to_loki(&event, "perlmutter");
+    record.entry.ts = corpus_end() / 2;
+    cluster.push_record(record).unwrap();
+    cluster.flush();
+
+    let mut g = c.benchmark_group("fig5_logql_metric");
+    g.sample_size(20);
+    g.bench_function("instant_count_over_time_60m", |b| {
+        b.iter(|| {
+            let v = cluster
+                .query_instant(black_box(FIG5_QUERY), corpus_end() / 2 + NANOS_PER_SEC)
+                .unwrap();
+            assert_eq!(v.len(), 1);
+            black_box(v)
+        });
+    });
+    g.bench_function("range_grafana_graph_24_steps", |b| {
+        b.iter(|| {
+            let m = cluster
+                .query_range(
+                    black_box(FIG5_QUERY),
+                    0,
+                    corpus_end(),
+                    corpus_end() / 24,
+                )
+                .unwrap();
+            black_box(m)
+        });
+    });
+    g.bench_function("rate_over_syslog_stream", |b| {
+        b.iter(|| {
+            let v = cluster
+                .query_instant(
+                    black_box(r#"sum(rate({data_type="syslog"}[5m])) by (stream)"#),
+                    corpus_end() / 2,
+                )
+                .unwrap();
+            black_box(v)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E4 + E7 — Figures 6 & 9: end-to-end alert path latency. One measured
+//! iteration = inject fault → telemetry → bridges → Loki → Ruler →
+//! Alertmanager → formatted Slack message.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use omni_core::{MonitoringStack, StackConfig};
+use omni_model::NANOS_PER_SEC;
+use omni_shasta::{LeakZone, SwitchState};
+
+const MINUTE: i64 = 60 * NANOS_PER_SEC;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_fig9_end_to_end");
+    g.sample_size(10);
+
+    g.bench_function("leak_to_slack_message", |b| {
+        b.iter(|| {
+            let mut stack = MonitoringStack::new(StackConfig::default());
+            stack.step(MINUTE, 0, 0);
+            let chassis = stack.machine.topology().chassis()[0];
+            stack.inject_leak(chassis, 'A', LeakZone::Front);
+            let mut steps = 0;
+            while stack.slack.is_empty() && steps < 10 {
+                stack.step(MINUTE, 0, 0);
+                steps += 1;
+            }
+            assert!(!stack.slack.is_empty());
+            black_box(steps)
+        });
+    });
+
+    g.bench_function("switch_offline_to_slack_message", |b| {
+        b.iter(|| {
+            let mut stack = MonitoringStack::new(StackConfig::default());
+            stack.step(MINUTE, 0, 0);
+            let switch = stack.machine.topology().switches()[0];
+            stack.take_switch_offline(switch, SwitchState::Unknown);
+            let mut steps = 0;
+            while stack.slack.is_empty() && steps < 10 {
+                stack.step(MINUTE, 0, 0);
+                steps += 1;
+            }
+            assert!(!stack.slack.is_empty());
+            black_box(steps)
+        });
+    });
+
+    // Steady-state pipeline step cost with background traffic.
+    g.bench_function("pipeline_step_with_traffic", |b| {
+        let mut stack = MonitoringStack::new(StackConfig::default());
+        b.iter(|| {
+            black_box(stack.step(MINUTE, 50, 25).len());
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

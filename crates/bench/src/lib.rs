@@ -1,0 +1,47 @@
+//! Shared workload helpers for the benchmark suite.
+
+use omni_loki::{Limits, LokiCluster};
+use omni_model::{LabelSet, LogRecord, SimClock, NANOS_PER_SEC};
+use omni_shasta::{ShastaMachine, SyslogGenerator};
+use omni_xname::TopologySpec;
+use std::sync::Arc;
+
+/// Deterministic corpus of syslog-shaped records: `n` lines spread over
+/// `streams` label sets, advancing one second every 256 lines.
+pub fn syslog_corpus(n: usize, streams: usize) -> Vec<LogRecord> {
+    let clock = SimClock::starting_at(0);
+    let machine = Arc::new(ShastaMachine::new(TopologySpec::tiny(), clock.clone(), 7));
+    let mut gen = SyslogGenerator::new(machine.topology().nodes(), clock.clone(), 7);
+    (0..n)
+        .map(|i| {
+            let (_, line) = gen.next_line();
+            if i % 256 == 0 {
+                clock.advance_secs(1);
+            }
+            let labels = LabelSet::from_pairs([
+                ("cluster", "perlmutter".to_string()),
+                ("data_type", "syslog".to_string()),
+                ("stream", format!("{}", i % streams)),
+            ]);
+            LogRecord::new(labels, clock.now() + (i % 256) as i64, line)
+        })
+        .collect()
+}
+
+/// A Loki cluster pre-loaded with a corpus (flushed so queries hit sealed
+/// chunks, like steady-state production).
+pub fn loaded_cluster(shards: usize, n: usize, streams: usize) -> LokiCluster {
+    let clock = SimClock::starting_at(0);
+    let cluster = LokiCluster::new(shards, Limits::default(), clock.clone());
+    for r in syslog_corpus(n, streams) {
+        cluster.push_record(r).expect("corpus records are valid");
+    }
+    clock.advance_secs(3600);
+    cluster.flush();
+    cluster
+}
+
+/// Window end covering the whole corpus.
+pub fn corpus_end() -> i64 {
+    10_000 * NANOS_PER_SEC
+}

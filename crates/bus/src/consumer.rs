@@ -1,0 +1,184 @@
+//! Consumer groups with static membership and committed offsets.
+
+use crate::{Broker, BusError, Message};
+
+/// Description of a group's current membership (for introspection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsumerGroupDesc {
+    /// Group name.
+    pub group: String,
+    /// Topic consumed.
+    pub topic: String,
+    /// Number of members.
+    pub members: usize,
+}
+
+/// A member of a consumer group.
+///
+/// Partition assignment is computed dynamically from the group's current
+/// membership: member `i` of `n` owns every partition `p` with
+/// `p % n == i`. Joining a group therefore rebalances all members without
+/// coordination (static, deterministic assignment — the slice of Kafka's
+/// group protocol the pipeline needs).
+pub struct Consumer {
+    broker: Broker,
+    group: String,
+    topic: String,
+    id: u64,
+    n_partitions: usize,
+}
+
+pub(crate) fn join(
+    broker: Broker,
+    group: &str,
+    topic: &str,
+    n_partitions: usize,
+) -> Result<Consumer, BusError> {
+    let id = broker.register_member(group, topic);
+    Ok(Consumer {
+        broker,
+        group: group.to_string(),
+        topic: topic.to_string(),
+        id,
+        n_partitions,
+    })
+}
+
+impl Consumer {
+    /// The group this consumer belongs to.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Partitions currently assigned to this consumer.
+    pub fn assignment(&self) -> Vec<usize> {
+        let members = self.broker.group_members(&self.group, &self.topic);
+        let Some(my_index) = members.iter().position(|&m| m == self.id) else {
+            return Vec::new();
+        };
+        (0..self.n_partitions).filter(|p| p % members.len() == my_index).collect()
+    }
+
+    /// Poll up to `max` messages across assigned partitions, advancing
+    /// (committing) offsets as it reads. Returns in partition order.
+    pub fn poll(&mut self, max: usize) -> Result<Vec<Message>, BusError> {
+        let mut out = Vec::new();
+        for p in self.assignment() {
+            if out.len() >= max {
+                break;
+            }
+            let next = self.broker.committed(&self.group, &self.topic, p);
+            let msgs = self.broker.fetch(&self.topic, p, next, max - out.len())?;
+            if let Some(last) = msgs.last() {
+                self.broker.commit(&self.group, &self.topic, p, last.offset + 1);
+            }
+            out.extend(msgs);
+        }
+        Ok(out)
+    }
+
+    /// Leave the group (also happens on drop).
+    pub fn leave(&mut self) {
+        self.broker.deregister_member(&self.group, &self.topic, self.id);
+    }
+
+    /// Group description.
+    pub fn describe(&self) -> ConsumerGroupDesc {
+        ConsumerGroupDesc {
+            group: self.group.clone(),
+            topic: self.topic.clone(),
+            members: self.broker.group_members(&self.group, &self.topic).len(),
+        }
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        self.leave();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Broker, TopicConfig};
+    use omni_model::SimClock;
+
+    fn broker_with_topic(partitions: usize) -> Broker {
+        let b = Broker::new(SimClock::new());
+        b.create_topic("t", TopicConfig { partitions, ..Default::default() }).unwrap();
+        b
+    }
+
+    #[test]
+    fn single_consumer_owns_all_partitions() {
+        let b = broker_with_topic(4);
+        let c = b.join_group("g", "t").unwrap();
+        assert_eq!(c.assignment(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_consumers_split_partitions() {
+        let b = broker_with_topic(4);
+        let c1 = b.join_group("g", "t").unwrap();
+        let c2 = b.join_group("g", "t").unwrap();
+        assert_eq!(c1.assignment(), vec![0, 2]);
+        assert_eq!(c2.assignment(), vec![1, 3]);
+        assert_eq!(c1.describe().members, 2);
+    }
+
+    #[test]
+    fn leave_rebalances() {
+        let b = broker_with_topic(4);
+        let c1 = b.join_group("g", "t").unwrap();
+        {
+            let _c2 = b.join_group("g", "t").unwrap();
+            assert_eq!(c1.assignment().len(), 2);
+        }
+        // c2 dropped -> c1 owns everything again.
+        assert_eq!(c1.assignment(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn poll_advances_committed_offsets() {
+        let b = broker_with_topic(1);
+        for i in 0..5 {
+            b.produce("t", None, format!("{i}")).unwrap();
+        }
+        let mut c = b.join_group("g", "t").unwrap();
+        let first = c.poll(3).unwrap();
+        assert_eq!(first.len(), 3);
+        let second = c.poll(10).unwrap();
+        assert_eq!(second.len(), 2);
+        assert_eq!(second[0].offset, 3);
+        assert!(c.poll(10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let b = broker_with_topic(1);
+        b.produce("t", None, &b"m"[..]).unwrap();
+        let mut c1 = b.join_group("g1", "t").unwrap();
+        let mut c2 = b.join_group("g2", "t").unwrap();
+        assert_eq!(c1.poll(10).unwrap().len(), 1);
+        assert_eq!(c2.poll(10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn group_consumes_each_message_once() {
+        let b = broker_with_topic(4);
+        for i in 0..100 {
+            b.produce("t", Some(&format!("k{i}")), format!("{i}")).unwrap();
+        }
+        let mut c1 = b.join_group("g", "t").unwrap();
+        let mut c2 = b.join_group("g", "t").unwrap();
+        let mut seen: Vec<String> = Vec::new();
+        for c in [&mut c1, &mut c2] {
+            for m in c.poll(1000).unwrap() {
+                seen.push(String::from_utf8_lossy(&m.payload).into_owned());
+            }
+        }
+        seen.sort_by_key(|s| s.parse::<u32>().unwrap());
+        let expected: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        assert_eq!(seen, expected);
+    }
+}

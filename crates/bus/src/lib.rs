@@ -1,0 +1,499 @@
+//! Kafka-like in-process message bus.
+//!
+//! In the paper's pipeline (Fig 1), Kafka sits between the Shasta data
+//! producers and everything downstream: "The HMS collector pushes data to
+//! Kafka, where Kafka stores data in different topics by categories and
+//! serves them to possible consumers." This crate reproduces the slice of
+//! Kafka the pipeline relies on:
+//!
+//! * named **topics** split into **partitions**, each an append-only,
+//!   offset-addressed log;
+//! * **producers** that route records by key hash (same key → same
+//!   partition → per-key ordering, the property the Telemetry API needs to
+//!   keep per-component event order);
+//! * **consumer groups** with partition assignment and committed offsets;
+//! * **live tail** subscriptions over crossbeam channels (the push mode the
+//!   paper's Telemetry API uses: "Kafka pushes data to the client via the
+//!   API");
+//! * size/age **retention** enforcement and per-topic metering.
+
+mod consumer;
+mod partition;
+mod stats;
+
+pub use consumer::{Consumer, ConsumerGroupDesc};
+pub use partition::{Message, Partition};
+pub use stats::TopicStats;
+
+use bytes::Bytes;
+use omni_model::{fnv1a64, SimClock};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-topic configuration.
+#[derive(Debug, Clone)]
+pub struct TopicConfig {
+    /// Number of partitions.
+    pub partitions: usize,
+    /// Retention horizon: messages older than this (vs the broker clock)
+    /// may be dropped by [`Broker::enforce_retention`]. `None` = keep all.
+    pub retention_ns: Option<i64>,
+    /// Cap on the total retained bytes per partition; oldest messages are
+    /// dropped first. `None` = unbounded.
+    pub max_partition_bytes: Option<usize>,
+}
+
+impl Default for TopicConfig {
+    fn default() -> Self {
+        Self { partitions: 4, retention_ns: None, max_partition_bytes: None }
+    }
+}
+
+/// Bus errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// Topic does not exist.
+    UnknownTopic(String),
+    /// Topic already exists with a different configuration.
+    TopicExists(String),
+    /// Partition index out of range.
+    UnknownPartition(usize),
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::UnknownTopic(t) => write!(f, "unknown topic {t:?}"),
+            BusError::TopicExists(t) => write!(f, "topic {t:?} already exists"),
+            BusError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+struct Topic {
+    partitions: Vec<Partition>,
+    config: TopicConfig,
+    stats: TopicStats,
+    round_robin: AtomicU64,
+    /// Live-tail subscribers; closed channels are pruned on produce.
+    tails: Mutex<Vec<crossbeam::channel::Sender<Message>>>,
+}
+
+/// Committed offsets per consumer group: (group, topic, partition) → next
+/// offset to read.
+type GroupOffsets = HashMap<(String, String, usize), u64>;
+
+/// The broker: owner of all topics. Cheap to clone ([`Arc`] inside) and
+/// safe to share across producer/consumer threads.
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+}
+
+struct BrokerInner {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    offsets: Mutex<GroupOffsets>,
+    /// (group, topic) → member ids, in join order.
+    members: Mutex<HashMap<(String, String), Vec<u64>>>,
+    next_member_id: AtomicU64,
+    clock: SimClock,
+}
+
+impl Broker {
+    /// Create a broker on the given virtual clock.
+    pub fn new(clock: SimClock) -> Self {
+        Self {
+            inner: Arc::new(BrokerInner {
+                topics: RwLock::new(HashMap::new()),
+                offsets: Mutex::new(HashMap::new()),
+                members: Mutex::new(HashMap::new()),
+                next_member_id: AtomicU64::new(0),
+                clock,
+            }),
+        }
+    }
+
+    /// The broker's clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Create a topic. Errors if it already exists.
+    pub fn create_topic(&self, name: &str, config: TopicConfig) -> Result<(), BusError> {
+        assert!(config.partitions > 0, "topics need at least one partition");
+        let mut topics = self.inner.topics.write();
+        if topics.contains_key(name) {
+            return Err(BusError::TopicExists(name.to_string()));
+        }
+        let topic = Topic {
+            partitions: (0..config.partitions).map(|_| Partition::new()).collect(),
+            config,
+            stats: TopicStats::default(),
+            round_robin: AtomicU64::new(0),
+            tails: Mutex::new(Vec::new()),
+        };
+        topics.insert(name.to_string(), Arc::new(topic));
+        Ok(())
+    }
+
+    /// Create the topic if missing (idempotent convenience).
+    pub fn ensure_topic(&self, name: &str, config: TopicConfig) {
+        let _ = self.create_topic(name, config);
+    }
+
+    /// All topic names, sorted.
+    pub fn topics(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn topic(&self, name: &str) -> Result<Arc<Topic>, BusError> {
+        self.inner
+            .topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BusError::UnknownTopic(name.to_string()))
+    }
+
+    /// Produce a record. Keyed records go to `hash(key) % partitions`
+    /// (preserving per-key order); unkeyed records round-robin.
+    /// Returns `(partition, offset)`.
+    pub fn produce(
+        &self,
+        topic: &str,
+        key: Option<&str>,
+        payload: impl Into<Bytes>,
+    ) -> Result<(usize, u64), BusError> {
+        let t = self.topic(topic)?;
+        let payload: Bytes = payload.into();
+        let part_idx = match key {
+            Some(k) => (fnv1a64(k.as_bytes()) % t.partitions.len() as u64) as usize,
+            None => {
+                (t.round_robin.fetch_add(1, Ordering::Relaxed) % t.partitions.len() as u64) as usize
+            }
+        };
+        let ts = self.inner.clock.now();
+        let msg = Message {
+            partition: part_idx,
+            offset: 0, // assigned by the partition
+            ts,
+            key: key.map(str::to_string),
+            payload,
+        };
+        let (offset, bytes) = t.partitions[part_idx].append(msg.clone());
+        t.stats.record_in(bytes);
+        // Enforce per-partition byte cap eagerly.
+        if let Some(cap) = t.config.max_partition_bytes {
+            t.partitions[part_idx].truncate_to_bytes(cap);
+        }
+        // Fan out to live tails, pruning closed ones.
+        {
+            let mut tails = t.tails.lock();
+            if !tails.is_empty() {
+                let mut delivered = Message { offset, ..msg };
+                tails.retain(|tx| match tx.try_send(delivered.clone()) {
+                    Ok(()) => true,
+                    Err(crossbeam::channel::TrySendError::Full(m)) => {
+                        // Slow subscriber: drop this message for them but
+                        // keep the subscription (at-most-once tail).
+                        delivered = m;
+                        t.stats.record_tail_drop();
+                        true
+                    }
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => false,
+                });
+            }
+        }
+        Ok((part_idx, offset))
+    }
+
+    /// Read up to `max` messages from one partition starting at `offset`.
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: usize,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<Message>, BusError> {
+        let t = self.topic(topic)?;
+        let p = t.partitions.get(partition).ok_or(BusError::UnknownPartition(partition))?;
+        let msgs = p.read_from(offset, max);
+        t.stats.record_out(msgs.iter().map(|m| m.payload.len()).sum());
+        Ok(msgs)
+    }
+
+    /// Number of partitions of a topic.
+    pub fn partition_count(&self, topic: &str) -> Result<usize, BusError> {
+        Ok(self.topic(topic)?.partitions.len())
+    }
+
+    /// Next offset that would be assigned in a partition (the "log end").
+    pub fn log_end(&self, topic: &str, partition: usize) -> Result<u64, BusError> {
+        let t = self.topic(topic)?;
+        let p = t.partitions.get(partition).ok_or(BusError::UnknownPartition(partition))?;
+        Ok(p.log_end())
+    }
+
+    /// Subscribe a live tail to a topic: every subsequently produced
+    /// message is pushed into the returned channel (bounded by
+    /// `buffer`; messages overflowing a slow consumer are dropped).
+    pub fn tail(&self, topic: &str, buffer: usize) -> Result<crossbeam::channel::Receiver<Message>, BusError> {
+        let t = self.topic(topic)?;
+        let (tx, rx) = crossbeam::channel::bounded(buffer);
+        t.tails.lock().push(tx);
+        Ok(rx)
+    }
+
+    /// Join a consumer group on a topic. Each call creates one consumer and
+    /// re-balances the group's partition assignment round-robin across the
+    /// group's consumers (static membership: rebalancing happens on join).
+    pub fn join_group(&self, group: &str, topic: &str) -> Result<Consumer, BusError> {
+        let t = self.topic(topic)?;
+        consumer::join(self.clone(), group, topic, t.partitions.len())
+    }
+
+    pub(crate) fn committed(&self, group: &str, topic: &str, partition: usize) -> u64 {
+        *self
+            .inner
+            .offsets
+            .lock()
+            .get(&(group.to_string(), topic.to_string(), partition))
+            .unwrap_or(&0)
+    }
+
+    pub(crate) fn commit(&self, group: &str, topic: &str, partition: usize, next: u64) {
+        self.inner
+            .offsets
+            .lock()
+            .insert((group.to_string(), topic.to_string(), partition), next);
+    }
+
+    pub(crate) fn register_member(&self, group: &str, topic: &str) -> u64 {
+        let id = self.inner.next_member_id.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .members
+            .lock()
+            .entry((group.to_string(), topic.to_string()))
+            .or_default()
+            .push(id);
+        id
+    }
+
+    pub(crate) fn deregister_member(&self, group: &str, topic: &str, id: u64) {
+        if let Some(v) = self.inner.members.lock().get_mut(&(group.to_string(), topic.to_string()))
+        {
+            v.retain(|&m| m != id);
+        }
+    }
+
+    pub(crate) fn group_members(&self, group: &str, topic: &str) -> Vec<u64> {
+        self.inner
+            .members
+            .lock()
+            .get(&(group.to_string(), topic.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Drop messages older than each topic's retention horizon, relative
+    /// to the broker clock. Returns total messages dropped.
+    pub fn enforce_retention(&self) -> usize {
+        let now = self.inner.clock.now();
+        let topics = self.inner.topics.read();
+        let mut dropped = 0;
+        for t in topics.values() {
+            if let Some(ret) = t.config.retention_ns {
+                let horizon = now - ret;
+                for p in &t.partitions {
+                    dropped += p.truncate_before(horizon);
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Metering snapshot for one topic.
+    pub fn stats(&self, topic: &str) -> Result<stats::TopicStatsSnapshot, BusError> {
+        Ok(self.topic(topic)?.stats.snapshot())
+    }
+
+    /// Total messages currently retained in a topic across partitions.
+    pub fn retained(&self, topic: &str) -> Result<usize, BusError> {
+        let t = self.topic(topic)?;
+        Ok(t.partitions.iter().map(|p| p.len()).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::NANOS_PER_SEC;
+
+    fn broker() -> Broker {
+        Broker::new(SimClock::starting_at(1_000 * NANOS_PER_SEC))
+    }
+
+    #[test]
+    fn produce_and_fetch_roundtrip() {
+        let b = broker();
+        b.create_topic("redfish-events", TopicConfig { partitions: 1, ..Default::default() })
+            .unwrap();
+        b.produce("redfish-events", None, &b"hello"[..]).unwrap();
+        b.produce("redfish-events", None, &b"world"[..]).unwrap();
+        let msgs = b.fetch("redfish-events", 0, 0, 10).unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(&msgs[0].payload[..], b"hello");
+        assert_eq!(msgs[0].offset, 0);
+        assert_eq!(msgs[1].offset, 1);
+    }
+
+    #[test]
+    fn keyed_messages_keep_per_key_order_in_one_partition() {
+        let b = broker();
+        b.create_topic("t", TopicConfig { partitions: 8, ..Default::default() }).unwrap();
+        let mut first_partition = None;
+        for i in 0..50 {
+            let (p, _) = b.produce("t", Some("x1000c0"), format!("{i}")).unwrap();
+            let fp = *first_partition.get_or_insert(p);
+            assert_eq!(p, fp, "same key must stay on one partition");
+        }
+        let p = first_partition.unwrap();
+        let msgs = b.fetch("t", p, 0, 100).unwrap();
+        let bodies: Vec<String> =
+            msgs.iter().map(|m| String::from_utf8_lossy(&m.payload).into_owned()).collect();
+        assert_eq!(bodies, (0..50).map(|i| i.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unkeyed_round_robin_spreads() {
+        let b = broker();
+        b.create_topic("t", TopicConfig { partitions: 4, ..Default::default() }).unwrap();
+        for _ in 0..40 {
+            b.produce("t", None, &b"m"[..]).unwrap();
+        }
+        for p in 0..4 {
+            assert_eq!(b.fetch("t", p, 0, 100).unwrap().len(), 10);
+        }
+    }
+
+    #[test]
+    fn unknown_topic_and_partition_error() {
+        let b = broker();
+        assert!(matches!(b.produce("nope", None, &b"x"[..]), Err(BusError::UnknownTopic(_))));
+        b.create_topic("t", TopicConfig { partitions: 1, ..Default::default() }).unwrap();
+        assert!(matches!(b.fetch("t", 5, 0, 1), Err(BusError::UnknownPartition(5))));
+        assert!(matches!(
+            b.create_topic("t", TopicConfig::default()),
+            Err(BusError::TopicExists(_))
+        ));
+    }
+
+    #[test]
+    fn tail_receives_live_messages() {
+        let b = broker();
+        b.create_topic("t", TopicConfig { partitions: 2, ..Default::default() }).unwrap();
+        let rx = b.tail("t", 16).unwrap();
+        b.produce("t", Some("k"), &b"live"[..]).unwrap();
+        let msg = rx.try_recv().unwrap();
+        assert_eq!(&msg.payload[..], b"live");
+        assert_eq!(msg.key.as_deref(), Some("k"));
+    }
+
+    #[test]
+    fn slow_tail_drops_but_survives() {
+        let b = broker();
+        b.create_topic("t", TopicConfig { partitions: 1, ..Default::default() }).unwrap();
+        let rx = b.tail("t", 2).unwrap();
+        for i in 0..5 {
+            b.produce("t", None, format!("{i}")).unwrap();
+        }
+        // Buffer of 2: the first two arrive, the rest were dropped.
+        assert_eq!(rx.try_iter().count(), 2);
+        assert_eq!(b.stats("t").unwrap().tail_drops, 3);
+        // Subscription still works afterwards.
+        b.produce("t", None, &b"after"[..]).unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn retention_by_age() {
+        let b = broker();
+        b.create_topic(
+            "t",
+            TopicConfig {
+                partitions: 1,
+                retention_ns: Some(10 * NANOS_PER_SEC),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        b.produce("t", None, &b"old"[..]).unwrap();
+        b.clock().advance_secs(60);
+        b.produce("t", None, &b"new"[..]).unwrap();
+        let dropped = b.enforce_retention();
+        assert_eq!(dropped, 1);
+        let msgs = b.fetch("t", 0, 0, 10).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(&msgs[0].payload[..], b"new");
+        // Offsets are preserved across truncation.
+        assert_eq!(msgs[0].offset, 1);
+    }
+
+    #[test]
+    fn retention_by_bytes() {
+        let b = broker();
+        b.create_topic(
+            "t",
+            TopicConfig { partitions: 1, max_partition_bytes: Some(10), ..Default::default() },
+        )
+        .unwrap();
+        for _ in 0..10 {
+            b.produce("t", None, &b"xxxx"[..]).unwrap(); // 4 bytes each
+        }
+        // 10-byte cap: at most 2 retained (8 bytes) plus the new one is
+        // trimmed to fit.
+        assert!(b.retained("t").unwrap() <= 3);
+        let end = b.log_end("t", 0).unwrap();
+        assert_eq!(end, 10);
+    }
+
+    #[test]
+    fn concurrent_producers_assign_unique_offsets() {
+        let b = broker();
+        b.create_topic("t", TopicConfig { partitions: 1, ..Default::default() }).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        b.produce("t", None, &b"m"[..]).unwrap();
+                    }
+                });
+            }
+        });
+        let msgs = b.fetch("t", 0, 0, 10_000).unwrap();
+        assert_eq!(msgs.len(), 4_000);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(m.offset, i as u64);
+        }
+    }
+
+    #[test]
+    fn stats_metering() {
+        let b = broker();
+        b.create_topic("t", TopicConfig { partitions: 1, ..Default::default() }).unwrap();
+        b.produce("t", None, &b"12345"[..]).unwrap();
+        b.fetch("t", 0, 0, 10).unwrap();
+        let s = b.stats("t").unwrap();
+        assert_eq!(s.messages_in, 1);
+        assert_eq!(s.bytes_in, 5);
+        assert_eq!(s.bytes_out, 5);
+    }
+}

@@ -1,0 +1,50 @@
+//! Per-topic metering with relaxed atomic counters (hot path).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one topic.
+#[derive(Debug, Default)]
+pub struct TopicStats {
+    messages_in: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    tail_drops: AtomicU64,
+}
+
+/// A point-in-time copy of [`TopicStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopicStatsSnapshot {
+    /// Messages produced into the topic.
+    pub messages_in: u64,
+    /// Payload bytes produced.
+    pub bytes_in: u64,
+    /// Payload bytes served to fetchers.
+    pub bytes_out: u64,
+    /// Messages dropped on slow live-tail subscribers.
+    pub tail_drops: u64,
+}
+
+impl TopicStats {
+    pub(crate) fn record_in(&self, bytes: usize) {
+        self.messages_in.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_out(&self, bytes: usize) {
+        self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_tail_drop(&self) {
+        self.tail_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> TopicStatsSnapshot {
+        TopicStatsSnapshot {
+            messages_in: self.messages_in.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            tail_drops: self.tail_drops.load(Ordering::Relaxed),
+        }
+    }
+}

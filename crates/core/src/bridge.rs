@@ -1,0 +1,283 @@
+//! The bridge clients: "K3s python pods ... read data in different Kafka
+//! topics via the Telemetry API and send them to either Victoriametrics
+//! or Loki" (§III).
+//!
+//! [`redfish_to_loki`] is the paper's §IV-A data-cleaning recipe,
+//! reproduced decision by decision:
+//!
+//! * the ISO 8601 `EventTimestamp` becomes a Unix epoch in nanoseconds;
+//! * `OriginOfCondition` ("a link ... which is not useful") and
+//!   `MessageArgs` ("duplicate information in the Message field") are
+//!   removed;
+//! * two labels are added: `cluster="perlmutter"` and
+//!   `data_type="redfish_event"`;
+//! * `Context` is "critical for filtering events from a specific
+//!   location, so it should be sent as a label";
+//! * `Severity`, `MessageId` and `Message` "describe what the event was
+//!   and should be sent as log content", wrapped as a JSON string so
+//!   Grafana's `json` stage can re-extract them.
+
+use crate::omni::Omni;
+use omni_json::jsonv;
+use omni_model::{LabelSet, LogRecord};
+use omni_redfish::{RedfishEvent, SensorReading};
+use omni_telemetry::{Subscription, TelemetryApi, Token};
+use omni_tsdb::Tsdb;
+
+/// Convert one Redfish event into the Loki record of Figure 3.
+pub fn redfish_to_loki(event: &RedfishEvent, cluster: &str) -> LogRecord {
+    let labels = LabelSet::from_pairs([
+        ("Context", event.context.to_string()),
+        ("cluster", cluster.to_string()),
+        ("data_type", "redfish_event".to_string()),
+    ]);
+    let content = jsonv!({
+        "Severity": (event.severity.as_str()),
+        "MessageId": (event.message_id.clone()),
+        "Message": (event.message.clone()),
+    });
+    LogRecord::new(labels, event.timestamp, content.dump())
+}
+
+/// Parse a Telemetry-API payload (possibly carrying several events) and
+/// convert each into a Loki record.
+pub fn telemetry_payload_to_loki(payload: &str, cluster: &str) -> Vec<LogRecord> {
+    let Ok(json) = omni_json::parse(payload) else { return Vec::new() };
+    let Ok(events) = RedfishEvent::from_telemetry_json(&json) else { return Vec::new() };
+    events.iter().map(|e| redfish_to_loki(e, cluster)).collect()
+}
+
+/// The log-side bridge: drains Telemetry-API subscriptions into Loki
+/// through the OMNI facade (metering + optional discovery tier).
+pub struct LogBridge {
+    cluster_name: String,
+    omni: Omni,
+    redfish_sub: Subscription,
+    syslog_sub: Subscription,
+    container_sub: Subscription,
+    fabric_sub: Subscription,
+    gpfs_sub: Subscription,
+    pushed: u64,
+    errors: u64,
+}
+
+impl LogBridge {
+    /// Subscribe to the log-bearing topics through the Telemetry API.
+    pub fn new(
+        api: &TelemetryApi,
+        token: &Token,
+        omni: Omni,
+        cluster_name: &str,
+    ) -> Result<Self, omni_telemetry::ApiError> {
+        Ok(Self {
+            cluster_name: cluster_name.to_string(),
+            omni,
+            redfish_sub: api.subscribe(token, omni_redfish::topics::RESOURCE_EVENTS)?,
+            syslog_sub: api.subscribe(token, omni_redfish::topics::SYSLOG)?,
+            container_sub: api.subscribe(token, omni_redfish::topics::CONTAINER_LOGS)?,
+            fabric_sub: api.subscribe(token, omni_redfish::topics::FABRIC_HEALTH)?,
+            gpfs_sub: api.subscribe(token, omni_redfish::topics::GPFS_HEALTH)?,
+            pushed: 0,
+            errors: 0,
+        })
+    }
+
+    /// Drain all subscriptions once, pushing everything to Loki. Returns
+    /// records pushed in this pump.
+    pub fn pump(&mut self) -> u64 {
+        let mut pushed = 0;
+        // Redfish events: the Figure 2 → Figure 3 transformation.
+        for msg in self.redfish_sub.drain() {
+            let payload = String::from_utf8_lossy(&msg.payload);
+            for record in telemetry_payload_to_loki(&payload, &self.cluster_name) {
+                match self.omni.ingest_record(record) {
+                    Ok(()) => pushed += 1,
+                    Err(_) => self.errors += 1,
+                }
+            }
+        }
+        // Syslog: host key becomes the hostname label.
+        for msg in self.syslog_sub.drain() {
+            let labels = LabelSet::from_pairs([
+                ("cluster", self.cluster_name.as_str()),
+                ("data_type", "syslog"),
+                ("hostname", msg.key.as_deref().unwrap_or("unknown")),
+            ]);
+            let line = String::from_utf8_lossy(&msg.payload).into_owned();
+            match self.omni.ingest_log(labels, msg.ts, line) {
+                Ok(()) => pushed += 1,
+                Err(_) => self.errors += 1,
+            }
+        }
+        // Container logs: pod name label.
+        for msg in self.container_sub.drain() {
+            let labels = LabelSet::from_pairs([
+                ("cluster", self.cluster_name.as_str()),
+                ("data_type", "container_log"),
+                ("pod", msg.key.as_deref().unwrap_or("unknown")),
+            ]);
+            let line = String::from_utf8_lossy(&msg.payload).into_owned();
+            match self.omni.ingest_log(labels, msg.ts, line) {
+                Ok(()) => pushed += 1,
+                Err(_) => self.errors += 1,
+            }
+        }
+        // Fabric-manager monitor events (Figure 7's stream).
+        for msg in self.fabric_sub.drain() {
+            let labels = LabelSet::from_pairs([
+                ("cluster", self.cluster_name.as_str()),
+                ("app", "fabric_manager_monitor"),
+            ]);
+            let line = String::from_utf8_lossy(&msg.payload).into_owned();
+            match self.omni.ingest_log(labels, msg.ts, line) {
+                Ok(()) => pushed += 1,
+                Err(_) => self.errors += 1,
+            }
+        }
+        // GPFS monitor events (§V future work), keyed by NSD server.
+        for msg in self.gpfs_sub.drain() {
+            let labels = LabelSet::from_pairs([
+                ("cluster", self.cluster_name.as_str()),
+                ("app", "gpfs_monitor"),
+                ("server", msg.key.as_deref().unwrap_or("unknown")),
+            ]);
+            let line = String::from_utf8_lossy(&msg.payload).into_owned();
+            match self.omni.ingest_log(labels, msg.ts, line) {
+                Ok(()) => pushed += 1,
+                Err(_) => self.errors += 1,
+            }
+        }
+        self.pushed += pushed;
+        pushed
+    }
+
+    /// `(records pushed, push errors)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.pushed, self.errors)
+    }
+}
+
+/// The metric-side bridge: drains sensor telemetry topics into the TSDB.
+pub struct MetricBridge {
+    cluster_name: String,
+    tsdb: Tsdb,
+    subs: Vec<Subscription>,
+    pushed: u64,
+}
+
+impl MetricBridge {
+    /// Subscribe to every numeric telemetry topic.
+    pub fn new(
+        api: &TelemetryApi,
+        token: &Token,
+        tsdb: Tsdb,
+        cluster_name: &str,
+    ) -> Result<Self, omni_telemetry::ApiError> {
+        let topics = [
+            omni_redfish::topics::TELEMETRY_TEMPERATURE,
+            omni_redfish::topics::TELEMETRY_HUMIDITY,
+            omni_redfish::topics::TELEMETRY_POWER,
+            omni_redfish::topics::TELEMETRY_FAN,
+            omni_redfish::topics::TELEMETRY_LEAK,
+            omni_redfish::topics::TELEMETRY_FLOW,
+        ];
+        let mut subs = Vec::with_capacity(topics.len());
+        for t in topics {
+            subs.push(api.subscribe(token, t)?);
+        }
+        Ok(Self { cluster_name: cluster_name.to_string(), tsdb, subs, pushed: 0 })
+    }
+
+    /// Drain all subscriptions into the TSDB. Metric names follow the
+    /// `shasta_<kind>_<unit>` convention.
+    pub fn pump(&mut self) -> u64 {
+        let mut pushed = 0;
+        for sub in &self.subs {
+            for msg in sub.drain() {
+                let payload = String::from_utf8_lossy(&msg.payload);
+                let Ok(json) = omni_json::parse(&payload) else { continue };
+                let Some(reading) = SensorReading::from_json(&json) else { continue };
+                let name = format!("shasta_{}_{}", reading.kind.as_str(), reading.kind.unit());
+                let labels = LabelSet::from_pairs([
+                    ("xname", reading.xname.to_string()),
+                    ("sensor", reading.sensor_id.clone()),
+                    ("cluster", self.cluster_name.clone()),
+                ]);
+                self.tsdb.ingest_sample(&name, labels, reading.ts, reading.value);
+                pushed += 1;
+            }
+        }
+        self.pushed += pushed;
+        pushed
+    }
+
+    /// Records pushed so far.
+    pub fn stats(&self) -> u64 {
+        self.pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_json::Json;
+    use omni_model::parse_iso8601;
+
+    #[test]
+    fn figure3_transformation_exact() {
+        let event = RedfishEvent::paper_leak_event();
+        let record = redfish_to_loki(&event, "perlmutter");
+        // Labels: Context + cluster + data_type, exactly (Fig 3).
+        assert_eq!(record.labels.len(), 3);
+        assert_eq!(record.labels.get("Context"), Some("x1203c1b0"));
+        assert_eq!(record.labels.get("cluster"), Some("perlmutter"));
+        assert_eq!(record.labels.get("data_type"), Some("redfish_event"));
+        // Timestamp: "an unix epoch in nanoseconds" (Fig 3 shows
+        // 1646272077000000000).
+        assert_eq!(record.entry.ts, 1_646_272_077_000_000_000);
+        assert_eq!(record.entry.ts, parse_iso8601("2022-03-03T01:47:57+00:00").unwrap());
+        // Content: Severity/MessageId/Message wrapped as JSON, nothing else.
+        let content = omni_json::parse(&record.entry.line).unwrap();
+        let fields = content.as_object().unwrap();
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["Severity", "MessageId", "Message"]);
+        assert_eq!(content.get("Severity").and_then(Json::as_str), Some("Warning"));
+        assert_eq!(
+            content.get("MessageId").and_then(Json::as_str),
+            Some("CrayAlerts.1.0.CabinetLeakDetected")
+        );
+        assert_eq!(
+            content.get("Message").and_then(Json::as_str),
+            Some("Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak.")
+        );
+        // The dropped fields must not sneak into the content.
+        assert!(content.get("OriginOfCondition").is_none());
+        assert!(content.get("MessageArgs").is_none());
+        assert!(content.get("EventTimestamp").is_none());
+    }
+
+    #[test]
+    fn figure3_payload_text_matches_paper() {
+        // The paper's Fig 3 content string, byte-for-byte.
+        let record = redfish_to_loki(&RedfishEvent::paper_leak_event(), "perlmutter");
+        assert_eq!(
+            record.entry.line,
+            r#"{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected","Message":"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."}"#
+        );
+    }
+
+    #[test]
+    fn telemetry_payload_roundtrip() {
+        let event = RedfishEvent::paper_leak_event();
+        let payload = event.to_telemetry_json().dump();
+        let records = telemetry_payload_to_loki(&payload, "perlmutter");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0], redfish_to_loki(&event, "perlmutter"));
+    }
+
+    #[test]
+    fn malformed_payload_yields_nothing() {
+        assert!(telemetry_payload_to_loki("not json", "perlmutter").is_empty());
+        assert!(telemetry_payload_to_loki("{}", "perlmutter").is_empty());
+    }
+}

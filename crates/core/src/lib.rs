@@ -1,0 +1,35 @@
+//! The paper's primary contribution: the integrated log aggregation,
+//! monitoring and alerting framework (Figure 1).
+//!
+//! ```text
+//! Shasta machine ─ Redfish/HMS ─→ bus (Kafka) ─→ Telemetry API
+//!      │                                             │
+//!      └─ exporters ─→ vmagent ─→ tsdb (metrics)     └─ bridges ─→ loki (logs)
+//!                          │                                │
+//!                       vmalert                           Ruler
+//!                          └────────→ Alertmanager ←───────┘
+//!                                      │        │
+//!                                    Slack   ServiceNow (events→alerts→incidents)
+//! ```
+//!
+//! * [`bridge`] — the "K3s python pods" converting Telemetry-API payloads
+//!   into Loki pushes and TSDB samples (the Figure 2 → Figure 3
+//!   transformation lives here);
+//! * [`omni`] — the OMNI warehouse facade: both stores, ingest metering,
+//!   two-year retention with archive/restore;
+//! * [`pane`] — the "single pane of glass": one query surface over logs
+//!   and metrics, with a dashboard renderer;
+//! * [`stack`] — [`stack::MonitoringStack`], the fully-wired pipeline the
+//!   case-study examples and integration tests drive.
+
+pub mod bridge;
+pub mod omni;
+pub mod pane;
+pub mod remediation;
+pub mod stack;
+
+pub use bridge::{redfish_to_loki, LogBridge, MetricBridge};
+pub use omni::{ArchiveStore, Omni};
+pub use pane::{Dashboard, Pane, PaneQuery, Panel};
+pub use remediation::{Playbook, RemediationAction, RemediationEngine, RemediationEvent};
+pub use stack::{MonitoringStack, StackConfig};

@@ -1,0 +1,392 @@
+//! The "single pane of glass": one query surface over logs and metrics.
+//!
+//! "Even though metrics and logs are stored separately, they are unified
+//! in the stage of visualization and alerting" (§III). [`Pane`] is the
+//! Grafana stand-in: LogQL goes to Loki, PromQL to the TSDB, and
+//! [`Dashboard`] renders a text view of both — what the paper's Figures
+//! 4, 5 and 7 show as Grafana panels.
+
+use crate::omni::Omni;
+use omni_logql::{InstantVector, Matrix};
+use omni_model::{format_iso8601, LogRecord, Timestamp};
+use omni_tsdb::{eval_instant, eval_range, parse_promql};
+
+/// A query against the pane.
+#[derive(Debug, Clone)]
+pub enum PaneQuery {
+    /// LogQL log query → log lines (Figure 4 / Figure 7 panels).
+    Logs(String),
+    /// LogQL metric query → series (Figure 5's graph).
+    LogMetric(String),
+    /// PromQL metric query → series.
+    Metric(String),
+}
+
+/// One dashboard panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Panel title.
+    pub title: String,
+    /// The query.
+    pub query: PaneQuery,
+}
+
+/// A dashboard: titled panels on one screen.
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    /// Dashboard title.
+    pub title: String,
+    /// The panels.
+    pub panels: Vec<Panel>,
+}
+
+/// Errors surfaced by the pane.
+#[derive(Debug)]
+pub enum PaneError {
+    /// LogQL-side error.
+    Loki(omni_loki::QueryError),
+    /// PromQL-side error.
+    Prom(omni_tsdb::promql::PromParseError),
+}
+
+impl std::fmt::Display for PaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PaneError::Loki(e) => write!(f, "{e}"),
+            PaneError::Prom(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PaneError {}
+
+/// Result of one panel evaluation.
+#[derive(Debug, Clone)]
+pub enum PanelData {
+    /// Log lines.
+    Logs(Vec<LogRecord>),
+    /// Time series.
+    Series(Matrix),
+}
+
+impl Dashboard {
+    /// Serialize to a Grafana-style dashboard JSON model (the format
+    /// NERSC provisions dashboards in — "a single location to view all
+    /// relevant dashboards").
+    pub fn to_json(&self) -> omni_json::Json {
+        use omni_json::Json;
+        let panels: Vec<Json> = self
+            .panels
+            .iter()
+            .map(|p| {
+                let (panel_type, query_type, expr) = match &p.query {
+                    PaneQuery::Logs(q) => ("logs", "range", q.clone()),
+                    PaneQuery::LogMetric(q) => ("timeseries", "loki_metric", q.clone()),
+                    PaneQuery::Metric(q) => ("timeseries", "prometheus", q.clone()),
+                };
+                omni_json::jsonv!({
+                    "title": (p.title.clone()),
+                    "type": (panel_type),
+                    "targets": [{"expr": (expr), "queryType": (query_type)}],
+                })
+            })
+            .collect();
+        omni_json::jsonv!({
+            "title": (self.title.clone()),
+            "schemaVersion": 36,
+            "panels": (Json::Array(panels)),
+        })
+    }
+
+    /// Parse a dashboard back from its JSON model.
+    pub fn from_json(v: &omni_json::Json) -> Option<Dashboard> {
+        use omni_json::Json;
+        let title = v.get("title")?.as_str()?.to_string();
+        let mut panels = Vec::new();
+        for p in v.get("panels")?.as_array()? {
+            let ptitle = p.get("title")?.as_str()?.to_string();
+            let target = p.get("targets")?.idx(0)?;
+            let expr = target.get("expr")?.as_str()?.to_string();
+            let query = match target.get("queryType").and_then(Json::as_str)? {
+                "range" => PaneQuery::Logs(expr),
+                "loki_metric" => PaneQuery::LogMetric(expr),
+                "prometheus" => PaneQuery::Metric(expr),
+                _ => return None,
+            };
+            panels.push(Panel { title: ptitle, query });
+        }
+        Some(Dashboard { title, panels })
+    }
+
+    /// The provisioned leak-detection dashboard (case study A's panels).
+    pub fn leak_detection() -> Dashboard {
+        Dashboard {
+            title: "Perlmutter — Leak Detection".into(),
+            panels: vec![
+                Panel {
+                    title: "Redfish events".into(),
+                    query: PaneQuery::Logs(r#"{data_type="redfish_event"}"#.into()),
+                },
+                Panel {
+                    title: "Leaks (60m window)".into(),
+                    query: PaneQuery::LogMetric(
+                        r#"sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (Severity, cluster, Context, MessageId)"#.into(),
+                    ),
+                },
+                Panel {
+                    title: "Leak sensors (metric)".into(),
+                    query: PaneQuery::Metric("max by (xname) (shasta_leak_bool)".into()),
+                },
+            ],
+        }
+    }
+
+    /// The provisioned fabric dashboard (case study B's panels).
+    pub fn fabric_health() -> Dashboard {
+        Dashboard {
+            title: "Perlmutter — Fabric Health".into(),
+            panels: vec![
+                Panel {
+                    title: "Switch events".into(),
+                    query: PaneQuery::Logs(
+                        r#"{app="fabric_manager_monitor"} |= "fm_switch_offline""#.into(),
+                    ),
+                },
+                Panel {
+                    title: "Offline switches (5m window)".into(),
+                    query: PaneQuery::LogMetric(
+                        r#"sum(count_over_time({app="fabric_manager_monitor"} |= "fm_switch_offline" [5m])) by (cluster)"#.into(),
+                    ),
+                },
+            ],
+        }
+    }
+}
+
+/// The query surface.
+#[derive(Clone)]
+pub struct Pane {
+    omni: Omni,
+}
+
+impl Pane {
+    /// A pane over a warehouse.
+    pub fn new(omni: Omni) -> Self {
+        Self { omni }
+    }
+
+    /// Evaluate a log query.
+    pub fn logs(
+        &self,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+    ) -> Result<Vec<LogRecord>, PaneError> {
+        self.omni.loki().query_logs(query, start, end, limit).map_err(PaneError::Loki)
+    }
+
+    /// Evaluate a LogQL metric query over a range (Figure 5's graph).
+    pub fn log_metric_range(
+        &self,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        step_ns: i64,
+    ) -> Result<Matrix, PaneError> {
+        self.omni.loki().query_range(query, start, end, step_ns).map_err(PaneError::Loki)
+    }
+
+    /// Evaluate a LogQL metric query at one instant.
+    pub fn log_metric_instant(&self, query: &str, at: Timestamp) -> Result<InstantVector, PaneError> {
+        self.omni.loki().query_instant(query, at).map_err(PaneError::Loki)
+    }
+
+    /// Evaluate a PromQL query at one instant.
+    pub fn metric_instant(&self, query: &str, at: Timestamp) -> Result<InstantVector, PaneError> {
+        let expr = parse_promql(query).map_err(PaneError::Prom)?;
+        Ok(eval_instant(self.omni.tsdb(), &expr, at))
+    }
+
+    /// Evaluate a PromQL query over a range.
+    pub fn metric_range(
+        &self,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        step_ns: i64,
+    ) -> Result<Matrix, PaneError> {
+        let expr = parse_promql(query).map_err(PaneError::Prom)?;
+        Ok(eval_range(self.omni.tsdb(), &expr, start, end, step_ns))
+    }
+
+    /// Evaluate one panel over a window.
+    pub fn panel(
+        &self,
+        panel: &Panel,
+        start: Timestamp,
+        end: Timestamp,
+        step_ns: i64,
+    ) -> Result<PanelData, PaneError> {
+        match &panel.query {
+            PaneQuery::Logs(q) => Ok(PanelData::Logs(self.logs(q, start, end, 100)?)),
+            PaneQuery::LogMetric(q) => {
+                Ok(PanelData::Series(self.log_metric_range(q, start, end, step_ns)?))
+            }
+            PaneQuery::Metric(q) => {
+                Ok(PanelData::Series(self.metric_range(q, start, end, step_ns)?))
+            }
+        }
+    }
+
+    /// Render a whole dashboard as text (the examples' output).
+    pub fn render_dashboard(
+        &self,
+        dashboard: &Dashboard,
+        start: Timestamp,
+        end: Timestamp,
+        step_ns: i64,
+    ) -> Result<String, PaneError> {
+        let mut out = String::new();
+        out.push_str(&format!("══ {} ══\n", dashboard.title));
+        for panel in &dashboard.panels {
+            out.push_str(&format!("\n── {} ──\n", panel.title));
+            match self.panel(panel, start, end, step_ns)? {
+                PanelData::Logs(records) => {
+                    if records.is_empty() {
+                        out.push_str("  (no matching log lines)\n");
+                    }
+                    for r in records.iter().take(20) {
+                        out.push_str(&format!(
+                            "  {}  {}  {}\n",
+                            format_iso8601(r.entry.ts),
+                            r.labels,
+                            r.entry.line
+                        ));
+                    }
+                }
+                PanelData::Series(matrix) => {
+                    if matrix.is_empty() {
+                        out.push_str("  (no series)\n");
+                    }
+                    for (labels, samples) in matrix.iter().take(10) {
+                        let spark: String = samples
+                            .iter()
+                            .map(|s| if s.value > 0.0 { '#' } else { '_' })
+                            .collect();
+                        let max =
+                            samples.iter().map(|s| s.value).fold(f64::NEG_INFINITY, f64::max);
+                        out.push_str(&format!("  {labels} max={max} {spark}\n"));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_loki::Limits;
+    use omni_model::{labels, SimClock, NANOS_PER_SEC};
+
+    fn setup() -> (Omni, Pane) {
+        let omni = Omni::new(2, Limits::default(), SimClock::starting_at(0));
+        let pane = Pane::new(omni.clone());
+        (omni, pane)
+    }
+
+    #[test]
+    fn unified_logs_and_metrics() {
+        let (omni, pane) = setup();
+        let ts = 60 * NANOS_PER_SEC;
+        omni.ingest_log(labels!("app" => "fm"), ts, "[critical] problem:fm_switch_offline")
+            .unwrap();
+        omni.ingest_metric("node_temp", labels!("node" => "x1"), ts, 55.0);
+        let logs = pane.logs(r#"{app="fm"}"#, 0, 2 * ts, 10).unwrap();
+        assert_eq!(logs.len(), 1);
+        let metrics = pane.metric_instant("node_temp", ts + 1).unwrap();
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].1, 55.0);
+    }
+
+    #[test]
+    fn dashboard_renders_both_kinds() {
+        let (omni, pane) = setup();
+        let ts = 3600 * NANOS_PER_SEC;
+        omni.ingest_log(
+            labels!("data_type" => "redfish_event", "Context" => "x1203c1b0"),
+            ts,
+            r#"{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected"}"#,
+        )
+        .unwrap();
+        omni.ingest_metric("node_temp", labels!("node" => "x1"), ts, 44.0);
+        let dash = Dashboard {
+            title: "Perlmutter Health".into(),
+            panels: vec![
+                Panel {
+                    title: "Redfish events".into(),
+                    query: PaneQuery::Logs(r#"{data_type="redfish_event"}"#.into()),
+                },
+                Panel {
+                    title: "Leak count".into(),
+                    query: PaneQuery::LogMetric(
+                        r#"sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" [60m])) by (Context)"#.into(),
+                    ),
+                },
+                Panel {
+                    title: "Node temperature".into(),
+                    query: PaneQuery::Metric("max_over_time(node_temp[60m])".into()),
+                },
+            ],
+        };
+        let text = pane
+            .render_dashboard(&dash, 0, 2 * ts, 600 * NANOS_PER_SEC)
+            .unwrap();
+        assert!(text.contains("Perlmutter Health"));
+        assert!(text.contains("Redfish events"));
+        assert!(text.contains("x1203c1b0"));
+        assert!(text.contains("max=1"));
+        assert!(text.contains("max=44"));
+    }
+
+    #[test]
+    fn dashboard_json_roundtrip() {
+        let dash = Dashboard::leak_detection();
+        let json = dash.to_json();
+        assert_eq!(json.get("schemaVersion").and_then(omni_json::Json::as_f64), Some(36.0));
+        let text = json.pretty(2);
+        let parsed = omni_json::parse(&text).unwrap();
+        let back = Dashboard::from_json(&parsed).unwrap();
+        assert_eq!(back.title, dash.title);
+        assert_eq!(back.panels.len(), dash.panels.len());
+        for (a, b) in back.panels.iter().zip(dash.panels.iter()) {
+            assert_eq!(a.title, b.title);
+        }
+    }
+
+    #[test]
+    fn provisioned_dashboards_render() {
+        let (omni, pane) = setup();
+        let ts = 3600 * NANOS_PER_SEC;
+        omni.ingest_log(
+            labels!("app" => "fabric_manager_monitor"),
+            ts,
+            "[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN",
+        )
+        .unwrap();
+        let text = pane
+            .render_dashboard(&Dashboard::fabric_health(), 0, 2 * ts, 600 * NANOS_PER_SEC)
+            .unwrap();
+        assert!(text.contains("Fabric Health"));
+        assert!(text.contains("x1002c1r7b0"));
+    }
+
+    #[test]
+    fn bad_queries_error_cleanly() {
+        let (_, pane) = setup();
+        assert!(pane.logs("{oops", 0, 1, 1).is_err());
+        assert!(pane.metric_instant("rate(", 0).is_err());
+    }
+}

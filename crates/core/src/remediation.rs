@@ -1,0 +1,251 @@
+//! Automated remediation workflows.
+//!
+//! The paper's framework exists to drive "automated remediation
+//! workflows" (§IV) — alerts should not just page a human but trigger
+//! actions. This module implements the playbook layer: a notification
+//! matching a playbook's trigger runs its action against the machine
+//! (restart a switch, repair a filesystem server) or records an operator
+//! task, and everything is journaled for audit.
+
+use omni_alertmanager::Notification;
+use omni_model::{LabelSet, Timestamp};
+use omni_shasta::{FabricManager, GpfsCluster, SwitchState};
+use omni_xname::XName;
+use std::sync::Arc;
+
+/// An action a playbook can take.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemediationAction {
+    /// Ask the fabric manager to restart the switch named by the alert's
+    /// `xname` label (models `fmctl restart`).
+    RestartSwitch,
+    /// Repair the GPFS server named by the alert's `server` label
+    /// (models `mmchdisk start` + `mmstartup`).
+    RepairGpfsServer,
+    /// No automation possible (a leak needs a human with a wrench);
+    /// journal an operator task with this instruction.
+    OperatorTask(String),
+}
+
+/// One playbook: run `action` when an alert named `alertname` fires.
+#[derive(Debug, Clone)]
+pub struct Playbook {
+    /// Matching alertname.
+    pub alertname: String,
+    /// The action.
+    pub action: RemediationAction,
+}
+
+/// Journal entry for one executed remediation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemediationEvent {
+    /// When it ran.
+    pub ts: Timestamp,
+    /// Alert that triggered it.
+    pub alertname: String,
+    /// Alert labels (for audit).
+    pub labels: LabelSet,
+    /// What was done, human-readable.
+    pub outcome: String,
+}
+
+/// The playbook engine.
+pub struct RemediationEngine {
+    fabric: FabricManager,
+    gpfs: Arc<GpfsCluster>,
+    playbooks: Vec<Playbook>,
+    journal: Vec<RemediationEvent>,
+}
+
+impl RemediationEngine {
+    /// Engine bound to the machine's control surfaces.
+    pub fn new(fabric: FabricManager, gpfs: Arc<GpfsCluster>) -> Self {
+        Self { fabric, gpfs, playbooks: Vec::new(), journal: Vec::new() }
+    }
+
+    /// The default NERSC-style playbook set for the paper's case studies.
+    pub fn with_default_playbooks(fabric: FabricManager, gpfs: Arc<GpfsCluster>) -> Self {
+        let mut engine = Self::new(fabric, gpfs);
+        engine.add_playbook(Playbook {
+            alertname: "PerlmutterSwitchOffline".into(),
+            action: RemediationAction::RestartSwitch,
+        });
+        engine.add_playbook(Playbook {
+            alertname: "GpfsServerUnhealthy".into(),
+            action: RemediationAction::RepairGpfsServer,
+        });
+        engine.add_playbook(Playbook {
+            alertname: "PerlmutterCabinetLeak".into(),
+            action: RemediationAction::OperatorTask(
+                "Dispatch facilities to inspect the cabinet cooling loop".into(),
+            ),
+        });
+        engine
+    }
+
+    /// Register a playbook.
+    pub fn add_playbook(&mut self, playbook: Playbook) {
+        self.playbooks.push(playbook);
+    }
+
+    /// Handle one Alertmanager notification: run the matching playbook
+    /// for each firing alert. Returns how many actions ran.
+    pub fn handle(&mut self, notification: &Notification, now: Timestamp) -> usize {
+        let mut ran = 0;
+        for alert in &notification.alerts {
+            if alert.status != omni_alertmanager::AlertStatus::Firing {
+                continue;
+            }
+            let name = alert.name().to_string();
+            let Some(playbook) = self.playbooks.iter().find(|p| p.alertname == name) else {
+                continue;
+            };
+            let outcome = match &playbook.action {
+                RemediationAction::RestartSwitch => {
+                    match alert.labels.get("xname").and_then(|x| x.parse::<XName>().ok()) {
+                        Some(xname) => {
+                            self.fabric.set_switch_state(xname, SwitchState::Online);
+                            format!("restarted switch {xname}")
+                        }
+                        None => "skipped: alert carried no parsable xname".to_string(),
+                    }
+                }
+                RemediationAction::RepairGpfsServer => match alert.labels.get("server") {
+                    Some(server) => {
+                        self.gpfs.repair_server(server);
+                        format!("repaired GPFS server {server}")
+                    }
+                    None => "skipped: alert carried no server label".to_string(),
+                },
+                RemediationAction::OperatorTask(instruction) => {
+                    format!("operator task filed: {instruction}")
+                }
+            };
+            self.journal.push(RemediationEvent {
+                ts: now,
+                alertname: name,
+                labels: alert.labels.clone(),
+                outcome,
+            });
+            ran += 1;
+        }
+        ran
+    }
+
+    /// The audit journal.
+    pub fn journal(&self) -> &[RemediationEvent] {
+        &self.journal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_alertmanager::{Alert, AlertStatus};
+    use omni_model::labels;
+    use omni_model::SimClock;
+    use omni_xname::{MachineTopology, TopologySpec};
+
+    fn engine() -> (MachineTopology, FabricManager, Arc<GpfsCluster>, RemediationEngine) {
+        let topo = MachineTopology::new(TopologySpec::tiny());
+        let fabric = FabricManager::new(&topo);
+        let gpfs = GpfsCluster::new("scratch", 2, 4, SimClock::new(), 1);
+        let engine =
+            RemediationEngine::with_default_playbooks(fabric.clone(), Arc::clone(&gpfs));
+        (topo, fabric, gpfs, engine)
+    }
+
+    fn notification(alerts: Vec<Alert>) -> Notification {
+        Notification {
+            receiver: "remediation".into(),
+            group_labels: LabelSet::new(),
+            alerts,
+        }
+    }
+
+    #[test]
+    fn switch_playbook_restarts_switch() {
+        let (topo, fabric, _, mut engine) = engine();
+        let victim = topo.switches()[1];
+        fabric.set_switch_state(victim, SwitchState::Unknown);
+        let n = notification(vec![Alert {
+            labels: labels!(
+                "alertname" => "PerlmutterSwitchOffline",
+                "xname" => victim.to_string()
+            ),
+            annotations: vec![],
+            status: AlertStatus::Firing,
+            starts_at: 0,
+        }]);
+        assert_eq!(engine.handle(&n, 5), 1);
+        assert_eq!(fabric.switch_state(&victim), Some(SwitchState::Online));
+        assert_eq!(engine.journal().len(), 1);
+        assert!(engine.journal()[0].outcome.contains("restarted switch"));
+    }
+
+    #[test]
+    fn gpfs_playbook_repairs_server() {
+        let (_, _, gpfs, mut engine) = engine();
+        gpfs.set_server_state("nsd01", omni_shasta::GpfsState::Failed);
+        let n = notification(vec![Alert {
+            labels: labels!("alertname" => "GpfsServerUnhealthy", "server" => "nsd01"),
+            annotations: vec![],
+            status: AlertStatus::Firing,
+            starts_at: 0,
+        }]);
+        engine.handle(&n, 5);
+        let healthy = gpfs
+            .sample()
+            .into_iter()
+            .find(|s| s.server == "nsd01")
+            .unwrap();
+        assert_eq!(healthy.state, omni_shasta::GpfsState::Healthy);
+    }
+
+    #[test]
+    fn leak_playbook_files_operator_task() {
+        let (_, _, _, mut engine) = engine();
+        let n = notification(vec![Alert {
+            labels: labels!("alertname" => "PerlmutterCabinetLeak", "Context" => "x1203c1b0"),
+            annotations: vec![],
+            status: AlertStatus::Firing,
+            starts_at: 0,
+        }]);
+        engine.handle(&n, 5);
+        assert!(engine.journal()[0].outcome.contains("operator task filed"));
+    }
+
+    #[test]
+    fn resolved_alerts_and_unknown_names_skipped() {
+        let (_, _, _, mut engine) = engine();
+        let n = notification(vec![
+            Alert {
+                labels: labels!("alertname" => "PerlmutterSwitchOffline", "xname" => "x1000c0r0b0"),
+                annotations: vec![],
+                status: AlertStatus::Resolved,
+                starts_at: 0,
+            },
+            Alert {
+                labels: labels!("alertname" => "SomethingUnplaybooked"),
+                annotations: vec![],
+                status: AlertStatus::Firing,
+                starts_at: 0,
+            },
+        ]);
+        assert_eq!(engine.handle(&n, 5), 0);
+        assert!(engine.journal().is_empty());
+    }
+
+    #[test]
+    fn malformed_labels_are_journaled_not_fatal() {
+        let (_, _, _, mut engine) = engine();
+        let n = notification(vec![Alert {
+            labels: labels!("alertname" => "PerlmutterSwitchOffline", "xname" => "not-an-xname"),
+            annotations: vec![],
+            status: AlertStatus::Firing,
+            starts_at: 0,
+        }]);
+        assert_eq!(engine.handle(&n, 5), 1);
+        assert!(engine.journal()[0].outcome.contains("skipped"));
+    }
+}

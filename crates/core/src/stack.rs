@@ -1,0 +1,537 @@
+//! The fully-wired monitoring stack: every box of Figure 1 connected,
+//! driven by one virtual clock. The case-study examples and the
+//! integration tests run scenarios through this.
+
+use crate::bridge::{LogBridge, MetricBridge};
+use crate::omni::Omni;
+use crate::pane::Pane;
+use crate::remediation::RemediationEngine;
+use omni_alertmanager::{Alert, Alertmanager, AlertStatus, Notification, Route, SlackSink};
+use omni_exporters::{
+    parse_exposition, ArubaExporter, BlackboxExporter, Exporter, GpfsExporter, KafkaExporter,
+    NodeExporter,
+};
+use omni_logql::Matcher;
+use omni_loki::{AlertState, AlertingRule, Limits, RuleGroup, Ruler};
+use omni_model::{SimClock, NANOS_PER_SEC};
+use omni_redfish::{HmsCollector, RedfishEvent};
+use omni_servicenow::{IncidentRule, ServiceNow};
+use omni_shasta::{
+    ContainerLogGenerator, FabricManager, FabricManagerMonitor, GpfsCluster, GpfsMonitor,
+    GpfsState, LeakZone, ShastaMachine, SwitchState, SyslogGenerator,
+};
+use omni_telemetry::TelemetryApi;
+use omni_tsdb::{MetricRule, VmAgent, VmAlert, VmAlertState};
+use omni_xname::{TopologySpec, XName};
+use std::sync::Arc;
+
+/// Stack construction parameters.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Machine layout.
+    pub topology: TopologySpec,
+    /// Loki ingester shards (the paper's cluster runs 8 workers).
+    pub loki_shards: usize,
+    /// Loki limits.
+    pub limits: Limits,
+    /// Telemetry API gateway count (the paper's cluster runs 4 VMs).
+    pub gateways: usize,
+    /// Bus partitions per topic.
+    pub bus_partitions: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Cluster label value.
+    pub cluster_name: String,
+    /// Syslog lines generated per simulation step.
+    pub syslog_per_step: usize,
+    /// Container-log lines generated per simulation step.
+    pub container_per_step: usize,
+    /// Run the remediation playbooks automatically on firing alerts.
+    pub auto_remediate: bool,
+    /// Enable OMNI's Elasticsearch-style discovery tier.
+    pub enable_discovery: bool,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        Self {
+            topology: TopologySpec::tiny(),
+            loki_shards: 8,
+            limits: Limits::default(),
+            gateways: 4,
+            bus_partitions: 4,
+            seed: 42,
+            cluster_name: "perlmutter".into(),
+            syslog_per_step: 20,
+            container_per_step: 10,
+            auto_remediate: false,
+            enable_discovery: true,
+        }
+    }
+}
+
+/// The assembled pipeline.
+pub struct MonitoringStack {
+    /// Shared virtual clock.
+    pub clock: SimClock,
+    /// The simulated machine.
+    pub machine: Arc<ShastaMachine>,
+    /// HMS collector (publishes onto the bus).
+    pub collector: HmsCollector,
+    /// The Telemetry API fronting the bus.
+    pub api: TelemetryApi,
+    /// The Slingshot fabric manager.
+    pub fabric: FabricManager,
+    /// The GPFS scratch filesystem (§V future work).
+    pub gpfs: Arc<GpfsCluster>,
+    /// The OMNI warehouse (Loki + TSDB).
+    pub omni: Omni,
+    /// The single pane of glass.
+    pub pane: Pane,
+    /// Slack webhook capture.
+    pub slack: SlackSink,
+    /// ServiceNow instance.
+    pub servicenow: ServiceNow,
+    fabric_monitor: FabricManagerMonitor,
+    gpfs_monitor: GpfsMonitor,
+    log_bridge: LogBridge,
+    metric_bridge: MetricBridge,
+    ruler: Ruler,
+    vmalert: VmAlert,
+    vmagent: VmAgent,
+    alertmanager: Alertmanager,
+    remediation: Option<RemediationEngine>,
+    syslog_gen: SyslogGenerator,
+    container_gen: ContainerLogGenerator,
+    notifications_dispatched: u64,
+}
+
+impl MonitoringStack {
+    /// Wire up the whole Figure 1 pipeline.
+    pub fn new(config: StackConfig) -> Self {
+        let clock = SimClock::starting_at(0);
+        let machine =
+            Arc::new(ShastaMachine::new(config.topology.clone(), clock.clone(), config.seed));
+        let broker = omni_bus::Broker::new(clock.clone());
+        let collector = HmsCollector::new(broker.clone(), config.bus_partitions);
+        let api = TelemetryApi::new(broker.clone(), config.gateways);
+        let fabric = FabricManager::new(machine.topology());
+        let fabric_monitor = FabricManagerMonitor::new(fabric.clone());
+        let gpfs = GpfsCluster::new("scratch", 8, 12, clock.clone(), config.seed ^ 0x6f5);
+        let gpfs_monitor = GpfsMonitor::new(Arc::clone(&gpfs));
+        let mut omni = Omni::new(config.loki_shards, config.limits.clone(), clock.clone());
+        if config.enable_discovery {
+            omni = omni.with_discovery();
+        }
+        let pane = Pane::new(omni.clone());
+
+        // Bridges (the K3s pods).
+        let token = api.issue_token("bridge-clients");
+        let log_bridge =
+            LogBridge::new(&api, &token, omni.clone(), &config.cluster_name).unwrap();
+        let metric_bridge =
+            MetricBridge::new(&api, &token, omni.tsdb().clone(), &config.cluster_name).unwrap();
+
+        // The Ruler carries both paper case-study rules.
+        let mut ruler = Ruler::new(omni.loki().clone());
+        ruler
+            .add_group(RuleGroup {
+                name: "perlmutter-alerts".into(),
+                interval_ns: 60 * NANOS_PER_SEC,
+                rules: vec![
+                    AlertingRule::paper_leak_rule(),
+                    AlertingRule::paper_switch_rule(),
+                    AlertingRule::gpfs_server_rule(),
+                ],
+            })
+            .expect("paper rules must parse");
+
+        // vmalert: thermal + leak-sensor metric rules.
+        let mut vmalert = VmAlert::new(omni.tsdb().clone());
+        vmalert
+            .add_rule(MetricRule {
+                name: "NodeTemperatureCritical".into(),
+                expr: "max by (xname) (shasta_temperature_celsius) > 90".into(),
+                for_ns: 60 * NANOS_PER_SEC,
+                labels: omni_model::LabelSet::from_pairs([("severity", "critical")]),
+                annotations: vec![("summary".into(), "node {{.xname}} above 90C".into())],
+            })
+            .unwrap();
+        vmalert
+            .add_rule(MetricRule {
+                name: "GpfsLongWaiters".into(),
+                expr: "max by (fs, server) (gpfs_longest_waiter_seconds) > 300".into(),
+                for_ns: 60 * NANOS_PER_SEC,
+                labels: omni_model::LabelSet::from_pairs([("severity", "critical")]),
+                annotations: vec![(
+                    "summary".into(),
+                    "GPFS {{.fs}}/{{.server}} has waiters over 300s".into(),
+                )],
+            })
+            .unwrap();
+        vmalert
+            .add_rule(MetricRule {
+                name: "LeakSensorWet".into(),
+                expr: "max by (xname) (shasta_leak_bool) > 0".into(),
+                for_ns: 0,
+                labels: omni_model::LabelSet::from_pairs([("severity", "warning")]),
+                annotations: vec![("summary".into(), "leak sensor wet at {{.xname}}".into())],
+            })
+            .unwrap();
+
+        // vmagent scraping the exporter fleet.
+        let mut vmagent = VmAgent::new(omni.tsdb().clone());
+        {
+            let node_exp = NodeExporter::new(Arc::clone(&machine));
+            vmagent.add_target(
+                "node-exporter",
+                &config.cluster_name,
+                Box::new(move |_| parse_exposition(&node_exp.render()).map_err(|e| e.to_string())),
+            );
+            let kafka_exp = KafkaExporter::new(broker.clone());
+            vmagent.add_target(
+                "kafka-exporter",
+                "sma-kafka",
+                Box::new(move |_| parse_exposition(&kafka_exp.render()).map_err(|e| e.to_string())),
+            );
+            let blackbox = BlackboxExporter::new(
+                vec!["https://telemetry-api".into(), "https://grafana".into()],
+                clock.clone(),
+            );
+            vmagent.add_target(
+                "blackbox-exporter",
+                "probes",
+                Box::new(move |_| parse_exposition(&blackbox.render()).map_err(|e| e.to_string())),
+            );
+            let aruba = ArubaExporter::new(vec!["mgmt-sw1".into(), "mgmt-sw2".into()], clock.clone());
+            vmagent.add_target(
+                "aruba-exporter",
+                "mgmt",
+                Box::new(move |_| parse_exposition(&aruba.render()).map_err(|e| e.to_string())),
+            );
+            let gpfs_exp = GpfsExporter::new(Arc::clone(&gpfs));
+            vmagent.add_target(
+                "gpfs-exporter",
+                "scratch",
+                Box::new(move |_| parse_exposition(&gpfs_exp.render()).map_err(|e| e.to_string())),
+            );
+        }
+
+        // Alertmanager routing: critical alerts go to ServiceNow AND
+        // Slack; everything else to Slack only.
+        let mut root = Route::default_route("slack");
+        root.group_by = vec!["alertname".into()];
+        root.group_wait_ns = 10 * NANOS_PER_SEC;
+        root.group_interval_ns = 60 * NANOS_PER_SEC;
+        root.repeat_interval_ns = 4 * 3600 * NANOS_PER_SEC;
+        let mut to_sn = Route::matching(
+            "servicenow",
+            vec![Matcher::eq("severity", "critical")],
+        );
+        to_sn.group_by = root.group_by.clone();
+        to_sn.group_wait_ns = root.group_wait_ns;
+        to_sn.group_interval_ns = root.group_interval_ns;
+        to_sn.repeat_interval_ns = root.repeat_interval_ns;
+        to_sn.continue_matching = true;
+        let mut to_slack_all = Route::matching("slack", vec![]);
+        to_slack_all.group_by = root.group_by.clone();
+        to_slack_all.group_wait_ns = root.group_wait_ns;
+        to_slack_all.group_interval_ns = root.group_interval_ns;
+        to_slack_all.repeat_interval_ns = root.repeat_interval_ns;
+        root.routes.push(to_sn);
+        root.routes.push(to_slack_all);
+        let alertmanager = Alertmanager::new(root);
+
+        // ServiceNow: CMDB from the machine, incidents for critical alerts.
+        let servicenow = ServiceNow::new();
+        servicenow.with_cmdb(|cmdb| cmdb.load_topology(&config.cluster_name, machine.topology()));
+        // Category-aware assignment: storage and fabric alerts route to
+        // their teams; any other critical goes to operations.
+        servicenow.add_incident_rule(IncidentRule {
+            name: "storage-to-storage-team".into(),
+            max_severity: 2,
+            node_contains: None,
+            resource: Some("storage".into()),
+            assignment_group: "nersc-storage".into(),
+        });
+        servicenow.add_incident_rule(IncidentRule {
+            name: "fabric-to-network-team".into(),
+            max_severity: 2,
+            node_contains: None,
+            resource: Some("fabric".into()),
+            assignment_group: "nersc-network".into(),
+        });
+        servicenow.add_incident_rule(IncidentRule {
+            name: "critical-to-ops".into(),
+            max_severity: 2,
+            node_contains: None,
+            resource: None,
+            assignment_group: "nersc-ops".into(),
+        });
+
+        let remediation = config.auto_remediate.then(|| {
+            RemediationEngine::with_default_playbooks(fabric.clone(), Arc::clone(&gpfs))
+        });
+        let syslog_gen =
+            SyslogGenerator::new(machine.topology().nodes(), clock.clone(), config.seed ^ 0xa5);
+        let container_gen = ContainerLogGenerator::k3s_services(config.seed ^ 0x5a);
+
+        Self {
+            clock,
+            machine,
+            collector,
+            api,
+            fabric,
+            gpfs,
+            omni,
+            pane,
+            slack: SlackSink::new("#perlmutter-alerts"),
+            servicenow,
+            fabric_monitor,
+            gpfs_monitor,
+            log_bridge,
+            metric_bridge,
+            ruler,
+            vmalert,
+            vmagent,
+            alertmanager,
+            remediation,
+            syslog_gen,
+            container_gen,
+            notifications_dispatched: 0,
+        }
+    }
+
+    /// Config-driven generation counts are stored in the generators; the
+    /// per-step volumes come from the config at construction. Advance the
+    /// simulation by `dt_ns`, running one full pipeline cycle; returns the
+    /// Alertmanager notifications dispatched during this step.
+    pub fn step(&mut self, dt_ns: i64, syslog_lines: usize, container_lines: usize) -> Vec<Notification> {
+        let now = self.clock.advance(dt_ns);
+
+        // 1. Sensors → HMS collector → bus telemetry topics.
+        for reading in self.machine.sample_sensors() {
+            let _ = self.collector.publish_reading(&reading);
+        }
+        // 2. Logs → bus.
+        for (host, line) in self.syslog_gen.batch(syslog_lines) {
+            let _ = self.collector.publish_log(omni_redfish::topics::SYSLOG, &host, line);
+        }
+        for (pod, line) in self.container_gen.batch(container_lines) {
+            let _ = self.collector.publish_log(omni_redfish::topics::CONTAINER_LOGS, &pod, line);
+        }
+        // 3. Fabric monitor poll → event lines (Figure 7).
+        for change in self.fabric_monitor.poll() {
+            let _ = self.collector.publish_log(
+                omni_redfish::topics::FABRIC_HEALTH,
+                &change.xname.to_string(),
+                change.to_event_line(),
+            );
+        }
+        // 3b. GPFS monitor poll (the §V future-work path).
+        for change in self.gpfs_monitor.poll() {
+            let _ = self.collector.publish_log(
+                omni_redfish::topics::GPFS_HEALTH,
+                &change.server,
+                change.to_event_line(),
+            );
+        }
+        // 4. Bridges pump Telemetry-API subscriptions into the stores.
+        self.log_bridge.pump();
+        self.metric_bridge.pump();
+        // 5. vmagent scrape.
+        self.vmagent.scrape_once(now);
+        // 6. Store maintenance: seal aged heads, then move sealed chunks
+        // older than an hour to the disk tier ("chunks are first stored
+        // in memory, and then moved to disk").
+        self.omni.loki().tick();
+        self.omni.loki().offload(3_600 * NANOS_PER_SEC);
+        // 7. Rule evaluation → Alertmanager.
+        for n in self.ruler.evaluate(now) {
+            self.alertmanager.receive(ruler_to_alert(&n), now);
+        }
+        for n in self.vmalert.evaluate(now) {
+            self.alertmanager.receive(vmalert_to_alert(&n), now);
+        }
+        // 8. Alertmanager flush → receivers.
+        let notifications = self.alertmanager.tick(now);
+        for n in &notifications {
+            self.notifications_dispatched += 1;
+            if let Some(engine) = &mut self.remediation {
+                engine.handle(n, now);
+            }
+            match n.receiver.as_str() {
+                "slack" => {
+                    self.slack.deliver(n);
+                }
+                "servicenow" => {
+                    self.servicenow.receive_notification(n, now);
+                }
+                _ => {}
+            }
+        }
+        notifications
+    }
+
+    /// Inject the paper's case-study-A fault: a cabinet leak. The Redfish
+    /// event is published through the HMS collector like the real firmware
+    /// would.
+    pub fn inject_leak(&self, chassis: XName, sensor: char, zone: LeakZone) -> RedfishEvent {
+        let event = self.machine.inject_leak(chassis, sensor, zone);
+        self.collector.publish_event(&event).expect("resource-event topic exists");
+        event
+    }
+
+    /// Inject the case-study-B fault: a switch going offline/unknown.
+    pub fn take_switch_offline(&self, switch: XName, state: SwitchState) {
+        self.fabric.set_switch_state(switch, state);
+    }
+
+    /// Inject a GPFS fault: degrade or fail an NSD server.
+    pub fn fail_gpfs_server(&self, server: &str, state: GpfsState) {
+        self.gpfs.set_server_state(server, state);
+    }
+
+    /// Notifications dispatched so far.
+    pub fn notifications_dispatched(&self) -> u64 {
+        self.notifications_dispatched
+    }
+
+    /// Alertmanager `(received, notified, suppressed)`.
+    pub fn alertmanager_stats(&self) -> (u64, u64, u64) {
+        self.alertmanager.stats()
+    }
+
+    /// The alertmanager (for silences / inhibition configuration).
+    pub fn alertmanager_mut(&mut self) -> &mut Alertmanager {
+        &mut self.alertmanager
+    }
+
+    /// The remediation journal (empty unless `auto_remediate` is on).
+    pub fn remediation_journal(&self) -> &[crate::remediation::RemediationEvent] {
+        self.remediation.as_ref().map(|e| e.journal()).unwrap_or(&[])
+    }
+
+    /// Bridge statistics `(log records pushed, log errors, metric records)`.
+    pub fn bridge_stats(&self) -> (u64, u64, u64) {
+        let (pushed, errors) = self.log_bridge.stats();
+        (pushed, errors, self.metric_bridge.stats())
+    }
+}
+
+/// Convert a Loki Ruler notification into an Alertmanager alert.
+pub fn ruler_to_alert(n: &omni_loki::RuleNotification) -> Alert {
+    Alert {
+        labels: n.labels.clone(),
+        annotations: n.annotations.clone(),
+        status: match n.state {
+            AlertState::Resolved => AlertStatus::Resolved,
+            _ => AlertStatus::Firing,
+        },
+        starts_at: n.active_at,
+    }
+}
+
+/// Convert a vmalert notification into an Alertmanager alert.
+pub fn vmalert_to_alert(n: &omni_tsdb::VmAlertNotification) -> Alert {
+    Alert {
+        labels: n.labels.clone(),
+        annotations: n.annotations.clone(),
+        status: match n.state {
+            VmAlertState::Resolved => AlertStatus::Resolved,
+            _ => AlertStatus::Firing,
+        },
+        starts_at: n.active_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minute() -> i64 {
+        60 * NANOS_PER_SEC
+    }
+
+    #[test]
+    fn quiet_stack_stays_quiet() {
+        let mut stack = MonitoringStack::new(StackConfig::default());
+        for _ in 0..5 {
+            let notifs = stack.step(minute(), 5, 5);
+            assert!(notifs.is_empty(), "healthy machine must not alert");
+        }
+        // But data flowed: logs and metrics are queryable.
+        let (pushed, errors, metrics) = stack.bridge_stats();
+        assert!(pushed > 0);
+        assert_eq!(errors, 0);
+        assert!(metrics > 0);
+        let logs = stack
+            .pane
+            .logs(r#"{data_type="syslog"}"#, 0, stack.clock.now(), 1000)
+            .unwrap();
+        assert!(!logs.is_empty());
+    }
+
+    #[test]
+    fn leak_reaches_slack_and_servicenow() {
+        let mut stack = MonitoringStack::new(StackConfig::default());
+        stack.step(minute(), 0, 0);
+        let chassis = stack.machine.topology().chassis()[3];
+        stack.inject_leak(chassis, 'A', LeakZone::Front);
+        // Run the pipeline long enough for the 1-minute `for:` hold and
+        // the group_wait to elapse.
+        for _ in 0..6 {
+            stack.step(minute(), 0, 0);
+        }
+        assert!(!stack.slack.is_empty(), "slack should have the leak alert");
+        let text = &stack.slack.messages()[0].text;
+        assert!(text.contains("FIRING"), "{text}");
+        assert!(text.contains("Leak") || text.contains("leak"), "{text}");
+        // Critical severity routed to ServiceNow too -> incident open.
+        assert!(!stack.servicenow.incidents().is_empty());
+    }
+
+    #[test]
+    fn switch_offline_reaches_slack() {
+        let mut stack = MonitoringStack::new(StackConfig::default());
+        stack.step(minute(), 0, 0);
+        let switch = stack.machine.topology().switches()[1];
+        stack.take_switch_offline(switch, SwitchState::Unknown);
+        for _ in 0..6 {
+            stack.step(minute(), 0, 0);
+        }
+        let msgs = stack.slack.messages();
+        assert!(
+            msgs.iter().any(|m| m.text.contains("PerlmutterSwitchOffline")),
+            "slack messages: {msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.text.contains(&switch.to_string())));
+    }
+
+    #[test]
+    fn figure5_graph_reproduced_through_stack() {
+        let mut stack = MonitoringStack::new(StackConfig::default());
+        stack.step(3600 * NANOS_PER_SEC, 0, 0);
+        let chassis = stack.machine.topology().chassis()[0];
+        stack.inject_leak(chassis, 'A', LeakZone::Front);
+        let event_time = stack.clock.now();
+        stack.step(minute(), 0, 0);
+        let matrix = stack
+            .pane
+            .log_metric_range(
+                r#"sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (Severity, cluster, Context, MessageId)"#,
+                0,
+                stack.clock.now(),
+                10 * minute(),
+            )
+            .unwrap();
+        assert_eq!(matrix.len(), 1);
+        let (labels, samples) = &matrix[0];
+        assert_eq!(labels.get("Severity"), Some("Warning"));
+        assert_eq!(labels.get("cluster"), Some("perlmutter"));
+        // 0 before the event, 1 after (within the 60m window).
+        assert!(samples.iter().any(|s| s.ts < event_time && s.value == 0.0)
+            || samples.iter().all(|s| s.ts >= event_time || s.value == 0.0));
+        assert!(samples.iter().any(|s| s.value == 1.0));
+    }
+}

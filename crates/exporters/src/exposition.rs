@@ -1,0 +1,277 @@
+//! The Prometheus text exposition format: the wire format every exporter
+//! speaks and vmagent scrapes.
+//!
+//! ```text
+//! # HELP node_temp_celsius Node temperature.
+//! # TYPE node_temp_celsius gauge
+//! node_temp_celsius{sensor="t0",node="x1000c0s0b0n0"} 43.5
+//! ```
+
+use omni_model::{LabelSet, MetricRecord};
+use std::fmt;
+
+/// One metric family: name, help, type and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// Metric name.
+    pub name: String,
+    /// `# HELP` text.
+    pub help: String,
+    /// `# TYPE` — gauge/counter/untyped.
+    pub kind: &'static str,
+    /// `(labels, value)` samples.
+    pub samples: Vec<(LabelSet, f64)>,
+}
+
+impl MetricFamily {
+    /// A gauge family.
+    pub fn gauge(name: &str, help: &str) -> Self {
+        Self { name: name.to_string(), help: help.to_string(), kind: "gauge", samples: Vec::new() }
+    }
+
+    /// A counter family.
+    pub fn counter(name: &str, help: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: "counter",
+            samples: Vec::new(),
+        }
+    }
+
+    /// Add a sample.
+    pub fn sample(&mut self, labels: LabelSet, value: f64) -> &mut Self {
+        self.samples.push((labels, value));
+        self
+    }
+}
+
+/// Render families to exposition text.
+pub fn render_exposition(families: &[MetricFamily]) -> String {
+    let mut out = String::new();
+    for f in families {
+        out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+        out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind));
+        for (labels, value) in &f.samples {
+            if labels.is_empty() {
+                out.push_str(&format!("{} {}\n", f.name, fmt_value(*value)));
+            } else {
+                let rendered: Vec<String> = labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+                    .collect();
+                out.push_str(&format!(
+                    "{}{{{}}} {}\n",
+                    f.name,
+                    rendered.join(","),
+                    fmt_value(*value)
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Exposition parse failure with line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpositionError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exposition parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+/// Parse exposition text into metric records (timestamps left at 0; the
+/// scraper stamps them).
+pub fn parse_exposition(text: &str) -> Result<Vec<MetricRecord>, ExpositionError> {
+    let mut out = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ExpositionError { line: ln + 1, message };
+        // name{labels} value  |  name value
+        let (name_and_labels, value_str) = match line.rfind(' ') {
+            Some(pos) => (&line[..pos], line[pos + 1..].trim()),
+            None => return Err(err("missing value".to_string())),
+        };
+        let value = match value_str {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            s => s.parse::<f64>().map_err(|_| err(format!("bad value {s:?}")))?,
+        };
+        let (name, labels) = if let Some(brace) = name_and_labels.find('{') {
+            let name = name_and_labels[..brace].trim();
+            let rest = name_and_labels[brace..].trim();
+            if !rest.ends_with('}') {
+                return Err(err("unterminated label braces".to_string()));
+            }
+            (name, parse_labels(&rest[1..rest.len() - 1]).map_err(err)?)
+        } else {
+            (name_and_labels.trim(), LabelSet::new())
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.chars().next().unwrap().is_ascii_digit()
+        {
+            return Err(err(format!("invalid metric name {name:?}")));
+        }
+        out.push(MetricRecord::new(name, labels, 0, value));
+    }
+    Ok(out)
+}
+
+fn parse_labels(inner: &str) -> Result<LabelSet, String> {
+    let mut labels = LabelSet::new();
+    let b = inner.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        while i < b.len() && (b[i] == b',' || b[i] == b' ') {
+            i += 1;
+        }
+        if i >= b.len() {
+            break;
+        }
+        let key_start = i;
+        while i < b.len() && b[i] != b'=' {
+            i += 1;
+        }
+        if i >= b.len() {
+            return Err("missing '=' in label".to_string());
+        }
+        let key = inner[key_start..i].trim();
+        i += 1; // '='
+        if i >= b.len() || b[i] != b'"' {
+            return Err("label value must be quoted".to_string());
+        }
+        i += 1;
+        let mut value = String::new();
+        loop {
+            if i >= b.len() {
+                return Err("unterminated label value".to_string());
+            }
+            match b[i] {
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                b'\\' => {
+                    i += 1;
+                    match b.get(i) {
+                        Some(b'n') => value.push('\n'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(&c) => value.push(c as char),
+                        None => return Err("trailing backslash".to_string()),
+                    }
+                    i += 1;
+                }
+                _ => {
+                    let c = inner[i..].chars().next().unwrap();
+                    value.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        labels.insert(key, value);
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::labels;
+
+    #[test]
+    fn render_and_parse_roundtrip() {
+        let mut fam = MetricFamily::gauge("node_temp_celsius", "Node temperature.");
+        fam.sample(labels!("sensor" => "t0", "node" => "x1000c0s0b0n0"), 43.5);
+        fam.sample(LabelSet::new(), 20.0);
+        let text = render_exposition(&[fam]);
+        assert!(text.contains("# TYPE node_temp_celsius gauge"));
+        let records = parse_exposition(&text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name(), Some("node_temp_celsius"));
+        assert_eq!(records[0].labels.get("sensor"), Some("t0"));
+        assert_eq!(records[0].sample.value, 43.5);
+        assert_eq!(records[1].labels.len(), 1); // just __name__
+    }
+
+    #[test]
+    fn escaped_label_values() {
+        let mut fam = MetricFamily::gauge("m", "h");
+        fam.sample(labels!("path" => "a\"b\\c\nd"), 1.0);
+        let text = render_exposition(&[fam]);
+        let records = parse_exposition(&text).unwrap();
+        assert_eq!(records[0].labels.get("path"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn special_values() {
+        let text = "m_nan NaN\nm_inf +Inf\nm_ninf -Inf\n";
+        let records = parse_exposition(text).unwrap();
+        assert!(records[0].sample.value.is_nan());
+        assert_eq!(records[1].sample.value, f64::INFINITY);
+        assert_eq!(records[2].sample.value, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# HELP x y\n\n# TYPE x gauge\nx 1\n";
+        assert_eq!(parse_exposition(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "novalue",
+            "1bad_name 3",
+            "m{unterminated 3",
+            "m{a=} 3",
+            "m{a=\"x} 3",
+            "m{=\"x\"} 3",
+            "m not_a_number",
+        ] {
+            assert!(parse_exposition(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn counter_kind_renders() {
+        let mut fam = MetricFamily::counter("req_total", "Requests.");
+        fam.sample(LabelSet::new(), 7.0);
+        assert!(render_exposition(&[fam]).contains("# TYPE req_total counter"));
+    }
+}

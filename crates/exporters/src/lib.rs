@@ -1,0 +1,17 @@
+//! Prometheus-style exporters.
+//!
+//! The paper's metric sources (§III): "Prometheus-style exporters and
+//! endpoints that are installed by HPE (e.g. node-exporter)",
+//! community exporters "(e.g. blackbox-exporter and kafka-exporter)", and
+//! "custom Prometheus-style exporters that are written and installed by
+//! NERSC (e.g. aruba-exporter)". Each exporter here renders the standard
+//! text exposition format; [`exposition`] also parses it back, which is
+//! what vmagent consumes.
+
+pub mod exposition;
+pub mod simulated;
+
+pub use exposition::{parse_exposition, render_exposition, ExpositionError, MetricFamily};
+pub use simulated::{
+    ArubaExporter, BlackboxExporter, Exporter, GpfsExporter, KafkaExporter, NodeExporter,
+};

@@ -1,0 +1,329 @@
+//! The simulated exporter fleet, rendered against the Shasta machine.
+
+use crate::exposition::{render_exposition, MetricFamily};
+use omni_bus::Broker;
+use omni_model::{LabelSet, SimClock};
+use omni_shasta::ShastaMachine;
+use omni_redfish::SensorKind;
+use std::sync::Arc;
+
+/// An exporter: renders its current exposition page.
+pub trait Exporter: Send + Sync {
+    /// The exporter's job name (Prometheus `job` label).
+    fn job(&self) -> &str;
+    /// Render the scrape page.
+    fn render(&self) -> String;
+}
+
+/// `node-exporter` (installed by HPE): per-node temperature, power and
+/// fan metrics straight from the machine's sensors.
+pub struct NodeExporter {
+    machine: Arc<ShastaMachine>,
+}
+
+impl NodeExporter {
+    /// Export for a machine.
+    pub fn new(machine: Arc<ShastaMachine>) -> Self {
+        Self { machine }
+    }
+}
+
+impl Exporter for NodeExporter {
+    fn job(&self) -> &str {
+        "node-exporter"
+    }
+
+    fn render(&self) -> String {
+        let mut temp = MetricFamily::gauge("node_temp_celsius", "Node temperature in Celsius.");
+        let mut power = MetricFamily::gauge("node_power_watts", "Node power draw in Watts.");
+        let mut fan = MetricFamily::gauge("node_fan_rpm", "Node fan speed in RPM.");
+        let mut humidity =
+            MetricFamily::gauge("chassis_humidity_percent", "Chassis relative humidity.");
+        let mut leak = MetricFamily::gauge("chassis_leak_detected", "Leak sensor state (1=wet).");
+        let mut flow = MetricFamily::gauge("cdu_flow_lpm", "CDU coolant flow (litres/minute).");
+        for r in self.machine.sample_sensors() {
+            let labels = LabelSet::from_pairs([
+                ("xname", r.xname.to_string()),
+                ("sensor", r.sensor_id.clone()),
+            ]);
+            match r.kind {
+                SensorKind::Temperature => temp.sample(labels, r.value),
+                SensorKind::Power => power.sample(labels, r.value),
+                SensorKind::FanSpeed => fan.sample(labels, r.value),
+                SensorKind::Humidity => humidity.sample(labels, r.value),
+                SensorKind::Leak => leak.sample(labels, r.value),
+                SensorKind::Flow => flow.sample(labels, r.value),
+            };
+        }
+        render_exposition(&[temp, power, fan, humidity, leak, flow])
+    }
+}
+
+/// `blackbox-exporter` (community): probe success/latency for the
+/// service endpoints NERSC watches.
+pub struct BlackboxExporter {
+    targets: Vec<String>,
+    clock: SimClock,
+}
+
+impl BlackboxExporter {
+    /// Probe the given endpoints.
+    pub fn new(targets: Vec<String>, clock: SimClock) -> Self {
+        Self { targets, clock }
+    }
+}
+
+impl Exporter for BlackboxExporter {
+    fn job(&self) -> &str {
+        "blackbox-exporter"
+    }
+
+    fn render(&self) -> String {
+        let mut success = MetricFamily::gauge("probe_success", "Probe succeeded (1) or not (0).");
+        let mut duration =
+            MetricFamily::gauge("probe_duration_seconds", "Probe round-trip time.");
+        let now = self.clock.now();
+        for (i, t) in self.targets.iter().enumerate() {
+            let labels = LabelSet::from_pairs([("target", t.as_str())]);
+            // Deterministic pseudo-latency from target index + time bucket.
+            let bucket = (now / 1_000_000_000) as u64;
+            let jitter = omni_model::fnv1a64(format!("{t}:{bucket}").as_bytes()) % 50;
+            success.sample(labels.clone(), 1.0);
+            duration.sample(labels, 0.002 + i as f64 * 0.0005 + jitter as f64 * 1e-5);
+        }
+        render_exposition(&[success, duration])
+    }
+}
+
+/// `kafka-exporter` (community): per-topic throughput counters from the
+/// bus broker.
+pub struct KafkaExporter {
+    broker: Broker,
+}
+
+impl KafkaExporter {
+    /// Export the broker's topic stats.
+    pub fn new(broker: Broker) -> Self {
+        Self { broker }
+    }
+}
+
+impl Exporter for KafkaExporter {
+    fn job(&self) -> &str {
+        "kafka-exporter"
+    }
+
+    fn render(&self) -> String {
+        let mut msgs =
+            MetricFamily::counter("kafka_topic_messages_in_total", "Messages produced per topic.");
+        let mut bytes =
+            MetricFamily::counter("kafka_topic_bytes_in_total", "Bytes produced per topic.");
+        let mut retained =
+            MetricFamily::gauge("kafka_topic_retained_messages", "Currently retained messages.");
+        for topic in self.broker.topics() {
+            let labels = LabelSet::from_pairs([("topic", topic.as_str())]);
+            if let Ok(stats) = self.broker.stats(&topic) {
+                msgs.sample(labels.clone(), stats.messages_in as f64);
+                bytes.sample(labels.clone(), stats.bytes_in as f64);
+            }
+            if let Ok(n) = self.broker.retained(&topic) {
+                retained.sample(labels, n as f64);
+            }
+        }
+        render_exposition(&[msgs, bytes, retained])
+    }
+}
+
+/// `aruba-exporter` (NERSC custom): management-network switch port
+/// counters, the paper's example of a site-written exporter.
+pub struct ArubaExporter {
+    switches: Vec<String>,
+    clock: SimClock,
+}
+
+impl ArubaExporter {
+    /// Export for the named management switches.
+    pub fn new(switches: Vec<String>, clock: SimClock) -> Self {
+        Self { switches, clock }
+    }
+}
+
+impl Exporter for ArubaExporter {
+    fn job(&self) -> &str {
+        "aruba-exporter"
+    }
+
+    fn render(&self) -> String {
+        let mut octets =
+            MetricFamily::counter("aruba_port_rx_octets_total", "Received octets per port.");
+        let mut errors =
+            MetricFamily::counter("aruba_port_rx_errors_total", "Receive errors per port.");
+        let mut status = MetricFamily::gauge("aruba_port_up", "Port operational status.");
+        let t = (self.clock.now() / 1_000_000_000) as u64;
+        for sw in &self.switches {
+            for port in 0..4u32 {
+                let labels = LabelSet::from_pairs([
+                    ("switch", sw.to_string()),
+                    ("port", format!("{port}")),
+                ]);
+                let base = omni_model::fnv1a64(format!("{sw}:{port}").as_bytes()) % 10_000;
+                octets.sample(labels.clone(), (base * 100 + t * 1_000) as f64);
+                errors.sample(labels.clone(), (t / 600) as f64);
+                status.sample(labels, 1.0);
+            }
+        }
+        render_exposition(&[octets, errors, status])
+    }
+}
+
+/// GPFS exporter (the §V future-work monitoring mechanism): per-NSD-server
+/// health, throughput and long-waiter gauges from the filesystem simulator.
+pub struct GpfsExporter {
+    cluster: Arc<omni_shasta::GpfsCluster>,
+}
+
+impl GpfsExporter {
+    /// Export a filesystem's health.
+    pub fn new(cluster: Arc<omni_shasta::GpfsCluster>) -> Self {
+        Self { cluster }
+    }
+}
+
+impl Exporter for GpfsExporter {
+    fn job(&self) -> &str {
+        "gpfs-exporter"
+    }
+
+    fn render(&self) -> String {
+        let mut state =
+            MetricFamily::gauge("gpfs_server_healthy", "NSD server health (1=HEALTHY).");
+        let mut sick = MetricFamily::gauge("gpfs_sick_disks", "Disks not HEALTHY per server.");
+        let mut waiters =
+            MetricFamily::gauge("gpfs_longest_waiter_seconds", "Longest RPC waiter per server.");
+        let mut read = MetricFamily::gauge("gpfs_read_mb_per_sec", "Read throughput.");
+        let mut write = MetricFamily::gauge("gpfs_write_mb_per_sec", "Write throughput.");
+        for s in self.cluster.sample() {
+            let labels = LabelSet::from_pairs([
+                ("fs", self.cluster.name().to_string()),
+                ("server", s.server.clone()),
+            ]);
+            state.sample(
+                labels.clone(),
+                if s.state == omni_shasta::GpfsState::Healthy { 1.0 } else { 0.0 },
+            );
+            sick.sample(labels.clone(), s.sick_disks as f64);
+            waiters.sample(labels.clone(), s.longest_waiter_s);
+            read.sample(labels.clone(), s.read_mb_s);
+            write.sample(labels, s.write_mb_s);
+        }
+        render_exposition(&[state, sick, waiters, read, write])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exposition::parse_exposition;
+    use omni_bus::TopicConfig;
+    use omni_xname::TopologySpec;
+
+    fn machine() -> Arc<ShastaMachine> {
+        Arc::new(ShastaMachine::new(TopologySpec::tiny(), SimClock::starting_at(0), 1))
+    }
+
+    #[test]
+    fn node_exporter_covers_sensors() {
+        let exp = NodeExporter::new(machine());
+        let text = exp.render();
+        let records = parse_exposition(&text).unwrap();
+        assert!(records.iter().any(|r| r.name() == Some("node_temp_celsius")));
+        assert!(records.iter().any(|r| r.name() == Some("node_power_watts")));
+        assert!(records.iter().any(|r| r.name() == Some("chassis_humidity_percent")));
+        // Every sample carries an xname.
+        assert!(records.iter().all(|r| r.labels.contains("xname")));
+    }
+
+    #[test]
+    fn node_exporter_reports_leaks() {
+        let m = machine();
+        let chassis = m.topology().chassis()[0];
+        m.inject_leak(chassis, 'A', omni_shasta::LeakZone::Front);
+        let exp = NodeExporter::new(m);
+        let records = parse_exposition(&exp.render()).unwrap();
+        let leaks: Vec<_> =
+            records.iter().filter(|r| r.name() == Some("chassis_leak_detected")).collect();
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(leaks[0].sample.value, 1.0);
+    }
+
+    #[test]
+    fn blackbox_probes_targets() {
+        let exp = BlackboxExporter::new(
+            vec!["https://telemetry-api".into(), "https://loki-gw".into()],
+            SimClock::starting_at(0),
+        );
+        let records = parse_exposition(&exp.render()).unwrap();
+        assert_eq!(records.iter().filter(|r| r.name() == Some("probe_success")).count(), 2);
+    }
+
+    #[test]
+    fn kafka_exporter_reflects_broker() {
+        let broker = Broker::new(SimClock::new());
+        broker.ensure_topic("cray-syslog", TopicConfig::default());
+        broker.produce("cray-syslog", None, "hello").unwrap();
+        let exp = KafkaExporter::new(broker);
+        let records = parse_exposition(&exp.render()).unwrap();
+        let m = records
+            .iter()
+            .find(|r| r.name() == Some("kafka_topic_messages_in_total"))
+            .unwrap();
+        assert_eq!(m.sample.value, 1.0);
+        assert_eq!(m.labels.get("topic"), Some("cray-syslog"));
+    }
+
+    #[test]
+    fn aruba_exporter_renders_ports() {
+        let exp = ArubaExporter::new(vec!["mgmt-sw1".into()], SimClock::starting_at(0));
+        let records = parse_exposition(&exp.render()).unwrap();
+        assert_eq!(records.iter().filter(|r| r.name() == Some("aruba_port_up")).count(), 4);
+    }
+
+    #[test]
+    fn gpfs_exporter_renders_health() {
+        let gpfs = omni_shasta::GpfsCluster::new("scratch", 3, 4, SimClock::starting_at(0), 9);
+        gpfs.fail_disk("nsd01", 0);
+        let exp = GpfsExporter::new(gpfs);
+        let records = parse_exposition(&exp.render()).unwrap();
+        let healthy: Vec<_> =
+            records.iter().filter(|r| r.name() == Some("gpfs_server_healthy")).collect();
+        assert_eq!(healthy.len(), 3);
+        let degraded =
+            healthy.iter().find(|r| r.labels.get("server") == Some("nsd01")).unwrap();
+        assert_eq!(degraded.sample.value, 0.0);
+        let sick = records
+            .iter()
+            .find(|r| r.name() == Some("gpfs_sick_disks") && r.labels.get("server") == Some("nsd01"))
+            .unwrap();
+        assert_eq!(sick.sample.value, 1.0);
+    }
+
+    #[test]
+    fn all_exporters_have_distinct_jobs() {
+        let m = machine();
+        let clock = SimClock::new();
+        let broker = Broker::new(clock.clone());
+        let exps: Vec<Box<dyn Exporter>> = vec![
+            Box::new(NodeExporter::new(m)),
+            Box::new(BlackboxExporter::new(vec![], clock.clone())),
+            Box::new(KafkaExporter::new(broker)),
+            Box::new(ArubaExporter::new(vec![], clock.clone())),
+            Box::new(GpfsExporter::new(omni_shasta::GpfsCluster::new(
+                "scratch", 1, 1, clock, 0,
+            ))),
+        ];
+        let mut jobs: Vec<&str> = exps.iter().map(|e| e.job()).collect();
+        jobs.sort();
+        jobs.dedup();
+        assert_eq!(jobs.len(), 5);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests: any value the model can represent survives a
+//! serialize → parse roundtrip, and the parser never panics on arbitrary
+//! input.
+
+use omni_json::{parse, Json};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON values (finite numbers only — JSON has
+/// no NaN/Inf, and our serializer maps them to null by design).
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Constrain to integers and simple fractions so float text
+        // roundtrips exactly.
+        (-1_000_000i64..1_000_000).prop_map(|n| Json::Number(n as f64)),
+        (-1000i64..1000).prop_map(|n| Json::Number(n as f64 / 4.0)),
+        "[a-zA-Z0-9 _\\-\\.\"\\\\\n\t\u{e9}\u{4e2d}]{0,20}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..6)
+                .prop_map(Json::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn dump_parse_roundtrip(v in arb_json()) {
+        let text = v.dump();
+        let back = parse(&text).expect("serialized JSON must reparse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_parse_roundtrip(v in arb_json()) {
+        let text = v.pretty(2);
+        let back = parse(&text).expect("pretty JSON must reparse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_jsonish(s in "[{}\\[\\],:\"0-9a-z\\\\ .\\-+eE]{0,100}") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,308 @@
+//! The LogQL abstract syntax tree.
+
+use crate::matcher::Selector;
+use crate::pattern::PatternExpr;
+use omni_regexlite::Regex;
+use std::fmt;
+use std::sync::Arc;
+
+/// A parsed expression: either a log (line-returning) query or a metric
+/// (number-returning) query.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// `{...} |= ... | json`
+    Log(LogQuery),
+    /// `sum(count_over_time({...}[5m])) by (...) > 0`
+    Metric(MetricQuery),
+}
+
+/// A log query: selector plus pipeline stages.
+#[derive(Debug, Clone)]
+pub struct LogQuery {
+    /// Stream selector.
+    pub selector: Selector,
+    /// Pipeline stages in order.
+    pub stages: Vec<Stage>,
+}
+
+/// Label-filter comparison operator (also used for vector-scalar
+/// comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+}
+
+impl CmpOp {
+    /// Apply to two floats.
+    pub fn apply(&self, l: f64, r: f64) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Neq => l != r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Neq => "!=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+        })
+    }
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone)]
+pub enum Stage {
+    /// `|= "text"` — line must contain.
+    LineContains(String),
+    /// `!= "text"` — line must not contain.
+    LineNotContains(String),
+    /// `|~ "regex"` — line must match.
+    LineRegex(Arc<Regex>),
+    /// `!~ "regex"` — line must not match.
+    LineNotRegex(Arc<Regex>),
+    /// `| json` — parse the line as JSON and add flattened labels.
+    Json,
+    /// `| logfmt` — parse `k=v` pairs into labels.
+    Logfmt,
+    /// `| pattern "<a> ... <b>"`.
+    Pattern(PatternExpr),
+    /// `| regexp "(?P<name>...)"` — named captures become labels.
+    Regexp(Arc<Regex>),
+    /// `| label op "value"` — string label filter.
+    LabelCmpString {
+        /// Label name.
+        label: String,
+        /// `=` or `!=` (regex variants use `LabelCmpRegex`).
+        negated: bool,
+        /// Right-hand value.
+        value: String,
+    },
+    /// `| label =~ "re"` / `| label !~ "re"`.
+    LabelCmpRegex {
+        /// Label name.
+        label: String,
+        /// True for `!~`.
+        negated: bool,
+        /// Compiled regex.
+        regex: Arc<Regex>,
+    },
+    /// `| label > 10` — numeric label filter (label parsed as f64;
+    /// non-numeric values fail the filter).
+    LabelCmpNumeric {
+        /// Label name.
+        label: String,
+        /// Comparison.
+        op: CmpOp,
+        /// Scalar.
+        value: f64,
+    },
+    /// `| line_format "{{.label}} ..."`.
+    LineFormat(String),
+    /// `| label_format new=old` (rename) or `new="{{.a}}-{{.b}}"`.
+    LabelFormat {
+        /// Destination label.
+        dst: String,
+        /// Source: a label name or a template.
+        src: LabelFormatSrc,
+    },
+    /// `| unwrap label` — marks the value to aggregate over; recorded on
+    /// the pipeline and consumed by `*_over_time` evaluation.
+    Unwrap(String),
+}
+
+/// Source of a `label_format` assignment.
+#[derive(Debug, Clone)]
+pub enum LabelFormatSrc {
+    /// Rename from another label.
+    Rename(String),
+    /// Render a `{{.label}}` template.
+    Template(String),
+}
+
+/// Range-aggregation operator over a log range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeAggOp {
+    /// `count_over_time` — entries per window.
+    CountOverTime,
+    /// `rate` — entries per second.
+    Rate,
+    /// `bytes_over_time` — line bytes per window.
+    BytesOverTime,
+    /// `bytes_rate` — line bytes per second.
+    BytesRate,
+    /// `sum_over_time` (requires `unwrap`).
+    SumOverTime,
+    /// `avg_over_time` (requires `unwrap`).
+    AvgOverTime,
+    /// `min_over_time` (requires `unwrap`).
+    MinOverTime,
+    /// `max_over_time` (requires `unwrap`).
+    MaxOverTime,
+    /// `first_over_time` (requires `unwrap`).
+    FirstOverTime,
+    /// `last_over_time` (requires `unwrap`).
+    LastOverTime,
+}
+
+impl RangeAggOp {
+    /// Whether the op consumes unwrapped sample values.
+    pub fn needs_unwrap(&self) -> bool {
+        matches!(
+            self,
+            RangeAggOp::SumOverTime
+                | RangeAggOp::AvgOverTime
+                | RangeAggOp::MinOverTime
+                | RangeAggOp::MaxOverTime
+                | RangeAggOp::FirstOverTime
+                | RangeAggOp::LastOverTime
+        )
+    }
+
+    /// Parse the function name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "count_over_time" => RangeAggOp::CountOverTime,
+            "rate" => RangeAggOp::Rate,
+            "bytes_over_time" => RangeAggOp::BytesOverTime,
+            "bytes_rate" => RangeAggOp::BytesRate,
+            "sum_over_time" => RangeAggOp::SumOverTime,
+            "avg_over_time" => RangeAggOp::AvgOverTime,
+            "min_over_time" => RangeAggOp::MinOverTime,
+            "max_over_time" => RangeAggOp::MaxOverTime,
+            "first_over_time" => RangeAggOp::FirstOverTime,
+            "last_over_time" => RangeAggOp::LastOverTime,
+            _ => return None,
+        })
+    }
+}
+
+/// Vector-aggregation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorAggOp {
+    /// `sum`
+    Sum,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `avg`
+    Avg,
+    /// `count`
+    Count,
+    /// `topk(k, ...)`
+    Topk(usize),
+    /// `bottomk(k, ...)`
+    Bottomk(usize),
+}
+
+/// `by (...)` vs `without (...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKind {
+    /// Keep only the listed labels.
+    By,
+    /// Drop the listed labels.
+    Without,
+}
+
+/// A grouping clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grouping {
+    /// by/without.
+    pub kind: GroupKind,
+    /// Label names.
+    pub labels: Vec<String>,
+}
+
+/// A metric query.
+#[derive(Debug, Clone)]
+pub enum MetricQuery {
+    /// `count_over_time({...} ... [range])`
+    RangeAgg {
+        /// Operator.
+        op: RangeAggOp,
+        /// Inner log query (pipeline may include `unwrap`).
+        query: LogQuery,
+        /// Range window in nanoseconds.
+        range_ns: i64,
+    },
+    /// `sum by (...) (inner)`
+    VectorAgg {
+        /// Operator.
+        op: VectorAggOp,
+        /// Optional grouping.
+        grouping: Option<Grouping>,
+        /// Inner metric query.
+        inner: Box<MetricQuery>,
+    },
+    /// `inner CMP scalar` — keeps vector elements satisfying the
+    /// comparison (alerting-rule threshold form).
+    Filter {
+        /// Inner metric query.
+        inner: Box<MetricQuery>,
+        /// Comparison.
+        op: CmpOp,
+        /// Threshold.
+        scalar: f64,
+    },
+}
+
+impl MetricQuery {
+    /// The selector at the bottom of the query (for store planning).
+    pub fn selector(&self) -> &Selector {
+        match self {
+            MetricQuery::RangeAgg { query, .. } => &query.selector,
+            MetricQuery::VectorAgg { inner, .. } => inner.selector(),
+            MetricQuery::Filter { inner, .. } => inner.selector(),
+        }
+    }
+
+    /// The log query at the bottom of the chain (our AST carries exactly
+    /// one range aggregation per metric query).
+    pub fn log_query(&self) -> &LogQuery {
+        match self {
+            MetricQuery::RangeAgg { query, .. } => query,
+            MetricQuery::VectorAgg { inner, .. } => inner.log_query(),
+            MetricQuery::Filter { inner, .. } => inner.log_query(),
+        }
+    }
+
+    /// The range window of the underlying range aggregation.
+    pub fn range_ns(&self) -> i64 {
+        match self {
+            MetricQuery::RangeAgg { range_ns, .. } => *range_ns,
+            MetricQuery::VectorAgg { inner, .. } => inner.range_ns(),
+            MetricQuery::Filter { inner, .. } => inner.range_ns(),
+        }
+    }
+}
+
+impl Expr {
+    /// The selector at the bottom of the expression.
+    pub fn selector(&self) -> &Selector {
+        match self {
+            Expr::Log(q) => &q.selector,
+            Expr::Metric(m) => m.selector(),
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Aggregation evaluation: range aggregations over processed entries,
+//! vector aggregations, threshold filters, and the instant/range
+//! orchestrator the store's query engine drives.
+
+use crate::ast::{CmpOp, GroupKind, Grouping, LogQuery, MetricQuery, RangeAggOp, VectorAggOp};
+use omni_model::{LabelSet, Sample, Timestamp, NANOS_PER_SEC};
+use std::collections::BTreeMap;
+
+/// One pipeline-processed entry handed to a range aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeEntry {
+    /// Entry timestamp.
+    pub ts: Timestamp,
+    /// Post-pipeline labels (grouping identity).
+    pub labels: LabelSet,
+    /// Line length in bytes (for `bytes_over_time`).
+    pub line_bytes: usize,
+    /// `| unwrap` value if the pipeline extracted one.
+    pub unwrapped: Option<f64>,
+}
+
+/// An instant vector: one value per label set.
+pub type InstantVector = Vec<(LabelSet, f64)>;
+
+/// A range matrix: one series of samples per label set.
+pub type Matrix = Vec<(LabelSet, Vec<Sample>)>;
+
+/// Evaluate a range aggregation over the entries inside one window.
+/// Entries are grouped by their post-pipeline labels, so multiple leaks in
+/// different locations yield "multiple vectors with different labels
+/// instead of one vector without labels" (§IV-A).
+pub fn eval_range_agg(op: RangeAggOp, entries: &[RangeEntry], range_ns: i64) -> InstantVector {
+    let mut groups: BTreeMap<LabelSet, Vec<&RangeEntry>> = BTreeMap::new();
+    for e in entries {
+        groups.entry(e.labels.clone()).or_default().push(e);
+    }
+    let secs = range_ns as f64 / NANOS_PER_SEC as f64;
+    let mut out = Vec::with_capacity(groups.len());
+    for (labels, group) in groups {
+        let value = match op {
+            RangeAggOp::CountOverTime => group.len() as f64,
+            RangeAggOp::Rate => group.len() as f64 / secs,
+            RangeAggOp::BytesOverTime => group.iter().map(|e| e.line_bytes as f64).sum(),
+            RangeAggOp::BytesRate => {
+                group.iter().map(|e| e.line_bytes as f64).sum::<f64>() / secs
+            }
+            RangeAggOp::SumOverTime
+            | RangeAggOp::AvgOverTime
+            | RangeAggOp::MinOverTime
+            | RangeAggOp::MaxOverTime
+            | RangeAggOp::FirstOverTime
+            | RangeAggOp::LastOverTime => {
+                let values: Vec<f64> = group.iter().filter_map(|e| e.unwrapped).collect();
+                if values.is_empty() {
+                    continue; // nothing unwrapped in this group
+                }
+                match op {
+                    RangeAggOp::SumOverTime => values.iter().sum(),
+                    RangeAggOp::AvgOverTime => values.iter().sum::<f64>() / values.len() as f64,
+                    RangeAggOp::MinOverTime => values.iter().cloned().fold(f64::INFINITY, f64::min),
+                    RangeAggOp::MaxOverTime => {
+                        values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                    }
+                    RangeAggOp::FirstOverTime => values[0],
+                    RangeAggOp::LastOverTime => *values.last().unwrap(),
+                    _ => unreachable!(),
+                }
+            }
+        };
+        out.push((labels, value));
+    }
+    out
+}
+
+/// Apply a vector aggregation with optional grouping.
+pub fn eval_vector_agg(
+    op: VectorAggOp,
+    grouping: Option<&Grouping>,
+    input: InstantVector,
+) -> InstantVector {
+    // topk/bottomk keep original label sets; handle separately.
+    if let VectorAggOp::Topk(k) | VectorAggOp::Bottomk(k) = op {
+        let mut v = input;
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        if matches!(op, VectorAggOp::Bottomk(_)) {
+            v.reverse();
+        }
+        v.truncate(k);
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        return v;
+    }
+    let mut groups: BTreeMap<LabelSet, Vec<f64>> = BTreeMap::new();
+    for (labels, value) in input {
+        let key = match grouping {
+            Some(Grouping { kind: GroupKind::By, labels: keys }) => labels.project(keys),
+            Some(Grouping { kind: GroupKind::Without, labels: keys }) => labels.without(keys),
+            None => LabelSet::new(),
+        };
+        groups.entry(key).or_default().push(value);
+    }
+    groups
+        .into_iter()
+        .map(|(labels, values)| {
+            let v = match op {
+                VectorAggOp::Sum => values.iter().sum(),
+                VectorAggOp::Min => values.iter().cloned().fold(f64::INFINITY, f64::min),
+                VectorAggOp::Max => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                VectorAggOp::Avg => values.iter().sum::<f64>() / values.len() as f64,
+                VectorAggOp::Count => values.len() as f64,
+                VectorAggOp::Topk(_) | VectorAggOp::Bottomk(_) => unreachable!(),
+            };
+            (labels, v)
+        })
+        .collect()
+}
+
+/// Keep vector elements whose value satisfies `op scalar`.
+pub fn eval_filter(input: InstantVector, op: CmpOp, scalar: f64) -> InstantVector {
+    input.into_iter().filter(|(_, v)| op.apply(*v, scalar)).collect()
+}
+
+/// Evaluate a full metric query at one instant.
+///
+/// `fetch` is the storage callback: given the bottom log query and a
+/// half-open window `(start, end]`, it returns the pipeline-processed
+/// entries. The engine in the Loki crate supplies it; tests can fake it.
+pub fn eval_metric_at<F>(mq: &MetricQuery, at: Timestamp, fetch: &mut F) -> InstantVector
+where
+    F: FnMut(&LogQuery, Timestamp, Timestamp) -> Vec<RangeEntry>,
+{
+    match mq {
+        MetricQuery::RangeAgg { op, query, range_ns } => {
+            let entries = fetch(query, at - range_ns, at);
+            eval_range_agg(*op, &entries, *range_ns)
+        }
+        MetricQuery::VectorAgg { op, grouping, inner } => {
+            let input = eval_metric_at(inner, at, fetch);
+            eval_vector_agg(*op, grouping.as_ref(), input)
+        }
+        MetricQuery::Filter { inner, op, scalar } => {
+            let input = eval_metric_at(inner, at, fetch);
+            eval_filter(input, *op, *scalar)
+        }
+    }
+}
+
+/// Evaluate a metric query over `[start, end]` at `step_ns` intervals,
+/// producing a matrix (the shape Grafana plots in Figure 5).
+pub fn eval_metric_range<F>(
+    mq: &MetricQuery,
+    start: Timestamp,
+    end: Timestamp,
+    step_ns: i64,
+    fetch: &mut F,
+) -> Matrix
+where
+    F: FnMut(&LogQuery, Timestamp, Timestamp) -> Vec<RangeEntry>,
+{
+    assert!(step_ns > 0, "step must be positive");
+    let mut series: BTreeMap<LabelSet, Vec<Sample>> = BTreeMap::new();
+    let mut t = start;
+    while t <= end {
+        for (labels, value) in eval_metric_at(mq, t, fetch) {
+            series.entry(labels).or_default().push(Sample::new(t, value));
+        }
+        t += step_ns;
+    }
+    series.into_iter().collect()
+}
+
+/// Debug/CLI rendering of an instant vector, one element per line:
+/// `{a="b"} => 1`.
+pub fn instant_vector_to_string(v: &InstantVector) -> String {
+    let mut out = String::new();
+    for (labels, value) in v {
+        out.push_str(&format!("{labels} => {value}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::Expr;
+    use omni_model::labels;
+
+    fn entry(ts: Timestamp, labels: LabelSet, bytes: usize, unwrapped: Option<f64>) -> RangeEntry {
+        RangeEntry { ts, labels, line_bytes: bytes, unwrapped }
+    }
+
+    #[test]
+    fn count_over_time_groups_by_labels() {
+        let a = labels!("loc" => "x1");
+        let b = labels!("loc" => "x2");
+        let entries = vec![
+            entry(1, a.clone(), 10, None),
+            entry(2, a.clone(), 10, None),
+            entry(3, b.clone(), 10, None),
+        ];
+        let v = eval_range_agg(RangeAggOp::CountOverTime, &entries, 60 * NANOS_PER_SEC);
+        assert_eq!(v, vec![(a, 2.0), (b, 1.0)]);
+    }
+
+    #[test]
+    fn rate_divides_by_window_seconds() {
+        let l = labels!("a" => "b");
+        let entries: Vec<_> = (0..120).map(|i| entry(i, l.clone(), 1, None)).collect();
+        let v = eval_range_agg(RangeAggOp::Rate, &entries, 60 * NANOS_PER_SEC);
+        assert_eq!(v, vec![(l, 2.0)]);
+    }
+
+    #[test]
+    fn bytes_over_time_sums_line_bytes() {
+        let l = labels!("a" => "b");
+        let entries = vec![entry(1, l.clone(), 100, None), entry(2, l.clone(), 50, None)];
+        let v = eval_range_agg(RangeAggOp::BytesOverTime, &entries, NANOS_PER_SEC);
+        assert_eq!(v, vec![(l, 150.0)]);
+    }
+
+    #[test]
+    fn unwrapped_aggregations() {
+        let l = labels!("a" => "b");
+        let entries = vec![
+            entry(1, l.clone(), 0, Some(10.0)),
+            entry(2, l.clone(), 0, Some(30.0)),
+            entry(3, l.clone(), 0, None), // unwrap failed; skipped
+        ];
+        assert_eq!(
+            eval_range_agg(RangeAggOp::SumOverTime, &entries, NANOS_PER_SEC),
+            vec![(l.clone(), 40.0)]
+        );
+        assert_eq!(
+            eval_range_agg(RangeAggOp::AvgOverTime, &entries, NANOS_PER_SEC),
+            vec![(l.clone(), 20.0)]
+        );
+        assert_eq!(
+            eval_range_agg(RangeAggOp::MinOverTime, &entries, NANOS_PER_SEC),
+            vec![(l.clone(), 10.0)]
+        );
+        assert_eq!(
+            eval_range_agg(RangeAggOp::MaxOverTime, &entries, NANOS_PER_SEC),
+            vec![(l.clone(), 30.0)]
+        );
+        assert_eq!(
+            eval_range_agg(RangeAggOp::FirstOverTime, &entries, NANOS_PER_SEC),
+            vec![(l.clone(), 10.0)]
+        );
+        assert_eq!(
+            eval_range_agg(RangeAggOp::LastOverTime, &entries, NANOS_PER_SEC),
+            vec![(l, 30.0)]
+        );
+    }
+
+    #[test]
+    fn all_unwraps_failing_yields_empty() {
+        let l = labels!("a" => "b");
+        let entries = vec![entry(1, l, 0, None)];
+        assert!(eval_range_agg(RangeAggOp::SumOverTime, &entries, NANOS_PER_SEC).is_empty());
+    }
+
+    #[test]
+    fn vector_sum_by() {
+        let input = vec![
+            (labels!("sev" => "warn", "loc" => "x1"), 1.0),
+            (labels!("sev" => "warn", "loc" => "x2"), 2.0),
+            (labels!("sev" => "crit", "loc" => "x3"), 5.0),
+        ];
+        let g = Grouping { kind: GroupKind::By, labels: vec!["sev".into()] };
+        let v = eval_vector_agg(VectorAggOp::Sum, Some(&g), input);
+        assert_eq!(v, vec![(labels!("sev" => "crit"), 5.0), (labels!("sev" => "warn"), 3.0)]);
+    }
+
+    #[test]
+    fn vector_without() {
+        let input = vec![
+            (labels!("sev" => "warn", "loc" => "x1"), 1.0),
+            (labels!("sev" => "warn", "loc" => "x2"), 2.0),
+        ];
+        let g = Grouping { kind: GroupKind::Without, labels: vec!["loc".into()] };
+        let v = eval_vector_agg(VectorAggOp::Max, Some(&g), input);
+        assert_eq!(v, vec![(labels!("sev" => "warn"), 2.0)]);
+    }
+
+    #[test]
+    fn vector_agg_without_grouping_collapses() {
+        let input = vec![(labels!("a" => "1"), 1.0), (labels!("a" => "2"), 3.0)];
+        let v = eval_vector_agg(VectorAggOp::Avg, None, input.clone());
+        assert_eq!(v, vec![(LabelSet::new(), 2.0)]);
+        let v = eval_vector_agg(VectorAggOp::Count, None, input);
+        assert_eq!(v, vec![(LabelSet::new(), 2.0)]);
+    }
+
+    #[test]
+    fn topk_keeps_original_labels() {
+        let input = vec![
+            (labels!("x" => "1"), 10.0),
+            (labels!("x" => "2"), 30.0),
+            (labels!("x" => "3"), 20.0),
+        ];
+        let v = eval_vector_agg(VectorAggOp::Topk(2), None, input.clone());
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|(l, _)| l.get("x") == Some("2")));
+        assert!(v.iter().any(|(l, _)| l.get("x") == Some("3")));
+        let v = eval_vector_agg(VectorAggOp::Bottomk(1), None, input);
+        assert_eq!(v[0].1, 10.0);
+    }
+
+    #[test]
+    fn filter_thresholds() {
+        let input = vec![(labels!("a" => "1"), 0.0), (labels!("a" => "2"), 2.0)];
+        let v = eval_filter(input, CmpOp::Gt, 0.0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 2.0);
+    }
+
+    #[test]
+    fn figure5_step_behaviour() {
+        // The leak event happens at T. count_over_time(...[60m]) evaluated
+        // across a range must step 0 -> 1 at T and back to 0 after T+60m.
+        let event_ts = 3_600 * NANOS_PER_SEC;
+        let q = match parse_expr(
+            r#"sum(count_over_time({data_type="redfish_event"} [60m])) by (context)"#,
+        )
+        .unwrap()
+        {
+            Expr::Metric(m) => m,
+            _ => panic!(),
+        };
+        let lbl = labels!("context" => "x1203c1b0", "data_type" => "redfish_event");
+        let mut fetch = |_q: &LogQuery, start: Timestamp, end: Timestamp| {
+            if start < event_ts && event_ts <= end {
+                vec![entry(event_ts, lbl.clone(), 80, None)]
+            } else {
+                Vec::new()
+            }
+        };
+        let step = 600 * NANOS_PER_SEC; // 10 min
+        let m = eval_metric_range(&q, 0, 3 * 3_600 * NANOS_PER_SEC, step, &mut fetch);
+        assert_eq!(m.len(), 1);
+        let (labels, samples) = &m[0];
+        assert_eq!(labels.get("context"), Some("x1203c1b0"));
+        for s in samples {
+            let in_window = s.ts >= event_ts && s.ts < event_ts + 3_600 * NANOS_PER_SEC;
+            assert_eq!(s.value, if in_window { 1.0 } else { 0.0 }, "at ts {}", s.ts);
+        }
+        // The vector agg sums to 1 exactly while the event is inside the
+        // 60-minute lookback.
+        assert!(samples.iter().any(|s| s.value == 1.0));
+    }
+
+    #[test]
+    fn render_instant_vector() {
+        let v: InstantVector = vec![(labels!("a" => "b"), 1.0)];
+        assert_eq!(instant_vector_to_string(&v), "{a=\"b\"} => 1\n");
+    }
+}

@@ -1,0 +1,421 @@
+//! LogQL lexer.
+
+use std::fmt;
+
+/// A token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier / keyword / function name.
+    Ident(String),
+    /// Quoted string (double, single or backtick quotes).
+    Str(String),
+    /// Number literal.
+    Number(f64),
+    /// Duration literal (`5m`, `1h30m`) in nanoseconds.
+    Duration(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `|=`
+    PipeExact,
+    /// `!=` (context decides: line filter vs matcher vs comparison).
+    Neq,
+    /// `|~`
+    PipeRegex,
+    /// `!~`
+    NotRegex,
+    /// `|`
+    Pipe,
+    /// `=`
+    Eq,
+    /// `=~`
+    ReMatch,
+    /// `==`
+    EqEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Duration(d) => write!(f, "{d}ns"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::PipeExact => write!(f, "|="),
+            Token::Neq => write!(f, "!="),
+            Token::PipeRegex => write!(f, "|~"),
+            Token::NotRegex => write!(f, "!~"),
+            Token::Pipe => write!(f, "|"),
+            Token::Eq => write!(f, "="),
+            Token::ReMatch => write!(f, "=~"),
+            Token::EqEq => write!(f, "=="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// Lexing error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a query.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::PipeExact);
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'~') {
+                    out.push(Token::PipeRegex);
+                    i += 2;
+                } else {
+                    out.push(Token::Pipe);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'~') {
+                    out.push(Token::NotRegex);
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, message: "lonely '!'".into() });
+                }
+            }
+            b'=' => {
+                if b.get(i + 1) == Some(&b'~') {
+                    out.push(Token::ReMatch);
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Eq);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'"' | b'\'' | b'`' => {
+                let (s, next) = lex_string(input, i)?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(input, i)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), LexError> {
+    let b = input.as_bytes();
+    let quote = b[start];
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < b.len() {
+        let c = b[i];
+        if c == quote {
+            return Ok((out, i + 1));
+        }
+        if c == b'\\' && quote != b'`' {
+            i += 1;
+            match b.get(i) {
+                Some(b'n') => out.push('\n'),
+                Some(b't') => out.push('\t'),
+                Some(b'r') => out.push('\r'),
+                Some(b'\\') => out.push('\\'),
+                Some(&q) if q == quote => out.push(q as char),
+                Some(&c) if c.is_ascii() => {
+                    // Preserve unknown escapes verbatim (regex sources
+                    // like "\d" travel through strings).
+                    out.push('\\');
+                    out.push(c as char);
+                }
+                Some(_) => {
+                    // Backslash before a multibyte char: keep the
+                    // backslash and let the char be consumed normally.
+                    out.push('\\');
+                    continue;
+                }
+                None => {
+                    return Err(LexError { offset: i, message: "trailing backslash".into() })
+                }
+            }
+            i += 1;
+        } else {
+            // Consume one UTF-8 scalar.
+            let ch = input[i..].chars().next().unwrap();
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(LexError { offset: start, message: "unterminated string".into() })
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let b = input.as_bytes();
+    let mut i = start;
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+        i += 1;
+    }
+    // Duration suffix?
+    if i < b.len() && matches!(b[i], b's' | b'm' | b'h' | b'd' | b'w' | b'y' | b'u' | b'n') {
+        let mut j = i;
+        while j < b.len() && (b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        let text = &input[start..j];
+        match omni_model::time::parse_duration(text) {
+            Ok(ns) => return Ok((Token::Duration(ns), j)),
+            Err(_) => {
+                return Err(LexError {
+                    offset: start,
+                    message: format!("invalid duration {text:?}"),
+                })
+            }
+        }
+    }
+    let text = &input[start..i];
+    text.parse::<f64>()
+        .map(|n| (Token::Number(n), i))
+        .map_err(|_| LexError { offset: start, message: format!("invalid number {text:?}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_tokens() {
+        let toks = lex(r#"{app="fm", x!="y"}"#).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBrace,
+                Token::Ident("app".into()),
+                Token::Eq,
+                Token::Str("fm".into()),
+                Token::Comma,
+                Token::Ident("x".into()),
+                Token::Neq,
+                Token::Str("y".into()),
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_filter_tokens() {
+        let toks = lex(r#"|= "leak" != "dry" |~ `x\d+` !~ 'z'"#).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::PipeExact,
+                Token::Str("leak".into()),
+                Token::Neq,
+                Token::Str("dry".into()),
+                Token::PipeRegex,
+                Token::Str(r"x\d+".into()),
+                Token::NotRegex,
+                Token::Str("z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn durations_and_numbers() {
+        let toks = lex("[60m] 5 2.5 1h30m").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBracket,
+                Token::Duration(3600 * 1_000_000_000),
+                Token::RBracket,
+                Token::Number(5.0),
+                Token::Number(2.5),
+                Token::Duration(5400 * 1_000_000_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("> >= < <= == =~").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Gt, Token::Ge, Token::Lt, Token::Le, Token::EqEq, Token::ReMatch]
+        );
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let toks = lex("+ - * /").unwrap();
+        assert_eq!(toks, vec![Token::Plus, Token::Minus, Token::Star, Token::Slash]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(r#""a\"b\nc""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("a\"b\nc".into())]);
+        // Backtick strings are raw.
+        let toks = lex(r#"`a\d+`"#).unwrap();
+        assert_eq!(toks, vec![Token::Str(r"a\d+".into())]);
+        // Unknown escapes pass through for regex sources.
+        let toks = lex(r#""x\d+""#).unwrap();
+        assert_eq!(toks, vec![Token::Str(r"x\d+".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("! x").is_err());
+        // A bad duration suffix is a lex error...
+        assert!(lex("5m3x").is_err());
+        // ...but a non-duration letter run after a number is two tokens
+        // (the parser rejects it in context).
+        assert_eq!(
+            lex("5parsecs").unwrap(),
+            vec![Token::Number(5.0), Token::Ident("parsecs".into())]
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Label matchers and stream selectors (shared with the TSDB's PromQL
+//! subset — both languages select series/streams the same way).
+
+use omni_model::LabelSet;
+use omni_regexlite::Regex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Matcher operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOp {
+    /// `=` exact equality.
+    Eq,
+    /// `!=` inequality.
+    Neq,
+    /// `=~` regex (full-value anchored, Prometheus semantics).
+    Re,
+    /// `!~` negated regex.
+    NotRe,
+}
+
+impl fmt::Display for MatchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MatchOp::Eq => "=",
+            MatchOp::Neq => "!=",
+            MatchOp::Re => "=~",
+            MatchOp::NotRe => "!~",
+        })
+    }
+}
+
+/// One `name op "value"` matcher.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    /// Label name.
+    pub name: String,
+    /// Operator.
+    pub op: MatchOp,
+    /// Right-hand value (regex source for `=~`/`!~`).
+    pub value: String,
+    regex: Option<Arc<Regex>>,
+}
+
+impl PartialEq for Matcher {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.op == other.op && self.value == other.value
+    }
+}
+
+impl Matcher {
+    /// Build a matcher, compiling the regex for `=~`/`!~`.
+    pub fn new(name: &str, op: MatchOp, value: &str) -> Result<Self, String> {
+        let regex = match op {
+            MatchOp::Re | MatchOp::NotRe => Some(Arc::new(
+                Regex::new(value).map_err(|e| format!("bad regex in matcher {name}: {e}"))?,
+            )),
+            _ => None,
+        };
+        Ok(Self { name: name.to_string(), op, value: value.to_string(), regex })
+    }
+
+    /// Equality matcher shorthand.
+    pub fn eq(name: &str, value: &str) -> Self {
+        Self::new(name, MatchOp::Eq, value).unwrap()
+    }
+
+    /// Whether a raw value satisfies this matcher. Missing labels are
+    /// treated as the empty string, like Prometheus.
+    pub fn matches_value(&self, value: &str) -> bool {
+        match self.op {
+            MatchOp::Eq => value == self.value,
+            MatchOp::Neq => value != self.value,
+            MatchOp::Re => self.regex.as_ref().unwrap().is_full_match(value),
+            MatchOp::NotRe => !self.regex.as_ref().unwrap().is_full_match(value),
+        }
+    }
+
+    /// Whether a label set satisfies this matcher.
+    pub fn matches(&self, labels: &LabelSet) -> bool {
+        self.matches_value(labels.get(&self.name).unwrap_or(""))
+    }
+}
+
+impl fmt::Display for Matcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{:?}", self.name, self.op, self.value)
+    }
+}
+
+/// A stream selector: the conjunction of its matchers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Selector {
+    /// All matchers (ANDed).
+    pub matchers: Vec<Matcher>,
+}
+
+impl Selector {
+    /// Build from matchers.
+    pub fn new(matchers: Vec<Matcher>) -> Self {
+        Self { matchers }
+    }
+
+    /// Whether a label set satisfies every matcher.
+    pub fn matches(&self, labels: &LabelSet) -> bool {
+        self.matchers.iter().all(|m| m.matches(labels))
+    }
+
+    /// The equality matchers — stores use these for index lookups.
+    pub fn equality_matchers(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.matchers
+            .iter()
+            .filter(|m| m.op == MatchOp::Eq)
+            .map(|m| (m.name.as_str(), m.value.as_str()))
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.matchers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::labels;
+
+    #[test]
+    fn equality_and_inequality() {
+        let l = labels!("cluster" => "perlmutter");
+        assert!(Matcher::eq("cluster", "perlmutter").matches(&l));
+        assert!(!Matcher::eq("cluster", "cori").matches(&l));
+        assert!(Matcher::new("cluster", MatchOp::Neq, "cori").unwrap().matches(&l));
+    }
+
+    #[test]
+    fn missing_label_is_empty_string() {
+        let l = LabelSet::new();
+        assert!(Matcher::eq("x", "").matches(&l));
+        assert!(Matcher::new("x", MatchOp::Neq, "v").unwrap().matches(&l));
+        assert!(Matcher::new("x", MatchOp::Re, ".*").unwrap().matches(&l));
+        assert!(!Matcher::new("x", MatchOp::Re, ".+").unwrap().matches(&l));
+    }
+
+    #[test]
+    fn regex_is_fully_anchored() {
+        let l = labels!("app" => "fabric_manager_monitor");
+        assert!(Matcher::new("app", MatchOp::Re, "fabric.*").unwrap().matches(&l));
+        assert!(!Matcher::new("app", MatchOp::Re, "fabric").unwrap().matches(&l));
+        assert!(Matcher::new("app", MatchOp::NotRe, "loki.*").unwrap().matches(&l));
+    }
+
+    #[test]
+    fn selector_conjunction() {
+        let sel = Selector::new(vec![
+            Matcher::eq("cluster", "perlmutter"),
+            Matcher::eq("data_type", "redfish_event"),
+        ]);
+        assert!(sel.matches(&labels!(
+            "cluster" => "perlmutter", "data_type" => "redfish_event", "extra" => "ok"
+        )));
+        assert!(!sel.matches(&labels!("cluster" => "perlmutter")));
+    }
+
+    #[test]
+    fn bad_regex_is_an_error() {
+        assert!(Matcher::new("a", MatchOp::Re, "(").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser_syntax() {
+        let sel = Selector::new(vec![Matcher::eq("a", "b")]);
+        assert_eq!(sel.to_string(), r#"{a="b"}"#);
+    }
+}

@@ -1,0 +1,230 @@
+//! The LogQL `pattern` stage.
+//!
+//! "We extract more information from the message by leveraging a pattern
+//! function in Loki:
+//! `| pattern "[<severity>] problem:<problem>, xname:<xname>, state:<state>"`"
+//! — §IV-B. A pattern expression alternates literals and `<capture>`
+//! slots; matching walks the line, pinning literals and capturing the text
+//! between them.
+
+use std::fmt;
+
+/// One token of a pattern expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// Literal text that must appear.
+    Literal(String),
+    /// A named capture (`None` for the anonymous `<_>`).
+    Capture(Option<String>),
+}
+
+/// A compiled pattern expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternExpr {
+    toks: Vec<Tok>,
+    source: String,
+}
+
+/// Pattern compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError(pub String);
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl PatternExpr {
+    /// Compile a pattern. Rules (matching Loki): captures are
+    /// `<identifier>` or `<_>`; two adjacent captures are invalid; at
+    /// least one capture is required; duplicate names are invalid.
+    pub fn compile(src: &str) -> Result<Self, PatternError> {
+        let mut toks = Vec::new();
+        let mut literal = String::new();
+        let mut chars = src.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '<' {
+                // Try to read an identifier up to '>'.
+                let mut name = String::new();
+                let mut ok = false;
+                for c2 in chars.by_ref() {
+                    if c2 == '>' {
+                        ok = true;
+                        break;
+                    }
+                    name.push(c2);
+                }
+                let valid_name = ok
+                    && !name.is_empty()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && !name.chars().next().unwrap().is_ascii_digit();
+                if valid_name {
+                    if !literal.is_empty() {
+                        toks.push(Tok::Literal(std::mem::take(&mut literal)));
+                    }
+                    if matches!(toks.last(), Some(Tok::Capture(_))) {
+                        return Err(PatternError("consecutive captures".into()));
+                    }
+                    toks.push(Tok::Capture(if name == "_" { None } else { Some(name) }));
+                } else {
+                    // Not a capture: treat '<'…'>' (or the rest) literally.
+                    literal.push('<');
+                    literal.push_str(&name);
+                    if ok {
+                        literal.push('>');
+                    }
+                }
+            } else {
+                literal.push(c);
+            }
+        }
+        if !literal.is_empty() {
+            toks.push(Tok::Literal(literal));
+        }
+        let names: Vec<&String> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Capture(Some(n)) => Some(n),
+                _ => None,
+            })
+            .collect();
+        if names.is_empty() {
+            return Err(PatternError("at least one named capture required".into()));
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        if dedup.len() != names.len() {
+            return Err(PatternError("duplicate capture name".into()));
+        }
+        Ok(Self { toks, source: src.to_string() })
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Names of the captures, in order.
+    pub fn capture_names(&self) -> Vec<&str> {
+        self.toks
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Capture(Some(n)) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Match a line; on success returns `(name, captured_text)` pairs for
+    /// the named captures.
+    pub fn extract<'t>(&self, line: &'t str) -> Option<Vec<(&str, &'t str)>> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut pending: Option<&Tok> = None; // a capture waiting for its right boundary
+        for tok in &self.toks {
+            match tok {
+                Tok::Literal(lit) => {
+                    match pending.take() {
+                        Some(Tok::Capture(name)) => {
+                            // Capture runs until the next occurrence of lit.
+                            let found = line[pos..].find(lit.as_str())?;
+                            if let Some(n) = name {
+                                out.push((n.as_str(), &line[pos..pos + found]));
+                            }
+                            pos += found + lit.len();
+                        }
+                        _ => {
+                            // Literal must match exactly here.
+                            if !line[pos..].starts_with(lit.as_str()) {
+                                return None;
+                            }
+                            pos += lit.len();
+                        }
+                    }
+                }
+                Tok::Capture(_) => {
+                    pending = Some(tok);
+                }
+            }
+        }
+        if let Some(Tok::Capture(Some(n))) = pending {
+            out.push((n.as_str(), &line[pos..]));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_switch_pattern() {
+        // §IV-B's exact pattern and event line.
+        let p = PatternExpr::compile("[<severity>] problem:<problem>, xname:<xname>, state:<state>")
+            .unwrap();
+        let line = "[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN";
+        let caps = p.extract(line).unwrap();
+        assert_eq!(
+            caps,
+            vec![
+                ("severity", "critical"),
+                ("problem", "fm_switch_offline"),
+                ("xname", "x1002c1r7b0"),
+                ("state", "UNKNOWN"),
+            ]
+        );
+    }
+
+    #[test]
+    fn anonymous_captures_are_skipped() {
+        let p = PatternExpr::compile("<_> level=<level>").unwrap();
+        let caps = p.extract("ts=123 level=warn").unwrap();
+        assert_eq!(caps, vec![("level", "warn")]);
+    }
+
+    #[test]
+    fn leading_literal_anchors_at_start() {
+        let p = PatternExpr::compile("ERR: <msg>").unwrap();
+        assert!(p.extract("ERR: disk full").is_some());
+        assert!(p.extract("xx ERR: disk full").is_none());
+    }
+
+    #[test]
+    fn missing_literal_fails() {
+        let p = PatternExpr::compile("a=<a>, b=<b>").unwrap();
+        assert!(p.extract("a=1 c=2").is_none());
+    }
+
+    #[test]
+    fn invalid_patterns() {
+        assert!(PatternExpr::compile("<a><b>").is_err());
+        assert!(PatternExpr::compile("no captures").is_err());
+        assert!(PatternExpr::compile("<a> x <a>").is_err());
+        assert!(PatternExpr::compile("<_>").is_err()); // only anonymous
+    }
+
+    #[test]
+    fn angle_brackets_without_valid_name_are_literal() {
+        let p = PatternExpr::compile("<1x> <name>").unwrap();
+        let caps = p.extract("<1x> value").unwrap();
+        assert_eq!(caps, vec![("name", "value")]);
+    }
+
+    #[test]
+    fn trailing_capture_takes_rest() {
+        let p = PatternExpr::compile("msg:<m>").unwrap();
+        let caps = p.extract("msg:everything after, even commas").unwrap();
+        assert_eq!(caps, vec![("m", "everything after, even commas")]);
+    }
+
+    #[test]
+    fn capture_names_listed_in_order() {
+        let p = PatternExpr::compile("[<severity>] <_> x=<x>").unwrap();
+        assert_eq!(p.capture_names(), vec!["severity", "x"]);
+    }
+}

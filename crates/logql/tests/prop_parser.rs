@@ -1,0 +1,62 @@
+//! Property tests for the LogQL front end.
+
+use omni_logql::{parse_expr, parse_log_query, Pipeline};
+use omni_model::LabelSet;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn parser_never_panics(q in "\\PC{0,120}") {
+        let _ = parse_expr(&q);
+    }
+
+    #[test]
+    fn parser_never_panics_querylike(
+        q in "[{}()\\[\\]|=~!<>a-z0-9\", .]{0,80}"
+    ) {
+        let _ = parse_expr(&q);
+    }
+
+    #[test]
+    fn valid_selectors_always_parse(
+        names in prop::collection::vec("[a-z_][a-z0-9_]{0,8}", 1..4),
+        values in prop::collection::vec("[a-zA-Z0-9 _.-]{0,12}", 1..4),
+    ) {
+        let n = names.len().min(values.len());
+        let matchers: Vec<String> = (0..n)
+            .map(|i| format!("{}=\"{}\"", names[i], values[i]))
+            .collect();
+        let q = format!("{{{}}}", matchers.join(", "));
+        let parsed = parse_log_query(&q);
+        prop_assert!(parsed.is_ok(), "query {q} failed: {:?}", parsed.err());
+    }
+
+    #[test]
+    fn line_contains_filter_agrees_with_str_contains(
+        needle in "[a-z]{1,6}",
+        line in "[a-z ]{0,40}",
+    ) {
+        let q = format!(r#"{{app="x"}} |= "{needle}""#);
+        let pipeline = Pipeline::new(parse_log_query(&q).unwrap().stages);
+        let labels = LabelSet::from_pairs([("app", "x")]);
+        let kept = pipeline.process(&line, &labels).is_some();
+        prop_assert_eq!(kept, line.contains(&needle));
+    }
+
+    #[test]
+    fn pipeline_never_panics_on_arbitrary_lines(
+        line in "\\PC{0,200}",
+    ) {
+        // A busy pipeline with every parser stage in it.
+        let q = r#"{a="b"} | json | logfmt | regexp "x(?P<n>\d+)" | line_format "{{.n}}""#;
+        let pipeline = Pipeline::new(parse_log_query(q).unwrap().stages);
+        let labels = LabelSet::from_pairs([("a", "b")]);
+        let _ = pipeline.process(&line, &labels);
+    }
+
+    #[test]
+    fn count_over_time_durations_parse(mins in 1u32..10_000) {
+        let q = format!(r#"count_over_time({{a="b"}}[{mins}m])"#);
+        prop_assert!(parse_expr(&q).is_ok());
+    }
+}

@@ -1,0 +1,294 @@
+//! Chunks: "a concept that Loki uses to describe how it stores logs in
+//! small buckets. Each log stream fills a separate chunk... Chunks are
+//! first stored in memory, and then moved to disk." (§IV-A)
+//!
+//! A [`HeadChunk`] is the open in-memory bucket taking appends; when it
+//! fills (bytes or age) the ingester seals it into a [`SealedChunk`]: the
+//! entries delta/varint-encoded and block-compressed.
+
+use crate::compress::{
+    compress, decompress, get_uvarint, put_uvarint, unzigzag, zigzag, CorruptBlock,
+};
+use bytes::Bytes;
+use omni_model::{LogEntry, Timestamp};
+
+/// The open, append-only in-memory chunk of one stream.
+#[derive(Debug, Default)]
+pub struct HeadChunk {
+    entries: Vec<LogEntry>,
+    bytes: usize,
+}
+
+impl HeadChunk {
+    /// Empty head chunk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry. Entries must arrive in non-decreasing timestamp
+    /// order (the ingester enforces ordering before calling this).
+    pub fn append(&mut self, entry: LogEntry) {
+        debug_assert!(
+            self.entries.last().map(|e| e.ts <= entry.ts).unwrap_or(true),
+            "head chunk appends must be time-ordered"
+        );
+        self.bytes += entry.line.len();
+        self.entries.push(entry);
+    }
+
+    /// Uncompressed byte size of buffered lines.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Buffered entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the head chunk has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Timestamp of the first buffered entry.
+    pub fn min_ts(&self) -> Option<Timestamp> {
+        self.entries.first().map(|e| e.ts)
+    }
+
+    /// Timestamp of the last buffered entry.
+    pub fn max_ts(&self) -> Option<Timestamp> {
+        self.entries.last().map(|e| e.ts)
+    }
+
+    /// Entries in `(start, end]`.
+    pub fn entries_in(&self, start: Timestamp, end: Timestamp) -> Vec<LogEntry> {
+        self.entries.iter().filter(|e| e.ts > start && e.ts <= end).cloned().collect()
+    }
+
+    /// Seal into a compressed chunk, leaving this head empty.
+    pub fn seal(&mut self) -> SealedChunk {
+        let entries = std::mem::take(&mut self.entries);
+        self.bytes = 0;
+        SealedChunk::from_entries(&entries)
+    }
+}
+
+/// An immutable, compressed chunk.
+#[derive(Debug, Clone)]
+pub struct SealedChunk {
+    /// Compressed block.
+    data: Bytes,
+    /// First entry timestamp.
+    pub min_ts: Timestamp,
+    /// Last entry timestamp.
+    pub max_ts: Timestamp,
+    /// Entry count.
+    pub count: usize,
+    /// Uncompressed payload size (encoded entries).
+    pub uncompressed: usize,
+}
+
+impl SealedChunk {
+    /// Encode and compress entries (must be time-ordered).
+    pub fn from_entries(entries: &[LogEntry]) -> Self {
+        let mut buf = Vec::with_capacity(entries.iter().map(|e| e.line.len() + 4).sum());
+        put_uvarint(&mut buf, entries.len() as u64);
+        let base_ts = entries.first().map(|e| e.ts).unwrap_or(0);
+        put_uvarint(&mut buf, zigzag(base_ts));
+        let mut prev = base_ts;
+        for e in entries {
+            put_uvarint(&mut buf, zigzag(e.ts - prev));
+            prev = e.ts;
+            put_uvarint(&mut buf, e.line.len() as u64);
+            buf.extend_from_slice(e.line.as_bytes());
+        }
+        let uncompressed = buf.len();
+        let data = Bytes::from(compress(&buf));
+        Self {
+            data,
+            min_ts: base_ts,
+            max_ts: entries.last().map(|e| e.ts).unwrap_or(0),
+            count: entries.len(),
+            uncompressed,
+        }
+    }
+
+    /// Compressed size in bytes.
+    pub fn compressed_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The raw compressed block (for object-store serialization).
+    pub fn raw_block(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Reassemble a chunk from its stored parts (object-store
+    /// deserialization path).
+    pub fn from_parts(
+        data: Bytes,
+        min_ts: Timestamp,
+        max_ts: Timestamp,
+        count: usize,
+        uncompressed: usize,
+    ) -> Self {
+        Self { data, min_ts, max_ts, count, uncompressed }
+    }
+
+    /// Compression ratio (uncompressed / compressed).
+    pub fn ratio(&self) -> f64 {
+        if self.data.is_empty() {
+            1.0
+        } else {
+            self.uncompressed as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Decode all entries.
+    pub fn decode(&self) -> Result<Vec<LogEntry>, CorruptBlock> {
+        let buf = decompress(&self.data)?;
+        let mut pos = 0;
+        let (count, n) = get_uvarint(&buf[pos..])?;
+        pos += n;
+        let (base_z, n) = get_uvarint(&buf[pos..])?;
+        pos += n;
+        let mut ts = unzigzag(base_z);
+        let mut out = Vec::with_capacity(count as usize);
+        let mut first = true;
+        for _ in 0..count {
+            let (delta_z, n) = get_uvarint(&buf[pos..])?;
+            pos += n;
+            if first {
+                // base_ts already equals the first entry's ts; the first
+                // delta is stored as 0.
+                ts += unzigzag(delta_z);
+                first = false;
+            } else {
+                ts += unzigzag(delta_z);
+            }
+            let (len, n) = get_uvarint(&buf[pos..])?;
+            pos += n;
+            let len = len as usize;
+            if pos + len > buf.len() {
+                return Err(CorruptBlock("line runs past block end"));
+            }
+            let line = std::str::from_utf8(&buf[pos..pos + len])
+                .map_err(|_| CorruptBlock("line is not valid utf-8"))?
+                .to_string();
+            pos += len;
+            out.push(LogEntry { ts, line });
+        }
+        Ok(out)
+    }
+
+    /// Decode only entries in `(start, end]`.
+    pub fn decode_range(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<LogEntry>, CorruptBlock> {
+        if self.max_ts <= start || self.min_ts > end {
+            return Ok(Vec::new());
+        }
+        Ok(self.decode()?.into_iter().filter(|e| e.ts > start && e.ts <= end).collect())
+    }
+
+    /// Whether this chunk may contain entries in `(start, end]`.
+    pub fn overlaps(&self, start: Timestamp, end: Timestamp) -> bool {
+        self.count > 0 && self.max_ts > start && self.min_ts <= end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize) -> Vec<LogEntry> {
+        (0..n)
+            .map(|i| LogEntry::new(1_000 + i as i64 * 7, format!("line number {i} with payload")))
+            .collect()
+    }
+
+    #[test]
+    fn seal_and_decode_roundtrip() {
+        let es = entries(100);
+        let chunk = SealedChunk::from_entries(&es);
+        assert_eq!(chunk.count, 100);
+        assert_eq!(chunk.min_ts, 1_000);
+        assert_eq!(chunk.max_ts, 1_000 + 99 * 7);
+        assert_eq!(chunk.decode().unwrap(), es);
+    }
+
+    #[test]
+    fn empty_chunk() {
+        let chunk = SealedChunk::from_entries(&[]);
+        assert_eq!(chunk.count, 0);
+        assert!(chunk.decode().unwrap().is_empty());
+        assert!(!chunk.overlaps(i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn head_chunk_tracks_bytes_and_seals() {
+        let mut head = HeadChunk::new();
+        for e in entries(10) {
+            head.append(e);
+        }
+        assert_eq!(head.len(), 10);
+        assert!(head.bytes() > 0);
+        let sealed = head.seal();
+        assert!(head.is_empty());
+        assert_eq!(head.bytes(), 0);
+        assert_eq!(sealed.count, 10);
+    }
+
+    #[test]
+    fn decode_range_filters_half_open() {
+        let es = entries(10); // ts: 1000, 1007, ..., 1063
+        let chunk = SealedChunk::from_entries(&es);
+        let got = chunk.decode_range(1000, 1014).unwrap();
+        // (1000, 1014] -> 1007, 1014
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].ts, 1007);
+        assert_eq!(got[1].ts, 1014);
+        assert!(chunk.decode_range(2000, 3000).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repeated_lines_compress() {
+        let es: Vec<LogEntry> =
+            (0..500).map(|i| LogEntry::new(i, "the same line every time, forever")).collect();
+        let chunk = SealedChunk::from_entries(&es);
+        assert!(chunk.ratio() > 5.0, "ratio {}", chunk.ratio());
+        assert_eq!(chunk.decode().unwrap().len(), 500);
+    }
+
+    #[test]
+    fn duplicate_timestamps_survive() {
+        let es = vec![
+            LogEntry::new(5, "a"),
+            LogEntry::new(5, "b"),
+            LogEntry::new(5, "c"),
+        ];
+        let chunk = SealedChunk::from_entries(&es);
+        assert_eq!(chunk.decode().unwrap(), es);
+    }
+
+    #[test]
+    fn unicode_lines_survive() {
+        let es = vec![LogEntry::new(1, "日本語 naïve — ok")];
+        let chunk = SealedChunk::from_entries(&es);
+        assert_eq!(chunk.decode().unwrap(), es);
+    }
+
+    #[test]
+    fn head_entries_in_window() {
+        let mut head = HeadChunk::new();
+        for e in entries(5) {
+            head.append(e);
+        }
+        let got = head.entries_in(1000, 1007);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ts, 1007);
+    }
+}

@@ -1,0 +1,273 @@
+//! The chunk object store: "Chunks are first stored in memory, and then
+//! moved to disk" (§IV-A).
+//!
+//! Real Loki offloads sealed chunks to an object store (S3/GCS/filesystem)
+//! and keeps only the label index plus recent chunks in the ingesters.
+//! This module provides the same split: an [`ObjectStore`] abstraction, an
+//! in-memory implementation standing in for the disk tier, and the
+//! serialization of [`SealedChunk`]s into self-describing objects.
+
+use crate::chunk::SealedChunk;
+use crate::compress::{get_uvarint, put_uvarint, zigzag, unzigzag, CorruptBlock};
+use bytes::Bytes;
+use omni_model::Timestamp;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Object-store abstraction (the "disk"/S3 tier).
+pub trait ObjectStore: Send + Sync {
+    /// Store an object.
+    fn put(&self, key: String, data: Bytes);
+    /// Fetch an object.
+    fn get(&self, key: &str) -> Option<Bytes>;
+    /// Keys beginning with `prefix`, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+    /// Delete an object; returns whether it existed.
+    fn delete(&self, key: &str) -> bool;
+}
+
+/// In-memory object store standing in for the disk tier, with byte/object
+/// accounting for the experiments.
+#[derive(Default)]
+pub struct MemObjectStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+    puts: AtomicU64,
+    gets: AtomicU64,
+}
+
+impl MemObjectStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Total stored bytes.
+    pub fn stored_bytes(&self) -> usize {
+        self.objects.read().values().map(|b| b.len()).sum()
+    }
+
+    /// `(puts, gets)` operation counters.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.puts.load(Ordering::Relaxed), self.gets.load(Ordering::Relaxed))
+    }
+}
+
+impl ObjectStore for MemObjectStore {
+    fn put(&self, key: String, data: Bytes) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.objects.write().insert(key, data);
+    }
+
+    fn get(&self, key: &str) -> Option<Bytes> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.objects.read().get(key).cloned()
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn delete(&self, key: &str) -> bool {
+        self.objects.write().remove(key).is_some()
+    }
+}
+
+/// Serialize a sealed chunk into a self-describing object:
+/// varint header (count, min_ts, max_ts, uncompressed, data_len) + block.
+pub fn chunk_to_object(chunk: &SealedChunk) -> Bytes {
+    let data = chunk.raw_block();
+    let mut out = Vec::with_capacity(data.len() + 24);
+    put_uvarint(&mut out, chunk.count as u64);
+    put_uvarint(&mut out, zigzag(chunk.min_ts));
+    put_uvarint(&mut out, zigzag(chunk.max_ts));
+    put_uvarint(&mut out, chunk.uncompressed as u64);
+    put_uvarint(&mut out, data.len() as u64);
+    out.extend_from_slice(data);
+    Bytes::from(out)
+}
+
+/// Decode an object back into a sealed chunk.
+pub fn object_to_chunk(data: &[u8]) -> Result<SealedChunk, CorruptBlock> {
+    let mut pos = 0;
+    let (count, n) = get_uvarint(&data[pos..])?;
+    pos += n;
+    let (min_z, n) = get_uvarint(&data[pos..])?;
+    pos += n;
+    let (max_z, n) = get_uvarint(&data[pos..])?;
+    pos += n;
+    let (uncompressed, n) = get_uvarint(&data[pos..])?;
+    pos += n;
+    let (len, n) = get_uvarint(&data[pos..])?;
+    pos += n;
+    let len = len as usize;
+    if pos + len != data.len() {
+        return Err(CorruptBlock("object length mismatch"));
+    }
+    Ok(SealedChunk::from_parts(
+        Bytes::copy_from_slice(&data[pos..]),
+        unzigzag(min_z),
+        unzigzag(max_z),
+        count as usize,
+        uncompressed as usize,
+    ))
+}
+
+/// Object key for one chunk of one stream:
+/// `chunks/<fingerprint-hex>/<min_ts>-<max_ts>`.
+pub fn chunk_key(fingerprint: u64, min_ts: Timestamp, max_ts: Timestamp) -> String {
+    format!("chunks/{fingerprint:016x}/{min_ts:020}-{max_ts:020}")
+}
+
+/// The chunk store: persistence + retrieval of offloaded chunks.
+#[derive(Clone)]
+pub struct ChunkStore {
+    store: Arc<MemObjectStore>,
+}
+
+impl Default for ChunkStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChunkStore {
+    /// A chunk store over a fresh in-memory object tier.
+    pub fn new() -> Self {
+        Self { store: Arc::new(MemObjectStore::new()) }
+    }
+
+    /// The underlying object store (for accounting).
+    pub fn objects(&self) -> &MemObjectStore {
+        &self.store
+    }
+
+    /// Persist one chunk of a stream.
+    pub fn persist(&self, fingerprint: u64, chunk: &SealedChunk) {
+        if chunk.count == 0 {
+            return;
+        }
+        self.store.put(chunk_key(fingerprint, chunk.min_ts, chunk.max_ts), chunk_to_object(chunk));
+    }
+
+    /// Fetch every chunk of a stream overlapping `(start, end]`.
+    pub fn fetch(&self, fingerprint: u64, start: Timestamp, end: Timestamp) -> Vec<SealedChunk> {
+        let prefix = format!("chunks/{fingerprint:016x}/");
+        let mut out = Vec::new();
+        for key in self.store.list(&prefix) {
+            if let Some(data) = self.store.get(&key) {
+                if let Ok(chunk) = object_to_chunk(&data) {
+                    if chunk.overlaps(start, end) {
+                        out.push(chunk);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Delete chunks of a stream entirely older than `horizon`. Returns
+    /// how many objects were removed.
+    pub fn delete_before(&self, fingerprint: u64, horizon: Timestamp) -> usize {
+        let prefix = format!("chunks/{fingerprint:016x}/");
+        let mut removed = 0;
+        for key in self.store.list(&prefix) {
+            if let Some(data) = self.store.get(&key) {
+                if let Ok(chunk) = object_to_chunk(&data) {
+                    if chunk.max_ts < horizon && self.store.delete(&key) {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::LogEntry;
+
+    fn chunk(lines: usize, base_ts: Timestamp) -> SealedChunk {
+        let entries: Vec<LogEntry> =
+            (0..lines).map(|i| LogEntry::new(base_ts + i as i64, format!("line {i}"))).collect();
+        SealedChunk::from_entries(&entries)
+    }
+
+    #[test]
+    fn object_roundtrip() {
+        let c = chunk(50, 1_000);
+        let obj = chunk_to_object(&c);
+        let back = object_to_chunk(&obj).unwrap();
+        assert_eq!(back.count, c.count);
+        assert_eq!(back.min_ts, c.min_ts);
+        assert_eq!(back.max_ts, c.max_ts);
+        assert_eq!(back.decode().unwrap(), c.decode().unwrap());
+    }
+
+    #[test]
+    fn corrupt_objects_rejected() {
+        let c = chunk(5, 0);
+        let mut obj = chunk_to_object(&c).to_vec();
+        obj.truncate(obj.len() - 1);
+        assert!(object_to_chunk(&obj).is_err());
+        assert!(object_to_chunk(&[]).is_err());
+    }
+
+    #[test]
+    fn persist_fetch_by_range() {
+        let store = ChunkStore::new();
+        store.persist(42, &chunk(10, 0)); // ts 0..9
+        store.persist(42, &chunk(10, 1_000)); // ts 1000..1009
+        store.persist(7, &chunk(10, 0)); // other stream
+        let got = store.fetch(42, -1, 500);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].min_ts, 0);
+        let got = store.fetch(42, -1, 2_000);
+        assert_eq!(got.len(), 2);
+        assert!(store.fetch(99, -1, 2_000).is_empty());
+        assert_eq!(store.objects().object_count(), 3);
+    }
+
+    #[test]
+    fn delete_before_removes_old_objects() {
+        let store = ChunkStore::new();
+        store.persist(1, &chunk(10, 0));
+        store.persist(1, &chunk(10, 10_000));
+        assert_eq!(store.delete_before(1, 5_000), 1);
+        assert_eq!(store.objects().object_count(), 1);
+        assert!(store.fetch(1, -1, 5_000).is_empty());
+        assert_eq!(store.fetch(1, -1, 20_000).len(), 1);
+    }
+
+    #[test]
+    fn empty_chunks_not_persisted() {
+        let store = ChunkStore::new();
+        store.persist(1, &SealedChunk::from_entries(&[]));
+        assert_eq!(store.objects().object_count(), 0);
+    }
+
+    #[test]
+    fn mem_store_list_prefix() {
+        let store = MemObjectStore::new();
+        store.put("a/1".into(), Bytes::from_static(b"x"));
+        store.put("a/2".into(), Bytes::from_static(b"y"));
+        store.put("b/1".into(), Bytes::from_static(b"z"));
+        assert_eq!(store.list("a/"), vec!["a/1", "a/2"]);
+        assert_eq!(store.stored_bytes(), 3);
+        assert!(store.delete("a/1"));
+        assert!(!store.delete("a/1"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Block compression for chunk storage.
+//!
+//! "Log data is compressed and stored in chunks, thus a small index and
+//! compressed chunks significantly reduce the costs for storage and the
+//! log query times" (§III-A). This module implements the codec from
+//! scratch: an LZ77-style byte compressor (hash-table match finder, greedy
+//! emit) plus LEB128 varints and zigzag encoding used by the chunk entry
+//! layout.
+//!
+//! Wire format of the compressed stream, token by token:
+//!
+//! * `0x00..=0x7f` — literal run: the control byte is the run length
+//!   (1–127), followed by that many literal bytes;
+//! * `0x80..=0xff` — match: length = `(ctrl & 0x7f) + MIN_MATCH`, followed
+//!   by a 2-byte little-endian back-distance (1–65535).
+
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum match length one token can carry.
+const MAX_MATCH: usize = 127 + MIN_MATCH;
+/// Window size (maximum back-distance).
+const WINDOW: usize = 65_535;
+/// Match-finder hash table size (power of two).
+const HASH_SIZE: usize = 1 << 15;
+
+#[inline]
+fn hash4(b: &[u8]) -> usize {
+    let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    (v.wrapping_mul(2654435761) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+/// Compress a byte slice.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![usize::MAX; HASH_SIZE];
+    let mut i = 0;
+    let mut literal_start = 0;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        let mut start = from;
+        while start < to {
+            let run = (to - start).min(127);
+            out.push(run as u8);
+            out.extend_from_slice(&input[start..start + run]);
+            start += run;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let candidate = table[h];
+        table[h] = i;
+        let mut match_len = 0;
+        if candidate != usize::MAX && i - candidate <= WINDOW {
+            let max = (input.len() - i).min(MAX_MATCH);
+            while match_len < max && input[candidate + match_len] == input[i + match_len] {
+                match_len += 1;
+            }
+        }
+        if match_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, i, input);
+            let dist = i - candidate;
+            out.push(0x80 | (match_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&(dist as u16).to_le_bytes());
+            // Index a few positions inside the match to keep the table warm.
+            let end = i + match_len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= end.min(input.len()) && j < i + 8 {
+                table[hash4(&input[j..])] = j;
+                j += 1;
+            }
+            i = end;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len(), input);
+    out
+}
+
+/// Decompression failure (corrupt block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptBlock(pub &'static str);
+
+impl std::fmt::Display for CorruptBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt compressed block: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorruptBlock {}
+
+/// Decompress a block produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CorruptBlock> {
+    let mut out = Vec::with_capacity(input.len() * 3);
+    let mut i = 0;
+    while i < input.len() {
+        let ctrl = input[i];
+        i += 1;
+        if ctrl < 0x80 {
+            let run = ctrl as usize;
+            if run == 0 {
+                return Err(CorruptBlock("zero-length literal run"));
+            }
+            if i + run > input.len() {
+                return Err(CorruptBlock("literal run past end"));
+            }
+            out.extend_from_slice(&input[i..i + run]);
+            i += run;
+        } else {
+            let len = (ctrl & 0x7f) as usize + MIN_MATCH;
+            if i + 2 > input.len() {
+                return Err(CorruptBlock("truncated match distance"));
+            }
+            let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+            i += 2;
+            if dist == 0 || dist > out.len() {
+                return Err(CorruptBlock("match distance out of range"));
+            }
+            // Overlapping copy (dist may be < len).
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Append a LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint; returns `(value, bytes_consumed)`.
+pub fn get_uvarint(input: &[u8]) -> Result<(u64, usize), CorruptBlock> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    for (i, &b) in input.iter().enumerate() {
+        if shift >= 64 {
+            return Err(CorruptBlock("varint overflow"));
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(CorruptBlock("truncated varint"))
+}
+
+/// Zigzag-encode a signed value.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Zigzag-decode.
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        for case in [
+            &b""[..],
+            b"a",
+            b"hello world",
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            b"abcabcabcabcabcabcabcabc",
+        ] {
+            let c = compress(case);
+            assert_eq!(decompress(&c).unwrap(), case, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn compresses_repetitive_logs_well() {
+        // Log lines repeat heavily; expect a real ratio.
+        let mut input = Vec::new();
+        for i in 0..200 {
+            input.extend_from_slice(
+                format!("<13> 2022-03-03T01:47:{:02}Z x1000c0s0b0n0 slurmd[4242]: done with job {}\n", i % 60, 10_000 + i)
+                    .as_bytes(),
+            );
+        }
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+        let ratio = input.len() as f64 / c.len() as f64;
+        assert!(ratio > 3.0, "compression ratio only {ratio:.2}");
+    }
+
+    #[test]
+    fn incompressible_data_grows_bounded() {
+        // Pseudo-random bytes: output may grow, but only by the literal
+        // framing overhead (1 byte per 127).
+        let input: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let c = compress(&input);
+        assert!(c.len() <= input.len() + input.len() / 127 + 2);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn overlapping_match_copy() {
+        let input = b"abababababababababababab";
+        let c = compress(input);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn corrupt_blocks_error_not_panic() {
+        for bad in [
+            &[0x00u8][..],             // zero-length literal
+            &[0x05, b'a'][..],         // literal run past end
+            &[0x81][..],               // truncated match
+            &[0x81, 0x00, 0x00][..],   // zero distance
+            &[0x81, 0xff, 0xff][..],   // distance beyond output
+        ] {
+            assert!(decompress(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let (back, n) = get_uvarint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+        assert!(get_uvarint(&[0x80]).is_err());
+        assert!(get_uvarint(&[]).is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The query engine: LogQL over the shard set, scanning shards in
+//! parallel (map) and merging results (reduce).
+
+use crate::ingester::Ingester;
+use omni_logql::{
+    eval::{eval_metric_at, eval_metric_range, InstantVector, Matrix, RangeEntry},
+    Expr, LogQuery, MetricQuery, Pipeline,
+};
+use omni_model::{LabelSet, LogEntry, LogRecord, Timestamp};
+use std::sync::Arc;
+
+/// Execution statistics for one query (Loki's query-stats API).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Streams whose labels matched the selector.
+    pub streams_matched: usize,
+    /// Entries decompressed and scanned.
+    pub entries_scanned: usize,
+    /// Line bytes processed.
+    pub bytes_scanned: usize,
+    /// Entries that survived the pipeline.
+    pub entries_returned: usize,
+}
+
+/// Raw (pre-pipeline) matching entries from every shard, scanned in
+/// parallel with scoped threads.
+fn gather(
+    shards: &[Arc<Ingester>],
+    query: &LogQuery,
+    start: Timestamp,
+    end: Timestamp,
+) -> Vec<(LabelSet, Vec<LogEntry>)> {
+    if shards.len() == 1 {
+        return shards[0].query(&query.selector, start, end);
+    }
+    let mut out = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let shard = Arc::clone(shard);
+                let selector = &query.selector;
+                s.spawn(move || shard.query(selector, start, end))
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("shard scan panicked"));
+        }
+    });
+    out
+}
+
+/// Run a log query over `(start, end]`, returning up to `limit` records
+/// sorted by timestamp (ties broken by labels for determinism).
+pub fn run_log_query(
+    shards: &[Arc<Ingester>],
+    query: &LogQuery,
+    start: Timestamp,
+    end: Timestamp,
+    limit: usize,
+) -> Vec<LogRecord> {
+    run_log_query_with_stats(shards, query, start, end, limit).0
+}
+
+/// [`run_log_query`] plus execution statistics.
+pub fn run_log_query_with_stats(
+    shards: &[Arc<Ingester>],
+    query: &LogQuery,
+    start: Timestamp,
+    end: Timestamp,
+    limit: usize,
+) -> (Vec<LogRecord>, QueryStats) {
+    let pipeline = Pipeline::new(query.stages.clone());
+    let mut records = Vec::new();
+    let mut stats = QueryStats::default();
+    for (labels, entries) in gather(shards, query, start, end) {
+        stats.streams_matched += 1;
+        for e in entries {
+            stats.entries_scanned += 1;
+            stats.bytes_scanned += e.line.len();
+            if let Some(p) = pipeline.process(&e.line, &labels) {
+                records.push(LogRecord { labels: p.labels, entry: LogEntry::new(e.ts, p.line) });
+            }
+        }
+    }
+    records.sort_by(|a, b| a.entry.ts.cmp(&b.entry.ts).then_with(|| a.labels.cmp(&b.labels)));
+    records.truncate(limit);
+    stats.entries_returned = records.len();
+    (records, stats)
+}
+
+/// Pipeline-processed entries for metric evaluation.
+fn fetch_range_entries(
+    shards: &[Arc<Ingester>],
+    query: &LogQuery,
+    start: Timestamp,
+    end: Timestamp,
+) -> Vec<RangeEntry> {
+    let pipeline = Pipeline::new(query.stages.clone());
+    let mut out = Vec::new();
+    for (labels, entries) in gather(shards, query, start, end) {
+        for e in entries {
+            if let Some(p) = pipeline.process(&e.line, &labels) {
+                out.push(RangeEntry {
+                    ts: e.ts,
+                    line_bytes: p.line.len(),
+                    labels: p.labels,
+                    unwrapped: p.unwrapped,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate a metric query at one instant.
+pub fn run_instant_query(
+    shards: &[Arc<Ingester>],
+    query: &MetricQuery,
+    at: Timestamp,
+) -> InstantVector {
+    let mut fetch = |q: &LogQuery, s: Timestamp, e: Timestamp| fetch_range_entries(shards, q, s, e);
+    eval_metric_at(query, at, &mut fetch)
+}
+
+/// Evaluate a metric query over a range at fixed steps (Grafana graphs).
+///
+/// The bottom log query's entries are fetched and pipeline-processed
+/// **once** for the whole `[start - range, end]` span; each step then
+/// slices the prefetched entries instead of re-decoding chunks, turning
+/// an O(steps x chunks) evaluation into O(chunks + steps x entries).
+pub fn run_range_query(
+    shards: &[Arc<Ingester>],
+    query: &MetricQuery,
+    start: Timestamp,
+    end: Timestamp,
+    step_ns: i64,
+) -> Matrix {
+    let bottom = query.log_query();
+    let range_ns = query.range_ns();
+    let mut prefetched = fetch_range_entries(shards, bottom, start - range_ns, end);
+    prefetched.sort_by_key(|e| e.ts);
+    let mut fetch = |_q: &LogQuery, s: Timestamp, e: Timestamp| {
+        // Binary-search the window bounds in the sorted prefetch.
+        let lo = prefetched.partition_point(|entry| entry.ts <= s);
+        let hi = prefetched.partition_point(|entry| entry.ts <= e);
+        prefetched[lo..hi].to_vec()
+    };
+    eval_metric_range(query, start, end, step_ns, &mut fetch)
+}
+
+/// Evaluate a parsed expression at an instant: log queries return their
+/// match count (LogCLI-style), metric queries their vector.
+pub fn run_expr_instant(shards: &[Arc<Ingester>], expr: &Expr, at: Timestamp) -> InstantVector {
+    match expr {
+        Expr::Log(q) => {
+            let records = run_log_query(shards, q, i64::MIN, at, usize::MAX);
+            vec![(LabelSet::new(), records.len() as f64)]
+        }
+        Expr::Metric(m) => run_instant_query(shards, m, at),
+    }
+}

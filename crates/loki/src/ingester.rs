@@ -1,0 +1,424 @@
+//! One ingester shard: owns a set of streams and their label index.
+//!
+//! The paper's Loki cluster runs 8 ingester worker nodes; the distributor
+//! shards streams across them by label fingerprint. Each shard is
+//! independently locked so ingest scales with shard count (experiment C5).
+
+use crate::chunkstore::ChunkStore;
+use crate::index::LabelIndex;
+use crate::limits::Limits;
+use crate::stream::{AppendError, Stream};
+use omni_logql::Selector;
+use omni_model::{LabelSet, LogEntry, LogRecord, Timestamp};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Ingest rejection reasons surfaced to the distributor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// Stream-level append failure.
+    Append(AppendError),
+    /// Too many labels on the stream.
+    TooManyLabels(usize),
+    /// Shard is at its stream cap.
+    StreamLimitExceeded,
+    /// Entry carried no labels at all.
+    EmptyLabels,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Append(e) => write!(f, "{e}"),
+            IngestError::TooManyLabels(n) => write!(f, "{n} labels exceeds per-stream limit"),
+            IngestError::StreamLimitExceeded => write!(f, "per-shard stream limit exceeded"),
+            IngestError::EmptyLabels => write!(f, "entry has no labels"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Counters exported by one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngesterStats {
+    /// Entries accepted.
+    pub entries: u64,
+    /// Line bytes accepted.
+    pub bytes: u64,
+    /// Chunks sealed so far.
+    pub chunks_sealed: u64,
+    /// Entries rejected.
+    pub rejected: u64,
+}
+
+struct ShardState {
+    streams: HashMap<u64, Stream>,
+    index: LabelIndex,
+}
+
+/// One ingester shard.
+pub struct Ingester {
+    state: RwLock<ShardState>,
+    limits: Limits,
+    chunk_store: Option<ChunkStore>,
+    entries: AtomicU64,
+    bytes: AtomicU64,
+    chunks_sealed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Ingester {
+    /// Empty shard with the given limits.
+    pub fn new(limits: Limits) -> Self {
+        Self::with_store(limits, None)
+    }
+
+    /// Shard backed by a chunk object store for offloaded chunks.
+    pub fn with_store(limits: Limits, chunk_store: Option<ChunkStore>) -> Self {
+        Self {
+            state: RwLock::new(ShardState { streams: HashMap::new(), index: LabelIndex::new() }),
+            limits,
+            chunk_store,
+            entries: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            chunks_sealed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one record (labels must already be validated/fingerprinted
+    /// by the distributor, but the shard re-checks its own limits).
+    pub fn append(&self, record: LogRecord) -> Result<(), IngestError> {
+        if record.labels.is_empty() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(IngestError::EmptyLabels);
+        }
+        if record.labels.len() > self.limits.max_label_names_per_series {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(IngestError::TooManyLabels(record.labels.len()));
+        }
+        let fp = record.labels.fingerprint();
+        let bytes = record.entry.line.len() as u64;
+        let mut st = self.state.write();
+        if !st.streams.contains_key(&fp) {
+            if st.streams.len() >= self.limits.max_streams_per_shard {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(IngestError::StreamLimitExceeded);
+            }
+            st.index.insert(&record.labels, fp);
+            st.streams.insert(fp, Stream::new(record.labels.clone()));
+        }
+        let stream = st.streams.get_mut(&fp).unwrap();
+        match stream.append(record.entry, &self.limits) {
+            Ok(sealed) => {
+                drop(st);
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(bytes, Ordering::Relaxed);
+                if sealed {
+                    self.chunks_sealed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(IngestError::Append(e))
+            }
+        }
+    }
+
+    /// Streams matching a selector: index candidates from equality
+    /// matchers, then full matcher evaluation per candidate.
+    pub fn select_streams(&self, selector: &Selector) -> Vec<LabelSet> {
+        let st = self.state.read();
+        st.index
+            .candidates(selector.equality_matchers())
+            .into_iter()
+            .filter_map(|fp| st.streams.get(&fp))
+            .filter(|s| selector.matches(&s.labels))
+            .map(|s| s.labels.clone())
+            .collect()
+    }
+
+    /// Entries of matching streams in `(start, end]`, tagged with their
+    /// stream labels.
+    pub fn query(
+        &self,
+        selector: &Selector,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Vec<(LabelSet, Vec<LogEntry>)> {
+        let st = self.state.read();
+        st.index
+            .candidates(selector.equality_matchers())
+            .into_iter()
+            .filter_map(|fp| st.streams.get(&fp))
+            .filter(|s| selector.matches(&s.labels))
+            .map(|s| {
+                let mut entries = s.entries_in(start, end);
+                // Merge in offloaded chunks from the disk tier.
+                if let Some(store) = &self.chunk_store {
+                    let fp = s.labels.fingerprint();
+                    for chunk in store.fetch(fp, start, end) {
+                        if let Ok(es) = chunk.decode_range(start, end) {
+                            entries.extend(es);
+                        }
+                    }
+                    entries.sort_by_key(|e| e.ts);
+                }
+                (s.labels.clone(), entries)
+            })
+            .filter(|(_, es)| !es.is_empty())
+            .collect()
+    }
+
+    /// Offload sealed chunks entirely older than `older_than` to the
+    /// chunk store ("chunks are first stored in memory, and then moved to
+    /// disk"). Returns chunks moved; no-op without a store.
+    pub fn offload(&self, older_than: Timestamp) -> usize {
+        let Some(store) = &self.chunk_store else { return 0 };
+        let mut st = self.state.write();
+        let mut moved = 0;
+        for (fp, s) in st.streams.iter_mut() {
+            for chunk in s.drain_chunks_before(older_than) {
+                store.persist(*fp, &chunk);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Seal head chunks older than the age limit.
+    pub fn tick(&self, now: Timestamp) {
+        let mut st = self.state.write();
+        let mut sealed = 0;
+        for s in st.streams.values_mut() {
+            if s.maybe_seal_by_age(now, &self.limits) {
+                sealed += 1;
+            }
+        }
+        self.chunks_sealed.fetch_add(sealed, Ordering::Relaxed);
+    }
+
+    /// Force-flush every head chunk.
+    pub fn flush(&self) {
+        let mut st = self.state.write();
+        for s in st.streams.values_mut() {
+            s.flush();
+        }
+    }
+
+    /// Drop chunks and streams beyond the retention horizon.
+    /// Returns `(chunks_dropped, streams_dropped)`.
+    pub fn enforce_retention(&self, now: Timestamp) -> (usize, usize) {
+        let horizon = now - self.limits.retention_ns;
+        let mut st = self.state.write();
+        let mut chunks = 0;
+        let mut dead: Vec<u64> = Vec::new();
+        for (fp, s) in st.streams.iter_mut() {
+            chunks += s.enforce_retention(horizon);
+            if s.is_empty() && s.newest_ts() < horizon {
+                dead.push(*fp);
+            }
+        }
+        for fp in &dead {
+            if let Some(s) = st.streams.remove(fp) {
+                let labels = s.labels.clone();
+                st.index.remove(&labels, *fp);
+            }
+        }
+        // The disk tier obeys the same horizon.
+        if let Some(store) = &self.chunk_store {
+            let fps: Vec<u64> = st.streams.keys().copied().chain(dead.iter().copied()).collect();
+            for fp in fps {
+                chunks += store.delete_before(fp, horizon);
+            }
+        }
+        (chunks, dead.len())
+    }
+
+    /// Shard counters.
+    pub fn stats(&self) -> IngesterStats {
+        IngesterStats {
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            chunks_sealed: self.chunks_sealed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of active streams.
+    pub fn stream_count(&self) -> usize {
+        self.state.read().streams.len()
+    }
+
+    /// Total sealed chunks currently held.
+    pub fn chunk_count(&self) -> usize {
+        self.state.read().streams.values().map(|s| s.chunk_count()).sum()
+    }
+
+    /// Sum of compressed chunk bytes held.
+    pub fn compressed_bytes(&self) -> usize {
+        self.state
+            .read()
+            .streams
+            .values()
+            .flat_map(|s| s.sealed_chunks())
+            .map(|c| c.compressed_size())
+            .sum()
+    }
+
+    /// Sum of uncompressed chunk payload bytes held.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.state
+            .read()
+            .streams
+            .values()
+            .flat_map(|s| s.sealed_chunks())
+            .map(|c| c.uncompressed)
+            .sum()
+    }
+
+    /// Index entry count (see C4).
+    pub fn index_entries(&self) -> usize {
+        self.state.read().index.entry_count()
+    }
+
+    /// Approximate index memory.
+    pub fn index_bytes(&self) -> usize {
+        self.state.read().index.approx_bytes()
+    }
+
+    /// Label values (for the API surface Grafana uses).
+    pub fn label_values(&self, name: &str) -> Vec<String> {
+        self.state.read().index.label_values(name)
+    }
+
+    /// Label names present on this shard.
+    pub fn label_names(&self) -> Vec<String> {
+        self.state.read().index.label_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_logql::parse_selector;
+    use omni_model::labels;
+
+    fn rec(labels: LabelSet, ts: Timestamp, line: &str) -> LogRecord {
+        LogRecord::new(labels, ts, line)
+    }
+
+    #[test]
+    fn append_creates_stream_and_indexes() {
+        let ing = Ingester::new(Limits::default());
+        ing.append(rec(labels!("app" => "fm"), 1, "hello")).unwrap();
+        assert_eq!(ing.stream_count(), 1);
+        let sel = parse_selector(r#"{app="fm"}"#).unwrap();
+        let streams = ing.select_streams(&sel);
+        assert_eq!(streams.len(), 1);
+    }
+
+    #[test]
+    fn query_respects_selector_and_window() {
+        let ing = Ingester::new(Limits::default());
+        for i in 0..10 {
+            ing.append(rec(labels!("app" => "a"), i * 10, "a line")).unwrap();
+            ing.append(rec(labels!("app" => "b"), i * 10, "b line")).unwrap();
+        }
+        let sel = parse_selector(r#"{app="a"}"#).unwrap();
+        let got = ing.query(&sel, 20, 50);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.len(), 3); // 30,40,50
+    }
+
+    #[test]
+    fn regex_selector_falls_back_to_scan() {
+        let ing = Ingester::new(Limits::default());
+        ing.append(rec(labels!("app" => "fabric_manager_monitor"), 1, "x")).unwrap();
+        ing.append(rec(labels!("app" => "loki"), 1, "y")).unwrap();
+        let sel = parse_selector(r#"{app=~"fabric.*"}"#).unwrap();
+        assert_eq!(ing.select_streams(&sel).len(), 1);
+    }
+
+    #[test]
+    fn limits_enforced() {
+        let limits = Limits { max_label_names_per_series: 2, max_streams_per_shard: 1, ..Default::default() };
+        let ing = Ingester::new(limits);
+        let too_many = labels!("a" => "1", "b" => "2", "c" => "3");
+        assert!(matches!(
+            ing.append(rec(too_many, 1, "x")),
+            Err(IngestError::TooManyLabels(3))
+        ));
+        ing.append(rec(labels!("a" => "1"), 1, "x")).unwrap();
+        assert!(matches!(
+            ing.append(rec(labels!("a" => "2"), 1, "x")),
+            Err(IngestError::StreamLimitExceeded)
+        ));
+        assert!(matches!(ing.append(rec(LabelSet::new(), 1, "x")), Err(IngestError::EmptyLabels)));
+        assert_eq!(ing.stats().rejected, 3);
+    }
+
+    #[test]
+    fn retention_drops_streams_and_chunks() {
+        let limits = Limits {
+            chunk_target_bytes: 8,
+            retention_ns: 100,
+            ..Default::default()
+        };
+        let ing = Ingester::new(limits);
+        ing.append(rec(labels!("old" => "1"), 10, "0123456789")).unwrap();
+        ing.append(rec(labels!("new" => "1"), 900, "0123456789")).unwrap();
+        let (chunks, streams) = ing.enforce_retention(1000);
+        assert!(chunks >= 1);
+        assert_eq!(streams, 1);
+        assert_eq!(ing.stream_count(), 1);
+    }
+
+    #[test]
+    fn tick_seals_aged_heads() {
+        let limits = Limits { chunk_max_age_ns: 100, ..Default::default() };
+        let ing = Ingester::new(limits);
+        ing.append(rec(labels!("a" => "1"), 0, "x")).unwrap();
+        assert_eq!(ing.chunk_count(), 1); // head counts as one bucket
+        ing.tick(500);
+        assert_eq!(ing.stats().chunks_sealed, 1);
+    }
+
+    #[test]
+    fn concurrent_appends_across_streams() {
+        let ing = std::sync::Arc::new(Ingester::new(Limits::default()));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let ing = ing.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        ing.append(rec(
+                            labels!("worker" => format!("{t}")),
+                            i,
+                            "concurrent line",
+                        ))
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let stats = ing.stats();
+        assert_eq!(stats.entries, 4_000);
+        assert_eq!(ing.stream_count(), 8);
+    }
+
+    #[test]
+    fn compression_accounting() {
+        let limits = Limits { chunk_target_bytes: 1_000, ..Default::default() };
+        let ing = Ingester::new(limits);
+        for i in 0..200 {
+            ing.append(rec(labels!("a" => "1"), i, "a very repetitive log line indeed")).unwrap();
+        }
+        ing.flush();
+        assert!(ing.compressed_bytes() > 0);
+        assert!(ing.uncompressed_bytes() > ing.compressed_bytes());
+    }
+}

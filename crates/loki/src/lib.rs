@@ -1,0 +1,543 @@
+//! A Grafana-Loki-like log aggregation engine.
+//!
+//! "Loki is like the Prometheus tool mentioned above but for logs. It
+//! constantly evaluates Shasta events and logs ... and turns the result
+//! into Prometheus-style metrics." (§IV-A). The crate provides the whole
+//! Loki slice the paper's pipeline uses:
+//!
+//! * [`LokiCluster`] — the facade: a distributor sharding streams across
+//!   N [`Ingester`]s by label fingerprint (the paper's 8-node cluster),
+//!   push + query APIs;
+//! * [`chunk`] — compressed chunk storage ("logs ... are compressed and
+//!   stored in chunks");
+//! * [`index`] — the label-only inverted index;
+//! * [`ruler`] — "a component called the Ruler which is responsible for
+//!   continually evaluating a set of configurable queries and performing
+//!   an action based on the result".
+
+pub mod chunk;
+pub mod chunkstore;
+pub mod compress;
+pub mod engine;
+pub mod index;
+pub mod ingester;
+pub mod limits;
+pub mod ruler;
+pub mod stream;
+pub mod wal;
+
+pub use chunkstore::{ChunkStore, MemObjectStore, ObjectStore};
+pub use engine::QueryStats;
+pub use ingester::{Ingester, IngesterStats, IngestError};
+pub use limits::Limits;
+pub use ruler::{AlertState, AlertingRule, RuleGroup, RuleNotification, Ruler};
+pub use wal::Wal;
+
+use omni_logql::{parse_expr, Expr, InstantVector, Matrix, ParseError};
+use omni_model::{LabelSet, LogRecord, SimClock, Timestamp};
+use std::sync::Arc;
+
+/// Query-path errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// A log API was given a metric query or vice versa.
+    WrongQueryKind(&'static str),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::WrongQueryKind(what) => write!(f, "wrong query kind: expected {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+/// The Loki cluster: distributor + shards + query engine.
+#[derive(Clone)]
+pub struct LokiCluster {
+    shards: Arc<Vec<Arc<Ingester>>>,
+    chunk_store: ChunkStore,
+    clock: SimClock,
+}
+
+impl LokiCluster {
+    /// Bring up a cluster with `shards` ingesters (the paper runs 8).
+    pub fn new(shards: usize, limits: Limits, clock: SimClock) -> Self {
+        assert!(shards > 0, "need at least one ingester shard");
+        let chunk_store = ChunkStore::new();
+        Self {
+            shards: Arc::new(
+                (0..shards)
+                    .map(|_| {
+                        Arc::new(Ingester::with_store(
+                            limits.clone(),
+                            Some(chunk_store.clone()),
+                        ))
+                    })
+                    .collect(),
+            ),
+            chunk_store,
+            clock,
+        }
+    }
+
+    /// Single-shard cluster with default limits (tests, examples).
+    pub fn single(clock: SimClock) -> Self {
+        Self::new(1, Limits::default(), clock)
+    }
+
+    /// The cluster clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Number of ingester shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Distributor push: route by label fingerprint so one stream always
+    /// lands on one shard.
+    pub fn push(
+        &self,
+        labels: LabelSet,
+        ts: Timestamp,
+        line: impl Into<String>,
+    ) -> Result<(), IngestError> {
+        let record = LogRecord::new(labels, ts, line);
+        self.push_record(record)
+    }
+
+    /// Push a pre-built record.
+    pub fn push_record(&self, record: LogRecord) -> Result<(), IngestError> {
+        let shard = (record.labels.fingerprint() % self.shards.len() as u64) as usize;
+        self.shards[shard].append(record)
+    }
+
+    /// Push a batch (the Loki push API takes batches of streams).
+    pub fn push_batch(&self, records: Vec<LogRecord>) -> Result<usize, IngestError> {
+        let mut accepted = 0;
+        for r in records {
+            self.push_record(r)?;
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    /// Run a log query string over `(start, end]`.
+    pub fn query_logs(
+        &self,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+    ) -> Result<Vec<LogRecord>, QueryError> {
+        match parse_expr(query)? {
+            Expr::Log(q) => Ok(engine::run_log_query(&self.shards, &q, start, end, limit)),
+            Expr::Metric(_) => Err(QueryError::WrongQueryKind("log query")),
+        }
+    }
+
+    /// Run a log query and return execution statistics alongside the
+    /// records (Loki's query-stats response).
+    pub fn query_logs_with_stats(
+        &self,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+    ) -> Result<(Vec<LogRecord>, QueryStats), QueryError> {
+        match parse_expr(query)? {
+            Expr::Log(q) => {
+                Ok(engine::run_log_query_with_stats(&self.shards, &q, start, end, limit))
+            }
+            Expr::Metric(_) => Err(QueryError::WrongQueryKind("log query")),
+        }
+    }
+
+    /// All stream label sets matching a bare selector (the
+    /// `/loki/api/v1/series` surface).
+    pub fn series(&self, selector: &str) -> Result<Vec<LabelSet>, QueryError> {
+        let sel = omni_logql::parse_selector(selector)?;
+        let mut out: Vec<LabelSet> =
+            self.shards.iter().flat_map(|s| s.select_streams(&sel)).collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Evaluate a metric query string at one instant.
+    pub fn query_instant(&self, query: &str, at: Timestamp) -> Result<InstantVector, QueryError> {
+        match parse_expr(query)? {
+            Expr::Metric(m) => Ok(engine::run_instant_query(&self.shards, &m, at)),
+            Expr::Log(_) => Err(QueryError::WrongQueryKind("metric query")),
+        }
+    }
+
+    /// Evaluate a metric query string over a range at `step_ns` intervals.
+    pub fn query_range(
+        &self,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        step_ns: i64,
+    ) -> Result<Matrix, QueryError> {
+        match parse_expr(query)? {
+            Expr::Metric(m) => {
+                Ok(engine::run_range_query(&self.shards, &m, start, end, step_ns))
+            }
+            Expr::Log(_) => Err(QueryError::WrongQueryKind("metric query")),
+        }
+    }
+
+    /// Periodic maintenance: seal aged head chunks on every shard.
+    pub fn tick(&self) {
+        let now = self.clock.now();
+        for s in self.shards.iter() {
+            s.tick(now);
+        }
+    }
+
+    /// Force-flush all head chunks.
+    pub fn flush(&self) {
+        for s in self.shards.iter() {
+            s.flush();
+        }
+    }
+
+    /// Move sealed chunks older than `older_than_ns` (relative to now)
+    /// from ingester memory to the chunk object store. Returns chunks
+    /// moved.
+    pub fn offload(&self, older_than_ns: i64) -> usize {
+        let horizon = self.clock.now() - older_than_ns;
+        self.shards.iter().map(|s| s.offload(horizon)).sum()
+    }
+
+    /// The disk-tier chunk store (for accounting).
+    pub fn chunk_store(&self) -> &ChunkStore {
+        &self.chunk_store
+    }
+
+    /// Enforce retention on every shard; returns (chunks, streams) dropped.
+    pub fn enforce_retention(&self) -> (usize, usize) {
+        let now = self.clock.now();
+        let mut total = (0, 0);
+        for s in self.shards.iter() {
+            let (c, st) = s.enforce_retention(now);
+            total.0 += c;
+            total.1 += st;
+        }
+        total
+    }
+
+    /// Aggregate shard stats.
+    pub fn stats(&self) -> IngesterStats {
+        let mut agg = IngesterStats::default();
+        for s in self.shards.iter() {
+            let st = s.stats();
+            agg.entries += st.entries;
+            agg.bytes += st.bytes;
+            agg.chunks_sealed += st.chunks_sealed;
+            agg.rejected += st.rejected;
+        }
+        agg
+    }
+
+    /// Total active streams.
+    pub fn stream_count(&self) -> usize {
+        self.shards.iter().map(|s| s.stream_count()).sum()
+    }
+
+    /// Total chunks (sealed + open heads).
+    pub fn chunk_count(&self) -> usize {
+        self.shards.iter().map(|s| s.chunk_count()).sum()
+    }
+
+    /// Compressed bytes held across shards.
+    pub fn compressed_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.compressed_bytes()).sum()
+    }
+
+    /// Uncompressed payload bytes across shards.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.uncompressed_bytes()).sum()
+    }
+
+    /// Label-index entries across shards (C4's "small index").
+    pub fn index_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.index_entries()).sum()
+    }
+
+    /// Approximate index bytes across shards.
+    pub fn index_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.index_bytes()).sum()
+    }
+
+    /// Sorted, deduplicated label names across shards (the Grafana label
+    /// browser's first dropdown).
+    pub fn label_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shards.iter().flat_map(|s| s.label_names()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Sorted, deduplicated values of one label across shards.
+    pub fn label_values(&self, name: &str) -> Vec<String> {
+        let mut vals: Vec<String> =
+            self.shards.iter().flat_map(|s| s.label_values(name)).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    pub(crate) fn shards(&self) -> &[Arc<Ingester>] {
+        &self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::{labels, NANOS_PER_SEC};
+
+    fn cluster(shards: usize) -> LokiCluster {
+        LokiCluster::new(shards, Limits::default(), SimClock::starting_at(0))
+    }
+
+    #[test]
+    fn push_and_query_logs() {
+        let c = cluster(4);
+        for i in 0..20 {
+            c.push(labels!("app" => "fm"), i * NANOS_PER_SEC, format!("event {i}")).unwrap();
+        }
+        let out = c
+            .query_logs(r#"{app="fm"} |= "event 1""#, -1, 100 * NANOS_PER_SEC, 100)
+            .unwrap();
+        // "event 1" and "event 1x".
+        assert_eq!(out.len(), 11);
+        // Sorted by time.
+        assert!(out.windows(2).all(|w| w[0].entry.ts <= w[1].entry.ts));
+    }
+
+    #[test]
+    fn same_stream_lands_on_one_shard() {
+        let c = cluster(8);
+        for i in 0..100 {
+            c.push(labels!("app" => "steady"), i, "line").unwrap();
+        }
+        let populated =
+            c.shards().iter().filter(|s| s.stream_count() > 0).count();
+        assert_eq!(populated, 1);
+        assert_eq!(c.stream_count(), 1);
+    }
+
+    #[test]
+    fn different_streams_spread_across_shards() {
+        let c = cluster(8);
+        for i in 0..200 {
+            c.push(labels!("id" => format!("{i}")), 1, "line").unwrap();
+        }
+        let populated = c.shards().iter().filter(|s| s.stream_count() > 0).count();
+        assert!(populated >= 6, "only {populated} shards populated");
+    }
+
+    #[test]
+    fn instant_metric_query() {
+        let c = cluster(2);
+        let ts = 3_600 * NANOS_PER_SEC;
+        c.push(labels!("data_type" => "redfish_event"), ts, "CabinetLeakDetected ...").unwrap();
+        let v = c
+            .query_instant(
+                r#"sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" [60m])) by (data_type)"#,
+                ts + NANOS_PER_SEC,
+            )
+            .unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 1.0);
+    }
+
+    #[test]
+    fn wrong_query_kind_errors() {
+        let c = cluster(1);
+        assert!(matches!(
+            c.query_logs(r#"count_over_time({a="b"}[1m])"#, 0, 1, 1),
+            Err(QueryError::WrongQueryKind(_))
+        ));
+        assert!(matches!(
+            c.query_instant(r#"{a="b"}"#, 0),
+            Err(QueryError::WrongQueryKind(_))
+        ));
+        assert!(matches!(c.query_instant("{oops", 0), Err(QueryError::Parse(_))));
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let c = cluster(4);
+        for i in 0..50 {
+            c.push(labels!("id" => format!("{}", i % 10)), i, "0123456789").unwrap();
+        }
+        let st = c.stats();
+        assert_eq!(st.entries, 50);
+        assert_eq!(st.bytes, 500);
+    }
+
+    #[test]
+    fn retention_via_cluster() {
+        let limits = Limits { retention_ns: 10, chunk_target_bytes: 4, ..Default::default() };
+        let c = LokiCluster::new(2, limits, SimClock::starting_at(0));
+        c.push(labels!("a" => "1"), 1, "aaaaaa").unwrap();
+        c.clock().set(1_000);
+        let (chunks, _) = c.enforce_retention();
+        assert!(chunks >= 1);
+    }
+
+    #[test]
+    fn label_values_across_shards() {
+        let c = cluster(4);
+        c.push(labels!("app" => "fm"), 1, "x").unwrap();
+        c.push(labels!("app" => "loki"), 1, "x").unwrap();
+        c.push(labels!("app" => "fm", "env" => "prod"), 2, "y").unwrap();
+        assert_eq!(c.label_values("app"), vec!["fm", "loki"]);
+        assert_eq!(c.label_names(), vec!["app", "env"]);
+    }
+
+    #[test]
+    fn offloaded_chunks_remain_queryable() {
+        let limits = Limits { chunk_target_bytes: 64, ..Default::default() };
+        let c = LokiCluster::new(2, limits, SimClock::starting_at(0));
+        for i in 0..100 {
+            c.push(labels!("app" => "x"), i * NANOS_PER_SEC, format!("event number {i}")).unwrap();
+        }
+        c.clock().set(200 * NANOS_PER_SEC);
+        let before_mem = c.compressed_bytes();
+        let moved = c.offload(50 * NANOS_PER_SEC);
+        assert!(moved > 0, "sealed chunks should offload");
+        assert!(c.compressed_bytes() < before_mem, "memory should shrink");
+        assert!(c.chunk_store().objects().object_count() > 0);
+        // Every entry is still queryable across both tiers.
+        let out = c
+            .query_logs(r#"{app="x"}"#, -1, 200 * NANOS_PER_SEC, usize::MAX)
+            .unwrap();
+        assert_eq!(out.len(), 100);
+        // Ordered and exact.
+        assert!(out.windows(2).all(|w| w[0].entry.ts <= w[1].entry.ts));
+    }
+
+    #[test]
+    fn retention_reaches_the_disk_tier() {
+        let limits = Limits {
+            chunk_target_bytes: 32,
+            retention_ns: 100 * NANOS_PER_SEC,
+            ..Default::default()
+        };
+        let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+        for i in 0..50 {
+            c.push(labels!("app" => "x"), i * NANOS_PER_SEC, "0123456789abcdef").unwrap();
+        }
+        c.clock().set(60 * NANOS_PER_SEC);
+        c.offload(0);
+        assert!(c.chunk_store().objects().object_count() > 0);
+        // Advance far past retention; both tiers drain.
+        c.clock().set(1_000 * NANOS_PER_SEC);
+        c.enforce_retention();
+        assert_eq!(c.chunk_store().objects().object_count(), 0);
+        assert!(c
+            .query_logs(r#"{app="x"}"#, -1, 2_000 * NANOS_PER_SEC, 10)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn query_stats_account_for_scanning() {
+        let c = cluster(2);
+        for i in 0..50 {
+            c.push(labels!("app" => "a"), i, "xxxxxxxxxx").unwrap();
+        }
+        for i in 0..50 {
+            c.push(labels!("app" => "b"), i, "leak here").unwrap();
+        }
+        let (records, stats) = c
+            .query_logs_with_stats(r#"{app=~"a|b"} |= "leak""#, -1, 1_000, usize::MAX)
+            .unwrap();
+        assert_eq!(records.len(), 50);
+        assert_eq!(stats.streams_matched, 2);
+        assert_eq!(stats.entries_scanned, 100);
+        assert_eq!(stats.entries_returned, 50);
+        assert!(stats.bytes_scanned >= 100 * 9);
+    }
+
+    #[test]
+    fn series_api_lists_streams() {
+        let c = cluster(4);
+        c.push(labels!("app" => "fm", "cluster" => "p"), 1, "x").unwrap();
+        c.push(labels!("app" => "loki", "cluster" => "p"), 1, "x").unwrap();
+        let series = c.series(r#"{cluster="p"}"#).unwrap();
+        assert_eq!(series.len(), 2);
+        assert!(c.series(r#"{cluster="other"}"#).unwrap().is_empty());
+        assert!(c.series(r#"{bad"#).is_err());
+    }
+
+    #[test]
+    fn range_query_prefetch_matches_per_step_instants() {
+        let c = cluster(4);
+        for i in 0..500 {
+            c.push(
+                labels!("app" => format!("a{}", i % 5)),
+                i * NANOS_PER_SEC,
+                format!("event {i}"),
+            )
+            .unwrap();
+        }
+        let q = r#"sum(count_over_time({app=~"a.*"}[60s])) by (app)"#;
+        let step = 30 * NANOS_PER_SEC;
+        let end = 500 * NANOS_PER_SEC;
+        let matrix = c.query_range(q, 0, end, step).unwrap();
+        // Cross-check every sample against an independent instant query.
+        for (labels, samples) in &matrix {
+            for s in samples {
+                let v = c.query_instant(q, s.ts).unwrap();
+                let expected = v
+                    .iter()
+                    .find(|(l, _)| l == labels)
+                    .map(|(_, val)| *val)
+                    .unwrap_or(0.0);
+                assert_eq!(s.value, expected, "at ts {} for {labels}", s.ts);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_query_matches_serial() {
+        let mk = |shards| {
+            let c = cluster(shards);
+            for i in 0..300 {
+                c.push(
+                    labels!("id" => format!("{}", i % 30), "cluster" => "perlmutter"),
+                    i,
+                    format!("line {i}"),
+                )
+                .unwrap();
+            }
+            let mut v = c
+                .query_logs(r#"{cluster="perlmutter"}"#, -1, 1_000, usize::MAX)
+                .unwrap();
+            v.sort_by(|a, b| {
+                a.entry.ts.cmp(&b.entry.ts).then_with(|| a.labels.cmp(&b.labels))
+            });
+            v
+        };
+        assert_eq!(mk(1), mk(8));
+    }
+}

@@ -1,0 +1,51 @@
+//! Per-tenant limits and chunk-cutting policy.
+//!
+//! The paper's §IV-A design discussion — "the overuse of labels will
+//! create a huge amount of small chunks in memory and on disk... Loki
+//! prefers handling bigger but fewer chunks" — is encoded here: chunks cut
+//! on a byte/age target, caps on label count and stream count, and
+//! ordering enforcement.
+
+use omni_model::NANOS_PER_SEC;
+
+/// Ingestion limits and chunk policy.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Seal a head chunk when its uncompressed bytes reach this target.
+    pub chunk_target_bytes: usize,
+    /// Seal a head chunk when its oldest entry is older than this.
+    pub chunk_max_age_ns: i64,
+    /// Maximum labels per stream (Loki's `max_label_names_per_series`).
+    pub max_label_names_per_series: usize,
+    /// Maximum length of one log line.
+    pub max_line_size: usize,
+    /// Maximum number of active streams per ingester shard.
+    pub max_streams_per_shard: usize,
+    /// Reject entries older than the newest accepted entry of the stream
+    /// minus this tolerance (out-of-order window).
+    pub out_of_order_tolerance_ns: i64,
+    /// Retention horizon; chunks whose max timestamp falls behind
+    /// `now - retention_ns` are deleted. The paper keeps "up to two years".
+    pub retention_ns: i64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            chunk_target_bytes: 256 * 1024,
+            chunk_max_age_ns: 3_600 * NANOS_PER_SEC,
+            max_label_names_per_series: 15,
+            max_line_size: 64 * 1024,
+            max_streams_per_shard: 100_000,
+            out_of_order_tolerance_ns: 0,
+            retention_ns: 2 * 365 * 86_400 * NANOS_PER_SEC, // two years
+        }
+    }
+}
+
+impl Limits {
+    /// Small chunks for tests (seal quickly).
+    pub fn tiny_chunks() -> Self {
+        Self { chunk_target_bytes: 512, ..Default::default() }
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the chunk codec and the block compressor.
+
+use omni_loki::chunk::SealedChunk;
+use omni_loki::compress::{compress, decompress};
+use omni_model::LogEntry;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn compressor_is_lossless(data in prop::collection::vec(any::<u8>(), 0..5_000)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn compressor_is_lossless_on_repetitive_text(
+        word in "[a-z]{1,10}",
+        n in 1usize..500,
+    ) {
+        let data: Vec<u8> = word.repeat(n).into_bytes();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn decompressor_never_panics(data in prop::collection::vec(any::<u8>(), 0..2_000)) {
+        let _ = decompress(&data);
+    }
+
+    #[test]
+    fn chunk_roundtrip(
+        deltas in prop::collection::vec(0i64..1_000_000_000, 0..200),
+        lines in prop::collection::vec("\\PC{0,60}", 0..200),
+    ) {
+        let n = deltas.len().min(lines.len());
+        let mut ts = 1_600_000_000_000_000_000i64;
+        let entries: Vec<LogEntry> = (0..n)
+            .map(|i| {
+                ts += deltas[i];
+                LogEntry::new(ts, lines[i].clone())
+            })
+            .collect();
+        let chunk = SealedChunk::from_entries(&entries);
+        prop_assert_eq!(chunk.decode().unwrap(), entries);
+    }
+
+    #[test]
+    fn chunk_range_decode_equals_filtered_full_decode(
+        n in 1usize..100,
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let entries: Vec<LogEntry> =
+            (0..n).map(|i| LogEntry::new(i as i64 * 100, format!("line {i}"))).collect();
+        let chunk = SealedChunk::from_entries(&entries);
+        let span = (n as i64) * 100;
+        let start = (span as f64 * start_frac) as i64 - 50;
+        let end = start + (span as f64 * len_frac) as i64;
+        let ranged = chunk.decode_range(start, end).unwrap();
+        let expected: Vec<LogEntry> = entries
+            .iter()
+            .filter(|e| e.ts > start && e.ts <= end)
+            .cloned()
+            .collect();
+        prop_assert_eq!(ranged, expected);
+    }
+}

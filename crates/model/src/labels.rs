@@ -1,0 +1,268 @@
+//! Label sets: the stream/series identity shared by Loki and the TSDB.
+//!
+//! The paper: "Every log has one or more labels. If logs share the same
+//! combination of unique labels, they are called a log stream." A label set
+//! here is an always-sorted list of key/value pairs with a stable 64-bit
+//! fingerprint, so that the same combination of labels maps to the same
+//! stream (and the same ingester shard) everywhere in the pipeline.
+
+use crate::fnv1a64;
+use std::fmt;
+
+/// An ordered set of `key=value` labels.
+///
+/// Stored as a sorted `Vec` rather than a map: label sets are small (the
+/// paper explicitly argues for *few* labels per stream), and a sorted vec
+/// is cheaper to hash, compare and iterate.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelSet {
+    pairs: Vec<(String, String)>,
+}
+
+impl LabelSet {
+    /// The empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of pairs; later duplicates overwrite earlier.
+    pub fn from_pairs<K: Into<String>, V: Into<String>>(
+        pairs: impl IntoIterator<Item = (K, V)>,
+    ) -> Self {
+        let mut set = Self::new();
+        for (k, v) in pairs {
+            set.insert(k, v);
+        }
+        set
+    }
+
+    /// Insert or overwrite a label.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        match self.pairs.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+            Ok(i) => self.pairs[i].1 = value,
+            Err(i) => self.pairs.insert(i, (key, value)),
+        }
+    }
+
+    /// Remove a label, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<String> {
+        match self.pairs.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => Some(self.pairs.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Look up a label value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.pairs[i].1.as_str())
+    }
+
+    /// Whether the label exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Stable 64-bit fingerprint of the whole set. Equal sets have equal
+    /// fingerprints on every node, which is what the distributor uses for
+    /// shard placement.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::with_capacity(self.pairs.iter().map(|(k, v)| k.len() + v.len() + 2).sum());
+        for (k, v) in &self.pairs {
+            buf.extend_from_slice(k.as_bytes());
+            buf.push(0xfe);
+            buf.extend_from_slice(v.as_bytes());
+            buf.push(0xff);
+        }
+        fnv1a64(&buf)
+    }
+
+    /// A copy of this set restricted to the given keys (`by` clause).
+    pub fn project(&self, keys: &[String]) -> LabelSet {
+        let mut out = LabelSet::new();
+        for (k, v) in self.iter() {
+            if keys.iter().any(|key| key == k) {
+                out.insert(k, v);
+            }
+        }
+        out
+    }
+
+    /// A copy of this set with the given keys removed (`without` clause).
+    pub fn without(&self, keys: &[String]) -> LabelSet {
+        let mut out = LabelSet::new();
+        for (k, v) in self.iter() {
+            if !keys.iter().any(|key| key == k) {
+                out.insert(k, v);
+            }
+        }
+        out
+    }
+
+    /// Merge `other` into a copy of `self`; labels in `other` win.
+    pub fn merged_with(&self, other: &LabelSet) -> LabelSet {
+        let mut out = self.clone();
+        for (k, v) in other.iter() {
+            out.insert(k, v);
+        }
+        out
+    }
+
+    /// Approximate in-memory footprint of the label data in bytes.
+    pub fn bytes(&self) -> usize {
+        self.pairs.iter().map(|(k, v)| k.len() + v.len()).sum()
+    }
+}
+
+impl fmt::Display for LabelSet {
+    /// Prometheus/Loki selector syntax: `{a="b", c="d"}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<K: Into<String>, V: Into<String>> FromIterator<(K, V)> for LabelSet {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+/// Fluent builder for label sets.
+///
+/// ```
+/// use omni_model::LabelSetBuilder;
+/// let labels = LabelSetBuilder::new()
+///     .label("cluster", "perlmutter")
+///     .label("data_type", "redfish_event")
+///     .build();
+/// assert_eq!(labels.get("cluster"), Some("perlmutter"));
+/// ```
+#[derive(Debug, Default)]
+pub struct LabelSetBuilder {
+    set: LabelSet,
+}
+
+impl LabelSetBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a label.
+    pub fn label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set.insert(key, value);
+        self
+    }
+
+    /// Finish and return the set.
+    pub fn build(self) -> LabelSet {
+        self.set
+    }
+}
+
+/// Convenience macro for building a [`LabelSet`] literal.
+#[macro_export]
+macro_rules! labels {
+    () => { $crate::LabelSet::new() };
+    ($($k:expr => $v:expr),+ $(,)?) => {{
+        let mut set = $crate::LabelSet::new();
+        $( set.insert($k, $v); )+
+        set
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_sorts_and_overwrites() {
+        let mut s = LabelSet::new();
+        s.insert("z", "1");
+        s.insert("a", "2");
+        s.insert("z", "3");
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![("a", "2"), ("z", "3")]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = LabelSet::from_pairs([("x", "1"), ("y", "2")]);
+        let b = LabelSet::from_pairs([("y", "2"), ("x", "1")]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_key_value_boundary() {
+        // ("ab","c") must not collide with ("a","bc").
+        let a = LabelSet::from_pairs([("ab", "c")]);
+        let b = LabelSet::from_pairs([("a", "bc")]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn project_and_without() {
+        let s = LabelSet::from_pairs([("a", "1"), ("b", "2"), ("c", "3")]);
+        let by = s.project(&["a".into(), "c".into()]);
+        assert_eq!(by.len(), 2);
+        assert_eq!(by.get("b"), None);
+        let wo = s.without(&["b".into()]);
+        assert_eq!(wo, by);
+    }
+
+    #[test]
+    fn display_selector_syntax() {
+        let s = LabelSet::from_pairs([("cluster", "perlmutter"), ("app", "fm")]);
+        assert_eq!(s.to_string(), "{app=\"fm\", cluster=\"perlmutter\"}");
+    }
+
+    #[test]
+    fn labels_macro() {
+        let s = crate::labels!("a" => "1", "b" => "2");
+        assert_eq!(s.get("a"), Some("1"));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn merged_with_other_wins() {
+        let a = LabelSet::from_pairs([("k", "old"), ("x", "1")]);
+        let b = LabelSet::from_pairs([("k", "new")]);
+        let m = a.merged_with(&b);
+        assert_eq!(m.get("k"), Some("new"));
+        assert_eq!(m.get("x"), Some("1"));
+    }
+
+    #[test]
+    fn remove_returns_value() {
+        let mut s = LabelSet::from_pairs([("a", "1")]);
+        assert_eq!(s.remove("a"), Some("1".to_string()));
+        assert_eq!(s.remove("a"), None);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! The HMS (Hardware Management Service) collector.
+//!
+//! "The HMS collector pushes data to Kafka, where Kafka stores data in
+//! different topics by categories and serves them to possible consumers."
+//! Events and each telemetry kind get their own topic (the real SMA names),
+//! keyed by xname so one component's stream stays ordered.
+
+use crate::event::RedfishEvent;
+use crate::sensor::SensorReading;
+use omni_bus::{Broker, BusError, TopicConfig};
+
+/// The Shasta Monitoring Framework Kafka topic names.
+pub mod topics {
+    /// Redfish resource events (leaks, power, ECC, ...).
+    pub const RESOURCE_EVENTS: &str = "cray-dmtf-resource-event";
+    /// Temperature telemetry.
+    pub const TELEMETRY_TEMPERATURE: &str = "cray-telemetry-temperature";
+    /// Humidity telemetry.
+    pub const TELEMETRY_HUMIDITY: &str = "cray-telemetry-humidity";
+    /// Power telemetry.
+    pub const TELEMETRY_POWER: &str = "cray-telemetry-power";
+    /// Fan telemetry.
+    pub const TELEMETRY_FAN: &str = "cray-telemetry-fan";
+    /// Leak-sensor state telemetry.
+    pub const TELEMETRY_LEAK: &str = "cray-telemetry-pressure";
+    /// Coolant-flow telemetry from the CDUs.
+    pub const TELEMETRY_FLOW: &str = "cray-telemetry-flow";
+    /// Fabric (Slingshot) health events from the fabric manager.
+    pub const FABRIC_HEALTH: &str = "cray-fabric-health";
+    /// GPFS health events from the filesystem monitor (§V future work).
+    pub const GPFS_HEALTH: &str = "cray-gpfs-health";
+    /// Node syslog stream.
+    pub const SYSLOG: &str = "cray-syslog";
+    /// Kubernetes container logs.
+    pub const CONTAINER_LOGS: &str = "cray-container-logs";
+
+    /// Every topic the collector creates.
+    pub const ALL: &[&str] = &[
+        RESOURCE_EVENTS,
+        TELEMETRY_TEMPERATURE,
+        TELEMETRY_HUMIDITY,
+        TELEMETRY_POWER,
+        TELEMETRY_FAN,
+        TELEMETRY_LEAK,
+        TELEMETRY_FLOW,
+        FABRIC_HEALTH,
+        GPFS_HEALTH,
+        SYSLOG,
+        CONTAINER_LOGS,
+    ];
+}
+
+/// Publishes Redfish events and sensor telemetry onto the bus.
+#[derive(Clone)]
+pub struct HmsCollector {
+    broker: Broker,
+}
+
+impl HmsCollector {
+    /// Attach a collector to a broker, creating the Shasta topic set.
+    pub fn new(broker: Broker, partitions: usize) -> Self {
+        for t in topics::ALL {
+            broker.ensure_topic(t, TopicConfig { partitions, ..Default::default() });
+        }
+        Self { broker }
+    }
+
+    /// The underlying broker.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Publish a Redfish event to [`topics::RESOURCE_EVENTS`].
+    pub fn publish_event(&self, event: &RedfishEvent) -> Result<(usize, u64), BusError> {
+        let payload = event.to_telemetry_json().dump();
+        self.broker.produce(topics::RESOURCE_EVENTS, Some(&event.context.to_string()), payload)
+    }
+
+    /// Publish a sensor reading to its kind's telemetry topic.
+    pub fn publish_reading(&self, reading: &SensorReading) -> Result<(usize, u64), BusError> {
+        let payload = reading.to_json().dump();
+        self.broker.produce(reading.kind.topic(), Some(&reading.xname.to_string()), payload)
+    }
+
+    /// Publish a raw log line (syslog / container logs / fabric health).
+    pub fn publish_log(
+        &self,
+        topic: &str,
+        key: &str,
+        line: impl Into<String>,
+    ) -> Result<(usize, u64), BusError> {
+        self.broker.produce(topic, Some(key), line.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::SensorKind;
+    use omni_model::SimClock;
+
+    fn collector() -> HmsCollector {
+        HmsCollector::new(Broker::new(SimClock::new()), 4)
+    }
+
+    #[test]
+    fn creates_all_topics() {
+        let c = collector();
+        let names = c.broker().topics();
+        for t in topics::ALL {
+            assert!(names.contains(&t.to_string()), "missing topic {t}");
+        }
+    }
+
+    #[test]
+    fn event_lands_on_resource_topic_and_decodes() {
+        let c = collector();
+        let ev = RedfishEvent::paper_leak_event();
+        let (p, o) = c.publish_event(&ev).unwrap();
+        let msgs = c.broker().fetch(topics::RESOURCE_EVENTS, p, o, 1).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].key.as_deref(), Some("x1203c1b0"));
+        let v = omni_json::parse(std::str::from_utf8(&msgs[0].payload).unwrap()).unwrap();
+        let back = RedfishEvent::from_telemetry_json(&v).unwrap();
+        assert_eq!(back[0], ev);
+    }
+
+    #[test]
+    fn readings_route_by_kind() {
+        let c = collector();
+        let r = SensorReading {
+            xname: "x1000c0s0b0n0".parse().unwrap(),
+            sensor_id: "t0".into(),
+            kind: SensorKind::Power,
+            value: 900.0,
+            ts: 5,
+        };
+        c.publish_reading(&r).unwrap();
+        let total: usize = (0..4)
+            .map(|p| c.broker().fetch(topics::TELEMETRY_POWER, p, 0, 10).unwrap().len())
+            .sum();
+        assert_eq!(total, 1);
+        let none: usize = (0..4)
+            .map(|p| c.broker().fetch(topics::TELEMETRY_TEMPERATURE, p, 0, 10).unwrap().len())
+            .sum();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn same_component_events_stay_ordered() {
+        let c = collector();
+        let base = RedfishEvent::paper_leak_event();
+        for i in 0..20 {
+            let mut ev = base.clone();
+            ev.timestamp += i;
+            c.publish_event(&ev).unwrap();
+        }
+        // All share the key x1203c1b0, so they sit in one partition in order.
+        let mut found = Vec::new();
+        for p in 0..4 {
+            let msgs = c.broker().fetch(topics::RESOURCE_EVENTS, p, 0, 100).unwrap();
+            if !msgs.is_empty() {
+                found = msgs;
+            }
+        }
+        assert_eq!(found.len(), 20);
+    }
+}

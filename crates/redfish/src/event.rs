@@ -1,0 +1,292 @@
+//! The Redfish event model and its Telemetry-API JSON wire shape.
+
+use crate::registry::registry_entry;
+use omni_json::{jsonv, Json};
+use omni_model::{format_iso8601, parse_iso8601, Severity, Timestamp};
+use omni_xname::XName;
+use std::fmt;
+
+/// A Redfish event as seen by the monitoring pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedfishEvent {
+    /// Where the event happened (the `Context` field, an xname).
+    pub context: XName,
+    /// Event time (nanoseconds; serialized as ISO 8601).
+    pub timestamp: Timestamp,
+    /// Severity as reported by the controller.
+    pub severity: Severity,
+    /// Rendered human-readable message.
+    pub message: String,
+    /// Registry id, e.g. `CrayAlerts.1.0.CabinetLeakDetected`.
+    pub message_id: String,
+    /// Raw message args. The Shasta firmware joins them with `", "` into a
+    /// single element, a quirk Figure 2 shows (`"MessageArgs": ["A, Front"]`)
+    /// and we reproduce.
+    pub message_args: Vec<String>,
+    /// Redfish resource link (`OriginOfCondition/@odata.id`).
+    pub origin_of_condition: String,
+}
+
+/// Error when decoding a Telemetry-API payload into events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDecodeError(pub String);
+
+impl fmt::Display for EventDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode redfish event: {}", self.0)
+    }
+}
+
+impl std::error::Error for EventDecodeError {}
+
+impl RedfishEvent {
+    /// Build an event from a registry entry, rendering its message.
+    pub fn from_registry(
+        context: XName,
+        timestamp: Timestamp,
+        message_id: &str,
+        args: &[&str],
+        origin: &str,
+    ) -> Self {
+        let entry = registry_entry(message_id)
+            .unwrap_or_else(|| panic!("unknown registry id {message_id}"));
+        Self {
+            context,
+            timestamp,
+            severity: entry.severity,
+            message: entry.render(args),
+            message_id: message_id.to_string(),
+            // Firmware quirk: args arrive comma-joined as one element.
+            message_args: vec![args.join(", ")],
+            origin_of_condition: origin.to_string(),
+        }
+    }
+
+    /// The leak event of Figures 2–6, reconstructed exactly.
+    pub fn paper_leak_event() -> Self {
+        Self::from_registry(
+            "x1203c1b0".parse().unwrap(),
+            parse_iso8601("2022-03-03T01:47:57+00:00").unwrap(),
+            "CrayAlerts.1.0.CabinetLeakDetected",
+            &["A", "Front"],
+            "/redfish/v1/Chassis/Enclosure",
+        )
+    }
+
+    /// Serialize to the nested Telemetry-API shape of Figure 2:
+    ///
+    /// ```json
+    /// {"metrics":{"messages":[{"Context":...,"Events":[{...}]}]}}
+    /// ```
+    pub fn to_telemetry_json(&self) -> Json {
+        let ts = format_iso8601_with_offset(self.timestamp);
+        jsonv!({
+            "metrics": {
+                "messages": [
+                    {
+                        "Context": (self.context.to_string()),
+                        "Events": [
+                            {
+                                "EventTimestamp": (ts),
+                                "Severity": (self.severity.as_str()),
+                                "Message": (self.message.clone()),
+                                "MessageId": (self.message_id.clone()),
+                                "MessageArgs": (self.message_args.clone()),
+                                "OriginOfCondition": {
+                                    "@odata.id": (self.origin_of_condition.clone())
+                                },
+                            }
+                        ],
+                    }
+                ],
+            },
+        })
+    }
+
+    /// Decode every event in a Telemetry-API payload (one payload can carry
+    /// several messages, each with several events).
+    pub fn from_telemetry_json(v: &Json) -> Result<Vec<RedfishEvent>, EventDecodeError> {
+        let messages = v
+            .pointer("/metrics/messages")
+            .and_then(Json::as_array)
+            .ok_or_else(|| EventDecodeError("missing metrics.messages".into()))?;
+        let mut out = Vec::new();
+        for msg in messages {
+            let context: XName = msg
+                .get("Context")
+                .and_then(Json::as_str)
+                .ok_or_else(|| EventDecodeError("missing Context".into()))?
+                .parse()
+                .map_err(|e| EventDecodeError(format!("bad Context: {e}")))?;
+            let events = msg
+                .get("Events")
+                .and_then(Json::as_array)
+                .ok_or_else(|| EventDecodeError("missing Events".into()))?;
+            for ev in events {
+                let ts_str = ev
+                    .get("EventTimestamp")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| EventDecodeError("missing EventTimestamp".into()))?;
+                let timestamp = parse_iso8601(ts_str)
+                    .map_err(|e| EventDecodeError(format!("bad EventTimestamp: {e}")))?;
+                let severity: Severity = ev
+                    .get("Severity")
+                    .and_then(Json::as_str)
+                    .unwrap_or("Info")
+                    .parse()
+                    .map_err(|_| EventDecodeError("bad Severity".into()))?;
+                let message_args = ev
+                    .get("MessageArgs")
+                    .and_then(Json::as_array)
+                    .map(|a| {
+                        a.iter().filter_map(Json::as_str).map(str::to_string).collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default();
+                out.push(RedfishEvent {
+                    context,
+                    timestamp,
+                    severity,
+                    message: ev
+                        .get("Message")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    message_id: ev
+                        .get("MessageId")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| EventDecodeError("missing MessageId".into()))?
+                        .to_string(),
+                    message_args,
+                    origin_of_condition: ev
+                        .pointer("/OriginOfCondition/@odata.id")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Registry short name, e.g. `CabinetLeakDetected`.
+    pub fn short_name(&self) -> &str {
+        self.message_id.rsplit('.').next().unwrap_or(&self.message_id)
+    }
+}
+
+/// Format like the paper's `EventTimestamp`: `2022-03-03T01:47:57+00:00`
+/// (explicit `+00:00` offset instead of `Z`).
+fn format_iso8601_with_offset(ts: Timestamp) -> String {
+    let z = format_iso8601(ts);
+    z.strip_suffix('Z').map(|s| format!("{s}+00:00")).unwrap_or(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_event_serializes_to_figure2_shape() {
+        let ev = RedfishEvent::paper_leak_event();
+        let v = ev.to_telemetry_json();
+        assert_eq!(
+            v.pointer("/metrics/messages/0/Context").and_then(Json::as_str),
+            Some("x1203c1b0")
+        );
+        let e0 = v.pointer("/metrics/messages/0/Events/0").unwrap();
+        assert_eq!(
+            e0.get("EventTimestamp").and_then(Json::as_str),
+            Some("2022-03-03T01:47:57+00:00")
+        );
+        assert_eq!(e0.get("Severity").and_then(Json::as_str), Some("Warning"));
+        assert_eq!(
+            e0.get("Message").and_then(Json::as_str),
+            Some("Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak.")
+        );
+        assert_eq!(
+            e0.get("MessageId").and_then(Json::as_str),
+            Some("CrayAlerts.1.0.CabinetLeakDetected")
+        );
+        assert_eq!(
+            e0.pointer("/MessageArgs/0").and_then(Json::as_str),
+            Some("A, Front")
+        );
+        assert_eq!(
+            e0.pointer("/OriginOfCondition/@odata.id").and_then(Json::as_str),
+            Some("/redfish/v1/Chassis/Enclosure")
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ev = RedfishEvent::paper_leak_event();
+        let v = ev.to_telemetry_json();
+        let back = RedfishEvent::from_telemetry_json(&v).unwrap();
+        assert_eq!(back, vec![ev]);
+    }
+
+    #[test]
+    fn roundtrip_via_text() {
+        let ev = RedfishEvent::paper_leak_event();
+        let text = ev.to_telemetry_json().dump();
+        let parsed = omni_json::parse(&text).unwrap();
+        let back = RedfishEvent::from_telemetry_json(&parsed).unwrap();
+        assert_eq!(back[0], ev);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        for t in [
+            r#"{}"#,
+            r#"{"metrics":{}}"#,
+            r#"{"metrics":{"messages":[{"Events":[]}]}}"#,
+            r#"{"metrics":{"messages":[{"Context":"notanxname","Events":[]}]}}"#,
+        ] {
+            let v = omni_json::parse(t).unwrap();
+            assert!(RedfishEvent::from_telemetry_json(&v).is_err(), "should reject {t}");
+        }
+    }
+
+    #[test]
+    fn decode_multiple_events_in_one_payload() {
+        let ev = RedfishEvent::paper_leak_event();
+        let mut v = ev.to_telemetry_json();
+        // Duplicate the event inside the same message.
+        let events = v
+            .pointer("/metrics/messages/0/Events")
+            .and_then(Json::as_array)
+            .unwrap()
+            .to_vec();
+        let doubled = Json::Array([events.clone(), events].concat());
+        let msgs = v.pointer("/metrics/messages").unwrap().clone();
+        if let Json::Array(mut m) = msgs {
+            m[0].set("Events", doubled);
+            if let Json::Object(fields) = &mut v {
+                if let Some(metrics) = fields.iter_mut().find(|(k, _)| k == "metrics") {
+                    metrics.1.set("messages", Json::Array(m));
+                }
+            }
+        }
+        let back = RedfishEvent::from_telemetry_json(&v).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn short_name() {
+        assert_eq!(RedfishEvent::paper_leak_event().short_name(), "CabinetLeakDetected");
+    }
+
+    #[test]
+    fn from_registry_panics_on_unknown_id() {
+        let result = std::panic::catch_unwind(|| {
+            RedfishEvent::from_registry(
+                "x0".parse().unwrap(),
+                0,
+                "CrayAlerts.1.0.DoesNotExist",
+                &[],
+                "",
+            )
+        });
+        assert!(result.is_err());
+    }
+}

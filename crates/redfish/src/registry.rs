@@ -1,0 +1,141 @@
+//! The `CrayAlerts.1.0` Redfish message registry.
+//!
+//! Redfish events carry a `MessageId` naming a registry entry plus
+//! `MessageArgs` that fill its template. The paper's leak event uses
+//! `CrayAlerts.1.0.CabinetLeakDetected`; this module defines that entry and
+//! the rest of the alert vocabulary the simulator emits.
+
+use omni_model::Severity;
+
+/// One registry entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageRegistryEntry {
+    /// Fully qualified id, e.g. `CrayAlerts.1.0.CabinetLeakDetected`.
+    pub id: &'static str,
+    /// Message template with `%1`, `%2`, ... argument slots.
+    pub template: &'static str,
+    /// Default severity of events using this entry.
+    pub severity: Severity,
+}
+
+/// All registry entries the simulator knows.
+pub const REGISTRY: &[MessageRegistryEntry] = &[
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.CabinetLeakDetected",
+        template: "Sensor '%1' of the redundant leak sensors in the '%2' cabinet zone has detected a leak.",
+        severity: Severity::Warning,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.CabinetLeakCleared",
+        template: "Sensor '%1' of the redundant leak sensors in the '%2' cabinet zone no longer detects a leak.",
+        severity: Severity::Ok,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.PowerSupplyFailure",
+        template: "Power supply '%1' has failed.",
+        severity: Severity::Critical,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.PowerSupplyRestored",
+        template: "Power supply '%1' has been restored.",
+        severity: Severity::Ok,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.TemperatureCritical",
+        template: "Temperature sensor '%1' reads %2 degrees C, above the critical threshold.",
+        severity: Severity::Critical,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.TemperatureWarning",
+        template: "Temperature sensor '%1' reads %2 degrees C, above the warning threshold.",
+        severity: Severity::Warning,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.TemperatureNormal",
+        template: "Temperature sensor '%1' returned to the normal range.",
+        severity: Severity::Ok,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.FanSpeedCritical",
+        template: "Fan '%1' speed %2 RPM is outside the operating range.",
+        severity: Severity::Critical,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.NodePowerOff",
+        template: "Node '%1' has powered off unexpectedly.",
+        severity: Severity::Critical,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.NodePowerOn",
+        template: "Node '%1' has powered on.",
+        severity: Severity::Info,
+    },
+    MessageRegistryEntry {
+        id: "CrayAlerts.1.0.MemoryECCError",
+        template: "Correctable memory errors on node '%1' DIMM '%2' exceeded the reporting threshold.",
+        severity: Severity::Warning,
+    },
+];
+
+/// Look up a registry entry by id.
+pub fn registry_entry(id: &str) -> Option<&'static MessageRegistryEntry> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+impl MessageRegistryEntry {
+    /// Render the template with the given args (`%1` ← `args[0]`, ...).
+    pub fn render(&self, args: &[&str]) -> String {
+        let mut out = self.template.to_string();
+        for (i, arg) in args.iter().enumerate() {
+            out = out.replace(&format!("%{}", i + 1), arg);
+        }
+        out
+    }
+
+    /// Short name (the id's last segment), e.g. `CabinetLeakDetected`.
+    pub fn short_name(&self) -> &'static str {
+        self.id.rsplit('.').next().unwrap_or(self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_leak_message_renders_exactly() {
+        let e = registry_entry("CrayAlerts.1.0.CabinetLeakDetected").unwrap();
+        assert_eq!(
+            e.render(&["A", "Front"]),
+            "Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."
+        );
+        assert_eq!(e.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn lookup_miss() {
+        assert!(registry_entry("CrayAlerts.1.0.Nope").is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn short_names() {
+        let e = registry_entry("CrayAlerts.1.0.NodePowerOff").unwrap();
+        assert_eq!(e.short_name(), "NodePowerOff");
+    }
+
+    #[test]
+    fn render_with_missing_args_leaves_slot() {
+        let e = registry_entry("CrayAlerts.1.0.TemperatureCritical").unwrap();
+        let s = e.render(&["t0"]);
+        assert!(s.contains("t0"));
+        assert!(s.contains("%2"));
+    }
+}

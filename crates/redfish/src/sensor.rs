@@ -1,0 +1,165 @@
+//! Numeric sensor telemetry.
+//!
+//! "Sensors in each cabinet, chassis, node, switch, cooling unit collect
+//! data like temperature, humidity, power, fan speed" — §IV.
+
+use omni_json::{jsonv, Json};
+use omni_model::Timestamp;
+use omni_xname::XName;
+
+/// What a sensor measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorKind {
+    /// Degrees Celsius.
+    Temperature,
+    /// Relative humidity percent.
+    Humidity,
+    /// Watts.
+    Power,
+    /// RPM.
+    FanSpeed,
+    /// 0.0 = dry, 1.0 = leak detected (per redundant sensor).
+    Leak,
+    /// Coolant flow in litres per minute (CDU loops).
+    Flow,
+}
+
+impl SensorKind {
+    /// Telemetry field name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SensorKind::Temperature => "temperature",
+            SensorKind::Humidity => "humidity",
+            SensorKind::Power => "power",
+            SensorKind::FanSpeed => "fan_speed",
+            SensorKind::Leak => "leak",
+            SensorKind::Flow => "flow",
+        }
+    }
+
+    /// Measurement unit.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            SensorKind::Temperature => "celsius",
+            SensorKind::Humidity => "percent",
+            SensorKind::Power => "watts",
+            SensorKind::FanSpeed => "rpm",
+            SensorKind::Leak => "bool",
+            SensorKind::Flow => "lpm",
+        }
+    }
+
+    /// Which Kafka telemetry topic carries this kind.
+    pub fn topic(&self) -> &'static str {
+        match self {
+            SensorKind::Temperature => crate::collector::topics::TELEMETRY_TEMPERATURE,
+            SensorKind::Humidity => crate::collector::topics::TELEMETRY_HUMIDITY,
+            SensorKind::Power => crate::collector::topics::TELEMETRY_POWER,
+            SensorKind::FanSpeed => crate::collector::topics::TELEMETRY_FAN,
+            SensorKind::Leak => crate::collector::topics::TELEMETRY_LEAK,
+            SensorKind::Flow => crate::collector::topics::TELEMETRY_FLOW,
+        }
+    }
+}
+
+/// One numeric sample from one physical sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorReading {
+    /// Component carrying the sensor.
+    pub xname: XName,
+    /// Sensor id within the component (e.g. `t0`, `fan3`, leak sensor `A`).
+    pub sensor_id: String,
+    /// Measurement kind.
+    pub kind: SensorKind,
+    /// Value in the kind's unit.
+    pub value: f64,
+    /// Sample time (nanoseconds).
+    pub ts: Timestamp,
+}
+
+impl SensorReading {
+    /// Telemetry wire shape (flat JSON; numeric telemetry is not nested the
+    /// way events are).
+    pub fn to_json(&self) -> Json {
+        jsonv!({
+            "Context": (self.xname.to_string()),
+            "Sensor": (self.sensor_id.clone()),
+            "PhysicalContext": (self.kind.as_str()),
+            "Reading": (self.value),
+            "Units": (self.kind.unit()),
+            "Timestamp": (self.ts),
+        })
+    }
+
+    /// Decode the wire shape.
+    pub fn from_json(v: &Json) -> Option<SensorReading> {
+        Some(SensorReading {
+            xname: v.get("Context")?.as_str()?.parse().ok()?,
+            sensor_id: v.get("Sensor")?.as_str()?.to_string(),
+            kind: match v.get("PhysicalContext")?.as_str()? {
+                "temperature" => SensorKind::Temperature,
+                "humidity" => SensorKind::Humidity,
+                "power" => SensorKind::Power,
+                "fan_speed" => SensorKind::FanSpeed,
+                "leak" => SensorKind::Leak,
+                "flow" => SensorKind::Flow,
+                _ => return None,
+            },
+            value: v.get("Reading")?.as_f64()?,
+            ts: v.get("Timestamp")?.as_f64()? as Timestamp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading() -> SensorReading {
+        SensorReading {
+            xname: "x1000c0s0b0n0".parse().unwrap(),
+            sensor_id: "t0".into(),
+            kind: SensorKind::Temperature,
+            value: 42.5,
+            ts: 123,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = reading();
+        let back = SensorReading::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let r = reading();
+        let text = r.to_json().dump();
+        let back = SensorReading::from_json(&omni_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let mut v = reading().to_json();
+        v.set("PhysicalContext", Json::from("vibes"));
+        assert!(SensorReading::from_json(&v).is_none());
+    }
+
+    #[test]
+    fn kinds_have_distinct_topics() {
+        let kinds = [
+            SensorKind::Temperature,
+            SensorKind::Humidity,
+            SensorKind::Power,
+            SensorKind::FanSpeed,
+            SensorKind::Leak,
+            SensorKind::Flow,
+        ];
+        let mut topics: Vec<&str> = kinds.iter().map(|k| k.topic()).collect();
+        topics.sort();
+        topics.dedup();
+        assert_eq!(topics.len(), kinds.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! The CMDB: "a configuration management database (CMDB), that maintains
+//! accurate and up-to-date records of the IT assets of an organization".
+//! "CMDB and CI still needed to be configured using Perlmutter assets
+//! only" — [`Cmdb::load_topology`] does exactly that from an xname
+//! topology.
+
+use omni_xname::{MachineTopology, XName};
+use std::collections::HashMap;
+
+/// One configuration item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ci {
+    /// Stable id (`cmdb_ci_...`).
+    pub sys_id: String,
+    /// Display name (the xname for hardware CIs).
+    pub name: String,
+    /// CI class (`cabinet`, `chassis`, `node`, `router_bmc`, ...).
+    pub class: String,
+    /// Parent CI sys_id (hardware hierarchy).
+    pub parent: Option<String>,
+}
+
+/// The CMDB.
+#[derive(Debug, Default)]
+pub struct Cmdb {
+    by_id: HashMap<String, Ci>,
+    by_name: HashMap<String, String>, // name -> sys_id
+    next: u64,
+}
+
+impl Cmdb {
+    /// Empty CMDB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sys_id(&mut self) -> String {
+        self.next += 1;
+        format!("cmdb_ci_{:08x}", self.next)
+    }
+
+    /// Insert a CI; returns its sys_id. Re-inserting a name updates it.
+    pub fn upsert(&mut self, name: &str, class: &str, parent: Option<&str>) -> String {
+        if let Some(id) = self.by_name.get(name).cloned() {
+            let parent_id = parent.and_then(|p| self.by_name.get(p).cloned());
+            if let Some(ci) = self.by_id.get_mut(&id) {
+                ci.class = class.to_string();
+                ci.parent = parent_id;
+            }
+            return id;
+        }
+        let id = self.sys_id();
+        let parent_id = parent.and_then(|p| self.by_name.get(p).cloned());
+        self.by_id.insert(
+            id.clone(),
+            Ci { sys_id: id.clone(), name: name.to_string(), class: class.to_string(), parent: parent_id },
+        );
+        self.by_name.insert(name.to_string(), id.clone());
+        id
+    }
+
+    /// Load every component of a machine topology as CIs, rooted at a
+    /// cluster CI named `cluster`.
+    pub fn load_topology(&mut self, cluster: &str, topo: &MachineTopology) {
+        self.upsert(cluster, "cluster", None);
+        let insert = |cmdb: &mut Cmdb, x: &XName| {
+            let parent = x.parent().map(|p| p.to_string());
+            let parent_name = parent.as_deref().unwrap_or(cluster);
+            cmdb.upsert(&x.to_string(), x.kind().as_str(), Some(parent_name));
+        };
+        for x in topo.cabinets() {
+            insert(self, x);
+        }
+        for x in topo.chassis() {
+            insert(self, x);
+        }
+        for x in topo.chassis_bmcs() {
+            insert(self, x);
+        }
+        for x in topo.node_bmcs() {
+            // Blade slots are not modeled as CIs; attach node BMCs to
+            // their chassis directly.
+            let parent = x.parent().and_then(|p| p.parent()).map(|p| p.to_string());
+            self.upsert(&x.to_string(), x.kind().as_str(), parent.as_deref());
+        }
+        for x in topo.nodes() {
+            insert(self, x);
+        }
+        for x in topo.switches() {
+            // Router slots aren't enumerated separately; attach switches
+            // to their chassis.
+            let parent = x.parent().and_then(|p| p.parent()).map(|p| p.to_string());
+            self.upsert(&x.to_string(), x.kind().as_str(), parent.as_deref());
+        }
+        for x in topo.cdus() {
+            self.upsert(&x.to_string(), x.kind().as_str(), Some(cluster));
+        }
+    }
+
+    /// Find a CI by display name (xname).
+    pub fn find_by_name(&self, name: &str) -> Option<&Ci> {
+        self.by_name.get(name).and_then(|id| self.by_id.get(id))
+    }
+
+    /// Find a CI by sys_id.
+    pub fn get(&self, sys_id: &str) -> Option<&Ci> {
+        self.by_id.get(sys_id)
+    }
+
+    /// Number of CIs.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the CMDB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Walk the parent chain of a CI (service-impact analysis direction).
+    pub fn ancestors(&self, sys_id: &str) -> Vec<&Ci> {
+        let mut out = Vec::new();
+        let mut cur = self.get(sys_id).and_then(|ci| ci.parent.as_deref());
+        while let Some(id) = cur {
+            let Some(ci) = self.get(id) else { break };
+            out.push(ci);
+            cur = ci.parent.as_deref();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_xname::TopologySpec;
+
+    #[test]
+    fn load_topology_creates_all_cis() {
+        let topo = MachineTopology::new(TopologySpec::tiny());
+        let mut cmdb = Cmdb::new();
+        cmdb.load_topology("perlmutter", &topo);
+        assert_eq!(cmdb.len(), 1 + topo.component_count());
+        let chassis_bmc = cmdb.find_by_name(&topo.chassis_bmcs()[0].to_string()).unwrap();
+        assert_eq!(chassis_bmc.class, "chassis_bmc");
+    }
+
+    #[test]
+    fn hierarchy_walks_to_cluster() {
+        let topo = MachineTopology::new(TopologySpec::tiny());
+        let mut cmdb = Cmdb::new();
+        cmdb.load_topology("perlmutter", &topo);
+        let node = cmdb.find_by_name(&topo.nodes()[0].to_string()).unwrap();
+        let chain = cmdb.ancestors(&node.sys_id);
+        // node -> node_bmc -> compute_slot? slots aren't CIs; chain:
+        // node_bmc -> compute_slot missing -> chassis... verify it ends at
+        // the cluster root.
+        assert!(!chain.is_empty());
+        assert_eq!(chain.last().unwrap().name, "perlmutter");
+    }
+
+    #[test]
+    fn upsert_is_idempotent_by_name() {
+        let mut cmdb = Cmdb::new();
+        let a = cmdb.upsert("x1000", "cabinet", None);
+        let b = cmdb.upsert("x1000", "cabinet", None);
+        assert_eq!(a, b);
+        assert_eq!(cmdb.len(), 1);
+    }
+
+    #[test]
+    fn switch_parent_is_chassis() {
+        let topo = MachineTopology::new(TopologySpec::tiny());
+        let mut cmdb = Cmdb::new();
+        cmdb.load_topology("perlmutter", &topo);
+        let sw = cmdb.find_by_name(&topo.switches()[0].to_string()).unwrap();
+        let parent = cmdb.get(sw.parent.as_deref().unwrap()).unwrap();
+        assert_eq!(parent.class, "chassis");
+    }
+}

@@ -1,0 +1,149 @@
+//! SN Events and their deduplication into SN Alerts.
+
+use omni_alertmanager::{Alert, AlertStatus};
+use omni_model::{Severity, Timestamp};
+
+/// One inbound event, the shape the ServiceNow event-management webhook
+/// receives from monitoring tools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnEvent {
+    /// Originating system (`alertmanager`, `prometheus`, ...).
+    pub source: String,
+    /// The affected node / CI name (an xname for hardware).
+    pub node: String,
+    /// Metric/event type (`leak`, `switch_state`, ...).
+    pub metric_type: String,
+    /// Affected resource within the node.
+    pub resource: String,
+    /// ServiceNow severity code: 1 critical ... 5 info/OK (0 = clear).
+    pub severity: u8,
+    /// Deduplication key: events sharing it collapse into one SN Alert.
+    pub message_key: String,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl SnEvent {
+    /// Convert an Alertmanager alert into an SN Event (the paper's
+    /// "alerts are transformed into SN Events").
+    pub fn from_alertmanager(alert: &Alert) -> SnEvent {
+        let severity = match alert.status {
+            AlertStatus::Resolved => 0,
+            AlertStatus::Firing => alert
+                .labels
+                .get("severity")
+                .and_then(|s| s.parse::<Severity>().ok())
+                .map(|s| s.servicenow_code())
+                .unwrap_or(3),
+        };
+        let node = alert
+            .labels
+            .get("Context")
+            .or_else(|| alert.labels.get("xname"))
+            .or_else(|| alert.labels.get("instance"))
+            .unwrap_or("")
+            .to_string();
+        let description = alert
+            .annotations
+            .iter()
+            .find(|(k, _)| k == "summary")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| alert.name().to_string());
+        SnEvent {
+            source: "alertmanager".into(),
+            message_key: format!("{}:{}", alert.name(), node),
+            node,
+            metric_type: alert.name().to_string(),
+            resource: alert.labels.get("category").unwrap_or("infrastructure").to_string(),
+            severity,
+            description,
+        }
+    }
+}
+
+/// SN Alert lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnAlertState {
+    /// Active.
+    Open,
+    /// Closed by a clear event.
+    Closed,
+    /// Re-activated after closing.
+    Reopen,
+}
+
+/// A deduplicated SN Alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnAlert {
+    /// `AlertNNNNNNN` number.
+    pub number: String,
+    /// Deduplication key.
+    pub message_key: String,
+    /// Worst severity seen (1 = critical).
+    pub severity: u8,
+    /// Lifecycle state.
+    pub state: SnAlertState,
+    /// Description from the first event.
+    pub description: String,
+    /// Affected node name.
+    pub node: String,
+    /// Resource/category (`facility`, `fabric`, `storage`, ...).
+    pub resource: String,
+    /// Bound CI sys_id, when the CMDB knows the node.
+    pub ci: Option<String>,
+    /// Number of deduplicated events.
+    pub event_count: u64,
+    /// First event time.
+    pub first_event_at: Timestamp,
+    /// Latest event time.
+    pub last_event_at: Timestamp,
+    /// Incident opened for this alert, if any.
+    pub incident: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::labels;
+
+    #[test]
+    fn conversion_maps_severity_and_node() {
+        let alert = Alert {
+            labels: labels!(
+                "alertname" => "PerlmutterSwitchOffline",
+                "severity" => "critical",
+                "xname" => "x1002c1r7b0"
+            ),
+            annotations: vec![("summary".into(), "Switch x1002c1r7b0 is UNKNOWN".into())],
+            status: AlertStatus::Firing,
+            starts_at: 0,
+        };
+        let ev = SnEvent::from_alertmanager(&alert);
+        assert_eq!(ev.severity, 1);
+        assert_eq!(ev.node, "x1002c1r7b0");
+        assert_eq!(ev.message_key, "PerlmutterSwitchOffline:x1002c1r7b0");
+        assert_eq!(ev.description, "Switch x1002c1r7b0 is UNKNOWN");
+    }
+
+    #[test]
+    fn resolved_becomes_clear_event() {
+        let alert = Alert {
+            labels: labels!("alertname" => "X", "severity" => "critical"),
+            annotations: vec![],
+            status: AlertStatus::Resolved,
+            starts_at: 0,
+        };
+        assert_eq!(SnEvent::from_alertmanager(&alert).severity, 0);
+    }
+
+    #[test]
+    fn missing_severity_defaults_to_moderate() {
+        let alert = Alert {
+            labels: labels!("alertname" => "X"),
+            annotations: vec![],
+            status: AlertStatus::Firing,
+            starts_at: 0,
+        };
+        assert_eq!(SnEvent::from_alertmanager(&alert).severity, 3);
+    }
+}

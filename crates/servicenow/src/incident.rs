@@ -1,0 +1,160 @@
+//! Incidents: the tickets SN Alerts escalate into, with assignment groups
+//! and priorities.
+
+use crate::event::SnAlert;
+use omni_model::Timestamp;
+
+/// Incident lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentState {
+    /// Opened, unassigned work.
+    New,
+    /// Being worked.
+    InProgress,
+    /// Fixed; awaiting closure.
+    Resolved,
+}
+
+/// An incident ticket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// `INCNNNNNNN` number.
+    pub number: String,
+    /// Ticket title.
+    pub short_description: String,
+    /// Lifecycle state.
+    pub state: IncidentState,
+    /// Priority 1 (highest) .. 5.
+    pub priority: u8,
+    /// Owning team.
+    pub assignment_group: String,
+    /// Bound CI, if known.
+    pub ci: Option<String>,
+    /// The SN Alert that opened it.
+    pub alert_number: String,
+    /// Open time.
+    pub opened_at: Timestamp,
+    /// Resolution time.
+    pub resolved_at: Option<Timestamp>,
+}
+
+/// A rule deciding which alerts open incidents, for whom.
+#[derive(Debug, Clone)]
+pub struct IncidentRule {
+    /// Rule name.
+    pub name: String,
+    /// Open an incident when alert severity ≤ this (1 = critical only,
+    /// 2 = critical+major, ...).
+    pub max_severity: u8,
+    /// Optional substring filter on the node name.
+    pub node_contains: Option<String>,
+    /// Optional exact filter on the alert's resource/category.
+    pub resource: Option<String>,
+    /// Team to assign.
+    pub assignment_group: String,
+}
+
+impl IncidentRule {
+    /// Whether an alert triggers this rule.
+    pub fn matches(&self, alert: &SnAlert) -> bool {
+        if alert.severity > self.max_severity {
+            return false;
+        }
+        if let Some(fragment) = &self.node_contains {
+            if !alert.node.contains(fragment.as_str()) {
+                return false;
+            }
+        }
+        if let Some(resource) = &self.resource {
+            if &alert.resource != resource {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Incident priority for an alert severity (identity mapping capped
+    /// to 1..=5).
+    pub fn priority_for(&self, severity: u8) -> u8 {
+        severity.clamp(1, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SnAlertState;
+
+    fn alert(severity: u8, node: &str) -> SnAlert {
+        SnAlert {
+            number: "Alert0000001".into(),
+            message_key: "k".into(),
+            severity,
+            state: SnAlertState::Open,
+            description: "d".into(),
+            node: node.into(),
+            resource: "infrastructure".into(),
+            ci: None,
+            event_count: 1,
+            first_event_at: 0,
+            last_event_at: 0,
+            incident: None,
+        }
+    }
+
+    #[test]
+    fn severity_threshold() {
+        let rule = IncidentRule {
+            name: "r".into(),
+            max_severity: 2,
+            node_contains: None,
+            resource: None,
+            assignment_group: "ops".into(),
+        };
+        assert!(rule.matches(&alert(1, "x1")));
+        assert!(rule.matches(&alert(2, "x1")));
+        assert!(!rule.matches(&alert(3, "x1")));
+    }
+
+    #[test]
+    fn node_filter() {
+        let rule = IncidentRule {
+            name: "r".into(),
+            max_severity: 3,
+            node_contains: Some("c1r".into()),
+            resource: None,
+            assignment_group: "fabric".into(),
+        };
+        assert!(rule.matches(&alert(1, "x1002c1r7b0")));
+        assert!(!rule.matches(&alert(1, "x1002c1b0")));
+    }
+
+    #[test]
+    fn resource_filter() {
+        let rule = IncidentRule {
+            name: "storage".into(),
+            max_severity: 3,
+            node_contains: None,
+            resource: Some("storage".into()),
+            assignment_group: "storage-team".into(),
+        };
+        let mut a = alert(1, "nsd01");
+        assert!(!rule.matches(&a));
+        a.resource = "storage".into();
+        assert!(rule.matches(&a));
+    }
+
+    #[test]
+    fn priority_mapping() {
+        let rule = IncidentRule {
+            name: "r".into(),
+            max_severity: 5,
+            node_contains: None,
+            resource: None,
+            assignment_group: "ops".into(),
+        };
+        assert_eq!(rule.priority_for(0), 1);
+        assert_eq!(rule.priority_for(3), 3);
+        assert_eq!(rule.priority_for(9), 5);
+    }
+}

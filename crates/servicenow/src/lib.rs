@@ -1,0 +1,363 @@
+//! A ServiceNow event-management substitute.
+//!
+//! "Alerts are transformed into ServiceNow (SN) 'Events', which are
+//! correlated and grouped into SN 'Alerts', which then trigger automated
+//! response actions (incidents, notifications, etc.)" (§IV). NERSC "only
+//! use their incident management module, and event management module",
+//! which is exactly the slice implemented here:
+//!
+//! * [`cmdb`] — the configuration management database, its CIs generated
+//!   from Perlmutter assets;
+//! * [`event`] — Events deduplicated by `message_key` into SN Alerts;
+//! * [`incident`] — alert-rule driven Incident creation, assignment
+//!   groups, resolution and MTTR accounting.
+
+pub mod cmdb;
+pub mod event;
+pub mod incident;
+
+pub use cmdb::{Cmdb, Ci};
+pub use event::{SnAlert, SnAlertState, SnEvent};
+pub use incident::{Incident, IncidentRule, IncidentState};
+
+use omni_alertmanager::Notification;
+use omni_model::Timestamp;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The ServiceNow instance.
+#[derive(Clone)]
+pub struct ServiceNow {
+    inner: Arc<Mutex<Inner>>,
+}
+
+struct Inner {
+    cmdb: Cmdb,
+    alerts: HashMap<String, SnAlert>, // message_key -> alert
+    incidents: Vec<Incident>,
+    rules: Vec<IncidentRule>,
+    events_received: u64,
+    next_alert: u64,
+    next_incident: u64,
+}
+
+impl Default for ServiceNow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceNow {
+    /// An empty instance.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                cmdb: Cmdb::new(),
+                alerts: HashMap::new(),
+                incidents: Vec::new(),
+                rules: Vec::new(),
+                events_received: 0,
+                next_alert: 1,
+                next_incident: 1,
+            })),
+        }
+    }
+
+    /// Access the CMDB (loads, lookups).
+    pub fn with_cmdb<R>(&self, f: impl FnOnce(&mut Cmdb) -> R) -> R {
+        f(&mut self.inner.lock().cmdb)
+    }
+
+    /// Register an incident rule.
+    pub fn add_incident_rule(&self, rule: IncidentRule) {
+        self.inner.lock().rules.push(rule);
+    }
+
+    /// Ingest one event: dedup into an SN Alert, bind its CI, and apply
+    /// incident rules. Returns the alert number.
+    pub fn process_event(&self, event: SnEvent, now: Timestamp) -> String {
+        let mut inner = self.inner.lock();
+        inner.events_received += 1;
+        let key = event.message_key.clone();
+        let is_clear = event.severity == 0 || event.severity == 5;
+        if !inner.alerts.contains_key(&key) {
+            let number = format!("Alert{:07}", inner.next_alert);
+            inner.next_alert += 1;
+            let ci_bound = inner.cmdb.find_by_name(&event.node).map(|ci| ci.sys_id.clone());
+            inner.alerts.insert(
+                key.clone(),
+                SnAlert {
+                    number,
+                    message_key: key.clone(),
+                    severity: event.severity,
+                    state: SnAlertState::Open,
+                    description: event.description.clone(),
+                    node: event.node.clone(),
+                    resource: event.resource.clone(),
+                    ci: ci_bound,
+                    event_count: 0,
+                    first_event_at: now,
+                    last_event_at: now,
+                    incident: None,
+                },
+            );
+        }
+        let alert = inner.alerts.get_mut(&key).unwrap();
+        alert.event_count += 1;
+        alert.last_event_at = now;
+        alert.severity = alert.severity.min(event.severity.max(1));
+        let mut incident_to_close = None;
+        if is_clear {
+            alert.state = SnAlertState::Closed;
+            // Clearing the alert auto-resolves its incident (the paper's
+            // "automated response actions"); MTTR accrues from this.
+            incident_to_close = alert.incident.clone();
+        } else if alert.state == SnAlertState::Closed {
+            alert.state = SnAlertState::Reopen;
+            alert.incident = None; // a re-occurrence opens a fresh ticket
+        }
+        let number = alert.number.clone();
+        let alert_snapshot = alert.clone();
+        if let Some(inc_number) = incident_to_close {
+            for inc in inner.incidents.iter_mut() {
+                if inc.number == inc_number && inc.state != IncidentState::Resolved {
+                    inc.state = IncidentState::Resolved;
+                    inc.resolved_at = Some(now);
+                }
+            }
+        }
+        // Incident rules.
+        if alert_snapshot.state != SnAlertState::Closed && alert_snapshot.incident.is_none() {
+            let matched = inner
+                .rules
+                .iter()
+                .find(|r| r.matches(&alert_snapshot))
+                .cloned();
+            if let Some(rule) = matched {
+                let inc_number = format!("INC{:07}", inner.next_incident);
+                inner.next_incident += 1;
+                let incident = Incident {
+                    number: inc_number.clone(),
+                    short_description: alert_snapshot.description.clone(),
+                    state: IncidentState::New,
+                    priority: rule.priority_for(alert_snapshot.severity),
+                    assignment_group: rule.assignment_group.clone(),
+                    ci: alert_snapshot.ci.clone(),
+                    alert_number: number.clone(),
+                    opened_at: now,
+                    resolved_at: None,
+                };
+                inner.incidents.push(incident);
+                inner.alerts.get_mut(&key).unwrap().incident = Some(inc_number);
+            }
+        }
+        number
+    }
+
+    /// Convert and ingest an Alertmanager notification: one SN Event per
+    /// contained alert (the paper's "alerts are transformed into SN
+    /// Events").
+    pub fn receive_notification(&self, notification: &Notification, now: Timestamp) -> Vec<String> {
+        notification
+            .alerts
+            .iter()
+            .map(|a| self.process_event(SnEvent::from_alertmanager(a), now))
+            .collect()
+    }
+
+    /// Resolve an incident (operator action or automated remediation).
+    pub fn resolve_incident(&self, number: &str, now: Timestamp) -> bool {
+        let mut inner = self.inner.lock();
+        for inc in inner.incidents.iter_mut() {
+            if inc.number == number && inc.state != IncidentState::Resolved {
+                inc.state = IncidentState::Resolved;
+                inc.resolved_at = Some(now);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All incidents (snapshot).
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.inner.lock().incidents.clone()
+    }
+
+    /// All alerts (snapshot), sorted by number.
+    pub fn alerts(&self) -> Vec<SnAlert> {
+        let mut v: Vec<SnAlert> = self.inner.lock().alerts.values().cloned().collect();
+        v.sort_by(|a, b| a.number.cmp(&b.number));
+        v
+    }
+
+    /// Events received so far.
+    pub fn events_received(&self) -> u64 {
+        self.inner.lock().events_received
+    }
+
+    /// Mean time to resolution over resolved incidents, in nanoseconds.
+    /// The paper: ServiceNow "employing machine learning to reduce the
+    /// Mean Time to Resolution (MTTR)" — here it is measured, not
+    /// predicted.
+    pub fn mttr_ns(&self) -> Option<i64> {
+        let inner = self.inner.lock();
+        let durations: Vec<i64> = inner
+            .incidents
+            .iter()
+            .filter_map(|i| i.resolved_at.map(|r| r - i.opened_at))
+            .collect();
+        if durations.is_empty() {
+            None
+        } else {
+            Some(durations.iter().sum::<i64>() / durations.len() as i64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::{labels, NANOS_PER_SEC};
+    use omni_xname::{MachineTopology, TopologySpec};
+
+    fn sn_with_rule() -> ServiceNow {
+        let sn = ServiceNow::new();
+        sn.add_incident_rule(IncidentRule {
+            name: "critical-to-ops".into(),
+            max_severity: 2,
+            node_contains: None,
+            resource: None,
+            assignment_group: "nersc-ops".into(),
+        });
+        sn
+    }
+
+    fn critical_event(key: &str, node: &str) -> SnEvent {
+        SnEvent {
+            source: "alertmanager".into(),
+            node: node.into(),
+            metric_type: "leak".into(),
+            resource: "chassis".into(),
+            severity: 1,
+            message_key: key.into(),
+            description: "Cabinet leak detected".into(),
+        }
+    }
+
+    #[test]
+    fn events_dedupe_into_one_alert() {
+        let sn = sn_with_rule();
+        for i in 0..5 {
+            sn.process_event(critical_event("leak:x1203c1", "x1203c1b0"), i * NANOS_PER_SEC);
+        }
+        let alerts = sn.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].event_count, 5);
+        assert_eq!(sn.events_received(), 5);
+    }
+
+    #[test]
+    fn critical_alert_opens_incident_once() {
+        let sn = sn_with_rule();
+        sn.process_event(critical_event("leak:x1203c1", "x1203c1b0"), 0);
+        sn.process_event(critical_event("leak:x1203c1", "x1203c1b0"), 1);
+        let incidents = sn.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].assignment_group, "nersc-ops");
+        assert_eq!(incidents[0].priority, 1);
+        assert_eq!(incidents[0].state, IncidentState::New);
+    }
+
+    #[test]
+    fn low_severity_does_not_open_incident() {
+        let sn = sn_with_rule();
+        let mut ev = critical_event("warn:x1", "x1");
+        ev.severity = 3;
+        sn.process_event(ev, 0);
+        assert!(sn.incidents().is_empty());
+        assert_eq!(sn.alerts().len(), 1);
+    }
+
+    #[test]
+    fn clear_event_closes_alert_and_reopen_works() {
+        let sn = sn_with_rule();
+        sn.process_event(critical_event("leak:x1", "x1"), 0);
+        let mut clear = critical_event("leak:x1", "x1");
+        clear.severity = 5;
+        sn.process_event(clear, 10);
+        assert_eq!(sn.alerts()[0].state, SnAlertState::Closed);
+        sn.process_event(critical_event("leak:x1", "x1"), 20);
+        assert_eq!(sn.alerts()[0].state, SnAlertState::Reopen);
+    }
+
+    #[test]
+    fn mttr_accounting() {
+        let sn = sn_with_rule();
+        sn.process_event(critical_event("a", "x1"), 0);
+        sn.process_event(critical_event("b", "x2"), 0);
+        let incs = sn.incidents();
+        assert_eq!(incs.len(), 2);
+        assert!(sn.mttr_ns().is_none());
+        sn.resolve_incident(&incs[0].number, 100 * NANOS_PER_SEC);
+        sn.resolve_incident(&incs[1].number, 300 * NANOS_PER_SEC);
+        assert_eq!(sn.mttr_ns(), Some(200 * NANOS_PER_SEC));
+        // Double-resolve is a no-op.
+        assert!(!sn.resolve_incident(&incs[0].number, 500 * NANOS_PER_SEC));
+    }
+
+    #[test]
+    fn ci_binding_from_cmdb() {
+        let sn = sn_with_rule();
+        let topo = MachineTopology::new(TopologySpec::tiny());
+        sn.with_cmdb(|cmdb| cmdb.load_topology("perlmutter", &topo));
+        let node = topo.chassis_bmcs()[0].to_string();
+        sn.process_event(critical_event("leak:a", &node), 0);
+        let alert = &sn.alerts()[0];
+        assert!(alert.ci.is_some());
+        let incident = &sn.incidents()[0];
+        assert_eq!(incident.ci, alert.ci);
+    }
+
+    #[test]
+    fn clear_event_auto_resolves_incident() {
+        let sn = sn_with_rule();
+        sn.process_event(critical_event("leak:x1", "x1"), 0);
+        let incidents = sn.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].state, IncidentState::New);
+        let mut clear = critical_event("leak:x1", "x1");
+        clear.severity = 0;
+        sn.process_event(clear, 300 * NANOS_PER_SEC);
+        let incidents = sn.incidents();
+        assert_eq!(incidents[0].state, IncidentState::Resolved);
+        assert_eq!(sn.mttr_ns(), Some(300 * NANOS_PER_SEC));
+        // Reoccurrence opens a new incident instead of reviving the old.
+        sn.process_event(critical_event("leak:x1", "x1"), 400 * NANOS_PER_SEC);
+        assert_eq!(sn.incidents().len(), 2);
+    }
+
+    #[test]
+    fn notification_conversion() {
+        use omni_alertmanager::{Alert, AlertStatus, Notification};
+        let sn = sn_with_rule();
+        let notification = Notification {
+            receiver: "servicenow".into(),
+            group_labels: labels!("alertname" => "Leak"),
+            alerts: vec![Alert {
+                labels: labels!(
+                    "alertname" => "Leak",
+                    "severity" => "critical",
+                    "Context" => "x1203c1b0"
+                ),
+                annotations: vec![("summary".into(), "leak at x1203c1b0".into())],
+                status: AlertStatus::Firing,
+                starts_at: 0,
+            }],
+        };
+        let numbers = sn.receive_notification(&notification, NANOS_PER_SEC);
+        assert_eq!(numbers.len(), 1);
+        assert_eq!(sn.incidents().len(), 1);
+        assert_eq!(sn.incidents()[0].short_description, "leak at x1203c1b0");
+    }
+}

@@ -1,0 +1,245 @@
+//! Slingshot fabric manager and the NERSC switch-state monitor.
+//!
+//! "There is a Slingshot Fabric Manager in Shasta, provided by HPE, that
+//! manages all switches. It provides an API for querying the state of each
+//! switch. NERSC uses a python program to query the API periodically, and
+//! send out an event to Loki if any switch stage change is found." — §IV-B.
+//!
+//! [`FabricManager`] is the API; [`FabricManagerMonitor`] is the polling
+//! program, emitting exactly the paper's event line:
+//!
+//! ```text
+//! [critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN
+//! ```
+
+use omni_model::Severity;
+use omni_xname::{MachineTopology, XName};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// State of one Rosetta switch as the fabric manager reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchState {
+    /// Healthy and routing.
+    Online,
+    /// Administratively or physically down.
+    Offline,
+    /// The fabric manager lost contact (the Figure 7 case).
+    Unknown,
+    /// Some ports degraded.
+    Degraded,
+}
+
+impl SwitchState {
+    /// Upper-case wire spelling used in the event line.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SwitchState::Online => "ONLINE",
+            SwitchState::Offline => "OFFLINE",
+            SwitchState::Unknown => "UNKNOWN",
+            SwitchState::Degraded => "DEGRADED",
+        }
+    }
+
+    /// Whether this state means the switch is not serving its nodes.
+    pub fn is_down(&self) -> bool {
+        matches!(self, SwitchState::Offline | SwitchState::Unknown)
+    }
+}
+
+impl fmt::Display for SwitchState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The fabric manager: authoritative switch-state registry with a
+/// query API.
+#[derive(Clone)]
+pub struct FabricManager {
+    states: Arc<RwLock<HashMap<XName, SwitchState>>>,
+}
+
+impl FabricManager {
+    /// Bring up a fabric with every switch of the topology online.
+    pub fn new(topology: &MachineTopology) -> Self {
+        let states =
+            topology.switches().iter().map(|&x| (x, SwitchState::Online)).collect::<HashMap<_, _>>();
+        Self { states: Arc::new(RwLock::new(states)) }
+    }
+
+    /// The query API: all switches and their current state, sorted by
+    /// xname (deterministic pagination order).
+    pub fn switch_states(&self) -> Vec<(XName, SwitchState)> {
+        let mut v: Vec<(XName, SwitchState)> =
+            self.states.read().iter().map(|(&x, &s)| (x, s)).collect();
+        v.sort_by_key(|(x, _)| *x);
+        v
+    }
+
+    /// Query one switch.
+    pub fn switch_state(&self, switch: &XName) -> Option<SwitchState> {
+        self.states.read().get(switch).copied()
+    }
+
+    /// Fault injection / repair: set a switch's state. Unknown xnames are
+    /// ignored (the fabric manager only tracks enrolled switches).
+    pub fn set_switch_state(&self, switch: XName, state: SwitchState) {
+        if let Some(slot) = self.states.write().get_mut(&switch) {
+            *slot = state;
+        }
+    }
+
+    /// Count of switches in a down state.
+    pub fn down_count(&self) -> usize {
+        self.states.read().values().filter(|s| s.is_down()).count()
+    }
+}
+
+/// A switch state-change observation produced by the monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchStateChange {
+    /// The switch.
+    pub xname: XName,
+    /// State before.
+    pub from: SwitchState,
+    /// State after.
+    pub to: SwitchState,
+    /// Severity the monitor assigns.
+    pub severity: Severity,
+}
+
+impl SwitchStateChange {
+    /// The event line pushed to Loki, byte-identical to §IV-B:
+    /// `[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN`.
+    pub fn to_event_line(&self) -> String {
+        let problem = if self.to.is_down() { "fm_switch_offline" } else { "fm_switch_recovered" };
+        format!(
+            "[{}] problem:{}, xname:{}, state:{}",
+            self.severity.as_str().to_ascii_lowercase(),
+            problem,
+            self.xname,
+            self.to.as_str()
+        )
+    }
+}
+
+/// The paper's polling monitor program: remembers the last seen state of
+/// every switch and reports changes.
+pub struct FabricManagerMonitor {
+    fm: FabricManager,
+    last: HashMap<XName, SwitchState>,
+}
+
+impl FabricManagerMonitor {
+    /// Start monitoring; the first poll treats the current state as
+    /// baseline (no events for an initially healthy fabric).
+    pub fn new(fm: FabricManager) -> Self {
+        let last = fm.switch_states().into_iter().collect();
+        Self { fm, last }
+    }
+
+    /// Poll the API once; returns one change record per switch whose state
+    /// differs from the previous poll.
+    pub fn poll(&mut self) -> Vec<SwitchStateChange> {
+        let mut changes = Vec::new();
+        for (xname, state) in self.fm.switch_states() {
+            let prev = self.last.insert(xname, state).unwrap_or(SwitchState::Online);
+            if prev != state {
+                let severity = if state.is_down() {
+                    Severity::Critical
+                } else if state == SwitchState::Degraded {
+                    Severity::Warning
+                } else {
+                    Severity::Ok
+                };
+                changes.push(SwitchStateChange { xname, from: prev, to: state, severity });
+            }
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_xname::TopologySpec;
+
+    fn fabric() -> (MachineTopology, FabricManager) {
+        let topo = MachineTopology::new(TopologySpec::tiny());
+        let fm = FabricManager::new(&topo);
+        (topo, fm)
+    }
+
+    #[test]
+    fn all_switches_start_online() {
+        let (topo, fm) = fabric();
+        assert_eq!(fm.switch_states().len(), topo.switches().len());
+        assert!(fm.switch_states().iter().all(|(_, s)| *s == SwitchState::Online));
+        assert_eq!(fm.down_count(), 0);
+    }
+
+    #[test]
+    fn monitor_reports_only_changes() {
+        let (topo, fm) = fabric();
+        let mut mon = FabricManagerMonitor::new(fm.clone());
+        assert!(mon.poll().is_empty());
+        let victim = topo.switches()[3];
+        fm.set_switch_state(victim, SwitchState::Unknown);
+        let changes = mon.poll();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].xname, victim);
+        assert_eq!(changes[0].to, SwitchState::Unknown);
+        assert_eq!(changes[0].severity, Severity::Critical);
+        // No re-report while the state is stable.
+        assert!(mon.poll().is_empty());
+    }
+
+    #[test]
+    fn event_line_matches_paper_exactly() {
+        let change = SwitchStateChange {
+            xname: "x1002c1r7b0".parse().unwrap(),
+            from: SwitchState::Online,
+            to: SwitchState::Unknown,
+            severity: Severity::Critical,
+        };
+        assert_eq!(
+            change.to_event_line(),
+            "[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN"
+        );
+    }
+
+    #[test]
+    fn recovery_emits_ok_event() {
+        let (topo, fm) = fabric();
+        let mut mon = FabricManagerMonitor::new(fm.clone());
+        let victim = topo.switches()[0];
+        fm.set_switch_state(victim, SwitchState::Offline);
+        mon.poll();
+        fm.set_switch_state(victim, SwitchState::Online);
+        let changes = mon.poll();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].severity, Severity::Ok);
+        assert!(changes[0].to_event_line().contains("fm_switch_recovered"));
+        assert!(changes[0].to_event_line().contains("state:ONLINE"));
+    }
+
+    #[test]
+    fn unknown_switch_ignored() {
+        let (_, fm) = fabric();
+        let foreign: XName = "x9999c9r9b9".parse().unwrap();
+        fm.set_switch_state(foreign, SwitchState::Offline);
+        assert_eq!(fm.switch_state(&foreign), None);
+    }
+
+    #[test]
+    fn down_count_tracks_states() {
+        let (topo, fm) = fabric();
+        fm.set_switch_state(topo.switches()[0], SwitchState::Offline);
+        fm.set_switch_state(topo.switches()[1], SwitchState::Unknown);
+        fm.set_switch_state(topo.switches()[2], SwitchState::Degraded);
+        assert_eq!(fm.down_count(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Perlmutter-like Shasta machine simulator.
+//!
+//! The paper's framework consumes four kinds of signal from the machine:
+//!
+//! 1. **Redfish events** — leak detections, power events — published by
+//!    chassis controllers ([`machine::ShastaMachine`] + fault injection);
+//! 2. **numeric telemetry** — temperature/humidity/power/fan samples from
+//!    "sensors in each cabinet, chassis, node, switch, cooling unit";
+//! 3. **fabric state** — the Slingshot fabric manager's switch-state API
+//!    ([`fabric::FabricManager`]) and the NERSC monitor program that polls
+//!    it ([`fabric::FabricManagerMonitor`]);
+//! 4. **logs** — syslog and container logs ([`logs`]).
+//!
+//! All of it is deterministic: sensor evolution and log generation are
+//! seeded, and time comes from the shared [`omni_model::SimClock`].
+
+pub mod fabric;
+pub mod gpfs;
+pub mod logs;
+pub mod machine;
+pub mod workload;
+
+pub use fabric::{FabricManager, FabricManagerMonitor, SwitchState};
+pub use gpfs::{GpfsCluster, GpfsMonitor, GpfsState};
+pub use machine::{LeakZone, ShastaMachine};
+pub use logs::{ContainerLogGenerator, SyslogGenerator};
+pub use workload::{WorkloadMix, WorkloadModel};

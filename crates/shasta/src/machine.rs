@@ -1,0 +1,376 @@
+//! The machine: component sensor state, telemetry generation, and fault
+//! injection for the paper's case study A (cabinet leak detection).
+
+use omni_model::{SimClock, Timestamp};
+use omni_redfish::{RedfishEvent, SensorKind, SensorReading};
+use omni_xname::{MachineTopology, TopologySpec, XName};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Cabinet zone a leak sensor watches. Perlmutter chassis carry redundant
+/// sensor pairs (`A`/`B`) per zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeakZone {
+    /// Front of the cabinet.
+    Front,
+    /// Rear of the cabinet.
+    Rear,
+}
+
+impl LeakZone {
+    /// Zone name as it appears in the Redfish message.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LeakZone::Front => "Front",
+            LeakZone::Rear => "Rear",
+        }
+    }
+}
+
+/// Per-node thermal/power state (random-walk around a baseline).
+#[derive(Debug, Clone)]
+struct NodeState {
+    temperature: f64,
+    power: f64,
+    fan_rpm: f64,
+    powered_on: bool,
+}
+
+/// Per-chassis environmental state.
+#[derive(Debug, Clone, Default)]
+struct ChassisState {
+    /// Leaking (sensor-id, zone) pairs.
+    leaks: Vec<(char, LeakZone)>,
+    humidity: f64,
+}
+
+/// Per-CDU coolant-loop state.
+#[derive(Debug, Clone)]
+struct CduState {
+    supply_temp: f64,
+    return_temp: f64,
+    flow_lpm: f64,
+}
+
+struct MachineState {
+    nodes: HashMap<XName, NodeState>,
+    chassis: HashMap<XName, ChassisState>,
+    cdus: HashMap<XName, CduState>,
+    rng: StdRng,
+}
+
+/// The simulated machine.
+pub struct ShastaMachine {
+    topology: MachineTopology,
+    clock: SimClock,
+    state: Mutex<MachineState>,
+}
+
+impl ShastaMachine {
+    /// Build a machine with a deterministic seed.
+    pub fn new(spec: TopologySpec, clock: SimClock, seed: u64) -> Self {
+        let topology = MachineTopology::new(spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = topology
+            .nodes()
+            .iter()
+            .map(|&x| {
+                (
+                    x,
+                    NodeState {
+                        temperature: rng.gen_range(35.0..55.0),
+                        power: rng.gen_range(400.0..900.0),
+                        fan_rpm: rng.gen_range(5_000.0..9_000.0),
+                        powered_on: true,
+                    },
+                )
+            })
+            .collect();
+        let chassis = topology
+            .chassis()
+            .iter()
+            .map(|&x| (x, ChassisState { leaks: Vec::new(), humidity: rng.gen_range(30.0..50.0) }))
+            .collect();
+        let cdus = topology
+            .cdus()
+            .iter()
+            .map(|&x| {
+                (
+                    x,
+                    CduState {
+                        supply_temp: rng.gen_range(15.0..20.0),
+                        return_temp: rng.gen_range(28.0..35.0),
+                        flow_lpm: rng.gen_range(400.0..700.0),
+                    },
+                )
+            })
+            .collect();
+        Self { topology, clock, state: Mutex::new(MachineState { nodes, chassis, cdus, rng }) }
+    }
+
+    /// A small machine for tests.
+    pub fn tiny(clock: SimClock, seed: u64) -> Self {
+        Self::new(TopologySpec::tiny(), clock, seed)
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &MachineTopology {
+        &self.topology
+    }
+
+    /// The machine's clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Advance the sensor random walk one step and emit a full scrape of
+    /// sensor readings (one temperature/power/fan sample per powered node,
+    /// humidity per chassis, plus leak-sensor states).
+    pub fn sample_sensors(&self) -> Vec<SensorReading> {
+        let ts = self.clock.now();
+        let mut st = self.state.lock();
+        let mut out = Vec::with_capacity(st.nodes.len() * 3 + st.chassis.len());
+        // Split borrows: walk nodes, chassis and CDUs with the shared rng, in
+        // topology order so the random walk is deterministic per seed
+        // (HashMap iteration order is not).
+        let MachineState { nodes, chassis, cdus, rng } = &mut *st;
+        for x in self.topology.nodes() {
+            let Some(n) = nodes.get_mut(x) else { continue };
+            let x = *x;
+            if !n.powered_on {
+                continue;
+            }
+            n.temperature = (n.temperature + rng.gen_range(-0.5..0.5)).clamp(20.0, 95.0);
+            n.power = (n.power + rng.gen_range(-15.0..15.0)).clamp(100.0, 1200.0);
+            n.fan_rpm = (n.fan_rpm + rng.gen_range(-100.0..100.0)).clamp(2_000.0, 12_000.0);
+            out.push(reading(x, "t0", SensorKind::Temperature, n.temperature, ts));
+            out.push(reading(x, "p0", SensorKind::Power, n.power, ts));
+            out.push(reading(x, "fan0", SensorKind::FanSpeed, n.fan_rpm, ts));
+        }
+        for x in self.topology.cdus() {
+            let Some(c) = cdus.get_mut(x) else { continue };
+            let x = *x;
+            c.supply_temp = (c.supply_temp + rng.gen_range(-0.2..0.2)).clamp(10.0, 30.0);
+            c.return_temp = (c.return_temp + rng.gen_range(-0.3..0.3)).clamp(20.0, 50.0);
+            c.flow_lpm = (c.flow_lpm + rng.gen_range(-5.0..5.0)).clamp(100.0, 1_000.0);
+            out.push(reading(x, "supply", SensorKind::Temperature, c.supply_temp, ts));
+            out.push(reading(x, "return", SensorKind::Temperature, c.return_temp, ts));
+            out.push(reading(x, "loop0", SensorKind::Flow, c.flow_lpm, ts));
+        }
+        for x in self.topology.chassis() {
+            let Some(c) = chassis.get_mut(x) else { continue };
+            let x = *x;
+            c.humidity = (c.humidity + rng.gen_range(-0.3..0.3)).clamp(10.0, 90.0);
+            out.push(reading(x, "h0", SensorKind::Humidity, c.humidity, ts));
+            for (sensor, zone) in &c.leaks {
+                out.push(reading(
+                    x,
+                    &format!("leak_{sensor}_{}", zone.as_str()),
+                    SensorKind::Leak,
+                    1.0,
+                    ts,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Inject a liquid leak at one chassis: marks the redundant sensor as
+    /// wet and returns the Redfish event its chassis BMC publishes —
+    /// exactly the Figure 2 event when pointed at `x1203c1`.
+    pub fn inject_leak(&self, chassis: XName, sensor: char, zone: LeakZone) -> RedfishEvent {
+        assert!(
+            matches!(chassis, XName::Chassis { .. }),
+            "leaks are injected at chassis level, got {chassis}"
+        );
+        let mut st = self.state.lock();
+        let entry = st.chassis.entry(chassis).or_default();
+        if !entry.leaks.contains(&(sensor, zone)) {
+            entry.leaks.push((sensor, zone));
+        }
+        let XName::Chassis { cabinet, chassis: ch } = chassis else { unreachable!() };
+        RedfishEvent::from_registry(
+            XName::ChassisBmc { cabinet, chassis: ch, bmc: 0 },
+            self.clock.now(),
+            "CrayAlerts.1.0.CabinetLeakDetected",
+            &[&sensor.to_string(), zone.as_str()],
+            "/redfish/v1/Chassis/Enclosure",
+        )
+    }
+
+    /// Clear a leak; returns the clearing event.
+    pub fn clear_leak(&self, chassis: XName, sensor: char, zone: LeakZone) -> RedfishEvent {
+        let mut st = self.state.lock();
+        if let Some(entry) = st.chassis.get_mut(&chassis) {
+            entry.leaks.retain(|&(s, z)| (s, z) != (sensor, zone));
+        }
+        let XName::Chassis { cabinet, chassis: ch } = chassis else {
+            panic!("leaks live at chassis level")
+        };
+        RedfishEvent::from_registry(
+            XName::ChassisBmc { cabinet, chassis: ch, bmc: 0 },
+            self.clock.now(),
+            "CrayAlerts.1.0.CabinetLeakCleared",
+            &[&sensor.to_string(), zone.as_str()],
+            "/redfish/v1/Chassis/Enclosure",
+        )
+    }
+
+    /// Chassis currently reporting a leak.
+    pub fn leaking_chassis(&self) -> Vec<XName> {
+        let st = self.state.lock();
+        let mut v: Vec<XName> = st
+            .chassis
+            .iter()
+            .filter(|(_, c)| !c.leaks.is_empty())
+            .map(|(&x, _)| x)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Power a node off; returns the Redfish power event.
+    pub fn power_off_node(&self, node: XName) -> RedfishEvent {
+        let mut st = self.state.lock();
+        if let Some(n) = st.nodes.get_mut(&node) {
+            n.powered_on = false;
+        }
+        RedfishEvent::from_registry(
+            node.parent().unwrap_or(node),
+            self.clock.now(),
+            "CrayAlerts.1.0.NodePowerOff",
+            &[&node.to_string()],
+            "/redfish/v1/Systems/Node",
+        )
+    }
+
+    /// Power a node back on.
+    pub fn power_on_node(&self, node: XName) -> RedfishEvent {
+        let mut st = self.state.lock();
+        if let Some(n) = st.nodes.get_mut(&node) {
+            n.powered_on = true;
+        }
+        RedfishEvent::from_registry(
+            node.parent().unwrap_or(node),
+            self.clock.now(),
+            "CrayAlerts.1.0.NodePowerOn",
+            &[&node.to_string()],
+            "/redfish/v1/Systems/Node",
+        )
+    }
+
+    /// Number of powered-on nodes.
+    pub fn powered_nodes(&self) -> usize {
+        self.state.lock().nodes.values().filter(|n| n.powered_on).count()
+    }
+}
+
+fn reading(x: XName, id: &str, kind: SensorKind, value: f64, ts: Timestamp) -> SensorReading {
+    SensorReading { xname: x, sensor_id: id.to_string(), kind, value, ts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::NANOS_PER_SEC;
+
+    fn machine() -> ShastaMachine {
+        ShastaMachine::tiny(SimClock::starting_at(NANOS_PER_SEC), 42)
+    }
+
+    #[test]
+    fn sample_covers_all_nodes_and_chassis() {
+        let m = machine();
+        let samples = m.sample_sensors();
+        let nodes = m.topology().nodes().len();
+        let chassis = m.topology().chassis().len();
+        let cdus = m.topology().cdus().len();
+        assert_eq!(samples.len(), nodes * 3 + chassis + cdus * 3);
+    }
+
+    #[test]
+    fn sensor_walk_is_deterministic_per_seed() {
+        let a = machine().sample_sensors();
+        let b = machine().sample_sensors();
+        assert_eq!(a.len(), b.len());
+        let mut a_sorted = a.clone();
+        let mut b_sorted = b;
+        a_sorted.sort_by_key(|r| (r.xname.to_string(), r.sensor_id.clone()));
+        b_sorted.sort_by_key(|r| (r.xname.to_string(), r.sensor_id.clone()));
+        assert_eq!(a_sorted, b_sorted);
+    }
+
+    #[test]
+    fn leak_injection_produces_paper_event_shape() {
+        let m = machine();
+        let chassis = m.topology().chassis()[0];
+        let ev = m.inject_leak(chassis, 'A', LeakZone::Front);
+        assert_eq!(ev.message_id, "CrayAlerts.1.0.CabinetLeakDetected");
+        assert_eq!(ev.message_args, vec!["A, Front".to_string()]);
+        assert!(ev.message.contains("Sensor 'A'"));
+        assert!(ev.message.contains("'Front' cabinet zone"));
+        assert_eq!(m.leaking_chassis(), vec![chassis]);
+        // Leak shows up in telemetry too.
+        let leaks: Vec<_> = m
+            .sample_sensors()
+            .into_iter()
+            .filter(|r| r.kind == SensorKind::Leak)
+            .collect();
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(leaks[0].value, 1.0);
+    }
+
+    #[test]
+    fn clear_leak_removes_state() {
+        let m = machine();
+        let chassis = m.topology().chassis()[1];
+        m.inject_leak(chassis, 'B', LeakZone::Rear);
+        let ev = m.clear_leak(chassis, 'B', LeakZone::Rear);
+        assert_eq!(ev.message_id, "CrayAlerts.1.0.CabinetLeakCleared");
+        assert!(m.leaking_chassis().is_empty());
+    }
+
+    #[test]
+    fn power_off_stops_telemetry_for_node() {
+        let m = machine();
+        let before = m.sample_sensors().len();
+        let node = m.topology().nodes()[0];
+        let ev = m.power_off_node(node);
+        assert_eq!(ev.message_id, "CrayAlerts.1.0.NodePowerOff");
+        let after = m.sample_sensors().len();
+        assert_eq!(before - after, 3); // temp + power + fan
+        assert_eq!(m.powered_nodes(), m.topology().nodes().len() - 1);
+        m.power_on_node(node);
+        assert_eq!(m.powered_nodes(), m.topology().nodes().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "chassis level")]
+    fn leak_injection_requires_chassis() {
+        let m = machine();
+        let node = m.topology().nodes()[0];
+        m.inject_leak(node, 'A', LeakZone::Front);
+    }
+
+    #[test]
+    fn readings_stay_in_physical_bounds() {
+        let m = machine();
+        for _ in 0..50 {
+            for r in m.sample_sensors() {
+                match r.kind {
+                    SensorKind::Temperature if matches!(r.xname, XName::Cdu { .. }) => {
+                        assert!((10.0..=50.0).contains(&r.value))
+                    }
+                    SensorKind::Temperature => assert!((20.0..=95.0).contains(&r.value)),
+                    SensorKind::Power => assert!((100.0..=1200.0).contains(&r.value)),
+                    SensorKind::FanSpeed => assert!((2_000.0..=12_000.0).contains(&r.value)),
+                    SensorKind::Humidity => assert!((10.0..=90.0).contains(&r.value)),
+                    SensorKind::Leak => assert_eq!(r.value, 1.0),
+                    SensorKind::Flow => assert!((100.0..=1_000.0).contains(&r.value)),
+                }
+            }
+        }
+    }
+}

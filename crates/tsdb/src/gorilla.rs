@@ -1,0 +1,416 @@
+//! Gorilla-style time-series compression (Facebook's in-memory TSDB
+//! paper), the codec VictoriaMetrics-class stores build on:
+//!
+//! * timestamps: delta-of-delta, bit-packed in variable-width buckets;
+//! * values: XOR with the previous value, encoding leading-zero /
+//!   meaningful-bit windows.
+//!
+//! Built on an explicit [`BitWriter`] / [`BitReader`] pair.
+
+use omni_model::{Sample, Timestamp};
+
+/// Bit-granular append buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the last byte (0..8).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+            self.used = 8;
+        }
+        self.used -= 1;
+        if bit {
+            *self.bytes.last_mut().unwrap() |= 1 << self.used;
+        }
+    }
+
+    /// Append the low `n` bits of `v`, most-significant first.
+    pub fn push_bits(&mut self, v: u64, n: u8) {
+        for i in (0..n).rev() {
+            self.push_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Finish, returning the byte buffer and total bit count.
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        let bits = self.bytes.len() * 8 - self.used as usize;
+        (self.bytes, bits)
+    }
+}
+
+/// Bit-granular reader.
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    limit: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from a buffer of `limit` valid bits.
+    pub fn new(bytes: &'a [u8], limit: usize) -> Self {
+        Self { bytes, pos: 0, limit }
+    }
+
+    /// Read one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.limit {
+            return None;
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Read `n` bits as a big-endian value.
+    pub fn read_bits(&mut self, n: u8) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+}
+
+/// A sealed, compressed block of one series.
+#[derive(Debug, Clone)]
+pub struct GorillaBlock {
+    data: Vec<u8>,
+    bits: usize,
+    /// Sample count.
+    pub count: usize,
+    /// First timestamp.
+    pub min_ts: Timestamp,
+    /// Last timestamp.
+    pub max_ts: Timestamp,
+}
+
+/// Streaming Gorilla encoder.
+#[derive(Debug)]
+pub struct GorillaEncoder {
+    w: BitWriter,
+    count: usize,
+    first_ts: Timestamp,
+    prev_ts: Timestamp,
+    prev_delta: i64,
+    prev_value_bits: u64,
+    prev_leading: u8,
+    prev_trailing: u8,
+}
+
+impl Default for GorillaEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GorillaEncoder {
+    /// Empty encoder.
+    pub fn new() -> Self {
+        Self {
+            w: BitWriter::new(),
+            count: 0,
+            first_ts: 0,
+            prev_ts: 0,
+            prev_delta: 0,
+            prev_value_bits: 0,
+            prev_leading: 255,
+            prev_trailing: 0,
+        }
+    }
+
+    /// Append a sample; timestamps must be non-decreasing.
+    pub fn append(&mut self, s: Sample) {
+        if self.count == 0 {
+            self.first_ts = s.ts;
+            self.prev_ts = s.ts;
+            // First timestamp: stored raw (64 bits), first value raw.
+            self.w.push_bits(s.ts as u64, 64);
+            self.w.push_bits(s.value.to_bits(), 64);
+            self.prev_value_bits = s.value.to_bits();
+            self.count = 1;
+            return;
+        }
+        debug_assert!(s.ts >= self.prev_ts, "gorilla appends must be time-ordered");
+        // Timestamp: delta-of-delta buckets (Gorilla §4.1.1).
+        let delta = s.ts - self.prev_ts;
+        let dod = delta - self.prev_delta;
+        self.prev_ts = s.ts;
+        self.prev_delta = delta;
+        match dod {
+            0 => self.w.push_bit(false),
+            -8_388_608..=8_388_607 if (-64..=63).contains(&dod) => {
+                self.w.push_bits(0b10, 2);
+                self.w.push_bits((dod & 0x7f) as u64, 7);
+            }
+            -8_388_608..=8_388_607 if (-4096..=4095).contains(&dod) => {
+                self.w.push_bits(0b110, 3);
+                self.w.push_bits((dod & 0x1fff) as u64, 13);
+            }
+            -8_388_608..=8_388_607 => {
+                self.w.push_bits(0b1110, 4);
+                self.w.push_bits((dod & 0xff_ffff) as u64, 24);
+            }
+            _ => {
+                self.w.push_bits(0b1111, 4);
+                self.w.push_bits(dod as u64, 64);
+            }
+        }
+        // Value: XOR scheme (Gorilla §4.1.2).
+        let bits = s.value.to_bits();
+        let xor = bits ^ self.prev_value_bits;
+        self.prev_value_bits = bits;
+        if xor == 0 {
+            self.w.push_bit(false);
+        } else {
+            self.w.push_bit(true);
+            let leading = (xor.leading_zeros() as u8).min(31);
+            let trailing = xor.trailing_zeros() as u8;
+            if self.prev_leading != 255
+                && leading >= self.prev_leading
+                && trailing >= self.prev_trailing
+            {
+                // Fits in the previous window.
+                self.w.push_bit(false);
+                let meaningful = 64 - self.prev_leading - self.prev_trailing;
+                self.w.push_bits(xor >> self.prev_trailing, meaningful);
+            } else {
+                self.w.push_bit(true);
+                let meaningful = 64 - leading - trailing;
+                self.w.push_bits(leading as u64, 5);
+                // Store meaningful-1 in 6 bits (meaningful ∈ 1..=64).
+                self.w.push_bits((meaningful - 1) as u64, 6);
+                self.w.push_bits(xor >> trailing, meaningful);
+                self.prev_leading = leading;
+                self.prev_trailing = trailing;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Sample count so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no samples were appended.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Seal into an immutable block.
+    pub fn finish(self) -> GorillaBlock {
+        let min_ts = self.first_ts;
+        let max_ts = self.prev_ts;
+        let count = self.count;
+        let (data, bits) = self.w.finish();
+        GorillaBlock { data, bits, count, min_ts, max_ts }
+    }
+}
+
+impl GorillaBlock {
+    /// Compressed size in bytes.
+    pub fn compressed_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Decode all samples.
+    pub fn decode(&self) -> Vec<Sample> {
+        let mut out = Vec::with_capacity(self.count);
+        if self.count == 0 {
+            return out;
+        }
+        let mut r = BitReader::new(&self.data, self.bits);
+        let ts = r.read_bits(64).expect("block truncated") as i64;
+        let value = f64::from_bits(r.read_bits(64).expect("block truncated"));
+        out.push(Sample::new(ts, value));
+        let mut prev_ts = ts;
+        let mut prev_delta: i64 = 0;
+        let mut prev_bits = value.to_bits();
+        let mut leading: u8 = 0;
+        let mut trailing: u8 = 0;
+        for _ in 1..self.count {
+            // Timestamp.
+            let dod = if !r.read_bit().expect("ts flag") {
+                0
+            } else if !r.read_bit().expect("ts flag") {
+                sign_extend(r.read_bits(7).expect("dod7"), 7)
+            } else if !r.read_bit().expect("ts flag") {
+                sign_extend(r.read_bits(13).expect("dod13"), 13)
+            } else if !r.read_bit().expect("ts flag") {
+                sign_extend(r.read_bits(24).expect("dod24"), 24)
+            } else {
+                r.read_bits(64).expect("dod64") as i64
+            };
+            prev_delta += dod;
+            prev_ts += prev_delta;
+            // Value.
+            let bits = if !r.read_bit().expect("val flag") {
+                prev_bits
+            } else if !r.read_bit().expect("val window flag") {
+                let meaningful = 64 - leading - trailing;
+                let v = r.read_bits(meaningful).expect("xor bits");
+                prev_bits ^ (v << trailing)
+            } else {
+                leading = r.read_bits(5).expect("leading") as u8;
+                let meaningful = r.read_bits(6).expect("meaningful") as u8 + 1;
+                trailing = 64 - leading - meaningful;
+                let v = r.read_bits(meaningful).expect("xor bits");
+                prev_bits ^ (v << trailing)
+            };
+            prev_bits = bits;
+            out.push(Sample::new(prev_ts, f64::from_bits(bits)));
+        }
+        out
+    }
+
+    /// Decode samples in `(start, end]`.
+    pub fn decode_range(&self, start: Timestamp, end: Timestamp) -> Vec<Sample> {
+        if self.count == 0 || self.max_ts <= start || self.min_ts > end {
+            return Vec::new();
+        }
+        self.decode().into_iter().filter(|s| s.ts > start && s.ts <= end).collect()
+    }
+
+    /// Whether the block may hold samples in `(start, end]`.
+    pub fn overlaps(&self, start: Timestamp, end: Timestamp) -> bool {
+        self.count > 0 && self.max_ts > start && self.min_ts <= end
+    }
+}
+
+fn sign_extend(v: u64, bits: u8) -> i64 {
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(samples: &[Sample]) -> GorillaBlock {
+        let mut enc = GorillaEncoder::new();
+        for &s in samples {
+            enc.append(s);
+        }
+        let block = enc.finish();
+        let decoded = block.decode();
+        assert_eq!(decoded.len(), samples.len());
+        for (a, b) in samples.iter().zip(decoded.iter()) {
+            assert_eq!(a.ts, b.ts);
+            assert!(
+                (a.value == b.value) || (a.value.is_nan() && b.value.is_nan()),
+                "{} != {}",
+                a.value,
+                b.value
+            );
+        }
+        block
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let block = GorillaEncoder::new().finish();
+        assert!(block.decode().is_empty());
+        roundtrip(&[Sample::new(1_600_000_000, 42.5)]);
+    }
+
+    #[test]
+    fn regular_interval_constant_value_compresses_hard() {
+        // The scrape-loop common case: fixed interval, slowly-moving value.
+        let samples: Vec<Sample> =
+            (0..1_000).map(|i| Sample::new(1_000_000 + i * 15_000, 55.0)).collect();
+        let block = roundtrip(&samples);
+        // Raw = 16 bytes/sample; Gorilla gets ~2 bits/sample here.
+        let bytes_per_sample = block.compressed_size() as f64 / samples.len() as f64;
+        assert!(bytes_per_sample < 1.0, "bytes/sample = {bytes_per_sample}");
+    }
+
+    #[test]
+    fn varying_values() {
+        let samples: Vec<Sample> = (0..500)
+            .map(|i| Sample::new(i * 1_000, (i as f64 * 0.7).sin() * 100.0))
+            .collect();
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn irregular_timestamps() {
+        let ts = [0i64, 1, 10, 11, 1_000_000, 1_000_001, 5_000_000_000];
+        let samples: Vec<Sample> =
+            ts.iter().enumerate().map(|(i, &t)| Sample::new(t, i as f64)).collect();
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn negative_and_special_values() {
+        let samples = vec![
+            Sample::new(0, -1.5),
+            Sample::new(1, 0.0),
+            Sample::new(2, -0.0),
+            Sample::new(3, f64::MAX),
+            Sample::new(4, f64::MIN_POSITIVE),
+            Sample::new(5, f64::INFINITY),
+            Sample::new(6, f64::NEG_INFINITY),
+            Sample::new(7, f64::NAN),
+        ];
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn duplicate_timestamps_allowed() {
+        roundtrip(&[Sample::new(5, 1.0), Sample::new(5, 2.0), Sample::new(5, 3.0)]);
+    }
+
+    #[test]
+    fn decode_range_half_open() {
+        let samples: Vec<Sample> = (0..10).map(|i| Sample::new(i * 10, i as f64)).collect();
+        let mut enc = GorillaEncoder::new();
+        for &s in &samples {
+            enc.append(s);
+        }
+        let block = enc.finish();
+        let got = block.decode_range(10, 30);
+        assert_eq!(got.len(), 2); // ts 20, 30
+        assert_eq!(got[0].ts, 20);
+        assert!(block.decode_range(100, 200).is_empty());
+    }
+
+    #[test]
+    fn bitio_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011, 4);
+        w.push_bits(u64::MAX, 64);
+        w.push_bit(false);
+        w.push_bits(0x2a, 7);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+        assert_eq!(r.read_bit(), Some(false));
+        assert_eq!(r.read_bits(7), Some(0x2a));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn large_delta_of_delta() {
+        // Jumps bigger than the 24-bit bucket take the 64-bit escape.
+        let samples = vec![
+            Sample::new(0, 1.0),
+            Sample::new(1, 1.0),
+            Sample::new(1_000_000_000_000, 1.0),
+            Sample::new(1_000_000_000_001, 1.0),
+        ];
+        roundtrip(&samples);
+    }
+}

@@ -1,0 +1,24 @@
+//! A VictoriaMetrics-like time-series database.
+//!
+//! "As a rule, we send metrics to Victoriametrics, the time series
+//! database and logs to Loki" (§III). The crate covers the metric half of
+//! the paper's pipeline:
+//!
+//! * [`storage::Tsdb`] — sharded, label-indexed series storage over
+//!   Gorilla-compressed blocks ([`gorilla`]);
+//! * [`promql`] — the PromQL subset vmalert rules and Grafana panels use;
+//! * [`vmagent`] — the scrape loop feeding the store;
+//! * [`vmalert`] — "queries the database based on predefined rules. When
+//!   the return value matches, vmalert sends an event to AlertManager."
+
+pub mod gorilla;
+pub mod promql;
+pub mod storage;
+pub mod vmagent;
+pub mod vmalert;
+
+pub use gorilla::{GorillaBlock, GorillaEncoder};
+pub use promql::{eval_instant, eval_range, parse_promql, PromExpr, RangeFn};
+pub use storage::{Tsdb, TsdbConfig};
+pub use vmagent::{ScrapeFn, VmAgent};
+pub use vmalert::{MetricRule, VmAlert, VmAlertNotification, VmAlertState};

@@ -1,0 +1,676 @@
+//! A PromQL subset: what vmalert rules and Grafana metric panels need.
+//!
+//! Supported: instant vector selectors (`node_temp{node="x1"}`), range
+//! functions (`rate`, `increase`, `delta`, `*_over_time`), vector
+//! aggregation (`sum/min/max/avg/count by/without`), and vector⊗scalar
+//! comparison filters for alert thresholds.
+
+use crate::storage::Tsdb;
+use omni_logql::ast::{CmpOp, GroupKind, Grouping, VectorAggOp};
+use omni_logql::eval::{eval_filter, eval_vector_agg, InstantVector, Matrix};
+use omni_logql::lexer::{lex, Token};
+use omni_logql::matcher::{MatchOp, Matcher, Selector};
+use omni_model::{Sample, Timestamp, NANOS_PER_SEC};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default instant-vector lookback (Prometheus uses 5 minutes).
+pub const DEFAULT_LOOKBACK_NS: i64 = 5 * 60 * NANOS_PER_SEC;
+
+/// Range function over a series window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeFn {
+    /// Counter per-second rate (reset-aware).
+    Rate,
+    /// Counter increase over the window (reset-aware).
+    Increase,
+    /// Gauge difference last-first.
+    Delta,
+    /// Mean of samples.
+    AvgOverTime,
+    /// Minimum.
+    MinOverTime,
+    /// Maximum.
+    MaxOverTime,
+    /// Sum.
+    SumOverTime,
+    /// Sample count.
+    CountOverTime,
+    /// Last sample value.
+    LastOverTime,
+}
+
+impl RangeFn {
+    fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "rate" => RangeFn::Rate,
+            "increase" => RangeFn::Increase,
+            "delta" => RangeFn::Delta,
+            "avg_over_time" => RangeFn::AvgOverTime,
+            "min_over_time" => RangeFn::MinOverTime,
+            "max_over_time" => RangeFn::MaxOverTime,
+            "sum_over_time" => RangeFn::SumOverTime,
+            "count_over_time" => RangeFn::CountOverTime,
+            "last_over_time" => RangeFn::LastOverTime,
+            _ => return None,
+        })
+    }
+
+    /// Apply to one window of samples.
+    pub fn apply(&self, samples: &[Sample], range_ns: i64) -> Option<f64> {
+        if samples.is_empty() {
+            return None;
+        }
+        let secs = range_ns as f64 / NANOS_PER_SEC as f64;
+        Some(match self {
+            RangeFn::Rate | RangeFn::Increase => {
+                // Counter semantics: sum positive deltas (reset-aware).
+                let mut increase = 0.0;
+                for w in samples.windows(2) {
+                    let d = w[1].value - w[0].value;
+                    increase += if d >= 0.0 { d } else { w[1].value };
+                }
+                if *self == RangeFn::Rate {
+                    increase / secs
+                } else {
+                    increase
+                }
+            }
+            RangeFn::Delta => samples.last().unwrap().value - samples[0].value,
+            RangeFn::AvgOverTime => {
+                samples.iter().map(|s| s.value).sum::<f64>() / samples.len() as f64
+            }
+            RangeFn::MinOverTime => samples.iter().map(|s| s.value).fold(f64::INFINITY, f64::min),
+            RangeFn::MaxOverTime => {
+                samples.iter().map(|s| s.value).fold(f64::NEG_INFINITY, f64::max)
+            }
+            RangeFn::SumOverTime => samples.iter().map(|s| s.value).sum(),
+            RangeFn::CountOverTime => samples.len() as f64,
+            RangeFn::LastOverTime => samples.last().unwrap().value,
+        })
+    }
+}
+
+/// PromQL expression AST.
+#[derive(Debug, Clone)]
+pub enum PromExpr {
+    /// Instant vector selector.
+    Selector(Selector),
+    /// `absent(selector)` — 1 when no series matches (alerting on
+    /// vanished targets).
+    Absent(Selector),
+    /// `fn(selector[range])`
+    RangeFn {
+        /// The function.
+        func: RangeFn,
+        /// Series selector.
+        selector: Selector,
+        /// Window nanoseconds.
+        range_ns: i64,
+    },
+    /// Vector aggregation.
+    VectorAgg {
+        /// Operator.
+        op: VectorAggOp,
+        /// Grouping clause.
+        grouping: Option<Grouping>,
+        /// Inner expression.
+        inner: Box<PromExpr>,
+    },
+    /// Threshold filter.
+    Filter {
+        /// Inner expression.
+        inner: Box<PromExpr>,
+        /// Comparison.
+        op: CmpOp,
+        /// Scalar.
+        scalar: f64,
+    },
+    /// Vector⊗vector arithmetic with one-to-one label matching
+    /// (`errors / requests`).
+    BinOp {
+        /// Left side.
+        lhs: Box<PromExpr>,
+        /// `+ - * /`.
+        op: ArithOp,
+        /// Right side.
+        rhs: Box<PromExpr>,
+    },
+}
+
+/// Arithmetic operator for vector⊗vector expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (x/0 → dropped, like Prometheus NaN filtering).
+    Div,
+}
+
+impl ArithOp {
+    fn apply(&self, l: f64, r: f64) -> f64 {
+        match self {
+            ArithOp::Add => l + r,
+            ArithOp::Sub => l - r,
+            ArithOp::Mul => l * r,
+            ArithOp::Div => l / r,
+        }
+    }
+}
+
+/// PromQL parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromParseError(pub String);
+
+impl fmt::Display for PromParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "promql parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PromParseError {}
+
+/// Parse a PromQL expression.
+pub fn parse_promql(input: &str) -> Result<PromExpr, PromParseError> {
+    let toks = lex(input).map_err(|e| PromParseError(e.to_string()))?;
+    let mut p = PromParser { toks, pos: 0 };
+    let expr = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(PromParseError(format!("trailing token {}", p.toks[p.pos])));
+    }
+    Ok(expr)
+}
+
+struct PromParser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl PromParser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), PromParseError> {
+        match self.bump() {
+            Some(t) if &t == tok => Ok(()),
+            other => Err(PromParseError(format!("expected {tok}, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<PromExpr, PromParseError> {
+        let mut inner = self.vector_expr()?;
+        // Left-associative arithmetic chain (single precedence level —
+        // parenthesize inside aggregations for anything fancier).
+        loop {
+            let aop = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.vector_expr()?;
+            inner = PromExpr::BinOp { lhs: Box::new(inner), op: aop, rhs: Box::new(rhs) };
+        }
+        let op = match self.peek() {
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::EqEq) => CmpOp::Eq,
+            Some(Token::Neq) => CmpOp::Neq,
+            _ => return Ok(inner),
+        };
+        self.bump();
+        let negative = self.peek() == Some(&Token::Minus);
+        if negative {
+            self.bump();
+        }
+        match self.bump() {
+            Some(Token::Number(n)) => Ok(PromExpr::Filter {
+                inner: Box::new(inner),
+                op,
+                scalar: if negative { -n } else { n },
+            }),
+            other => Err(PromParseError(format!("expected scalar, found {other:?}"))),
+        }
+    }
+
+    fn vector_expr(&mut self) -> Result<PromExpr, PromParseError> {
+        match self.peek() {
+            Some(Token::LBrace) => Ok(PromExpr::Selector(self.selector(None)?)),
+            Some(Token::Ident(name)) => {
+                let name = name.clone();
+                self.bump();
+                if name == "absent" {
+                    self.expect(&Token::LParen)?;
+                    let sel_name = match self.peek() {
+                        Some(Token::Ident(n)) => {
+                            let n = n.clone();
+                            self.bump();
+                            Some(n)
+                        }
+                        _ => None,
+                    };
+                    let selector = if self.peek() == Some(&Token::LBrace) {
+                        self.selector(sel_name)?
+                    } else {
+                        let Some(n) = sel_name else {
+                            return Err(PromParseError("absent needs a selector".into()));
+                        };
+                        Selector::new(vec![Matcher::eq("__name__", &n)])
+                    };
+                    self.expect(&Token::RParen)?;
+                    return Ok(PromExpr::Absent(selector));
+                }
+                if let Some(func) = RangeFn::from_name(&name) {
+                    self.expect(&Token::LParen)?;
+                    let sel_name = match self.peek() {
+                        Some(Token::Ident(n)) => {
+                            let n = n.clone();
+                            self.bump();
+                            Some(n)
+                        }
+                        _ => None,
+                    };
+                    let selector = if self.peek() == Some(&Token::LBrace) {
+                        self.selector(sel_name)?
+                    } else {
+                        let Some(n) = sel_name else {
+                            return Err(PromParseError("range function needs a selector".into()));
+                        };
+                        Selector::new(vec![Matcher::eq("__name__", &n)])
+                    };
+                    self.expect(&Token::LBracket)?;
+                    let range_ns = match self.bump() {
+                        Some(Token::Duration(ns)) => ns,
+                        other => {
+                            return Err(PromParseError(format!(
+                                "expected duration, found {other:?}"
+                            )))
+                        }
+                    };
+                    self.expect(&Token::RBracket)?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(PromExpr::RangeFn { func, selector, range_ns });
+                }
+                let vop = match name.as_str() {
+                    "sum" => Some(VectorAggOp::Sum),
+                    "min" => Some(VectorAggOp::Min),
+                    "max" => Some(VectorAggOp::Max),
+                    "avg" => Some(VectorAggOp::Avg),
+                    "count" => Some(VectorAggOp::Count),
+                    _ => None,
+                };
+                if let Some(op) = vop {
+                    let g_before = self.grouping()?;
+                    self.expect(&Token::LParen)?;
+                    let inner = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    let g_after = self.grouping()?;
+                    if g_before.is_some() && g_after.is_some() {
+                        return Err(PromParseError("duplicate grouping".into()));
+                    }
+                    return Ok(PromExpr::VectorAgg {
+                        op,
+                        grouping: g_before.or(g_after),
+                        inner: Box::new(inner),
+                    });
+                }
+                // Bare metric name, optionally with matchers.
+                if self.peek() == Some(&Token::LBrace) {
+                    Ok(PromExpr::Selector(self.selector(Some(name))?))
+                } else {
+                    Ok(PromExpr::Selector(Selector::new(vec![Matcher::eq("__name__", &name)])))
+                }
+            }
+            other => Err(PromParseError(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn grouping(&mut self) -> Result<Option<Grouping>, PromParseError> {
+        let kind = match self.peek() {
+            Some(Token::Ident(s)) if s == "by" => GroupKind::By,
+            Some(Token::Ident(s)) if s == "without" => GroupKind::Without,
+            _ => return Ok(None),
+        };
+        self.bump();
+        self.expect(&Token::LParen)?;
+        let mut labels = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Token::Ident(l)) => labels.push(l),
+                Some(Token::RParen) if labels.is_empty() => break,
+                other => return Err(PromParseError(format!("expected label, found {other:?}"))),
+            }
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(PromParseError(format!("expected , or ), found {other:?}"))),
+            }
+        }
+        Ok(Some(Grouping { kind, labels }))
+    }
+
+    fn selector(&mut self, name: Option<String>) -> Result<Selector, PromParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut matchers = Vec::new();
+        if let Some(n) = name {
+            matchers.push(Matcher::eq("__name__", &n));
+        }
+        if self.peek() == Some(&Token::RBrace) {
+            self.bump();
+            return Ok(Selector::new(matchers));
+        }
+        loop {
+            let lname = match self.bump() {
+                Some(Token::Ident(n)) => n,
+                other => return Err(PromParseError(format!("expected label, found {other:?}"))),
+            };
+            let op = match self.bump() {
+                Some(Token::Eq) => MatchOp::Eq,
+                Some(Token::Neq) => MatchOp::Neq,
+                Some(Token::ReMatch) => MatchOp::Re,
+                Some(Token::NotRegex) => MatchOp::NotRe,
+                other => return Err(PromParseError(format!("expected op, found {other:?}"))),
+            };
+            let value = match self.bump() {
+                Some(Token::Str(s)) => s,
+                other => return Err(PromParseError(format!("expected string, found {other:?}"))),
+            };
+            matchers.push(Matcher::new(&lname, op, &value).map_err(PromParseError)?);
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RBrace) => break,
+                other => return Err(PromParseError(format!("expected , or }}, found {other:?}"))),
+            }
+        }
+        Ok(Selector::new(matchers))
+    }
+}
+
+/// Evaluate an expression at one instant against a store.
+pub fn eval_instant(db: &Tsdb, expr: &PromExpr, at: Timestamp) -> InstantVector {
+    match expr {
+        PromExpr::Selector(sel) => db
+            .query_instant(sel, at, DEFAULT_LOOKBACK_NS)
+            .into_iter()
+            .map(|(mut labels, s)| {
+                labels.remove("__name__");
+                (labels, s.value)
+            })
+            .collect(),
+        PromExpr::Absent(sel) => {
+            if db.query_instant(sel, at, DEFAULT_LOOKBACK_NS).is_empty() {
+                // Like Prometheus: the result labels are the selector's
+                // equality matchers (minus the metric name).
+                let mut labels = omni_model::LabelSet::new();
+                for (k, v) in sel.equality_matchers() {
+                    if k != "__name__" {
+                        labels.insert(k, v);
+                    }
+                }
+                vec![(labels, 1.0)]
+            } else {
+                Vec::new()
+            }
+        }
+        PromExpr::RangeFn { func, selector, range_ns } => {
+            let mut out = Vec::new();
+            for (mut labels, samples) in db.query_series(selector, at - range_ns, at) {
+                if let Some(v) = func.apply(&samples, *range_ns) {
+                    labels.remove("__name__");
+                    out.push((labels, v));
+                }
+            }
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        }
+        PromExpr::VectorAgg { op, grouping, inner } => {
+            eval_vector_agg(*op, grouping.as_ref(), eval_instant(db, inner, at))
+        }
+        PromExpr::Filter { inner, op, scalar } => {
+            eval_filter(eval_instant(db, inner, at), *op, *scalar)
+        }
+        PromExpr::BinOp { lhs, op, rhs } => {
+            let left = eval_instant(db, lhs, at);
+            let right = eval_instant(db, rhs, at);
+            // One-to-one matching on identical label sets (sans metric
+            // name, already stripped by the selector paths).
+            let rmap: std::collections::BTreeMap<&omni_model::LabelSet, f64> =
+                right.iter().map(|(l, v)| (l, *v)).collect();
+            left.into_iter()
+                .filter_map(|(l, lv)| {
+                    let rv = rmap.get(&l)?;
+                    let v = op.apply(lv, *rv);
+                    if v.is_finite() {
+                        Some((l, v))
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Evaluate over `[start, end]` at `step_ns` intervals.
+pub fn eval_range(
+    db: &Tsdb,
+    expr: &PromExpr,
+    start: Timestamp,
+    end: Timestamp,
+    step_ns: i64,
+) -> Matrix {
+    assert!(step_ns > 0);
+    let mut series: BTreeMap<omni_model::LabelSet, Vec<Sample>> = BTreeMap::new();
+    let mut t = start;
+    while t <= end {
+        for (labels, value) in eval_instant(db, expr, t) {
+            series.entry(labels).or_default().push(Sample::new(t, value));
+        }
+        t += step_ns;
+    }
+    series.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::TsdbConfig;
+    use omni_model::labels;
+
+    fn db() -> Tsdb {
+        Tsdb::new(TsdbConfig { shards: 2, ..Default::default() })
+    }
+
+    #[test]
+    fn bare_name_selector() {
+        let d = db();
+        d.ingest_sample("node_temp", labels!("node" => "x1"), NANOS_PER_SEC, 42.0);
+        let e = parse_promql("node_temp").unwrap();
+        let v = eval_instant(&d, &e, 2 * NANOS_PER_SEC);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 42.0);
+        assert_eq!(v[0].0.get("node"), Some("x1"));
+        assert_eq!(v[0].0.get("__name__"), None);
+    }
+
+    #[test]
+    fn name_with_matchers() {
+        let d = db();
+        d.ingest_sample("node_temp", labels!("node" => "x1"), 1, 42.0);
+        d.ingest_sample("node_temp", labels!("node" => "x2"), 1, 50.0);
+        let e = parse_promql(r#"node_temp{node="x2"}"#).unwrap();
+        let v = eval_instant(&d, &e, NANOS_PER_SEC);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 50.0);
+    }
+
+    #[test]
+    fn rate_of_counter() {
+        let d = db();
+        for i in 0..=60 {
+            d.ingest_sample(
+                "requests_total",
+                labels!("job" => "api"),
+                i * NANOS_PER_SEC,
+                (i * 5) as f64,
+            );
+        }
+        let e = parse_promql("rate(requests_total[60s])").unwrap();
+        let v = eval_instant(&d, &e, 60 * NANOS_PER_SEC);
+        assert_eq!(v.len(), 1);
+        assert!((v[0].1 - 5.0).abs() < 0.1, "rate = {}", v[0].1);
+    }
+
+    #[test]
+    fn rate_survives_counter_reset() {
+        let d = db();
+        let values = [0.0, 10.0, 20.0, 3.0, 13.0]; // reset after 20
+        for (i, v) in values.iter().enumerate() {
+            d.ingest_sample("c", labels!("a" => "1"), (i as i64 + 1) * NANOS_PER_SEC, *v);
+        }
+        let e = parse_promql("increase(c[10s])").unwrap();
+        let v = eval_instant(&d, &e, 10 * NANOS_PER_SEC);
+        // 0→10→20 (+20), reset→3 (+3), 3→13 (+10) = 33
+        assert_eq!(v[0].1, 33.0);
+    }
+
+    #[test]
+    fn aggregation_by() {
+        let d = db();
+        d.ingest_sample("temp", labels!("cab" => "x1000", "node" => "n0"), 1, 40.0);
+        d.ingest_sample("temp", labels!("cab" => "x1000", "node" => "n1"), 1, 50.0);
+        d.ingest_sample("temp", labels!("cab" => "x1001", "node" => "n0"), 1, 60.0);
+        let e = parse_promql("max by (cab) (temp)").unwrap();
+        let v = eval_instant(&d, &e, NANOS_PER_SEC);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], (labels!("cab" => "x1000"), 50.0));
+        assert_eq!(v[1], (labels!("cab" => "x1001"), 60.0));
+    }
+
+    #[test]
+    fn threshold_filter_alert_shape() {
+        let d = db();
+        d.ingest_sample("temp", labels!("node" => "hot"), 1, 92.0);
+        d.ingest_sample("temp", labels!("node" => "cool"), 1, 45.0);
+        let e = parse_promql("temp > 90").unwrap();
+        let v = eval_instant(&d, &e, NANOS_PER_SEC);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0.get("node"), Some("hot"));
+    }
+
+    #[test]
+    fn over_time_functions() {
+        let d = db();
+        for (i, val) in [1.0, 5.0, 3.0].iter().enumerate() {
+            d.ingest_sample("g", labels!("a" => "1"), (i as i64 + 1) * NANOS_PER_SEC, *val);
+        }
+        let at = 10 * NANOS_PER_SEC;
+        for (q, expected) in [
+            ("avg_over_time(g[10s])", 3.0),
+            ("min_over_time(g[10s])", 1.0),
+            ("max_over_time(g[10s])", 5.0),
+            ("sum_over_time(g[10s])", 9.0),
+            ("count_over_time(g[10s])", 3.0),
+            ("last_over_time(g[10s])", 3.0),
+            ("delta(g[10s])", 2.0),
+        ] {
+            let e = parse_promql(q).unwrap();
+            let v = eval_instant(&d, &e, at);
+            assert_eq!(v[0].1, expected, "query {q}");
+        }
+    }
+
+    #[test]
+    fn range_eval_produces_series() {
+        let d = db();
+        for i in 0..10 {
+            d.ingest_sample("g", labels!("a" => "1"), i * NANOS_PER_SEC, i as f64);
+        }
+        let e = parse_promql("max_over_time(g[2s])").unwrap();
+        let m = eval_range(&d, &e, 0, 9 * NANOS_PER_SEC, NANOS_PER_SEC);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].1.len(), 10);
+    }
+
+    #[test]
+    fn binop_divides_with_label_matching() {
+        let d = db();
+        for inst in ["a", "b"] {
+            d.ingest_sample("errors_total", labels!("instance" => inst), NANOS_PER_SEC, 5.0);
+            d.ingest_sample("requests_total", labels!("instance" => inst), NANOS_PER_SEC, 50.0);
+        }
+        // An instance with requests but no errors: dropped from the result.
+        d.ingest_sample("requests_total", labels!("instance" => "c"), NANOS_PER_SEC, 10.0);
+        let e = parse_promql(
+            "sum by (instance) (errors_total) / sum by (instance) (requests_total)",
+        )
+        .unwrap();
+        let v = eval_instant(&d, &e, 2 * NANOS_PER_SEC);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|(_, r)| *r == 0.1));
+    }
+
+    #[test]
+    fn binop_division_by_zero_dropped() {
+        let d = db();
+        d.ingest_sample("a", labels!("x" => "1"), 1, 5.0);
+        d.ingest_sample("b", labels!("x" => "1"), 1, 0.0);
+        let e = parse_promql("sum by (x) (a) / sum by (x) (b)").unwrap();
+        assert!(eval_instant(&d, &e, NANOS_PER_SEC).is_empty());
+    }
+
+    #[test]
+    fn binop_chain_left_associative() {
+        let d = db();
+        d.ingest_sample("m", labels!("x" => "1"), 1, 8.0);
+        let e = parse_promql("sum by (x) (m) + sum by (x) (m) - sum by (x) (m)").unwrap();
+        let v = eval_instant(&d, &e, NANOS_PER_SEC);
+        assert_eq!(v[0].1, 8.0);
+    }
+
+    #[test]
+    fn negative_threshold_scalar() {
+        let d = db();
+        d.ingest_sample("g", labels!("x" => "1"), 1, -5.0);
+        let e = parse_promql("g < -1").unwrap();
+        let v = eval_instant(&d, &e, NANOS_PER_SEC);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn absent_fires_only_when_series_missing() {
+        let d = db();
+        let e = parse_promql(r#"absent(up{instance="ghost"})"#).unwrap();
+        let v = eval_instant(&d, &e, NANOS_PER_SEC);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 1.0);
+        assert_eq!(v[0].0.get("instance"), Some("ghost"));
+        d.ingest_sample("up", labels!("instance" => "ghost"), 1, 1.0);
+        let v = eval_instant(&d, &e, NANOS_PER_SEC);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        for q in ["", "rate(x)", "sum by (a", "x > ", "rate(x[5m]) trailing", "{a=}"] {
+            assert!(parse_promql(q).is_err(), "should reject {q:?}");
+        }
+    }
+}

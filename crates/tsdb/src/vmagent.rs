@@ -1,0 +1,159 @@
+//! vmagent: "VMagent collects metrics from all the Prometheus-style
+//! exporters and sends data to Victoriametrics."
+//!
+//! Targets are scrape callbacks (the exporters crate adapts
+//! exposition-format endpoints onto this). Every scrape also records the
+//! synthetic `up` metric per target, like the real agent.
+
+use crate::storage::Tsdb;
+use omni_model::{LabelSet, MetricRecord, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A scrape callback: returns the target's current samples or an error
+/// message on scrape failure.
+pub type ScrapeFn = Box<dyn Fn(Timestamp) -> Result<Vec<MetricRecord>, String> + Send + Sync>;
+
+struct Target {
+    job: String,
+    instance: String,
+    scrape: ScrapeFn,
+}
+
+/// The scrape agent.
+pub struct VmAgent {
+    db: Tsdb,
+    targets: Vec<Target>,
+    scrapes: AtomicU64,
+    samples: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl VmAgent {
+    /// Agent writing into `db`.
+    pub fn new(db: Tsdb) -> Self {
+        Self {
+            db,
+            targets: Vec::new(),
+            scrapes: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a target under `job`/`instance` labels.
+    pub fn add_target(&mut self, job: &str, instance: &str, scrape: ScrapeFn) {
+        self.targets.push(Target { job: job.to_string(), instance: instance.to_string(), scrape });
+    }
+
+    /// Number of registered targets.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Scrape every target once at virtual time `now`. Each sample gets
+    /// `job`/`instance` labels; each target gets an `up` sample.
+    pub fn scrape_once(&self, now: Timestamp) {
+        for t in &self.targets {
+            self.scrapes.fetch_add(1, Ordering::Relaxed);
+            match (t.scrape)(now) {
+                Ok(records) => {
+                    for mut r in records {
+                        r.labels.insert("job", t.job.as_str());
+                        r.labels.insert("instance", t.instance.as_str());
+                        r.sample.ts = now;
+                        self.db.ingest(&r);
+                        self.samples.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.record_up(t, now, 1.0);
+                }
+                Err(_) => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    self.record_up(t, now, 0.0);
+                }
+            }
+        }
+    }
+
+    fn record_up(&self, t: &Target, now: Timestamp, value: f64) {
+        let labels =
+            LabelSet::from_pairs([("job", t.job.as_str()), ("instance", t.instance.as_str())]);
+        self.db.ingest(&MetricRecord::new("up", labels, now, value));
+    }
+
+    /// (scrapes, samples, failures) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.scrapes.load(Ordering::Relaxed),
+            self.samples.load(Ordering::Relaxed),
+            self.failures.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::promql::{eval_instant, parse_promql};
+    use crate::storage::TsdbConfig;
+    use omni_model::{labels, NANOS_PER_SEC};
+
+    fn agent() -> (Tsdb, VmAgent) {
+        let db = Tsdb::new(TsdbConfig::default());
+        let agent = VmAgent::new(db.clone());
+        (db, agent)
+    }
+
+    #[test]
+    fn scrape_ingests_with_job_instance_and_up() {
+        let (db, mut agent) = agent();
+        agent.add_target(
+            "node-exporter",
+            "x1000c0s0b0n0",
+            Box::new(|_now| {
+                Ok(vec![MetricRecord::new("node_temp", labels!("sensor" => "t0"), 0, 44.0)])
+            }),
+        );
+        agent.scrape_once(NANOS_PER_SEC);
+        let e = parse_promql(r#"node_temp{job="node-exporter"}"#).unwrap();
+        let v = eval_instant(&db, &e, 2 * NANOS_PER_SEC);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0.get("instance"), Some("x1000c0s0b0n0"));
+        let up = eval_instant(&db, &parse_promql("up").unwrap(), 2 * NANOS_PER_SEC);
+        assert_eq!(up.len(), 1);
+        assert_eq!(up[0].1, 1.0);
+    }
+
+    #[test]
+    fn failed_scrape_sets_up_zero() {
+        let (db, mut agent) = agent();
+        agent.add_target("blackbox", "probe-1", Box::new(|_| Err("connection refused".into())));
+        agent.scrape_once(NANOS_PER_SEC);
+        let up = eval_instant(&db, &parse_promql("up").unwrap(), 2 * NANOS_PER_SEC);
+        assert_eq!(up[0].1, 0.0);
+        assert_eq!(agent.stats().2, 1);
+    }
+
+    #[test]
+    fn repeated_scrapes_build_series() {
+        let (db, mut agent) = agent();
+        agent.add_target(
+            "exp",
+            "i",
+            Box::new(|now| {
+                Ok(vec![MetricRecord::new(
+                    "g",
+                    LabelSet::new(),
+                    0,
+                    (now / NANOS_PER_SEC) as f64,
+                )])
+            }),
+        );
+        for i in 1..=10 {
+            agent.scrape_once(i * 15 * NANOS_PER_SEC);
+        }
+        let e = parse_promql("count_over_time(g[300s])").unwrap();
+        let v = eval_instant(&db, &e, 200 * NANOS_PER_SEC);
+        assert_eq!(v[0].1, 10.0);
+        assert_eq!(agent.stats(), (10, 10, 0));
+    }
+}

@@ -1,0 +1,212 @@
+//! vmalert: "a component of VictoriaMetrics, that queries the database
+//! based on predefined rules. When the return value matches, vmalert
+//! sends an event to AlertManager." (§III)
+//!
+//! Mirrors the Loki Ruler's pending → firing → resolved state machine,
+//! over PromQL instead of LogQL.
+
+use crate::promql::{eval_instant, parse_promql, PromExpr, PromParseError};
+use crate::storage::Tsdb;
+use omni_logql::pipeline::render_template;
+use omni_model::{LabelSet, Timestamp};
+use std::collections::HashMap;
+
+/// State of one alert series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmAlertState {
+    /// Hold (`for:`) not yet met.
+    Pending,
+    /// Active.
+    Firing,
+    /// Condition cleared.
+    Resolved,
+}
+
+/// One metric alerting rule.
+#[derive(Debug, Clone)]
+pub struct MetricRule {
+    /// Alert name.
+    pub name: String,
+    /// PromQL expression (usually with a threshold filter).
+    pub expr: String,
+    /// Hold duration.
+    pub for_ns: i64,
+    /// Extra labels.
+    pub labels: LabelSet,
+    /// `{{.label}}`-templated annotations.
+    pub annotations: Vec<(String, String)>,
+}
+
+/// Notification emitted on firing/resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmAlertNotification {
+    /// alertname + rule labels + series labels.
+    pub labels: LabelSet,
+    /// Rendered annotations.
+    pub annotations: Vec<(String, String)>,
+    /// firing/resolved.
+    pub state: VmAlertState,
+    /// First active timestamp.
+    pub active_at: Timestamp,
+    /// Expression value.
+    pub value: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    active_at: Timestamp,
+    firing: bool,
+    last_value: f64,
+}
+
+/// The evaluator.
+pub struct VmAlert {
+    db: Tsdb,
+    rules: Vec<(MetricRule, PromExpr)>,
+    active: HashMap<(usize, LabelSet), Active>,
+}
+
+impl VmAlert {
+    /// Attach to a store.
+    pub fn new(db: Tsdb) -> Self {
+        Self { db, rules: Vec::new(), active: HashMap::new() }
+    }
+
+    /// Add a rule, parsing its expression.
+    pub fn add_rule(&mut self, rule: MetricRule) -> Result<(), PromParseError> {
+        let expr = parse_promql(&rule.expr)?;
+        self.rules.push((rule, expr));
+        Ok(())
+    }
+
+    /// Evaluate all rules at `now`.
+    pub fn evaluate(&mut self, now: Timestamp) -> Vec<VmAlertNotification> {
+        let mut out = Vec::new();
+        for ri in 0..self.rules.len() {
+            let (rule, expr) = &self.rules[ri];
+            let rule = rule.clone();
+            let vector = eval_instant(&self.db, expr, now);
+            let mut seen = Vec::new();
+            for (series_labels, value) in vector {
+                seen.push(series_labels.clone());
+                let key = (ri, series_labels.clone());
+                let entry = self
+                    .active
+                    .entry(key)
+                    .or_insert(Active { active_at: now, firing: false, last_value: value });
+                entry.last_value = value;
+                if !entry.firing && now - entry.active_at >= rule.for_ns {
+                    entry.firing = true;
+                }
+                if entry.firing {
+                    let snapshot = entry.clone();
+                    out.push(notification(&rule, &series_labels, &snapshot, VmAlertState::Firing));
+                }
+            }
+            let stale: Vec<(usize, LabelSet)> = self
+                .active
+                .keys()
+                .filter(|(r, l)| *r == ri && !seen.contains(l))
+                .cloned()
+                .collect();
+            for key in stale {
+                let entry = self.active.remove(&key).unwrap();
+                if entry.firing {
+                    out.push(notification(&rule, &key.1, &entry, VmAlertState::Resolved));
+                }
+            }
+        }
+        out
+    }
+
+    /// Active (pending or firing) series count.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+}
+
+fn notification(
+    rule: &MetricRule,
+    series_labels: &LabelSet,
+    entry: &Active,
+    state: VmAlertState,
+) -> VmAlertNotification {
+    let mut labels = series_labels.merged_with(&rule.labels);
+    labels.insert("alertname", rule.name.as_str());
+    let annotations = rule
+        .annotations
+        .iter()
+        .map(|(k, tpl)| (k.clone(), render_template(tpl, &labels)))
+        .collect();
+    VmAlertNotification {
+        labels,
+        annotations,
+        state,
+        active_at: entry.active_at,
+        value: entry.last_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::TsdbConfig;
+    use omni_model::{labels, NANOS_PER_SEC};
+
+    fn minute() -> i64 {
+        60 * NANOS_PER_SEC
+    }
+
+    fn hot_node_rule() -> MetricRule {
+        MetricRule {
+            name: "NodeTooHot".into(),
+            expr: "max by (node) (node_temp) > 90".into(),
+            for_ns: minute(),
+            labels: LabelSet::from_pairs([("severity", "critical")]),
+            annotations: vec![("summary".into(), "node {{.node}} over 90C".into())],
+        }
+    }
+
+    #[test]
+    fn fires_after_hold_and_resolves() {
+        let db = Tsdb::new(TsdbConfig::default());
+        let mut va = VmAlert::new(db.clone());
+        va.add_rule(hot_node_rule()).unwrap();
+        let t0 = 10 * minute();
+        db.ingest_sample("node_temp", labels!("node" => "x9"), t0, 95.0);
+        assert!(va.evaluate(t0).is_empty()); // pending
+        db.ingest_sample("node_temp", labels!("node" => "x9"), t0 + minute(), 96.0);
+        let notifs = va.evaluate(t0 + minute());
+        assert_eq!(notifs.len(), 1);
+        assert_eq!(notifs[0].state, VmAlertState::Firing);
+        assert_eq!(notifs[0].labels.get("alertname"), Some("NodeTooHot"));
+        assert_eq!(notifs[0].annotations[0].1, "node x9 over 90C");
+        // Cooled down: series leaves the vector -> resolved.
+        db.ingest_sample("node_temp", labels!("node" => "x9"), t0 + 2 * minute(), 60.0);
+        let notifs = va.evaluate(t0 + 2 * minute());
+        assert_eq!(notifs.len(), 1);
+        assert_eq!(notifs[0].state, VmAlertState::Resolved);
+        assert_eq!(va.active_count(), 0);
+    }
+
+    #[test]
+    fn bad_rule_rejected() {
+        let db = Tsdb::new(TsdbConfig::default());
+        let mut va = VmAlert::new(db);
+        let mut rule = hot_node_rule();
+        rule.expr = "max by (".into();
+        assert!(va.add_rule(rule).is_err());
+    }
+
+    #[test]
+    fn value_carried_in_notification() {
+        let db = Tsdb::new(TsdbConfig::default());
+        let mut va = VmAlert::new(db.clone());
+        let mut rule = hot_node_rule();
+        rule.for_ns = 0;
+        va.add_rule(rule).unwrap();
+        db.ingest_sample("node_temp", labels!("node" => "x9"), minute(), 93.5);
+        let notifs = va.evaluate(minute());
+        assert_eq!(notifs[0].value, 93.5);
+    }
+}

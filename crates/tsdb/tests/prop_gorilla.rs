@@ -1,0 +1,67 @@
+//! Property tests: Gorilla compression is lossless for any time-ordered
+//! sample sequence.
+
+use omni_model::Sample;
+use omni_tsdb::GorillaEncoder;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lossless_roundtrip(
+        deltas in prop::collection::vec(0i64..1_000_000_000, 0..300),
+        values in prop::collection::vec(-1e12f64..1e12, 0..300),
+    ) {
+        let n = deltas.len().min(values.len());
+        let mut ts = 1_600_000_000_000_000_000i64;
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            ts += deltas[i];
+            samples.push(Sample::new(ts, values[i]));
+        }
+        let mut enc = GorillaEncoder::new();
+        for &s in &samples {
+            enc.append(s);
+        }
+        let decoded = enc.finish().decode();
+        prop_assert_eq!(decoded.len(), samples.len());
+        for (a, b) in samples.iter().zip(decoded.iter()) {
+            prop_assert_eq!(a.ts, b.ts);
+            prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn lossless_with_extreme_bit_patterns(
+        bits in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        // Raw bit patterns stress the XOR window logic (NaNs, subnormals).
+        let samples: Vec<Sample> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Sample::new(i as i64 * 1_000, f64::from_bits(b)))
+            .collect();
+        let mut enc = GorillaEncoder::new();
+        for &s in &samples {
+            enc.append(s);
+        }
+        let decoded = enc.finish().decode();
+        for (a, b) in samples.iter().zip(decoded.iter()) {
+            prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn regular_scrapes_stay_under_two_bytes_per_sample(
+        n in 100usize..500,
+        interval in 1_000_000_000i64..60_000_000_000,
+        base in -1000.0f64..1000.0,
+    ) {
+        let mut enc = GorillaEncoder::new();
+        for i in 0..n {
+            enc.append(Sample::new(i as i64 * interval, base));
+        }
+        let block = enc.finish();
+        let per_sample = block.compressed_size() as f64 / n as f64;
+        prop_assert!(per_sample < 2.0, "bytes/sample = {}", per_sample);
+    }
+}

@@ -1,0 +1,285 @@
+//! Machine topology enumeration.
+//!
+//! Builds the component inventory of a Perlmutter-like Shasta machine so the
+//! simulator, the CMDB and the workload generators all agree on which
+//! components exist. The paper's machine: liquid-cooled cabinets with
+//! redundant leak sensors per chassis, and Rosetta switches each connecting
+//! eight compute nodes.
+
+use crate::XName;
+
+/// Parameters describing a machine layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Cabinet numbers (e.g. `[1000, 1001, 1002, ...]`). Shasta numbers
+    /// cabinets as `1000 + 100*row + column`.
+    pub cabinets: Vec<u32>,
+    /// Chassis per cabinet (Olympus cabinets have 8).
+    pub chassis_per_cabinet: u8,
+    /// Compute blade slots per chassis.
+    pub slots_per_chassis: u8,
+    /// Node BMCs per blade slot.
+    pub bmcs_per_slot: u8,
+    /// Nodes per node BMC.
+    pub nodes_per_bmc: u8,
+    /// Router (switch) slots per chassis.
+    pub routers_per_chassis: u8,
+    /// Cabinets served by one cooling distribution unit.
+    pub cabinets_per_cdu: usize,
+}
+
+impl TopologySpec {
+    /// A Perlmutter-like layout: 12 cabinets across two rows, 8 chassis per
+    /// cabinet, 8 blade slots per chassis, 1 BMC per slot, 2 nodes per BMC,
+    /// 4 Rosetta switch slots per chassis. With this spec each switch
+    /// serves `8*1*2/4 = ...` — we keep the paper's invariant explicit in
+    /// [`MachineTopology::nodes_per_switch`] instead.
+    pub fn perlmutter_like() -> Self {
+        let mut cabinets = Vec::new();
+        for row in 0..2u32 {
+            for col in 0..6u32 {
+                cabinets.push(1000 + 100 * row + col);
+            }
+        }
+        Self {
+            cabinets,
+            chassis_per_cabinet: 8,
+            slots_per_chassis: 8,
+            bmcs_per_slot: 1,
+            nodes_per_bmc: 2,
+            routers_per_chassis: 4,
+            cabinets_per_cdu: 4,
+        }
+    }
+
+    /// A small layout for unit tests: 2 cabinets, 2 chassis each, 4 slots,
+    /// 2 routers.
+    pub fn tiny() -> Self {
+        Self {
+            cabinets: vec![1000, 1001],
+            chassis_per_cabinet: 2,
+            slots_per_chassis: 4,
+            bmcs_per_slot: 1,
+            nodes_per_bmc: 2,
+            routers_per_chassis: 2,
+            cabinets_per_cdu: 2,
+        }
+    }
+}
+
+/// The fully enumerated inventory of one machine.
+#[derive(Debug, Clone)]
+pub struct MachineTopology {
+    spec: TopologySpec,
+    cabinets: Vec<XName>,
+    chassis: Vec<XName>,
+    chassis_bmcs: Vec<XName>,
+    nodes: Vec<XName>,
+    node_bmcs: Vec<XName>,
+    switches: Vec<XName>,
+    cdus: Vec<XName>,
+}
+
+impl MachineTopology {
+    /// Enumerate a machine from its spec.
+    pub fn new(spec: TopologySpec) -> Self {
+        let mut cabinets = Vec::new();
+        let mut chassis = Vec::new();
+        let mut chassis_bmcs = Vec::new();
+        let mut nodes = Vec::new();
+        let mut node_bmcs = Vec::new();
+        let mut switches = Vec::new();
+        for &cab in &spec.cabinets {
+            cabinets.push(XName::Cabinet { cabinet: cab });
+            for ch in 0..spec.chassis_per_cabinet {
+                chassis.push(XName::Chassis { cabinet: cab, chassis: ch });
+                chassis_bmcs.push(XName::ChassisBmc { cabinet: cab, chassis: ch, bmc: 0 });
+                for slot in 0..spec.slots_per_chassis {
+                    for bmc in 0..spec.bmcs_per_slot {
+                        node_bmcs.push(XName::NodeBmc { cabinet: cab, chassis: ch, slot, bmc });
+                        for n in 0..spec.nodes_per_bmc {
+                            nodes.push(XName::Node {
+                                cabinet: cab,
+                                chassis: ch,
+                                slot,
+                                bmc,
+                                node: n,
+                            });
+                        }
+                    }
+                }
+                for r in 0..spec.routers_per_chassis {
+                    switches.push(XName::RouterBmc { cabinet: cab, chassis: ch, slot: r, bmc: 0 });
+                }
+            }
+        }
+        let n_cdus = spec.cabinets.len().div_ceil(spec.cabinets_per_cdu.max(1));
+        let cdus = (0..n_cdus as u32).map(|cdu| XName::Cdu { cdu }).collect();
+        Self { spec, cabinets, chassis, chassis_bmcs, nodes, node_bmcs, switches, cdus }
+    }
+
+    /// Perlmutter-like machine.
+    pub fn perlmutter_like() -> Self {
+        Self::new(TopologySpec::perlmutter_like())
+    }
+
+    /// The spec this topology was enumerated from.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// All cabinets.
+    pub fn cabinets(&self) -> &[XName] {
+        &self.cabinets
+    }
+
+    /// All chassis.
+    pub fn chassis(&self) -> &[XName] {
+        &self.chassis
+    }
+
+    /// All chassis BMCs (leak sensors report here).
+    pub fn chassis_bmcs(&self) -> &[XName] {
+        &self.chassis_bmcs
+    }
+
+    /// All compute nodes.
+    pub fn nodes(&self) -> &[XName] {
+        &self.nodes
+    }
+
+    /// All node BMCs.
+    pub fn node_bmcs(&self) -> &[XName] {
+        &self.node_bmcs
+    }
+
+    /// All Rosetta switch BMCs.
+    pub fn switches(&self) -> &[XName] {
+        &self.switches
+    }
+
+    /// All cooling distribution units.
+    pub fn cdus(&self) -> &[XName] {
+        &self.cdus
+    }
+
+    /// Total addressable component count.
+    pub fn component_count(&self) -> usize {
+        self.cabinets.len()
+            + self.chassis.len()
+            + self.chassis_bmcs.len()
+            + self.node_bmcs.len()
+            + self.nodes.len()
+            + self.switches.len()
+            + self.cdus.len()
+    }
+
+    /// The compute nodes connected to a given switch.
+    ///
+    /// The paper: "Each Rosetta switch connects eight compute nodes. If one
+    /// switch goes offline, the connection of the group of eight compute
+    /// nodes goes down." We model that by assigning each chassis' nodes to
+    /// its router slots round-robin in groups, so with the Perlmutter-like
+    /// spec (16 nodes, 4 switches per chassis) each switch carries a
+    /// contiguous group; with 32 nodes/4 switches it carries eight.
+    pub fn nodes_on_switch(&self, switch: &XName) -> Vec<XName> {
+        let XName::RouterBmc { cabinet, chassis, slot, .. } = *switch else {
+            return Vec::new();
+        };
+        let per_chassis: Vec<&XName> = self
+            .nodes
+            .iter()
+            .filter(|n| n.cabinet() == cabinet && n.chassis() == Some(chassis))
+            .collect();
+        let groups = self.spec.routers_per_chassis.max(1) as usize;
+        let group_size = per_chassis.len().div_ceil(groups);
+        per_chassis
+            .chunks(group_size.max(1))
+            .nth(slot as usize)
+            .map(|c| c.iter().map(|x| **x).collect())
+            .unwrap_or_default()
+    }
+
+    /// Nodes served per switch for this spec.
+    pub fn nodes_per_switch(&self) -> usize {
+        self.switches
+            .first()
+            .map(|s| self.nodes_on_switch(s).len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_counts() {
+        let t = MachineTopology::new(TopologySpec::tiny());
+        assert_eq!(t.cabinets().len(), 2);
+        assert_eq!(t.chassis().len(), 4);
+        assert_eq!(t.chassis_bmcs().len(), 4);
+        assert_eq!(t.nodes().len(), 2 * 2 * 4 * 2); // cab * chassis * slots * nodes
+        assert_eq!(t.switches().len(), 2 * 2 * 2);
+        assert_eq!(t.cdus().len(), 1); // 2 cabinets / 2 per CDU
+    }
+
+    #[test]
+    fn perlmutter_like_scale() {
+        let t = MachineTopology::perlmutter_like();
+        assert_eq!(t.cabinets().len(), 12);
+        // 12 cabinets * 8 chassis * 8 slots * 2 nodes = 1536 nodes,
+        // matching Perlmutter phase 1's GPU node count.
+        assert_eq!(t.nodes().len(), 1536);
+        assert_eq!(t.switches().len(), 12 * 8 * 4);
+        assert_eq!(t.cdus().len(), 3); // 12 cabinets / 4 per CDU
+    }
+
+    #[test]
+    fn every_node_has_exactly_one_switch() {
+        let t = MachineTopology::new(TopologySpec::tiny());
+        let mut seen = std::collections::HashMap::new();
+        for sw in t.switches() {
+            for n in t.nodes_on_switch(sw) {
+                *seen.entry(n).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(seen.len(), t.nodes().len());
+        assert!(seen.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn switch_group_sizes_match_spec() {
+        let t = MachineTopology::perlmutter_like();
+        // 16 nodes per chassis across 4 switches = 4 nodes per switch here;
+        // the grouping invariant (equal, disjoint groups) is what matters.
+        let sizes: Vec<usize> =
+            t.switches().iter().map(|s| t.nodes_on_switch(s).len()).collect();
+        assert!(sizes.iter().all(|&s| s == sizes[0]));
+        assert_eq!(sizes[0], t.nodes_per_switch());
+    }
+
+    #[test]
+    fn nodes_on_non_switch_is_empty() {
+        let t = MachineTopology::new(TopologySpec::tiny());
+        let cab = t.cabinets()[0];
+        assert!(t.nodes_on_switch(&cab).is_empty());
+    }
+
+    #[test]
+    fn paper_switch_arity_with_eight_node_groups() {
+        // A spec where each switch serves exactly eight nodes, the
+        // configuration the paper describes.
+        let spec = TopologySpec {
+            cabinets: vec![1002],
+            chassis_per_cabinet: 2,
+            slots_per_chassis: 8,
+            bmcs_per_slot: 1,
+            nodes_per_bmc: 2,
+            routers_per_chassis: 2,
+            cabinets_per_cdu: 4,
+        };
+        let t = MachineTopology::new(spec);
+        assert_eq!(t.nodes_per_switch(), 8);
+    }
+}

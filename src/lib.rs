@@ -1,0 +1,60 @@
+//! # shasta-mon
+//!
+//! A from-scratch Rust reproduction of *"Shasta Log Aggregation,
+//! Monitoring and Alerting in HPC Environments with Grafana Loki and
+//! ServiceNow"* (Bautista, Sukhija, Deng — IEEE CLUSTER 2022).
+//!
+//! The paper describes the monitoring pipeline NERSC operates around the
+//! Perlmutter (HPE Shasta) system. This workspace rebuilds every box of
+//! its Figure 1 as an independent, tested Rust crate, and wires them into
+//! the integrated framework:
+//!
+//! | Paper component | Crate |
+//! |---|---|
+//! | Shasta xnames | [`xname`] |
+//! | Redfish events + HMS collector | [`redfish`] |
+//! | Perlmutter machine + fabric manager | [`shasta`] |
+//! | Kafka | [`bus`] |
+//! | Telemetry API | [`telemetry`] |
+//! | LogQL | [`logql`] |
+//! | Grafana Loki (+ Ruler) | [`loki`] |
+//! | VictoriaMetrics (+ vmagent, vmalert) | [`tsdb`] |
+//! | Prometheus exporters | [`exporters`] |
+//! | Alertmanager (+ Slack) | [`alertmanager`] |
+//! | ServiceNow event management | [`servicenow`] |
+//! | Elasticsearch-style baseline | [`baseline`] |
+//! | The integrated framework (OMNI) | [`core`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use shasta_mon::core::{MonitoringStack, StackConfig};
+//! use shasta_mon::shasta::LeakZone;
+//!
+//! let mut stack = MonitoringStack::new(StackConfig::default());
+//! // Simulate one quiet minute, then the paper's leak scenario.
+//! stack.step(60_000_000_000, 10, 10);
+//! let chassis = stack.machine.topology().chassis()[0];
+//! stack.inject_leak(chassis, 'A', LeakZone::Front);
+//! for _ in 0..6 {
+//!     stack.step(60_000_000_000, 10, 10);
+//! }
+//! assert!(!stack.slack.is_empty());         // Figure 6's Slack alert
+//! assert!(!stack.servicenow.incidents().is_empty()); // SN incident
+//! ```
+
+pub use omni_alertmanager as alertmanager;
+pub use omni_baseline as baseline;
+pub use omni_bus as bus;
+pub use omni_core as core;
+pub use omni_exporters as exporters;
+pub use omni_json as json;
+pub use omni_logql as logql;
+pub use omni_loki as loki;
+pub use omni_model as model;
+pub use omni_redfish as redfish;
+pub use omni_servicenow as servicenow;
+pub use omni_shasta as shasta;
+pub use omni_telemetry as telemetry;
+pub use omni_tsdb as tsdb;
+pub use omni_xname as xname;

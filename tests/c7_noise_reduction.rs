@@ -1,0 +1,162 @@
+//! Experiment C7 — noise reduction: "the reduction in noise caused by
+//! multiple alerts from the same events" via Alertmanager grouping and
+//! ServiceNow deduplication.
+
+use shasta_mon::alertmanager::{Alert, Alertmanager, AlertStatus, Route};
+use shasta_mon::logql::Matcher;
+use shasta_mon::model::{labels, NANOS_PER_SEC};
+use shasta_mon::servicenow::{IncidentRule, ServiceNow, SnEvent};
+
+const SEC: i64 = NANOS_PER_SEC;
+
+fn am() -> Alertmanager {
+    let mut route = Route::default_route("slack");
+    route.group_by = vec!["alertname".into()];
+    route.group_wait_ns = 10 * SEC;
+    route.group_interval_ns = 60 * SEC;
+    route.repeat_interval_ns = 3_600 * SEC;
+    Alertmanager::new(route)
+}
+
+#[test]
+fn alert_storm_compresses_into_grouped_notifications() {
+    let mut am = am();
+    // A fabric event takes out 32 switches; each raises its own alert.
+    for i in 0..32 {
+        am.receive(
+            Alert {
+                labels: labels!(
+                    "alertname" => "PerlmutterSwitchOffline",
+                    "xname" => format!("x{:04}c0r0b0", 1000 + i)
+                ),
+                annotations: vec![],
+                status: AlertStatus::Firing,
+                starts_at: SEC,
+            },
+            SEC,
+        );
+    }
+    let notifs = am.tick(20 * SEC);
+    assert_eq!(notifs.len(), 1, "one group -> one notification");
+    assert_eq!(notifs[0].alerts.len(), 32);
+    let (received, notified, _) = am.stats();
+    assert_eq!(received, 32);
+    assert_eq!(notified, 1);
+    assert!(received / notified >= 32);
+}
+
+#[test]
+fn inhibition_cuts_cascade_noise() {
+    let mut am = am();
+    am.add_inhibit_rule(shasta_mon::alertmanager::InhibitRule {
+        source_matchers: vec![Matcher::eq("alertname", "SwitchOffline")],
+        target_matchers: vec![Matcher::eq("alertname", "NodeDown")],
+        equal: vec!["chassis".into()],
+    });
+    am.receive(
+        Alert {
+            labels: labels!("alertname" => "SwitchOffline", "chassis" => "x1002c1"),
+            annotations: vec![],
+            status: AlertStatus::Firing,
+            starts_at: 0,
+        },
+        0,
+    );
+    // The 8 downstream node alerts the paper's topology implies.
+    for n in 0..8 {
+        am.receive(
+            Alert {
+                labels: labels!(
+                    "alertname" => "NodeDown",
+                    "chassis" => "x1002c1",
+                    "node" => format!("n{n}")
+                ),
+                annotations: vec![],
+                status: AlertStatus::Firing,
+                starts_at: 0,
+            },
+            0,
+        );
+    }
+    let notifs = am.tick(20 * SEC);
+    // Only the root cause notifies; the node cascade is inhibited.
+    assert_eq!(notifs.len(), 1);
+    assert_eq!(notifs[0].alerts[0].name(), "SwitchOffline");
+    let (_, _, suppressed) = am.stats();
+    assert_eq!(suppressed, 8);
+}
+
+#[test]
+fn servicenow_dedup_many_events_one_incident() {
+    let sn = ServiceNow::new();
+    sn.add_incident_rule(IncidentRule {
+        name: "crit".into(),
+        max_severity: 2,
+        node_contains: None,
+        resource: None,
+        assignment_group: "ops".into(),
+    });
+    // The same leak reported 50 times (flapping sensor / repeated rule
+    // evaluation).
+    for i in 0..50 {
+        sn.process_event(
+            SnEvent {
+                source: "alertmanager".into(),
+                node: "x1203c1b0".into(),
+                metric_type: "leak".into(),
+                resource: "chassis".into(),
+                severity: 1,
+                message_key: "PerlmutterCabinetLeak:x1203c1b0".into(),
+                description: "Cabinet leak detected".into(),
+            },
+            i * SEC,
+        );
+    }
+    assert_eq!(sn.events_received(), 50);
+    assert_eq!(sn.alerts().len(), 1, "one message_key -> one SN alert");
+    assert_eq!(sn.alerts()[0].event_count, 50);
+    assert_eq!(sn.incidents().len(), 1, "one alert -> one incident");
+}
+
+#[test]
+fn noise_reduction_factor_exceeds_ten() {
+    // End-to-end factor: 50 events -> 1 notification path.
+    let mut am = am();
+    let sn = ServiceNow::new();
+    sn.add_incident_rule(IncidentRule {
+        name: "crit".into(),
+        max_severity: 2,
+        node_contains: None,
+        resource: None,
+        assignment_group: "ops".into(),
+    });
+    let mut events_in = 0u64;
+    for round in 0..5 {
+        for loc in 0..10 {
+            events_in += 1;
+            am.receive(
+                Alert {
+                    labels: labels!(
+                        "alertname" => "CabinetLeak",
+                        "severity" => "critical",
+                        "Context" => format!("x{loc:04}c1b0")
+                    ),
+                    annotations: vec![],
+                    status: AlertStatus::Firing,
+                    starts_at: round * SEC,
+                },
+                round * SEC,
+            );
+        }
+    }
+    let notifs = am.tick(30 * SEC);
+    let mut sn_events = 0;
+    for n in &notifs {
+        sn_events += sn.receive_notification(n, 30 * SEC).len();
+    }
+    let incidents = sn.incidents().len() as u64;
+    assert!(sn_events > 0);
+    assert!(incidents <= 10);
+    let factor = events_in as f64 / notifs.len().max(1) as f64;
+    assert!(factor >= 10.0, "noise reduction factor {factor}");
+}

@@ -1,0 +1,90 @@
+//! Experiment E1 — Figures 2 & 3: the raw Telemetry-API Redfish event and
+//! its transformation into the Loki push payload, byte-for-byte.
+
+use shasta_mon::core::redfish_to_loki;
+use shasta_mon::json::{parse, Json};
+use shasta_mon::model::parse_iso8601;
+use shasta_mon::redfish::RedfishEvent;
+
+/// The paper's Figure 2 payload, re-keyed here as the reference document.
+const FIGURE2_JSON: &str = r#"{
+  "metrics": {
+    "messages": [
+      {
+        "Context": "x1203c1b0",
+        "Events": [
+          {
+            "EventTimestamp": "2022-03-03T01:47:57+00:00",
+            "Severity": "Warning",
+            "Message": "Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak.",
+            "MessageId": "CrayAlerts.1.0.CabinetLeakDetected",
+            "MessageArgs": ["A, Front"],
+            "OriginOfCondition": {"@odata.id": "/redfish/v1/Chassis/Enclosure"}
+          }
+        ]
+      }
+    ]
+  }
+}"#;
+
+#[test]
+fn simulator_reproduces_figure2_payload() {
+    let reference = parse(FIGURE2_JSON).unwrap();
+    let generated = RedfishEvent::paper_leak_event().to_telemetry_json();
+    assert_eq!(generated, reference, "generated Telemetry-API payload must match Figure 2");
+}
+
+#[test]
+fn figure2_decodes_and_transforms_to_figure3() {
+    let reference = parse(FIGURE2_JSON).unwrap();
+    let events = RedfishEvent::from_telemetry_json(&reference).unwrap();
+    assert_eq!(events.len(), 1);
+    let record = redfish_to_loki(&events[0], "perlmutter");
+
+    // Figure 3 stream labels.
+    let expected_labels: Vec<(&str, &str)> = vec![
+        ("Context", "x1203c1b0"),
+        ("cluster", "perlmutter"),
+        ("data_type", "redfish_event"),
+    ];
+    assert_eq!(record.labels.iter().collect::<Vec<_>>(), expected_labels);
+
+    // Figure 3 value: ["1646272077000000000", '{...}'].
+    assert_eq!(record.entry.ts, 1_646_272_077_000_000_000);
+    assert_eq!(
+        record.entry.line,
+        r#"{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected","Message":"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."}"#
+    );
+}
+
+#[test]
+fn transformation_drops_exactly_the_paper_fields() {
+    let reference = parse(FIGURE2_JSON).unwrap();
+    let events = RedfishEvent::from_telemetry_json(&reference).unwrap();
+    let record = redfish_to_loki(&events[0], "perlmutter");
+    let content = parse(&record.entry.line).unwrap();
+    // "The OriginOfCondition field contains a link ... not useful" and
+    // "the MessageArgs field has duplicate information" — both removed.
+    assert!(content.get("OriginOfCondition").is_none());
+    assert!(content.get("MessageArgs").is_none());
+    // The timestamp moved out of the content into the entry.
+    assert!(content.get("EventTimestamp").is_none());
+    // What remains is exactly Severity, MessageId, Message.
+    assert_eq!(content.as_object().unwrap().len(), 3);
+}
+
+#[test]
+fn timestamp_conversion_matches_figure3() {
+    // ISO 8601 (Fig 2) → unix epoch nanoseconds (Fig 3).
+    let ns = parse_iso8601("2022-03-03T01:47:57+00:00").unwrap();
+    assert_eq!(ns.to_string(), "1646272077000000000");
+}
+
+#[test]
+fn grafana_can_reextract_from_content() {
+    // "Grafana can further extract information if a log string is
+    // structured in JSON" — the content must reparse.
+    let record = redfish_to_loki(&RedfishEvent::paper_leak_event(), "perlmutter");
+    let content = parse(&record.entry.line).unwrap();
+    assert_eq!(content.get("Severity").and_then(Json::as_str), Some("Warning"));
+}

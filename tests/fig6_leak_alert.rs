@@ -1,0 +1,83 @@
+//! Experiment E4 — Figure 6: the Slack alert generated from the Redfish
+//! leak event, produced through the full Ruler → Alertmanager → Slack
+//! path.
+
+use shasta_mon::core::{MonitoringStack, StackConfig};
+use shasta_mon::model::NANOS_PER_SEC;
+use shasta_mon::shasta::LeakZone;
+
+const MINUTE: i64 = 60 * NANOS_PER_SEC;
+
+#[test]
+fn leak_event_produces_figure6_slack_alert() {
+    let mut stack = MonitoringStack::new(StackConfig::default());
+    stack.step(MINUTE, 0, 0);
+    let chassis = stack.machine.topology().chassis()[2];
+    stack.inject_leak(chassis, 'A', LeakZone::Front);
+    for _ in 0..6 {
+        stack.step(MINUTE, 0, 0);
+    }
+    let messages = stack.slack.messages();
+    assert!(!messages.is_empty(), "a leak must reach Slack");
+    let leak_msg = messages
+        .iter()
+        .find(|m| m.text.contains("PerlmutterCabinetLeak"))
+        .expect("the Ruler rule's alert must be among the messages");
+    // Figure 6's content: status header, location, the message text.
+    assert!(leak_msg.text.contains("[FIRING]"));
+    assert!(leak_msg.text.contains(&format!("{chassis}b0"))); // chassis BMC context
+    assert!(leak_msg.text.contains("detected a leak"));
+    assert!(leak_msg.text.contains("CrayAlerts.1.0.CabinetLeakDetected"));
+    // "enriched with different types of fonts and bullet points".
+    assert!(leak_msg.text.contains("• *"));
+    assert!(leak_msg.text.contains('*'));
+    assert_eq!(leak_msg.channel, "#perlmutter-alerts");
+}
+
+#[test]
+fn no_leak_no_alert() {
+    let mut stack = MonitoringStack::new(StackConfig::default());
+    for _ in 0..10 {
+        stack.step(MINUTE, 10, 5);
+    }
+    assert!(
+        stack.slack.is_empty(),
+        "healthy machine must stay silent, got {:?}",
+        stack.slack.messages()
+    );
+}
+
+#[test]
+fn for_hold_prevents_instant_firing() {
+    // The paper: "If the return value is greater than zero and it lasts
+    // more than one minutes, an alert will be generated."
+    let mut stack = MonitoringStack::new(StackConfig::default());
+    stack.step(MINUTE, 0, 0);
+    let chassis = stack.machine.topology().chassis()[0];
+    stack.inject_leak(chassis, 'A', LeakZone::Front);
+    // 30 seconds later: pipeline has run but the 1-minute hold has not
+    // elapsed; nothing in Slack from the Ruler's leak rule yet.
+    stack.step(30 * NANOS_PER_SEC, 0, 0);
+    assert!(stack
+        .slack
+        .messages()
+        .iter()
+        .all(|m| !m.text.contains("PerlmutterCabinetLeak")));
+}
+
+#[test]
+fn leak_also_lands_in_servicenow_as_incident() {
+    let mut stack = MonitoringStack::new(StackConfig::default());
+    stack.step(MINUTE, 0, 0);
+    let chassis = stack.machine.topology().chassis()[1];
+    stack.inject_leak(chassis, 'B', LeakZone::Rear);
+    for _ in 0..6 {
+        stack.step(MINUTE, 0, 0);
+    }
+    let incidents = stack.servicenow.incidents();
+    assert!(!incidents.is_empty(), "critical alert routes to ServiceNow");
+    assert_eq!(incidents[0].assignment_group, "nersc-ops");
+    assert_eq!(incidents[0].priority, 1);
+    // The incident's CI is bound to the chassis BMC from the CMDB.
+    assert!(incidents[0].ci.is_some());
+}

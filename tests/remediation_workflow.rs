@@ -1,0 +1,87 @@
+//! Automated remediation workflows end to end: a switch fault fires an
+//! alert, the playbook restarts the switch, the alert resolves, and the
+//! ServiceNow incident auto-closes with MTTR recorded.
+
+use shasta_mon::core::{MonitoringStack, StackConfig};
+use shasta_mon::model::NANOS_PER_SEC;
+use shasta_mon::shasta::{GpfsState, SwitchState};
+
+const MINUTE: i64 = 60 * NANOS_PER_SEC;
+
+fn remediating_stack() -> MonitoringStack {
+    MonitoringStack::new(StackConfig { auto_remediate: true, ..Default::default() })
+}
+
+#[test]
+fn switch_fault_self_heals() {
+    let mut stack = remediating_stack();
+    stack.step(MINUTE, 0, 0);
+    let switch = stack.machine.topology().switches()[4];
+    stack.take_switch_offline(switch, SwitchState::Unknown);
+    for _ in 0..12 {
+        stack.step(MINUTE, 0, 0);
+    }
+    // The playbook ran and journaled.
+    let journal = stack.remediation_journal();
+    assert!(
+        journal.iter().any(|e| e.outcome.contains(&format!("restarted switch {switch}"))),
+        "journal: {journal:?}"
+    );
+    // The fabric is healthy again.
+    assert_eq!(stack.fabric.switch_state(&switch), Some(SwitchState::Online));
+    // The alert resolved in Slack.
+    assert!(stack.slack.messages().iter().any(|m| m.text.contains("[RESOLVED]")));
+}
+
+#[test]
+fn gpfs_fault_self_heals_and_incident_resolves() {
+    let mut stack = remediating_stack();
+    stack.step(MINUTE, 0, 0);
+    stack.fail_gpfs_server("nsd02", GpfsState::Failed);
+    for _ in 0..15 {
+        stack.step(MINUTE, 0, 0);
+    }
+    let journal = stack.remediation_journal();
+    assert!(
+        journal.iter().any(|e| e.outcome.contains("repaired GPFS server nsd02")),
+        "journal: {journal:?}"
+    );
+    // Incident opened and auto-resolved when the clear event arrived.
+    let incidents = stack.servicenow.incidents();
+    assert!(!incidents.is_empty());
+    assert!(
+        incidents
+            .iter()
+            .any(|i| i.state == shasta_mon::servicenow::IncidentState::Resolved),
+        "incidents: {incidents:?}"
+    );
+    assert!(stack.servicenow.mttr_ns().is_some());
+}
+
+#[test]
+fn leak_files_operator_task_but_does_not_clear_itself() {
+    let mut stack = remediating_stack();
+    stack.step(MINUTE, 0, 0);
+    let chassis = stack.machine.topology().chassis()[0];
+    stack.inject_leak(chassis, 'A', shasta_mon::shasta::LeakZone::Front);
+    for _ in 0..6 {
+        stack.step(MINUTE, 0, 0);
+    }
+    let journal = stack.remediation_journal();
+    assert!(journal.iter().any(|e| e.outcome.contains("operator task filed")));
+    // A leak cannot be fixed by software: the machine still reports it.
+    assert_eq!(stack.machine.leaking_chassis(), vec![chassis]);
+}
+
+#[test]
+fn remediation_off_by_default() {
+    let mut stack = MonitoringStack::new(StackConfig::default());
+    stack.step(MINUTE, 0, 0);
+    let switch = stack.machine.topology().switches()[0];
+    stack.take_switch_offline(switch, SwitchState::Offline);
+    for _ in 0..6 {
+        stack.step(MINUTE, 0, 0);
+    }
+    assert!(stack.remediation_journal().is_empty());
+    assert_eq!(stack.fabric.switch_state(&switch), Some(SwitchState::Offline));
+}
