@@ -1,0 +1,309 @@
+//! At-least-once notification delivery.
+//!
+//! [`crate::Alertmanager::tick`] decides *what* to notify; real receivers
+//! (a Slack webhook, the ServiceNow API) decide *whether* the send lands,
+//! and in practice they flake. The [`DeliveryQueue`] keeps every
+//! notification until a send succeeds: failures re-queue with exponential
+//! backoff ([`RetryPolicy`]), a per-receiver circuit breaker stops
+//! hammering a dead endpoint, and items that exhaust their attempts land
+//! in a dead-letter list instead of vanishing silently.
+//!
+//! All timing runs on the caller's virtual clock and all jitter is
+//! salt-derived, so a chaos schedule replays byte-identically.
+
+use crate::Notification;
+use omni_model::{fnv1a64, CircuitBreaker, CircuitState, RetryPolicy, RetryState, Timestamp};
+use std::collections::HashMap;
+
+/// Counters for the delivery pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Notifications handed to the queue.
+    pub enqueued: u64,
+    /// Send attempts made (including retries).
+    pub attempts: u64,
+    /// Notifications that reached their receiver.
+    pub delivered: u64,
+    /// Failed attempts that were re-queued for a later try.
+    pub retried: u64,
+    /// Notifications dead-lettered after exhausting the retry policy.
+    pub permanently_failed: u64,
+    /// Times any receiver's circuit breaker opened.
+    pub circuit_opens: u64,
+    /// Notifications currently waiting (due or backing off).
+    pub queue_depth: usize,
+}
+
+struct Pending {
+    notification: Notification,
+    state: RetryState,
+    /// Stable per-item jitter salt: receiver + group identity + sequence.
+    salt: u64,
+}
+
+/// The at-least-once notification queue.
+pub struct DeliveryQueue {
+    policy: RetryPolicy,
+    failure_threshold: u32,
+    cooldown_ns: i64,
+    pending: Vec<Pending>,
+    breakers: HashMap<String, CircuitBreaker>,
+    dead: Vec<Notification>,
+    seq: u64,
+    enqueued: u64,
+    attempts: u64,
+    delivered: u64,
+    retried: u64,
+    permanently_failed: u64,
+}
+
+impl DeliveryQueue {
+    /// Queue with the given retry policy and a per-receiver breaker that
+    /// opens after `failure_threshold` consecutive failures for
+    /// `cooldown_ns`.
+    pub fn new(policy: RetryPolicy, failure_threshold: u32, cooldown_ns: i64) -> Self {
+        Self {
+            policy,
+            failure_threshold,
+            cooldown_ns,
+            pending: Vec::new(),
+            breakers: HashMap::new(),
+            dead: Vec::new(),
+            seq: 0,
+            enqueued: 0,
+            attempts: 0,
+            delivered: 0,
+            retried: 0,
+            permanently_failed: 0,
+        }
+    }
+
+    /// Queue with the default policy (500ms base, 60s cap, 8 attempts) and
+    /// a 5-failure / 30s-cooldown breaker.
+    pub fn with_defaults() -> Self {
+        Self::new(RetryPolicy::default(), 5, 30_000_000_000)
+    }
+
+    /// Accept a notification for delivery; it is due immediately.
+    pub fn enqueue(&mut self, notification: Notification) {
+        let salt = fnv1a64(notification.receiver.as_bytes())
+            ^ notification.group_labels.fingerprint()
+            ^ self.seq;
+        self.seq += 1;
+        self.enqueued += 1;
+        self.pending.push(Pending { notification, state: RetryState::new(), salt });
+    }
+
+    /// Attempt every due delivery at `now`. `send` returns `true` when the
+    /// receiver accepted the notification. Returns how many were delivered
+    /// in this pump.
+    pub fn pump<F>(&mut self, now: Timestamp, mut send: F) -> usize
+    where
+        F: FnMut(&Notification) -> bool,
+    {
+        let mut delivered_now = 0;
+        let mut i = 0;
+        while i < self.pending.len() {
+            let due = {
+                let p = &self.pending[i];
+                let breaker = self
+                    .breakers
+                    .entry(p.notification.receiver.clone())
+                    .or_insert_with(|| CircuitBreaker::new(self.failure_threshold, self.cooldown_ns));
+                p.state.due(now) && breaker.allows(now)
+            };
+            if !due {
+                i += 1;
+                continue;
+            }
+            self.attempts += 1;
+            let ok = send(&self.pending[i].notification);
+            let receiver = self.pending[i].notification.receiver.clone();
+            let breaker = self.breakers.get_mut(&receiver).expect("breaker created above");
+            if ok {
+                breaker.record_success();
+                self.delivered += 1;
+                delivered_now += 1;
+                self.pending.remove(i);
+            } else {
+                breaker.record_failure(now);
+                let p = &mut self.pending[i];
+                if p.state.record_failure(now, &self.policy, p.salt) {
+                    self.retried += 1;
+                    i += 1;
+                } else {
+                    self.permanently_failed += 1;
+                    let p = self.pending.remove(i);
+                    self.dead.push(p.notification);
+                }
+            }
+        }
+        delivered_now
+    }
+
+    /// Earliest virtual time at which any pending item becomes due, if any
+    /// (lets a simulation step straight to the next interesting instant).
+    pub fn next_due(&self) -> Option<Timestamp> {
+        self.pending.iter().map(|p| p.state.due_at).min()
+    }
+
+    /// Notifications still in flight.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Notifications that exhausted the retry policy, in failure order.
+    pub fn dead_letters(&self) -> &[Notification] {
+        &self.dead
+    }
+
+    /// A receiver's circuit state at `now` (`Closed` if never seen).
+    pub fn circuit_state(&self, receiver: &str, now: Timestamp) -> CircuitState {
+        self.breakers.get(receiver).map_or(CircuitState::Closed, |b| b.state(now))
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> DeliveryStats {
+        DeliveryStats {
+            enqueued: self.enqueued,
+            attempts: self.attempts,
+            delivered: self.delivered,
+            retried: self.retried,
+            permanently_failed: self.permanently_failed,
+            circuit_opens: self.breakers.values().map(|b| b.opens()).sum(),
+            queue_depth: self.pending.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::labels;
+
+    fn notif(receiver: &str, group: &str) -> Notification {
+        Notification {
+            receiver: receiver.into(),
+            group_labels: labels!("alertname" => group),
+            alerts: vec![],
+        }
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy { base_delay_ns: 100, max_delay_ns: 1_000, max_attempts: 4, jitter_permille: 0 }
+    }
+
+    #[test]
+    fn delivers_on_first_attempt() {
+        let mut q = DeliveryQueue::new(fast_policy(), 5, 1_000);
+        q.enqueue(notif("slack", "X"));
+        let mut sent = Vec::new();
+        assert_eq!(q.pump(0, |n| {
+            sent.push(n.receiver.clone());
+            true
+        }), 1);
+        assert_eq!(sent, vec!["slack"]);
+        let st = q.stats();
+        assert_eq!((st.attempts, st.delivered, st.queue_depth), (1, 1, 0));
+    }
+
+    #[test]
+    fn failed_send_retries_after_backoff_until_success() {
+        let mut q = DeliveryQueue::new(fast_policy(), 10, 1_000_000);
+        q.enqueue(notif("slack", "X"));
+        // First two attempts fail.
+        assert_eq!(q.pump(0, |_| false), 0);
+        let due = q.next_due().unwrap();
+        assert_eq!(due, 100); // base delay, no jitter
+        // Before backoff elapses, no attempt is made.
+        assert_eq!(q.stats().attempts, 1);
+        q.pump(due - 1, |_| panic!("not due yet"));
+        assert_eq!(q.pump(due, |_| false), 0);
+        // Second retry doubles the delay.
+        assert_eq!(q.next_due().unwrap(), due + 200);
+        assert_eq!(q.pump(q.next_due().unwrap(), |_| true), 1);
+        let st = q.stats();
+        assert_eq!((st.attempts, st.delivered, st.retried, st.queue_depth), (3, 1, 2, 0));
+        assert_eq!(st.permanently_failed, 0);
+    }
+
+    #[test]
+    fn exhausted_items_are_dead_lettered() {
+        let mut q = DeliveryQueue::new(fast_policy(), 100, 1);
+        q.enqueue(notif("servicenow", "Y"));
+        let mut now = 0;
+        for _ in 0..10 {
+            q.pump(now, |_| false);
+            now = q.next_due().unwrap_or(now + 1);
+        }
+        let st = q.stats();
+        assert_eq!(st.permanently_failed, 1);
+        assert_eq!(st.attempts, 4); // max_attempts
+        assert_eq!(st.queue_depth, 0);
+        assert_eq!(q.dead_letters().len(), 1);
+        assert_eq!(q.dead_letters()[0].receiver, "servicenow");
+    }
+
+    #[test]
+    fn circuit_breaker_gates_a_dead_receiver() {
+        // Breaker opens after 2 consecutive failures for 10_000 ns.
+        let mut q = DeliveryQueue::new(
+            RetryPolicy { base_delay_ns: 1, max_delay_ns: 1, max_attempts: 100, jitter_permille: 0 },
+            2,
+            10_000,
+        );
+        q.enqueue(notif("slack", "A"));
+        q.enqueue(notif("slack", "B"));
+        // Both attempts fail -> breaker trips.
+        q.pump(0, |_| false);
+        assert_eq!(q.stats().attempts, 2);
+        assert_eq!(q.stats().circuit_opens, 1);
+        assert_eq!(q.circuit_state("slack", 1), CircuitState::Open);
+        // While open: retries are due but nothing is attempted.
+        q.pump(5, |_: &Notification| panic!("breaker is open"));
+        assert_eq!(q.stats().attempts, 2);
+        // After cooldown the half-open probe goes through and recovery
+        // drains the queue.
+        assert_eq!(q.pump(10_000, |_| true), 2);
+        assert_eq!(q.circuit_state("slack", 10_001), CircuitState::Closed);
+        assert_eq!(q.stats().queue_depth, 0);
+    }
+
+    #[test]
+    fn breaker_is_per_receiver() {
+        let mut q = DeliveryQueue::new(
+            RetryPolicy { base_delay_ns: 1, max_delay_ns: 1, max_attempts: 100, jitter_permille: 0 },
+            1,
+            1_000_000,
+        );
+        q.enqueue(notif("slack", "A"));
+        q.enqueue(notif("servicenow", "B"));
+        // Slack fails (tripping its breaker); ServiceNow succeeds.
+        q.pump(0, |n| n.receiver == "servicenow");
+        assert_eq!(q.circuit_state("slack", 1), CircuitState::Open);
+        assert_eq!(q.circuit_state("servicenow", 1), CircuitState::Closed);
+        assert_eq!(q.stats().delivered, 1);
+        assert_eq!(q.stats().queue_depth, 1);
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_stats() {
+        let run = || {
+            let mut q = DeliveryQueue::new(RetryPolicy::default(), 3, 5_000_000_000);
+            for i in 0..5 {
+                q.enqueue(notif(if i % 2 == 0 { "slack" } else { "servicenow" }, "G"));
+            }
+            let mut now = 0;
+            let mut calls = 0u32;
+            for _ in 0..50 {
+                q.pump(now, |_| {
+                    calls += 1;
+                    calls.is_multiple_of(3) // every third send succeeds
+                });
+                now = q.next_due().unwrap_or(now) + 1;
+            }
+            q.stats()
+        };
+        assert_eq!(run(), run());
+    }
+}

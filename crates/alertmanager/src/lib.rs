@@ -10,9 +10,11 @@
 //!   machinery of experiment C7);
 //! * [`slack`] — the Slack message formatter reproducing Figures 6 and 9.
 
+pub mod delivery;
 pub mod route;
 pub mod slack;
 
+pub use delivery::{DeliveryQueue, DeliveryStats};
 pub use route::Route;
 pub use slack::{format_slack_message, SlackMessage, SlackSink};
 

@@ -23,7 +23,7 @@ mod stats;
 
 pub use consumer::{Consumer, ConsumerGroupDesc};
 pub use partition::{Message, Partition};
-pub use stats::TopicStats;
+pub use stats::{TopicStats, TopicStatsSnapshot};
 
 use bytes::Bytes;
 use omni_model::{fnv1a64, SimClock};
@@ -61,6 +61,9 @@ pub enum BusError {
     TopicExists(String),
     /// Partition index out of range.
     UnknownPartition(usize),
+    /// The broker is inside an injected brownout window; the operation was
+    /// rejected and should be retried after backoff.
+    Unavailable,
 }
 
 impl fmt::Display for BusError {
@@ -69,6 +72,7 @@ impl fmt::Display for BusError {
             BusError::UnknownTopic(t) => write!(f, "unknown topic {t:?}"),
             BusError::TopicExists(t) => write!(f, "topic {t:?} already exists"),
             BusError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+            BusError::Unavailable => write!(f, "broker unavailable (brownout)"),
         }
     }
 }
@@ -95,6 +99,15 @@ pub struct Broker {
     inner: Arc<BrokerInner>,
 }
 
+/// One injected availability outage: operations inside `[from, until)`
+/// (broker clock) fail with [`BusError::Unavailable`].
+#[derive(Debug, Clone, Copy)]
+struct Brownout {
+    id: u64,
+    from: i64,
+    until: i64,
+}
+
 struct BrokerInner {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
     offsets: Mutex<GroupOffsets>,
@@ -102,6 +115,8 @@ struct BrokerInner {
     members: Mutex<HashMap<(String, String), Vec<u64>>>,
     next_member_id: AtomicU64,
     clock: SimClock,
+    brownouts: Mutex<Vec<Brownout>>,
+    brownout_seq: AtomicU64,
 }
 
 impl Broker {
@@ -114,6 +129,8 @@ impl Broker {
                 members: Mutex::new(HashMap::new()),
                 next_member_id: AtomicU64::new(0),
                 clock,
+                brownouts: Mutex::new(Vec::new()),
+                brownout_seq: AtomicU64::new(0),
             }),
         }
     }
@@ -121,6 +138,29 @@ impl Broker {
     /// The broker's clock.
     pub fn clock(&self) -> &SimClock {
         &self.inner.clock
+    }
+
+    /// Schedule an availability outage: every produce/fetch whose broker
+    /// clock falls in `[from_ns, until_ns)` fails with
+    /// [`BusError::Unavailable`]. Windows may be scheduled ahead of time
+    /// and overlap; expired windows are pruned lazily.
+    pub fn inject_brownout(&self, from_ns: i64, until_ns: i64) {
+        assert!(from_ns < until_ns, "brownout window must be non-empty");
+        let id = self.inner.brownout_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.brownouts.lock().push(Brownout { id, from: from_ns, until: until_ns });
+    }
+
+    /// Whether the broker is currently inside a brownout window.
+    pub fn brownout_active(&self) -> bool {
+        self.active_brownout().is_some()
+    }
+
+    /// The id of the brownout window covering the current clock, if any.
+    fn active_brownout(&self) -> Option<u64> {
+        let now = self.inner.clock.now();
+        let mut windows = self.inner.brownouts.lock();
+        windows.retain(|w| w.until > now);
+        windows.iter().find(|w| w.from <= now).map(|w| w.id)
     }
 
     /// Create a topic. Errors if it already exists.
@@ -172,6 +212,11 @@ impl Broker {
         payload: impl Into<Bytes>,
     ) -> Result<(usize, u64), BusError> {
         let t = self.topic(topic)?;
+        if let Some(window) = self.active_brownout() {
+            t.stats.record_produce_retry();
+            t.stats.record_unavailable(window);
+            return Err(BusError::Unavailable);
+        }
         let payload: Bytes = payload.into();
         let part_idx = match key {
             Some(k) => (fnv1a64(k.as_bytes()) % t.partitions.len() as u64) as usize,
@@ -223,6 +268,10 @@ impl Broker {
         max: usize,
     ) -> Result<Vec<Message>, BusError> {
         let t = self.topic(topic)?;
+        if let Some(window) = self.active_brownout() {
+            t.stats.record_unavailable(window);
+            return Err(BusError::Unavailable);
+        }
         let p = t.partitions.get(partition).ok_or(BusError::UnknownPartition(partition))?;
         let msgs = p.read_from(offset, max);
         t.stats.record_out(msgs.iter().map(|m| m.payload.len()).sum());

@@ -9,6 +9,11 @@ pub struct TopicStats {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     tail_drops: AtomicU64,
+    produce_retries: AtomicU64,
+    unavailable_windows: AtomicU64,
+    /// `window id + 1` of the last brownout that touched this topic, so a
+    /// window is counted once no matter how many operations it rejects.
+    last_window: AtomicU64,
 }
 
 /// A point-in-time copy of [`TopicStats`].
@@ -22,6 +27,12 @@ pub struct TopicStatsSnapshot {
     pub bytes_out: u64,
     /// Messages dropped on slow live-tail subscribers.
     pub tail_drops: u64,
+    /// Produce attempts rejected by a brownout (each one is a retry the
+    /// producer owes).
+    pub produce_retries: u64,
+    /// Distinct brownout windows during which this topic rejected at least
+    /// one operation.
+    pub unavailable_windows: u64,
 }
 
 impl TopicStats {
@@ -38,6 +49,18 @@ impl TopicStats {
         self.tail_drops.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_produce_retry(&self) {
+        self.produce_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note that brownout window `id` rejected an operation on this topic,
+    /// counting each window at most once.
+    pub(crate) fn record_unavailable(&self, window_id: u64) {
+        if self.last_window.swap(window_id + 1, Ordering::Relaxed) != window_id + 1 {
+            self.unavailable_windows.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Copy the counters.
     pub fn snapshot(&self) -> TopicStatsSnapshot {
         TopicStatsSnapshot {
@@ -45,6 +68,8 @@ impl TopicStats {
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             tail_drops: self.tail_drops.load(Ordering::Relaxed),
+            produce_retries: self.produce_retries.load(Ordering::Relaxed),
+            unavailable_windows: self.unavailable_windows.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,8 +1,50 @@
 //! Property tests for the bus invariants the pipeline depends on.
 
-use omni_bus::{Broker, TopicConfig};
-use omni_model::SimClock;
+use omni_bus::{Broker, BusError, TopicConfig};
+use omni_model::{SimClock, NANOS_PER_SEC};
 use proptest::prelude::*;
+
+/// Brownout windows reject produce and fetch while active, meter
+/// `produce_retries` per rejected produce and `unavailable_windows` once
+/// per window, and nothing produced outside the window is lost.
+#[test]
+fn brownout_rejects_then_recovers_with_counters() {
+    let clock = SimClock::starting_at(0);
+    let broker = Broker::new(clock.clone());
+    broker.create_topic("t", TopicConfig { partitions: 1, ..Default::default() }).unwrap();
+
+    broker.produce("t", None, &b"before"[..]).unwrap();
+    broker.inject_brownout(10 * NANOS_PER_SEC, 20 * NANOS_PER_SEC);
+    assert!(!broker.brownout_active());
+
+    clock.advance_secs(10);
+    assert!(broker.brownout_active());
+    for _ in 0..3 {
+        assert_eq!(broker.produce("t", None, &b"lost"[..]), Err(BusError::Unavailable));
+    }
+    assert_eq!(broker.fetch("t", 0, 0, 10), Err(BusError::Unavailable));
+
+    clock.advance_secs(10);
+    assert!(!broker.brownout_active());
+    broker.produce("t", None, &b"after"[..]).unwrap();
+
+    let s = broker.stats("t").unwrap();
+    assert_eq!(s.produce_retries, 3);
+    assert_eq!(s.unavailable_windows, 1);
+    let msgs = broker.fetch("t", 0, 0, 10).unwrap();
+    assert_eq!(msgs.len(), 2);
+    assert_eq!(&msgs[0].payload[..], b"before");
+    assert_eq!(&msgs[1].payload[..], b"after");
+
+    // A second, separate window bumps the window counter once more.
+    broker.inject_brownout(30 * NANOS_PER_SEC, 31 * NANOS_PER_SEC);
+    clock.advance_secs(10);
+    assert_eq!(broker.produce("t", None, &b"x"[..]), Err(BusError::Unavailable));
+    assert_eq!(broker.produce("t", None, &b"x"[..]), Err(BusError::Unavailable));
+    let s = broker.stats("t").unwrap();
+    assert_eq!(s.produce_retries, 5);
+    assert_eq!(s.unavailable_windows, 2);
+}
 
 proptest! {
     /// Per-key ordering: however producers interleave keys, each key's

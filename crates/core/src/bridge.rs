@@ -16,13 +16,51 @@
 //! * `Severity`, `MessageId` and `Message` "describe what the event was
 //!   and should be sent as log content", wrapped as a JSON string so
 //!   Grafana's `json` stage can re-extract them.
+//!
+//! # Delivery semantics
+//!
+//! The bridges consume at-least-once. Each keeps an explicit
+//! `(topic, partition) → offset` cursor and advances it only after a
+//! message has been handled, so a bus brownout (`BusError::Unavailable`)
+//! or a revoked API token simply pauses consumption — the next pump picks
+//! up at the same offset. Records that Loki rejects transiently (all
+//! shards down) park in a bounded in-flight buffer with exponential
+//! backoff; poison messages (unparseable payloads, permanent ingest
+//! rejects, exhausted retries) are produced to [`DEAD_LETTER_TOPIC`]
+//! instead of vanishing.
 
 use crate::omni::Omni;
+use omni_bus::{Broker, BusError, TopicConfig};
 use omni_json::jsonv;
-use omni_model::{LabelSet, LogRecord};
-use omni_redfish::{RedfishEvent, SensorReading};
-use omni_telemetry::{Subscription, TelemetryApi, Token};
+use omni_loki::IngestError;
+use omni_model::{fnv1a64, LabelSet, LogRecord, RetryPolicy, RetryState, Timestamp};
+use omni_redfish::{topics, RedfishEvent, SensorReading};
+use omni_telemetry::{ApiError, TelemetryApi, Token};
 use omni_tsdb::Tsdb;
+
+/// Topic where the bridges park poison messages: unparseable payloads,
+/// records Loki permanently rejects, and retries that exhausted their
+/// policy. The message key carries the reason.
+pub const DEAD_LETTER_TOPIC: &str = "omni-bridge-dead-letter";
+
+/// Messages fetched per `(topic, partition)` round.
+const FETCH_BATCH: usize = 512;
+
+/// Resilience counters common to both bridges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BridgeResilience {
+    /// Fetch rounds abandoned because the bus was browned out (the cursor
+    /// stays put, so nothing is lost — just deferred).
+    pub fetch_retries: u64,
+    /// Times the bridge re-issued credentials after an `Unauthorized`.
+    pub resubscribes: u64,
+    /// Transient ingest failures re-queued into the in-flight buffer.
+    pub ingest_retries: u64,
+    /// Messages produced to [`DEAD_LETTER_TOPIC`].
+    pub dead_lettered: u64,
+    /// Records currently parked awaiting an ingest retry.
+    pub in_flight: usize,
+}
 
 /// Convert one Redfish event into the Loki record of Figure 3.
 pub fn redfish_to_loki(event: &RedfishEvent, cluster: &str) -> LogRecord {
@@ -47,181 +85,439 @@ pub fn telemetry_payload_to_loki(payload: &str, cluster: &str) -> Vec<LogRecord>
     events.iter().map(|e| redfish_to_loki(e, cluster)).collect()
 }
 
-/// The log-side bridge: drains Telemetry-API subscriptions into Loki
-/// through the OMNI facade (metering + optional discovery tier).
+/// Per-topic consumption cursor: offset of the next unread message in
+/// each partition.
+struct Cursor {
+    topic: &'static str,
+    offsets: Vec<u64>,
+}
+
+/// A record whose Loki push failed transiently, awaiting its backoff.
+struct InFlight {
+    record: LogRecord,
+    state: RetryState,
+    salt: u64,
+}
+
+/// The log-side bridge: pulls the log-bearing topics through the
+/// Telemetry API into Loki via the OMNI facade, at-least-once.
 pub struct LogBridge {
     cluster_name: String,
     omni: Omni,
-    redfish_sub: Subscription,
-    syslog_sub: Subscription,
-    container_sub: Subscription,
-    fabric_sub: Subscription,
-    gpfs_sub: Subscription,
+    api: TelemetryApi,
+    token: Token,
+    client_id: String,
+    broker: Broker,
+    cursors: Vec<Cursor>,
+    in_flight: Vec<InFlight>,
+    dead_backlog: Vec<(String, String)>,
+    policy: RetryPolicy,
+    max_in_flight: usize,
+    salt_seq: u64,
     pushed: u64,
     errors: u64,
+    fetch_retries: u64,
+    resubscribes: u64,
+    ingest_retries: u64,
+    dead_lettered: u64,
 }
 
+const LOG_TOPICS: &[&str] = &[
+    topics::RESOURCE_EVENTS,
+    topics::SYSLOG,
+    topics::CONTAINER_LOGS,
+    topics::FABRIC_HEALTH,
+    topics::GPFS_HEALTH,
+];
+
 impl LogBridge {
-    /// Subscribe to the log-bearing topics through the Telemetry API.
+    /// Attach to the log-bearing topics through the Telemetry API. The
+    /// broker handle is for the dead-letter topic.
     pub fn new(
         api: &TelemetryApi,
         token: &Token,
         omni: Omni,
         cluster_name: &str,
-    ) -> Result<Self, omni_telemetry::ApiError> {
+        broker: &Broker,
+    ) -> Result<Self, ApiError> {
+        broker.ensure_topic(DEAD_LETTER_TOPIC, TopicConfig { partitions: 1, ..Default::default() });
+        let cursors = cursors_for(api, token, LOG_TOPICS)?;
         Ok(Self {
             cluster_name: cluster_name.to_string(),
             omni,
-            redfish_sub: api.subscribe(token, omni_redfish::topics::RESOURCE_EVENTS)?,
-            syslog_sub: api.subscribe(token, omni_redfish::topics::SYSLOG)?,
-            container_sub: api.subscribe(token, omni_redfish::topics::CONTAINER_LOGS)?,
-            fabric_sub: api.subscribe(token, omni_redfish::topics::FABRIC_HEALTH)?,
-            gpfs_sub: api.subscribe(token, omni_redfish::topics::GPFS_HEALTH)?,
+            api: api.clone(),
+            token: token.clone(),
+            client_id: "log-bridge".to_string(),
+            broker: broker.clone(),
+            cursors,
+            in_flight: Vec::new(),
+            dead_backlog: Vec::new(),
+            policy: RetryPolicy::default(),
+            max_in_flight: 4_096,
+            salt_seq: 0,
             pushed: 0,
             errors: 0,
+            fetch_retries: 0,
+            resubscribes: 0,
+            ingest_retries: 0,
+            dead_lettered: 0,
         })
     }
 
-    /// Drain all subscriptions once, pushing everything to Loki. Returns
-    /// records pushed in this pump.
-    pub fn pump(&mut self) -> u64 {
+    /// One consumption round at virtual time `now`: retry parked records
+    /// that are due, then pull every topic forward. Returns records pushed
+    /// to Loki in this pump.
+    pub fn pump(&mut self, now: Timestamp) -> u64 {
         let mut pushed = 0;
-        // Redfish events: the Figure 2 → Figure 3 transformation.
-        for msg in self.redfish_sub.drain() {
-            let payload = String::from_utf8_lossy(&msg.payload);
-            for record in telemetry_payload_to_loki(&payload, &self.cluster_name) {
-                match self.omni.ingest_record(record) {
-                    Ok(()) => pushed += 1,
-                    Err(_) => self.errors += 1,
+        self.flush_dead_backlog();
+        self.retry_in_flight(now, &mut pushed);
+        'fetch: for c in 0..self.cursors.len() {
+            let topic = self.cursors[c].topic;
+            for part in 0..self.cursors[c].offsets.len() {
+                loop {
+                    if self.in_flight.len() >= self.max_in_flight {
+                        // Backpressure: stop consuming until retries drain.
+                        break 'fetch;
+                    }
+                    let offset = self.cursors[c].offsets[part];
+                    let msgs =
+                        match self.api.fetch(&self.token, topic, part, offset, FETCH_BATCH) {
+                            Ok(msgs) => msgs,
+                            Err(ApiError::Unauthorized) => {
+                                // Credentials were revoked out from under
+                                // us: re-issue and resume right away.
+                                self.token = self.api.issue_token(&self.client_id);
+                                self.resubscribes += 1;
+                                continue;
+                            }
+                            Err(ApiError::Bus(BusError::Unavailable)) => {
+                                // Brownout: the cursor stays put, so the
+                                // next pump re-reads from here.
+                                self.fetch_retries += 1;
+                                break 'fetch;
+                            }
+                            Err(ApiError::Bus(_)) => break,
+                        };
+                    if msgs.is_empty() {
+                        break;
+                    }
+                    for msg in msgs {
+                        if self.in_flight.len() >= self.max_in_flight {
+                            // Unconsumed messages re-fetch next pump.
+                            break 'fetch;
+                        }
+                        let next = msg.offset + 1;
+                        self.handle_message(topic, msg, now, &mut pushed);
+                        self.cursors[c].offsets[part] = next;
+                    }
                 }
-            }
-        }
-        // Syslog: host key becomes the hostname label.
-        for msg in self.syslog_sub.drain() {
-            let labels = LabelSet::from_pairs([
-                ("cluster", self.cluster_name.as_str()),
-                ("data_type", "syslog"),
-                ("hostname", msg.key.as_deref().unwrap_or("unknown")),
-            ]);
-            let line = String::from_utf8_lossy(&msg.payload).into_owned();
-            match self.omni.ingest_log(labels, msg.ts, line) {
-                Ok(()) => pushed += 1,
-                Err(_) => self.errors += 1,
-            }
-        }
-        // Container logs: pod name label.
-        for msg in self.container_sub.drain() {
-            let labels = LabelSet::from_pairs([
-                ("cluster", self.cluster_name.as_str()),
-                ("data_type", "container_log"),
-                ("pod", msg.key.as_deref().unwrap_or("unknown")),
-            ]);
-            let line = String::from_utf8_lossy(&msg.payload).into_owned();
-            match self.omni.ingest_log(labels, msg.ts, line) {
-                Ok(()) => pushed += 1,
-                Err(_) => self.errors += 1,
-            }
-        }
-        // Fabric-manager monitor events (Figure 7's stream).
-        for msg in self.fabric_sub.drain() {
-            let labels = LabelSet::from_pairs([
-                ("cluster", self.cluster_name.as_str()),
-                ("app", "fabric_manager_monitor"),
-            ]);
-            let line = String::from_utf8_lossy(&msg.payload).into_owned();
-            match self.omni.ingest_log(labels, msg.ts, line) {
-                Ok(()) => pushed += 1,
-                Err(_) => self.errors += 1,
-            }
-        }
-        // GPFS monitor events (§V future work), keyed by NSD server.
-        for msg in self.gpfs_sub.drain() {
-            let labels = LabelSet::from_pairs([
-                ("cluster", self.cluster_name.as_str()),
-                ("app", "gpfs_monitor"),
-                ("server", msg.key.as_deref().unwrap_or("unknown")),
-            ]);
-            let line = String::from_utf8_lossy(&msg.payload).into_owned();
-            match self.omni.ingest_log(labels, msg.ts, line) {
-                Ok(()) => pushed += 1,
-                Err(_) => self.errors += 1,
             }
         }
         self.pushed += pushed;
         pushed
     }
 
-    /// `(records pushed, push errors)` so far.
+    fn handle_message(
+        &mut self,
+        topic: &str,
+        msg: omni_bus::Message,
+        now: Timestamp,
+        pushed: &mut u64,
+    ) {
+        let payload = String::from_utf8_lossy(&msg.payload).into_owned();
+        if topic == topics::RESOURCE_EVENTS {
+            // Redfish events: the Figure 2 → Figure 3 transformation.
+            let records = telemetry_payload_to_loki(&payload, &self.cluster_name);
+            if records.is_empty() {
+                self.dead_letter("malformed-redfish", &payload);
+            }
+            for record in records {
+                self.ingest(record, now, pushed);
+            }
+            return;
+        }
+        let key = msg.key.as_deref().unwrap_or("unknown");
+        let labels = match topic {
+            // Syslog: host key becomes the hostname label.
+            t if t == topics::SYSLOG => LabelSet::from_pairs([
+                ("cluster", self.cluster_name.as_str()),
+                ("data_type", "syslog"),
+                ("hostname", key),
+            ]),
+            // Container logs: pod name label.
+            t if t == topics::CONTAINER_LOGS => LabelSet::from_pairs([
+                ("cluster", self.cluster_name.as_str()),
+                ("data_type", "container_log"),
+                ("pod", key),
+            ]),
+            // Fabric-manager monitor events (Figure 7's stream).
+            t if t == topics::FABRIC_HEALTH => LabelSet::from_pairs([
+                ("cluster", self.cluster_name.as_str()),
+                ("app", "fabric_manager_monitor"),
+            ]),
+            // GPFS monitor events (§V future work), keyed by NSD server.
+            t if t == topics::GPFS_HEALTH => LabelSet::from_pairs([
+                ("cluster", self.cluster_name.as_str()),
+                ("app", "gpfs_monitor"),
+                ("server", key),
+            ]),
+            _ => return,
+        };
+        self.ingest(LogRecord::new(labels, msg.ts, payload), now, pushed);
+    }
+
+    /// Push one record; transient failures park it, permanent ones
+    /// dead-letter it.
+    fn ingest(&mut self, record: LogRecord, now: Timestamp, pushed: &mut u64) {
+        match self.omni.ingest_record(record.clone()) {
+            Ok(()) => *pushed += 1,
+            Err(IngestError::AllShardsDown) => self.park(record, now),
+            Err(_) => {
+                self.errors += 1;
+                self.dead_letter("rejected-ingest", &record.entry.line);
+            }
+        }
+    }
+
+    fn park(&mut self, record: LogRecord, now: Timestamp) {
+        let salt = fnv1a64(&self.salt_seq.to_le_bytes()) ^ record.labels.fingerprint();
+        self.salt_seq += 1;
+        let mut state = RetryState::new();
+        if state.record_failure(now, &self.policy, salt) {
+            self.ingest_retries += 1;
+            self.in_flight.push(InFlight { record, state, salt });
+        } else {
+            self.dead_letter("retries-exhausted", &record.entry.line);
+        }
+    }
+
+    fn retry_in_flight(&mut self, now: Timestamp, pushed: &mut u64) {
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if !self.in_flight[i].state.due(now) {
+                i += 1;
+                continue;
+            }
+            match self.omni.ingest_record(self.in_flight[i].record.clone()) {
+                Ok(()) => {
+                    *pushed += 1;
+                    self.in_flight.remove(i);
+                }
+                Err(IngestError::AllShardsDown) => {
+                    let item = &mut self.in_flight[i];
+                    if item.state.record_failure(now, &self.policy, item.salt) {
+                        self.ingest_retries += 1;
+                        i += 1;
+                    } else {
+                        let item = self.in_flight.remove(i);
+                        self.dead_letter("retries-exhausted", &item.record.entry.line);
+                    }
+                }
+                Err(_) => {
+                    self.errors += 1;
+                    let item = self.in_flight.remove(i);
+                    self.dead_letter("rejected-ingest", &item.record.entry.line);
+                }
+            }
+        }
+    }
+
+    fn dead_letter(&mut self, reason: &str, payload: &str) {
+        self.dead_lettered += 1;
+        if self.broker.produce(DEAD_LETTER_TOPIC, Some(reason), payload.to_string()).is_err() {
+            // Bus is browned out too: hold locally, re-produce next pump.
+            self.dead_backlog.push((reason.to_string(), payload.to_string()));
+        }
+    }
+
+    fn flush_dead_backlog(&mut self) {
+        let backlog = std::mem::take(&mut self.dead_backlog);
+        for (reason, payload) in backlog {
+            if self.broker.produce(DEAD_LETTER_TOPIC, Some(&reason), payload.clone()).is_err() {
+                self.dead_backlog.push((reason, payload));
+            }
+        }
+    }
+
+    /// Revoke the bridge's current API token (chaos hook); the next pump
+    /// hits `Unauthorized` and re-subscribes.
+    pub fn chaos_revoke_token(&self) {
+        self.api.revoke_token(&self.token);
+    }
+
+    /// `(records pushed, permanent push errors)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.pushed, self.errors)
     }
+
+    /// Resilience counters.
+    pub fn resilience(&self) -> BridgeResilience {
+        BridgeResilience {
+            fetch_retries: self.fetch_retries,
+            resubscribes: self.resubscribes,
+            ingest_retries: self.ingest_retries,
+            dead_lettered: self.dead_lettered,
+            in_flight: self.in_flight.len(),
+        }
+    }
 }
 
-/// The metric-side bridge: drains sensor telemetry topics into the TSDB.
+const METRIC_TOPICS: &[&str] = &[
+    topics::TELEMETRY_TEMPERATURE,
+    topics::TELEMETRY_HUMIDITY,
+    topics::TELEMETRY_POWER,
+    topics::TELEMETRY_FAN,
+    topics::TELEMETRY_LEAK,
+    topics::TELEMETRY_FLOW,
+];
+
+/// The metric-side bridge: pulls sensor telemetry topics into the TSDB,
+/// at-least-once (TSDB ingest cannot fail, so no in-flight buffer).
 pub struct MetricBridge {
     cluster_name: String,
     tsdb: Tsdb,
-    subs: Vec<Subscription>,
+    api: TelemetryApi,
+    token: Token,
+    client_id: String,
+    broker: Broker,
+    cursors: Vec<Cursor>,
     pushed: u64,
+    fetch_retries: u64,
+    resubscribes: u64,
+    dead_lettered: u64,
 }
 
 impl MetricBridge {
-    /// Subscribe to every numeric telemetry topic.
+    /// Attach to every numeric telemetry topic.
     pub fn new(
         api: &TelemetryApi,
         token: &Token,
         tsdb: Tsdb,
         cluster_name: &str,
-    ) -> Result<Self, omni_telemetry::ApiError> {
-        let topics = [
-            omni_redfish::topics::TELEMETRY_TEMPERATURE,
-            omni_redfish::topics::TELEMETRY_HUMIDITY,
-            omni_redfish::topics::TELEMETRY_POWER,
-            omni_redfish::topics::TELEMETRY_FAN,
-            omni_redfish::topics::TELEMETRY_LEAK,
-            omni_redfish::topics::TELEMETRY_FLOW,
-        ];
-        let mut subs = Vec::with_capacity(topics.len());
-        for t in topics {
-            subs.push(api.subscribe(token, t)?);
-        }
-        Ok(Self { cluster_name: cluster_name.to_string(), tsdb, subs, pushed: 0 })
+        broker: &Broker,
+    ) -> Result<Self, ApiError> {
+        broker.ensure_topic(DEAD_LETTER_TOPIC, TopicConfig { partitions: 1, ..Default::default() });
+        let cursors = cursors_for(api, token, METRIC_TOPICS)?;
+        Ok(Self {
+            cluster_name: cluster_name.to_string(),
+            tsdb,
+            api: api.clone(),
+            token: token.clone(),
+            client_id: "metric-bridge".to_string(),
+            broker: broker.clone(),
+            cursors,
+            pushed: 0,
+            fetch_retries: 0,
+            resubscribes: 0,
+            dead_lettered: 0,
+        })
     }
 
-    /// Drain all subscriptions into the TSDB. Metric names follow the
+    /// Pull every telemetry topic into the TSDB. Metric names follow the
     /// `shasta_<kind>_<unit>` convention.
     pub fn pump(&mut self) -> u64 {
         let mut pushed = 0;
-        for sub in &self.subs {
-            for msg in sub.drain() {
-                let payload = String::from_utf8_lossy(&msg.payload);
-                let Ok(json) = omni_json::parse(&payload) else { continue };
-                let Some(reading) = SensorReading::from_json(&json) else { continue };
-                let name = format!("shasta_{}_{}", reading.kind.as_str(), reading.kind.unit());
-                let labels = LabelSet::from_pairs([
-                    ("xname", reading.xname.to_string()),
-                    ("sensor", reading.sensor_id.clone()),
-                    ("cluster", self.cluster_name.clone()),
-                ]);
-                self.tsdb.ingest_sample(&name, labels, reading.ts, reading.value);
-                pushed += 1;
+        'fetch: for c in 0..self.cursors.len() {
+            let topic = self.cursors[c].topic;
+            for part in 0..self.cursors[c].offsets.len() {
+                loop {
+                    let offset = self.cursors[c].offsets[part];
+                    let msgs =
+                        match self.api.fetch(&self.token, topic, part, offset, FETCH_BATCH) {
+                            Ok(msgs) => msgs,
+                            Err(ApiError::Unauthorized) => {
+                                self.token = self.api.issue_token(&self.client_id);
+                                self.resubscribes += 1;
+                                continue;
+                            }
+                            Err(ApiError::Bus(BusError::Unavailable)) => {
+                                self.fetch_retries += 1;
+                                break 'fetch;
+                            }
+                            Err(ApiError::Bus(_)) => break,
+                        };
+                    if msgs.is_empty() {
+                        break;
+                    }
+                    for msg in msgs {
+                        let next = msg.offset + 1;
+                        let payload = String::from_utf8_lossy(&msg.payload).into_owned();
+                        match omni_json::parse(&payload).ok().as_ref().and_then(SensorReading::from_json)
+                        {
+                            Some(reading) => {
+                                let name = format!(
+                                    "shasta_{}_{}",
+                                    reading.kind.as_str(),
+                                    reading.kind.unit()
+                                );
+                                let labels = LabelSet::from_pairs([
+                                    ("xname", reading.xname.to_string()),
+                                    ("sensor", reading.sensor_id.clone()),
+                                    ("cluster", self.cluster_name.clone()),
+                                ]);
+                                self.tsdb.ingest_sample(&name, labels, reading.ts, reading.value);
+                                pushed += 1;
+                            }
+                            None => {
+                                self.dead_lettered += 1;
+                                let _ = self.broker.produce(
+                                    DEAD_LETTER_TOPIC,
+                                    Some("malformed-sensor"),
+                                    payload,
+                                );
+                            }
+                        }
+                        self.cursors[c].offsets[part] = next;
+                    }
+                }
             }
         }
         self.pushed += pushed;
         pushed
+    }
+
+    /// Revoke the bridge's current API token (chaos hook).
+    pub fn chaos_revoke_token(&self) {
+        self.api.revoke_token(&self.token);
     }
 
     /// Records pushed so far.
     pub fn stats(&self) -> u64 {
         self.pushed
     }
+
+    /// Resilience counters (this bridge never parks records).
+    pub fn resilience(&self) -> BridgeResilience {
+        BridgeResilience {
+            fetch_retries: self.fetch_retries,
+            resubscribes: self.resubscribes,
+            ingest_retries: 0,
+            dead_lettered: self.dead_lettered,
+            in_flight: 0,
+        }
+    }
+}
+
+fn cursors_for(
+    api: &TelemetryApi,
+    token: &Token,
+    names: &[&'static str],
+) -> Result<Vec<Cursor>, ApiError> {
+    names
+        .iter()
+        .map(|&topic| {
+            let parts = api.partition_count(token, topic)?;
+            Ok(Cursor { topic, offsets: vec![0; parts] })
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use omni_json::Json;
-    use omni_model::parse_iso8601;
+    use omni_loki::Limits;
+    use omni_model::{parse_iso8601, SimClock, NANOS_PER_SEC};
 
     #[test]
     fn figure3_transformation_exact() {
@@ -279,5 +575,119 @@ mod tests {
     fn malformed_payload_yields_nothing() {
         assert!(telemetry_payload_to_loki("not json", "perlmutter").is_empty());
         assert!(telemetry_payload_to_loki("{}", "perlmutter").is_empty());
+    }
+
+    fn rig() -> (SimClock, Broker, TelemetryApi, Omni, LogBridge) {
+        let clock = SimClock::starting_at(0);
+        let broker = Broker::new(clock.clone());
+        for t in topics::ALL {
+            broker.ensure_topic(t, TopicConfig { partitions: 2, ..Default::default() });
+        }
+        let api = TelemetryApi::new(broker.clone(), 2);
+        let omni = Omni::new(2, Limits::default(), clock.clone());
+        let token = api.issue_token("test-bridge");
+        let bridge = LogBridge::new(&api, &token, omni.clone(), "perlmutter", &broker).unwrap();
+        (clock, broker, api, omni, bridge)
+    }
+
+    fn count_syslog(omni: &Omni, now: Timestamp) -> usize {
+        // Loki ranges are (start, end]: start at -1 to include ts=0.
+        omni.loki()
+            .query_logs(r#"{data_type="syslog"}"#, -1, now + 1, usize::MAX)
+            .unwrap()
+            .len()
+    }
+
+    #[test]
+    fn log_bridge_redelivers_after_brownout() {
+        let (clock, broker, _api, omni, mut bridge) = rig();
+        for i in 0..10 {
+            broker.produce(topics::SYSLOG, Some("nid0001"), format!("line {i}")).unwrap();
+        }
+        // Brownout covers the first pump: nothing moves, nothing is lost.
+        let now = clock.advance(NANOS_PER_SEC);
+        broker.inject_brownout(now, now + 2 * NANOS_PER_SEC);
+        assert_eq!(bridge.pump(now), 0);
+        assert!(bridge.resilience().fetch_retries > 0);
+        // Past the window the cursor resumes from offset 0.
+        let later = clock.advance(5 * NANOS_PER_SEC);
+        assert_eq!(bridge.pump(later), 10);
+        assert_eq!(count_syslog(&omni, later), 10);
+    }
+
+    #[test]
+    fn log_bridge_reissues_revoked_token() {
+        let (clock, broker, _api, omni, mut bridge) = rig();
+        broker.produce(topics::SYSLOG, Some("nid0001"), "hello".to_string()).unwrap();
+        bridge.chaos_revoke_token();
+        let now = clock.advance(NANOS_PER_SEC);
+        assert_eq!(bridge.pump(now), 1);
+        assert_eq!(bridge.resilience().resubscribes, 1);
+        assert_eq!(count_syslog(&omni, now), 1);
+    }
+
+    #[test]
+    fn poison_payload_lands_in_dead_letter_topic() {
+        let (clock, broker, _api, _omni, mut bridge) = rig();
+        broker.produce(topics::RESOURCE_EVENTS, Some("x0"), "not json at all".to_string()).unwrap();
+        let now = clock.advance(NANOS_PER_SEC);
+        assert_eq!(bridge.pump(now), 0);
+        assert_eq!(bridge.resilience().dead_lettered, 1);
+        let dead = broker.fetch(DEAD_LETTER_TOPIC, 0, 0, 10).unwrap();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].key.as_deref(), Some("malformed-redfish"));
+        assert_eq!(dead[0].payload.as_ref(), b"not json at all");
+    }
+
+    #[test]
+    fn ingest_retry_buffer_drains_after_shards_recover() {
+        let (clock, broker, _api, omni, mut bridge) = rig();
+        broker.produce(topics::SYSLOG, Some("nid0001"), "parked line".to_string()).unwrap();
+        // Every Loki shard down: the record parks instead of dropping.
+        omni.loki().crash_shard(0);
+        omni.loki().crash_shard(1);
+        let now = clock.advance(NANOS_PER_SEC);
+        assert_eq!(bridge.pump(now), 0);
+        let r = bridge.resilience();
+        assert_eq!((r.in_flight, r.ingest_retries), (1, 1));
+        // Shards come back; once the backoff elapses the record lands.
+        omni.loki().recover_shard(0);
+        omni.loki().recover_shard(1);
+        let later = clock.advance(120 * NANOS_PER_SEC);
+        assert_eq!(bridge.pump(later), 1);
+        assert_eq!(bridge.resilience().in_flight, 0);
+        assert_eq!(count_syslog(&omni, later), 1);
+        assert_eq!(bridge.stats(), (1, 0));
+    }
+
+    #[test]
+    fn metric_bridge_survives_brownout_and_revocation() {
+        let clock = SimClock::starting_at(0);
+        let broker = Broker::new(clock.clone());
+        for t in topics::ALL {
+            broker.ensure_topic(t, TopicConfig { partitions: 2, ..Default::default() });
+        }
+        let api = TelemetryApi::new(broker.clone(), 2);
+        let tsdb = Tsdb::default_config();
+        let token = api.issue_token("test-metrics");
+        let mut bridge = MetricBridge::new(&api, &token, tsdb, "perlmutter", &broker).unwrap();
+        let reading = SensorReading {
+            xname: "x1000c0s0b0n0".parse().unwrap(),
+            sensor_id: "t0".into(),
+            kind: omni_redfish::SensorKind::Temperature,
+            value: 55.0,
+            ts: 5,
+        };
+        broker
+            .produce(topics::TELEMETRY_TEMPERATURE, Some("x1000c0s0b0n0"), reading.to_json().dump())
+            .unwrap();
+        let now = clock.advance(NANOS_PER_SEC);
+        broker.inject_brownout(now, now + NANOS_PER_SEC);
+        assert_eq!(bridge.pump(), 0);
+        assert!(bridge.resilience().fetch_retries > 0);
+        clock.advance(2 * NANOS_PER_SEC);
+        bridge.chaos_revoke_token();
+        assert_eq!(bridge.pump(), 1);
+        assert_eq!(bridge.resilience().resubscribes, 1);
     }
 }

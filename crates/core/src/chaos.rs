@@ -1,0 +1,297 @@
+//! The deterministic chaos engine.
+//!
+//! Production taught the paper's authors that the monitoring stack itself
+//! fails: Loki workers OOM, Kafka goes dark during network maintenance,
+//! and the Slack webhook times out exactly when a cabinet is leaking. The
+//! [`ChaosEngine`] injects those failures on a *scripted, virtual-time*
+//! schedule so the recovery machinery (WAL replay, bridge redelivery,
+//! at-least-once notification delivery) can be exercised in tests.
+//!
+//! Everything is deterministic: faults fire at fixed [`SimClock`] instants
+//! and the flaky-receiver coin is an FNV hash of `(seed, receiver, send
+//! sequence)`. Two runs with the same seed and schedule produce the same
+//! failures in the same order, so resilience reports compare byte-for-byte.
+//!
+//! [`SimClock`]: omni_model::SimClock
+
+use omni_model::{fnv1a64, Timestamp};
+
+/// One scripted failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Kill one Loki ingester shard at `at`, bring a fresh one up (with
+    /// WAL replay) at `recover_at`.
+    IngesterCrash {
+        /// Virtual instant of the crash.
+        at: Timestamp,
+        /// Which shard dies.
+        shard: usize,
+        /// Virtual instant of the restart.
+        recover_at: Timestamp,
+    },
+    /// The bus rejects every produce and fetch inside the window.
+    BusBrownout {
+        /// Window start.
+        from: Timestamp,
+        /// Window end (exclusive).
+        until: Timestamp,
+    },
+    /// Revoke the bridges' Telemetry-API credentials at `at`; they must
+    /// notice the `Unauthorized` and re-subscribe without losing data.
+    SubscriptionDrop {
+        /// Virtual instant of the revocation.
+        at: Timestamp,
+    },
+    /// A receiver (Slack webhook, ServiceNow API) drops sends inside the
+    /// window with probability `fail_permille / 1000`.
+    FlakyReceiver {
+        /// Receiver name as routed by the Alertmanager.
+        receiver: String,
+        /// Window start.
+        from: Timestamp,
+        /// Window end (exclusive).
+        until: Timestamp,
+        /// Failure probability in permille (500 = 50%).
+        fail_permille: u32,
+    },
+}
+
+/// What the stack must do right now, as decided by [`ChaosEngine::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Kill this ingester shard (in-memory state is lost, WAL survives).
+    CrashShard(usize),
+    /// Restart this shard and replay its WAL.
+    RecoverShard(usize),
+    /// Open a bus brownout window.
+    StartBrownout {
+        /// Window start.
+        from: Timestamp,
+        /// Window end (exclusive).
+        until: Timestamp,
+    },
+    /// Revoke the bridge clients' API tokens.
+    DropSubscriptions,
+}
+
+/// Counters describing what the engine actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Scheduled actions fired so far.
+    pub actions_fired: u64,
+    /// Flaky-receiver coin flips taken (sends inside an active window).
+    pub flaky_rolls: u64,
+    /// Coin flips that came up "fail".
+    pub flaky_failures: u64,
+}
+
+struct Scheduled {
+    fault: ChaosFault,
+    /// Crash / brownout-start / drop fired.
+    fired_primary: bool,
+    /// Recovery fired (only meaningful for `IngesterCrash`).
+    fired_secondary: bool,
+}
+
+/// Seeded, scripted fault injector driven off the simulation clock.
+pub struct ChaosEngine {
+    seed: u64,
+    schedule: Vec<Scheduled>,
+    send_seq: u64,
+    actions_fired: u64,
+    flaky_rolls: u64,
+    flaky_failures: u64,
+}
+
+impl ChaosEngine {
+    /// Engine with no faults scheduled; the seed feeds the flaky coin.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            schedule: Vec::new(),
+            send_seq: 0,
+            actions_fired: 0,
+            flaky_rolls: 0,
+            flaky_failures: 0,
+        }
+    }
+
+    /// Add a fault to the schedule (builder style).
+    pub fn inject(mut self, fault: ChaosFault) -> Self {
+        self.schedule.push(fault_slot(fault));
+        self
+    }
+
+    /// Add a fault to an engine already installed in a stack.
+    pub fn push(&mut self, fault: ChaosFault) {
+        self.schedule.push(fault_slot(fault));
+    }
+
+    /// Actions whose instant has arrived, in schedule order. Each fires
+    /// exactly once no matter how often `poll` is called.
+    pub fn poll(&mut self, now: Timestamp) -> Vec<ChaosAction> {
+        let mut actions = Vec::new();
+        for slot in &mut self.schedule {
+            match &slot.fault {
+                ChaosFault::IngesterCrash { at, shard, recover_at } => {
+                    if !slot.fired_primary && now >= *at {
+                        slot.fired_primary = true;
+                        actions.push(ChaosAction::CrashShard(*shard));
+                    }
+                    if slot.fired_primary && !slot.fired_secondary && now >= *recover_at {
+                        slot.fired_secondary = true;
+                        actions.push(ChaosAction::RecoverShard(*shard));
+                    }
+                }
+                ChaosFault::BusBrownout { from, until } => {
+                    if !slot.fired_primary && now >= *from {
+                        slot.fired_primary = true;
+                        // A window the clock already stepped past is moot.
+                        if now < *until {
+                            actions.push(ChaosAction::StartBrownout {
+                                from: *from,
+                                until: *until,
+                            });
+                        }
+                    }
+                }
+                ChaosFault::SubscriptionDrop { at } => {
+                    if !slot.fired_primary && now >= *at {
+                        slot.fired_primary = true;
+                        actions.push(ChaosAction::DropSubscriptions);
+                    }
+                }
+                // Queried per send via `should_fail_send`, never polled.
+                ChaosFault::FlakyReceiver { .. } => {}
+            }
+        }
+        self.actions_fired += actions.len() as u64;
+        actions
+    }
+
+    /// Whether the next send to `receiver` at `now` should be dropped.
+    /// Deterministic: the coin is `fnv1a64(seed ‖ receiver ‖ seq)`.
+    pub fn should_fail_send(&mut self, receiver: &str, now: Timestamp) -> bool {
+        let permille = self.schedule.iter().find_map(|s| match &s.fault {
+            ChaosFault::FlakyReceiver { receiver: r, from, until, fail_permille }
+                if r == receiver && now >= *from && now < *until =>
+            {
+                Some(*fail_permille)
+            }
+            _ => None,
+        });
+        let Some(permille) = permille else { return false };
+        self.flaky_rolls += 1;
+        let mut bytes = Vec::with_capacity(16 + receiver.len());
+        bytes.extend_from_slice(&self.seed.to_le_bytes());
+        bytes.extend_from_slice(receiver.as_bytes());
+        bytes.extend_from_slice(&self.send_seq.to_le_bytes());
+        self.send_seq += 1;
+        let fail = fnv1a64(&bytes) % 1000 < u64::from(permille);
+        if fail {
+            self.flaky_failures += 1;
+        }
+        fail
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            actions_fired: self.actions_fired,
+            flaky_rolls: self.flaky_rolls,
+            flaky_failures: self.flaky_failures,
+        }
+    }
+}
+
+fn fault_slot(fault: ChaosFault) -> Scheduled {
+    Scheduled { fault, fired_primary: false, fired_secondary: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_fires_once_then_recovers_once() {
+        let mut e = ChaosEngine::new(1).inject(ChaosFault::IngesterCrash {
+            at: 100,
+            shard: 3,
+            recover_at: 200,
+        });
+        assert!(e.poll(50).is_empty());
+        assert_eq!(e.poll(100), vec![ChaosAction::CrashShard(3)]);
+        assert!(e.poll(150).is_empty(), "crash must not re-fire");
+        assert_eq!(e.poll(250), vec![ChaosAction::RecoverShard(3)]);
+        assert!(e.poll(300).is_empty());
+        assert_eq!(e.stats().actions_fired, 2);
+    }
+
+    #[test]
+    fn coarse_polling_fires_crash_and_recovery_together() {
+        // A big step past both instants still yields both actions, in order.
+        let mut e = ChaosEngine::new(1).inject(ChaosFault::IngesterCrash {
+            at: 100,
+            shard: 0,
+            recover_at: 200,
+        });
+        assert_eq!(
+            e.poll(1_000),
+            vec![ChaosAction::CrashShard(0), ChaosAction::RecoverShard(0)]
+        );
+    }
+
+    #[test]
+    fn brownout_fires_inside_window_only() {
+        let mut e = ChaosEngine::new(1)
+            .inject(ChaosFault::BusBrownout { from: 100, until: 200 })
+            .inject(ChaosFault::BusBrownout { from: 300, until: 400 });
+        assert_eq!(e.poll(150), vec![ChaosAction::StartBrownout { from: 100, until: 200 }]);
+        // The second window was stepped over entirely: moot, never fires.
+        assert!(e.poll(500).is_empty());
+    }
+
+    #[test]
+    fn flaky_receiver_is_windowed_and_deterministic() {
+        let run = || {
+            let mut e = ChaosEngine::new(7).inject(ChaosFault::FlakyReceiver {
+                receiver: "slack".into(),
+                from: 100,
+                until: 200,
+                fail_permille: 500,
+            });
+            let mut outcomes = Vec::new();
+            // Outside the window: never fails.
+            assert!(!e.should_fail_send("slack", 50));
+            assert!(!e.should_fail_send("slack", 250));
+            // Other receivers unaffected inside the window.
+            assert!(!e.should_fail_send("servicenow", 150));
+            for _ in 0..32 {
+                outcomes.push(e.should_fail_send("slack", 150));
+            }
+            (outcomes, e.stats())
+        };
+        let (a, stats_a) = run();
+        let (b, stats_b) = run();
+        assert_eq!(a, b, "same seed must flip the same coins");
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(stats_a.flaky_rolls, 32);
+        // At 50% over 32 rolls both outcomes must appear.
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+        assert_eq!(stats_a.flaky_failures, a.iter().filter(|&&f| f).count() as u64);
+    }
+
+    #[test]
+    fn different_seeds_flip_different_coins() {
+        let flips = |seed| {
+            let mut e = ChaosEngine::new(seed).inject(ChaosFault::FlakyReceiver {
+                receiver: "slack".into(),
+                from: 0,
+                until: 100,
+                fail_permille: 500,
+            });
+            (0..64).map(|_| e.should_fail_send("slack", 10)).collect::<Vec<_>>()
+        };
+        assert_ne!(flips(1), flips(2));
+    }
+}

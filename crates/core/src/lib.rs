@@ -15,6 +15,9 @@
 //! * [`bridge`] — the "K3s python pods" converting Telemetry-API payloads
 //!   into Loki pushes and TSDB samples (the Figure 2 → Figure 3
 //!   transformation lives here);
+//! * [`chaos`] — the deterministic fault injector: scripted ingester
+//!   crashes, bus brownouts, credential drops and flaky receivers, all on
+//!   the virtual clock so recovery tests replay byte-identically;
 //! * [`omni`] — the OMNI warehouse facade: both stores, ingest metering,
 //!   two-year retention with archive/restore;
 //! * [`pane`] — the "single pane of glass": one query surface over logs
@@ -23,13 +26,15 @@
 //!   case-study examples and integration tests drive.
 
 pub mod bridge;
+pub mod chaos;
 pub mod omni;
 pub mod pane;
 pub mod remediation;
 pub mod stack;
 
-pub use bridge::{redfish_to_loki, LogBridge, MetricBridge};
+pub use bridge::{redfish_to_loki, BridgeResilience, LogBridge, MetricBridge, DEAD_LETTER_TOPIC};
+pub use chaos::{ChaosAction, ChaosEngine, ChaosFault, ChaosStats};
 pub use omni::{ArchiveStore, Omni};
-pub use pane::{Dashboard, Pane, PaneQuery, Panel};
+pub use pane::{Dashboard, Pane, PaneQuery, Panel, ResilienceReport};
 pub use remediation::{Playbook, RemediationAction, RemediationEngine, RemediationEvent};
 pub use stack::{MonitoringStack, StackConfig};

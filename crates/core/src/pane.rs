@@ -285,6 +285,79 @@ impl Pane {
     }
 }
 
+/// One-screen summary of how the stack weathered its failures: the
+/// operator panel next to the dashboards. Assembled by
+/// [`crate::stack::MonitoringStack::resilience_report`]; every input runs
+/// on the virtual clock and seeded jitter, so the same chaos schedule
+/// renders byte-identically across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Loki crash/recovery and WAL counters.
+    pub loki: omni_loki::ResilienceStats,
+    /// Per-topic bus counters, sorted by topic name.
+    pub bus: Vec<(String, omni_bus::TopicStatsSnapshot)>,
+    /// Log-bridge redelivery counters.
+    pub log_bridge: crate::bridge::BridgeResilience,
+    /// Metric-bridge redelivery counters.
+    pub metric_bridge: crate::bridge::BridgeResilience,
+    /// Notification at-least-once delivery counters.
+    pub delivery: omni_alertmanager::DeliveryStats,
+    /// What the chaos engine actually injected (None when no engine).
+    pub chaos: Option<crate::chaos::ChaosStats>,
+}
+
+impl ResilienceReport {
+    /// Deterministic text rendering (stable field order, no wall clock).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== resilience report ==\n");
+        let l = &self.loki;
+        out.push_str(&format!(
+            "loki: shards {}/{} up, crashes {}, replayed {}, rerouted {}, wal records {} ({} bytes), checkpoint drops {}\n",
+            l.shards_up,
+            l.shards_total,
+            l.crashes,
+            l.replayed_records,
+            l.rerouted_records,
+            l.wal_records,
+            l.wal_bytes,
+            l.wal_checkpoint_drops,
+        ));
+        for (name, b) in [("log bridge", &self.log_bridge), ("metric bridge", &self.metric_bridge)]
+        {
+            out.push_str(&format!(
+                "{name}: fetch retries {}, resubscribes {}, ingest retries {}, dead-lettered {}, in-flight {}\n",
+                b.fetch_retries, b.resubscribes, b.ingest_retries, b.dead_lettered, b.in_flight,
+            ));
+        }
+        let d = &self.delivery;
+        out.push_str(&format!(
+            "delivery: enqueued {}, attempts {}, delivered {}, retried {}, dead-lettered {}, circuit opens {}, queue depth {}\n",
+            d.enqueued,
+            d.attempts,
+            d.delivered,
+            d.retried,
+            d.permanently_failed,
+            d.circuit_opens,
+            d.queue_depth,
+        ));
+        if let Some(c) = &self.chaos {
+            out.push_str(&format!(
+                "chaos: actions {}, flaky rolls {}, flaky failures {}\n",
+                c.actions_fired, c.flaky_rolls, c.flaky_failures,
+            ));
+        }
+        out.push_str("bus:\n");
+        for (topic, s) in &self.bus {
+            out.push_str(&format!(
+                "  {topic}: in {} msgs, out {} bytes, tail drops {}, produce retries {}, unavailable windows {}\n",
+                s.messages_in, s.bytes_out, s.tail_drops, s.produce_retries, s.unavailable_windows,
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

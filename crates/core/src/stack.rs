@@ -3,10 +3,14 @@
 //! integration tests run scenarios through this.
 
 use crate::bridge::{LogBridge, MetricBridge};
+use crate::chaos::{ChaosAction, ChaosEngine};
 use crate::omni::Omni;
-use crate::pane::Pane;
+use crate::pane::{Pane, ResilienceReport};
 use crate::remediation::RemediationEngine;
-use omni_alertmanager::{Alert, Alertmanager, AlertStatus, Notification, Route, SlackSink};
+use omni_alertmanager::{
+    Alert, Alertmanager, AlertStatus, DeliveryQueue, DeliveryStats, Notification, Route, SlackSink,
+};
+use omni_bus::Broker;
 use omni_exporters::{
     parse_exposition, ArubaExporter, BlackboxExporter, Exporter, GpfsExporter, KafkaExporter,
     NodeExporter,
@@ -92,6 +96,7 @@ pub struct MonitoringStack {
     pub slack: SlackSink,
     /// ServiceNow instance.
     pub servicenow: ServiceNow,
+    broker: Broker,
     fabric_monitor: FabricManagerMonitor,
     gpfs_monitor: GpfsMonitor,
     log_bridge: LogBridge,
@@ -101,9 +106,20 @@ pub struct MonitoringStack {
     vmagent: VmAgent,
     alertmanager: Alertmanager,
     remediation: Option<RemediationEngine>,
+    delivery: DeliveryQueue,
+    chaos: Option<ChaosEngine>,
     syslog_gen: SyslogGenerator,
     container_gen: ContainerLogGenerator,
     notifications_dispatched: u64,
+    /// Publishes a brownout bounced at the producer, replayed next step.
+    publish_backlog: parking_lot::Mutex<Vec<PendingPublish>>,
+}
+
+/// A bus publish the collector could not complete (brownout), held for
+/// replay so producer-side data survives too.
+enum PendingPublish {
+    Event(RedfishEvent),
+    Log { topic: String, key: String, line: String },
 }
 
 impl MonitoringStack {
@@ -128,9 +144,10 @@ impl MonitoringStack {
         // Bridges (the K3s pods).
         let token = api.issue_token("bridge-clients");
         let log_bridge =
-            LogBridge::new(&api, &token, omni.clone(), &config.cluster_name).unwrap();
+            LogBridge::new(&api, &token, omni.clone(), &config.cluster_name, &broker).unwrap();
         let metric_bridge =
-            MetricBridge::new(&api, &token, omni.tsdb().clone(), &config.cluster_name).unwrap();
+            MetricBridge::new(&api, &token, omni.tsdb().clone(), &config.cluster_name, &broker)
+                .unwrap();
 
         // The Ruler carries both paper case-study rules.
         let mut ruler = Ruler::new(omni.loki().clone());
@@ -287,6 +304,7 @@ impl MonitoringStack {
             pane,
             slack: SlackSink::new("#perlmutter-alerts"),
             servicenow,
+            broker,
             fabric_monitor,
             gpfs_monitor,
             log_bridge,
@@ -296,10 +314,21 @@ impl MonitoringStack {
             vmagent,
             alertmanager,
             remediation,
+            delivery: DeliveryQueue::with_defaults(),
+            chaos: None,
             syslog_gen,
             container_gen,
             notifications_dispatched: 0,
+            publish_backlog: parking_lot::Mutex::new(Vec::new()),
         }
+    }
+
+    /// Install a scripted chaos engine; its faults fire inside [`step`]
+    /// and its flaky-receiver coin gates every notification send.
+    ///
+    /// [`step`]: MonitoringStack::step
+    pub fn install_chaos(&mut self, engine: ChaosEngine) {
+        self.chaos = Some(engine);
     }
 
     /// Config-driven generation counts are stored in the generators; the
@@ -309,35 +338,69 @@ impl MonitoringStack {
     pub fn step(&mut self, dt_ns: i64, syslog_lines: usize, container_lines: usize) -> Vec<Notification> {
         let now = self.clock.advance(dt_ns);
 
-        // 1. Sensors → HMS collector → bus telemetry topics.
+        // 0. Scheduled chaos fires before anything else this step.
+        if let Some(chaos) = &mut self.chaos {
+            for action in chaos.poll(now) {
+                match action {
+                    ChaosAction::CrashShard(i) => self.omni.loki().crash_shard(i),
+                    ChaosAction::RecoverShard(i) => {
+                        self.omni.loki().recover_shard(i);
+                    }
+                    ChaosAction::StartBrownout { from, until } => {
+                        self.broker.inject_brownout(from, until);
+                    }
+                    ChaosAction::DropSubscriptions => {
+                        self.log_bridge.chaos_revoke_token();
+                        self.metric_bridge.chaos_revoke_token();
+                    }
+                }
+            }
+        }
+
+        // 1. Producer-side at-least-once: replay publishes an earlier
+        // brownout bounced, then the new data. Sensor readings are
+        // periodic samples and regenerate next step, so they are the one
+        // stream allowed a brownout gap.
+        let backlog = std::mem::take(&mut *self.publish_backlog.lock());
+        for item in backlog {
+            self.publish_or_buffer(item);
+        }
         for reading in self.machine.sample_sensors() {
             let _ = self.collector.publish_reading(&reading);
         }
         // 2. Logs → bus.
         for (host, line) in self.syslog_gen.batch(syslog_lines) {
-            let _ = self.collector.publish_log(omni_redfish::topics::SYSLOG, &host, line);
+            self.publish_or_buffer(PendingPublish::Log {
+                topic: omni_redfish::topics::SYSLOG.to_string(),
+                key: host,
+                line,
+            });
         }
         for (pod, line) in self.container_gen.batch(container_lines) {
-            let _ = self.collector.publish_log(omni_redfish::topics::CONTAINER_LOGS, &pod, line);
+            self.publish_or_buffer(PendingPublish::Log {
+                topic: omni_redfish::topics::CONTAINER_LOGS.to_string(),
+                key: pod,
+                line,
+            });
         }
         // 3. Fabric monitor poll → event lines (Figure 7).
         for change in self.fabric_monitor.poll() {
-            let _ = self.collector.publish_log(
-                omni_redfish::topics::FABRIC_HEALTH,
-                &change.xname.to_string(),
-                change.to_event_line(),
-            );
+            self.publish_or_buffer(PendingPublish::Log {
+                topic: omni_redfish::topics::FABRIC_HEALTH.to_string(),
+                key: change.xname.to_string(),
+                line: change.to_event_line(),
+            });
         }
         // 3b. GPFS monitor poll (the §V future-work path).
         for change in self.gpfs_monitor.poll() {
-            let _ = self.collector.publish_log(
-                omni_redfish::topics::GPFS_HEALTH,
-                &change.server,
-                change.to_event_line(),
-            );
+            self.publish_or_buffer(PendingPublish::Log {
+                topic: omni_redfish::topics::GPFS_HEALTH.to_string(),
+                key: change.server.clone(),
+                line: change.to_event_line(),
+            });
         }
-        // 4. Bridges pump Telemetry-API subscriptions into the stores.
-        self.log_bridge.pump();
+        // 4. Bridges pull the Telemetry API forward into the stores.
+        self.log_bridge.pump(now);
         self.metric_bridge.pump();
         // 5. vmagent scrape.
         self.vmagent.scrape_once(now);
@@ -353,24 +416,52 @@ impl MonitoringStack {
         for n in self.vmalert.evaluate(now) {
             self.alertmanager.receive(vmalert_to_alert(&n), now);
         }
-        // 8. Alertmanager flush → receivers.
+        // 8. Alertmanager flush → at-least-once delivery to receivers.
         let notifications = self.alertmanager.tick(now);
         for n in &notifications {
             self.notifications_dispatched += 1;
             if let Some(engine) = &mut self.remediation {
                 engine.handle(n, now);
             }
+            self.delivery.enqueue(n.clone());
+        }
+        self.pump_delivery(now);
+        notifications
+    }
+
+    /// Attempt every due notification send, with the chaos engine's flaky
+    /// receivers deciding which attempts fail.
+    fn pump_delivery(&mut self, now: i64) -> usize {
+        let MonitoringStack { delivery, chaos, slack, servicenow, .. } = self;
+        delivery.pump(now, |n| {
+            if let Some(c) = chaos.as_mut() {
+                if c.should_fail_send(&n.receiver, now) {
+                    return false;
+                }
+            }
             match n.receiver.as_str() {
                 "slack" => {
-                    self.slack.deliver(n);
+                    slack.deliver(n);
                 }
                 "servicenow" => {
-                    self.servicenow.receive_notification(n, now);
+                    servicenow.receive_notification(n, now);
                 }
                 _ => {}
             }
+            true
+        })
+    }
+
+    fn publish_or_buffer(&self, item: PendingPublish) {
+        let result = match &item {
+            PendingPublish::Event(ev) => self.collector.publish_event(ev).map(|_| ()),
+            PendingPublish::Log { topic, key, line } => {
+                self.collector.publish_log(topic, key, line.clone()).map(|_| ())
+            }
+        };
+        if result.is_err() {
+            self.publish_backlog.lock().push(item);
         }
-        notifications
     }
 
     /// Inject the paper's case-study-A fault: a cabinet leak. The Redfish
@@ -378,7 +469,9 @@ impl MonitoringStack {
     /// would.
     pub fn inject_leak(&self, chassis: XName, sensor: char, zone: LeakZone) -> RedfishEvent {
         let event = self.machine.inject_leak(chassis, sensor, zone);
-        self.collector.publish_event(&event).expect("resource-event topic exists");
+        // Buffered like every other publish: a brownout delays the event,
+        // it never loses it.
+        self.publish_or_buffer(PendingPublish::Event(event.clone()));
         event
     }
 
@@ -416,6 +509,41 @@ impl MonitoringStack {
     pub fn bridge_stats(&self) -> (u64, u64, u64) {
         let (pushed, errors) = self.log_bridge.stats();
         (pushed, errors, self.metric_bridge.stats())
+    }
+
+    /// At-least-once notification delivery counters.
+    pub fn delivery_stats(&self) -> DeliveryStats {
+        self.delivery.stats()
+    }
+
+    /// Notifications that exhausted their delivery retries.
+    pub fn dead_letter_notifications(&self) -> &[Notification] {
+        self.delivery.dead_letters()
+    }
+
+    /// The broker (for bus-level inspection and manual fault injection).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Assemble the operator resilience panel: Loki crash/WAL counters,
+    /// per-topic bus stats, bridge redelivery counters, notification
+    /// delivery counters and what the chaos engine injected.
+    pub fn resilience_report(&self) -> ResilienceReport {
+        let bus = self
+            .broker
+            .topics()
+            .into_iter()
+            .filter_map(|t| self.broker.stats(&t).ok().map(|s| (t, s)))
+            .collect();
+        ResilienceReport {
+            loki: self.omni.loki().resilience(),
+            bus,
+            log_bridge: self.log_bridge.resilience(),
+            metric_bridge: self.metric_bridge.resilience(),
+            delivery: self.delivery.stats(),
+            chaos: self.chaos.as_ref().map(|c| c.stats()),
+        }
     }
 }
 

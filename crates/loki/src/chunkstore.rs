@@ -10,7 +10,7 @@
 use crate::chunk::SealedChunk;
 use crate::compress::{get_uvarint, put_uvarint, zigzag, unzigzag, CorruptBlock};
 use bytes::Bytes;
-use omni_model::Timestamp;
+use omni_model::{LabelSet, Timestamp};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,6 +130,51 @@ pub fn chunk_key(fingerprint: u64, min_ts: Timestamp, max_ts: Timestamp) -> Stri
     format!("chunks/{fingerprint:016x}/{min_ts:020}-{max_ts:020}")
 }
 
+/// Object key for one stream's series-index entry: `series/<fingerprint-hex>`.
+pub fn series_key(fingerprint: u64) -> String {
+    format!("series/{fingerprint:016x}")
+}
+
+fn labels_to_object(labels: &LabelSet) -> Bytes {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, labels.len() as u64);
+    for (k, v) in labels.iter() {
+        put_uvarint(&mut out, k.len() as u64);
+        out.extend_from_slice(k.as_bytes());
+        put_uvarint(&mut out, v.len() as u64);
+        out.extend_from_slice(v.as_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn object_to_labels(data: &[u8]) -> Result<LabelSet, CorruptBlock> {
+    let mut pos = 0;
+    let (n_labels, n) = get_uvarint(&data[pos..])?;
+    pos += n;
+    let mut labels = LabelSet::new();
+    for _ in 0..n_labels {
+        let (klen, n) = get_uvarint(&data[pos..])?;
+        pos += n;
+        let k = read_str(data, &mut pos, klen as usize)?;
+        let (vlen, n) = get_uvarint(&data[pos..])?;
+        pos += n;
+        let v = read_str(data, &mut pos, vlen as usize)?;
+        labels.insert(k, v);
+    }
+    Ok(labels)
+}
+
+fn read_str(buf: &[u8], pos: &mut usize, len: usize) -> Result<String, CorruptBlock> {
+    if *pos + len > buf.len() {
+        return Err(CorruptBlock("series entry runs past object end"));
+    }
+    let s = std::str::from_utf8(&buf[*pos..*pos + len])
+        .map_err(|_| CorruptBlock("series label is not utf-8"))?
+        .to_string();
+    *pos += len;
+    Ok(s)
+}
+
 /// The chunk store: persistence + retrieval of offloaded chunks.
 #[derive(Clone)]
 pub struct ChunkStore {
@@ -161,6 +206,29 @@ impl ChunkStore {
         self.store.put(chunk_key(fingerprint, chunk.min_ts, chunk.max_ts), chunk_to_object(chunk));
     }
 
+    /// Record the stream's labels in the durable series index (idempotent).
+    /// Without this, offloaded chunks would be reachable only through an
+    /// ingester's in-memory stream map — and orphaned by a crash.
+    pub fn register_series(&self, fingerprint: u64, labels: &LabelSet) {
+        let key = series_key(fingerprint);
+        if self.store.list(&key).is_empty() {
+            self.store.put(key, labels_to_object(labels));
+        }
+    }
+
+    /// Every `(fingerprint, labels)` in the durable series index.
+    pub fn series(&self) -> Vec<(u64, LabelSet)> {
+        self.store
+            .list("series/")
+            .into_iter()
+            .filter_map(|key| {
+                let fp = u64::from_str_radix(key.strip_prefix("series/")?, 16).ok()?;
+                let labels = object_to_labels(&self.store.get(&key)?).ok()?;
+                Some((fp, labels))
+            })
+            .collect()
+    }
+
     /// Fetch every chunk of a stream overlapping `(start, end]`.
     pub fn fetch(&self, fingerprint: u64, start: Timestamp, end: Timestamp) -> Vec<SealedChunk> {
         let prefix = format!("chunks/{fingerprint:016x}/");
@@ -178,7 +246,8 @@ impl ChunkStore {
     }
 
     /// Delete chunks of a stream entirely older than `horizon`. Returns
-    /// how many objects were removed.
+    /// how many objects were removed. A stream whose last chunk goes also
+    /// loses its series-index entry.
     pub fn delete_before(&self, fingerprint: u64, horizon: Timestamp) -> usize {
         let prefix = format!("chunks/{fingerprint:016x}/");
         let mut removed = 0;
@@ -190,6 +259,9 @@ impl ChunkStore {
                     }
                 }
             }
+        }
+        if removed > 0 && self.store.list(&prefix).is_empty() {
+            self.store.delete(&series_key(fingerprint));
         }
         removed
     }

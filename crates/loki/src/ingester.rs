@@ -25,6 +25,8 @@ pub enum IngestError {
     StreamLimitExceeded,
     /// Entry carried no labels at all.
     EmptyLabels,
+    /// Every ingester shard is down; the distributor has nowhere to route.
+    AllShardsDown,
 }
 
 impl std::fmt::Display for IngestError {
@@ -34,6 +36,7 @@ impl std::fmt::Display for IngestError {
             IngestError::TooManyLabels(n) => write!(f, "{n} labels exceeds per-stream limit"),
             IngestError::StreamLimitExceeded => write!(f, "per-shard stream limit exceeded"),
             IngestError::EmptyLabels => write!(f, "entry has no labels"),
+            IngestError::AllShardsDown => write!(f, "all ingester shards down"),
         }
     }
 }
@@ -63,6 +66,11 @@ pub struct Ingester {
     state: RwLock<ShardState>,
     limits: Limits,
     chunk_store: Option<ChunkStore>,
+    /// `(index, total)` placement in the cluster ring. The chunk store is
+    /// shared, so exactly one shard — the stream's home — serves and
+    /// retires a stream's offloaded chunks, else fan-out queries would
+    /// count them once per shard.
+    shard: (usize, usize),
     entries: AtomicU64,
     bytes: AtomicU64,
     chunks_sealed: AtomicU64,
@@ -77,15 +85,32 @@ impl Ingester {
 
     /// Shard backed by a chunk object store for offloaded chunks.
     pub fn with_store(limits: Limits, chunk_store: Option<ChunkStore>) -> Self {
+        Self::with_shard(limits, chunk_store, 0, 1)
+    }
+
+    /// Shard at ring position `shard_index` of `shard_total`.
+    pub fn with_shard(
+        limits: Limits,
+        chunk_store: Option<ChunkStore>,
+        shard_index: usize,
+        shard_total: usize,
+    ) -> Self {
+        assert!(shard_index < shard_total, "shard index out of range");
         Self {
             state: RwLock::new(ShardState { streams: HashMap::new(), index: LabelIndex::new() }),
             limits,
             chunk_store,
+            shard: (shard_index, shard_total),
             entries: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             chunks_sealed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         }
+    }
+
+    /// Whether this shard is the home for a stream's durable-tier data.
+    fn owns(&self, fingerprint: u64) -> bool {
+        fingerprint % self.shard.1 as u64 == self.shard.0 as u64
     }
 
     /// Append one record (labels must already be validated/fingerprinted
@@ -129,16 +154,28 @@ impl Ingester {
     }
 
     /// Streams matching a selector: index candidates from equality
-    /// matchers, then full matcher evaluation per candidate.
+    /// matchers, then full matcher evaluation per candidate. Streams that
+    /// live only in the durable tier (offloaded, then the in-memory map
+    /// lost to a crash) are found via the store's series index, home
+    /// shard only.
     pub fn select_streams(&self, selector: &Selector) -> Vec<LabelSet> {
         let st = self.state.read();
-        st.index
+        let mut out: Vec<LabelSet> = st
+            .index
             .candidates(selector.equality_matchers())
             .into_iter()
             .filter_map(|fp| st.streams.get(&fp))
             .filter(|s| selector.matches(&s.labels))
             .map(|s| s.labels.clone())
-            .collect()
+            .collect();
+        if let Some(store) = &self.chunk_store {
+            for (fp, labels) in store.series() {
+                if self.owns(fp) && !st.streams.contains_key(&fp) && selector.matches(&labels) {
+                    out.push(labels);
+                }
+            }
+        }
+        out
     }
 
     /// Entries of matching streams in `(start, end]`, tagged with their
@@ -150,27 +187,52 @@ impl Ingester {
         end: Timestamp,
     ) -> Vec<(LabelSet, Vec<LogEntry>)> {
         let st = self.state.read();
-        st.index
+        let mut out: Vec<(LabelSet, Vec<LogEntry>)> = st
+            .index
             .candidates(selector.equality_matchers())
             .into_iter()
             .filter_map(|fp| st.streams.get(&fp))
             .filter(|s| selector.matches(&s.labels))
             .map(|s| {
                 let mut entries = s.entries_in(start, end);
-                // Merge in offloaded chunks from the disk tier.
+                // Merge in offloaded chunks from the disk tier — home
+                // shard only, since the store is shared cluster-wide.
                 if let Some(store) = &self.chunk_store {
                     let fp = s.labels.fingerprint();
-                    for chunk in store.fetch(fp, start, end) {
-                        if let Ok(es) = chunk.decode_range(start, end) {
-                            entries.extend(es);
+                    if self.owns(fp) {
+                        for chunk in store.fetch(fp, start, end) {
+                            if let Ok(es) = chunk.decode_range(start, end) {
+                                entries.extend(es);
+                            }
                         }
+                        entries.sort_by_key(|e| e.ts);
                     }
-                    entries.sort_by_key(|e| e.ts);
                 }
                 (s.labels.clone(), entries)
             })
             .filter(|(_, es)| !es.is_empty())
-            .collect()
+            .collect();
+        // Durable-tier-only streams (in-memory state lost to a crash, or
+        // never on this replacement ingester): served off the store's
+        // series index so offloaded data survives any ingester.
+        if let Some(store) = &self.chunk_store {
+            for (fp, labels) in store.series() {
+                if !self.owns(fp) || st.streams.contains_key(&fp) || !selector.matches(&labels) {
+                    continue;
+                }
+                let mut entries = Vec::new();
+                for chunk in store.fetch(fp, start, end) {
+                    if let Ok(es) = chunk.decode_range(start, end) {
+                        entries.extend(es);
+                    }
+                }
+                if !entries.is_empty() {
+                    entries.sort_by_key(|e| e.ts);
+                    out.push((labels, entries));
+                }
+            }
+        }
+        out
     }
 
     /// Offload sealed chunks entirely older than `older_than` to the
@@ -181,7 +243,12 @@ impl Ingester {
         let mut st = self.state.write();
         let mut moved = 0;
         for (fp, s) in st.streams.iter_mut() {
-            for chunk in s.drain_chunks_before(older_than) {
+            let drained = s.drain_chunks_before(older_than);
+            if drained.is_empty() {
+                continue;
+            }
+            store.register_series(*fp, &s.labels);
+            for chunk in drained {
                 store.persist(*fp, &chunk);
                 moved += 1;
             }
@@ -228,14 +295,24 @@ impl Ingester {
                 st.index.remove(&labels, *fp);
             }
         }
-        // The disk tier obeys the same horizon.
+        // The disk tier obeys the same horizon. Walk the store's series
+        // index, not the in-memory map — it also covers streams this
+        // ingester no longer remembers (post-crash replacements).
         if let Some(store) = &self.chunk_store {
-            let fps: Vec<u64> = st.streams.keys().copied().chain(dead.iter().copied()).collect();
-            for fp in fps {
-                chunks += store.delete_before(fp, horizon);
+            for (fp, _) in store.series() {
+                if self.owns(fp) {
+                    chunks += store.delete_before(fp, horizon);
+                }
             }
         }
         (chunks, dead.len())
+    }
+
+    /// Oldest timestamp held only in memory across every stream — the WAL
+    /// checkpoint bound. `None` when everything accepted is durable (or
+    /// the shard is empty).
+    pub fn min_unpersisted_ts(&self) -> Option<Timestamp> {
+        self.state.read().streams.values().filter_map(|s| s.oldest_ts_in_memory()).min()
     }
 
     /// Shard counters.

@@ -35,6 +35,8 @@ pub use wal::Wal;
 
 use omni_logql::{parse_expr, Expr, InstantVector, Matrix, ParseError};
 use omni_model::{LabelSet, LogRecord, SimClock, Timestamp};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Query-path errors.
@@ -63,12 +65,52 @@ impl From<ParseError> for QueryError {
     }
 }
 
+/// Point-in-time crash-recovery counters for the cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Ingester crashes injected so far.
+    pub crashes: u64,
+    /// Records restored into fresh ingesters by WAL replay.
+    pub replayed_records: u64,
+    /// Pushes rerouted away from a down home shard to a live one.
+    pub rerouted_records: u64,
+    /// Records currently buffered across every shard WAL.
+    pub wal_records: u64,
+    /// Total WAL segment bytes across shards.
+    pub wal_bytes: u64,
+    /// Records dropped from WALs by checkpoint truncation (durable in the
+    /// chunk store, no longer needed for recovery).
+    pub wal_checkpoint_drops: u64,
+    /// Shards currently up.
+    pub shards_up: usize,
+    /// Total shards.
+    pub shards_total: usize,
+}
+
+/// One distributor-visible shard slot: the live ingester (replaced
+/// wholesale on crash), its durable WAL, and an up/down flag.
+struct ShardSlot {
+    ingester: RwLock<Arc<Ingester>>,
+    wal: Wal,
+    up: AtomicBool,
+}
+
+#[derive(Default)]
+struct ClusterCounters {
+    crashes: AtomicU64,
+    replayed: AtomicU64,
+    rerouted: AtomicU64,
+    wal_checkpoint_drops: AtomicU64,
+}
+
 /// The Loki cluster: distributor + shards + query engine.
 #[derive(Clone)]
 pub struct LokiCluster {
-    shards: Arc<Vec<Arc<Ingester>>>,
+    shards: Arc<Vec<ShardSlot>>,
     chunk_store: ChunkStore,
     clock: SimClock,
+    limits: Limits,
+    counters: Arc<ClusterCounters>,
 }
 
 impl LokiCluster {
@@ -79,17 +121,105 @@ impl LokiCluster {
         Self {
             shards: Arc::new(
                 (0..shards)
-                    .map(|_| {
-                        Arc::new(Ingester::with_store(
+                    .map(|i| ShardSlot {
+                        ingester: RwLock::new(Arc::new(Ingester::with_shard(
                             limits.clone(),
                             Some(chunk_store.clone()),
-                        ))
+                            i,
+                            shards,
+                        ))),
+                        wal: Wal::new(),
+                        up: AtomicBool::new(true),
                     })
                     .collect(),
             ),
             chunk_store,
             clock,
+            limits,
+            counters: Arc::new(ClusterCounters::default()),
         }
+    }
+
+    /// Crash shard `i`: its in-memory streams and head chunks are lost on
+    /// the spot (the slot gets a fresh empty ingester) and the shard stops
+    /// taking pushes until [`recover_shard`](Self::recover_shard). The
+    /// shard's WAL and the shared chunk store survive — they are the
+    /// durable tiers recovery rebuilds from.
+    pub fn crash_shard(&self, i: usize) {
+        let slot = &self.shards[i];
+        slot.up.store(false, Ordering::SeqCst);
+        *slot.ingester.write() = Arc::new(Ingester::with_shard(
+            self.limits.clone(),
+            Some(self.chunk_store.clone()),
+            i,
+            self.shards.len(),
+        ));
+        self.counters.crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Recover shard `i`: replay its WAL into the fresh ingester, then
+    /// mark it up. Returns the number of records restored. Replay applies
+    /// records in original append order, so entries the shard had rejected
+    /// (out-of-order, oversized) are rejected identically on replay.
+    pub fn recover_shard(&self, i: usize) -> usize {
+        let slot = &self.shards[i];
+        let ingester = slot.ingester.read().clone();
+        let mut restored = 0;
+        if let Ok(records) = slot.wal.replay() {
+            for r in records {
+                if ingester.append(r).is_ok() {
+                    restored += 1;
+                }
+            }
+        }
+        self.counters.replayed.fetch_add(restored as u64, Ordering::Relaxed);
+        slot.up.store(true, Ordering::SeqCst);
+        restored
+    }
+
+    /// Whether shard `i` is up.
+    pub fn shard_up(&self, i: usize) -> bool {
+        self.shards[i].up.load(Ordering::SeqCst)
+    }
+
+    /// Crash-recovery counters.
+    pub fn resilience(&self) -> ResilienceStats {
+        ResilienceStats {
+            crashes: self.counters.crashes.load(Ordering::Relaxed),
+            replayed_records: self.counters.replayed.load(Ordering::Relaxed),
+            rerouted_records: self.counters.rerouted.load(Ordering::Relaxed),
+            wal_records: self.shards.iter().map(|s| s.wal.record_count()).sum(),
+            wal_bytes: self.shards.iter().map(|s| s.wal.bytes() as u64).sum(),
+            wal_checkpoint_drops: self.counters.wal_checkpoint_drops.load(Ordering::Relaxed),
+            shards_up: (0..self.shards.len()).filter(|&i| self.shard_up(i)).count(),
+            shards_total: self.shards.len(),
+        }
+    }
+
+    /// Checkpoint every shard's WAL against what is already durable in the
+    /// chunk store: records strictly older than the shard's oldest
+    /// memory-only timestamp (minus the out-of-order tolerance, since the
+    /// WAL stores pre-clamp timestamps) are truncated. Down shards are
+    /// skipped: their replacement ingester is empty, so "nothing
+    /// memory-only" would read as "everything durable" and truncate the
+    /// very records recovery needs to replay. Returns records dropped
+    /// across shards.
+    pub fn checkpoint_wals(&self) -> usize {
+        let mut dropped = 0;
+        for slot in self.shards.iter() {
+            if !slot.up.load(Ordering::SeqCst) {
+                continue;
+            }
+            let ingester = slot.ingester.read().clone();
+            let bound = match ingester.min_unpersisted_ts() {
+                Some(ts) => ts.saturating_sub(self.limits.out_of_order_tolerance_ns),
+                // Nothing memory-only: everything accepted is durable.
+                None => i64::MAX,
+            };
+            dropped += slot.wal.checkpoint(bound);
+        }
+        self.counters.wal_checkpoint_drops.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
     }
 
     /// Single-shard cluster with default limits (tests, examples).
@@ -119,10 +249,24 @@ impl LokiCluster {
         self.push_record(record)
     }
 
-    /// Push a pre-built record.
+    /// Push a pre-built record. The record is written to the serving
+    /// shard's WAL *before* the in-memory insert; when the home shard is
+    /// down the distributor reroutes to the next live shard (so its WAL
+    /// covers the entry). With every shard down the push is rejected —
+    /// callers retry.
     pub fn push_record(&self, record: LogRecord) -> Result<(), IngestError> {
-        let shard = (record.labels.fingerprint() % self.shards.len() as u64) as usize;
-        self.shards[shard].append(record)
+        let n = self.shards.len();
+        let home = (record.labels.fingerprint() % n as u64) as usize;
+        let serving = (0..n)
+            .map(|step| (home + step) % n)
+            .find(|&i| self.shard_up(i))
+            .ok_or(IngestError::AllShardsDown)?;
+        if serving != home {
+            self.counters.rerouted.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = &self.shards[serving];
+        slot.wal.append(&record);
+        slot.ingester.read().append(record)
     }
 
     /// Push a batch (the Loki push API takes batches of streams).
@@ -144,7 +288,7 @@ impl LokiCluster {
         limit: usize,
     ) -> Result<Vec<LogRecord>, QueryError> {
         match parse_expr(query)? {
-            Expr::Log(q) => Ok(engine::run_log_query(&self.shards, &q, start, end, limit)),
+            Expr::Log(q) => Ok(engine::run_log_query(&self.shards(), &q, start, end, limit)),
             Expr::Metric(_) => Err(QueryError::WrongQueryKind("log query")),
         }
     }
@@ -160,7 +304,7 @@ impl LokiCluster {
     ) -> Result<(Vec<LogRecord>, QueryStats), QueryError> {
         match parse_expr(query)? {
             Expr::Log(q) => {
-                Ok(engine::run_log_query_with_stats(&self.shards, &q, start, end, limit))
+                Ok(engine::run_log_query_with_stats(&self.shards(), &q, start, end, limit))
             }
             Expr::Metric(_) => Err(QueryError::WrongQueryKind("log query")),
         }
@@ -171,7 +315,7 @@ impl LokiCluster {
     pub fn series(&self, selector: &str) -> Result<Vec<LabelSet>, QueryError> {
         let sel = omni_logql::parse_selector(selector)?;
         let mut out: Vec<LabelSet> =
-            self.shards.iter().flat_map(|s| s.select_streams(&sel)).collect();
+            self.shards().iter().flat_map(|s| s.select_streams(&sel)).collect();
         out.sort();
         out.dedup();
         Ok(out)
@@ -180,7 +324,7 @@ impl LokiCluster {
     /// Evaluate a metric query string at one instant.
     pub fn query_instant(&self, query: &str, at: Timestamp) -> Result<InstantVector, QueryError> {
         match parse_expr(query)? {
-            Expr::Metric(m) => Ok(engine::run_instant_query(&self.shards, &m, at)),
+            Expr::Metric(m) => Ok(engine::run_instant_query(&self.shards(), &m, at)),
             Expr::Log(_) => Err(QueryError::WrongQueryKind("metric query")),
         }
     }
@@ -195,7 +339,7 @@ impl LokiCluster {
     ) -> Result<Matrix, QueryError> {
         match parse_expr(query)? {
             Expr::Metric(m) => {
-                Ok(engine::run_range_query(&self.shards, &m, start, end, step_ns))
+                Ok(engine::run_range_query(&self.shards(), &m, start, end, step_ns))
             }
             Expr::Log(_) => Err(QueryError::WrongQueryKind("metric query")),
         }
@@ -204,24 +348,27 @@ impl LokiCluster {
     /// Periodic maintenance: seal aged head chunks on every shard.
     pub fn tick(&self) {
         let now = self.clock.now();
-        for s in self.shards.iter() {
+        for s in self.shards() {
             s.tick(now);
         }
     }
 
     /// Force-flush all head chunks.
     pub fn flush(&self) {
-        for s in self.shards.iter() {
+        for s in self.shards() {
             s.flush();
         }
     }
 
     /// Move sealed chunks older than `older_than_ns` (relative to now)
-    /// from ingester memory to the chunk object store. Returns chunks
-    /// moved.
+    /// from ingester memory to the chunk object store, then checkpoint the
+    /// WALs — offloaded records are durable and no longer need replay
+    /// coverage. Returns chunks moved.
     pub fn offload(&self, older_than_ns: i64) -> usize {
         let horizon = self.clock.now() - older_than_ns;
-        self.shards.iter().map(|s| s.offload(horizon)).sum()
+        let moved = self.shards().iter().map(|s| s.offload(horizon)).sum();
+        self.checkpoint_wals();
+        moved
     }
 
     /// The disk-tier chunk store (for accounting).
@@ -233,7 +380,7 @@ impl LokiCluster {
     pub fn enforce_retention(&self) -> (usize, usize) {
         let now = self.clock.now();
         let mut total = (0, 0);
-        for s in self.shards.iter() {
+        for s in self.shards() {
             let (c, st) = s.enforce_retention(now);
             total.0 += c;
             total.1 += st;
@@ -244,7 +391,7 @@ impl LokiCluster {
     /// Aggregate shard stats.
     pub fn stats(&self) -> IngesterStats {
         let mut agg = IngesterStats::default();
-        for s in self.shards.iter() {
+        for s in self.shards() {
             let st = s.stats();
             agg.entries += st.entries;
             agg.bytes += st.bytes;
@@ -256,38 +403,39 @@ impl LokiCluster {
 
     /// Total active streams.
     pub fn stream_count(&self) -> usize {
-        self.shards.iter().map(|s| s.stream_count()).sum()
+        self.shards().iter().map(|s| s.stream_count()).sum()
     }
 
     /// Total chunks (sealed + open heads).
     pub fn chunk_count(&self) -> usize {
-        self.shards.iter().map(|s| s.chunk_count()).sum()
+        self.shards().iter().map(|s| s.chunk_count()).sum()
     }
 
     /// Compressed bytes held across shards.
     pub fn compressed_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.compressed_bytes()).sum()
+        self.shards().iter().map(|s| s.compressed_bytes()).sum()
     }
 
     /// Uncompressed payload bytes across shards.
     pub fn uncompressed_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.uncompressed_bytes()).sum()
+        self.shards().iter().map(|s| s.uncompressed_bytes()).sum()
     }
 
     /// Label-index entries across shards (C4's "small index").
     pub fn index_entries(&self) -> usize {
-        self.shards.iter().map(|s| s.index_entries()).sum()
+        self.shards().iter().map(|s| s.index_entries()).sum()
     }
 
     /// Approximate index bytes across shards.
     pub fn index_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.index_bytes()).sum()
+        self.shards().iter().map(|s| s.index_bytes()).sum()
     }
 
     /// Sorted, deduplicated label names across shards (the Grafana label
     /// browser's first dropdown).
     pub fn label_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.shards.iter().flat_map(|s| s.label_names()).collect();
+        let mut names: Vec<String> =
+            self.shards().iter().flat_map(|s| s.label_names()).collect();
         names.sort();
         names.dedup();
         names
@@ -296,14 +444,17 @@ impl LokiCluster {
     /// Sorted, deduplicated values of one label across shards.
     pub fn label_values(&self, name: &str) -> Vec<String> {
         let mut vals: Vec<String> =
-            self.shards.iter().flat_map(|s| s.label_values(name)).collect();
+            self.shards().iter().flat_map(|s| s.label_values(name)).collect();
         vals.sort();
         vals.dedup();
         vals
     }
 
-    pub(crate) fn shards(&self) -> &[Arc<Ingester>] {
-        &self.shards
+    /// Snapshot of the live ingester behind every slot. Queries fan out
+    /// over all of them — a freshly-crashed shard's replacement is empty
+    /// and contributes nothing until recovery replays its WAL.
+    pub(crate) fn shards(&self) -> Vec<Arc<Ingester>> {
+        self.shards.iter().map(|s| s.ingester.read().clone()).collect()
     }
 }
 
@@ -539,5 +690,155 @@ mod tests {
             v
         };
         assert_eq!(mk(1), mk(8));
+    }
+
+    #[test]
+    fn crash_then_recover_replays_wal() {
+        let c = cluster(1);
+        for i in 0..100 {
+            c.push(labels!("app" => "fm"), i * NANOS_PER_SEC, format!("pre-crash {i}")).unwrap();
+        }
+        c.crash_shard(0);
+        // In-memory state is gone: the fresh ingester serves nothing.
+        assert!(!c.shard_up(0));
+        assert!(c
+            .query_logs(r#"{app="fm"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX)
+            .unwrap()
+            .is_empty());
+
+        let restored = c.recover_shard(0);
+        assert_eq!(restored, 100);
+        assert!(c.shard_up(0));
+        let out = c
+            .query_logs(r#"{app="fm"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX)
+            .unwrap();
+        assert_eq!(out.len(), 100, "every pre-crash line must be queryable again");
+
+        let r = c.resilience();
+        assert_eq!(r.crashes, 1);
+        assert_eq!(r.replayed_records, 100);
+        assert_eq!(r.shards_up, 1);
+    }
+
+    #[test]
+    fn pushes_reroute_around_down_shard() {
+        let c = cluster(2);
+        let stream = labels!("app" => "steady");
+        let home = (stream.fingerprint() % 2) as usize;
+        let other = 1 - home;
+        for i in 0..10 {
+            c.push(stream.clone(), i, "before").unwrap();
+        }
+        c.crash_shard(home);
+        for i in 10..20 {
+            c.push(stream.clone(), i, "during").unwrap();
+        }
+        assert_eq!(c.resilience().rerouted_records, 10);
+        // The rerouted entries landed (and were WAL'd) on the live shard.
+        let out = c.query_logs(r#"{app="steady"}"#, -1, 1_000, usize::MAX).unwrap();
+        assert_eq!(out.len(), 10);
+        assert!(c.shards()[other].stream_count() >= 1);
+
+        // After recovery everything — pre-crash and rerouted — is served.
+        c.recover_shard(home);
+        let out = c.query_logs(r#"{app="steady"}"#, -1, 1_000, usize::MAX).unwrap();
+        assert_eq!(out.len(), 20, "zero loss across crash + reroute + recovery");
+    }
+
+    #[test]
+    fn all_shards_down_rejects_push() {
+        let c = cluster(2);
+        c.crash_shard(0);
+        c.crash_shard(1);
+        assert!(matches!(
+            c.push(labels!("a" => "b"), 1, "x"),
+            Err(IngestError::AllShardsDown)
+        ));
+        c.recover_shard(0);
+        c.push(labels!("a" => "b"), 2, "x").unwrap();
+    }
+
+    #[test]
+    fn wal_shrinks_after_flush_and_offload_cycle() {
+        let limits = Limits { chunk_target_bytes: 64, ..Default::default() };
+        let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+        for i in 0..50 {
+            c.push(labels!("app" => "x"), i * NANOS_PER_SEC, format!("event number {i}")).unwrap();
+        }
+        let before = c.resilience();
+        assert_eq!(before.wal_records, 50);
+        assert!(before.wal_bytes > 0);
+
+        // Seal everything and move it to the durable chunk store; offload
+        // checkpoints the WAL behind it.
+        c.clock().set(100 * NANOS_PER_SEC);
+        c.flush();
+        let moved = c.offload(0);
+        assert!(moved > 0);
+
+        let after = c.resilience();
+        assert!(
+            after.wal_bytes < before.wal_bytes,
+            "WAL must be strictly smaller after a flush cycle ({} -> {})",
+            before.wal_bytes,
+            after.wal_bytes
+        );
+        assert_eq!(after.wal_records, 0, "all records persisted, WAL fully truncated");
+        assert_eq!(after.wal_checkpoint_drops, 50);
+
+        // Recovery after the checkpoint must not duplicate offloaded data.
+        c.crash_shard(0);
+        c.recover_shard(0);
+        let out = c
+            .query_logs(r#"{app="x"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX)
+            .unwrap();
+        assert_eq!(out.len(), 50, "no duplicates from replaying checkpointed WAL");
+    }
+
+    #[test]
+    fn checkpoint_never_touches_a_down_shards_wal() {
+        // Maintenance (offload → checkpoint) keeps running while a shard
+        // is down; the crashed shard's WAL is the only copy of its
+        // memory-only records and must survive until recovery replays it.
+        let c = cluster(1);
+        for i in 0..25 {
+            c.push(labels!("app" => "fm"), i * NANOS_PER_SEC, format!("pre-crash {i}")).unwrap();
+        }
+        c.crash_shard(0);
+        c.clock().set(3_600 * NANOS_PER_SEC);
+        c.offload(0); // runs checkpoint_wals internally
+        assert_eq!(c.resilience().wal_records, 25, "down shard's WAL must be preserved");
+
+        assert_eq!(c.recover_shard(0), 25);
+        let out = c
+            .query_logs(r#"{app="fm"}"#, -1, 4_000 * NANOS_PER_SEC, usize::MAX)
+            .unwrap();
+        assert_eq!(out.len(), 25, "zero loss despite maintenance during downtime");
+    }
+
+    #[test]
+    fn checkpoint_keeps_unpersisted_tail() {
+        // Only part of the data offloads; the WAL must keep the rest.
+        let limits = Limits { chunk_target_bytes: 32, ..Default::default() };
+        let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+        for i in 0..40 {
+            c.push(labels!("app" => "x"), i * NANOS_PER_SEC, "0123456789abcdef").unwrap();
+        }
+        c.clock().set(40 * NANOS_PER_SEC);
+        // Offload only chunks entirely older than t=20s; newer sealed
+        // chunks and the head stay in memory.
+        c.offload(20 * NANOS_PER_SEC);
+        let r = c.resilience();
+        assert!(r.wal_records > 0, "unpersisted tail must stay in the WAL");
+        assert!(r.wal_records < 40, "persisted prefix must be dropped");
+
+        // A crash right now loses only what the WAL still covers — which
+        // is everything not yet offloaded, so recovery is lossless.
+        c.crash_shard(0);
+        c.recover_shard(0);
+        let out = c
+            .query_logs(r#"{app="x"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX)
+            .unwrap();
+        assert_eq!(out.len(), 40);
     }
 }

@@ -189,7 +189,7 @@ impl Ruler {
         let group_rules: Vec<AlertingRule> = group.rules.clone();
         let queries: Vec<MetricQuery> = parsed.clone();
         for (ri, (rule, query)) in group_rules.iter().zip(queries.iter()).enumerate() {
-            let vector = crate::engine::run_instant_query(self.cluster.shards(), query, now);
+            let vector = crate::engine::run_instant_query(&self.cluster.shards(), query, now);
             let mut seen: Vec<LabelSet> = Vec::new();
             for (series_labels, value) in vector {
                 let key = (gi, ri, series_labels.clone());

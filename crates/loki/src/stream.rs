@@ -173,6 +173,17 @@ impl Stream {
     pub fn is_empty(&self) -> bool {
         self.chunks.is_empty() && self.head.is_empty()
     }
+
+    /// Oldest timestamp still held in memory (head or sealed-but-not-yet
+    /// offloaded chunks) — the WAL must keep everything from here on, since
+    /// a crash would lose it.
+    pub fn oldest_ts_in_memory(&self) -> Option<Timestamp> {
+        let chunk_min = self.chunks.iter().map(|c| c.min_ts).min();
+        match (self.head.min_ts(), chunk_min) {
+            (Some(h), Some(c)) => Some(h.min(c)),
+            (h, c) => h.or(c),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -35,16 +35,7 @@ impl Wal {
     /// ordering is what makes it a write-ahead log).
     pub fn append(&self, record: &LogRecord) {
         let mut buf = self.segment.lock();
-        put_uvarint(&mut buf, record.labels.len() as u64);
-        for (k, v) in record.labels.iter() {
-            put_uvarint(&mut buf, k.len() as u64);
-            buf.extend_from_slice(k.as_bytes());
-            put_uvarint(&mut buf, v.len() as u64);
-            buf.extend_from_slice(v.as_bytes());
-        }
-        put_uvarint(&mut buf, zigzag(record.entry.ts));
-        put_uvarint(&mut buf, record.entry.line.len() as u64);
-        buf.extend_from_slice(record.entry.line.as_bytes());
+        encode_into(&mut buf, record);
         self.records.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -82,6 +73,33 @@ impl Wal {
         self.records.store(0, Ordering::Relaxed);
     }
 
+    /// Checkpoint: drop every record strictly older than `keep_from_ts`
+    /// (those are durable in the chunk store and no longer needed for
+    /// crash recovery), re-encoding the survivors in place. Returns the
+    /// number of records dropped. A corrupt segment is left untouched —
+    /// better an oversized WAL than a discarded one.
+    pub fn checkpoint(&self, keep_from_ts: i64) -> usize {
+        let survivors = match self.replay() {
+            Ok(records) => records,
+            Err(_) => return 0,
+        };
+        let total = survivors.len();
+        let keep: Vec<&LogRecord> =
+            survivors.iter().filter(|r| r.entry.ts >= keep_from_ts).collect();
+        let dropped = total - keep.len();
+        if dropped == 0 {
+            return 0;
+        }
+        let mut fresh = Vec::new();
+        for r in &keep {
+            encode_into(&mut fresh, r);
+        }
+        let mut buf = self.segment.lock();
+        *buf = fresh;
+        self.records.store(keep.len() as u64, Ordering::Relaxed);
+        dropped
+    }
+
     /// Records currently held.
     pub fn record_count(&self) -> u64 {
         self.records.load(Ordering::Relaxed)
@@ -91,6 +109,19 @@ impl Wal {
     pub fn bytes(&self) -> usize {
         self.segment.lock().len()
     }
+}
+
+fn encode_into(buf: &mut Vec<u8>, record: &LogRecord) {
+    put_uvarint(buf, record.labels.len() as u64);
+    for (k, v) in record.labels.iter() {
+        put_uvarint(buf, k.len() as u64);
+        buf.extend_from_slice(k.as_bytes());
+        put_uvarint(buf, v.len() as u64);
+        buf.extend_from_slice(v.as_bytes());
+    }
+    put_uvarint(buf, zigzag(record.entry.ts));
+    put_uvarint(buf, record.entry.line.len() as u64);
+    buf.extend_from_slice(record.entry.line.as_bytes());
 }
 
 fn read_str(buf: &[u8], pos: &mut usize, len: usize) -> Result<String, CorruptBlock> {
@@ -176,6 +207,25 @@ mod tests {
         let sel = parse_selector(r#"{app="x"}"#).unwrap();
         let got: usize = recovered.query(&sel, -1, 1_000).iter().map(|(_, es)| es.len()).sum();
         assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn checkpoint_drops_only_persisted_prefix() {
+        let wal = Wal::new();
+        for i in 0..100 {
+            wal.append(&record(i));
+        }
+        let before = wal.bytes();
+        let dropped = wal.checkpoint(60);
+        assert_eq!(dropped, 60);
+        assert_eq!(wal.record_count(), 40);
+        assert!(wal.bytes() < before, "segment must shrink after checkpoint");
+        let survivors = wal.replay().unwrap();
+        assert_eq!(survivors.len(), 40);
+        assert!(survivors.iter().all(|r| r.entry.ts >= 60));
+        // Checkpointing at an older bound is a no-op.
+        assert_eq!(wal.checkpoint(10), 0);
+        assert_eq!(wal.record_count(), 40);
     }
 
     #[test]

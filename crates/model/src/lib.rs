@@ -18,11 +18,13 @@
 
 pub mod clock;
 pub mod labels;
+pub mod retry;
 pub mod severity;
 pub mod time;
 
 pub use clock::SimClock;
 pub use labels::{LabelSet, LabelSetBuilder};
+pub use retry::{CircuitBreaker, CircuitState, RetryPolicy, RetryState};
 pub use severity::Severity;
 pub use time::{format_iso8601, parse_iso8601, Timestamp, NANOS_PER_SEC};
 

@@ -1,0 +1,254 @@
+//! Shared retry machinery: exponential backoff with deterministic jitter,
+//! per-attempt retry state, and a simple circuit breaker.
+//!
+//! Every component that talks across a lossy boundary (the bus bridges, the
+//! Alertmanager notification queue) shares this policy so chaos runs are
+//! reproducible: jitter is derived from [`fnv1a64`] over a caller-provided
+//! salt instead of a wall-clock or global RNG, which keeps a given chaos
+//! seed byte-identical across runs.
+
+use crate::{fnv1a64, Timestamp};
+
+/// Exponential backoff policy with bounded, deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base_delay_ns: i64,
+    /// Cap on the delay of any single retry.
+    pub max_delay_ns: i64,
+    /// Attempts after which the item is considered permanently failed
+    /// (initial attempt included).
+    pub max_attempts: u32,
+    /// Jitter amplitude in permille of the capped delay: the deterministic
+    /// jitter lands in `±jitter_permille/1000` of the exponential delay.
+    pub jitter_permille: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base_delay_ns: 500_000_000,        // 500ms
+            max_delay_ns: 60_000_000_000,      // 60s
+            max_attempts: 8,
+            jitter_permille: 200,              // ±20%
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether another attempt is allowed after `attempts` tries so far.
+    pub fn allows(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts
+    }
+
+    /// Backoff delay before retry number `attempt` (1-based: `attempt == 1`
+    /// is the first retry). `salt` individualises the jitter per item —
+    /// pass something stable like a message offset or receiver hash.
+    pub fn delay_ns(&self, attempt: u32, salt: u64) -> i64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        let exp = self.base_delay_ns.saturating_mul(1i64 << shift);
+        let capped = exp.min(self.max_delay_ns).max(0);
+        if self.jitter_permille == 0 || capped == 0 {
+            return capped;
+        }
+        let mut material = [0u8; 12];
+        material[..8].copy_from_slice(&salt.to_le_bytes());
+        material[8..].copy_from_slice(&attempt.to_le_bytes());
+        let h = fnv1a64(&material);
+        // Deterministic fraction in [-1000, 1000] permille of the amplitude.
+        let frac = (h % 2001) as i64 - 1000;
+        let amplitude = capped / 1000 * self.jitter_permille as i64;
+        capped + amplitude / 1000 * frac
+    }
+
+    /// The virtual timestamp at which retry `attempt` becomes due.
+    pub fn due_at(&self, now: Timestamp, attempt: u32, salt: u64) -> Timestamp {
+        now + self.delay_ns(attempt, salt)
+    }
+}
+
+/// Per-item retry bookkeeping driven by a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryState {
+    /// Attempts made so far (initial attempt included).
+    pub attempts: u32,
+    /// Virtual time before which the item must not be retried.
+    pub due_at: Timestamp,
+}
+
+impl RetryState {
+    /// Fresh state: due immediately, no attempts recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the item may be attempted at `now`.
+    pub fn due(&self, now: Timestamp) -> bool {
+        now >= self.due_at
+    }
+
+    /// Record a failed attempt. Returns `false` when the policy is
+    /// exhausted and the item should be dead-lettered.
+    pub fn record_failure(&mut self, now: Timestamp, policy: &RetryPolicy, salt: u64) -> bool {
+        self.attempts += 1;
+        if !policy.allows(self.attempts) {
+            return false;
+        }
+        self.due_at = policy.due_at(now, self.attempts, salt);
+        true
+    }
+}
+
+/// Circuit breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are rejected until the cooldown passes.
+    Open,
+}
+
+/// A consecutive-failure circuit breaker over the virtual clock.
+///
+/// After `failure_threshold` consecutive failures the circuit opens for
+/// `cooldown_ns`; once the cooldown elapses the next attempt is allowed
+/// through (half-open probe) and a success closes the circuit again.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    failure_threshold: u32,
+    cooldown_ns: i64,
+    consecutive_failures: u32,
+    open_until: Timestamp,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// Create a breaker opening after `failure_threshold` consecutive
+    /// failures, for `cooldown_ns` per open.
+    pub fn new(failure_threshold: u32, cooldown_ns: i64) -> Self {
+        assert!(failure_threshold > 0, "threshold must be positive");
+        Self {
+            failure_threshold,
+            cooldown_ns,
+            consecutive_failures: 0,
+            open_until: i64::MIN,
+            opens: 0,
+        }
+    }
+
+    /// Whether an attempt is allowed at `now`.
+    pub fn allows(&self, now: Timestamp) -> bool {
+        now >= self.open_until
+    }
+
+    /// Current state at `now`.
+    pub fn state(&self, now: Timestamp) -> CircuitState {
+        if self.allows(now) {
+            CircuitState::Closed
+        } else {
+            CircuitState::Open
+        }
+    }
+
+    /// Record a successful attempt: closes the circuit.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_until = i64::MIN;
+    }
+
+    /// Record a failed attempt at `now`. Returns `true` when this failure
+    /// tripped the breaker open.
+    pub fn record_failure(&mut self, now: Timestamp) -> bool {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.failure_threshold && self.allows(now) {
+            self.open_until = now + self.cooldown_ns;
+            self.opens += 1;
+            return true;
+        }
+        false
+    }
+
+    /// How many times the breaker has opened.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            base_delay_ns: 1_000,
+            max_delay_ns: 16_000,
+            max_attempts: 10,
+            jitter_permille: 0,
+        };
+        assert_eq!(p.delay_ns(1, 0), 1_000);
+        assert_eq!(p.delay_ns(2, 0), 2_000);
+        assert_eq!(p.delay_ns(3, 0), 4_000);
+        assert_eq!(p.delay_ns(10, 0), 16_000); // capped
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            base_delay_ns: 1_000_000,
+            max_delay_ns: 1_000_000_000,
+            max_attempts: 10,
+            jitter_permille: 200,
+        };
+        for attempt in 1..6 {
+            for salt in 0..20u64 {
+                let a = p.delay_ns(attempt, salt);
+                let b = p.delay_ns(attempt, salt);
+                assert_eq!(a, b, "same inputs must give the same delay");
+                let nominal = 1_000_000i64 << (attempt - 1);
+                let amplitude = nominal / 5; // 20%
+                assert!((a - nominal).abs() <= amplitude, "delay {a} vs nominal {nominal}");
+            }
+        }
+        // Different salts actually spread.
+        let spread: std::collections::HashSet<i64> =
+            (0..50u64).map(|s| p.delay_ns(1, s)).collect();
+        assert!(spread.len() > 10);
+    }
+
+    #[test]
+    fn retry_state_exhausts() {
+        let p = RetryPolicy {
+            base_delay_ns: 10,
+            max_delay_ns: 100,
+            max_attempts: 3,
+            jitter_permille: 0,
+        };
+        let mut st = RetryState::new();
+        assert!(st.due(0));
+        assert!(st.record_failure(0, &p, 7)); // attempt 1 → retry allowed
+        assert!(!st.due(st.due_at - 1));
+        assert!(st.due(st.due_at));
+        assert!(st.record_failure(st.due_at, &p, 7)); // attempt 2
+        assert!(!st.record_failure(st.due_at, &p, 7)); // attempt 3 → exhausted
+    }
+
+    #[test]
+    fn circuit_breaker_opens_and_recovers() {
+        let mut cb = CircuitBreaker::new(3, 1_000);
+        assert!(cb.allows(0));
+        assert!(!cb.record_failure(0));
+        assert!(!cb.record_failure(0));
+        assert!(cb.record_failure(0)); // third consecutive failure trips it
+        assert!(!cb.allows(999));
+        assert!(cb.allows(1_000)); // half-open probe after cooldown
+        cb.record_success();
+        assert!(cb.allows(1_001));
+        assert_eq!(cb.opens(), 1);
+        // Failures while open don't re-open (no double counting).
+        let mut cb = CircuitBreaker::new(1, 1_000);
+        assert!(cb.record_failure(0));
+        assert!(!cb.record_failure(10));
+        assert_eq!(cb.opens(), 1);
+    }
+}

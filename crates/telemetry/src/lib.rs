@@ -123,13 +123,21 @@ impl TelemetryApi {
         self.inner.tokens.lock().get(&token.0).cloned().ok_or(ApiError::Unauthorized)
     }
 
-    /// Pick the least-loaded gateway (ties go to the lowest index).
+    /// Pick the least-loaded gateway: fewest live subscriptions first,
+    /// then fewest requests served (so offset-pull clients, which hold no
+    /// subscriptions, still spread), ties to the lowest index.
     fn pick_gateway(&self) -> usize {
         self.inner
             .gateways
             .iter()
             .enumerate()
-            .min_by_key(|(i, g)| (g.active_subscriptions.load(Ordering::Relaxed), *i))
+            .min_by_key(|(i, g)| {
+                (
+                    g.active_subscriptions.load(Ordering::Relaxed),
+                    g.total_requests.load(Ordering::Relaxed),
+                    *i,
+                )
+            })
             .map(|(i, _)| i)
             .unwrap()
     }

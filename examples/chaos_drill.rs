@@ -1,0 +1,64 @@
+//! Chaos drill: run the full pipeline through a scripted failure schedule
+//! — an ingester crash, a bus brownout, a credential drop and a flaky
+//! Slack webhook — and print the resilience report proving zero loss.
+//!
+//! ```sh
+//! cargo run --example chaos_drill
+//! ```
+//!
+//! Every fault fires on the virtual clock from a seeded schedule, so two
+//! runs with the same seed print byte-identical reports.
+
+use shasta_mon::core::{ChaosEngine, ChaosFault, MonitoringStack, StackConfig};
+use shasta_mon::model::NANOS_PER_SEC;
+use shasta_mon::shasta::LeakZone;
+
+fn main() {
+    let minute = 60 * NANOS_PER_SEC;
+    println!("Chaos drill: 20 simulated minutes, faults on a fixed schedule\n");
+    println!("  t+2m   ingester shard 0 crashes (recovers t+6m via WAL replay)");
+    println!("  t+3m   telemetry credentials revoked (bridges re-authenticate)");
+    println!("  t+4m   bus brownout until t+5m (bridges hold cursors, retry)");
+    println!("  t+0..  slack webhook fails 50% of sends (delivery queue retries)\n");
+
+    let mut stack = MonitoringStack::new(StackConfig::default());
+    stack.install_chaos(
+        ChaosEngine::new(42)
+            .inject(ChaosFault::IngesterCrash {
+                at: 2 * minute,
+                shard: 0,
+                recover_at: 6 * minute,
+            })
+            .inject(ChaosFault::SubscriptionDrop { at: 3 * minute })
+            .inject(ChaosFault::BusBrownout { from: 4 * minute, until: 5 * minute })
+            .inject(ChaosFault::FlakyReceiver {
+                receiver: "slack".into(),
+                from: 0,
+                until: 30 * minute,
+                fail_permille: 500,
+            }),
+    );
+
+    let mut generated_syslog = 0usize;
+    for i in 1..=20 {
+        // A cabinet leak mid-run: the alert path must survive the chaos too.
+        if i == 7 {
+            let chassis = stack.machine.topology().chassis()[3];
+            stack.inject_leak(chassis, 'A', LeakZone::Front);
+        }
+        stack.step(minute, 5, 3);
+        generated_syslog += 5;
+    }
+
+    let stored = stack
+        .pane
+        .logs(r#"{data_type="syslog"}"#, 0, stack.clock.now() + 1, usize::MAX)
+        .unwrap()
+        .len();
+    println!("syslog lines generated ....... {generated_syslog}");
+    println!("syslog lines queryable ....... {stored}");
+    println!("slack messages delivered ..... {}\n", stack.slack.messages().len());
+    println!("{}", stack.resilience_report().render());
+
+    assert_eq!(stored, generated_syslog, "chaos drill must lose no logs");
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-shot verification gate: release build, full workspace tests, and
+# clippy (warnings denied) on the crates the resilience work touches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo clippy -D warnings (touched crates) =="
+cargo clippy -q -p omni-model -p omni-bus -p omni-telemetry -p omni-loki \
+    -p omni-alertmanager -p omni-core --all-targets -- -D warnings
+
+echo "verify: OK"

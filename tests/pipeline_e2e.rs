@@ -191,13 +191,15 @@ fn chunks_offload_to_disk_tier_during_long_runs() {
 
 #[test]
 fn telemetry_api_gateways_balanced() {
-    let stack = MonitoringStack::new(StackConfig::default());
+    // The bridges pull by offset (at-least-once), so gateway load shows
+    // up as served requests rather than held subscriptions.
+    let mut stack = MonitoringStack::new(StackConfig::default());
+    stack.step(MINUTE, 10, 10);
     let loads = stack.api.gateway_loads();
     assert_eq!(loads.len(), 4);
-    let total: u64 = loads.iter().map(|l| l.active_subscriptions).sum();
-    // LogBridge (5 subs) + MetricBridge (6 subs) = 11, spread across 4.
-    assert_eq!(total, 11);
-    let max = loads.iter().map(|l| l.active_subscriptions).max().unwrap();
-    let min = loads.iter().map(|l| l.active_subscriptions).min().unwrap();
+    let total: u64 = loads.iter().map(|l| l.total_requests).sum();
+    assert!(total > 0, "bridge pulls must route through the gateways");
+    let max = loads.iter().map(|l| l.total_requests).max().unwrap();
+    let min = loads.iter().map(|l| l.total_requests).min().unwrap();
     assert!(max - min <= 1, "least-loaded balancing keeps spread tight: {loads:?}");
 }

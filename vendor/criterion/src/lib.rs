@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the API the benches use (`benchmark_group`, `Throughput`,
+//! `BenchmarkId`, `Bencher::iter`/`iter_with_setup`, `black_box`,
+//! `criterion_group!`/`criterion_main!`) but runs each routine a handful
+//! of times and prints the best wall-clock time instead of doing
+//! statistical analysis. Good enough to keep the bench targets compiling
+//! and runnable offline; not a measurement-grade harness.
+#![allow(clippy::all)]
+
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations each routine runs in this shim (min time is reported).
+const RUNS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _c: self, group: name.to_string(), throughput: None }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (messages, samples, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name with a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores time budgets.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.group, name), self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmark a closure over one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_one(&format!("{}/{}", self.group, id.id), self.throughput, &mut wrapped);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut b = Bencher { best_ns: u64::MAX };
+    for _ in 0..RUNS {
+        f(&mut b);
+    }
+    let ns = b.best_ns;
+    if ns == u64::MAX {
+        println!("  {label}: no measurement");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0 => {
+            format!(" ({:.0} elem/s)", n as f64 / (ns as f64 / 1e9))
+        }
+        Some(Throughput::Bytes(n)) if ns > 0 => {
+            format!(" ({:.0} B/s)", n as f64 / (ns as f64 / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("  {label}: {:.3} ms{rate}", ns as f64 / 1e6);
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    best_ns: u64,
+}
+
+impl Bencher {
+    /// Time a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.record(start.elapsed().as_nanos() as u64);
+    }
+
+    /// Time a routine whose setup should not be measured.
+    pub fn iter_with_setup<S, O, SF, R>(&mut self, mut setup: SF, mut routine: R)
+    where
+        SF: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.record(start.elapsed().as_nanos() as u64);
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.best_ns = self.best_ns.min(ns);
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut count = 0u32;
+        g.throughput(Throughput::Elements(10)).bench_function("counts", |b| {
+            b.iter(|| count += 1);
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter_with_setup(|| n, |n| n * 2);
+        });
+        g.finish();
+        assert!(count >= 1);
+    }
+}

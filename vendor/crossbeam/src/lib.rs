@@ -1,0 +1,208 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module surface the repo uses is provided: bounded
+//! MPMC channels with non-blocking `try_send`/`try_recv`/`try_iter` and a
+//! blocking `recv`, with disconnect detection on both ends.
+#![allow(clippy::all)]
+
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        not_empty: Condvar,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The channel buffer is full; the message is handed back.
+        Full(T),
+        /// All receivers are gone; the message is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// No message queued and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create a bounded channel with room for `cap` queued messages.
+    /// A capacity of zero is treated as one (this shim has no rendezvous
+    /// mode; the repo only uses buffered channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                buf: VecDeque::new(),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message without blocking.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.queue.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if st.buf.len() >= st.cap {
+                return Err(TrySendError::Full(msg));
+            }
+            st.buf.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.queue.lock().unwrap();
+            match st.buf.pop_front() {
+                Some(m) => Ok(m),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(m) = st.buf.pop_front() {
+                    return Ok(m);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Iterator draining everything currently queued, non-blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().buf.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn bounded_fills_and_drains() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_detected_on_both_ends() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+        let (tx, rx) = bounded::<u32>(1);
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic `StdRng` (splitmix64 core, not the real
+//! ChaCha12 — streams differ from upstream but are stable across runs and
+//! platforms, which is all this workspace relies on), the `SeedableRng`
+//! and `Rng` traits, and `gen_range` over the primitive range types the
+//! repo uses (`f64`, `u32`, `u64`, `i64`, `usize`).
+#![allow(clippy::all)]
+
+
+use std::ops::Range;
+
+/// Trait for RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The value type produced.
+    type Output;
+    /// Draw a uniform value from the range using `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniform value of type `T` (bool or f64 in this shim).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types drawable via [`Rng::gen`].
+pub trait Standard {
+    /// Draw a uniform value.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn uniform_u64(rng: &mut dyn RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Modulo is biased for huge spans, but deterministically so; fine here.
+    rng.next_u64() % span
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+    }
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut dyn RngCore) -> $ty {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic standard RNG (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 step.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.gen_range(35.0..55.0);
+            assert!((35.0..55.0).contains(&x));
+            assert_eq!(x, b.gen_range(35.0..55.0));
+            let n = a.gen_range(1u32..99_999);
+            assert!((1..99_999).contains(&n));
+            assert_eq!(n, b.gen_range(1u32..99_999));
+            let i = a.gen_range(0usize..7);
+            assert!(i < 7);
+            assert_eq!(i, b.gen_range(0usize..7));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.gen_range(0u64..1_000_000) == b.gen_range(0u64..1_000_000)).count();
+        assert!(same < 4);
+    }
+}
