@@ -30,6 +30,8 @@ pub struct DeliveryStats {
     pub permanently_failed: u64,
     /// Times any receiver's circuit breaker opened.
     pub circuit_opens: u64,
+    /// Times a half-open probe succeeded and closed a tripped breaker.
+    pub circuit_closes: u64,
     /// Notifications currently waiting (due or backing off).
     pub queue_depth: usize,
 }
@@ -106,10 +108,10 @@ impl DeliveryQueue {
         while i < self.pending.len() {
             let due = {
                 let p = &self.pending[i];
-                let breaker = self
-                    .breakers
-                    .entry(p.notification.receiver.clone())
-                    .or_insert_with(|| CircuitBreaker::new(self.failure_threshold, self.cooldown_ns));
+                let breaker =
+                    self.breakers.entry(p.notification.receiver.clone()).or_insert_with(|| {
+                        CircuitBreaker::new(self.failure_threshold, self.cooldown_ns)
+                    });
                 p.state.due(now) && breaker.allows(now)
             };
             if !due {
@@ -171,6 +173,7 @@ impl DeliveryQueue {
             retried: self.retried,
             permanently_failed: self.permanently_failed,
             circuit_opens: self.breakers.values().map(|b| b.opens()).sum(),
+            circuit_closes: self.breakers.values().map(|b| b.closes()).sum(),
             queue_depth: self.pending.len(),
         }
     }
@@ -198,10 +201,13 @@ mod tests {
         let mut q = DeliveryQueue::new(fast_policy(), 5, 1_000);
         q.enqueue(notif("slack", "X"));
         let mut sent = Vec::new();
-        assert_eq!(q.pump(0, |n| {
-            sent.push(n.receiver.clone());
-            true
-        }), 1);
+        assert_eq!(
+            q.pump(0, |n| {
+                sent.push(n.receiver.clone());
+                true
+            }),
+            1
+        );
         assert_eq!(sent, vec!["slack"]);
         let st = q.stats();
         assert_eq!((st.attempts, st.delivered, st.queue_depth), (1, 1, 0));
@@ -215,7 +221,7 @@ mod tests {
         assert_eq!(q.pump(0, |_| false), 0);
         let due = q.next_due().unwrap();
         assert_eq!(due, 100); // base delay, no jitter
-        // Before backoff elapses, no attempt is made.
+                              // Before backoff elapses, no attempt is made.
         assert_eq!(q.stats().attempts, 1);
         q.pump(due - 1, |_| panic!("not due yet"));
         assert_eq!(q.pump(due, |_| false), 0);
@@ -248,7 +254,12 @@ mod tests {
     fn circuit_breaker_gates_a_dead_receiver() {
         // Breaker opens after 2 consecutive failures for 10_000 ns.
         let mut q = DeliveryQueue::new(
-            RetryPolicy { base_delay_ns: 1, max_delay_ns: 1, max_attempts: 100, jitter_permille: 0 },
+            RetryPolicy {
+                base_delay_ns: 1,
+                max_delay_ns: 1,
+                max_attempts: 100,
+                jitter_permille: 0,
+            },
             2,
             10_000,
         );
@@ -270,9 +281,66 @@ mod tests {
     }
 
     #[test]
+    fn circuit_transitions_closed_open_halfopen_closed() {
+        // Breaker opens after 2 consecutive failures for 10_000 ns; retries
+        // are due almost immediately so the breaker is the only gate.
+        let mut q = DeliveryQueue::new(
+            RetryPolicy {
+                base_delay_ns: 1,
+                max_delay_ns: 1,
+                max_attempts: 100,
+                jitter_permille: 0,
+            },
+            2,
+            10_000,
+        );
+        q.enqueue(notif("slack", "A"));
+        q.enqueue(notif("slack", "B"));
+        let mut observed = vec![q.circuit_state("slack", 0)];
+
+        // Two failures trip the breaker: Closed -> Open.
+        q.pump(0, |_| false);
+        observed.push(q.circuit_state("slack", 1));
+        // Cooldown elapsed, recovery unconfirmed: Open -> HalfOpen.
+        observed.push(q.circuit_state("slack", 10_000));
+        // A successful probe confirms recovery: HalfOpen -> Closed.
+        q.pump(10_000, |_| true);
+        observed.push(q.circuit_state("slack", 10_001));
+        assert_eq!(
+            observed,
+            vec![
+                CircuitState::Closed,
+                CircuitState::Open,
+                CircuitState::HalfOpen,
+                CircuitState::Closed
+            ]
+        );
+
+        // Stats counted each state change: one open, one probe-close.
+        let st = q.stats();
+        assert_eq!((st.circuit_opens, st.circuit_closes), (1, 1));
+        assert_eq!(st.queue_depth, 0);
+
+        // A failed probe re-opens instead: Open is re-entered and counted.
+        q.enqueue(notif("slack", "C"));
+        q.pump(20_000, |_| false);
+        q.pump(20_001, |_| false);
+        assert_eq!(q.circuit_state("slack", 20_002), CircuitState::Open);
+        q.pump(30_001, |_| false); // half-open probe fails
+        assert_eq!(q.circuit_state("slack", 30_002), CircuitState::Open);
+        assert_eq!(q.stats().circuit_opens, 3);
+        assert_eq!(q.stats().circuit_closes, 1);
+    }
+
+    #[test]
     fn breaker_is_per_receiver() {
         let mut q = DeliveryQueue::new(
-            RetryPolicy { base_delay_ns: 1, max_delay_ns: 1, max_attempts: 100, jitter_permille: 0 },
+            RetryPolicy {
+                base_delay_ns: 1,
+                max_delay_ns: 1,
+                max_attempts: 100,
+                jitter_permille: 0,
+            },
             1,
             1_000_000,
         );

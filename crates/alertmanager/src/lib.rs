@@ -247,7 +247,9 @@ impl Alertmanager {
                 alerts,
             });
         }
-        out.sort_by(|a, b| a.receiver.cmp(&b.receiver).then_with(|| a.group_labels.cmp(&b.group_labels)));
+        out.sort_by(|a, b| {
+            a.receiver.cmp(&b.receiver).then_with(|| a.group_labels.cmp(&b.group_labels))
+        });
         out
     }
 
@@ -294,10 +296,7 @@ mod tests {
         let mut am = Alertmanager::new(fast_route());
         // A storm: 10 leak alerts from different locations in 2 seconds.
         for i in 0..10 {
-            am.receive(
-                firing("CabinetLeak", &[("context", &format!("x{i}"))], sec(1)),
-                sec(1) + i,
-            );
+            am.receive(firing("CabinetLeak", &[("context", &format!("x{i}"))], sec(1)), sec(1) + i);
         }
         // Before group_wait: nothing.
         assert!(am.tick(sec(2)).is_empty());

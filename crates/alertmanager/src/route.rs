@@ -148,7 +148,8 @@ mod tests {
     #[test]
     fn nested_routes() {
         let mut root = Route::default_route("slack");
-        let mut facility = Route::matching("facility-team", vec![Matcher::eq("category", "facility")]);
+        let mut facility =
+            Route::matching("facility-team", vec![Matcher::eq("category", "facility")]);
         facility
             .routes
             .push(Route::matching("facility-pager", vec![Matcher::eq("severity", "critical")]));

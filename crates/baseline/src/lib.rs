@@ -121,10 +121,7 @@ impl FullTextStore {
         start: Timestamp,
         end: Timestamp,
     ) -> Vec<&Document> {
-        self.search_term(term)
-            .into_iter()
-            .filter(|d| d.ts > start && d.ts <= end)
-            .collect()
+        self.search_term(term).into_iter().filter(|d| d.ts > start && d.ts <= end).collect()
     }
 
     /// Number of documents.

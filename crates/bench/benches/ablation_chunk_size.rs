@@ -30,8 +30,7 @@ fn bench(c: &mut Criterion) {
     );
     for &target in &[512usize, 4 * 1024, 64 * 1024, 1024 * 1024] {
         let cluster = cluster_with_target(target);
-        let ratio = cluster.uncompressed_bytes() as f64
-            / cluster.compressed_bytes().max(1) as f64;
+        let ratio = cluster.uncompressed_bytes() as f64 / cluster.compressed_bytes().max(1) as f64;
         println!(
             "[ablation] {:>12} {:>8} {:>14} {:>12.2}",
             target,

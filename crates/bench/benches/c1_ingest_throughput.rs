@@ -20,12 +20,7 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(corpus.len() as u64));
     g.bench_function("loki_single_producer_10k", |b| {
         b.iter_with_setup(
-            || {
-                (
-                    LokiCluster::new(8, Limits::default(), SimClock::starting_at(0)),
-                    corpus.clone(),
-                )
-            },
+            || (LokiCluster::new(8, Limits::default(), SimClock::starting_at(0)), corpus.clone()),
             |(cluster, corpus)| {
                 for r in corpus {
                     cluster.push_record(r).unwrap();

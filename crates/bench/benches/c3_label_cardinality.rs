@@ -48,7 +48,12 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("ingest", streams), &streams, |b, &streams| {
             let corpus = syslog_corpus(MESSAGES, streams);
             b.iter_with_setup(
-                || (LokiCluster::new(4, Limits::default(), SimClock::starting_at(0)), corpus.clone()),
+                || {
+                    (
+                        LokiCluster::new(4, Limits::default(), SimClock::starting_at(0)),
+                        corpus.clone(),
+                    )
+                },
                 |(cluster, corpus)| {
                     for r in corpus {
                         cluster.push_record(r).unwrap();

@@ -18,41 +18,37 @@ fn bench(c: &mut Criterion) {
 
     for &shards in &[1usize, 2, 4, 8] {
         g.throughput(Throughput::Elements(MESSAGES as u64));
-        g.bench_with_input(
-            BenchmarkId::new("concurrent_ingest", shards),
-            &shards,
-            |b, &shards| {
-                b.iter_with_setup(
-                    || {
-                        (
-                            LokiCluster::new(shards, Limits::default(), SimClock::starting_at(0)),
-                            corpus.clone(),
-                        )
-                    },
-                    |(cluster, corpus)| {
-                        // Partition by stream fingerprint: disjoint streams
-                        // per producer (see c1 for why).
-                        let mut parts: Vec<Vec<omni_model::LogRecord>> =
-                            (0..PRODUCERS).map(|_| Vec::new()).collect();
-                        for r in corpus {
-                            let p = (r.labels.fingerprint() % PRODUCERS as u64) as usize;
-                            parts[p].push(r);
+        g.bench_with_input(BenchmarkId::new("concurrent_ingest", shards), &shards, |b, &shards| {
+            b.iter_with_setup(
+                || {
+                    (
+                        LokiCluster::new(shards, Limits::default(), SimClock::starting_at(0)),
+                        corpus.clone(),
+                    )
+                },
+                |(cluster, corpus)| {
+                    // Partition by stream fingerprint: disjoint streams
+                    // per producer (see c1 for why).
+                    let mut parts: Vec<Vec<omni_model::LogRecord>> =
+                        (0..PRODUCERS).map(|_| Vec::new()).collect();
+                    for r in corpus {
+                        let p = (r.labels.fingerprint() % PRODUCERS as u64) as usize;
+                        parts[p].push(r);
+                    }
+                    std::thread::scope(|s| {
+                        for part in parts {
+                            let cluster = cluster.clone();
+                            s.spawn(move || {
+                                for r in part {
+                                    cluster.push_record(r).unwrap();
+                                }
+                            });
                         }
-                        std::thread::scope(|s| {
-                            for part in parts {
-                                let cluster = cluster.clone();
-                                s.spawn(move || {
-                                    for r in part {
-                                        cluster.push_record(r).unwrap();
-                                    }
-                                });
-                            }
-                        });
-                        black_box(cluster.stats().entries)
-                    },
-                );
-            },
-        );
+                    });
+                    black_box(cluster.stats().entries)
+                },
+            );
+        });
 
         g.bench_with_input(BenchmarkId::new("parallel_query", shards), &shards, |b, &shards| {
             let cluster = LokiCluster::new(shards, Limits::default(), SimClock::starting_at(0));

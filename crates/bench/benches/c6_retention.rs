@@ -10,7 +10,8 @@ const DAY: i64 = 86_400 * NANOS_PER_SEC;
 const MESSAGES: usize = 20_000;
 
 fn populated_omni() -> Omni {
-    let limits = Limits { retention_ns: 730 * DAY, chunk_target_bytes: 16 * 1024, ..Default::default() };
+    let limits =
+        Limits { retention_ns: 730 * DAY, chunk_target_bytes: 16 * 1024, ..Default::default() };
     let omni = Omni::new(4, limits, SimClock::starting_at(0));
     // Three years of sparse history: most of it is already expired
     // relative to "now" = day 1095. Timestamps increase monotonically so
@@ -44,9 +45,7 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("archive_one_year_window", |b| {
         b.iter_with_setup(populated_omni, |omni| {
-            let archived = omni
-                .archive_window(r#"{app="history"}"#, 0, 365 * DAY)
-                .unwrap();
+            let archived = omni.archive_window(r#"{app="history"}"#, 0, 365 * DAY).unwrap();
             black_box(archived)
         });
     });

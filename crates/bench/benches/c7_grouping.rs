@@ -3,7 +3,7 @@
 //! grouping pass costs.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use omni_alertmanager::{Alert, Alertmanager, AlertStatus, Route};
+use omni_alertmanager::{Alert, AlertStatus, Alertmanager, Route};
 use omni_model::{labels, NANOS_PER_SEC};
 
 const SEC: i64 = NANOS_PER_SEC;

@@ -32,12 +32,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("range_grafana_graph_24_steps", |b| {
         b.iter(|| {
             let m = cluster
-                .query_range(
-                    black_box(FIG5_QUERY),
-                    0,
-                    corpus_end(),
-                    corpus_end() / 24,
-                )
+                .query_range(black_box(FIG5_QUERY), 0, corpus_end(), corpus_end() / 24)
                 .unwrap();
             black_box(m)
         });

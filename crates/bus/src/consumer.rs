@@ -35,13 +35,7 @@ pub(crate) fn join(
     n_partitions: usize,
 ) -> Result<Consumer, BusError> {
     let id = broker.register_member(group, topic);
-    Ok(Consumer {
-        broker,
-        group: group.to_string(),
-        topic: topic.to_string(),
-        id,
-        n_partitions,
-    })
+    Ok(Consumer { broker, group: group.to_string(), topic: topic.to_string(), id, n_partitions })
 }
 
 impl Consumer {

@@ -211,6 +211,20 @@ impl Broker {
         key: Option<&str>,
         payload: impl Into<Bytes>,
     ) -> Result<(usize, u64), BusError> {
+        self.produce_with_headers(topic, key, payload, Vec::new())
+    }
+
+    /// [`Broker::produce`] with Kafka-style record headers attached — the
+    /// carrier for cross-stage metadata such as the trace-propagation
+    /// header, kept out of the payload so consumers that don't care never
+    /// see it.
+    pub fn produce_with_headers(
+        &self,
+        topic: &str,
+        key: Option<&str>,
+        payload: impl Into<Bytes>,
+        headers: Vec<(String, String)>,
+    ) -> Result<(usize, u64), BusError> {
         let t = self.topic(topic)?;
         if let Some(window) = self.active_brownout() {
             t.stats.record_produce_retry();
@@ -231,6 +245,7 @@ impl Broker {
             ts,
             key: key.map(str::to_string),
             payload,
+            headers,
         };
         let (offset, bytes) = t.partitions[part_idx].append(msg.clone());
         t.stats.record_in(bytes);
@@ -293,7 +308,11 @@ impl Broker {
     /// Subscribe a live tail to a topic: every subsequently produced
     /// message is pushed into the returned channel (bounded by
     /// `buffer`; messages overflowing a slow consumer are dropped).
-    pub fn tail(&self, topic: &str, buffer: usize) -> Result<crossbeam::channel::Receiver<Message>, BusError> {
+    pub fn tail(
+        &self,
+        topic: &str,
+        buffer: usize,
+    ) -> Result<crossbeam::channel::Receiver<Message>, BusError> {
         let t = self.topic(topic)?;
         let (tx, rx) = crossbeam::channel::bounded(buffer);
         t.tails.lock().push(tx);
@@ -308,7 +327,9 @@ impl Broker {
         consumer::join(self.clone(), group, topic, t.partitions.len())
     }
 
-    pub(crate) fn committed(&self, group: &str, topic: &str, partition: usize) -> u64 {
+    /// Committed cursor of a consumer group on a partition: the next
+    /// offset the group would read (0 if never committed).
+    pub fn committed(&self, group: &str, topic: &str, partition: usize) -> u64 {
         *self
             .inner
             .offsets
@@ -317,11 +338,35 @@ impl Broker {
             .unwrap_or(&0)
     }
 
-    pub(crate) fn commit(&self, group: &str, topic: &str, partition: usize, next: u64) {
-        self.inner
-            .offsets
-            .lock()
-            .insert((group.to_string(), topic.to_string(), partition), next);
+    /// Commit a consumer group's cursor on a partition: `next` is the next
+    /// offset the group will read. Offset-cursor clients (the bridges)
+    /// commit here so the broker can meter their lag.
+    pub fn commit(&self, group: &str, topic: &str, partition: usize, next: u64) {
+        self.inner.offsets.lock().insert((group.to_string(), topic.to_string(), partition), next);
+    }
+
+    /// Consumer lag of one group on a topic: high-water mark (log end)
+    /// minus committed cursor, summed over partitions. The key backlog
+    /// signal for the offset-cursor bridges.
+    pub fn group_lag(&self, group: &str, topic: &str) -> Result<u64, BusError> {
+        let t = self.topic(topic)?;
+        let offsets = self.inner.offsets.lock();
+        let mut lag = 0u64;
+        for (i, p) in t.partitions.iter().enumerate() {
+            let committed = *offsets.get(&(group.to_string(), topic.to_string(), i)).unwrap_or(&0);
+            lag += p.log_end().saturating_sub(committed);
+        }
+        Ok(lag)
+    }
+
+    /// Every consumer group that has committed a cursor on a topic, sorted.
+    pub fn groups(&self, topic: &str) -> Vec<String> {
+        let offsets = self.inner.offsets.lock();
+        let mut groups: Vec<String> =
+            offsets.keys().filter(|(_, t, _)| t == topic).map(|(g, _, _)| g.clone()).collect();
+        groups.sort();
+        groups.dedup();
+        groups
     }
 
     pub(crate) fn register_member(&self, group: &str, topic: &str) -> u64 {
@@ -368,9 +413,17 @@ impl Broker {
         dropped
     }
 
-    /// Metering snapshot for one topic.
+    /// Metering snapshot for one topic, including the worst consumer-group
+    /// lag (see [`TopicStatsSnapshot::consumer_lag`]).
     pub fn stats(&self, topic: &str) -> Result<stats::TopicStatsSnapshot, BusError> {
-        Ok(self.topic(topic)?.stats.snapshot())
+        let mut snap = self.topic(topic)?.stats.snapshot();
+        snap.consumer_lag = self
+            .groups(topic)
+            .iter()
+            .map(|g| self.group_lag(g, topic).unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        Ok(snap)
     }
 
     /// Total messages currently retained in a topic across partitions.
@@ -532,6 +585,50 @@ mod tests {
         for (i, m) in msgs.iter().enumerate() {
             assert_eq!(m.offset, i as u64);
         }
+    }
+
+    #[test]
+    fn headers_ride_the_message() {
+        let b = broker();
+        b.create_topic("t", TopicConfig { partitions: 1, ..Default::default() }).unwrap();
+        b.produce_with_headers(
+            "t",
+            Some("k"),
+            &b"x"[..],
+            vec![("omni-trace-id".into(), "00000000000000aa".into())],
+        )
+        .unwrap();
+        let msgs = b.fetch("t", 0, 0, 10).unwrap();
+        assert_eq!(msgs[0].header("omni-trace-id"), Some("00000000000000aa"));
+        // Plain produce carries no headers.
+        b.produce("t", None, &b"y"[..]).unwrap();
+        assert!(b.fetch("t", 0, 1, 1).unwrap()[0].headers.is_empty());
+    }
+
+    #[test]
+    fn consumer_lag_tracks_commits() {
+        let b = broker();
+        b.create_topic("t", TopicConfig { partitions: 2, ..Default::default() }).unwrap();
+        for i in 0..10 {
+            b.produce("t", Some(&format!("k{i}")), &b"m"[..]).unwrap();
+        }
+        // No group has committed anything yet: no lag is reported because
+        // no group exists.
+        assert_eq!(b.stats("t").unwrap().consumer_lag, 0);
+        // A group that committed part of one partition owes the rest.
+        b.commit("bridge", "t", 0, 1);
+        let total: u64 = (0..2).map(|p| b.log_end("t", p).unwrap()).sum();
+        assert_eq!(b.group_lag("bridge", "t").unwrap(), total - 1);
+        assert_eq!(b.stats("t").unwrap().consumer_lag, total - 1);
+        // Fully caught up: zero lag.
+        for p in 0..2 {
+            b.commit("bridge", "t", p, b.log_end("t", p).unwrap());
+        }
+        assert_eq!(b.stats("t").unwrap().consumer_lag, 0);
+        // The slowest group defines the reported lag.
+        b.commit("slow", "t", 0, 0);
+        assert_eq!(b.stats("t").unwrap().consumer_lag, total);
+        assert_eq!(b.groups("t"), vec!["bridge".to_string(), "slow".to_string()]);
     }
 
     #[test]

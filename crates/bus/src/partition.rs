@@ -19,6 +19,17 @@ pub struct Message {
     pub key: Option<String>,
     /// Opaque payload.
     pub payload: Bytes,
+    /// Kafka-style record headers: small key/value metadata that rides the
+    /// message without touching the payload (e.g. the `omni-trace-id`
+    /// propagation header).
+    pub headers: Vec<(String, String)>,
+}
+
+impl Message {
+    /// Look up a header value by key (first match wins).
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
 }
 
 struct Log {
@@ -120,7 +131,22 @@ mod tests {
     use super::*;
 
     fn msg(payload: &str, ts: Timestamp) -> Message {
-        Message { partition: 0, offset: 0, ts, key: None, payload: Bytes::from(payload.to_string()) }
+        Message {
+            partition: 0,
+            offset: 0,
+            ts,
+            key: None,
+            payload: Bytes::from(payload.to_string()),
+            headers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn header_lookup() {
+        let mut m = msg("x", 0);
+        m.headers.push(("omni-trace-id".into(), "00000000000000ff".into()));
+        assert_eq!(m.header("omni-trace-id"), Some("00000000000000ff"));
+        assert_eq!(m.header("absent"), None);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct TopicStatsSnapshot {
     /// Distinct brownout windows during which this topic rejected at least
     /// one operation.
     pub unavailable_windows: u64,
+    /// Worst consumer-group backlog on the topic: high-water mark minus
+    /// committed cursor, summed over partitions, maximised over groups.
+    /// Filled in by [`crate::Broker::stats`] (the counters here cannot see
+    /// the partitions); 0 straight from [`TopicStats::snapshot`].
+    pub consumer_lag: u64,
 }
 
 impl TopicStats {
@@ -70,6 +75,7 @@ impl TopicStats {
             tail_drops: self.tail_drops.load(Ordering::Relaxed),
             produce_retries: self.produce_retries.load(Ordering::Relaxed),
             unavailable_windows: self.unavailable_windows.load(Ordering::Relaxed),
+            consumer_lag: 0,
         }
     }
 }

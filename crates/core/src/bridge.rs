@@ -34,6 +34,7 @@ use omni_bus::{Broker, BusError, TopicConfig};
 use omni_json::jsonv;
 use omni_loki::IngestError;
 use omni_model::{fnv1a64, LabelSet, LogRecord, RetryPolicy, RetryState, Timestamp};
+use omni_obs::{format_trace_id, parse_trace_id, TraceStore, TRACE_HEADER};
 use omni_redfish::{topics, RedfishEvent, SensorReading};
 use omni_telemetry::{ApiError, TelemetryApi, Token};
 use omni_tsdb::Tsdb;
@@ -108,6 +109,7 @@ pub struct LogBridge {
     token: Token,
     client_id: String,
     broker: Broker,
+    tracer: Option<TraceStore>,
     cursors: Vec<Cursor>,
     in_flight: Vec<InFlight>,
     dead_backlog: Vec<(String, String)>,
@@ -149,6 +151,7 @@ impl LogBridge {
             token: token.clone(),
             client_id: "log-bridge".to_string(),
             broker: broker.clone(),
+            tracer: None,
             cursors,
             in_flight: Vec::new(),
             dead_backlog: Vec::new(),
@@ -162,6 +165,13 @@ impl LogBridge {
             ingest_retries: 0,
             dead_lettered: 0,
         })
+    }
+
+    /// Attach a trace store: Redfish messages carrying the
+    /// [`TRACE_HEADER`] get a `kafka` span, a `trace_id` record label and
+    /// a `loki_ingest` span that stretches across park/retry cycles.
+    pub fn set_tracer(&mut self, tracer: TraceStore) {
+        self.tracer = Some(tracer);
     }
 
     /// One consumption round at virtual time `now`: retry parked records
@@ -180,24 +190,23 @@ impl LogBridge {
                         break 'fetch;
                     }
                     let offset = self.cursors[c].offsets[part];
-                    let msgs =
-                        match self.api.fetch(&self.token, topic, part, offset, FETCH_BATCH) {
-                            Ok(msgs) => msgs,
-                            Err(ApiError::Unauthorized) => {
-                                // Credentials were revoked out from under
-                                // us: re-issue and resume right away.
-                                self.token = self.api.issue_token(&self.client_id);
-                                self.resubscribes += 1;
-                                continue;
-                            }
-                            Err(ApiError::Bus(BusError::Unavailable)) => {
-                                // Brownout: the cursor stays put, so the
-                                // next pump re-reads from here.
-                                self.fetch_retries += 1;
-                                break 'fetch;
-                            }
-                            Err(ApiError::Bus(_)) => break,
-                        };
+                    let msgs = match self.api.fetch(&self.token, topic, part, offset, FETCH_BATCH) {
+                        Ok(msgs) => msgs,
+                        Err(ApiError::Unauthorized) => {
+                            // Credentials were revoked out from under
+                            // us: re-issue and resume right away.
+                            self.token = self.api.issue_token(&self.client_id);
+                            self.resubscribes += 1;
+                            continue;
+                        }
+                        Err(ApiError::Bus(BusError::Unavailable)) => {
+                            // Brownout: the cursor stays put, so the
+                            // next pump re-reads from here.
+                            self.fetch_retries += 1;
+                            break 'fetch;
+                        }
+                        Err(ApiError::Bus(_)) => break,
+                    };
                     if msgs.is_empty() {
                         break;
                     }
@@ -213,8 +222,21 @@ impl LogBridge {
                 }
             }
         }
+        self.commit_cursors();
         self.pushed += pushed;
         pushed
+    }
+
+    /// Commit every advanced cursor under the bridge's consumer group so
+    /// the broker can report consumer lag for it.
+    fn commit_cursors(&self) {
+        for c in &self.cursors {
+            for (part, &next) in c.offsets.iter().enumerate() {
+                if next > 0 {
+                    let _ = self.api.commit(&self.token, &self.client_id, c.topic, part, next);
+                }
+            }
+        }
     }
 
     fn handle_message(
@@ -227,11 +249,31 @@ impl LogBridge {
         let payload = String::from_utf8_lossy(&msg.payload).into_owned();
         if topic == topics::RESOURCE_EVENTS {
             // Redfish events: the Figure 2 → Figure 3 transformation.
+            let trace = self
+                .tracer
+                .as_ref()
+                .and_then(|_| msg.header(TRACE_HEADER))
+                .and_then(parse_trace_id);
+            if let (Some(tracer), Some(id)) = (self.tracer.clone(), trace) {
+                // Time spent on the bus: produced at msg.ts, fetched now.
+                tracer.span_once(
+                    id,
+                    "kafka",
+                    msg.ts,
+                    now,
+                    &format!("{topic} offset {}", msg.offset),
+                );
+            }
             let records = telemetry_payload_to_loki(&payload, &self.cluster_name);
             if records.is_empty() {
                 self.dead_letter("malformed-redfish", &payload);
             }
-            for record in records {
+            for mut record in records {
+                // The trace id rides as a stream label, attached *after*
+                // the byte-exact Figure 3 transformation.
+                if let Some(id) = trace {
+                    record.labels.insert("trace_id", format_trace_id(id));
+                }
                 self.ingest(record, now, pushed);
             }
             return;
@@ -266,11 +308,28 @@ impl LogBridge {
         self.ingest(LogRecord::new(labels, msg.ts, payload), now, pushed);
     }
 
+    /// The trace id a record carries (attached in [`Self::handle_message`]).
+    fn record_trace(&self, record: &LogRecord) -> Option<(TraceStore, u64)> {
+        let tracer = self.tracer.clone()?;
+        let id = record.labels.get("trace_id").and_then(parse_trace_id)?;
+        Some((tracer, id))
+    }
+
     /// Push one record; transient failures park it, permanent ones
     /// dead-letter it.
     fn ingest(&mut self, record: LogRecord, now: Timestamp, pushed: &mut u64) {
+        if let Some((tracer, id)) = self.record_trace(&record) {
+            // Idempotent while open: a parked record keeps its original
+            // start, so the closed span shows the full retry window.
+            tracer.begin_span(id, "loki_ingest", now, "");
+        }
         match self.omni.ingest_record(record.clone()) {
-            Ok(()) => *pushed += 1,
+            Ok(()) => {
+                *pushed += 1;
+                if let Some((tracer, id)) = self.record_trace(&record) {
+                    tracer.end_span(id, "loki_ingest", now, "stored");
+                }
+            }
             Err(IngestError::AllShardsDown) => self.park(record, now),
             Err(_) => {
                 self.errors += 1;
@@ -301,7 +360,10 @@ impl LogBridge {
             match self.omni.ingest_record(self.in_flight[i].record.clone()) {
                 Ok(()) => {
                     *pushed += 1;
-                    self.in_flight.remove(i);
+                    let item = self.in_flight.remove(i);
+                    if let Some((tracer, id)) = self.record_trace(&item.record) {
+                        tracer.end_span(id, "loki_ingest", now, "stored after retry");
+                    }
                 }
                 Err(IngestError::AllShardsDown) => {
                     let item = &mut self.in_flight[i];
@@ -422,27 +484,29 @@ impl MetricBridge {
             for part in 0..self.cursors[c].offsets.len() {
                 loop {
                     let offset = self.cursors[c].offsets[part];
-                    let msgs =
-                        match self.api.fetch(&self.token, topic, part, offset, FETCH_BATCH) {
-                            Ok(msgs) => msgs,
-                            Err(ApiError::Unauthorized) => {
-                                self.token = self.api.issue_token(&self.client_id);
-                                self.resubscribes += 1;
-                                continue;
-                            }
-                            Err(ApiError::Bus(BusError::Unavailable)) => {
-                                self.fetch_retries += 1;
-                                break 'fetch;
-                            }
-                            Err(ApiError::Bus(_)) => break,
-                        };
+                    let msgs = match self.api.fetch(&self.token, topic, part, offset, FETCH_BATCH) {
+                        Ok(msgs) => msgs,
+                        Err(ApiError::Unauthorized) => {
+                            self.token = self.api.issue_token(&self.client_id);
+                            self.resubscribes += 1;
+                            continue;
+                        }
+                        Err(ApiError::Bus(BusError::Unavailable)) => {
+                            self.fetch_retries += 1;
+                            break 'fetch;
+                        }
+                        Err(ApiError::Bus(_)) => break,
+                    };
                     if msgs.is_empty() {
                         break;
                     }
                     for msg in msgs {
                         let next = msg.offset + 1;
                         let payload = String::from_utf8_lossy(&msg.payload).into_owned();
-                        match omni_json::parse(&payload).ok().as_ref().and_then(SensorReading::from_json)
+                        match omni_json::parse(&payload)
+                            .ok()
+                            .as_ref()
+                            .and_then(SensorReading::from_json)
                         {
                             Some(reading) => {
                                 let name = format!(
@@ -472,8 +536,20 @@ impl MetricBridge {
                 }
             }
         }
+        self.commit_cursors();
         self.pushed += pushed;
         pushed
+    }
+
+    /// Commit every advanced cursor under the bridge's consumer group.
+    fn commit_cursors(&self) {
+        for c in &self.cursors {
+            for (part, &next) in c.offsets.iter().enumerate() {
+                if next > 0 {
+                    let _ = self.api.commit(&self.token, &self.client_id, c.topic, part, next);
+                }
+            }
+        }
     }
 
     /// Revoke the bridge's current API token (chaos hook).
@@ -592,10 +668,7 @@ mod tests {
 
     fn count_syslog(omni: &Omni, now: Timestamp) -> usize {
         // Loki ranges are (start, end]: start at -1 to include ts=0.
-        omni.loki()
-            .query_logs(r#"{data_type="syslog"}"#, -1, now + 1, usize::MAX)
-            .unwrap()
-            .len()
+        omni.loki().query_logs(r#"{data_type="syslog"}"#, -1, now + 1, usize::MAX).unwrap().len()
     }
 
     #[test]
@@ -658,6 +731,84 @@ mod tests {
         assert_eq!(bridge.resilience().in_flight, 0);
         assert_eq!(count_syslog(&omni, later), 1);
         assert_eq!(bridge.stats(), (1, 0));
+    }
+
+    #[test]
+    fn bridge_commits_cursors_for_lag_metering() {
+        let (clock, broker, _api, _omni, mut bridge) = rig();
+        for i in 0..5 {
+            broker.produce(topics::SYSLOG, Some("nid0001"), format!("line {i}")).unwrap();
+        }
+        let now = clock.advance(NANOS_PER_SEC);
+        assert_eq!(bridge.pump(now), 5);
+        // Everything consumed and committed: zero lag for the group.
+        assert_eq!(broker.group_lag("log-bridge", topics::SYSLOG).unwrap(), 0);
+        // New messages the bridge has not pumped yet show up as lag.
+        broker.produce(topics::SYSLOG, Some("nid0001"), "late".to_string()).unwrap();
+        assert_eq!(broker.group_lag("log-bridge", topics::SYSLOG).unwrap(), 1);
+        assert_eq!(broker.stats(topics::SYSLOG).unwrap().consumer_lag, 1);
+    }
+
+    #[test]
+    fn trace_header_becomes_spans_and_record_label() {
+        let (clock, broker, _api, omni, mut bridge) = rig();
+        let tracer = TraceStore::new(42);
+        bridge.set_tracer(tracer.clone());
+        let event = RedfishEvent::paper_leak_event();
+        let ctx = tracer.begin_trace(&event.context.to_string(), &event.message_id, 0);
+        broker
+            .produce_with_headers(
+                topics::RESOURCE_EVENTS,
+                Some(&event.context.to_string()),
+                event.to_telemetry_json().dump(),
+                vec![(TRACE_HEADER.to_string(), ctx.encode())],
+            )
+            .unwrap();
+        let now = clock.advance(NANOS_PER_SEC);
+        assert_eq!(bridge.pump(now), 1);
+        // Both bridge-side stages closed their spans.
+        assert!(tracer.has_stage(ctx.trace_id, "kafka"));
+        assert!(tracer.has_stage(ctx.trace_id, "loki_ingest"));
+        // The stored record carries the trace id as a label, on top of
+        // the exact Figure 3 labels.
+        let got =
+            omni.loki().query_logs(r#"{data_type="redfish_event"}"#, -1, i64::MAX, 10).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].labels.get("trace_id"), Some(ctx.encode().as_str()));
+    }
+
+    #[test]
+    fn parked_record_stretches_ingest_span_across_retries() {
+        let (clock, broker, _api, omni, mut bridge) = rig();
+        let tracer = TraceStore::new(7);
+        bridge.set_tracer(tracer.clone());
+        let event = RedfishEvent::paper_leak_event();
+        let ctx = tracer.begin_trace(&event.context.to_string(), &event.message_id, 0);
+        broker
+            .produce_with_headers(
+                topics::RESOURCE_EVENTS,
+                None,
+                event.to_telemetry_json().dump(),
+                vec![(TRACE_HEADER.to_string(), ctx.encode())],
+            )
+            .unwrap();
+        omni.loki().crash_shard(0);
+        omni.loki().crash_shard(1);
+        let first = clock.advance(NANOS_PER_SEC);
+        assert_eq!(bridge.pump(first), 0);
+        assert!(!tracer.has_stage(ctx.trace_id, "loki_ingest"), "span must stay open");
+        omni.loki().recover_shard(0);
+        omni.loki().recover_shard(1);
+        let later = clock.advance(120 * NANOS_PER_SEC);
+        assert_eq!(bridge.pump(later), 1);
+        let span = tracer
+            .spans(ctx.trace_id)
+            .into_iter()
+            .find(|s| s.stage == "loki_ingest")
+            .expect("span closed after retry");
+        // The span covers the whole outage: first attempt to final store.
+        assert_eq!((span.start, span.end), (first, later));
+        assert_eq!(span.note, "stored after retry");
     }
 
     #[test]

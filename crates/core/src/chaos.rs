@@ -148,10 +148,7 @@ impl ChaosEngine {
                         slot.fired_primary = true;
                         // A window the clock already stepped past is moot.
                         if now < *until {
-                            actions.push(ChaosAction::StartBrownout {
-                                from: *from,
-                                until: *until,
-                            });
+                            actions.push(ChaosAction::StartBrownout { from: *from, until: *until });
                         }
                     }
                 }
@@ -235,10 +232,7 @@ mod tests {
             shard: 0,
             recover_at: 200,
         });
-        assert_eq!(
-            e.poll(1_000),
-            vec![ChaosAction::CrashShard(0), ChaosAction::RecoverShard(0)]
-        );
+        assert_eq!(e.poll(1_000), vec![ChaosAction::CrashShard(0), ChaosAction::RecoverShard(0)]);
     }
 
     #[test]

@@ -149,12 +149,9 @@ impl Omni {
     /// documents, or an empty vec when the discovery tier is disabled.
     pub fn discover(&self, term: &str, start: Timestamp, end: Timestamp) -> Vec<Document> {
         match &self.discovery {
-            Some(store) => store
-                .lock()
-                .search_term_in_range(term, start, end)
-                .into_iter()
-                .cloned()
-                .collect(),
+            Some(store) => {
+                store.lock().search_term_in_range(term, start, end).into_iter().cloned().collect()
+            }
             None => Vec::new(),
         }
     }

@@ -141,6 +141,44 @@ impl Dashboard {
         }
     }
 
+    /// The self-telemetry dashboard: the monitor monitoring itself.
+    /// Every panel queries metrics the pipeline scraped from its *own*
+    /// registry (the `omni-self` job), fed back through the same
+    /// vmagent → TSDB → pane path as any hardware metric. The latency
+    /// panel uses the registry's precomputed `_p99` gauge because the
+    /// PromQL subset has no `histogram_quantile`.
+    pub fn pipeline_health() -> Dashboard {
+        Dashboard {
+            title: "OMNI — Pipeline Health".into(),
+            panels: vec![
+                Panel {
+                    title: "Bus availability (1 = browned out)".into(),
+                    query: PaneQuery::Metric("omni_bus_unavailable".into()),
+                },
+                Panel {
+                    title: "Consumer lag by topic".into(),
+                    query: PaneQuery::Metric("max by (topic) (omni_bus_consumer_lag)".into()),
+                },
+                Panel {
+                    title: "Loki ingester shards down".into(),
+                    query: PaneQuery::Metric("omni_loki_shards_down".into()),
+                },
+                Panel {
+                    title: "Bridge records in flight".into(),
+                    query: PaneQuery::Metric("max by (bridge) (omni_bridge_in_flight)".into()),
+                },
+                Panel {
+                    title: "Notification queue depth".into(),
+                    query: PaneQuery::Metric("omni_delivery_queue_depth".into()),
+                },
+                Panel {
+                    title: "Event → incident latency p99 (s)".into(),
+                    query: PaneQuery::Metric("omni_event_to_incident_seconds_p99".into()),
+                },
+            ],
+        }
+    }
+
     /// The provisioned fabric dashboard (case study B's panels).
     pub fn fabric_health() -> Dashboard {
         Dashboard {
@@ -198,7 +236,11 @@ impl Pane {
     }
 
     /// Evaluate a LogQL metric query at one instant.
-    pub fn log_metric_instant(&self, query: &str, at: Timestamp) -> Result<InstantVector, PaneError> {
+    pub fn log_metric_instant(
+        &self,
+        query: &str,
+        at: Timestamp,
+    ) -> Result<InstantVector, PaneError> {
         self.omni.loki().query_instant(query, at).map_err(PaneError::Loki)
     }
 
@@ -270,12 +312,9 @@ impl Pane {
                         out.push_str("  (no series)\n");
                     }
                     for (labels, samples) in matrix.iter().take(10) {
-                        let spark: String = samples
-                            .iter()
-                            .map(|s| if s.value > 0.0 { '#' } else { '_' })
-                            .collect();
-                        let max =
-                            samples.iter().map(|s| s.value).fold(f64::NEG_INFINITY, f64::max);
+                        let spark: String =
+                            samples.iter().map(|s| if s.value > 0.0 { '#' } else { '_' }).collect();
+                        let max = samples.iter().map(|s| s.value).fold(f64::NEG_INFINITY, f64::max);
                         out.push_str(&format!("  {labels} max={max} {spark}\n"));
                     }
                 }
@@ -350,8 +389,8 @@ impl ResilienceReport {
         out.push_str("bus:\n");
         for (topic, s) in &self.bus {
             out.push_str(&format!(
-                "  {topic}: in {} msgs, out {} bytes, tail drops {}, produce retries {}, unavailable windows {}\n",
-                s.messages_in, s.bytes_out, s.tail_drops, s.produce_retries, s.unavailable_windows,
+                "  {topic}: in {} msgs, out {} bytes, tail drops {}, produce retries {}, unavailable windows {}, lag {}\n",
+                s.messages_in, s.bytes_out, s.tail_drops, s.produce_retries, s.unavailable_windows, s.consumer_lag,
             ));
         }
         out
@@ -414,9 +453,7 @@ mod tests {
                 },
             ],
         };
-        let text = pane
-            .render_dashboard(&dash, 0, 2 * ts, 600 * NANOS_PER_SEC)
-            .unwrap();
+        let text = pane.render_dashboard(&dash, 0, 2 * ts, 600 * NANOS_PER_SEC).unwrap();
         assert!(text.contains("Perlmutter Health"));
         assert!(text.contains("Redfish events"));
         assert!(text.contains("x1203c1b0"));

@@ -150,17 +150,12 @@ mod tests {
         let topo = MachineTopology::new(TopologySpec::tiny());
         let fabric = FabricManager::new(&topo);
         let gpfs = GpfsCluster::new("scratch", 2, 4, SimClock::new(), 1);
-        let engine =
-            RemediationEngine::with_default_playbooks(fabric.clone(), Arc::clone(&gpfs));
+        let engine = RemediationEngine::with_default_playbooks(fabric.clone(), Arc::clone(&gpfs));
         (topo, fabric, gpfs, engine)
     }
 
     fn notification(alerts: Vec<Alert>) -> Notification {
-        Notification {
-            receiver: "remediation".into(),
-            group_labels: LabelSet::new(),
-            alerts,
-        }
+        Notification { receiver: "remediation".into(), group_labels: LabelSet::new(), alerts }
     }
 
     #[test]
@@ -194,11 +189,7 @@ mod tests {
             starts_at: 0,
         }]);
         engine.handle(&n, 5);
-        let healthy = gpfs
-            .sample()
-            .into_iter()
-            .find(|s| s.server == "nsd01")
-            .unwrap();
+        let healthy = gpfs.sample().into_iter().find(|s| s.server == "nsd01").unwrap();
         assert_eq!(healthy.state, omni_shasta::GpfsState::Healthy);
     }
 

@@ -8,16 +8,20 @@ use crate::omni::Omni;
 use crate::pane::{Pane, ResilienceReport};
 use crate::remediation::RemediationEngine;
 use omni_alertmanager::{
-    Alert, Alertmanager, AlertStatus, DeliveryQueue, DeliveryStats, Notification, Route, SlackSink,
+    Alert, AlertStatus, Alertmanager, DeliveryQueue, DeliveryStats, Notification, Route, SlackSink,
 };
 use omni_bus::Broker;
 use omni_exporters::{
     parse_exposition, ArubaExporter, BlackboxExporter, Exporter, GpfsExporter, KafkaExporter,
-    NodeExporter,
+    NodeExporter, SelfExporter,
 };
 use omni_logql::Matcher;
 use omni_loki::{AlertState, AlertingRule, Limits, RuleGroup, Ruler};
-use omni_model::{SimClock, NANOS_PER_SEC};
+use omni_model::{labels, SimClock, Timestamp, NANOS_PER_SEC};
+use omni_obs::{
+    format_trace_id, parse_trace_id, FamilySnapshot, InstrumentKind, Registry, TraceContext,
+    TraceStore, DEFAULT_LATENCY_BUCKETS, TRACE_HEADER,
+};
 use omni_redfish::{HmsCollector, RedfishEvent};
 use omni_servicenow::{IncidentRule, ServiceNow};
 use omni_shasta::{
@@ -99,17 +103,19 @@ pub struct MonitoringStack {
     broker: Broker,
     fabric_monitor: FabricManagerMonitor,
     gpfs_monitor: GpfsMonitor,
-    log_bridge: LogBridge,
-    metric_bridge: MetricBridge,
+    log_bridge: Arc<parking_lot::Mutex<LogBridge>>,
+    metric_bridge: Arc<parking_lot::Mutex<MetricBridge>>,
     ruler: Ruler,
     vmalert: VmAlert,
     vmagent: VmAgent,
     alertmanager: Alertmanager,
     remediation: Option<RemediationEngine>,
-    delivery: DeliveryQueue,
-    chaos: Option<ChaosEngine>,
+    delivery: Arc<parking_lot::Mutex<DeliveryQueue>>,
+    chaos: Arc<parking_lot::Mutex<Option<ChaosEngine>>>,
     syslog_gen: SyslogGenerator,
     container_gen: ContainerLogGenerator,
+    registry: Registry,
+    traces: TraceStore,
     notifications_dispatched: u64,
     /// Publishes a brownout bounced at the producer, replayed next step.
     publish_backlog: parking_lot::Mutex<Vec<PendingPublish>>,
@@ -118,14 +124,28 @@ pub struct MonitoringStack {
 /// A bus publish the collector could not complete (brownout), held for
 /// replay so producer-side data survives too.
 enum PendingPublish {
-    Event(RedfishEvent),
-    Log { topic: String, key: String, line: String },
+    Event {
+        event: RedfishEvent,
+        trace: Option<TraceContext>,
+        /// When the firmware emitted the event — the `collect` span's
+        /// start, so a brownout-delayed publish shows up as a gap.
+        created_at: Timestamp,
+    },
+    Log {
+        topic: String,
+        key: String,
+        line: String,
+    },
 }
 
 impl MonitoringStack {
     /// Wire up the whole Figure 1 pipeline.
     pub fn new(config: StackConfig) -> Self {
         let clock = SimClock::starting_at(0);
+        // Self-telemetry: one registry on the shared clock, one trace
+        // store seeded like everything else so ids replay byte-identically.
+        let registry = Registry::new(clock.clone());
+        let traces = TraceStore::new(config.seed);
         let machine =
             Arc::new(ShastaMachine::new(config.topology.clone(), clock.clone(), config.seed));
         let broker = omni_bus::Broker::new(clock.clone());
@@ -141,13 +161,19 @@ impl MonitoringStack {
         }
         let pane = Pane::new(omni.clone());
 
-        // Bridges (the K3s pods).
+        // Bridges (the K3s pods), shared with the registry's collectors.
         let token = api.issue_token("bridge-clients");
-        let log_bridge =
+        let mut log_bridge =
             LogBridge::new(&api, &token, omni.clone(), &config.cluster_name, &broker).unwrap();
-        let metric_bridge =
+        log_bridge.set_tracer(traces.clone());
+        let log_bridge = Arc::new(parking_lot::Mutex::new(log_bridge));
+        let metric_bridge = Arc::new(parking_lot::Mutex::new(
             MetricBridge::new(&api, &token, omni.tsdb().clone(), &config.cluster_name, &broker)
-                .unwrap();
+                .unwrap(),
+        ));
+        let delivery = Arc::new(parking_lot::Mutex::new(DeliveryQueue::with_defaults()));
+        let chaos: Arc<parking_lot::Mutex<Option<ChaosEngine>>> =
+            Arc::new(parking_lot::Mutex::new(None));
 
         // The Ruler carries both paper case-study rules.
         let mut ruler = Ruler::new(omni.loki().clone());
@@ -220,7 +246,8 @@ impl MonitoringStack {
                 "probes",
                 Box::new(move |_| parse_exposition(&blackbox.render()).map_err(|e| e.to_string())),
             );
-            let aruba = ArubaExporter::new(vec!["mgmt-sw1".into(), "mgmt-sw2".into()], clock.clone());
+            let aruba =
+                ArubaExporter::new(vec!["mgmt-sw1".into(), "mgmt-sw2".into()], clock.clone());
             vmagent.add_target(
                 "aruba-exporter",
                 "mgmt",
@@ -232,6 +259,14 @@ impl MonitoringStack {
                 "scratch",
                 Box::new(move |_| parse_exposition(&gpfs_exp.render()).map_err(|e| e.to_string())),
             );
+            // The monitor monitoring itself: the registry rendered in the
+            // same exposition format and scraped through the same path.
+            let self_exp = SelfExporter::new(registry.clone());
+            vmagent.add_target(
+                "omni-self",
+                &config.cluster_name,
+                Box::new(move |_| parse_exposition(&self_exp.render()).map_err(|e| e.to_string())),
+            );
         }
 
         // Alertmanager routing: critical alerts go to ServiceNow AND
@@ -241,10 +276,7 @@ impl MonitoringStack {
         root.group_wait_ns = 10 * NANOS_PER_SEC;
         root.group_interval_ns = 60 * NANOS_PER_SEC;
         root.repeat_interval_ns = 4 * 3600 * NANOS_PER_SEC;
-        let mut to_sn = Route::matching(
-            "servicenow",
-            vec![Matcher::eq("severity", "critical")],
-        );
+        let mut to_sn = Route::matching("servicenow", vec![Matcher::eq("severity", "critical")]);
         to_sn.group_by = root.group_by.clone();
         to_sn.group_wait_ns = root.group_wait_ns;
         to_sn.group_interval_ns = root.group_interval_ns;
@@ -286,12 +318,24 @@ impl MonitoringStack {
             assignment_group: "nersc-ops".into(),
         });
 
-        let remediation = config.auto_remediate.then(|| {
-            RemediationEngine::with_default_playbooks(fabric.clone(), Arc::clone(&gpfs))
-        });
+        let remediation = config
+            .auto_remediate
+            .then(|| RemediationEngine::with_default_playbooks(fabric.clone(), Arc::clone(&gpfs)));
         let syslog_gen =
             SyslogGenerator::new(machine.topology().nodes(), clock.clone(), config.seed ^ 0xa5);
         let container_gen = ContainerLogGenerator::k3s_services(config.seed ^ 0x5a);
+
+        // Absorb every component's ad-hoc counters behind the registry.
+        register_self_collectors(
+            &registry,
+            &broker,
+            &omni,
+            &log_bridge,
+            &metric_bridge,
+            &delivery,
+            &chaos,
+            &servicenow,
+        );
 
         Self {
             clock,
@@ -314,10 +358,12 @@ impl MonitoringStack {
             vmagent,
             alertmanager,
             remediation,
-            delivery: DeliveryQueue::with_defaults(),
-            chaos: None,
+            delivery,
+            chaos,
             syslog_gen,
             container_gen,
+            registry,
+            traces,
             notifications_dispatched: 0,
             publish_backlog: parking_lot::Mutex::new(Vec::new()),
         }
@@ -328,31 +374,36 @@ impl MonitoringStack {
     ///
     /// [`step`]: MonitoringStack::step
     pub fn install_chaos(&mut self, engine: ChaosEngine) {
-        self.chaos = Some(engine);
+        *self.chaos.lock() = Some(engine);
     }
 
     /// Config-driven generation counts are stored in the generators; the
     /// per-step volumes come from the config at construction. Advance the
     /// simulation by `dt_ns`, running one full pipeline cycle; returns the
     /// Alertmanager notifications dispatched during this step.
-    pub fn step(&mut self, dt_ns: i64, syslog_lines: usize, container_lines: usize) -> Vec<Notification> {
+    pub fn step(
+        &mut self,
+        dt_ns: i64,
+        syslog_lines: usize,
+        container_lines: usize,
+    ) -> Vec<Notification> {
         let now = self.clock.advance(dt_ns);
+        self.registry.counter("omni_steps_total", "Pipeline steps driven.", labels!()).inc();
 
         // 0. Scheduled chaos fires before anything else this step.
-        if let Some(chaos) = &mut self.chaos {
-            for action in chaos.poll(now) {
-                match action {
-                    ChaosAction::CrashShard(i) => self.omni.loki().crash_shard(i),
-                    ChaosAction::RecoverShard(i) => {
-                        self.omni.loki().recover_shard(i);
-                    }
-                    ChaosAction::StartBrownout { from, until } => {
-                        self.broker.inject_brownout(from, until);
-                    }
-                    ChaosAction::DropSubscriptions => {
-                        self.log_bridge.chaos_revoke_token();
-                        self.metric_bridge.chaos_revoke_token();
-                    }
+        let actions = self.chaos.lock().as_mut().map(|c| c.poll(now)).unwrap_or_default();
+        for action in actions {
+            match action {
+                ChaosAction::CrashShard(i) => self.omni.loki().crash_shard(i),
+                ChaosAction::RecoverShard(i) => {
+                    self.omni.loki().recover_shard(i);
+                }
+                ChaosAction::StartBrownout { from, until } => {
+                    self.broker.inject_brownout(from, until);
+                }
+                ChaosAction::DropSubscriptions => {
+                    self.log_bridge.lock().chaos_revoke_token();
+                    self.metric_bridge.lock().chaos_revoke_token();
                 }
             }
         }
@@ -400,8 +451,8 @@ impl MonitoringStack {
             });
         }
         // 4. Bridges pull the Telemetry API forward into the stores.
-        self.log_bridge.pump(now);
-        self.metric_bridge.pump();
+        self.log_bridge.lock().pump(now);
+        self.metric_bridge.lock().pump();
         // 5. vmagent scrape.
         self.vmagent.scrape_once(now);
         // 6. Store maintenance: seal aged heads, then move sealed chunks
@@ -409,9 +460,12 @@ impl MonitoringStack {
         // in memory, and then moved to disk").
         self.omni.loki().tick();
         self.omni.loki().offload(3_600 * NANOS_PER_SEC);
-        // 7. Rule evaluation → Alertmanager.
+        // 7. Rule evaluation → Alertmanager, correlating alerts back to
+        // their traces via the Context label the pipeline carries.
         for n in self.ruler.evaluate(now) {
-            self.alertmanager.receive(ruler_to_alert(&n), now);
+            let mut alert = ruler_to_alert(&n);
+            self.correlate_alert(&mut alert, now);
+            self.alertmanager.receive(alert, now);
         }
         for n in self.vmalert.evaluate(now) {
             self.alertmanager.receive(vmalert_to_alert(&n), now);
@@ -420,33 +474,98 @@ impl MonitoringStack {
         let notifications = self.alertmanager.tick(now);
         for n in &notifications {
             self.notifications_dispatched += 1;
+            self.registry
+                .counter(
+                    "omni_notifications_total",
+                    "Alertmanager notifications dispatched, by receiver.",
+                    labels!("receiver" => n.receiver.clone()),
+                )
+                .inc();
+            for id in notification_trace_ids(n) {
+                self.traces.end_span(
+                    id,
+                    "alertmanager",
+                    now,
+                    &format!("grouped, notified {}", n.receiver),
+                );
+                // Closed on delivery success; retries stretch the span.
+                self.traces.begin_span(id, &format!("deliver_{}", n.receiver), now, "enqueued");
+            }
             if let Some(engine) = &mut self.remediation {
                 engine.handle(n, now);
             }
-            self.delivery.enqueue(n.clone());
+            self.delivery.lock().enqueue(n.clone());
         }
         self.pump_delivery(now);
         notifications
     }
 
+    /// Tie an alert back to the trace of the event that raised it: the
+    /// Redfish `Context` xname is the correlation key. Adds the
+    /// `alert_rule` span (held `for:` window included) and a `trace_id`
+    /// annotation that rides to every receiver.
+    fn correlate_alert(&self, alert: &mut Alert, now: Timestamp) {
+        let Some(context) = alert.labels.get("Context").map(str::to_string) else { return };
+        let Some(id) = self.traces.lookup(&context) else { return };
+        let rule = alert.name().to_string();
+        self.traces.span_once(
+            id,
+            "alert_rule",
+            alert.starts_at,
+            now,
+            &format!("rule {rule} firing"),
+        );
+        // Open until the alertmanager flushes the group (group_wait).
+        self.traces.begin_span(id, "alertmanager", now, "received");
+        if !alert.annotations.iter().any(|(k, _)| k == "trace_id") {
+            alert.annotations.push(("trace_id".into(), format_trace_id(id)));
+        }
+    }
+
     /// Attempt every due notification send, with the chaos engine's flaky
-    /// receivers deciding which attempts fail.
+    /// receivers deciding which attempts fail. Successful sends close the
+    /// per-receiver delivery spans; an opened ServiceNow incident closes
+    /// the trace and feeds the event→incident latency histogram.
     fn pump_delivery(&mut self, now: i64) -> usize {
-        let MonitoringStack { delivery, chaos, slack, servicenow, .. } = self;
-        delivery.pump(now, |n| {
-            if let Some(c) = chaos.as_mut() {
+        let chaos = Arc::clone(&self.chaos);
+        let slack = self.slack.clone();
+        let servicenow = self.servicenow.clone();
+        let traces = self.traces.clone();
+        let latency = self.registry.histogram(
+            "omni_event_to_incident_seconds",
+            "End-to-end latency from hardware event to ServiceNow incident.",
+            labels!(),
+            DEFAULT_LATENCY_BUCKETS,
+        );
+        self.delivery.lock().pump(now, |n| {
+            if let Some(c) = chaos.lock().as_mut() {
                 if c.should_fail_send(&n.receiver, now) {
                     return false;
                 }
             }
+            let ids = notification_trace_ids(n);
             match n.receiver.as_str() {
                 "slack" => {
                     slack.deliver(n);
                 }
                 "servicenow" => {
                     servicenow.receive_notification(n, now);
+                    let incident = servicenow
+                        .incidents()
+                        .last()
+                        .map(|i| i.number.clone())
+                        .unwrap_or_else(|| "no incident".to_string());
+                    for &id in &ids {
+                        traces.span_once(id, "servicenow_incident", now, now, &incident);
+                        if let Some(ns) = traces.latency_ns(id) {
+                            latency.observe(ns as f64 / NANOS_PER_SEC as f64);
+                        }
+                    }
                 }
                 _ => {}
+            }
+            for &id in &ids {
+                traces.end_span(id, &format!("deliver_{}", n.receiver), now, "delivered");
             }
             true
         })
@@ -454,7 +573,26 @@ impl MonitoringStack {
 
     fn publish_or_buffer(&self, item: PendingPublish) {
         let result = match &item {
-            PendingPublish::Event(ev) => self.collector.publish_event(ev).map(|_| ()),
+            PendingPublish::Event { event, trace, created_at } => {
+                let headers =
+                    trace.map(|t| vec![(TRACE_HEADER.to_string(), t.encode())]).unwrap_or_default();
+                let published =
+                    self.collector.publish_event_with_headers(event, headers).map(|_| ());
+                if published.is_ok() {
+                    if let Some(t) = trace {
+                        // First emission to eventual publish: a brownout
+                        // that buffered the event shows as a gap here.
+                        self.traces.span_once(
+                            t.trace_id,
+                            "collect",
+                            *created_at,
+                            self.clock.now(),
+                            "redfish event published to bus",
+                        );
+                    }
+                }
+                published
+            }
             PendingPublish::Log { topic, key, line } => {
                 self.collector.publish_log(topic, key, line.clone()).map(|_| ())
             }
@@ -466,12 +604,21 @@ impl MonitoringStack {
 
     /// Inject the paper's case-study-A fault: a cabinet leak. The Redfish
     /// event is published through the HMS collector like the real firmware
-    /// would.
+    /// would, carrying a fresh trace context as a message header.
     pub fn inject_leak(&self, chassis: XName, sensor: char, zone: LeakZone) -> RedfishEvent {
         let event = self.machine.inject_leak(chassis, sensor, zone);
+        let trace = self.traces.begin_trace(
+            &event.context.to_string(),
+            &event.message_id,
+            self.clock.now(),
+        );
         // Buffered like every other publish: a brownout delays the event,
         // it never loses it.
-        self.publish_or_buffer(PendingPublish::Event(event.clone()));
+        self.publish_or_buffer(PendingPublish::Event {
+            event: event.clone(),
+            trace: Some(trace),
+            created_at: self.clock.now(),
+        });
         event
     }
 
@@ -507,23 +654,34 @@ impl MonitoringStack {
 
     /// Bridge statistics `(log records pushed, log errors, metric records)`.
     pub fn bridge_stats(&self) -> (u64, u64, u64) {
-        let (pushed, errors) = self.log_bridge.stats();
-        (pushed, errors, self.metric_bridge.stats())
+        let (pushed, errors) = self.log_bridge.lock().stats();
+        (pushed, errors, self.metric_bridge.lock().stats())
     }
 
     /// At-least-once notification delivery counters.
     pub fn delivery_stats(&self) -> DeliveryStats {
-        self.delivery.stats()
+        self.delivery.lock().stats()
     }
 
     /// Notifications that exhausted their delivery retries.
-    pub fn dead_letter_notifications(&self) -> &[Notification] {
-        self.delivery.dead_letters()
+    pub fn dead_letter_notifications(&self) -> Vec<Notification> {
+        self.delivery.lock().dead_letters().to_vec()
     }
 
     /// The broker (for bus-level inspection and manual fault injection).
     pub fn broker(&self) -> &Broker {
         &self.broker
+    }
+
+    /// The self-telemetry registry — rendered by the `omni-self` scrape
+    /// job and queryable directly for tests and tooling.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace store holding every traced event's journey.
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
     }
 
     /// Assemble the operator resilience panel: Loki crash/WAL counters,
@@ -539,11 +697,278 @@ impl MonitoringStack {
         ResilienceReport {
             loki: self.omni.loki().resilience(),
             bus,
-            log_bridge: self.log_bridge.resilience(),
-            metric_bridge: self.metric_bridge.resilience(),
-            delivery: self.delivery.stats(),
-            chaos: self.chaos.as_ref().map(|c| c.stats()),
+            log_bridge: self.log_bridge.lock().resilience(),
+            metric_bridge: self.metric_bridge.lock().resilience(),
+            delivery: self.delivery.lock().stats(),
+            chaos: self.chaos.lock().as_ref().map(|c| c.stats()),
         }
+    }
+}
+
+/// Trace ids carried by a notification's alerts (the `trace_id`
+/// annotation attached at rule-correlation time), deduplicated.
+fn notification_trace_ids(n: &Notification) -> Vec<u64> {
+    let mut ids: Vec<u64> = n
+        .alerts
+        .iter()
+        .flat_map(|a| a.annotations.iter())
+        .filter(|(k, _)| k == "trace_id")
+        .filter_map(|(_, v)| parse_trace_id(v))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// One single-sample family with empty labels — collector shorthand.
+fn single(name: &str, help: &str, kind: InstrumentKind, value: f64) -> FamilySnapshot {
+    let mut f = FamilySnapshot::new(name, help, kind);
+    f.push(labels!(), value);
+    f
+}
+
+/// Register gather-time collectors that absorb every component's ad-hoc
+/// counters (bus topic stats, Loki resilience, bridge redelivery,
+/// delivery-queue stats, chaos stats, ServiceNow totals) into the one
+/// registry, without those components knowing about it.
+#[allow(clippy::too_many_arguments)]
+fn register_self_collectors(
+    registry: &Registry,
+    broker: &Broker,
+    omni: &Omni,
+    log_bridge: &Arc<parking_lot::Mutex<LogBridge>>,
+    metric_bridge: &Arc<parking_lot::Mutex<MetricBridge>>,
+    delivery: &Arc<parking_lot::Mutex<DeliveryQueue>>,
+    chaos: &Arc<parking_lot::Mutex<Option<ChaosEngine>>>,
+    servicenow: &ServiceNow,
+) {
+    use InstrumentKind::{Counter, Gauge};
+    {
+        let broker = broker.clone();
+        registry.register_collector(move || {
+            let mut msgs = FamilySnapshot::new(
+                "omni_bus_messages_in_total",
+                "Messages produced, by topic.",
+                Counter,
+            );
+            let mut bytes = FamilySnapshot::new(
+                "omni_bus_bytes_out_total",
+                "Bytes fetched by consumers, by topic.",
+                Counter,
+            );
+            let mut drops = FamilySnapshot::new(
+                "omni_bus_tail_drops_total",
+                "Messages dropped by retention, by topic.",
+                Counter,
+            );
+            let mut retries = FamilySnapshot::new(
+                "omni_bus_produce_retries_total",
+                "Produces bounced by a brownout, by topic.",
+                Counter,
+            );
+            let mut lag = FamilySnapshot::new(
+                "omni_bus_consumer_lag",
+                "Worst consumer-group lag, by topic.",
+                Gauge,
+            );
+            for topic in broker.topics() {
+                let Ok(s) = broker.stats(&topic) else { continue };
+                let l = labels!("topic" => topic.clone());
+                msgs.push(l.clone(), s.messages_in as f64);
+                bytes.push(l.clone(), s.bytes_out as f64);
+                drops.push(l.clone(), s.tail_drops as f64);
+                retries.push(l.clone(), s.produce_retries as f64);
+                lag.push(l, s.consumer_lag as f64);
+            }
+            let mut unavailable = FamilySnapshot::new(
+                "omni_bus_unavailable",
+                "1 while a brownout window is rejecting bus traffic.",
+                Gauge,
+            );
+            unavailable.push(labels!(), if broker.brownout_active() { 1.0 } else { 0.0 });
+            vec![msgs, bytes, drops, retries, lag, unavailable]
+        });
+    }
+    {
+        let omni = omni.clone();
+        registry.register_collector(move || {
+            let r = omni.loki().resilience();
+            vec![
+                single(
+                    "omni_loki_shards_up",
+                    "Ingester shards currently up.",
+                    Gauge,
+                    r.shards_up as f64,
+                ),
+                single(
+                    "omni_loki_shards_down",
+                    "Ingester shards currently down.",
+                    Gauge,
+                    (r.shards_total - r.shards_up) as f64,
+                ),
+                single("omni_loki_crashes_total", "Ingester crashes.", Counter, r.crashes as f64),
+                single(
+                    "omni_loki_wal_replayed_total",
+                    "Records replayed from the WAL after crashes.",
+                    Counter,
+                    r.replayed_records as f64,
+                ),
+                single(
+                    "omni_loki_rerouted_total",
+                    "Records rerouted around downed shards.",
+                    Counter,
+                    r.rerouted_records as f64,
+                ),
+                single(
+                    "omni_loki_wal_records_total",
+                    "Records appended to the WAL.",
+                    Counter,
+                    r.wal_records as f64,
+                ),
+            ]
+        });
+    }
+    {
+        let log = Arc::clone(log_bridge);
+        let metric = Arc::clone(metric_bridge);
+        registry.register_collector(move || {
+            let mut fetch = FamilySnapshot::new(
+                "omni_bridge_fetch_retries_total",
+                "Fetch rounds deferred by a brownout, by bridge.",
+                Counter,
+            );
+            let mut resub = FamilySnapshot::new(
+                "omni_bridge_resubscribes_total",
+                "Credential re-issues after an Unauthorized, by bridge.",
+                Counter,
+            );
+            let mut ingest = FamilySnapshot::new(
+                "omni_bridge_ingest_retries_total",
+                "Transient ingest failures parked for retry, by bridge.",
+                Counter,
+            );
+            let mut dead = FamilySnapshot::new(
+                "omni_bridge_dead_letter_total",
+                "Messages produced to the dead-letter topic, by bridge.",
+                Counter,
+            );
+            let mut in_flight = FamilySnapshot::new(
+                "omni_bridge_in_flight",
+                "Records parked awaiting an ingest retry, by bridge.",
+                Gauge,
+            );
+            let pairs = [("log", log.lock().resilience()), ("metric", metric.lock().resilience())];
+            for (name, r) in pairs {
+                let l = labels!("bridge" => name);
+                fetch.push(l.clone(), r.fetch_retries as f64);
+                resub.push(l.clone(), r.resubscribes as f64);
+                ingest.push(l.clone(), r.ingest_retries as f64);
+                dead.push(l.clone(), r.dead_lettered as f64);
+                in_flight.push(l, r.in_flight as f64);
+            }
+            vec![fetch, resub, ingest, dead, in_flight]
+        });
+    }
+    {
+        let delivery = Arc::clone(delivery);
+        registry.register_collector(move || {
+            let d = delivery.lock().stats();
+            vec![
+                single(
+                    "omni_delivery_enqueued_total",
+                    "Notifications enqueued.",
+                    Counter,
+                    d.enqueued as f64,
+                ),
+                single(
+                    "omni_delivery_attempts_total",
+                    "Send attempts, retries included.",
+                    Counter,
+                    d.attempts as f64,
+                ),
+                single(
+                    "omni_delivery_delivered_total",
+                    "Notifications delivered.",
+                    Counter,
+                    d.delivered as f64,
+                ),
+                single(
+                    "omni_delivery_retried_total",
+                    "Failed attempts re-queued.",
+                    Counter,
+                    d.retried as f64,
+                ),
+                single(
+                    "omni_delivery_failed_total",
+                    "Notifications dead-lettered after exhausting retries.",
+                    Counter,
+                    d.permanently_failed as f64,
+                ),
+                single(
+                    "omni_delivery_circuit_opens_total",
+                    "Receiver circuit-breaker opens.",
+                    Counter,
+                    d.circuit_opens as f64,
+                ),
+                single(
+                    "omni_delivery_circuit_closes_total",
+                    "Successful half-open probes that closed a breaker.",
+                    Counter,
+                    d.circuit_closes as f64,
+                ),
+                single(
+                    "omni_delivery_queue_depth",
+                    "Notifications waiting (due or backing off).",
+                    Gauge,
+                    d.queue_depth as f64,
+                ),
+            ]
+        });
+    }
+    {
+        let chaos = Arc::clone(chaos);
+        registry.register_collector(move || {
+            let Some(s) = chaos.lock().as_ref().map(|c| c.stats()) else { return Vec::new() };
+            vec![
+                single(
+                    "omni_chaos_actions_total",
+                    "Scheduled chaos actions fired.",
+                    Counter,
+                    s.actions_fired as f64,
+                ),
+                single(
+                    "omni_chaos_flaky_rolls_total",
+                    "Flaky-receiver coin flips.",
+                    Counter,
+                    s.flaky_rolls as f64,
+                ),
+                single(
+                    "omni_chaos_flaky_failures_total",
+                    "Coin flips that failed a send.",
+                    Counter,
+                    s.flaky_failures as f64,
+                ),
+            ]
+        });
+    }
+    {
+        let sn = servicenow.clone();
+        registry.register_collector(move || {
+            vec![
+                single(
+                    "omni_servicenow_events_total",
+                    "ServiceNow events received.",
+                    Counter,
+                    sn.events_received() as f64,
+                ),
+                single(
+                    "omni_servicenow_incidents",
+                    "ServiceNow incidents ever opened.",
+                    Gauge,
+                    sn.incidents().len() as f64,
+                ),
+            ]
+        });
     }
 }
 
@@ -593,10 +1018,7 @@ mod tests {
         assert!(pushed > 0);
         assert_eq!(errors, 0);
         assert!(metrics > 0);
-        let logs = stack
-            .pane
-            .logs(r#"{data_type="syslog"}"#, 0, stack.clock.now(), 1000)
-            .unwrap();
+        let logs = stack.pane.logs(r#"{data_type="syslog"}"#, 0, stack.clock.now(), 1000).unwrap();
         assert!(!logs.is_empty());
     }
 
@@ -658,8 +1080,10 @@ mod tests {
         assert_eq!(labels.get("Severity"), Some("Warning"));
         assert_eq!(labels.get("cluster"), Some("perlmutter"));
         // 0 before the event, 1 after (within the 60m window).
-        assert!(samples.iter().any(|s| s.ts < event_time && s.value == 0.0)
-            || samples.iter().all(|s| s.ts >= event_time || s.value == 0.0));
+        assert!(
+            samples.iter().any(|s| s.ts < event_time && s.value == 0.0)
+                || samples.iter().all(|s| s.ts >= event_time || s.value == 0.0)
+        );
         assert!(samples.iter().any(|s| s.value == 1.0));
     }
 }

@@ -50,7 +50,7 @@ impl MetricFamily {
 pub fn render_exposition(families: &[MetricFamily]) -> String {
     let mut out = String::new();
     for f in families {
-        out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+        out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
         out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind));
         for (labels, value) in &f.samples {
             if labels.is_empty() {
@@ -86,6 +86,14 @@ fn fmt_value(v: f64) -> String {
 
 fn escape_label_value(v: &str) -> String {
     v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// `# HELP` escaping per the text-format spec: only backslash and
+/// line feed (quotes stay literal, unlike label values). Without this, a
+/// help string containing a newline splits the comment across lines and
+/// corrupts the page for any conforming parser.
+fn escape_help(h: &str) -> String {
+    h.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// Exposition parse failure with line number.
@@ -137,9 +145,7 @@ pub fn parse_exposition(text: &str) -> Result<Vec<MetricRecord>, ExpositionError
             (name_and_labels.trim(), LabelSet::new())
         };
         if name.is_empty()
-            || !name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
             || name.chars().next().unwrap().is_ascii_digit()
         {
             return Err(err(format!("invalid metric name {name:?}")));
@@ -236,6 +242,22 @@ mod tests {
         let text = render_exposition(&[fam]);
         let records = parse_exposition(&text).unwrap();
         assert_eq!(records[0].labels.get("path"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        // A newline in help must not split the comment line, and a
+        // backslash must round-trip as '\\' — per the text-format spec.
+        let mut fam = MetricFamily::gauge("m", "line one\nline two \\ done");
+        fam.sample(LabelSet::new(), 1.0);
+        let text = render_exposition(&[fam]);
+        assert!(text.contains("# HELP m line one\\nline two \\\\ done\n"), "{text:?}");
+        // Every non-sample line is still a comment: the page stays parseable.
+        assert_eq!(parse_exposition(&text).unwrap().len(), 1);
+        // Quotes are NOT escaped in help (only label values escape them).
+        let mut fam = MetricFamily::gauge("q", "says \"hi\"");
+        fam.sample(LabelSet::new(), 1.0);
+        assert!(render_exposition(&[fam]).contains("# HELP q says \"hi\"\n"));
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! what vmagent consumes.
 
 pub mod exposition;
+pub mod self_scrape;
 pub mod simulated;
 
 pub use exposition::{parse_exposition, render_exposition, ExpositionError, MetricFamily};
+pub use self_scrape::SelfExporter;
 pub use simulated::{
     ArubaExporter, BlackboxExporter, Exporter, GpfsExporter, KafkaExporter, NodeExporter,
 };

@@ -3,8 +3,8 @@
 use crate::exposition::{render_exposition, MetricFamily};
 use omni_bus::Broker;
 use omni_model::{LabelSet, SimClock};
-use omni_shasta::ShastaMachine;
 use omni_redfish::SensorKind;
+use omni_shasta::ShastaMachine;
 use std::sync::Arc;
 
 /// An exporter: renders its current exposition page.
@@ -80,8 +80,7 @@ impl Exporter for BlackboxExporter {
 
     fn render(&self) -> String {
         let mut success = MetricFamily::gauge("probe_success", "Probe succeeded (1) or not (0).");
-        let mut duration =
-            MetricFamily::gauge("probe_duration_seconds", "Probe round-trip time.");
+        let mut duration = MetricFamily::gauge("probe_duration_seconds", "Probe round-trip time.");
         let now = self.clock.now();
         for (i, t) in self.targets.iter().enumerate() {
             let labels = LabelSet::from_pairs([("target", t.as_str())]);
@@ -162,10 +161,8 @@ impl Exporter for ArubaExporter {
         let t = (self.clock.now() / 1_000_000_000) as u64;
         for sw in &self.switches {
             for port in 0..4u32 {
-                let labels = LabelSet::from_pairs([
-                    ("switch", sw.to_string()),
-                    ("port", format!("{port}")),
-                ]);
+                let labels =
+                    LabelSet::from_pairs([("switch", sw.to_string()), ("port", format!("{port}"))]);
                 let base = omni_model::fnv1a64(format!("{sw}:{port}").as_bytes()) % 10_000;
                 octets.sample(labels.clone(), (base * 100 + t * 1_000) as f64);
                 errors.sample(labels.clone(), (t / 600) as f64);
@@ -273,10 +270,7 @@ mod tests {
         broker.produce("cray-syslog", None, "hello").unwrap();
         let exp = KafkaExporter::new(broker);
         let records = parse_exposition(&exp.render()).unwrap();
-        let m = records
-            .iter()
-            .find(|r| r.name() == Some("kafka_topic_messages_in_total"))
-            .unwrap();
+        let m = records.iter().find(|r| r.name() == Some("kafka_topic_messages_in_total")).unwrap();
         assert_eq!(m.sample.value, 1.0);
         assert_eq!(m.labels.get("topic"), Some("cray-syslog"));
     }
@@ -297,12 +291,13 @@ mod tests {
         let healthy: Vec<_> =
             records.iter().filter(|r| r.name() == Some("gpfs_server_healthy")).collect();
         assert_eq!(healthy.len(), 3);
-        let degraded =
-            healthy.iter().find(|r| r.labels.get("server") == Some("nsd01")).unwrap();
+        let degraded = healthy.iter().find(|r| r.labels.get("server") == Some("nsd01")).unwrap();
         assert_eq!(degraded.sample.value, 0.0);
         let sick = records
             .iter()
-            .find(|r| r.name() == Some("gpfs_sick_disks") && r.labels.get("server") == Some("nsd01"))
+            .find(|r| {
+                r.name() == Some("gpfs_sick_disks") && r.labels.get("server") == Some("nsd01")
+            })
             .unwrap();
         assert_eq!(sick.sample.value, 1.0);
     }
@@ -317,9 +312,7 @@ mod tests {
             Box::new(BlackboxExporter::new(vec![], clock.clone())),
             Box::new(KafkaExporter::new(broker)),
             Box::new(ArubaExporter::new(vec![], clock.clone())),
-            Box::new(GpfsExporter::new(omni_shasta::GpfsCluster::new(
-                "scratch", 1, 1, clock, 0,
-            ))),
+            Box::new(GpfsExporter::new(omni_shasta::GpfsCluster::new("scratch", 1, 1, clock, 0))),
         ];
         let mut jobs: Vec<&str> = exps.iter().map(|e| e.job()).collect();
         jobs.sort();

@@ -270,9 +270,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| self.err("number out of range"))
+        text.parse::<f64>().map(Json::Number).map_err(|_| self.err("number out of range"))
     }
 }
 
@@ -331,7 +329,17 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for s in [
-            "", "{", "[1,", "{\"a\":}", "{a:1}", "01", "1.", "1e", "\"\x01\"", "nulll", "[]x",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "\"\x01\"",
+            "nulll",
+            "[]x",
             "{\"a\":1,}",
         ] {
             assert!(parse(s).is_err(), "should reject {s:?}");

@@ -41,9 +41,7 @@ pub fn eval_range_agg(op: RangeAggOp, entries: &[RangeEntry], range_ns: i64) -> 
             RangeAggOp::CountOverTime => group.len() as f64,
             RangeAggOp::Rate => group.len() as f64 / secs,
             RangeAggOp::BytesOverTime => group.iter().map(|e| e.line_bytes as f64).sum(),
-            RangeAggOp::BytesRate => {
-                group.iter().map(|e| e.line_bytes as f64).sum::<f64>() / secs
-            }
+            RangeAggOp::BytesRate => group.iter().map(|e| e.line_bytes as f64).sum::<f64>() / secs,
             RangeAggOp::SumOverTime
             | RangeAggOp::AvgOverTime
             | RangeAggOp::MinOverTime

@@ -276,9 +276,7 @@ fn lex_string(input: &str, start: usize) -> Result<(String, usize), LexError> {
                     out.push('\\');
                     continue;
                 }
-                None => {
-                    return Err(LexError { offset: i, message: "trailing backslash".into() })
-                }
+                None => return Err(LexError { offset: i, message: "trailing backslash".into() }),
             }
             i += 1;
         } else {

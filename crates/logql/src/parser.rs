@@ -128,7 +128,9 @@ impl Parser {
         self.bump();
         let scalar = match self.bump() {
             Some(Token::Number(n)) => n,
-            Some(t) => return Err(ParseError::new(format!("expected number after {op}, found {t}"))),
+            Some(t) => {
+                return Err(ParseError::new(format!("expected number after {op}, found {t}")))
+            }
             None => return Err(ParseError::new("expected number after comparison")),
         };
         Ok(MetricQuery::Filter { inner: Box::new(inner), op, scalar })
@@ -155,7 +157,8 @@ impl Parser {
                 self.expect(&Token::Comma)?;
                 let inner = self.metric_query()?;
                 self.expect(&Token::RParen)?;
-                let op = if name == "topk" { VectorAggOp::Topk(k) } else { VectorAggOp::Bottomk(k) };
+                let op =
+                    if name == "topk" { VectorAggOp::Topk(k) } else { VectorAggOp::Bottomk(k) };
                 let grouping = self.maybe_grouping()?;
                 return Ok(MetricQuery::VectorAgg { op, grouping, inner: Box::new(inner) });
             }
@@ -322,16 +325,12 @@ impl Parser {
                             )))
                         }
                     },
-                    Some(Token::ReMatch) => Stage::LabelCmpRegex {
-                        label,
-                        negated: false,
-                        regex: self.regex()?,
-                    },
-                    Some(Token::NotRegex) => Stage::LabelCmpRegex {
-                        label,
-                        negated: true,
-                        regex: self.regex()?,
-                    },
+                    Some(Token::ReMatch) => {
+                        Stage::LabelCmpRegex { label, negated: false, regex: self.regex()? }
+                    }
+                    Some(Token::NotRegex) => {
+                        Stage::LabelCmpRegex { label, negated: true, regex: self.regex()? }
+                    }
                     Some(tok @ (Token::Gt | Token::Ge | Token::Lt | Token::Le | Token::EqEq)) => {
                         let op = match tok {
                             Token::Gt => CmpOp::Gt,
@@ -382,14 +381,11 @@ impl Parser {
                 }
             };
             let value = self.string()?;
-            matchers
-                .push(Matcher::new(&name, op, &value).map_err(ParseError::new)?);
+            matchers.push(Matcher::new(&name, op, &value).map_err(ParseError::new)?);
             match self.bump() {
                 Some(Token::Comma) => continue,
                 Some(Token::RBrace) => break,
-                other => {
-                    return Err(ParseError::new(format!("expected , or }}, found {other:?}")))
-                }
+                other => return Err(ParseError::new(format!("expected , or }}, found {other:?}"))),
             }
         }
         Ok(Selector::new(matchers))
@@ -502,9 +498,7 @@ mod tests {
     #[test]
     fn duration_label_filter_converts_to_seconds() {
         let q = parse_log_query(r#"{a="b"} | json | latency > 10s"#).unwrap();
-        assert!(
-            matches!(&q.stages[1], Stage::LabelCmpNumeric { value, .. } if *value == 10.0)
-        );
+        assert!(matches!(&q.stages[1], Stage::LabelCmpNumeric { value, .. } if *value == 10.0));
     }
 
     #[test]
@@ -523,7 +517,7 @@ mod tests {
             r#"{a=}"#,
             r#"{a="b"} |="#,
             r#"frobnicate({a="b"}[5m])"#,
-            r#"sum({a="b"})"#, // vector agg over a log query
+            r#"sum({a="b"})"#,             // vector agg over a log query
             r#"count_over_time({a="b"})"#, // missing range
             r#"sum by (a) by (b) (rate({x="y"}[1m]))"#,
             r#"{a="b"} trailing"#,

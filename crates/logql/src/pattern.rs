@@ -165,8 +165,9 @@ mod tests {
     #[test]
     fn paper_switch_pattern() {
         // §IV-B's exact pattern and event line.
-        let p = PatternExpr::compile("[<severity>] problem:<problem>, xname:<xname>, state:<state>")
-            .unwrap();
+        let p =
+            PatternExpr::compile("[<severity>] problem:<problem>, xname:<xname>, state:<state>")
+                .unwrap();
         let line = "[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN";
         let caps = p.extract(line).unwrap();
         assert_eq!(

@@ -115,8 +115,7 @@ impl Pipeline {
                     }
                 }
                 Stage::LabelCmpNumeric { label, op, value } => {
-                    let actual =
-                        entry.labels.get(label).and_then(|v| v.parse::<f64>().ok())?;
+                    let actual = entry.labels.get(label).and_then(|v| v.parse::<f64>().ok())?;
                     if !op.apply(actual, *value) {
                         return None;
                     }
@@ -302,9 +301,8 @@ mod tests {
     #[test]
     fn logfmt_stage() {
         let p = pipeline(r#"{a="b"} | logfmt"#);
-        let e = p
-            .process(r#"level=warn msg="kafka retry" attempt=3"#, &labels!("a" => "b"))
-            .unwrap();
+        let e =
+            p.process(r#"level=warn msg="kafka retry" attempt=3"#, &labels!("a" => "b")).unwrap();
         assert_eq!(e.labels.get("level"), Some("warn"));
         assert_eq!(e.labels.get("msg"), Some("kafka retry"));
         assert_eq!(e.labels.get("attempt"), Some("3"));

@@ -265,11 +265,7 @@ mod tests {
 
     #[test]
     fn duplicate_timestamps_survive() {
-        let es = vec![
-            LogEntry::new(5, "a"),
-            LogEntry::new(5, "b"),
-            LogEntry::new(5, "c"),
-        ];
+        let es = vec![LogEntry::new(5, "a"), LogEntry::new(5, "b"), LogEntry::new(5, "c")];
         let chunk = SealedChunk::from_entries(&es);
         assert_eq!(chunk.decode().unwrap(), es);
     }

@@ -8,7 +8,7 @@
 //! serialization of [`SealedChunk`]s into self-describing objects.
 
 use crate::chunk::SealedChunk;
-use crate::compress::{get_uvarint, put_uvarint, zigzag, unzigzag, CorruptBlock};
+use crate::compress::{get_uvarint, put_uvarint, unzigzag, zigzag, CorruptBlock};
 use bytes::Bytes;
 use omni_model::{LabelSet, Timestamp};
 use parking_lot::RwLock;

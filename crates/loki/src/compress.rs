@@ -193,8 +193,12 @@ mod tests {
         let mut input = Vec::new();
         for i in 0..200 {
             input.extend_from_slice(
-                format!("<13> 2022-03-03T01:47:{:02}Z x1000c0s0b0n0 slurmd[4242]: done with job {}\n", i % 60, 10_000 + i)
-                    .as_bytes(),
+                format!(
+                    "<13> 2022-03-03T01:47:{:02}Z x1000c0s0b0n0 slurmd[4242]: done with job {}\n",
+                    i % 60,
+                    10_000 + i
+                )
+                .as_bytes(),
             );
         }
         let c = compress(&input);
@@ -207,9 +211,8 @@ mod tests {
     fn incompressible_data_grows_bounded() {
         // Pseudo-random bytes: output may grow, but only by the literal
         // framing overhead (1 byte per 127).
-        let input: Vec<u8> = (0..10_000u32)
-            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
-            .collect();
+        let input: Vec<u8> =
+            (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
         let c = compress(&input);
         assert!(c.len() <= input.len() + input.len() / 127 + 2);
         assert_eq!(decompress(&c).unwrap(), input);
@@ -225,11 +228,11 @@ mod tests {
     #[test]
     fn corrupt_blocks_error_not_panic() {
         for bad in [
-            &[0x00u8][..],             // zero-length literal
-            &[0x05, b'a'][..],         // literal run past end
-            &[0x81][..],               // truncated match
-            &[0x81, 0x00, 0x00][..],   // zero distance
-            &[0x81, 0xff, 0xff][..],   // distance beyond output
+            &[0x00u8][..],           // zero-length literal
+            &[0x05, b'a'][..],       // literal run past end
+            &[0x81][..],             // truncated match
+            &[0x81, 0x00, 0x00][..], // zero distance
+            &[0x81, 0xff, 0xff][..], // distance beyond output
         ] {
             assert!(decompress(bad).is_err(), "should reject {bad:?}");
         }

@@ -45,10 +45,7 @@ impl LabelIndex {
 
     /// Candidate fingerprints for a set of equality constraints: the
     /// intersection of their postings. With no constraints, all streams.
-    pub fn candidates<'a>(
-        &self,
-        equalities: impl Iterator<Item = (&'a str, &'a str)>,
-    ) -> Vec<u64> {
+    pub fn candidates<'a>(&self, equalities: impl Iterator<Item = (&'a str, &'a str)>) -> Vec<u64> {
         let mut result: Option<BTreeSet<u64>> = None;
         for (name, value) in equalities {
             let set = self
@@ -120,10 +117,7 @@ mod tests {
         idx.insert(&b, 2);
         assert_eq!(idx.candidates([("app", "fm")].into_iter()), vec![1]);
         assert_eq!(idx.candidates([("cluster", "perlmutter")].into_iter()), vec![1, 2]);
-        assert_eq!(
-            idx.candidates([("app", "fm"), ("cluster", "perlmutter")].into_iter()),
-            vec![1]
-        );
+        assert_eq!(idx.candidates([("app", "fm"), ("cluster", "perlmutter")].into_iter()), vec![1]);
         assert!(idx.candidates([("app", "nope")].into_iter()).is_empty());
     }
 

@@ -422,13 +422,14 @@ mod tests {
 
     #[test]
     fn limits_enforced() {
-        let limits = Limits { max_label_names_per_series: 2, max_streams_per_shard: 1, ..Default::default() };
+        let limits = Limits {
+            max_label_names_per_series: 2,
+            max_streams_per_shard: 1,
+            ..Default::default()
+        };
         let ing = Ingester::new(limits);
         let too_many = labels!("a" => "1", "b" => "2", "c" => "3");
-        assert!(matches!(
-            ing.append(rec(too_many, 1, "x")),
-            Err(IngestError::TooManyLabels(3))
-        ));
+        assert!(matches!(ing.append(rec(too_many, 1, "x")), Err(IngestError::TooManyLabels(3))));
         ing.append(rec(labels!("a" => "1"), 1, "x")).unwrap();
         assert!(matches!(
             ing.append(rec(labels!("a" => "2"), 1, "x")),
@@ -440,11 +441,7 @@ mod tests {
 
     #[test]
     fn retention_drops_streams_and_chunks() {
-        let limits = Limits {
-            chunk_target_bytes: 8,
-            retention_ns: 100,
-            ..Default::default()
-        };
+        let limits = Limits { chunk_target_bytes: 8, retention_ns: 100, ..Default::default() };
         let ing = Ingester::new(limits);
         ing.append(rec(labels!("old" => "1"), 10, "0123456789")).unwrap();
         ing.append(rec(labels!("new" => "1"), 900, "0123456789")).unwrap();
@@ -472,12 +469,8 @@ mod tests {
                 let ing = ing.clone();
                 s.spawn(move || {
                     for i in 0..500 {
-                        ing.append(rec(
-                            labels!("worker" => format!("{t}")),
-                            i,
-                            "concurrent line",
-                        ))
-                        .unwrap();
+                        ing.append(rec(labels!("worker" => format!("{t}")), i, "concurrent line"))
+                            .unwrap();
                     }
                 });
             }

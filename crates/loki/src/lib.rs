@@ -28,7 +28,7 @@ pub mod wal;
 
 pub use chunkstore::{ChunkStore, MemObjectStore, ObjectStore};
 pub use engine::QueryStats;
-pub use ingester::{Ingester, IngesterStats, IngestError};
+pub use ingester::{IngestError, Ingester, IngesterStats};
 pub use limits::Limits;
 pub use ruler::{AlertState, AlertingRule, RuleGroup, RuleNotification, Ruler};
 pub use wal::Wal;
@@ -338,9 +338,7 @@ impl LokiCluster {
         step_ns: i64,
     ) -> Result<Matrix, QueryError> {
         match parse_expr(query)? {
-            Expr::Metric(m) => {
-                Ok(engine::run_range_query(&self.shards(), &m, start, end, step_ns))
-            }
+            Expr::Metric(m) => Ok(engine::run_range_query(&self.shards(), &m, start, end, step_ns)),
             Expr::Log(_) => Err(QueryError::WrongQueryKind("metric query")),
         }
     }
@@ -434,8 +432,7 @@ impl LokiCluster {
     /// Sorted, deduplicated label names across shards (the Grafana label
     /// browser's first dropdown).
     pub fn label_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.shards().iter().flat_map(|s| s.label_names()).collect();
+        let mut names: Vec<String> = self.shards().iter().flat_map(|s| s.label_names()).collect();
         names.sort();
         names.dedup();
         names
@@ -473,9 +470,7 @@ mod tests {
         for i in 0..20 {
             c.push(labels!("app" => "fm"), i * NANOS_PER_SEC, format!("event {i}")).unwrap();
         }
-        let out = c
-            .query_logs(r#"{app="fm"} |= "event 1""#, -1, 100 * NANOS_PER_SEC, 100)
-            .unwrap();
+        let out = c.query_logs(r#"{app="fm"} |= "event 1""#, -1, 100 * NANOS_PER_SEC, 100).unwrap();
         // "event 1" and "event 1x".
         assert_eq!(out.len(), 11);
         // Sorted by time.
@@ -488,8 +483,7 @@ mod tests {
         for i in 0..100 {
             c.push(labels!("app" => "steady"), i, "line").unwrap();
         }
-        let populated =
-            c.shards().iter().filter(|s| s.stream_count() > 0).count();
+        let populated = c.shards().iter().filter(|s| s.stream_count() > 0).count();
         assert_eq!(populated, 1);
         assert_eq!(c.stream_count(), 1);
     }
@@ -526,10 +520,7 @@ mod tests {
             c.query_logs(r#"count_over_time({a="b"}[1m])"#, 0, 1, 1),
             Err(QueryError::WrongQueryKind(_))
         ));
-        assert!(matches!(
-            c.query_instant(r#"{a="b"}"#, 0),
-            Err(QueryError::WrongQueryKind(_))
-        ));
+        assert!(matches!(c.query_instant(r#"{a="b"}"#, 0), Err(QueryError::WrongQueryKind(_))));
         assert!(matches!(c.query_instant("{oops", 0), Err(QueryError::Parse(_))));
     }
 
@@ -578,9 +569,7 @@ mod tests {
         assert!(c.compressed_bytes() < before_mem, "memory should shrink");
         assert!(c.chunk_store().objects().object_count() > 0);
         // Every entry is still queryable across both tiers.
-        let out = c
-            .query_logs(r#"{app="x"}"#, -1, 200 * NANOS_PER_SEC, usize::MAX)
-            .unwrap();
+        let out = c.query_logs(r#"{app="x"}"#, -1, 200 * NANOS_PER_SEC, usize::MAX).unwrap();
         assert_eq!(out.len(), 100);
         // Ordered and exact.
         assert!(out.windows(2).all(|w| w[0].entry.ts <= w[1].entry.ts));
@@ -604,10 +593,7 @@ mod tests {
         c.clock().set(1_000 * NANOS_PER_SEC);
         c.enforce_retention();
         assert_eq!(c.chunk_store().objects().object_count(), 0);
-        assert!(c
-            .query_logs(r#"{app="x"}"#, -1, 2_000 * NANOS_PER_SEC, 10)
-            .unwrap()
-            .is_empty());
+        assert!(c.query_logs(r#"{app="x"}"#, -1, 2_000 * NANOS_PER_SEC, 10).unwrap().is_empty());
     }
 
     #[test]
@@ -619,9 +605,8 @@ mod tests {
         for i in 0..50 {
             c.push(labels!("app" => "b"), i, "leak here").unwrap();
         }
-        let (records, stats) = c
-            .query_logs_with_stats(r#"{app=~"a|b"} |= "leak""#, -1, 1_000, usize::MAX)
-            .unwrap();
+        let (records, stats) =
+            c.query_logs_with_stats(r#"{app=~"a|b"} |= "leak""#, -1, 1_000, usize::MAX).unwrap();
         assert_eq!(records.len(), 50);
         assert_eq!(stats.streams_matched, 2);
         assert_eq!(stats.entries_scanned, 100);
@@ -659,11 +644,8 @@ mod tests {
         for (labels, samples) in &matrix {
             for s in samples {
                 let v = c.query_instant(q, s.ts).unwrap();
-                let expected = v
-                    .iter()
-                    .find(|(l, _)| l == labels)
-                    .map(|(_, val)| *val)
-                    .unwrap_or(0.0);
+                let expected =
+                    v.iter().find(|(l, _)| l == labels).map(|(_, val)| *val).unwrap_or(0.0);
                 assert_eq!(s.value, expected, "at ts {} for {labels}", s.ts);
             }
         }
@@ -681,12 +663,8 @@ mod tests {
                 )
                 .unwrap();
             }
-            let mut v = c
-                .query_logs(r#"{cluster="perlmutter"}"#, -1, 1_000, usize::MAX)
-                .unwrap();
-            v.sort_by(|a, b| {
-                a.entry.ts.cmp(&b.entry.ts).then_with(|| a.labels.cmp(&b.labels))
-            });
+            let mut v = c.query_logs(r#"{cluster="perlmutter"}"#, -1, 1_000, usize::MAX).unwrap();
+            v.sort_by(|a, b| a.entry.ts.cmp(&b.entry.ts).then_with(|| a.labels.cmp(&b.labels)));
             v
         };
         assert_eq!(mk(1), mk(8));
@@ -709,9 +687,7 @@ mod tests {
         let restored = c.recover_shard(0);
         assert_eq!(restored, 100);
         assert!(c.shard_up(0));
-        let out = c
-            .query_logs(r#"{app="fm"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX)
-            .unwrap();
+        let out = c.query_logs(r#"{app="fm"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX).unwrap();
         assert_eq!(out.len(), 100, "every pre-crash line must be queryable again");
 
         let r = c.resilience();
@@ -750,10 +726,7 @@ mod tests {
         let c = cluster(2);
         c.crash_shard(0);
         c.crash_shard(1);
-        assert!(matches!(
-            c.push(labels!("a" => "b"), 1, "x"),
-            Err(IngestError::AllShardsDown)
-        ));
+        assert!(matches!(c.push(labels!("a" => "b"), 1, "x"), Err(IngestError::AllShardsDown)));
         c.recover_shard(0);
         c.push(labels!("a" => "b"), 2, "x").unwrap();
     }
@@ -789,9 +762,7 @@ mod tests {
         // Recovery after the checkpoint must not duplicate offloaded data.
         c.crash_shard(0);
         c.recover_shard(0);
-        let out = c
-            .query_logs(r#"{app="x"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX)
-            .unwrap();
+        let out = c.query_logs(r#"{app="x"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX).unwrap();
         assert_eq!(out.len(), 50, "no duplicates from replaying checkpointed WAL");
     }
 
@@ -810,9 +781,7 @@ mod tests {
         assert_eq!(c.resilience().wal_records, 25, "down shard's WAL must be preserved");
 
         assert_eq!(c.recover_shard(0), 25);
-        let out = c
-            .query_logs(r#"{app="fm"}"#, -1, 4_000 * NANOS_PER_SEC, usize::MAX)
-            .unwrap();
+        let out = c.query_logs(r#"{app="fm"}"#, -1, 4_000 * NANOS_PER_SEC, usize::MAX).unwrap();
         assert_eq!(out.len(), 25, "zero loss despite maintenance during downtime");
     }
 
@@ -836,9 +805,7 @@ mod tests {
         // is everything not yet offloaded, so recovery is lossless.
         c.crash_shard(0);
         c.recover_shard(0);
-        let out = c
-            .query_logs(r#"{app="x"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX)
-            .unwrap();
+        let out = c.query_logs(r#"{app="x"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX).unwrap();
         assert_eq!(out.len(), 40);
     }
 }

@@ -194,17 +194,23 @@ impl Ruler {
             for (series_labels, value) in vector {
                 let key = (gi, ri, series_labels.clone());
                 seen.push(series_labels.clone());
-                let entry = self
-                    .active
-                    .entry(key)
-                    .or_insert(ActiveAlert { active_at: now, firing: false, last_value: value });
+                let entry = self.active.entry(key).or_insert(ActiveAlert {
+                    active_at: now,
+                    firing: false,
+                    last_value: value,
+                });
                 entry.last_value = value;
                 if !entry.firing && now - entry.active_at >= rule.for_ns {
                     entry.firing = true;
                 }
                 let snapshot = entry.clone();
                 if snapshot.firing {
-                    out.push(self.notification(rule, &series_labels, &snapshot, AlertState::Firing));
+                    out.push(self.notification(
+                        rule,
+                        &series_labels,
+                        &snapshot,
+                        AlertState::Firing,
+                    ));
                 }
             }
             // Series that disappeared: resolve them.
@@ -405,8 +411,7 @@ mod tests {
         }
         let notifs = ruler.evaluate(t0 + 1);
         assert_eq!(notifs.len(), 2);
-        let mut xnames: Vec<&str> =
-            notifs.iter().map(|n| n.labels.get("xname").unwrap()).collect();
+        let mut xnames: Vec<&str> = notifs.iter().map(|n| n.labels.get("xname").unwrap()).collect();
         xnames.sort();
         assert_eq!(xnames, vec!["x1000c1r1b0", "x1001c2r3b0"]);
     }

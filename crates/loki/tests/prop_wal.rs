@@ -23,11 +23,7 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
         arb_labels(),
         // Timestamps on both sides of the epoch: negative values take the
         // zigzag encoder through its sign-folding branch.
-        prop_oneof![
-            -2_000_000_000i64..2_000_000_000,
-            Just(i64::MIN / 2),
-            Just(i64::MAX / 2),
-        ],
+        prop_oneof![-2_000_000_000i64..2_000_000_000, Just(i64::MIN / 2), Just(i64::MAX / 2),],
         // Lines mixing ASCII, escapes and multi-byte unicode.
         prop_oneof!["\\PC{0,80}", "[é中Ω→ß¥☃ \t]{0,20}", Just(String::new())],
     )

@@ -86,7 +86,8 @@ impl LabelSet {
     /// fingerprints on every node, which is what the distributor uses for
     /// shard placement.
     pub fn fingerprint(&self) -> u64 {
-        let mut buf = Vec::with_capacity(self.pairs.iter().map(|(k, v)| k.len() + v.len() + 2).sum());
+        let mut buf =
+            Vec::with_capacity(self.pairs.iter().map(|(k, v)| k.len() + v.len() + 2).sum());
         for (k, v) in &self.pairs {
             buf.extend_from_slice(k.as_bytes());
             buf.push(0xfe);

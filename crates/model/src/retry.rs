@@ -27,10 +27,10 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     fn default() -> Self {
         Self {
-            base_delay_ns: 500_000_000,        // 500ms
-            max_delay_ns: 60_000_000_000,      // 60s
+            base_delay_ns: 500_000_000,   // 500ms
+            max_delay_ns: 60_000_000_000, // 60s
             max_attempts: 8,
-            jitter_permille: 200,              // ±20%
+            jitter_permille: 200, // ±20%
         }
     }
 }
@@ -106,6 +106,10 @@ pub enum CircuitState {
     Closed,
     /// Requests are rejected until the cooldown passes.
     Open,
+    /// The cooldown has elapsed but no success has confirmed recovery yet:
+    /// probe attempts are allowed through; one success closes the circuit,
+    /// one failure re-opens it.
+    HalfOpen,
 }
 
 /// A consecutive-failure circuit breaker over the virtual clock.
@@ -120,6 +124,7 @@ pub struct CircuitBreaker {
     consecutive_failures: u32,
     open_until: Timestamp,
     opens: u64,
+    closes: u64,
 }
 
 impl CircuitBreaker {
@@ -133,6 +138,7 @@ impl CircuitBreaker {
             consecutive_failures: 0,
             open_until: i64::MIN,
             opens: 0,
+            closes: 0,
         }
     }
 
@@ -141,18 +147,26 @@ impl CircuitBreaker {
         now >= self.open_until
     }
 
-    /// Current state at `now`.
+    /// Current state at `now`: `Closed` while healthy, `Open` inside the
+    /// cooldown, `HalfOpen` once the cooldown has elapsed but no success
+    /// has confirmed recovery yet.
     pub fn state(&self, now: Timestamp) -> CircuitState {
-        if self.allows(now) {
+        if self.open_until == i64::MIN {
             CircuitState::Closed
-        } else {
+        } else if now < self.open_until {
             CircuitState::Open
+        } else {
+            CircuitState::HalfOpen
         }
     }
 
-    /// Record a successful attempt: closes the circuit.
+    /// Record a successful attempt: closes the circuit (counted as a close
+    /// when the breaker had tripped, i.e. a half-open probe succeeded).
     pub fn record_success(&mut self) {
         self.consecutive_failures = 0;
+        if self.open_until != i64::MIN {
+            self.closes += 1;
+        }
         self.open_until = i64::MIN;
     }
 
@@ -171,6 +185,11 @@ impl CircuitBreaker {
     /// How many times the breaker has opened.
     pub fn opens(&self) -> u64 {
         self.opens
+    }
+
+    /// How many times a successful probe closed a tripped breaker.
+    pub fn closes(&self) -> u64 {
+        self.closes
     }
 }
 
@@ -211,8 +230,7 @@ mod tests {
             }
         }
         // Different salts actually spread.
-        let spread: std::collections::HashSet<i64> =
-            (0..50u64).map(|s| p.delay_ns(1, s)).collect();
+        let spread: std::collections::HashSet<i64> = (0..50u64).map(|s| p.delay_ns(1, s)).collect();
         assert!(spread.len() > 10);
     }
 
@@ -231,6 +249,32 @@ mod tests {
         assert!(st.due(st.due_at));
         assert!(st.record_failure(st.due_at, &p, 7)); // attempt 2
         assert!(!st.record_failure(st.due_at, &p, 7)); // attempt 3 → exhausted
+    }
+
+    #[test]
+    fn circuit_state_walks_closed_open_halfopen_closed() {
+        let mut cb = CircuitBreaker::new(2, 1_000);
+        assert_eq!(cb.state(0), CircuitState::Closed);
+        cb.record_failure(0);
+        assert_eq!(cb.state(0), CircuitState::Closed); // below threshold
+        cb.record_failure(0); // trips
+        assert_eq!(cb.state(500), CircuitState::Open);
+        assert_eq!(cb.state(1_000), CircuitState::HalfOpen); // cooldown over, unconfirmed
+        assert!(cb.allows(1_000)); // the probe is allowed through
+        cb.record_success();
+        assert_eq!(cb.state(1_001), CircuitState::Closed);
+        assert_eq!((cb.opens(), cb.closes()), (1, 1));
+        // A failed probe re-opens instead of closing.
+        cb.record_failure(2_000);
+        cb.record_failure(2_000);
+        assert_eq!(cb.state(3_000), CircuitState::HalfOpen);
+        assert!(cb.record_failure(3_000), "failed probe must trip again");
+        assert_eq!(cb.state(3_500), CircuitState::Open);
+        assert_eq!((cb.opens(), cb.closes()), (3, 1));
+        // A success on a never-tripped breaker is not a "close".
+        let mut fresh = CircuitBreaker::new(2, 1_000);
+        fresh.record_success();
+        assert_eq!(fresh.closes(), 0);
     }
 
     #[test]

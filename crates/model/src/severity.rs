@@ -124,7 +124,9 @@ mod tests {
 
     #[test]
     fn display_roundtrip() {
-        for s in [Severity::Info, Severity::Ok, Severity::Warning, Severity::Major, Severity::Critical] {
+        for s in
+            [Severity::Info, Severity::Ok, Severity::Warning, Severity::Major, Severity::Critical]
+        {
             assert_eq!(s.as_str().parse::<Severity>().unwrap(), s);
         }
     }

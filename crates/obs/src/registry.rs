@@ -1,0 +1,512 @@
+//! The self-telemetry metrics registry.
+//!
+//! Three instrument kinds, all deterministic and all cheap enough to sit
+//! on hot paths:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (atomic).
+//! * [`Gauge`] — arbitrary `f64` (atomic bit-cast).
+//! * [`Histogram`] — fixed cumulative buckets + sum + count, with
+//!   precomputed `p50`/`p99` exported as plain gauges (`<name>_p50`,
+//!   `<name>_p99`) because the TSDB's PromQL subset has no
+//!   `histogram_quantile`.
+//!
+//! Instruments are identified by `(family name, LabelSet)`; asking for the
+//! same pair twice returns a handle to the same underlying cell, so any
+//! subsystem holding a `Registry` clone contributes to one shared view.
+//!
+//! Subsystems that already keep their own counters (the bus topic stats,
+//! bridge resilience counters, delivery stats) are absorbed via
+//! *collectors*: closures registered with [`Registry::register_collector`]
+//! that materialise [`FamilySnapshot`]s at gather time. [`Registry::gather`]
+//! merges direct instruments and collector output into one sorted,
+//! deterministic snapshot.
+
+use omni_model::{LabelSet, SimClock, Timestamp};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default latency buckets in seconds, tuned to the simulation's
+/// minute-scale steps: from sub-second bridge hops up to ten minutes of
+/// alert-grouping delay.
+pub const DEFAULT_LATENCY_BUCKETS: &[f64] =
+    &[0.5, 1.0, 2.5, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0];
+
+/// What kind of instrument a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrumentKind {
+    /// Monotonically increasing value.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+}
+
+/// One labelled value inside a [`FamilySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// The sample's labels (without `__name__`).
+    pub labels: LabelSet,
+    /// The value at gather time.
+    pub value: f64,
+}
+
+/// A gathered metric family: every sample of one name, plus metadata.
+///
+/// Histograms are pre-expanded at gather time into `_bucket`/`_sum`/
+/// `_count`/`_p50`/`_p99` families so a snapshot always renders directly
+/// to the text exposition format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family name (a valid Prometheus metric name).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Counter or gauge semantics.
+    pub kind: InstrumentKind,
+    /// All samples, sorted by label set.
+    pub samples: Vec<MetricSample>,
+}
+
+impl FamilySnapshot {
+    /// Convenience constructor for collectors.
+    pub fn new(name: &str, help: &str, kind: InstrumentKind) -> Self {
+        Self { name: name.into(), help: help.into(), kind, samples: Vec::new() }
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, labels: LabelSet, value: f64) {
+        self.samples.push(MetricSample { labels, value });
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable gauge handle (an `f64` stored as atomic bits).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistCore {
+    /// Upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; the last slot is `+Inf`.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Clone)]
+pub struct Histogram(Arc<Mutex<HistCore>>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let mut h = self.0.lock().unwrap();
+        let i = h.bounds.iter().position(|&b| v <= b).unwrap_or(h.bounds.len());
+        h.counts[i] += 1;
+        h.sum += v;
+        h.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.lock().unwrap().count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.0.lock().unwrap().sum
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the buckets, linearly
+    /// interpolated inside the owning bucket — the same estimate
+    /// `histogram_quantile` would produce. Returns 0.0 when empty;
+    /// observations in the `+Inf` bucket clamp to the largest finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let h = self.0.lock().unwrap();
+        if h.count == 0 {
+            return 0.0;
+        }
+        let rank = q * h.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in h.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c;
+            if (next as f64) >= rank {
+                if i >= h.bounds.len() {
+                    // +Inf bucket: clamp like histogram_quantile does.
+                    return h.bounds.last().copied().unwrap_or(f64::INFINITY);
+                }
+                let lower = if i == 0 { 0.0 } else { h.bounds[i - 1] };
+                let upper = h.bounds[i];
+                let into = (rank - seen as f64) / c as f64;
+                return lower + (upper - lower) * into.clamp(0.0, 1.0);
+            }
+            seen = next;
+        }
+        h.bounds.last().copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+enum Series {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Mutex<HistCore>>),
+}
+
+struct Family {
+    help: String,
+    series: BTreeMap<LabelSet, Series>,
+}
+
+type CollectorFn = Box<dyn Fn() -> Vec<FamilySnapshot> + Send + Sync>;
+
+struct RegistryInner {
+    clock: SimClock,
+    families: Mutex<BTreeMap<String, Family>>,
+    collectors: Mutex<Vec<CollectorFn>>,
+}
+
+/// The shared metrics registry. Cheap to clone; all clones view the same
+/// instruments.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Registry {
+    /// Create a registry on the simulation clock.
+    pub fn new(clock: SimClock) -> Self {
+        Self {
+            inner: Arc::new(RegistryInner {
+                clock,
+                families: Mutex::new(BTreeMap::new()),
+                collectors: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The registry's clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.inner.clock.now()
+    }
+
+    /// Get or create a counter. Panics if `name` already holds a different
+    /// instrument kind — mixing kinds under one name is a programming error.
+    pub fn counter(&self, name: &str, help: &str, labels: LabelSet) -> Counter {
+        let mut families = self.inner.families.lock().unwrap();
+        let fam = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help: help.to_string(), series: BTreeMap::new() });
+        let cell = fam
+            .series
+            .entry(labels)
+            .or_insert_with(|| Series::Counter(Arc::new(AtomicU64::new(0))));
+        match cell {
+            Series::Counter(c) => Counter(c.clone()),
+            _ => panic!("registry: {name} is not a counter"),
+        }
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: LabelSet) -> Gauge {
+        let mut families = self.inner.families.lock().unwrap();
+        let fam = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help: help.to_string(), series: BTreeMap::new() });
+        let cell = fam
+            .series
+            .entry(labels)
+            .or_insert_with(|| Series::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
+        match cell {
+            Series::Gauge(g) => Gauge(g.clone()),
+            _ => panic!("registry: {name} is not a gauge"),
+        }
+    }
+
+    /// Get or create a histogram with the given finite bucket bounds
+    /// (strictly increasing; `+Inf` is implicit).
+    pub fn histogram(&self, name: &str, help: &str, labels: LabelSet, bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && !bounds.is_empty(),
+            "histogram bounds must be non-empty and strictly increasing"
+        );
+        let mut families = self.inner.families.lock().unwrap();
+        let fam = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help: help.to_string(), series: BTreeMap::new() });
+        let cell = fam.series.entry(labels).or_insert_with(|| {
+            Series::Histogram(Arc::new(Mutex::new(HistCore {
+                bounds: bounds.to_vec(),
+                counts: vec![0; bounds.len() + 1],
+                sum: 0.0,
+                count: 0,
+            })))
+        });
+        match cell {
+            Series::Histogram(h) => Histogram(h.clone()),
+            _ => panic!("registry: {name} is not a histogram"),
+        }
+    }
+
+    /// Register a gather-time collector: a closure that snapshots some
+    /// external stats source (e.g. `bus::TopicStats`) into families. This
+    /// is how pre-existing ad-hoc counters are absorbed without rewriting
+    /// their owners.
+    pub fn register_collector(&self, f: impl Fn() -> Vec<FamilySnapshot> + Send + Sync + 'static) {
+        self.inner.collectors.lock().unwrap().push(Box::new(f));
+    }
+
+    /// Snapshot every instrument and collector into a deterministic,
+    /// name-sorted list of families (samples sorted by label set).
+    /// Histograms expand to `_bucket` (cumulative, `le` labelled),
+    /// `_sum`, `_count`, `_p50` and `_p99` families.
+    pub fn gather(&self) -> Vec<FamilySnapshot> {
+        let mut out: BTreeMap<String, FamilySnapshot> = BTreeMap::new();
+        let mut add = |snap: FamilySnapshot| match out.entry(snap.name.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(snap);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().samples.extend(snap.samples);
+            }
+        };
+
+        {
+            let families = self.inner.families.lock().unwrap();
+            for (name, fam) in families.iter() {
+                for (labels, series) in fam.series.iter() {
+                    match series {
+                        Series::Counter(c) => {
+                            let mut s =
+                                FamilySnapshot::new(name, &fam.help, InstrumentKind::Counter);
+                            s.push(labels.clone(), c.load(Ordering::Relaxed) as f64);
+                            add(s);
+                        }
+                        Series::Gauge(g) => {
+                            let mut s = FamilySnapshot::new(name, &fam.help, InstrumentKind::Gauge);
+                            s.push(labels.clone(), f64::from_bits(g.load(Ordering::Relaxed)));
+                            add(s);
+                        }
+                        Series::Histogram(h) => {
+                            for snap in expand_histogram(name, &fam.help, labels, h) {
+                                add(snap);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let collectors = self.inner.collectors.lock().unwrap();
+        for c in collectors.iter() {
+            for snap in c() {
+                add(snap);
+            }
+        }
+
+        let mut families: Vec<FamilySnapshot> = out.into_values().collect();
+        for f in &mut families {
+            f.samples.sort_by(|a, b| a.labels.cmp(&b.labels));
+        }
+        families
+    }
+}
+
+fn expand_histogram(
+    name: &str,
+    help: &str,
+    labels: &LabelSet,
+    cell: &Arc<Mutex<HistCore>>,
+) -> Vec<FamilySnapshot> {
+    let handle = Histogram(cell.clone());
+    let (p50, p99) = (handle.quantile(0.50), handle.quantile(0.99));
+    let h = cell.lock().unwrap();
+    let mut bucket = FamilySnapshot::new(&format!("{name}_bucket"), help, InstrumentKind::Counter);
+    let mut cumulative = 0u64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        cumulative += c;
+        let le = if i < h.bounds.len() { format_bound(h.bounds[i]) } else { "+Inf".to_string() };
+        let mut ls = labels.clone();
+        ls.insert("le", le);
+        bucket.push(ls, cumulative as f64);
+    }
+    let mut snaps = vec![bucket];
+    for (suffix, kind, value) in [
+        ("_sum", InstrumentKind::Counter, h.sum),
+        ("_count", InstrumentKind::Counter, h.count as f64),
+        ("_p50", InstrumentKind::Gauge, p50),
+        ("_p99", InstrumentKind::Gauge, p99),
+    ] {
+        let mut s = FamilySnapshot::new(&format!("{name}{suffix}"), help, kind);
+        s.push(labels.clone(), value);
+        snaps.push(s);
+    }
+    snaps
+}
+
+/// Render a bucket bound the way Prometheus does: integral bounds without
+/// a trailing `.0` would be ambiguous, so keep one decimal form stable.
+fn format_bound(b: f64) -> String {
+    if b == b.trunc() {
+        format!("{b:.1}")
+    } else {
+        format!("{b}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omni_model::labels;
+
+    fn reg() -> Registry {
+        Registry::new(SimClock::new())
+    }
+
+    #[test]
+    fn counter_identity_is_name_plus_labels() {
+        let r = reg();
+        let a = r.counter("omni_x_total", "X.", labels!("t" => "a"));
+        let a2 = r.counter("omni_x_total", "X.", labels!("t" => "a"));
+        let b = r.counter("omni_x_total", "X.", labels!("t" => "b"));
+        a.inc();
+        a2.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 1);
+        let g = r.gather();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].samples.len(), 2);
+        assert_eq!(g[0].samples[0].value, 3.0); // t="a" sorts first
+    }
+
+    #[test]
+    fn gauge_holds_floats() {
+        let r = reg();
+        let g = r.gauge("omni_depth", "Depth.", LabelSet::new());
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(0.0);
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = reg();
+        let _ = r.counter("omni_x", "X.", LabelSet::new());
+        let _ = r.gauge("omni_x", "X.", LabelSet::new());
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let r = reg();
+        let h = r.histogram("omni_lat_seconds", "Lat.", LabelSet::new(), &[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.6, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 56.1);
+        // p50: rank 2.0 lands in the first bucket (2 obs ≤ 1.0).
+        assert_eq!(h.quantile(0.5), 1.0);
+        // p99 lands in the (10,100] bucket.
+        assert!(h.quantile(0.99) > 10.0 && h.quantile(0.99) <= 100.0);
+
+        let g = r.gather();
+        let names: Vec<&str> = g.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "omni_lat_seconds_bucket",
+                "omni_lat_seconds_count",
+                "omni_lat_seconds_p50",
+                "omni_lat_seconds_p99",
+                "omni_lat_seconds_sum"
+            ]
+        );
+        let bucket = &g[0];
+        // Cumulative counts: ≤1 → 2, ≤10 → 3, ≤100 → 4, +Inf → 4.
+        let values: Vec<f64> = bucket.samples.iter().map(|s| s.value).collect();
+        let les: Vec<&str> = bucket.samples.iter().map(|s| s.labels.get("le").unwrap()).collect();
+        assert!(les.contains(&"+Inf"));
+        assert_eq!(values.iter().cloned().fold(0.0, f64::max), 4.0);
+    }
+
+    #[test]
+    fn histogram_inf_bucket_clamps_quantile() {
+        let r = reg();
+        let h = r.histogram("omni_big", "Big.", LabelSet::new(), &[1.0]);
+        h.observe(1e9);
+        assert_eq!(h.quantile(0.99), 1.0); // clamped to largest finite bound
+    }
+
+    #[test]
+    fn collectors_are_absorbed_and_merged() {
+        let r = reg();
+        let c = r.counter("omni_direct_total", "Direct.", LabelSet::new());
+        c.inc();
+        r.register_collector(|| {
+            let mut f =
+                FamilySnapshot::new("omni_absorbed_total", "Absorbed.", InstrumentKind::Counter);
+            f.push(labels!("topic" => "t1"), 7.0);
+            vec![f]
+        });
+        let g = r.gather();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].name, "omni_absorbed_total");
+        assert_eq!(g[0].samples[0].value, 7.0);
+        assert_eq!(g[1].name, "omni_direct_total");
+    }
+
+    #[test]
+    fn gather_is_deterministic() {
+        let build = || {
+            let r = reg();
+            for t in ["b", "a", "c"] {
+                r.counter("omni_m_total", "M.", labels!("t" => t)).add(t.len() as u64);
+            }
+            r.histogram("omni_h", "H.", LabelSet::new(), DEFAULT_LATENCY_BUCKETS).observe(3.0);
+            format!("{:?}", r.gather())
+        };
+        assert_eq!(build(), build());
+    }
+}

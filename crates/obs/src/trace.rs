@@ -1,0 +1,403 @@
+//! Deterministic end-to-end tracing for the pipeline.
+//!
+//! A hardware event picks up a [`TraceContext`] the moment the HMS
+//! collector publishes it; the context travels as a Kafka-style message
+//! header ([`TRACE_HEADER`]), a Loki entry label and an alert annotation,
+//! and every stage it crosses records a [`Span`] with enter/exit times on
+//! the virtual clock. [`TraceStore::render_timeline`] then prints the
+//! whole journey — collector → bus → bridge → Loki → ruler →
+//! alertmanager → delivery → ServiceNow — including the gaps that chaos
+//! retries punched into it.
+//!
+//! Ids are derived from `fnv1a64(seed ‖ sequence)`, never from a wall
+//! clock or global RNG, so the same seed produces byte-identical
+//! timelines.
+
+use omni_model::{fnv1a64, Timestamp, NANOS_PER_SEC};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The message-header key that carries the trace id across the bus.
+pub const TRACE_HEADER: &str = "omni-trace-id";
+
+/// The identity a traced event carries between stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identifies the whole journey of one event.
+    pub trace_id: u64,
+    /// Identifies the span that produced this context (the parent of the
+    /// next stage's span).
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Header encoding: 16 lowercase hex digits.
+    pub fn encode(&self) -> String {
+        format_trace_id(self.trace_id)
+    }
+}
+
+/// Render a trace id the way headers and annotations carry it.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parse a header/annotation value back into a trace id.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// One stage's enter/exit record within a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Owning trace.
+    pub trace_id: u64,
+    /// Deterministic span id.
+    pub span_id: u64,
+    /// Stage name, e.g. `"kafka"` or `"deliver_slack"`.
+    pub stage: String,
+    /// Virtual time the stage was entered.
+    pub start: Timestamp,
+    /// Virtual time the stage was exited.
+    pub end: Timestamp,
+    /// Free-form detail (offsets, receivers, incident numbers).
+    pub note: String,
+}
+
+struct OpenSpan {
+    stage: String,
+    span_id: u64,
+    start: Timestamp,
+    note: String,
+}
+
+struct Trace {
+    description: String,
+    context: String,
+    started: Timestamp,
+    spans: Vec<Span>,
+    open: Vec<OpenSpan>,
+}
+
+struct Inner {
+    seed: u64,
+    next_id: u64,
+    traces: BTreeMap<u64, Trace>,
+    by_context: BTreeMap<String, u64>,
+}
+
+impl Inner {
+    fn derive_id(&mut self) -> u64 {
+        let mut material = [0u8; 16];
+        material[..8].copy_from_slice(&self.seed.to_le_bytes());
+        material[8..].copy_from_slice(&self.next_id.to_le_bytes());
+        self.next_id += 1;
+        let h = fnv1a64(&material);
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+}
+
+/// Shared store of every trace and span in a run. Cheap to clone.
+#[derive(Clone)]
+pub struct TraceStore {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl TraceStore {
+    /// Create a store seeded for deterministic id derivation (pass the
+    /// chaos/stack seed).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                seed,
+                next_id: 0,
+                traces: BTreeMap::new(),
+                by_context: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Start a trace for an event. `context` is the correlation key the
+    /// pipeline already carries end to end (the Redfish event's `Context`
+    /// xname), `description` is free-form (e.g. the message id).
+    pub fn begin_trace(&self, context: &str, description: &str, now: Timestamp) -> TraceContext {
+        let mut g = self.inner.lock().unwrap();
+        let trace_id = g.derive_id();
+        let span_id = g.derive_id();
+        g.traces.insert(
+            trace_id,
+            Trace {
+                description: description.to_string(),
+                context: context.to_string(),
+                started: now,
+                spans: Vec::new(),
+                open: Vec::new(),
+            },
+        );
+        g.by_context.insert(context.to_string(), trace_id);
+        TraceContext { trace_id, span_id }
+    }
+
+    /// The most recent trace started for a correlation context, if any.
+    pub fn lookup(&self, context: &str) -> Option<u64> {
+        self.inner.lock().unwrap().by_context.get(context).copied()
+    }
+
+    /// Record a completed span (enter and exit already known).
+    pub fn span(&self, trace_id: u64, stage: &str, start: Timestamp, end: Timestamp, note: &str) {
+        let mut g = self.inner.lock().unwrap();
+        let span_id = g.derive_id();
+        if let Some(t) = g.traces.get_mut(&trace_id) {
+            t.spans.push(Span {
+                trace_id,
+                span_id,
+                stage: stage.to_string(),
+                start,
+                end,
+                note: note.to_string(),
+            });
+        }
+    }
+
+    /// Record a completed span only if the stage has not been recorded yet
+    /// — for stages that re-fire every evaluation tick.
+    pub fn span_once(
+        &self,
+        trace_id: u64,
+        stage: &str,
+        start: Timestamp,
+        end: Timestamp,
+        note: &str,
+    ) {
+        if !self.has_stage(trace_id, stage) {
+            self.span(trace_id, stage, start, end, note);
+        }
+    }
+
+    /// Enter a stage. Idempotent while open: re-entering keeps the
+    /// earliest start, which is exactly what makes retry gaps visible —
+    /// the span stretches from first attempt to eventual success.
+    pub fn begin_span(&self, trace_id: u64, stage: &str, now: Timestamp, note: &str) {
+        let mut g = self.inner.lock().unwrap();
+        let span_id = g.derive_id();
+        if let Some(t) = g.traces.get_mut(&trace_id) {
+            let already_open = t.open.iter().any(|o| o.stage == stage);
+            let already_closed = t.spans.iter().any(|s| s.stage == stage);
+            if !already_open && !already_closed {
+                t.open.push(OpenSpan {
+                    stage: stage.to_string(),
+                    span_id,
+                    start: now,
+                    note: note.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Exit a stage opened with [`Self::begin_span`]. Unmatched exits are
+    /// ignored. An empty `note` keeps the note given at enter time.
+    pub fn end_span(&self, trace_id: u64, stage: &str, now: Timestamp, note: &str) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(t) = g.traces.get_mut(&trace_id) {
+            if let Some(i) = t.open.iter().position(|o| o.stage == stage) {
+                let o = t.open.remove(i);
+                t.spans.push(Span {
+                    trace_id,
+                    span_id: o.span_id,
+                    stage: o.stage,
+                    start: o.start,
+                    end: now,
+                    note: if note.is_empty() { o.note } else { note.to_string() },
+                });
+            }
+        }
+    }
+
+    /// Whether a closed span exists for the stage.
+    pub fn has_stage(&self, trace_id: u64, stage: &str) -> bool {
+        self.inner
+            .lock()
+            .unwrap()
+            .traces
+            .get(&trace_id)
+            .is_some_and(|t| t.spans.iter().any(|s| s.stage == stage))
+    }
+
+    /// All closed spans of a trace, ordered by start time (insertion order
+    /// breaks ties, so the order is deterministic).
+    pub fn spans(&self, trace_id: u64) -> Vec<Span> {
+        let g = self.inner.lock().unwrap();
+        let mut spans = g.traces.get(&trace_id).map(|t| t.spans.clone()).unwrap_or_default();
+        spans.sort_by_key(|s| s.start);
+        spans
+    }
+
+    /// Every trace id in the store, sorted.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        self.inner.lock().unwrap().traces.keys().copied().collect()
+    }
+
+    /// End-to-end latency of a trace in nanoseconds: trace start to the
+    /// latest span exit. `None` until at least one span has closed.
+    pub fn latency_ns(&self, trace_id: u64) -> Option<i64> {
+        let g = self.inner.lock().unwrap();
+        let t = g.traces.get(&trace_id)?;
+        let end = t.spans.iter().map(|s| s.end).max()?;
+        Some(end - t.started)
+    }
+
+    /// Print a deterministic, human-readable timeline of one trace:
+    /// per-stage enter/exit offsets from the trace start, notes, and the
+    /// end-to-end latency.
+    pub fn render_timeline(&self, trace_id: u64) -> String {
+        let spans = self.spans(trace_id);
+        let (description, context, started) = {
+            let g = self.inner.lock().unwrap();
+            match g.traces.get(&trace_id) {
+                Some(t) => (t.description.clone(), t.context.clone(), t.started),
+                None => return format!("trace {}: not found\n", format_trace_id(trace_id)),
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace {}  {} ({})\n",
+            format_trace_id(trace_id),
+            description,
+            context
+        ));
+        let stage_width = spans.iter().map(|s| s.stage.len()).max().unwrap_or(0).max(5);
+        for s in &spans {
+            let from = offset_secs(s.start, started);
+            let to = offset_secs(s.end, started);
+            out.push_str(&format!(
+                "  {:<width$}  t+{:>9} .. t+{:>9}  {}\n",
+                s.stage,
+                from,
+                to,
+                s.note,
+                width = stage_width
+            ));
+        }
+        match self.latency_ns(trace_id) {
+            Some(ns) => {
+                out.push_str(&format!("  event -> incident latency: {}\n", format_secs(ns)))
+            }
+            None => out.push_str("  (no spans recorded)\n"),
+        }
+        out
+    }
+}
+
+fn offset_secs(ts: Timestamp, origin: Timestamp) -> String {
+    format_secs(ts - origin)
+}
+
+fn format_secs(ns: i64) -> String {
+    let whole = ns / NANOS_PER_SEC;
+    let millis = (ns % NANOS_PER_SEC).abs() / 1_000_000;
+    format!("{whole}.{millis:03}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_and_nonzero() {
+        let a = TraceStore::new(42);
+        let b = TraceStore::new(42);
+        let ca = a.begin_trace("x1", "leak", 0);
+        let cb = b.begin_trace("x1", "leak", 0);
+        assert_eq!(ca, cb);
+        assert_ne!(ca.trace_id, 0);
+        let c2 = a.begin_trace("x2", "leak", 0);
+        assert_ne!(ca.trace_id, c2.trace_id);
+        // A different seed shifts every id.
+        let c = TraceStore::new(43);
+        assert_ne!(c.begin_trace("x1", "leak", 0).trace_id, ca.trace_id);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let s = TraceStore::new(7);
+        let ctx = s.begin_trace("x", "d", 0);
+        let encoded = ctx.encode();
+        assert_eq!(encoded.len(), 16);
+        assert_eq!(parse_trace_id(&encoded), Some(ctx.trace_id));
+        assert_eq!(parse_trace_id("nope"), None);
+        assert_eq!(parse_trace_id("zzzzzzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn lookup_by_context() {
+        let s = TraceStore::new(1);
+        let ctx = s.begin_trace("x3000c0s9b0", "leak", 10);
+        assert_eq!(s.lookup("x3000c0s9b0"), Some(ctx.trace_id));
+        assert_eq!(s.lookup("x9999"), None);
+    }
+
+    #[test]
+    fn begin_end_span_keeps_earliest_start() {
+        let s = TraceStore::new(1);
+        let ctx = s.begin_trace("x", "d", 0);
+        s.begin_span(ctx.trace_id, "deliver_slack", 100, "attempt");
+        // A retry re-enters: the open span keeps its original start.
+        s.begin_span(ctx.trace_id, "deliver_slack", 500, "retry");
+        s.end_span(ctx.trace_id, "deliver_slack", 900, "delivered");
+        let spans = s.spans(ctx.trace_id);
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (100, 900));
+        assert_eq!(spans[0].note, "delivered");
+        // Re-entering a closed stage does nothing.
+        s.begin_span(ctx.trace_id, "deliver_slack", 1_000, "late");
+        s.end_span(ctx.trace_id, "deliver_slack", 2_000, "late");
+        assert_eq!(s.spans(ctx.trace_id).len(), 1);
+    }
+
+    #[test]
+    fn span_once_dedupes_refiring_stages() {
+        let s = TraceStore::new(1);
+        let ctx = s.begin_trace("x", "d", 0);
+        s.span_once(ctx.trace_id, "alert_rule", 0, 60, "fired");
+        s.span_once(ctx.trace_id, "alert_rule", 0, 120, "fired again");
+        let spans = s.spans(ctx.trace_id);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].end, 60);
+    }
+
+    #[test]
+    fn timeline_renders_deterministically() {
+        let render = || {
+            let s = TraceStore::new(42);
+            let ctx = s.begin_trace("x3000c0s9b0", "CrayTelemetry.Temperature", 0);
+            s.span(ctx.trace_id, "collect", 0, 0, "published");
+            s.span(ctx.trace_id, "kafka", 0, 60 * NANOS_PER_SEC, "offset 12");
+            s.span(
+                ctx.trace_id,
+                "servicenow_incident",
+                240 * NANOS_PER_SEC,
+                240 * NANOS_PER_SEC,
+                "INC0001",
+            );
+            s.render_timeline(ctx.trace_id)
+        };
+        let a = render();
+        assert_eq!(a, render());
+        assert!(a.contains("collect"), "{a}");
+        assert!(a.contains("event -> incident latency: 240.000s"), "{a}");
+        assert!(a.contains("t+   0.000s .. t+  60.000s"), "{a}");
+    }
+
+    #[test]
+    fn unknown_trace_renders_placeholder() {
+        let s = TraceStore::new(1);
+        assert!(s.render_timeline(123).contains("not found"));
+    }
+}

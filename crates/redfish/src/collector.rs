@@ -76,6 +76,24 @@ impl HmsCollector {
         self.broker.produce(topics::RESOURCE_EVENTS, Some(&event.context.to_string()), payload)
     }
 
+    /// Publish a Redfish event with message headers attached (e.g. the
+    /// `omni-trace-id` propagation header). The payload is identical to
+    /// [`Self::publish_event`] — headers ride beside it, invisible to
+    /// consumers that don't look for them.
+    pub fn publish_event_with_headers(
+        &self,
+        event: &RedfishEvent,
+        headers: Vec<(String, String)>,
+    ) -> Result<(usize, u64), BusError> {
+        let payload = event.to_telemetry_json().dump();
+        self.broker.produce_with_headers(
+            topics::RESOURCE_EVENTS,
+            Some(&event.context.to_string()),
+            payload,
+            headers,
+        )
+    }
+
     /// Publish a sensor reading to its kind's telemetry topic.
     pub fn publish_reading(&self, reading: &SensorReading) -> Result<(usize, u64), BusError> {
         let payload = reading.to_json().dump();

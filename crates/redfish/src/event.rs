@@ -207,10 +207,7 @@ mod tests {
             e0.get("MessageId").and_then(Json::as_str),
             Some("CrayAlerts.1.0.CabinetLeakDetected")
         );
-        assert_eq!(
-            e0.pointer("/MessageArgs/0").and_then(Json::as_str),
-            Some("A, Front")
-        );
+        assert_eq!(e0.pointer("/MessageArgs/0").and_then(Json::as_str), Some("A, Front"));
         assert_eq!(
             e0.pointer("/OriginOfCondition/@odata.id").and_then(Json::as_str),
             Some("/redfish/v1/Chassis/Enclosure")
@@ -252,11 +249,8 @@ mod tests {
         let ev = RedfishEvent::paper_leak_event();
         let mut v = ev.to_telemetry_json();
         // Duplicate the event inside the same message.
-        let events = v
-            .pointer("/metrics/messages/0/Events")
-            .and_then(Json::as_array)
-            .unwrap()
-            .to_vec();
+        let events =
+            v.pointer("/metrics/messages/0/Events").and_then(Json::as_array).unwrap().to_vec();
         let doubled = Json::Array([events.clone(), events].concat());
         let msgs = v.pointer("/metrics/messages").unwrap().clone();
         if let Json::Array(mut m) = msgs {

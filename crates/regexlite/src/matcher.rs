@@ -39,7 +39,10 @@ impl std::error::Error for MatchError {}
 enum Inst {
     Char(char),
     Any,
-    Class { items: Vec<ClassItem>, negated: bool },
+    Class {
+        items: Vec<ClassItem>,
+        negated: bool,
+    },
     /// Record current position into capture slot `n`.
     Save(usize),
     Jmp(usize),
@@ -277,15 +280,13 @@ fn run_from(
                         continue 'threads;
                     }
                 }
-                Inst::Any => {
-                    match chars.get(f.pos) {
-                        Some(&c) if c != '\n' => {
-                            f.pos += 1;
-                            f.pc += 1;
-                        }
-                        _ => continue 'threads,
+                Inst::Any => match chars.get(f.pos) {
+                    Some(&c) if c != '\n' => {
+                        f.pos += 1;
+                        f.pc += 1;
                     }
-                }
+                    _ => continue 'threads,
+                },
                 Inst::Class { items, negated } => {
                     let Some(&c) = chars.get(f.pos) else { continue 'threads };
                     let hit = items.iter().any(|i| i.matches(c));

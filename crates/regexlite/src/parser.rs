@@ -265,9 +265,8 @@ impl Parser {
                     self.pos += 1;
                     if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
                         self.pos += 1; // '-'
-                        let hi = self
-                            .bump()
-                            .ok_or_else(|| self.err("unterminated range in class"))?;
+                        let hi =
+                            self.bump().ok_or_else(|| self.err("unterminated range in class"))?;
                         if hi < lo {
                             return Err(self.err("reversed range in class"));
                         }

@@ -53,7 +53,12 @@ impl Cmdb {
         let parent_id = parent.and_then(|p| self.by_name.get(p).cloned());
         self.by_id.insert(
             id.clone(),
-            Ci { sys_id: id.clone(), name: name.to_string(), class: class.to_string(), parent: parent_id },
+            Ci {
+                sys_id: id.clone(),
+                name: name.to_string(),
+                class: class.to_string(),
+                parent: parent_id,
+            },
         );
         self.by_name.insert(name.to_string(), id.clone());
         id

@@ -16,7 +16,7 @@ pub mod cmdb;
 pub mod event;
 pub mod incident;
 
-pub use cmdb::{Cmdb, Ci};
+pub use cmdb::{Ci, Cmdb};
 pub use event::{SnAlert, SnAlertState, SnEvent};
 pub use incident::{Incident, IncidentRule, IncidentState};
 
@@ -129,11 +129,7 @@ impl ServiceNow {
         }
         // Incident rules.
         if alert_snapshot.state != SnAlertState::Closed && alert_snapshot.incident.is_none() {
-            let matched = inner
-                .rules
-                .iter()
-                .find(|r| r.matches(&alert_snapshot))
-                .cloned();
+            let matched = inner.rules.iter().find(|r| r.matches(&alert_snapshot)).cloned();
             if let Some(rule) = matched {
                 let inc_number = format!("INC{:07}", inner.next_incident);
                 inner.next_incident += 1;
@@ -202,11 +198,8 @@ impl ServiceNow {
     /// predicted.
     pub fn mttr_ns(&self) -> Option<i64> {
         let inner = self.inner.lock();
-        let durations: Vec<i64> = inner
-            .incidents
-            .iter()
-            .filter_map(|i| i.resolved_at.map(|r| r - i.opened_at))
-            .collect();
+        let durations: Vec<i64> =
+            inner.incidents.iter().filter_map(|i| i.resolved_at.map(|r| r - i.opened_at)).collect();
         if durations.is_empty() {
             None
         } else {

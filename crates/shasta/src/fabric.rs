@@ -65,8 +65,11 @@ pub struct FabricManager {
 impl FabricManager {
     /// Bring up a fabric with every switch of the topology online.
     pub fn new(topology: &MachineTopology) -> Self {
-        let states =
-            topology.switches().iter().map(|&x| (x, SwitchState::Online)).collect::<HashMap<_, _>>();
+        let states = topology
+            .switches()
+            .iter()
+            .map(|&x| (x, SwitchState::Online))
+            .collect::<HashMap<_, _>>();
         Self { states: Arc::new(RwLock::new(states)) }
     }
 

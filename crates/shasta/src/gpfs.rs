@@ -90,7 +90,13 @@ pub struct GpfsCluster {
 impl GpfsCluster {
     /// A filesystem with `servers` NSD servers of `disks_per_server`
     /// disks each (Perlmutter's scratch runs tens of servers).
-    pub fn new(name: &str, servers: usize, disks_per_server: usize, clock: SimClock, seed: u64) -> Arc<Self> {
+    pub fn new(
+        name: &str,
+        servers: usize,
+        disks_per_server: usize,
+        clock: SimClock,
+        seed: u64,
+    ) -> Arc<Self> {
         let mut map = HashMap::new();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..servers {
@@ -232,11 +238,7 @@ pub struct GpfsMonitor {
 impl GpfsMonitor {
     /// Baseline the current state.
     pub fn new(cluster: Arc<GpfsCluster>) -> Self {
-        let last = cluster
-            .sample()
-            .into_iter()
-            .map(|s| (s.server, s.state))
-            .collect();
+        let last = cluster.sample().into_iter().map(|s| (s.server, s.state)).collect();
         Self { cluster, last }
     }
 

@@ -22,6 +22,6 @@ pub mod workload;
 
 pub use fabric::{FabricManager, FabricManagerMonitor, SwitchState};
 pub use gpfs::{GpfsCluster, GpfsMonitor, GpfsState};
-pub use machine::{LeakZone, ShastaMachine};
 pub use logs::{ContainerLogGenerator, SyslogGenerator};
+pub use machine::{LeakZone, ShastaMachine};
 pub use workload::{WorkloadMix, WorkloadModel};

@@ -25,9 +25,15 @@ const SYSLOG_TEMPLATES: &[(&str, u32)] = &[
 ];
 
 const CONTAINER_TEMPLATES: &[(&str, u32)] = &[
-    (r#"{{"level":"info","msg":"request handled","path":"/apis/telemetry/v1/stream","code":200,"dur_ms":{}}}"#, 30),
+    (
+        r#"{{"level":"info","msg":"request handled","path":"/apis/telemetry/v1/stream","code":200,"dur_ms":{}}}"#,
+        30,
+    ),
     (r#"{{"level":"info","msg":"scrape ok","target":"node-exporter-{}","samples":{}}}"#, 25),
-    (r#"{{"level":"warn","msg":"retrying kafka publish","topic":"cray-telemetry-temperature","attempt":{}}}"#, 6),
+    (
+        r#"{{"level":"warn","msg":"retrying kafka publish","topic":"cray-telemetry-temperature","attempt":{}}}"#,
+        6,
+    ),
     (r#"{{"level":"info","msg":"chunk flushed","stream_count":{},"bytes":{}}}"#, 15),
     (r#"{{"level":"error","msg":"connection reset by peer","remote":"10.20.{}.{}"}}"#, 3),
     (r#"{{"level":"info","msg":"compaction done","tables":{},"dur_ms":{}}}"#, 10),

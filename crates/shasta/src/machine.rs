@@ -221,12 +221,8 @@ impl ShastaMachine {
     /// Chassis currently reporting a leak.
     pub fn leaking_chassis(&self) -> Vec<XName> {
         let st = self.state.lock();
-        let mut v: Vec<XName> = st
-            .chassis
-            .iter()
-            .filter(|(_, c)| !c.leaks.is_empty())
-            .map(|(&x, _)| x)
-            .collect();
+        let mut v: Vec<XName> =
+            st.chassis.iter().filter(|(_, c)| !c.leaks.is_empty()).map(|(&x, _)| x).collect();
         v.sort();
         v
     }
@@ -313,11 +309,8 @@ mod tests {
         assert!(ev.message.contains("'Front' cabinet zone"));
         assert_eq!(m.leaking_chassis(), vec![chassis]);
         // Leak shows up in telemetry too.
-        let leaks: Vec<_> = m
-            .sample_sensors()
-            .into_iter()
-            .filter(|r| r.kind == SensorKind::Leak)
-            .collect();
+        let leaks: Vec<_> =
+            m.sample_sensors().into_iter().filter(|r| r.kind == SensorKind::Leak).collect();
         assert_eq!(leaks.len(), 1);
         assert_eq!(leaks[0].value, 1.0);
     }

@@ -131,8 +131,7 @@ impl WorkloadModel {
         let container_n =
             (self.mix.container_per_pod_per_sec * self.mix.service_pods as f64 * secs) as usize;
         let total = (syslog_n + container_n).min(max_lines);
-        let syslog_share =
-            (total * syslog_n).checked_div(syslog_n + container_n).unwrap_or(0);
+        let syslog_share = (total * syslog_n).checked_div(syslog_n + container_n).unwrap_or(0);
         let mut out = Vec::with_capacity(total);
         let mut sys = SyslogGenerator::new(machine.topology().nodes(), clock, seed);
         out.extend(sys.batch(syslog_share));

@@ -174,6 +174,22 @@ impl TelemetryApi {
         Ok(self.inner.broker.partition_count(topic)?)
     }
 
+    /// Commit an offset cursor on behalf of a consumer group, so the
+    /// broker can meter the group's lag (high-water mark minus cursor).
+    /// `next` is the next offset the group will read.
+    pub fn commit(
+        &self,
+        token: &Token,
+        group: &str,
+        topic: &str,
+        partition: usize,
+        next: u64,
+    ) -> Result<(), ApiError> {
+        self.authenticate(token)?;
+        self.inner.broker.commit(group, topic, partition, next);
+        Ok(())
+    }
+
     /// Load snapshot across gateways.
     pub fn gateway_loads(&self) -> Vec<GatewayLoad> {
         self.inner
@@ -258,7 +274,10 @@ mod tests {
         let a = api();
         let t = a.issue_token("bridge");
         a.revoke_token(&t);
-        assert_eq!(a.fetch(&t, "cray-dmtf-resource-event", 0, 0, 1).err(), Some(ApiError::Unauthorized));
+        assert_eq!(
+            a.fetch(&t, "cray-dmtf-resource-event", 0, 0, 1).err(),
+            Some(ApiError::Unauthorized)
+        );
     }
 
     #[test]
@@ -294,7 +313,9 @@ mod tests {
             a.inner.broker.produce("cray-dmtf-resource-event", Some("k"), format!("{i}")).unwrap();
         }
         let part = (0..4)
-            .find(|&p| !a.inner.broker.fetch("cray-dmtf-resource-event", p, 0, 1).unwrap().is_empty())
+            .find(|&p| {
+                !a.inner.broker.fetch("cray-dmtf-resource-event", p, 0, 1).unwrap().is_empty()
+            })
             .expect("keyed messages must land somewhere");
         let msgs = a.fetch(&t, "cray-dmtf-resource-event", part, 0, 3).unwrap();
         assert_eq!(msgs.len(), 3);
@@ -305,6 +326,20 @@ mod tests {
         let a = api();
         let t = a.issue_token("bridge");
         assert!(matches!(a.subscribe(&t, "nope"), Err(ApiError::Bus(BusError::UnknownTopic(_)))));
+    }
+
+    #[test]
+    fn commit_requires_auth_and_reaches_the_broker() {
+        let a = api();
+        let t = a.issue_token("bridge");
+        a.inner.broker.produce("cray-dmtf-resource-event", Some("k"), "m").unwrap();
+        let bogus = Token("nope".to_string());
+        assert_eq!(
+            a.commit(&bogus, "log-bridge", "cray-dmtf-resource-event", 0, 1).err(),
+            Some(ApiError::Unauthorized)
+        );
+        a.commit(&t, "log-bridge", "cray-dmtf-resource-event", 0, 1).unwrap();
+        assert_eq!(a.inner.broker.committed("log-bridge", "cray-dmtf-resource-event", 0), 1);
     }
 
     #[test]

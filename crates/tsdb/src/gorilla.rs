@@ -338,9 +338,8 @@ mod tests {
 
     #[test]
     fn varying_values() {
-        let samples: Vec<Sample> = (0..500)
-            .map(|i| Sample::new(i * 1_000, (i as f64 * 0.7).sin() * 100.0))
-            .collect();
+        let samples: Vec<Sample> =
+            (0..500).map(|i| Sample::new(i * 1_000, (i as f64 * 0.7).sin() * 100.0)).collect();
         roundtrip(&samples);
     }
 

@@ -618,10 +618,9 @@ mod tests {
         }
         // An instance with requests but no errors: dropped from the result.
         d.ingest_sample("requests_total", labels!("instance" => "c"), NANOS_PER_SEC, 10.0);
-        let e = parse_promql(
-            "sum by (instance) (errors_total) / sum by (instance) (requests_total)",
-        )
-        .unwrap();
+        let e =
+            parse_promql("sum by (instance) (errors_total) / sum by (instance) (requests_total)")
+                .unwrap();
         let v = eval_instant(&d, &e, 2 * NANOS_PER_SEC);
         assert_eq!(v.len(), 2);
         assert!(v.iter().all(|(_, r)| *r == 0.1));

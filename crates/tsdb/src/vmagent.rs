@@ -140,12 +140,7 @@ mod tests {
             "exp",
             "i",
             Box::new(|now| {
-                Ok(vec![MetricRecord::new(
-                    "g",
-                    LabelSet::new(),
-                    0,
-                    (now / NANOS_PER_SEC) as f64,
-                )])
+                Ok(vec![MetricRecord::new("g", LabelSet::new(), 0, (now / NANOS_PER_SEC) as f64)])
             }),
         );
         for i in 1..=10 {

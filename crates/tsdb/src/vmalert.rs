@@ -90,10 +90,11 @@ impl VmAlert {
             for (series_labels, value) in vector {
                 seen.push(series_labels.clone());
                 let key = (ri, series_labels.clone());
-                let entry = self
-                    .active
-                    .entry(key)
-                    .or_insert(Active { active_at: now, firing: false, last_value: value });
+                let entry = self.active.entry(key).or_insert(Active {
+                    active_at: now,
+                    firing: false,
+                    last_value: value,
+                });
                 entry.last_value = value;
                 if !entry.firing && now - entry.active_at >= rule.for_ns {
                     entry.firing = true;

@@ -151,7 +151,9 @@ impl XName {
             XName::Cabinet { .. } | XName::Cdu { .. } => None,
             XName::Chassis { cabinet, .. } => Some(XName::Cabinet { cabinet }),
             XName::ChassisBmc { cabinet, chassis, .. } => Some(XName::Chassis { cabinet, chassis }),
-            XName::ComputeSlot { cabinet, chassis, .. } => Some(XName::Chassis { cabinet, chassis }),
+            XName::ComputeSlot { cabinet, chassis, .. } => {
+                Some(XName::Chassis { cabinet, chassis })
+            }
             XName::NodeBmc { cabinet, chassis, slot, .. } => {
                 Some(XName::ComputeSlot { cabinet, chassis, slot })
             }
@@ -356,8 +358,16 @@ mod tests {
     #[test]
     fn display_roundtrip() {
         for s in [
-            "x1203", "x1203c1", "x1203c1b0", "x1102c4s0", "x1102c4s0b0", "x1102c4s0b0n1",
-            "x1002c1r7", "x1002c1r7b0", "d0", "d3",
+            "x1203",
+            "x1203c1",
+            "x1203c1b0",
+            "x1102c4s0",
+            "x1102c4s0b0",
+            "x1102c4s0b0n1",
+            "x1002c1r7",
+            "x1002c1r7b0",
+            "d0",
+            "d3",
         ] {
             let x: XName = s.parse().unwrap();
             assert_eq!(x.to_string(), s);
@@ -377,7 +387,8 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for s in ["", "x", "y100", "x100c", "x100c1z0", "x100c1b0n0", "x100c1s0b0x", "x100c1r7b0b1"] {
+        for s in ["", "x", "y100", "x100c", "x100c1z0", "x100c1b0n0", "x100c1s0b0x", "x100c1r7b0b1"]
+        {
             assert!(s.parse::<XName>().is_err(), "should reject {s:?}");
         }
     }
@@ -385,9 +396,8 @@ mod tests {
     #[test]
     fn parent_chain() {
         let node: XName = "x1102c4s0b0n1".parse().unwrap();
-        let chain: Vec<String> = std::iter::successors(Some(node), |x| x.parent())
-            .map(|x| x.to_string())
-            .collect();
+        let chain: Vec<String> =
+            std::iter::successors(Some(node), |x| x.parent()).map(|x| x.to_string()).collect();
         assert_eq!(chain, vec!["x1102c4s0b0n1", "x1102c4s0b0", "x1102c4s0", "x1102c4", "x1102"]);
     }
 

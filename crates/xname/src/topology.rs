@@ -202,10 +202,7 @@ impl MachineTopology {
 
     /// Nodes served per switch for this spec.
     pub fn nodes_per_switch(&self) -> usize {
-        self.switches
-            .first()
-            .map(|s| self.nodes_on_switch(s).len())
-            .unwrap_or(0)
+        self.switches.first().map(|s| self.nodes_on_switch(s).len()).unwrap_or(0)
     }
 }
 
@@ -253,8 +250,7 @@ mod tests {
         let t = MachineTopology::perlmutter_like();
         // 16 nodes per chassis across 4 switches = 4 nodes per switch here;
         // the grouping invariant (equal, disjoint groups) is what matters.
-        let sizes: Vec<usize> =
-            t.switches().iter().map(|s| t.nodes_on_switch(s).len()).collect();
+        let sizes: Vec<usize> = t.switches().iter().map(|s| t.nodes_on_switch(s).len()).collect();
         assert!(sizes.iter().all(|&s| s == sizes[0]));
         assert_eq!(sizes[0], t.nodes_per_switch());
     }

@@ -24,11 +24,7 @@ fn main() {
     let mut stack = MonitoringStack::new(StackConfig::default());
     stack.install_chaos(
         ChaosEngine::new(42)
-            .inject(ChaosFault::IngesterCrash {
-                at: 2 * minute,
-                shard: 0,
-                recover_at: 6 * minute,
-            })
+            .inject(ChaosFault::IngesterCrash { at: 2 * minute, shard: 0, recover_at: 6 * minute })
             .inject(ChaosFault::SubscriptionDrop { at: 3 * minute })
             .inject(ChaosFault::BusBrownout { from: 4 * minute, until: 5 * minute })
             .inject(ChaosFault::FlakyReceiver {

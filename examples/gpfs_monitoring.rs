@@ -33,11 +33,7 @@ fn main() {
     }
 
     println!("── GPFS health events in Loki ──");
-    for r in stack
-        .pane
-        .logs(r#"{app="gpfs_monitor"}"#, 0, stack.clock.now(), 20)
-        .unwrap()
-    {
+    for r in stack.pane.logs(r#"{app="gpfs_monitor"}"#, 0, stack.clock.now(), 20).unwrap() {
         println!("  {}", r.entry.line);
     }
 

@@ -90,7 +90,11 @@ fn main() {
         stack.step(minute, 10, 5);
     }
     if let Some(mttr) = stack.servicenow.mttr_ns() {
-        println!("\nMTTR across {} incidents: {:.1} minutes", incidents.len(), mttr as f64 / minute as f64);
+        println!(
+            "\nMTTR across {} incidents: {:.1} minutes",
+            incidents.len(),
+            mttr as f64 / minute as f64
+        );
     }
     let resolved_msgs =
         stack.slack.messages().iter().filter(|m| m.text.contains("RESOLVED")).count();

@@ -43,12 +43,7 @@ fn main() {
     println!("── Figure 4: Redfish event visualization (log panel) ──");
     let logs = stack
         .pane
-        .logs(
-            r#"{data_type="redfish_event"} |= "CabinetLeakDetected""#,
-            0,
-            stack.clock.now(),
-            10,
-        )
+        .logs(r#"{data_type="redfish_event"} |= "CabinetLeakDetected""#, 0, stack.clock.now(), 10)
         .expect("query parses");
     for r in &logs {
         println!("  {}  {}", format_iso8601(r.entry.ts), r.entry.line);

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use shasta_mon::core::{Dashboard, MonitoringStack, Panel, PaneQuery, StackConfig};
+use shasta_mon::core::{Dashboard, MonitoringStack, PaneQuery, Panel, StackConfig};
 use shasta_mon::model::NANOS_PER_SEC;
 
 fn main() {
@@ -64,7 +64,13 @@ fn main() {
 
     // Kibana-style discovery over the same traffic.
     let hits = stack.omni.discover("lockup", 0, now);
-    println!("discovery: {} lines mention \"lockup\" (Elasticsearch-style term search)", hits.len());
+    println!(
+        "discovery: {} lines mention \"lockup\" (Elasticsearch-style term search)",
+        hits.len()
+    );
 
-    println!("alerts dispatched: {} (a healthy machine stays quiet)", stack.notifications_dispatched());
+    println!(
+        "alerts dispatched: {} (a healthy machine stays quiet)",
+        stack.notifications_dispatched()
+    );
 }

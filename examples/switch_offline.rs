@@ -39,12 +39,7 @@ fn main() {
     println!("── Figure 7: sample switch event ──");
     let logs = stack
         .pane
-        .logs(
-            r#"{app="fabric_manager_monitor"} |= "fm_switch_offline""#,
-            0,
-            stack.clock.now(),
-            10,
-        )
+        .logs(r#"{app="fabric_manager_monitor"} |= "fm_switch_offline""#, 0, stack.clock.now(), 10)
         .expect("query parses");
     for r in &logs {
         println!("  {}  {}  {}", format_iso8601(r.entry.ts), r.labels, r.entry.line);
@@ -91,11 +86,6 @@ fn main() {
     for _ in 0..10 {
         stack.step(minute, 5, 3);
     }
-    let resolved = stack
-        .slack
-        .messages()
-        .iter()
-        .filter(|m| m.text.contains("RESOLVED"))
-        .count();
+    let resolved = stack.slack.messages().iter().filter(|m| m.text.contains("RESOLVED")).count();
     println!("resolved notifications posted: {resolved}");
 }

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# One-shot verification gate: release build, full workspace tests, and
-# clippy (warnings denied) on the crates the resilience work touches.
+# One-shot verification gate: formatting, release build, full workspace
+# tests, clippy (warnings denied) on the crates the resilience and
+# observability work touches, and a warning-free doc build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
 
 echo "== cargo build --release =="
 cargo build --release
@@ -12,6 +16,10 @@ cargo test -q --workspace
 
 echo "== cargo clippy -D warnings (touched crates) =="
 cargo clippy -q -p omni-model -p omni-bus -p omni-telemetry -p omni-loki \
-    -p omni-alertmanager -p omni-core --all-targets -- -D warnings
+    -p omni-alertmanager -p omni-obs -p omni-exporters -p omni-core \
+    --all-targets -- -D warnings
+
+echo "== cargo doc --no-deps (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
 echo "verify: OK"

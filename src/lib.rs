@@ -23,6 +23,7 @@
 //! | Alertmanager (+ Slack) | [`alertmanager`] |
 //! | ServiceNow event management | [`servicenow`] |
 //! | Elasticsearch-style baseline | [`baseline`] |
+//! | Self-telemetry: metrics registry + tracing | [`obs`] |
 //! | The integrated framework (OMNI) | [`core`] |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use omni_json as json;
 pub use omni_logql as logql;
 pub use omni_loki as loki;
 pub use omni_model as model;
+pub use omni_obs as obs;
 pub use omni_redfish as redfish;
 pub use omni_servicenow as servicenow;
 pub use omni_shasta as shasta;

@@ -17,8 +17,7 @@ fn data_within_two_years_is_hot() {
     let omni = omni_with_two_year_retention();
     // Write one event per 30 days over two years.
     for day in (0..730).step_by(30) {
-        omni.ingest_log(labels!("app" => "history"), day * DAY + 1, format!("day {day}"))
-            .unwrap();
+        omni.ingest_log(labels!("app" => "history"), day * DAY + 1, format!("day {day}")).unwrap();
     }
     omni.clock().set(730 * DAY);
     omni.loki().enforce_retention();
@@ -45,10 +44,8 @@ fn data_beyond_two_years_expires_but_restores_from_archive() {
     // "more can be restored": bring it back from cold storage.
     let restored = omni.restore_window(0, 2 * DAY);
     assert_eq!(restored, 1);
-    let back = omni
-        .loki()
-        .query_logs(r#"{app="ancient", restored="true"}"#, 0, 2 * DAY, 10)
-        .unwrap();
+    let back =
+        omni.loki().query_logs(r#"{app="ancient", restored="true"}"#, 0, 2 * DAY, 10).unwrap();
     assert_eq!(back.len(), 1);
     assert_eq!(back[0].entry.line, "from the before-times");
 }

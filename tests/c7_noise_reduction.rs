@@ -2,7 +2,7 @@
 //! multiple alerts from the same events" via Alertmanager grouping and
 //! ServiceNow deduplication.
 
-use shasta_mon::alertmanager::{Alert, Alertmanager, AlertStatus, Route};
+use shasta_mon::alertmanager::{Alert, AlertStatus, Alertmanager, Route};
 use shasta_mon::logql::Matcher;
 use shasta_mon::model::{labels, NANOS_PER_SEC};
 use shasta_mon::servicenow::{IncidentRule, ServiceNow, SnEvent};

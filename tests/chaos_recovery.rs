@@ -33,6 +33,7 @@ struct RunOutcome {
     syslog_count: usize,
     container_count: usize,
     pre_crash_syslog: usize,
+    leak_timeline: String,
 }
 
 fn run_scenario(seed: u64) -> RunOutcome {
@@ -40,12 +41,14 @@ fn run_scenario(seed: u64) -> RunOutcome {
     stack.install_chaos(chaos_schedule(seed));
 
     let mut slack_expected = 0;
+    let mut leak_context = String::new();
     for i in 1..=STEPS {
         // The leak fires after the shard has recovered; its 60m LogQL
         // window keeps it visible regardless.
         if i == 7 {
             let chassis = stack.machine.topology().chassis()[3];
-            stack.inject_leak(chassis, 'A', LeakZone::Front);
+            let event = stack.inject_leak(chassis, 'A', LeakZone::Front);
+            leak_context = event.context.to_string();
         }
         let notifications = stack.step(MINUTE, SYSLOG_PER_STEP, CONTAINER_PER_STEP);
         slack_expected += notifications.iter().filter(|n| n.receiver == "slack").count();
@@ -55,6 +58,7 @@ fn run_scenario(seed: u64) -> RunOutcome {
     let count = |selector: &str, from: i64, to: i64| {
         stack.pane.logs(selector, from, to, usize::MAX).unwrap().len()
     };
+    let leak_trace = stack.traces().lookup(&leak_context).expect("leak event must be traced");
     RunOutcome {
         report: stack.resilience_report().render(),
         slack_expected,
@@ -63,6 +67,7 @@ fn run_scenario(seed: u64) -> RunOutcome {
         container_count: count(r#"{data_type="container_log"}"#, 0, end),
         // Lines ingested before the t+2m crash, queried after recovery.
         pre_crash_syslog: count(r#"{data_type="syslog"}"#, 0, MINUTE + 1),
+        leak_timeline: stack.traces().render_timeline(leak_trace),
     }
 }
 
@@ -135,4 +140,73 @@ fn same_seed_renders_byte_identical_resilience_reports() {
     // The report carries the chaos line (an engine was installed).
     assert!(a.report.contains("chaos:"), "{}", a.report);
     assert!(a.report.contains("crashes 1"), "{}", a.report);
+    // The traced leak renders the same byte-identical timeline too.
+    assert_eq!(a.leak_timeline, b.leak_timeline, "trace timelines must replay identically");
+}
+
+#[test]
+fn fault_window_visible_in_self_metrics() {
+    // The monitor monitors itself: the t+4m..t+5m bus brownout shows up
+    // as a rectangular pulse on `omni_bus_unavailable` — a gauge fed by
+    // the self-telemetry registry, scraped by vmagent into the TSDB, and
+    // queried back through the same pane operators use.
+    let mut stack = MonitoringStack::new(StackConfig::default());
+    stack.install_chaos(chaos_schedule(42));
+    for i in 1..=STEPS {
+        if i == 7 {
+            let chassis = stack.machine.topology().chassis()[3];
+            stack.inject_leak(chassis, 'A', LeakZone::Front);
+        }
+        stack.step(MINUTE, SYSLOG_PER_STEP, CONTAINER_PER_STEP);
+    }
+
+    let matrix = stack
+        .pane
+        .metric_range("omni_bus_unavailable", MINUTE, (STEPS as i64) * MINUTE, MINUTE)
+        .unwrap();
+    assert_eq!(matrix.len(), 1, "one self-scrape series expected");
+    let samples = &matrix[0].1;
+    assert_eq!(samples.len(), STEPS, "one sample per scrape tick");
+    for s in samples {
+        let inside = s.ts >= 4 * MINUTE && s.ts < 5 * MINUTE;
+        let want = if inside { 1.0 } else { 0.0 };
+        assert_eq!(s.value, want, "unavailability gauge wrong at t+{}m", s.ts / MINUTE);
+    }
+
+    // The crash window is visible the same way: shards down from the
+    // t+2m crash until the t+6m recovery.
+    let down = stack
+        .pane
+        .metric_range("omni_loki_shards_down", MINUTE, (STEPS as i64) * MINUTE, MINUTE)
+        .unwrap();
+    for s in &down[0].1 {
+        let inside = s.ts >= 2 * MINUTE && s.ts < 6 * MINUTE;
+        let want = if inside { 1.0 } else { 0.0 };
+        assert_eq!(s.value, want, "shards-down gauge wrong at t+{}m", s.ts / MINUTE);
+    }
+
+    // And the delivery retries the flaky Slack webhook forced are
+    // counted by the registry, not just the ad-hoc stats struct.
+    let retried =
+        stack.pane.metric_instant("omni_delivery_retried_total", stack.clock.now()).unwrap();
+    assert!(retried[0].1 > 0.0, "flaky webhook retries must surface in self-metrics");
+}
+
+#[test]
+fn traced_leak_covers_every_stage_despite_chaos() {
+    let out = run_scenario(42);
+    let t = &out.leak_timeline;
+    for stage in [
+        "collect",
+        "kafka",
+        "loki_ingest",
+        "alert_rule",
+        "alertmanager",
+        "deliver_slack",
+        "deliver_servicenow",
+        "servicenow_incident",
+    ] {
+        assert!(t.contains(stage), "stage {stage} missing from timeline:\n{t}");
+    }
+    assert!(t.contains("event -> incident latency:"), "{t}");
 }

@@ -19,10 +19,8 @@ fn malformed_redfish_payloads_are_dropped_not_fatal() {
     }
     stack.step(MINUTE, 5, 5);
     // The pipeline survived; no redfish events were stored.
-    let events = stack
-        .pane
-        .logs(r#"{data_type="redfish_event"}"#, 0, stack.clock.now(), 10)
-        .unwrap();
+    let events =
+        stack.pane.logs(r#"{data_type="redfish_event"}"#, 0, stack.clock.now(), 10).unwrap();
     assert!(events.is_empty());
     // And the healthy traffic still flowed.
     assert!(!stack
@@ -71,9 +69,7 @@ fn regex_bomb_in_query_fails_safe() {
     loki.push(labels!("app" => "x"), 1, line).unwrap();
     // Pathological backtracking pattern: the engine's step budget turns it
     // into a non-match instead of a hang.
-    let out = loki
-        .query_logs(r#"{app="x"} |~ "(a+)+$""#, 0, 10, 10)
-        .unwrap();
+    let out = loki.query_logs(r#"{app="x"} |~ "(a+)+$""#, 0, 10, 10).unwrap();
     assert!(out.is_empty());
 }
 
@@ -121,10 +117,7 @@ fn slow_tail_subscriber_drops_but_pipeline_continues() {
 fn query_against_empty_store_is_clean() {
     let loki = LokiCluster::new(4, Limits::default(), SimClock::starting_at(0));
     assert!(loki.query_logs(r#"{any="thing"}"#, 0, i64::MAX / 2, 10).unwrap().is_empty());
-    assert!(loki
-        .query_instant(r#"sum(count_over_time({a="b"}[1h]))"#, MINUTE)
-        .unwrap()
-        .is_empty());
+    assert!(loki.query_instant(r#"sum(count_over_time({a="b"}[1h]))"#, MINUTE).unwrap().is_empty());
 }
 
 #[test]

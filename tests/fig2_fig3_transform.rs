@@ -42,11 +42,8 @@ fn figure2_decodes_and_transforms_to_figure3() {
     let record = redfish_to_loki(&events[0], "perlmutter");
 
     // Figure 3 stream labels.
-    let expected_labels: Vec<(&str, &str)> = vec![
-        ("Context", "x1203c1b0"),
-        ("cluster", "perlmutter"),
-        ("data_type", "redfish_event"),
-    ];
+    let expected_labels: Vec<(&str, &str)> =
+        vec![("Context", "x1203c1b0"), ("cluster", "perlmutter"), ("data_type", "redfish_event")];
     assert_eq!(record.labels.iter().collect::<Vec<_>>(), expected_labels);
 
     // Figure 3 value: ["1646272077000000000", '{...}'].

@@ -23,12 +23,7 @@ fn loki_with_paper_event() -> (LokiCluster, i64) {
 fn fig4_event_query_returns_the_event() {
     let (loki, ts) = loki_with_paper_event();
     let records = loki
-        .query_logs(
-            r#"{data_type="redfish_event"} |= "CabinetLeakDetected""#,
-            0,
-            ts + HOUR,
-            100,
-        )
+        .query_logs(r#"{data_type="redfish_event"} |= "CabinetLeakDetected""#, 0, ts + HOUR, 100)
         .unwrap();
     assert_eq!(records.len(), 1);
     assert_eq!(records[0].entry.ts, ts);

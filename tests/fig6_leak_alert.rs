@@ -58,11 +58,7 @@ fn for_hold_prevents_instant_firing() {
     // 30 seconds later: pipeline has run but the 1-minute hold has not
     // elapsed; nothing in Slack from the Ruler's leak rule yet.
     stack.step(30 * NANOS_PER_SEC, 0, 0);
-    assert!(stack
-        .slack
-        .messages()
-        .iter()
-        .all(|m| !m.text.contains("PerlmutterCabinetLeak")));
+    assert!(stack.slack.messages().iter().all(|m| !m.text.contains("PerlmutterCabinetLeak")));
 }
 
 #[test]

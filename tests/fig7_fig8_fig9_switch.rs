@@ -58,9 +58,8 @@ fn fig8_rule_fires_through_monitoring_stack() {
     let mut firing = false;
     for _ in 0..4 {
         let notifs = stack.step(MINUTE, 0, 0);
-        firing |= notifs.iter().any(|n| {
-            n.alerts.iter().any(|a| a.name() == "PerlmutterSwitchOffline")
-        });
+        firing |=
+            notifs.iter().any(|n| n.alerts.iter().any(|a| a.name() == "PerlmutterSwitchOffline"));
     }
     assert!(firing, "switch-offline rule must fire");
 }

@@ -37,11 +37,9 @@ fn logs_and_metrics_flow_without_loss() {
         syslog_in += 25;
     }
     // Everything the generators produced arrived in Loki.
-    let syslog_stored = stack
-        .pane
-        .logs(r#"{data_type="syslog"}"#, 0, stack.clock.now(), usize::MAX)
-        .unwrap()
-        .len() as u64;
+    let syslog_stored =
+        stack.pane.logs(r#"{data_type="syslog"}"#, 0, stack.clock.now(), usize::MAX).unwrap().len()
+            as u64;
     assert_eq!(syslog_stored, syslog_in);
     let container_stored = stack
         .pane
@@ -53,10 +51,8 @@ fn logs_and_metrics_flow_without_loss() {
     assert_eq!(errors, 0);
     // Metric side: one temperature series per node plus supply/return
     // loops per CDU.
-    let v = stack
-        .pane
-        .metric_instant("count(shasta_temperature_celsius)", stack.clock.now())
-        .unwrap();
+    let v =
+        stack.pane.metric_instant("count(shasta_temperature_celsius)", stack.clock.now()).unwrap();
     let nodes = stack.machine.topology().nodes().len() as f64;
     let cdus = stack.machine.topology().cdus().len() as f64;
     assert_eq!(v[0].1, nodes + 2.0 * cdus);
@@ -81,8 +77,8 @@ fn vmagent_up_metric_covers_all_exporters() {
     let mut stack = MonitoringStack::new(StackConfig::default());
     stack.step(MINUTE, 0, 0);
     let up = stack.pane.metric_instant("up", stack.clock.now()).unwrap();
-    // node, kafka, blackbox, aruba, gpfs exporters.
-    assert_eq!(up.len(), 5);
+    // node, kafka, blackbox, aruba, gpfs exporters + the self-scrape job.
+    assert_eq!(up.len(), 6);
     assert!(up.iter().all(|(_, v)| *v == 1.0));
 }
 
@@ -182,10 +178,7 @@ fn chunks_offload_to_disk_tier_during_long_runs() {
         "sealed chunks older than an hour must move to the disk tier"
     );
     // Early entries live only in the disk tier now, yet still answer.
-    let early = stack
-        .pane
-        .logs(r#"{data_type="syslog"}"#, 0, 30 * MINUTE, usize::MAX)
-        .unwrap();
+    let early = stack.pane.logs(r#"{data_type="syslog"}"#, 0, 30 * MINUTE, usize::MAX).unwrap();
     assert!(!early.is_empty(), "offloaded history must stay queryable");
 }
 

@@ -50,9 +50,7 @@ fn gpfs_fault_self_heals_and_incident_resolves() {
     let incidents = stack.servicenow.incidents();
     assert!(!incidents.is_empty());
     assert!(
-        incidents
-            .iter()
-            .any(|i| i.state == shasta_mon::servicenow::IncidentState::Resolved),
+        incidents.iter().any(|i| i.state == shasta_mon::servicenow::IncidentState::Resolved),
         "incidents: {incidents:?}"
     );
     assert!(stack.servicenow.mttr_ns().is_some());

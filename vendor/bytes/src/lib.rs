@@ -2,7 +2,6 @@
 //! immutable reference-counted byte buffer whose clones share storage.
 #![allow(clippy::all)]
 
-
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;

@@ -8,7 +8,6 @@
 //! and runnable offline; not a measurement-grade harness.
 #![allow(clippy::all)]
 
-
 use std::fmt::Display;
 use std::time::Instant;
 

@@ -5,7 +5,6 @@
 //! blocking `recv`, with disconnect detection on both ends.
 #![allow(clippy::all)]
 
-
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;

@@ -7,7 +7,6 @@
 //! poisoned std lock reproduces the same semantics).
 #![allow(clippy::all)]
 
-
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning `lock()`.

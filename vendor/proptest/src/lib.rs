@@ -12,7 +12,6 @@
 //! failed assertions panic directly with the offending message.
 #![allow(clippy::all)]
 
-
 pub mod rng {
     /// Deterministic splitmix64 generator used for all test data.
     #[derive(Debug, Clone)]
@@ -194,8 +193,7 @@ pub mod strategy {
         type Value = char;
         fn generate(&self, rng: &mut TestRng) -> char {
             let span = self.end as u32 - self.start as u32;
-            char::from_u32(self.start as u32 + rng.below(span as u64) as u32)
-                .unwrap_or(self.start)
+            char::from_u32(self.start as u32 + rng.below(span as u64) as u32).unwrap_or(self.start)
         }
     }
 
@@ -491,10 +489,7 @@ pub mod test_runner {
     /// Number of cases each property runs. Overridable (lower only makes
     /// sense for expensive properties) via `PROPTEST_CASES`.
     pub fn cases() -> u32 {
-        std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(64)
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
     }
 
     /// Run `body` for each case with a deterministic per-test RNG.
@@ -516,7 +511,9 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::sample;
     pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
     pub mod prop {

@@ -7,7 +7,6 @@
 //! repo uses (`f64`, `u32`, `u64`, `i64`, `usize`).
 #![allow(clippy::all)]
 
-
 use std::ops::Range;
 
 /// Trait for RNGs constructible from a seed.
@@ -162,7 +161,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(2);
-        let same = (0..32).filter(|_| a.gen_range(0u64..1_000_000) == b.gen_range(0u64..1_000_000)).count();
+        let same = (0..32)
+            .filter(|_| a.gen_range(0u64..1_000_000) == b.gen_range(0u64..1_000_000))
+            .count();
         assert!(same < 4);
     }
 }
