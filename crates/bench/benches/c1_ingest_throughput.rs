@@ -6,12 +6,130 @@
 //! elements/second to compare against the paper's 400k msg/s figure.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use omni_bench::syslog_corpus;
+use omni_bench::{quick_mode, syslog_corpus, write_pr3_section};
+use omni_json::jsonv;
 use omni_loki::{Limits, LokiCluster};
-use omni_model::{labels, SimClock};
+use omni_model::{labels, LabelSet, LogEntry, LogRecord, SimClock};
 use omni_tsdb::{Tsdb, TsdbConfig};
+use std::time::Instant;
+
+/// PR3 before/after, fixed seed: the same corpus pushed three ways.
+///
+/// * **per-record** — `push_record`, the old hot path: every message pays
+///   the fingerprint-cache probe, its own WAL record (labels re-encoded
+///   each time), and one ingester lock round-trip.
+/// * **record-batched** — `push_record_batch`: one WAL segment append and
+///   one ingester lock per shard per batch, run-framed WAL records, and
+///   the consecutive-run fingerprint fast path.
+/// * **batched (stream-framed)** — `push_stream_batch`, the Loki push
+///   protocol's native shape (one label set + its entries, which is also
+///   exactly what a source bridge drains per pump round): the whole frame
+///   pays for labels once — fingerprint, routing, WAL framing, and the
+///   ingester lock — and each entry costs only the stream append.
+///
+/// The corpus is stream-contiguous (what batching producers emit) and
+/// sized so no chunk seals mid-run: seal/compression cost is identical
+/// across paths and is benched separately (c2). The headline `speedup`
+/// compares stream-framed batching against per-record. Owns the `ingest`
+/// section of BENCH_PR3.json; quick mode shrinks the workload and only
+/// prints.
+fn pr3_ingest_report() {
+    let quick = quick_mode();
+    let n = if quick { 8_000 } else { 50_000 };
+    let runs = if quick { 2 } else { 5 };
+    let streams = 64usize;
+    let batch_size = 1_024;
+    let mut corpus = syslog_corpus(n, streams);
+    corpus.sort_by(|a, b| a.labels.get("stream").cmp(&b.labels.get("stream")));
+    // Pre-built inputs so the timed region only moves records: cloning
+    // line strings inside the timer is allocator traffic that would swamp
+    // the path cost being measured.
+    let chunked: Vec<Vec<LogRecord>> = corpus.chunks(batch_size).map(<[_]>::to_vec).collect();
+    let frames: Vec<(LabelSet, Vec<LogEntry>)> = {
+        let mut frames = Vec::new();
+        let mut i = 0;
+        while i < corpus.len() {
+            let j = (i..corpus.len())
+                .find(|&k| corpus[k].labels != corpus[i].labels)
+                .unwrap_or(corpus.len());
+            for chunk in corpus[i..j].chunks(batch_size) {
+                let entries: Vec<LogEntry> = chunk.iter().map(|r| r.entry.clone()).collect();
+                frames.push((corpus[i].labels.clone(), entries));
+            }
+            i = j;
+        }
+        frames
+    };
+
+    fn timed<T: Clone>(runs: usize, n: usize, data: &T, run: impl Fn(&LokiCluster, T)) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let cluster = LokiCluster::new(8, Limits::default(), SimClock::starting_at(0));
+            let data = data.clone();
+            let start = Instant::now();
+            run(&cluster, data);
+            best = best.min(start.elapsed().as_secs_f64());
+            assert_eq!(cluster.stats().entries, n as u64);
+        }
+        best
+    }
+
+    let per_record = timed(runs, n, &corpus, |cluster, corpus| {
+        for r in corpus {
+            cluster.push_record(r).unwrap();
+        }
+    });
+    let record_batched = timed(runs, n, &chunked, |cluster, batches| {
+        for batch in batches {
+            for result in cluster.push_record_batch(batch) {
+                result.unwrap();
+            }
+        }
+    });
+    let framed = timed(runs, n, &frames, |cluster, frames| {
+        for (labels, entries) in frames {
+            for result in cluster.push_stream_batch(labels, entries) {
+                result.unwrap();
+            }
+        }
+    });
+
+    let rate = |secs: f64| n as f64 / secs;
+    let speedup = rate(framed) / rate(per_record);
+    let record_batch_speedup = rate(record_batched) / rate(per_record);
+    println!(
+        "pr3 ingest: per-record {:.0} msg/s, record-batched {:.0} msg/s \
+         ({record_batch_speedup:.2}x), stream-framed batched {:.0} msg/s ({speedup:.2}x)",
+        rate(per_record),
+        rate(record_batched),
+        rate(framed),
+    );
+    if !quick {
+        write_pr3_section(
+            "ingest",
+            jsonv!({
+                "messages": (n),
+                "streams": (streams),
+                "batch_size": (batch_size),
+                "runs_best_of": (runs),
+                "per_record_seconds": (per_record),
+                "batched_seconds": (framed),
+                "per_record_msgs_per_sec": (rate(per_record)),
+                "batched_msgs_per_sec": (rate(framed)),
+                "speedup": (speedup),
+                "record_batched_msgs_per_sec": (rate(record_batched)),
+                "record_batch_speedup": (record_batch_speedup),
+            }),
+        );
+    }
+}
 
 fn bench(c: &mut Criterion) {
+    pr3_ingest_report();
+    if quick_mode() {
+        return;
+    }
+
     let mut g = c.benchmark_group("c1_ingest_throughput");
     g.sample_size(10);
 

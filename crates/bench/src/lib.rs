@@ -1,9 +1,11 @@
 //! Shared workload helpers for the benchmark suite.
 
+use omni_json::{parse, Json};
 use omni_loki::{Limits, LokiCluster};
 use omni_model::{LabelSet, LogRecord, SimClock, NANOS_PER_SEC};
 use omni_shasta::{ShastaMachine, SyslogGenerator};
 use omni_xname::TopologySpec;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Deterministic corpus of syslog-shaped records: `n` lines spread over
@@ -44,4 +46,32 @@ pub fn loaded_cluster(shards: usize, n: usize, streams: usize) -> LokiCluster {
 /// Window end covering the whole corpus.
 pub fn corpus_end() -> i64 {
     10_000 * NANOS_PER_SEC
+}
+
+/// Whether the bench binary was invoked with `--quick` (the verify.sh
+/// smoke mode). The vendored criterion shim ignores CLI flags, so benches
+/// check the raw argument list themselves: quick mode shrinks workloads
+/// and skips the report write so a smoke run never dirties the tree.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Repo-root path of the machine-readable PR3 report.
+pub fn pr3_report_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_PR3.json")
+}
+
+/// Merge one named section into `BENCH_PR3.json` (read-modify-write, so
+/// the ingest and range-query benches can run in either order and each
+/// owns exactly one top-level key).
+pub fn write_pr3_section(section: &str, value: Json) {
+    let path = pr3_report_path();
+    let mut root = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| parse(&text).ok())
+        .filter(|v| matches!(v, Json::Object(_)))
+        .unwrap_or_else(|| Json::Object(Vec::new()));
+    root.set(section, value).expect("report root is an object");
+    std::fs::write(&path, root.pretty(2) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
 }

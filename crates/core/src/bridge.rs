@@ -34,7 +34,7 @@ use omni_bus::{Broker, BusError, TopicConfig};
 use omni_json::jsonv;
 use omni_loki::IngestError;
 use omni_model::{fnv1a64, LabelSet, LogRecord, RetryPolicy, RetryState, Timestamp};
-use omni_obs::{format_trace_id, parse_trace_id, TraceStore, TRACE_HEADER};
+use omni_obs::{format_trace_id, parse_trace_id, Histogram, TraceStore, TRACE_HEADER};
 use omni_redfish::{topics, RedfishEvent, SensorReading};
 use omni_telemetry::{ApiError, TelemetryApi, Token};
 use omni_tsdb::Tsdb;
@@ -110,6 +110,7 @@ pub struct LogBridge {
     client_id: String,
     broker: Broker,
     tracer: Option<TraceStore>,
+    batch_hist: Option<Histogram>,
     cursors: Vec<Cursor>,
     in_flight: Vec<InFlight>,
     dead_backlog: Vec<(String, String)>,
@@ -152,6 +153,7 @@ impl LogBridge {
             client_id: "log-bridge".to_string(),
             broker: broker.clone(),
             tracer: None,
+            batch_hist: None,
             cursors,
             in_flight: Vec::new(),
             dead_backlog: Vec::new(),
@@ -174,18 +176,32 @@ impl LogBridge {
         self.tracer = Some(tracer);
     }
 
+    /// Attach a histogram that observes the size of every batch pushed to
+    /// Loki — the operator-facing view of how well the bridge amortises
+    /// its ingest locking.
+    pub fn set_batch_histogram(&mut self, hist: Histogram) {
+        self.batch_hist = Some(hist);
+    }
+
     /// One consumption round at virtual time `now`: retry parked records
     /// that are due, then pull every topic forward. Returns records pushed
     /// to Loki in this pump.
+    ///
+    /// Records converted from the fetched messages accumulate in a pending
+    /// buffer and go to Loki as one batch per `(topic, partition)` fetch
+    /// round, so the ingesters take one lock per round instead of one per
+    /// record. Outcomes stay per-record: each entry in the batch result is
+    /// stored, parked, or dead-lettered exactly as the per-record path did.
     pub fn pump(&mut self, now: Timestamp) -> u64 {
         let mut pushed = 0;
         self.flush_dead_backlog();
         self.retry_in_flight(now, &mut pushed);
+        let mut pending: Vec<LogRecord> = Vec::new();
         'fetch: for c in 0..self.cursors.len() {
             let topic = self.cursors[c].topic;
             for part in 0..self.cursors[c].offsets.len() {
                 loop {
-                    if self.in_flight.len() >= self.max_in_flight {
+                    if self.in_flight.len() + pending.len() >= self.max_in_flight {
                         // Backpressure: stop consuming until retries drain.
                         break 'fetch;
                     }
@@ -211,17 +227,22 @@ impl LogBridge {
                         break;
                     }
                     for msg in msgs {
-                        if self.in_flight.len() >= self.max_in_flight {
+                        if self.in_flight.len() + pending.len() >= self.max_in_flight {
                             // Unconsumed messages re-fetch next pump.
                             break 'fetch;
                         }
                         let next = msg.offset + 1;
-                        self.handle_message(topic, msg, now, &mut pushed);
+                        self.handle_message(topic, msg, now, &mut pending);
                         self.cursors[c].offsets[part] = next;
                     }
+                    // One batched push per fetch round keeps the pending
+                    // buffer bounded by FETCH_BATCH plus a few multi-event
+                    // payloads.
+                    self.flush_pending(&mut pending, now, &mut pushed);
                 }
             }
         }
+        self.flush_pending(&mut pending, now, &mut pushed);
         self.commit_cursors();
         self.pushed += pushed;
         pushed
@@ -244,7 +265,7 @@ impl LogBridge {
         topic: &str,
         msg: omni_bus::Message,
         now: Timestamp,
-        pushed: &mut u64,
+        pending: &mut Vec<LogRecord>,
     ) {
         let payload = String::from_utf8_lossy(&msg.payload).into_owned();
         if topic == topics::RESOURCE_EVENTS {
@@ -274,7 +295,7 @@ impl LogBridge {
                 if let Some(id) = trace {
                     record.labels.insert("trace_id", format_trace_id(id));
                 }
-                self.ingest(record, now, pushed);
+                pending.push(record);
             }
             return;
         }
@@ -305,7 +326,7 @@ impl LogBridge {
             ]),
             _ => return,
         };
-        self.ingest(LogRecord::new(labels, msg.ts, payload), now, pushed);
+        pending.push(LogRecord::new(labels, msg.ts, payload));
     }
 
     /// The trace id a record carries (attached in [`Self::handle_message`]).
@@ -315,25 +336,39 @@ impl LogBridge {
         Some((tracer, id))
     }
 
-    /// Push one record; transient failures park it, permanent ones
-    /// dead-letter it.
-    fn ingest(&mut self, record: LogRecord, now: Timestamp, pushed: &mut u64) {
-        if let Some((tracer, id)) = self.record_trace(&record) {
-            // Idempotent while open: a parked record keeps its original
-            // start, so the closed span shows the full retry window.
-            tracer.begin_span(id, "loki_ingest", now, "");
+    /// Push the pending records as one batch; per-record outcomes keep
+    /// the per-record semantics: transient failures park the record,
+    /// permanent ones dead-letter it.
+    fn flush_pending(&mut self, pending: &mut Vec<LogRecord>, now: Timestamp, pushed: &mut u64) {
+        if pending.is_empty() {
+            return;
         }
-        match self.omni.ingest_record(record.clone()) {
-            Ok(()) => {
-                *pushed += 1;
-                if let Some((tracer, id)) = self.record_trace(&record) {
-                    tracer.end_span(id, "loki_ingest", now, "stored");
-                }
+        let batch = std::mem::take(pending);
+        if let Some(hist) = &self.batch_hist {
+            hist.observe(batch.len() as f64);
+        }
+        for record in &batch {
+            if let Some((tracer, id)) = self.record_trace(record) {
+                // Idempotent while open: a parked record keeps its
+                // original start, so the closed span shows the full
+                // retry window.
+                tracer.begin_span(id, "loki_ingest", now, "");
             }
-            Err(IngestError::AllShardsDown) => self.park(record, now),
-            Err(_) => {
-                self.errors += 1;
-                self.dead_letter("rejected-ingest", &record.entry.line);
+        }
+        let results = self.omni.ingest_batch(batch.clone());
+        for (record, result) in batch.into_iter().zip(results) {
+            match result {
+                Ok(()) => {
+                    *pushed += 1;
+                    if let Some((tracer, id)) = self.record_trace(&record) {
+                        tracer.end_span(id, "loki_ingest", now, "stored");
+                    }
+                }
+                Err(IngestError::AllShardsDown) => self.park(record, now),
+                Err(_) => {
+                    self.errors += 1;
+                    self.dead_letter("rejected-ingest", &record.entry.line);
+                }
             }
         }
     }

@@ -145,6 +145,22 @@ impl Omni {
         self.loki.push_record(record)
     }
 
+    /// Metered batch ingest: one metering pass, one batched Loki push.
+    /// Returns per-record outcomes in input order, so callers keep their
+    /// per-record retry/dead-letter handling.
+    pub fn ingest_batch(&self, records: Vec<LogRecord>) -> Vec<Result<(), IngestError>> {
+        self.messages_in.fetch_add(records.len() as u64, Ordering::Relaxed);
+        let bytes: u64 = records.iter().map(|r| r.entry.line.len() as u64).sum();
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(discovery) = &self.discovery {
+            let mut store = discovery.lock();
+            for record in &records {
+                store.ingest(record.labels.clone(), record.entry.ts, record.entry.line.clone());
+            }
+        }
+        self.loki.push_record_batch(records)
+    }
+
     /// Kibana-style term discovery over `(start, end]`. Returns matching
     /// documents, or an empty vec when the discovery tier is disabled.
     pub fn discover(&self, term: &str, start: Timestamp, end: Timestamp) -> Vec<Document> {
@@ -231,6 +247,21 @@ mod tests {
         let (msgs, bytes) = o.ingest_totals();
         assert_eq!(msgs, 2);
         assert_eq!(bytes, 10);
+    }
+
+    #[test]
+    fn batch_ingest_meters_and_stores() {
+        let o = omni().with_discovery();
+        let records: Vec<LogRecord> =
+            (0..10).map(|i| LogRecord::new(labels!("app" => "b"), i, "0123456789")).collect();
+        let results = o.ingest_batch(records);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let (msgs, bytes) = o.ingest_totals();
+        assert_eq!(msgs, 10);
+        assert_eq!(bytes, 100);
+        assert_eq!(o.loki().query_logs(r#"{app="b"}"#, -1, 100, usize::MAX).unwrap().len(), 10);
+        let (docs, _, _) = o.discovery_stats();
+        assert_eq!(docs, 10, "discovery tier sees every batched record");
     }
 
     #[test]

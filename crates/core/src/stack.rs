@@ -78,6 +78,15 @@ impl Default for StackConfig {
     }
 }
 
+/// Bucket bounds for the ingest batch-size histogram (records per
+/// batched Loki push): powers of two up to the bridge's fetch batch.
+const INGEST_BATCH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+/// Bucket bounds for the chunk fill-ratio histogram (uncompressed bytes
+/// at seal time over the configured chunk target). Ratios near 1.0 are
+/// full, size-triggered seals; low ratios are age-triggered seals.
+const CHUNK_FILL_BUCKETS: &[f64] = &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0];
+
 /// The assembled pipeline.
 pub struct MonitoringStack {
     /// Shared virtual clock.
@@ -166,6 +175,12 @@ impl MonitoringStack {
         let mut log_bridge =
             LogBridge::new(&api, &token, omni.clone(), &config.cluster_name, &broker).unwrap();
         log_bridge.set_tracer(traces.clone());
+        log_bridge.set_batch_histogram(registry.histogram(
+            "omni_ingest_batch_size",
+            "Records per batched Loki push from the log bridge.",
+            labels!(),
+            INGEST_BATCH_BUCKETS,
+        ));
         let log_bridge = Arc::new(parking_lot::Mutex::new(log_bridge));
         let metric_bridge = Arc::new(parking_lot::Mutex::new(
             MetricBridge::new(&api, &token, omni.tsdb().clone(), &config.cluster_name, &broker)
@@ -459,6 +474,15 @@ impl MonitoringStack {
         // older than an hour to the disk tier ("chunks are first stored
         // in memory, and then moved to disk").
         self.omni.loki().tick();
+        let fill = self.registry.histogram(
+            "omni_chunk_fill_ratio",
+            "Uncompressed size of sealed chunks relative to the chunk target.",
+            labels!(),
+            CHUNK_FILL_BUCKETS,
+        );
+        for ratio in self.omni.loki().take_seal_fill_ratios() {
+            fill.observe(ratio);
+        }
         self.omni.loki().offload(3_600 * NANOS_PER_SEC);
         // 7. Rule evaluation → Alertmanager, correlating alerts back to
         // their traces via the Context label the pipeline carries.
@@ -1056,6 +1080,34 @@ mod tests {
             "slack messages: {msgs:?}"
         );
         assert!(msgs.iter().any(|m| m.text.contains(&switch.to_string())));
+    }
+
+    #[test]
+    fn batching_self_telemetry_populates() {
+        // Small chunk target so seals happen within a few steps.
+        let config = StackConfig {
+            limits: Limits { chunk_target_bytes: 512, ..Default::default() },
+            ..StackConfig::default()
+        };
+        let mut stack = MonitoringStack::new(config);
+        for _ in 0..3 {
+            stack.step(minute(), 200, 50);
+        }
+        let batch = stack.registry().histogram(
+            "omni_ingest_batch_size",
+            "Records per batched Loki push from the log bridge.",
+            labels!(),
+            INGEST_BATCH_BUCKETS,
+        );
+        assert!(batch.count() > 0, "log bridge pushed batches");
+        assert!(batch.sum() > batch.count() as f64, "batches carry more than one record");
+        let fill = stack.registry().histogram(
+            "omni_chunk_fill_ratio",
+            "Uncompressed size of sealed chunks relative to the chunk target.",
+            labels!(),
+            CHUNK_FILL_BUCKETS,
+        );
+        assert!(fill.count() > 0, "sealed chunks fed the fill-ratio histogram");
     }
 
     #[test]

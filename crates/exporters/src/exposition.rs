@@ -46,10 +46,33 @@ impl MetricFamily {
     }
 }
 
+/// Is `name` a valid Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+/// Shared by the renderer and the parser so the two sides agree.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
 /// Render families to exposition text.
+///
+/// A family with an invalid metric name degrades to an error comment
+/// instead of being rendered: one misnamed collector family would
+/// otherwise produce an unparseable sample line and poison the *entire*
+/// page for every conforming scraper.
 pub fn render_exposition(families: &[MetricFamily]) -> String {
     let mut out = String::new();
     for f in families {
+        if !valid_metric_name(&f.name) {
+            out.push_str(&format!(
+                "# omni-exporter error: dropped family with invalid metric name {:?}\n",
+                f.name
+            ));
+            continue;
+        }
         out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
         out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind));
         for (labels, value) in &f.samples {
@@ -144,10 +167,7 @@ pub fn parse_exposition(text: &str) -> Result<Vec<MetricRecord>, ExpositionError
         } else {
             (name_and_labels.trim(), LabelSet::new())
         };
-        if name.is_empty()
-            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
-            || name.chars().next().unwrap().is_ascii_digit()
-        {
+        if !valid_metric_name(name) {
             return Err(err(format!("invalid metric name {name:?}")));
         }
         out.push(MetricRecord::new(name, labels, 0, value));
@@ -285,9 +305,33 @@ mod tests {
             "m{a=\"x} 3",
             "m{=\"x\"} 3",
             "m not_a_number",
+            "{a=\"b\"} 3",
         ] {
             assert!(parse_exposition(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn invalid_family_name_cannot_poison_the_page() {
+        // Pre-fix, an empty or malformed family name rendered a sample
+        // line the parser chokes on — and because a scrape parses the
+        // whole page or nothing, one bad collector blinded the entire
+        // self-telemetry job. Bad families must degrade to a comment.
+        let mut empty_name = MetricFamily::gauge("", "anonymous");
+        empty_name.sample(LabelSet::new(), 1.0);
+        let mut spaced = MetricFamily::gauge("has space", "spaced out");
+        spaced.sample(LabelSet::new(), 2.0);
+        let mut digit_led = MetricFamily::counter("9lives_total", "cats");
+        digit_led.sample(LabelSet::new(), 9.0);
+        let mut good = MetricFamily::gauge("good_metric", "Survives.");
+        good.sample(labels!("ok" => "yes"), 3.0);
+
+        let text = render_exposition(&[empty_name, spaced, digit_led, good]);
+        assert_eq!(text.matches("invalid metric name").count(), 3, "{text:?}");
+        let records = parse_exposition(&text).expect("page must stay parseable");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name(), Some("good_metric"));
+        assert_eq!(records[0].sample.value, 3.0);
     }
 
     #[test]

@@ -20,7 +20,7 @@ mod parse;
 mod value;
 
 pub use parse::{parse, JsonParseError};
-pub use value::{flatten, Json};
+pub use value::{flatten, Json, JsonTypeError};
 
 /// Convenience macro for building [`Json`] literals.
 ///

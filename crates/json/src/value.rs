@@ -2,6 +2,24 @@
 
 use std::fmt;
 
+/// A type-mismatch error from a mutation that expected a specific
+/// variant (e.g. [`Json::set`] on a non-object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonTypeError {
+    /// The variant the operation needed.
+    pub expected: &'static str,
+    /// The variant it found.
+    pub found: &'static str,
+}
+
+impl fmt::Display for JsonTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected a JSON {}, found a {}", self.expected, self.found)
+    }
+}
+
+impl std::error::Error for JsonTypeError {}
+
 /// A JSON value. Objects are stored as insertion-ordered `(key, value)`
 /// vectors so serialization is deterministic — necessary for reproducing
 /// the paper's Figure 3 payload byte-for-byte.
@@ -43,17 +61,33 @@ impl Json {
         }
     }
 
-    /// Insert or replace a field on an object. Panics when called on a
-    /// non-object — a programming error, not a data error.
-    pub fn set(&mut self, key: impl Into<String>, value: Json) {
+    /// Insert or replace a field on an object. On a non-object the value
+    /// is left untouched and `Err` names the actual variant — callers
+    /// often hold values parsed from external payloads (Redfish events,
+    /// bus messages), where a scalar in an object position is a data
+    /// error, not a programming error, and must not bring the process down.
+    pub fn set(&mut self, key: impl Into<String>, value: Json) -> Result<(), JsonTypeError> {
         let Json::Object(fields) = self else {
-            panic!("Json::set called on non-object");
+            return Err(JsonTypeError { expected: "object", found: self.type_name() });
         };
         let key = key.into();
         if let Some(slot) = fields.iter_mut().find(|(k, _)| *k == key) {
             slot.1 = value;
         } else {
             fields.push((key, value));
+        }
+        Ok(())
+    }
+
+    /// The variant's name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Number(_) => "number",
+            Json::String(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
         }
     }
 
@@ -353,12 +387,27 @@ mod tests {
     #[test]
     fn get_set_unset() {
         let mut v = Json::object();
-        v.set("a", Json::from(1));
-        v.set("a", Json::from(2));
-        v.set("b", Json::from("x"));
+        v.set("a", Json::from(1)).unwrap();
+        v.set("a", Json::from(2)).unwrap();
+        v.set("b", Json::from("x")).unwrap();
         assert_eq!(v.get("a").and_then(Json::as_f64), Some(2.0));
         assert_eq!(v.unset("b"), Some(Json::String("x".into())));
         assert_eq!(v.unset("b"), None);
+    }
+
+    #[test]
+    fn set_on_non_object_errors_without_panicking() {
+        for mut v in [Json::Null, Json::from(3), Json::from("s"), Json::from(vec![1, 2])] {
+            let before = v.clone();
+            let err = v.set("k", Json::Null).unwrap_err();
+            assert_eq!(err.expected, "object");
+            assert_eq!(err.found, before.type_name());
+            assert_eq!(v, before, "failed set must leave the value untouched");
+        }
+        assert_eq!(
+            Json::from(3).set("k", Json::Null).unwrap_err().to_string(),
+            "expected a JSON object, found a number"
+        );
     }
 
     #[test]

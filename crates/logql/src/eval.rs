@@ -48,19 +48,33 @@ pub fn eval_range_agg(op: RangeAggOp, entries: &[RangeEntry], range_ns: i64) -> 
             | RangeAggOp::MaxOverTime
             | RangeAggOp::FirstOverTime
             | RangeAggOp::LastOverTime => {
-                let values: Vec<f64> = group.iter().filter_map(|e| e.unwrapped).collect();
+                let values: Vec<(Timestamp, f64)> =
+                    group.iter().filter_map(|e| e.unwrapped.map(|v| (e.ts, v))).collect();
                 if values.is_empty() {
                     continue; // nothing unwrapped in this group
                 }
                 match op {
-                    RangeAggOp::SumOverTime => values.iter().sum(),
-                    RangeAggOp::AvgOverTime => values.iter().sum::<f64>() / values.len() as f64,
-                    RangeAggOp::MinOverTime => values.iter().cloned().fold(f64::INFINITY, f64::min),
-                    RangeAggOp::MaxOverTime => {
-                        values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                    RangeAggOp::SumOverTime => values.iter().map(|&(_, v)| v).sum(),
+                    RangeAggOp::AvgOverTime => {
+                        values.iter().map(|&(_, v)| v).sum::<f64>() / values.len() as f64
                     }
-                    RangeAggOp::FirstOverTime => values[0],
-                    RangeAggOp::LastOverTime => *values.last().unwrap(),
+                    RangeAggOp::MinOverTime => {
+                        values.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min)
+                    }
+                    RangeAggOp::MaxOverTime => {
+                        values.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max)
+                    }
+                    // Selected by timestamp, not arrival order: entries
+                    // reach a window via per-chunk decodes and shard
+                    // fan-out, so the slice is not guaranteed sorted.
+                    // Ties keep the earliest (first) / latest (last)
+                    // arrival, matching a stable sort by timestamp.
+                    RangeAggOp::FirstOverTime => {
+                        values.iter().copied().min_by_key(|&(ts, _)| ts).unwrap().1
+                    }
+                    RangeAggOp::LastOverTime => {
+                        values.iter().copied().max_by_key(|&(ts, _)| ts).unwrap().1
+                    }
                     _ => unreachable!(),
                 }
             }
@@ -248,6 +262,38 @@ mod tests {
             eval_range_agg(RangeAggOp::LastOverTime, &entries, NANOS_PER_SEC),
             vec![(l, 30.0)]
         );
+    }
+
+    #[test]
+    fn first_and_last_over_time_select_by_timestamp_not_arrival_order() {
+        // Shard fan-out and per-chunk decodes don't promise sorted input:
+        // the same window can arrive in any permutation. first/last must
+        // pick by timestamp regardless.
+        let l = labels!("a" => "b");
+        let shuffled = vec![
+            entry(20, l.clone(), 0, Some(200.0)),
+            entry(30, l.clone(), 0, Some(300.0)), // latest ts
+            entry(10, l.clone(), 0, Some(100.0)), // earliest ts
+            entry(25, l.clone(), 0, None),        // unwrap failed; ignored
+        ];
+        assert_eq!(
+            eval_range_agg(RangeAggOp::FirstOverTime, &shuffled, NANOS_PER_SEC),
+            vec![(l.clone(), 100.0)]
+        );
+        assert_eq!(
+            eval_range_agg(RangeAggOp::LastOverTime, &shuffled, NANOS_PER_SEC),
+            vec![(l.clone(), 300.0)]
+        );
+        // The order-selected aggregations must not depend on permutation:
+        // every arrival order yields the same answer.
+        let mut perm = shuffled.clone();
+        perm.reverse();
+        for op in [RangeAggOp::FirstOverTime, RangeAggOp::LastOverTime] {
+            assert_eq!(
+                eval_range_agg(op, &shuffled, NANOS_PER_SEC),
+                eval_range_agg(op, &perm, NANOS_PER_SEC)
+            );
+        }
     }
 
     #[test]

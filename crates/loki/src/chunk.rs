@@ -3,14 +3,22 @@
 //! first stored in memory, and then moved to disk." (§IV-A)
 //!
 //! A [`HeadChunk`] is the open in-memory bucket taking appends; when it
-//! fills (bytes or age) the ingester seals it into a [`SealedChunk`]: the
-//! entries delta/varint-encoded and block-compressed.
+//! fills (bytes or age) the ingester seals it into a [`SealedChunk`]. A
+//! sealed chunk is a sequence of independently-compressed **blocks**, each
+//! carrying its own min/max timestamp in a small uncompressed header, so
+//! range reads decompress only the blocks that overlap the window instead
+//! of the whole chunk (Loki's chunk-internal block index).
 
 use crate::compress::{
     compress, decompress, get_uvarint, put_uvarint, unzigzag, zigzag, CorruptBlock,
 };
 use bytes::Bytes;
 use omni_model::{LogEntry, Timestamp};
+
+/// Target uncompressed payload size of one block inside a sealed chunk.
+/// Small enough that a narrow range query skips most of a 256 KiB chunk,
+/// large enough that the LZ77 window still sees plenty of history.
+pub const BLOCK_TARGET_BYTES: usize = 8 * 1024;
 
 /// The open, append-only in-memory chunk of one stream.
 #[derive(Debug, Default)]
@@ -74,10 +82,13 @@ impl HeadChunk {
     }
 }
 
-/// An immutable, compressed chunk.
+/// An immutable, compressed chunk: a block-count varint followed by
+/// `[zigzag(min_ts), zigzag(max_ts), count, uncompressed_len,
+/// compressed_len, compressed payload]` per block. Block headers stay
+/// uncompressed so a range read can walk them and skip whole blocks.
 #[derive(Debug, Clone)]
 pub struct SealedChunk {
-    /// Compressed block.
+    /// Block headers + compressed block payloads.
     data: Bytes,
     /// First entry timestamp.
     pub min_ts: Timestamp,
@@ -85,30 +96,70 @@ pub struct SealedChunk {
     pub max_ts: Timestamp,
     /// Entry count.
     pub count: usize,
-    /// Uncompressed payload size (encoded entries).
+    /// Uncompressed payload size (encoded entries, summed over blocks).
     pub uncompressed: usize,
 }
 
+/// One parsed block header plus its compressed payload.
+struct BlockRef<'a> {
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    count: usize,
+    payload: &'a [u8],
+}
+
 impl SealedChunk {
-    /// Encode and compress entries (must be time-ordered).
+    /// Encode and compress entries (must be time-ordered), cutting a new
+    /// block whenever the current one reaches [`BLOCK_TARGET_BYTES`].
     pub fn from_entries(entries: &[LogEntry]) -> Self {
-        let mut buf = Vec::with_capacity(entries.iter().map(|e| e.line.len() + 4).sum());
-        put_uvarint(&mut buf, entries.len() as u64);
-        let base_ts = entries.first().map(|e| e.ts).unwrap_or(0);
-        put_uvarint(&mut buf, zigzag(base_ts));
-        let mut prev = base_ts;
-        for e in entries {
-            put_uvarint(&mut buf, zigzag(e.ts - prev));
-            prev = e.ts;
-            put_uvarint(&mut buf, e.line.len() as u64);
-            buf.extend_from_slice(e.line.as_bytes());
+        if entries.is_empty() {
+            return Self { data: Bytes::new(), min_ts: 0, max_ts: 0, count: 0, uncompressed: 0 };
         }
-        let uncompressed = buf.len();
-        let data = Bytes::from(compress(&buf));
+        // Split into time-contiguous runs of roughly BLOCK_TARGET_BYTES.
+        let mut blocks: Vec<&[LogEntry]> = Vec::new();
+        let mut block_start = 0;
+        let mut block_bytes = 0;
+        for (i, e) in entries.iter().enumerate() {
+            block_bytes += e.line.len();
+            if block_bytes >= BLOCK_TARGET_BYTES {
+                blocks.push(&entries[block_start..=i]);
+                block_start = i + 1;
+                block_bytes = 0;
+            }
+        }
+        if block_start < entries.len() {
+            blocks.push(&entries[block_start..]);
+        }
+
+        let mut data = Vec::new();
+        put_uvarint(&mut data, blocks.len() as u64);
+        let mut uncompressed = 0;
+        let mut payload = Vec::with_capacity(BLOCK_TARGET_BYTES + 64);
+        for block in blocks {
+            payload.clear();
+            put_uvarint(&mut payload, block.len() as u64);
+            let base_ts = block[0].ts;
+            put_uvarint(&mut payload, zigzag(base_ts));
+            let mut prev = base_ts;
+            for e in block {
+                put_uvarint(&mut payload, zigzag(e.ts - prev));
+                prev = e.ts;
+                put_uvarint(&mut payload, e.line.len() as u64);
+                payload.extend_from_slice(e.line.as_bytes());
+            }
+            uncompressed += payload.len();
+            let compressed = compress(&payload);
+            put_uvarint(&mut data, zigzag(base_ts));
+            put_uvarint(&mut data, zigzag(block[block.len() - 1].ts));
+            put_uvarint(&mut data, block.len() as u64);
+            put_uvarint(&mut data, payload.len() as u64);
+            put_uvarint(&mut data, compressed.len() as u64);
+            data.extend_from_slice(&compressed);
+        }
         Self {
-            data,
-            min_ts: base_ts,
-            max_ts: entries.last().map(|e| e.ts).unwrap_or(0),
+            data: Bytes::from(data),
+            min_ts: entries[0].ts,
+            max_ts: entries[entries.len() - 1].ts,
             count: entries.len(),
             uncompressed,
         }
@@ -119,7 +170,7 @@ impl SealedChunk {
         self.data.len()
     }
 
-    /// The raw compressed block (for object-store serialization).
+    /// The raw block container (for object-store serialization).
     pub fn raw_block(&self) -> &[u8] {
         &self.data
     }
@@ -145,53 +196,143 @@ impl SealedChunk {
         }
     }
 
-    /// Decode all entries.
-    pub fn decode(&self) -> Result<Vec<LogEntry>, CorruptBlock> {
-        let buf = decompress(&self.data)?;
+    /// Number of compressed blocks inside this chunk.
+    pub fn block_count(&self) -> usize {
+        if self.data.is_empty() {
+            return 0;
+        }
+        get_uvarint(&self.data).map(|(n, _)| n as usize).unwrap_or(0)
+    }
+
+    /// Parse the block headers, yielding each block lazily without
+    /// touching its compressed payload.
+    fn blocks(&self) -> Result<Vec<BlockRef<'_>>, CorruptBlock> {
+        if self.data.is_empty() {
+            return Ok(Vec::new());
+        }
+        let buf = &self.data[..];
+        let mut pos = 0;
+        let (block_count, n) = get_uvarint(&buf[pos..])?;
+        pos += n;
+        // Each block needs at least a 6-byte header; a count beyond that
+        // cannot be honest, and must not drive a Vec pre-allocation.
+        if block_count > (buf.len() / 6) as u64 + 1 {
+            return Err(CorruptBlock("block count exceeds container size"));
+        }
+        let mut out = Vec::with_capacity(block_count as usize);
+        for _ in 0..block_count {
+            let (min_z, n) = get_uvarint(&buf[pos..])?;
+            pos += n;
+            let (max_z, n) = get_uvarint(&buf[pos..])?;
+            pos += n;
+            let (count, n) = get_uvarint(&buf[pos..])?;
+            pos += n;
+            let (_uncompressed_len, n) = get_uvarint(&buf[pos..])?;
+            pos += n;
+            let (compressed_len, n) = get_uvarint(&buf[pos..])?;
+            pos += n;
+            if compressed_len > (buf.len() - pos) as u64 {
+                return Err(CorruptBlock("block payload runs past chunk end"));
+            }
+            let compressed_len = compressed_len as usize;
+            out.push(BlockRef {
+                min_ts: unzigzag(min_z),
+                max_ts: unzigzag(max_z),
+                count: count as usize,
+                payload: &buf[pos..pos + compressed_len],
+            });
+            pos += compressed_len;
+        }
+        Ok(out)
+    }
+
+    /// Decompress and decode one block payload.
+    fn decode_block(payload: &[u8], out: &mut Vec<LogEntry>) -> Result<(), CorruptBlock> {
+        let buf = decompress(payload)?;
         let mut pos = 0;
         let (count, n) = get_uvarint(&buf[pos..])?;
         pos += n;
         let (base_z, n) = get_uvarint(&buf[pos..])?;
         pos += n;
         let mut ts = unzigzag(base_z);
-        let mut out = Vec::with_capacity(count as usize);
-        let mut first = true;
+        // Every entry costs at least 2 bytes; never pre-allocate past what
+        // the payload could actually hold.
+        if count > buf.len() as u64 {
+            return Err(CorruptBlock("entry count exceeds block size"));
+        }
+        out.reserve(count as usize);
         for _ in 0..count {
+            // The first delta is stored as 0 (base_ts already equals the
+            // first entry's ts), so unconditional accumulation is correct.
             let (delta_z, n) = get_uvarint(&buf[pos..])?;
             pos += n;
-            if first {
-                // base_ts already equals the first entry's ts; the first
-                // delta is stored as 0.
-                ts += unzigzag(delta_z);
-                first = false;
-            } else {
-                ts += unzigzag(delta_z);
-            }
+            ts = ts.wrapping_add(unzigzag(delta_z));
             let (len, n) = get_uvarint(&buf[pos..])?;
             pos += n;
-            let len = len as usize;
-            if pos + len > buf.len() {
+            if len > (buf.len() - pos) as u64 {
                 return Err(CorruptBlock("line runs past block end"));
             }
+            let len = len as usize;
             let line = std::str::from_utf8(&buf[pos..pos + len])
                 .map_err(|_| CorruptBlock("line is not valid utf-8"))?
                 .to_string();
             pos += len;
             out.push(LogEntry { ts, line });
         }
+        Ok(())
+    }
+
+    /// Decode all entries.
+    pub fn decode(&self) -> Result<Vec<LogEntry>, CorruptBlock> {
+        // `count` may come from an untrusted stored header; cap the
+        // pre-allocation (decode still succeeds for honest large chunks).
+        let mut out = Vec::with_capacity(self.count.min(self.data.len()));
+        for block in self.blocks()? {
+            Self::decode_block(block.payload, &mut out)?;
+        }
         Ok(out)
     }
 
-    /// Decode only entries in `(start, end]`.
+    /// Decode only entries in `(start, end]`, decompressing only blocks
+    /// whose time span overlaps the window.
     pub fn decode_range(
         &self,
         start: Timestamp,
         end: Timestamp,
     ) -> Result<Vec<LogEntry>, CorruptBlock> {
-        if self.max_ts <= start || self.min_ts > end {
-            return Ok(Vec::new());
+        Ok(self.decode_range_counted(start, end)?.0)
+    }
+
+    /// [`Self::decode_range`] that also reports how many blocks were
+    /// actually decompressed — the observable block-skip win.
+    pub fn decode_range_counted(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<(Vec<LogEntry>, usize), CorruptBlock> {
+        if self.count == 0 || self.max_ts <= start || self.min_ts > end {
+            return Ok((Vec::new(), 0));
         }
-        Ok(self.decode()?.into_iter().filter(|e| e.ts > start && e.ts <= end).collect())
+        let mut out = Vec::new();
+        let mut decoded = 0;
+        for block in self.blocks()? {
+            if block.count == 0 || block.max_ts <= start || block.min_ts > end {
+                continue;
+            }
+            let before = out.len();
+            Self::decode_block(block.payload, &mut out)?;
+            decoded += 1;
+            // Filter in place: only the freshly decoded tail needs it.
+            let mut keep = before;
+            for i in before..out.len() {
+                if out[i].ts > start && out[i].ts <= end {
+                    out.swap(keep, i);
+                    keep += 1;
+                }
+            }
+            out.truncate(keep);
+        }
+        Ok((out, decoded))
     }
 
     /// Whether this chunk may contain entries in `(start, end]`.
@@ -224,6 +365,7 @@ mod tests {
     fn empty_chunk() {
         let chunk = SealedChunk::from_entries(&[]);
         assert_eq!(chunk.count, 0);
+        assert_eq!(chunk.block_count(), 0);
         assert!(chunk.decode().unwrap().is_empty());
         assert!(!chunk.overlaps(i64::MIN, i64::MAX));
     }
@@ -286,5 +428,53 @@ mod tests {
         let got = head.entries_in(1000, 1007);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].ts, 1007);
+    }
+
+    #[test]
+    fn large_chunk_splits_into_blocks() {
+        let es = entries(2_000);
+        let chunk = SealedChunk::from_entries(&es);
+        assert!(chunk.block_count() > 1, "expected multiple blocks, got {}", chunk.block_count());
+        assert_eq!(chunk.decode().unwrap(), es);
+    }
+
+    #[test]
+    fn narrow_range_decompresses_strictly_fewer_blocks() {
+        let es = entries(2_000); // ts: 1000 .. 1000 + 1999*7
+        let chunk = SealedChunk::from_entries(&es);
+        let total = chunk.block_count();
+        assert!(total > 2);
+        // Narrow window in the middle of the chunk.
+        let mid = 1_000 + 1_000 * 7;
+        let (got, decoded) = chunk.decode_range_counted(mid, mid + 70).unwrap();
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|e| e.ts > mid && e.ts <= mid + 70));
+        assert!(decoded >= 1);
+        assert!(decoded < total, "narrow range should skip blocks: decoded {decoded} of {total}");
+    }
+
+    #[test]
+    fn full_range_decode_matches_per_block_decode() {
+        let es = entries(2_000);
+        let chunk = SealedChunk::from_entries(&es);
+        let (all, decoded) = chunk.decode_range_counted(i64::MIN, i64::MAX).unwrap();
+        assert_eq!(all, es);
+        assert_eq!(decoded, chunk.block_count());
+    }
+
+    #[test]
+    fn truncated_chunk_container_is_rejected() {
+        let es = entries(200);
+        let chunk = SealedChunk::from_entries(&es);
+        let raw = chunk.raw_block();
+        let truncated = Bytes::from(raw[..raw.len() / 2].to_vec());
+        let bad = SealedChunk::from_parts(
+            truncated,
+            chunk.min_ts,
+            chunk.max_ts,
+            chunk.count,
+            chunk.uncompressed,
+        );
+        assert!(bad.decode().is_err());
     }
 }

@@ -3,9 +3,9 @@
 //! "Log data is compressed and stored in chunks, thus a small index and
 //! compressed chunks significantly reduce the costs for storage and the
 //! log query times" (§III-A). This module implements the codec from
-//! scratch: an LZ77-style byte compressor (hash-table match finder, greedy
-//! emit) plus LEB128 varints and zigzag encoding used by the chunk entry
-//! layout.
+//! scratch: an LZ77-style byte compressor (hash-chain match finder with
+//! one-step lazy matching) plus LEB128 varints and zigzag encoding used by
+//! the chunk entry layout.
 //!
 //! Wire format of the compressed stream, token by token:
 //!
@@ -20,19 +20,84 @@ const MIN_MATCH: usize = 4;
 const MAX_MATCH: usize = 127 + MIN_MATCH;
 /// Window size (maximum back-distance).
 const WINDOW: usize = 65_535;
-/// Match-finder hash table size (power of two).
-const HASH_SIZE: usize = 1 << 15;
+/// Maximum hash-chain candidates examined per position.
+const CHAIN_DEPTH: usize = 8;
+/// A match this long is "good enough": stop walking the chain and skip
+/// the lazy one-step lookahead (zlib's `nice_length` idea — the tail of
+/// the chain rarely beats it, and searching costs more than it saves).
+const NICE_MATCH: usize = 32;
+
+/// Hash-table size (log2) scaled to the input: roughly one slot per two
+/// input bytes, clamped to `2^8..=2^15`. `compress` runs once per ~8 KiB
+/// chunk block, so a fixed maximum-size table would cost more to zero
+/// than the block costs to scan.
+fn table_bits(len: usize) -> u32 {
+    let target = (len / 2).max(1);
+    (usize::BITS - target.leading_zeros()).clamp(8, 15)
+}
 
 #[inline]
-fn hash4(b: &[u8]) -> usize {
+fn hash4(b: &[u8], bits: u32) -> usize {
     let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
-    (v.wrapping_mul(2654435761) >> 17) as usize & (HASH_SIZE - 1)
+    (v.wrapping_mul(2654435761) >> (32 - bits)) as usize
+}
+
+/// Walk the hash chain for position `i`, returning the best
+/// `(length, distance)` found, or `(0, 0)` if nothing reaches
+/// [`MIN_MATCH`]. Candidates at or past `i` (self-hits from already
+/// indexing `i`) are skipped; the chain is recency-ordered, so the walk
+/// stops at the first candidate beyond the window.
+fn best_match(input: &[u8], i: usize, head: &[u32], prev: &[u32], bits: u32) -> (usize, usize) {
+    let max = (input.len() - i).min(MAX_MATCH);
+    let mut best_len = 0;
+    let mut best_dist = 0;
+    let mut cand = head[hash4(&input[i..], bits)];
+    let mut depth = 0;
+    while cand != u32::MAX && depth < CHAIN_DEPTH {
+        let c = cand as usize;
+        if c >= i {
+            cand = prev[c];
+            continue;
+        }
+        if i - c > WINDOW {
+            break;
+        }
+        // Cheap pre-check: a candidate can only beat the current best if
+        // it matches at the byte the best match would have to extend past.
+        if best_len == 0 || input[c + best_len] == input[i + best_len] {
+            let mut l = 0;
+            while l < max && input[c + l] == input[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - c;
+                if best_len == max || best_len >= NICE_MATCH {
+                    break;
+                }
+            }
+        }
+        cand = prev[c];
+        depth += 1;
+    }
+    if best_len >= MIN_MATCH {
+        (best_len, best_dist)
+    } else {
+        (0, 0)
+    }
 }
 
 /// Compress a byte slice.
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    let mut table = vec![usize::MAX; HASH_SIZE];
+    let bits = table_bits(input.len());
+    let mut head = vec![u32::MAX; 1 << bits];
+    // Per-position chain links: prev[p] is the previous position sharing
+    // p's hash bucket. Positions enter the chain in order via `ins`, and
+    // a slot is pushed exactly when its position is indexed, so the
+    // vector never needs pre-initialisation.
+    let mut prev: Vec<u32> = Vec::with_capacity(input.len());
+    let mut ins = 0;
     let mut i = 0;
     let mut literal_start = 0;
 
@@ -46,34 +111,46 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         }
     };
 
+    macro_rules! index_upto {
+        ($bound:expr) => {
+            while ins < $bound && ins + MIN_MATCH <= input.len() {
+                let h = hash4(&input[ins..], bits);
+                prev.push(head[h]);
+                head[h] = ins as u32;
+                ins += 1;
+            }
+        };
+    }
+
     while i + MIN_MATCH <= input.len() {
-        let h = hash4(&input[i..]);
-        let candidate = table[h];
-        table[h] = i;
-        let mut match_len = 0;
-        if candidate != usize::MAX && i - candidate <= WINDOW {
-            let max = (input.len() - i).min(MAX_MATCH);
-            while match_len < max && input[candidate + match_len] == input[i + match_len] {
-                match_len += 1;
-            }
-        }
-        if match_len >= MIN_MATCH {
-            flush_literals(&mut out, literal_start, i, input);
-            let dist = i - candidate;
-            out.push(0x80 | (match_len - MIN_MATCH) as u8);
-            out.extend_from_slice(&(dist as u16).to_le_bytes());
-            // Index a few positions inside the match to keep the table warm.
-            let end = i + match_len;
-            let mut j = i + 1;
-            while j + MIN_MATCH <= end.min(input.len()) && j < i + 8 {
-                table[hash4(&input[j..])] = j;
-                j += 1;
-            }
-            i = end;
-            literal_start = i;
-        } else {
+        index_upto!(i + 1);
+        let (mut len, mut dist) = best_match(input, i, &head, &prev, bits);
+        if len == 0 {
             i += 1;
+            continue;
         }
+        // One-step lazy matching: if the next position starts a strictly
+        // longer match, emit this byte as a literal and take that instead.
+        // An already-nice match skips the lookahead entirely.
+        while len < NICE_MATCH && i + 1 + MIN_MATCH <= input.len() {
+            index_upto!(i + 2);
+            let (next_len, next_dist) = best_match(input, i + 1, &head, &prev, bits);
+            if next_len > len {
+                i += 1;
+                len = next_len;
+                dist = next_dist;
+            } else {
+                break;
+            }
+        }
+        flush_literals(&mut out, literal_start, i, input);
+        out.push(0x80 | (len - MIN_MATCH) as u8);
+        out.extend_from_slice(&(dist as u16).to_le_bytes());
+        i += len;
+        // Index the positions the match skipped so later data can still
+        // refer back into it.
+        index_upto!(i);
+        literal_start = i;
     }
     flush_literals(&mut out, literal_start, input.len(), input);
     out

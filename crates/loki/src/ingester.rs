@@ -59,6 +59,9 @@ pub struct IngesterStats {
 struct ShardState {
     streams: HashMap<u64, Stream>,
     index: LabelIndex,
+    /// Uncompressed sizes of chunks sealed since the last drain — the
+    /// stack turns these into its chunk fill-ratio histogram.
+    seal_sizes: Vec<u64>,
 }
 
 /// One ingester shard.
@@ -97,7 +100,11 @@ impl Ingester {
     ) -> Self {
         assert!(shard_index < shard_total, "shard index out of range");
         Self {
-            state: RwLock::new(ShardState { streams: HashMap::new(), index: LabelIndex::new() }),
+            state: RwLock::new(ShardState {
+                streams: HashMap::new(),
+                index: LabelIndex::new(),
+                seal_sizes: Vec::new(),
+            }),
             limits,
             chunk_store,
             shard: (shard_index, shard_total),
@@ -113,32 +120,58 @@ impl Ingester {
         fingerprint % self.shard.1 as u64 == self.shard.0 as u64
     }
 
-    /// Append one record (labels must already be validated/fingerprinted
-    /// by the distributor, but the shard re-checks its own limits).
-    pub fn append(&self, record: LogRecord) -> Result<(), IngestError> {
+    /// Validate and append one record with the shard lock already held.
+    /// Returns `(line_bytes, sealed_a_chunk)` so callers can batch the
+    /// counter updates outside the lock.
+    fn append_locked(
+        st: &mut ShardState,
+        limits: &Limits,
+        record: LogRecord,
+        fp: u64,
+    ) -> Result<(u64, bool), IngestError> {
         if record.labels.is_empty() {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(IngestError::EmptyLabels);
         }
-        if record.labels.len() > self.limits.max_label_names_per_series {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+        if record.labels.len() > limits.max_label_names_per_series {
             return Err(IngestError::TooManyLabels(record.labels.len()));
         }
-        let fp = record.labels.fingerprint();
         let bytes = record.entry.line.len() as u64;
-        let mut st = self.state.write();
         if !st.streams.contains_key(&fp) {
-            if st.streams.len() >= self.limits.max_streams_per_shard {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
+            if st.streams.len() >= limits.max_streams_per_shard {
                 return Err(IngestError::StreamLimitExceeded);
             }
             st.index.insert(&record.labels, fp);
             st.streams.insert(fp, Stream::new(record.labels.clone()));
         }
         let stream = st.streams.get_mut(&fp).unwrap();
-        match stream.append(record.entry, &self.limits) {
+        match stream.append(record.entry, limits) {
             Ok(sealed) => {
-                drop(st);
+                if sealed {
+                    if let Some(c) = stream.sealed_chunks().last() {
+                        st.seal_sizes.push(c.uncompressed as u64);
+                    }
+                }
+                Ok((bytes, sealed))
+            }
+            Err(e) => Err(IngestError::Append(e)),
+        }
+    }
+
+    /// Append one record (labels must already be validated/fingerprinted
+    /// by the distributor, but the shard re-checks its own limits).
+    pub fn append(&self, record: LogRecord) -> Result<(), IngestError> {
+        let fp = record.labels.fingerprint();
+        self.append_with_fp(record, fp)
+    }
+
+    /// [`Ingester::append`] with the label fingerprint already computed
+    /// (the distributor hashes labels for routing; no need to do it twice).
+    pub fn append_with_fp(&self, record: LogRecord, fp: u64) -> Result<(), IngestError> {
+        let mut st = self.state.write();
+        let res = Self::append_locked(&mut st, &self.limits, record, fp);
+        drop(st);
+        match res {
+            Ok((bytes, sealed)) => {
                 self.entries.fetch_add(1, Ordering::Relaxed);
                 self.bytes.fetch_add(bytes, Ordering::Relaxed);
                 if sealed {
@@ -148,9 +181,153 @@ impl Ingester {
             }
             Err(e) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(IngestError::Append(e))
+                Err(e)
             }
         }
+    }
+
+    /// Append a whole batch under a **single** shard-lock acquisition,
+    /// returning one result per record in input order. Per-record
+    /// validation and stream state changes are identical to calling
+    /// [`Ingester::append`] in a loop; only the locking, the per-run
+    /// stream lookup, and the counter updates are amortised: batches
+    /// arrive stream-grouped, so after the first record of a run the
+    /// stream is resolved once and the rest of the run appends straight
+    /// onto it without re-probing the stream map.
+    pub fn append_batch(&self, records: Vec<(u64, LogRecord)>) -> Vec<Result<(), IngestError>> {
+        let mut out = Vec::with_capacity(records.len());
+        let (mut entries, mut bytes, mut sealed_n, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+        {
+            let mut st = self.state.write();
+            let mut it = records.into_iter().peekable();
+            while let Some((fp, record)) = it.next() {
+                // First record of a run takes the full path (it may create
+                // the stream, or fail the shard's stream cap).
+                match Self::append_locked(&mut st, &self.limits, record, fp) {
+                    Ok((b, sealed)) => {
+                        entries += 1;
+                        bytes += b;
+                        if sealed {
+                            sealed_n += 1;
+                        }
+                        out.push(Ok(()));
+                    }
+                    Err(e) => {
+                        rejected += 1;
+                        out.push(Err(e));
+                    }
+                }
+                if it.peek().map(|(f, _)| *f) != Some(fp) {
+                    continue;
+                }
+                // Rest of the run: the stream (if it exists — creation may
+                // have been rejected above, in which case every record of
+                // the run retries the full path) is borrowed once.
+                let mut run_seal_sizes: Vec<u64> = Vec::new();
+                if let Some(stream) = st.streams.get_mut(&fp) {
+                    while it.peek().map(|(f, _)| *f) == Some(fp) {
+                        let (_, record) = it.next().unwrap();
+                        if record.labels.is_empty() {
+                            rejected += 1;
+                            out.push(Err(IngestError::EmptyLabels));
+                            continue;
+                        }
+                        if record.labels.len() > self.limits.max_label_names_per_series {
+                            rejected += 1;
+                            out.push(Err(IngestError::TooManyLabels(record.labels.len())));
+                            continue;
+                        }
+                        let b = record.entry.line.len() as u64;
+                        match stream.append(record.entry, &self.limits) {
+                            Ok(sealed) => {
+                                entries += 1;
+                                bytes += b;
+                                if sealed {
+                                    sealed_n += 1;
+                                    if let Some(c) = stream.sealed_chunks().last() {
+                                        run_seal_sizes.push(c.uncompressed as u64);
+                                    }
+                                }
+                                out.push(Ok(()));
+                            }
+                            Err(e) => {
+                                rejected += 1;
+                                out.push(Err(IngestError::Append(e)));
+                            }
+                        }
+                    }
+                }
+                st.seal_sizes.append(&mut run_seal_sizes);
+            }
+        }
+        self.entries.fetch_add(entries, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.chunks_sealed.fetch_add(sealed_n, Ordering::Relaxed);
+        self.rejected.fetch_add(rejected, Ordering::Relaxed);
+        out
+    }
+
+    /// Append one stream-framed run — the Loki push protocol's shape: a
+    /// label set plus its entries — under a single lock acquisition. The
+    /// labels are validated once and the stream resolved once; each entry
+    /// then pays only the per-entry stream append. Returns one result per
+    /// entry in input order.
+    pub fn append_run(
+        &self,
+        fp: u64,
+        labels: &LabelSet,
+        entries: Vec<LogEntry>,
+    ) -> Vec<Result<(), IngestError>> {
+        let n = entries.len();
+        if labels.is_empty() {
+            self.rejected.fetch_add(n as u64, Ordering::Relaxed);
+            return vec![Err(IngestError::EmptyLabels); n];
+        }
+        if labels.len() > self.limits.max_label_names_per_series {
+            self.rejected.fetch_add(n as u64, Ordering::Relaxed);
+            return vec![Err(IngestError::TooManyLabels(labels.len())); n];
+        }
+        let mut out = Vec::with_capacity(n);
+        let (mut entries_n, mut bytes, mut sealed_n, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+        {
+            let mut st = self.state.write();
+            if !st.streams.contains_key(&fp) {
+                if st.streams.len() >= self.limits.max_streams_per_shard {
+                    self.rejected.fetch_add(n as u64, Ordering::Relaxed);
+                    return vec![Err(IngestError::StreamLimitExceeded); n];
+                }
+                st.index.insert(labels, fp);
+                st.streams.insert(fp, Stream::new(labels.clone()));
+            }
+            let mut run_seal_sizes: Vec<u64> = Vec::new();
+            let stream = st.streams.get_mut(&fp).unwrap();
+            for entry in entries {
+                let b = entry.line.len() as u64;
+                match stream.append(entry, &self.limits) {
+                    Ok(sealed) => {
+                        entries_n += 1;
+                        bytes += b;
+                        if sealed {
+                            sealed_n += 1;
+                            if let Some(c) = stream.sealed_chunks().last() {
+                                run_seal_sizes.push(c.uncompressed as u64);
+                            }
+                        }
+                        out.push(Ok(()));
+                    }
+                    Err(e) => {
+                        rejected += 1;
+                        out.push(Err(IngestError::Append(e)));
+                    }
+                }
+            }
+            st.seal_sizes.append(&mut run_seal_sizes);
+        }
+        self.entries.fetch_add(entries_n, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.chunks_sealed.fetch_add(sealed_n, Ordering::Relaxed);
+        self.rejected.fetch_add(rejected, Ordering::Relaxed);
+        out
     }
 
     /// Streams matching a selector: index candidates from equality
@@ -260,12 +437,24 @@ impl Ingester {
     pub fn tick(&self, now: Timestamp) {
         let mut st = self.state.write();
         let mut sealed = 0;
+        let mut sizes: Vec<u64> = Vec::new();
         for s in st.streams.values_mut() {
             if s.maybe_seal_by_age(now, &self.limits) {
                 sealed += 1;
+                if let Some(c) = s.sealed_chunks().last() {
+                    sizes.push(c.uncompressed as u64);
+                }
             }
         }
+        st.seal_sizes.append(&mut sizes);
         self.chunks_sealed.fetch_add(sealed, Ordering::Relaxed);
+    }
+
+    /// Drain the uncompressed sizes of chunks sealed since the last call
+    /// (by target-size overflow or by age). Feeds the fill-ratio
+    /// histogram in the stack's self-telemetry.
+    pub fn take_seal_sizes(&self) -> Vec<u64> {
+        std::mem::take(&mut self.state.write().seal_sizes)
     }
 
     /// Force-flush every head chunk.
@@ -355,6 +544,24 @@ impl Ingester {
             .flat_map(|s| s.sealed_chunks())
             .map(|c| c.uncompressed)
             .sum()
+    }
+
+    /// Raw compressed bytes of every sealed chunk, keyed by stream
+    /// fingerprint and ordered by fingerprint — the byte-level surface the
+    /// batch/sequential equivalence tests compare.
+    pub fn sealed_chunk_bytes(&self) -> Vec<(u64, Vec<u8>)> {
+        let st = self.state.read();
+        let mut fps: Vec<u64> = st.streams.keys().copied().collect();
+        fps.sort_unstable();
+        fps.into_iter()
+            .map(|fp| {
+                let mut bytes = Vec::new();
+                for c in st.streams[&fp].sealed_chunks() {
+                    bytes.extend_from_slice(c.raw_block());
+                }
+                (fp, bytes)
+            })
+            .collect()
     }
 
     /// Index entry count (see C4).

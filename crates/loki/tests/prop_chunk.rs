@@ -1,5 +1,6 @@
 //! Property tests for the chunk codec and the block compressor.
 
+use bytes::Bytes;
 use omni_loki::chunk::SealedChunk;
 use omni_loki::compress::{compress, decompress};
 use omni_model::LogEntry;
@@ -42,6 +43,39 @@ proptest! {
             .collect();
         let chunk = SealedChunk::from_entries(&entries);
         prop_assert_eq!(chunk.decode().unwrap(), entries);
+    }
+
+    #[test]
+    fn chunk_decode_of_corrupt_container_never_panics(
+        data in prop::collection::vec(any::<u8>(), 0..2_000),
+        count in 0usize..500,
+    ) {
+        // Arbitrary bytes posing as a chunk container: decode must return
+        // (possibly garbage) entries or an error — never panic.
+        let chunk = SealedChunk::from_parts(Bytes::from(data), 0, 1_000_000, count, 4_096);
+        let _ = chunk.decode();
+        let _ = chunk.decode_range(100, 2_000);
+    }
+
+    #[test]
+    fn truncated_chunk_bytes_never_panic(
+        n in 1usize..300,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let entries: Vec<LogEntry> =
+            (0..n).map(|i| LogEntry::new(i as i64 * 50, format!("payload line {i}"))).collect();
+        let chunk = SealedChunk::from_entries(&entries);
+        let raw = chunk.raw_block();
+        let cut = ((raw.len() as f64) * cut_frac) as usize;
+        let truncated = SealedChunk::from_parts(
+            Bytes::from(raw[..cut].to_vec()),
+            chunk.min_ts,
+            chunk.max_ts,
+            chunk.count,
+            chunk.uncompressed,
+        );
+        let _ = truncated.decode();
+        let _ = truncated.decode_range(0, i64::MAX);
     }
 
     #[test]

@@ -254,10 +254,10 @@ mod tests {
         let doubled = Json::Array([events.clone(), events].concat());
         let msgs = v.pointer("/metrics/messages").unwrap().clone();
         if let Json::Array(mut m) = msgs {
-            m[0].set("Events", doubled);
+            m[0].set("Events", doubled).unwrap();
             if let Json::Object(fields) = &mut v {
                 if let Some(metrics) = fields.iter_mut().find(|(k, _)| k == "metrics") {
-                    metrics.1.set("messages", Json::Array(m));
+                    metrics.1.set("messages", Json::Array(m)).unwrap();
                 }
             }
         }

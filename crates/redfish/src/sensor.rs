@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn decode_rejects_unknown_kind() {
         let mut v = reading().to_json();
-        v.set("PhysicalContext", Json::from("vibes"));
+        v.set("PhysicalContext", Json::from("vibes")).unwrap();
         assert!(SensorReading::from_json(&v).is_none());
     }
 

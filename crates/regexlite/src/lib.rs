@@ -34,6 +34,60 @@ pub struct Regex {
     pattern: String,
     /// Names of capture groups, indexed by group number (0 = whole match).
     group_names: Vec<Option<String>>,
+    /// A literal substring every match must contain, extracted at compile
+    /// time. Texts that don't contain it are rejected by a plain substring
+    /// scan before the backtracking VM ever runs — the dominant cost on
+    /// log lines that don't match.
+    prefilter: Option<String>,
+}
+
+/// Commit the literal run being built into `best` if it is longer, then
+/// reset the run.
+fn commit_run(run: &mut String, best: &mut String) {
+    if run.len() > best.len() {
+        std::mem::swap(run, best);
+    }
+    run.clear();
+}
+
+/// Walk the AST in match order, growing `run` across adjacent literals.
+/// Nodes that make the following text unpredictable (alternation, classes,
+/// `.`  wildcards, optional repeats) break the run; anchors and the empty
+/// node are zero-width and keep it alive. A repeat with `min >= 1` must
+/// match its body at least once, so the body's own required literal is a
+/// candidate even though the run around it breaks.
+fn literal_scan(ast: &Ast, run: &mut String, best: &mut String) {
+    match ast {
+        Ast::Literal(c) => run.push(*c),
+        Ast::Empty | Ast::AnchorStart | Ast::AnchorEnd => {}
+        Ast::Concat(nodes) => {
+            for n in nodes {
+                literal_scan(n, run, best);
+            }
+        }
+        Ast::Group { node, .. } => literal_scan(node, run, best),
+        Ast::Repeat { node, min, .. } if *min >= 1 => {
+            commit_run(run, best);
+            let mut inner = String::new();
+            literal_scan(node, &mut inner, best);
+            commit_run(&mut inner, best);
+        }
+        _ => commit_run(run, best),
+    }
+}
+
+/// The longest literal substring every match of `ast` must contain, if
+/// any adjacent literal run survives the walk.
+fn required_literal(ast: &Ast) -> Option<String> {
+    let mut run = String::new();
+    let mut best = String::new();
+    literal_scan(ast, &mut run, &mut best);
+    commit_run(&mut run, &mut best);
+    if best.is_empty() {
+        None
+    } else {
+        Some(best)
+    }
 }
 
 impl Regex {
@@ -43,7 +97,24 @@ impl Regex {
         let to_err = |e: MatchError| RegexParseError { offset: 0, message: e.to_string() };
         let program = matcher::compile(&ast, group_names.len(), false).map_err(to_err)?;
         let anchored = matcher::compile(&ast, group_names.len(), true).map_err(to_err)?;
-        Ok(Self { program, anchored, pattern: pattern.to_string(), group_names })
+        let prefilter = required_literal(&ast);
+        Ok(Self { program, anchored, pattern: pattern.to_string(), group_names, prefilter })
+    }
+
+    /// The literal substring every match must contain, when the compiler
+    /// managed to extract one — the prefilter that short-circuits
+    /// non-matching texts without running the VM.
+    pub fn required_literal(&self) -> Option<&str> {
+        self.prefilter.as_deref()
+    }
+
+    /// Prefilter check: `false` means the text cannot possibly match.
+    #[inline]
+    fn might_match(&self, text: &str) -> bool {
+        match &self.prefilter {
+            Some(lit) => text.contains(lit.as_str()),
+            None => true,
+        }
     }
 
     /// The original pattern text.
@@ -66,17 +137,20 @@ impl Regex {
     /// Budget-exhausted patterns report `false` (the conservative answer
     /// for a filter).
     pub fn is_match(&self, text: &str) -> bool {
-        matcher::run(&self.program, text).ok().flatten().is_some()
+        self.might_match(text) && matcher::run(&self.program, text).ok().flatten().is_some()
     }
 
     /// Anchored match over the *entire* input, the semantics Prometheus
     /// label matchers use (`=~"foo.*"` must match the whole value).
     pub fn is_full_match(&self, text: &str) -> bool {
-        matches!(matcher::run(&self.anchored, text), Ok(Some(_)))
+        self.might_match(text) && matches!(matcher::run(&self.anchored, text), Ok(Some(_)))
     }
 
     /// First match with capture groups, or `None`.
     pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        if !self.might_match(text) {
+            return None;
+        }
         matcher::run(&self.program, text)
             .ok()
             .flatten()
@@ -85,12 +159,18 @@ impl Regex {
 
     /// Like [`Regex::captures`] but surfacing budget exhaustion.
     pub fn try_captures<'t>(&self, text: &'t str) -> Result<Option<Captures<'t>>, MatchError> {
+        if !self.might_match(text) {
+            return Ok(None);
+        }
         Ok(matcher::run(&self.program, text)?
             .map(|spans| Captures::new(text, spans, &self.group_names)))
     }
 
     /// Byte range of the first match, if any.
     pub fn find(&self, text: &str) -> Option<(usize, usize)> {
+        if !self.might_match(text) {
+            return None;
+        }
         matcher::run(&self.program, text)
             .ok()
             .flatten()
@@ -224,6 +304,41 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         assert!(!r.is_match(&text));
+    }
+
+    #[test]
+    fn prefilter_extracts_longest_required_literal() {
+        assert_eq!(re("leak detected").required_literal(), Some("leak detected"));
+        assert_eq!(re("leak.*detected").required_literal(), Some("detected"));
+        assert_eq!(re("(warning|critical): leak").required_literal(), Some(": leak"));
+        assert_eq!(re("^CabinetLeak$").required_literal(), Some("CabinetLeak"));
+        assert_eq!(re(r"problem:(?P<p>\w+)").required_literal(), Some("problem:"));
+        // One mandatory copy of a repeated body counts.
+        assert_eq!(re("(leak)+x").required_literal(), Some("leak"));
+        // Nothing extractable: every position is a wildcard or choice.
+        assert_eq!(re("a|b").required_literal(), None);
+        assert_eq!(re(r"\d+").required_literal(), None);
+        assert_eq!(re(".*").required_literal(), None);
+    }
+
+    #[test]
+    fn prefilter_preserves_match_semantics() {
+        // `ab+c`: matches "abbc", which contains "ab" and "bc" but not
+        // "abc" — the extractor must not weld runs across a repeat.
+        let r = re("ab+c");
+        assert!(r.is_match("xx abbc yy"));
+        assert!(!r.is_match("ac"));
+        // Prefilter-rejected text behaves exactly like a VM miss on every
+        // entry point.
+        let r = re("leak.*detected");
+        assert!(!r.is_match("all dry"));
+        assert!(r.captures("all dry").is_none());
+        assert!(r.find("all dry").is_none());
+        assert!(matches!(r.try_captures("all dry"), Ok(None)));
+        assert!(!r.is_full_match("all dry"));
+        // And prefilter-passing text still goes through the VM.
+        assert!(r.is_match("leak was detected"));
+        assert!(!r.is_match("detected before the leak")); // order matters
     }
 
     #[test]

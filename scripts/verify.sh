@@ -22,4 +22,15 @@ cargo clippy -q -p omni-model -p omni-bus -p omni-telemetry -p omni-loki \
 echo "== cargo doc --no-deps (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
+echo "== bench smoke (--quick: tiny workload, no report rewrite) =="
+cargo bench -q -p omni-bench --bench c1_ingest_throughput -- --quick | grep "pr3 ingest"
+cargo bench -q -p omni-bench --bench fig5_range_query -- --quick | grep "pr3 range_query"
+
+echo "== BENCH_PR3.json present and complete =="
+test -f BENCH_PR3.json
+for key in ingest range_query speedup per_record_msgs_per_sec batched_msgs_per_sec \
+    blocks_total blocks_decoded; do
+    grep -q "\"$key\"" BENCH_PR3.json || { echo "BENCH_PR3.json missing $key"; exit 1; }
+done
+
 echo "verify: OK"
