@@ -15,7 +15,7 @@ pub mod route;
 pub mod slack;
 
 pub use delivery::{DeliveryQueue, DeliveryStats};
-pub use route::Route;
+pub use route::{Route, RouteIssue, RouteIssueKind};
 pub use slack::{format_slack_message, SlackMessage, SlackSink};
 
 use omni_logql::Matcher;

@@ -41,6 +41,35 @@ pub struct RouteMatch {
     pub repeat_interval_ns: i64,
 }
 
+/// One static defect found by [`Route::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteIssue {
+    /// What kind of defect.
+    pub kind: RouteIssueKind,
+    /// Slash-separated child-index path from the root (`root`, `root/1`).
+    pub path: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// The defect classes [`Route::validate`] detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteIssueKind {
+    /// A node names a receiver that is not in the defined set: alerts
+    /// resolving there are silently dropped at notification time.
+    UndefinedReceiver,
+    /// A sub-route can never match because an earlier sibling is a
+    /// catch-all (no matchers) without `continue`: [`Route::resolve`]
+    /// stops at the first matching child.
+    ShadowedRoute,
+}
+
+impl std::fmt::Display for RouteIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.detail)
+    }
+}
+
 impl Route {
     /// A catch-all root with Alertmanager's default timings
     /// (30s / 5m / 4h).
@@ -60,6 +89,79 @@ impl Route {
     /// A child route with matchers, inheriting default timings.
     pub fn matching(receiver: &str, matchers: Vec<Matcher>) -> Self {
         Self { matchers, ..Self::default_route(receiver) }
+    }
+
+    /// The receivers the shipped stack defines sinks for; the companions
+    /// of [`Route::shipped_tree`] when validating.
+    pub fn shipped_receivers() -> Vec<String> {
+        vec!["slack".to_string(), "servicenow".to_string()]
+    }
+
+    /// The paper's routing policy, as `core::stack` wires it: critical
+    /// alerts go to ServiceNow AND Slack (`continue: true`), everything
+    /// else to Slack only. Grouped by alertname with a short group_wait
+    /// so the case studies notify within one simulation step cadence.
+    pub fn shipped_tree() -> Self {
+        let mut root = Route::default_route("slack");
+        root.group_by = vec!["alertname".into()];
+        root.group_wait_ns = 10 * NANOS_PER_SEC;
+        root.group_interval_ns = 60 * NANOS_PER_SEC;
+        root.repeat_interval_ns = 4 * 3600 * NANOS_PER_SEC;
+        let mut to_sn = Route::matching("servicenow", vec![Matcher::eq("severity", "critical")]);
+        to_sn.group_by = root.group_by.clone();
+        to_sn.group_wait_ns = root.group_wait_ns;
+        to_sn.group_interval_ns = root.group_interval_ns;
+        to_sn.repeat_interval_ns = root.repeat_interval_ns;
+        to_sn.continue_matching = true;
+        let mut to_slack_all = Route::matching("slack", vec![]);
+        to_slack_all.group_by = root.group_by.clone();
+        to_slack_all.group_wait_ns = root.group_wait_ns;
+        to_slack_all.group_interval_ns = root.group_interval_ns;
+        to_slack_all.repeat_interval_ns = root.repeat_interval_ns;
+        root.routes.push(to_sn);
+        root.routes.push(to_slack_all);
+        root
+    }
+
+    /// Statically validate the tree against the set of defined receivers.
+    /// Detects receivers referenced but never defined and sub-routes
+    /// shadowed by an earlier sibling catch-all; returns every defect in
+    /// deterministic tree order. Called by the `omni-lint` Layer-1
+    /// analyzer and usable standalone.
+    pub fn validate(&self, defined_receivers: &[&str]) -> Vec<RouteIssue> {
+        let mut issues = Vec::new();
+        self.validate_node("root", defined_receivers, &mut issues);
+        issues
+    }
+
+    fn validate_node(&self, path: &str, defined: &[&str], issues: &mut Vec<RouteIssue>) {
+        if !defined.contains(&self.receiver.as_str()) {
+            issues.push(RouteIssue {
+                kind: RouteIssueKind::UndefinedReceiver,
+                path: path.to_string(),
+                detail: format!("receiver {:?} is referenced but never defined", self.receiver),
+            });
+        }
+        // A catch-all child without `continue` stops resolve() for every
+        // later sibling, whatever their matchers.
+        let mut shadowing: Option<usize> = None;
+        for (i, child) in self.routes.iter().enumerate() {
+            let child_path = format!("{path}/{i}");
+            if let Some(by) = shadowing {
+                issues.push(RouteIssue {
+                    kind: RouteIssueKind::ShadowedRoute,
+                    path: child_path.clone(),
+                    detail: format!(
+                        "route to {:?} is unreachable: sibling {path}/{by} is a catch-all without continue",
+                        child.receiver
+                    ),
+                });
+            }
+            child.validate_node(&child_path, defined, issues);
+            if shadowing.is_none() && child.matchers.is_empty() && !child.continue_matching {
+                shadowing = Some(i);
+            }
+        }
     }
 
     fn matches(&self, labels: &LabelSet) -> bool {
@@ -143,6 +245,68 @@ mod tests {
         let m = root.resolve(&labels!("severity" => "warning"));
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].receiver, "slack");
+    }
+
+    #[test]
+    fn validate_flags_undefined_receiver() {
+        let mut root = Route::default_route("slack");
+        root.routes.push(Route::matching("pagerduty", vec![Matcher::eq("severity", "critical")]));
+        let issues = root.validate(&["slack", "servicenow"]);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].kind, RouteIssueKind::UndefinedReceiver);
+        assert_eq!(issues[0].path, "root/0");
+        assert!(issues[0].detail.contains("pagerduty"), "{}", issues[0].detail);
+    }
+
+    #[test]
+    fn validate_flags_shadowed_sibling() {
+        let mut root = Route::default_route("slack");
+        // Catch-all without continue: the critical route after it can
+        // never be reached.
+        root.routes.push(Route::matching("slack", vec![]));
+        root.routes.push(Route::matching("servicenow", vec![Matcher::eq("severity", "critical")]));
+        let issues = root.validate(&["slack", "servicenow"]);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].kind, RouteIssueKind::ShadowedRoute);
+        assert_eq!(issues[0].path, "root/1");
+        // Sanity: resolve() really never reaches the shadowed route.
+        let m = root.resolve(&labels!("severity" => "critical"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].receiver, "slack");
+    }
+
+    #[test]
+    fn validate_allows_continue_before_catch_all() {
+        // The shipped tree: continue route, then catch-all. No shadowing,
+        // nothing undefined.
+        let tree = Route::shipped_tree();
+        assert!(tree
+            .validate(&Route::shipped_receivers().iter().map(|s| s.as_str()).collect::<Vec<_>>())
+            .is_empty());
+        // Critical fans out to both receivers; warnings go to slack only.
+        let m = tree.resolve(&labels!("severity" => "critical"));
+        assert_eq!(m.len(), 2);
+        let m = tree.resolve(&labels!("severity" => "warning"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].receiver, "slack");
+    }
+
+    #[test]
+    fn validate_recurses_into_children() {
+        let mut root = Route::default_route("slack");
+        let mut facility = Route::matching("facility-team", vec![Matcher::eq("cat", "facility")]);
+        facility.routes.push(Route::matching("ghost", vec![]));
+        facility.routes.push(Route::matching("slack", vec![Matcher::eq("severity", "warning")]));
+        root.routes.push(facility);
+        let issues = root.validate(&["slack", "facility-team"]);
+        let kinds: Vec<_> = issues.iter().map(|i| (i.kind, i.path.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (RouteIssueKind::UndefinedReceiver, "root/0/0"),
+                (RouteIssueKind::ShadowedRoute, "root/0/1"),
+            ]
+        );
     }
 
     #[test]

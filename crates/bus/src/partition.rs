@@ -65,9 +65,10 @@ impl Partition {
         let offset = log.next_offset;
         msg.offset = offset;
         log.next_offset += 1;
-        log.bytes += msg.payload.len();
+        let payload_bytes = msg.payload.len();
+        log.bytes += payload_bytes;
         log.messages.push_back(msg);
-        (offset, log.messages.back().unwrap().payload.len())
+        (offset, payload_bytes)
     }
 
     /// Read up to `max` messages with `offset >= from`. Offsets below the
@@ -101,7 +102,7 @@ impl Partition {
         let mut log = self.log.write();
         let mut dropped = 0;
         while log.messages.front().is_some_and(|m| m.ts < horizon) {
-            let m = log.messages.pop_front().unwrap();
+            let Some(m) = log.messages.pop_front() else { break };
             log.bytes -= m.payload.len();
             dropped += 1;
         }
@@ -112,8 +113,8 @@ impl Partition {
     pub fn truncate_to_bytes(&self, cap: usize) -> usize {
         let mut log = self.log.write();
         let mut dropped = 0;
-        while log.bytes > cap && !log.messages.is_empty() {
-            let m = log.messages.pop_front().unwrap();
+        while log.bytes > cap {
+            let Some(m) = log.messages.pop_front() else { break };
             log.bytes -= m.payload.len();
             dropped += 1;
         }

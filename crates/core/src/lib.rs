@@ -37,4 +37,4 @@ pub use chaos::{ChaosAction, ChaosEngine, ChaosFault, ChaosStats};
 pub use omni::{ArchiveStore, Omni};
 pub use pane::{Dashboard, Pane, PaneQuery, Panel, ResilienceReport};
 pub use remediation::{Playbook, RemediationAction, RemediationEngine, RemediationEvent};
-pub use stack::{MonitoringStack, StackConfig};
+pub use stack::{MonitoringStack, StackConfig, StackError};

@@ -15,7 +15,6 @@ use omni_exporters::{
     parse_exposition, ArubaExporter, BlackboxExporter, Exporter, GpfsExporter, KafkaExporter,
     NodeExporter, SelfExporter,
 };
-use omni_logql::Matcher;
 use omni_loki::{AlertState, AlertingRule, Limits, RuleGroup, Ruler};
 use omni_model::{labels, SimClock, Timestamp, NANOS_PER_SEC};
 use omni_obs::{
@@ -58,6 +57,12 @@ pub struct StackConfig {
     pub auto_remediate: bool,
     /// Enable OMNI's Elasticsearch-style discovery tier.
     pub enable_discovery: bool,
+    /// Extra vmalert rules wired in addition to the shipped set. Linted
+    /// at boot like everything else: a typo'd metric name here fails
+    /// [`MonitoringStack::try_new`] instead of silently never firing.
+    pub extra_metric_rules: Vec<MetricRule>,
+    /// Extra Loki ruler (LogQL) rules, linted the same way.
+    pub extra_logql_rules: Vec<AlertingRule>,
 }
 
 impl Default for StackConfig {
@@ -74,9 +79,41 @@ impl Default for StackConfig {
             container_per_step: 10,
             auto_remediate: false,
             enable_discovery: true,
+            extra_metric_rules: Vec::new(),
+            extra_logql_rules: Vec::new(),
         }
     }
 }
+
+/// Why the stack refused to come up.
+#[derive(Debug)]
+pub enum StackError {
+    /// Static validation (omni-lint layer 1) rejected the configuration:
+    /// a rule, dashboard query, route or bucket layout is wrong. The
+    /// findings say exactly what and where.
+    Lint(Vec<omni_lint::Finding>),
+    /// A component failed while wiring (should not happen for configs
+    /// that passed the lint; kept separate so the two failure classes
+    /// stay distinguishable).
+    Wire(String),
+}
+
+impl std::fmt::Display for StackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackError::Lint(findings) => {
+                writeln!(f, "stack config failed static validation:")?;
+                for finding in findings {
+                    writeln!(f, "  {finding}")?;
+                }
+                Ok(())
+            }
+            StackError::Wire(msg) => write!(f, "stack wiring failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
 
 /// Bucket bounds for the ingest batch-size histogram (records per
 /// batched Loki push): powers of two up to the bridge's fetch batch.
@@ -149,7 +186,78 @@ enum PendingPublish {
 
 impl MonitoringStack {
     /// Wire up the whole Figure 1 pipeline.
+    ///
+    /// Panics if the config fails static validation — the shipped
+    /// default always passes (`omni-lint`'s own tests pin that), so this
+    /// is the convenient constructor for tests and examples. Use
+    /// [`try_new`] when wiring user-supplied rules.
+    ///
+    /// [`try_new`]: MonitoringStack::try_new
     pub fn new(config: StackConfig) -> Self {
+        // Invariant: only reachable with a config that fails the lint,
+        // which the shipped defaults cannot. lint:allow(no-unwrap)
+        Self::try_new(config).expect("stack config failed static validation")
+    }
+
+    /// The layer-1 lint configuration for this stack: everything
+    /// [`omni_lint::shipped_config`] covers, plus the provisioned
+    /// dashboards, the stack's extra histogram layouts, and any extra
+    /// rules the config carries.
+    fn lint_config(config: &StackConfig) -> omni_lint::LintConfig {
+        use crate::pane::{Dashboard, PaneQuery};
+        use omni_lint::{NamedQuery, QueryLang, RuleSpec};
+
+        let mut lint = omni_lint::shipped_config();
+        for dash in
+            [Dashboard::leak_detection(), Dashboard::pipeline_health(), Dashboard::fabric_health()]
+        {
+            for panel in &dash.panels {
+                let (lang, query) = match &panel.query {
+                    PaneQuery::Logs(q) | PaneQuery::LogMetric(q) => (QueryLang::LogQl, q.clone()),
+                    PaneQuery::Metric(q) => (QueryLang::PromQl, q.clone()),
+                };
+                lint.queries.push(NamedQuery {
+                    source: format!("dashboard:{}:{}", dash.title, panel.title),
+                    lang,
+                    query,
+                });
+            }
+        }
+        lint.buckets.push(("stack:ingest-batch-size".to_string(), INGEST_BATCH_BUCKETS.to_vec()));
+        lint.buckets.push(("stack:chunk-fill-ratio".to_string(), CHUNK_FILL_BUCKETS.to_vec()));
+        for r in &config.extra_metric_rules {
+            lint.rules.push(RuleSpec {
+                source: format!("vmalert:{}", r.name),
+                lang: QueryLang::PromQl,
+                expr: r.expr.clone(),
+                for_ns: r.for_ns,
+            });
+        }
+        for r in &config.extra_logql_rules {
+            lint.rules.push(RuleSpec {
+                source: format!("ruler:{}", r.name),
+                lang: QueryLang::LogQl,
+                expr: r.expr.clone(),
+                for_ns: r.for_ns,
+            });
+        }
+        lint
+    }
+
+    /// Statically validate the configuration, then wire up the pipeline.
+    ///
+    /// Runs `omni-lint`'s layer-1 analysis over everything this stack is
+    /// about to wire — the shipped vmalert and ruler rules, the routing
+    /// tree, the provisioned dashboards, the histogram bucket layouts and
+    /// the config's extra rules — and refuses to boot on any finding
+    /// ([`StackError::Lint`]). A misspelled metric in an alert rule is an
+    /// error at construction, not an alert that never fires.
+    pub fn try_new(config: StackConfig) -> Result<Self, StackError> {
+        let findings = omni_lint::analyze(&Self::lint_config(&config));
+        if !findings.is_empty() {
+            return Err(StackError::Lint(findings));
+        }
+
         let clock = SimClock::starting_at(0);
         // Self-telemetry: one registry on the shared clock, one trace
         // store seeded like everything else so ids replay byte-identically.
@@ -173,7 +281,8 @@ impl MonitoringStack {
         // Bridges (the K3s pods), shared with the registry's collectors.
         let token = api.issue_token("bridge-clients");
         let mut log_bridge =
-            LogBridge::new(&api, &token, omni.clone(), &config.cluster_name, &broker).unwrap();
+            LogBridge::new(&api, &token, omni.clone(), &config.cluster_name, &broker)
+                .map_err(|e| StackError::Wire(format!("log bridge: {e}")))?;
         log_bridge.set_tracer(traces.clone());
         log_bridge.set_batch_histogram(registry.histogram(
             "omni_ingest_batch_size",
@@ -184,58 +293,40 @@ impl MonitoringStack {
         let log_bridge = Arc::new(parking_lot::Mutex::new(log_bridge));
         let metric_bridge = Arc::new(parking_lot::Mutex::new(
             MetricBridge::new(&api, &token, omni.tsdb().clone(), &config.cluster_name, &broker)
-                .unwrap(),
+                .map_err(|e| StackError::Wire(format!("metric bridge: {e}")))?,
         ));
         let delivery = Arc::new(parking_lot::Mutex::new(DeliveryQueue::with_defaults()));
         let chaos: Arc<parking_lot::Mutex<Option<ChaosEngine>>> =
             Arc::new(parking_lot::Mutex::new(None));
 
-        // The Ruler carries both paper case-study rules.
+        // The Ruler carries both paper case-study rules, plus any extra
+        // LogQL rules the config brings (already linted above).
         let mut ruler = Ruler::new(omni.loki().clone());
+        let mut logql_rules = vec![
+            AlertingRule::paper_leak_rule(),
+            AlertingRule::paper_switch_rule(),
+            AlertingRule::gpfs_server_rule(),
+        ];
+        logql_rules.extend(config.extra_logql_rules.iter().cloned());
         ruler
             .add_group(RuleGroup {
                 name: "perlmutter-alerts".into(),
                 interval_ns: 60 * NANOS_PER_SEC,
-                rules: vec![
-                    AlertingRule::paper_leak_rule(),
-                    AlertingRule::paper_switch_rule(),
-                    AlertingRule::gpfs_server_rule(),
-                ],
+                rules: logql_rules,
             })
-            .expect("paper rules must parse");
+            .map_err(|e| StackError::Wire(format!("ruler group: {e}")))?;
 
-        // vmalert: thermal + leak-sensor metric rules.
+        // vmalert: the shipped thermal / leak-sensor / GPFS metric rules
+        // (the same set omni-lint validates), plus the config's extras.
         let mut vmalert = VmAlert::new(omni.tsdb().clone());
-        vmalert
-            .add_rule(MetricRule {
-                name: "NodeTemperatureCritical".into(),
-                expr: "max by (xname) (shasta_temperature_celsius) > 90".into(),
-                for_ns: 60 * NANOS_PER_SEC,
-                labels: omni_model::LabelSet::from_pairs([("severity", "critical")]),
-                annotations: vec![("summary".into(), "node {{.xname}} above 90C".into())],
-            })
-            .unwrap();
-        vmalert
-            .add_rule(MetricRule {
-                name: "GpfsLongWaiters".into(),
-                expr: "max by (fs, server) (gpfs_longest_waiter_seconds) > 300".into(),
-                for_ns: 60 * NANOS_PER_SEC,
-                labels: omni_model::LabelSet::from_pairs([("severity", "critical")]),
-                annotations: vec![(
-                    "summary".into(),
-                    "GPFS {{.fs}}/{{.server}} has waiters over 300s".into(),
-                )],
-            })
-            .unwrap();
-        vmalert
-            .add_rule(MetricRule {
-                name: "LeakSensorWet".into(),
-                expr: "max by (xname) (shasta_leak_bool) > 0".into(),
-                for_ns: 0,
-                labels: omni_model::LabelSet::from_pairs([("severity", "warning")]),
-                annotations: vec![("summary".into(), "leak sensor wet at {{.xname}}".into())],
-            })
-            .unwrap();
+        for rule in
+            MetricRule::shipped_rules().into_iter().chain(config.extra_metric_rules.iter().cloned())
+        {
+            let name = rule.name.clone();
+            vmalert
+                .add_rule(rule)
+                .map_err(|e| StackError::Wire(format!("vmalert rule {name}: {e}")))?;
+        }
 
         // vmagent scraping the exporter fleet.
         let mut vmagent = VmAgent::new(omni.tsdb().clone());
@@ -285,26 +376,9 @@ impl MonitoringStack {
         }
 
         // Alertmanager routing: critical alerts go to ServiceNow AND
-        // Slack; everything else to Slack only.
-        let mut root = Route::default_route("slack");
-        root.group_by = vec!["alertname".into()];
-        root.group_wait_ns = 10 * NANOS_PER_SEC;
-        root.group_interval_ns = 60 * NANOS_PER_SEC;
-        root.repeat_interval_ns = 4 * 3600 * NANOS_PER_SEC;
-        let mut to_sn = Route::matching("servicenow", vec![Matcher::eq("severity", "critical")]);
-        to_sn.group_by = root.group_by.clone();
-        to_sn.group_wait_ns = root.group_wait_ns;
-        to_sn.group_interval_ns = root.group_interval_ns;
-        to_sn.repeat_interval_ns = root.repeat_interval_ns;
-        to_sn.continue_matching = true;
-        let mut to_slack_all = Route::matching("slack", vec![]);
-        to_slack_all.group_by = root.group_by.clone();
-        to_slack_all.group_wait_ns = root.group_wait_ns;
-        to_slack_all.group_interval_ns = root.group_interval_ns;
-        to_slack_all.repeat_interval_ns = root.repeat_interval_ns;
-        root.routes.push(to_sn);
-        root.routes.push(to_slack_all);
-        let alertmanager = Alertmanager::new(root);
+        // Slack; everything else to Slack only. The tree lives next to
+        // the Route type so omni-lint validates the exact object we wire.
+        let alertmanager = Alertmanager::new(Route::shipped_tree());
 
         // ServiceNow: CMDB from the machine, incidents for critical alerts.
         let servicenow = ServiceNow::new();
@@ -352,7 +426,7 @@ impl MonitoringStack {
             &servicenow,
         );
 
-        Self {
+        Ok(Self {
             clock,
             machine,
             collector,
@@ -381,7 +455,7 @@ impl MonitoringStack {
             traces,
             notifications_dispatched: 0,
             publish_backlog: parking_lot::Mutex::new(Vec::new()),
-        }
+        })
     }
 
     /// Install a scripted chaos engine; its faults fire inside [`step`]
@@ -1028,6 +1102,38 @@ mod tests {
 
     fn minute() -> i64 {
         60 * NANOS_PER_SEC
+    }
+
+    #[test]
+    fn boot_fails_fast_on_invalid_extra_rule() {
+        let mut config = StackConfig::default();
+        config.extra_metric_rules.push(MetricRule {
+            name: "TypoAlert".into(),
+            // "temprature" is not an emittable metric — the catalog
+            // cross-check must catch the typo at boot.
+            expr: "max by (xname) (shasta_temprature_celsius) > 90".into(),
+            for_ns: 60 * NANOS_PER_SEC,
+            labels: omni_model::LabelSet::from_pairs([("severity", "critical")]),
+            annotations: vec![],
+        });
+        let err = match MonitoringStack::try_new(config) {
+            Err(e) => e,
+            Ok(_) => panic!("typo'd rule must not boot"),
+        };
+        let StackError::Lint(findings) = &err else {
+            panic!("expected a lint error, got: {err}");
+        };
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "unknown-metric");
+        assert_eq!(findings[0].file, "vmalert:TypoAlert");
+        assert!(err.to_string().contains("shasta_temprature_celsius"), "{err}");
+    }
+
+    #[test]
+    fn shipped_stack_config_boots_clean() {
+        // The full boot-time lint surface — shipped rules, dashboards,
+        // routes, bucket layouts — must stay clean.
+        assert!(MonitoringStack::try_new(StackConfig::default()).is_ok());
     }
 
     #[test]

@@ -47,8 +47,9 @@ impl MetricFamily {
 }
 
 /// Is `name` a valid Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
-/// Shared by the renderer and the parser so the two sides agree.
-fn valid_metric_name(name: &str) -> bool {
+/// Shared by the renderer, the parser, and the `omni-lint` static
+/// analyzer so every side agrees on what a registrable name is.
+pub fn valid_metric_name(name: &str) -> bool {
     let mut chars = name.chars();
     match chars.next() {
         Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}

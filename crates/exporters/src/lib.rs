@@ -12,8 +12,11 @@ pub mod exposition;
 pub mod self_scrape;
 pub mod simulated;
 
-pub use exposition::{parse_exposition, render_exposition, ExpositionError, MetricFamily};
+pub use exposition::{
+    parse_exposition, render_exposition, valid_metric_name, ExpositionError, MetricFamily,
+};
 pub use self_scrape::SelfExporter;
 pub use simulated::{
-    ArubaExporter, BlackboxExporter, Exporter, GpfsExporter, KafkaExporter, NodeExporter,
+    shipped_exporter_families, ArubaExporter, BlackboxExporter, Exporter, GpfsExporter,
+    KafkaExporter, NodeExporter,
 };

@@ -7,6 +7,40 @@ use omni_redfish::SensorKind;
 use omni_shasta::ShastaMachine;
 use std::sync::Arc;
 
+/// Every metric family the simulated exporter fleet can emit, as
+/// `(metric name, label keys)` pairs. This is the static source of truth
+/// the `omni-lint` catalog is derived from: a query referencing a metric
+/// or label key absent from this table (plus the scrape-added
+/// `job`/`instance` labels) cannot ever return data.
+pub fn shipped_exporter_families() -> Vec<(&'static str, &'static [&'static str])> {
+    const NODE: &[&str] = &["xname", "sensor"];
+    const PROBE: &[&str] = &["target"];
+    const KAFKA: &[&str] = &["topic"];
+    const ARUBA: &[&str] = &["switch", "port"];
+    const GPFS: &[&str] = &["fs", "server"];
+    vec![
+        ("node_temp_celsius", NODE),
+        ("node_power_watts", NODE),
+        ("node_fan_rpm", NODE),
+        ("chassis_humidity_percent", NODE),
+        ("chassis_leak_detected", NODE),
+        ("cdu_flow_lpm", NODE),
+        ("probe_success", PROBE),
+        ("probe_duration_seconds", PROBE),
+        ("kafka_topic_messages_in_total", KAFKA),
+        ("kafka_topic_bytes_in_total", KAFKA),
+        ("kafka_topic_retained_messages", KAFKA),
+        ("aruba_port_rx_octets_total", ARUBA),
+        ("aruba_port_rx_errors_total", ARUBA),
+        ("aruba_port_up", ARUBA),
+        ("gpfs_server_healthy", GPFS),
+        ("gpfs_sick_disks", GPFS),
+        ("gpfs_longest_waiter_seconds", GPFS),
+        ("gpfs_read_mb_per_sec", GPFS),
+        ("gpfs_write_mb_per_sec", GPFS),
+    ]
+}
+
 /// An exporter: renders its current exposition page.
 pub trait Exporter: Send + Sync {
     /// The exporter's job name (Prometheus `job` label).

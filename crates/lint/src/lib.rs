@@ -1,0 +1,178 @@
+//! omni-lint: promtool-style static validation for the shasta-mon stack.
+//!
+//! Two layers:
+//!
+//! 1. **Config analysis** ([`analyze`]): every LogQL query, PromQL alert
+//!    rule, Alertmanager route tree and histogram bucket layout the stack
+//!    wires is parsed with the *same* parsers the runtime uses, then
+//!    cross-checked against a statically derived [`Catalog`] of
+//!    everything the pipeline can emit — exporter families, registry
+//!    registration sites, bridge-produced Loki stream labels. A typo'd
+//!    metric name or an unreachable route is a boot-time error instead of
+//!    an alert that silently never fires.
+//! 2. **Source invariants** ([`lint_workspace`]): a hand-rolled Rust
+//!    lexer sweeps `crates/**/*.rs` for wall-clock reads outside
+//!    `crates/bench` (the simulation is virtual-time only), `unwrap` /
+//!    `expect` / `panic!` in the hot-path crates, malformed metric-name
+//!    literals at registration sites, and registration sites that drifted
+//!    out of the shipped catalog.
+//!
+//! Output is deterministic: findings sort by `(file, line, rule,
+//! message)` and both the text and `--json` renderings are byte-identical
+//! across runs. A `// lint:allow(<rule>)` comment on the offending line
+//! or the line above suppresses a source finding.
+
+pub mod catalog;
+pub mod config;
+pub mod rustlint;
+
+pub use catalog::Catalog;
+pub use config::{analyze, LintConfig, NamedQuery, QueryLang, RuleSpec};
+pub use rustlint::{lint_source, lint_workspace};
+
+use omni_json::Json;
+
+/// One defect found by either layer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative source path (layer 2) or a `kind:name` source tag
+    /// like `vmalert:NodeTemperatureCritical` (layer 1).
+    pub file: String,
+    /// 1-based line for source findings; 0 for config findings.
+    pub line: usize,
+    /// Stable rule id, e.g. `unknown-metric` or `no-unwrap`.
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Build a config-layer finding (no source line).
+    pub fn config(source: &str, rule: &str, message: impl Into<String>) -> Self {
+        Self { file: source.to_string(), line: 0, rule: rule.to_string(), message: message.into() }
+    }
+
+    /// Build a source-layer finding.
+    pub fn source(file: &str, line: usize, rule: &str, message: impl Into<String>) -> Self {
+        Self { file: file.to_string(), line, rule: rule.to_string(), message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Sort and deduplicate findings into the canonical reporting order.
+pub fn normalize(mut findings: Vec<Finding>) -> Vec<Finding> {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    findings.dedup();
+    findings
+}
+
+/// Render findings as sorted text, one per line.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render findings as the versioned JSON report:
+/// `{"version":1,"findings":[{"rule","file","line","message"},...]}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut root = Json::object();
+    let _ = root.set("version", Json::Number(1.0));
+    let items = findings
+        .iter()
+        .map(|f| {
+            let mut o = Json::object();
+            let _ = o.set("rule", Json::String(f.rule.clone()));
+            let _ = o.set("file", Json::String(f.file.clone()));
+            let _ = o.set("line", Json::Number(f.line as f64));
+            let _ = o.set("message", Json::String(f.message.clone()));
+            o
+        })
+        .collect();
+    let _ = root.set("findings", Json::Array(items));
+    root.dump()
+}
+
+/// The lint configuration covering everything wired below `omni-core`:
+/// the shipped vmalert rules, Loki ruler rules, the Alertmanager routing
+/// tree and the default latency buckets, all validated against
+/// [`Catalog::shipped`]. `core::stack` extends this with its dashboards
+/// and extra histogram layouts at boot.
+pub fn shipped_config() -> LintConfig {
+    use omni_loki::AlertingRule;
+    use omni_tsdb::MetricRule;
+
+    let mut cfg = LintConfig::new(Catalog::shipped());
+    for r in MetricRule::shipped_rules() {
+        cfg.rules.push(RuleSpec {
+            source: format!("vmalert:{}", r.name),
+            lang: QueryLang::PromQl,
+            expr: r.expr.clone(),
+            for_ns: r.for_ns,
+        });
+    }
+    for r in [
+        AlertingRule::paper_leak_rule(),
+        AlertingRule::paper_switch_rule(),
+        AlertingRule::gpfs_server_rule(),
+    ] {
+        cfg.rules.push(RuleSpec {
+            source: format!("ruler:{}", r.name),
+            lang: QueryLang::LogQl,
+            expr: r.expr.clone(),
+            for_ns: r.for_ns,
+        });
+    }
+    cfg.route = Some(omni_alertmanager::Route::shipped_tree());
+    cfg.receivers = omni_alertmanager::Route::shipped_receivers();
+    cfg.buckets
+        .push(("obs:default-latency".to_string(), omni_obs::DEFAULT_LATENCY_BUCKETS.to_vec()));
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_sort_and_render_deterministically() {
+        let raw = vec![
+            Finding::source("b.rs", 2, "no-unwrap", "second"),
+            Finding::source("a.rs", 9, "wall-clock", "first"),
+            Finding::source("a.rs", 9, "wall-clock", "first"),
+        ];
+        let n = normalize(raw);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[0].file, "a.rs");
+        let text = render_text(&n);
+        assert_eq!(text, "a.rs:9: [wall-clock] first\nb.rs:2: [no-unwrap] second\n");
+        assert_eq!(render_text(&n), text);
+    }
+
+    #[test]
+    fn json_report_parses_back() {
+        let findings = vec![Finding::config("vmalert:X", "unknown-metric", "no such metric")];
+        let parsed = omni_json::parse(&render_json(&findings)).unwrap();
+        assert_eq!(parsed.pointer("/version").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            parsed.pointer("/findings/0/rule").and_then(Json::as_str),
+            Some("unknown-metric")
+        );
+        assert_eq!(parsed.pointer("/findings/0/line").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn shipped_config_is_clean() {
+        assert_eq!(analyze(&shipped_config()), Vec::new());
+    }
+}

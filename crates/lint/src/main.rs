@@ -1,0 +1,68 @@
+//! omni-lint CLI: run both layers against the shipped configuration and
+//! the workspace sources, print findings (sorted text, or `--json` for
+//! the versioned report), exit non-zero if anything was found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "omni-lint: static validation of rules, queries and source invariants\n\
+                     \n\
+                     usage: omni-lint [--json]\n\
+                     \n\
+                     Runs layer 1 (config analysis of the shipped rules, routes and\n\
+                     buckets) and layer 2 (source invariants over crates/**/*.rs),\n\
+                     prints findings sorted by (file, line, rule, message), and exits\n\
+                     with status 1 if any finding was produced."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("omni-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let mut findings = omni_lint::analyze(&omni_lint::shipped_config());
+    findings.extend(omni_lint::lint_workspace(&root));
+    let findings = omni_lint::normalize(findings);
+
+    if json {
+        println!("{}", omni_lint::render_json(&findings));
+    } else if findings.is_empty() {
+        println!("omni-lint: no findings");
+    } else {
+        print!("{}", omni_lint::render_text(&findings));
+        eprintln!("omni-lint: {} finding(s)", findings.len());
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Locate the workspace root: walk up from the current directory until a
+/// `crates/` directory appears next to a `Cargo.toml`. Falls back to the
+/// current directory (layer 2 then reports an io-error finding rather
+/// than silently passing).
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! Layer 2: source invariants over `crates/**/*.rs`, enforced by a
+//! hand-rolled lexer (no syn, no proc-macro machinery — the workspace
+//! has no such dependency and doesn't need one for these checks).
+//!
+//! Rules:
+//!
+//! - `wall-clock`: no `SystemTime::now` / `Instant::now` (or chrono-style
+//!   `Utc::now` / `Local::now`) outside `crates/bench` — the whole
+//!   pipeline runs on the virtual [`SimClock`], and a single wall-clock
+//!   read breaks replay determinism. Applies to test code too.
+//! - `no-unwrap`: no `.unwrap()` / `.expect()` / `panic!` in non-test
+//!   code of the hot-path crates (`loki`, `bus`, `core`) — a poisoned
+//!   ingest path takes the whole pipeline down.
+//! - `metric-name`: string literals at metric registration sites must
+//!   satisfy [`omni_exporters::valid_metric_name`].
+//! - `catalog-drift`: registration sites in `core`, `exporters` and
+//!   `obs` must register names present in [`Catalog::shipped`] — the
+//!   guarantee that keeps the layer-1 catalog honest.
+//!
+//! Suppress a finding with `// lint:allow(<rule>)` on the same line or
+//! the line directly above.
+//!
+//! [`SimClock`]: omni_model::SimClock
+//! [`Catalog::shipped`]: crate::Catalog::shipped
+
+use crate::catalog::Catalog;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Crates whose non-test code must be panic-free.
+const HOT_PATH_CRATES: &[&str] = &["loki", "bus", "core"];
+
+/// Crates whose registration sites must match the shipped catalog.
+const CATALOG_CRATES: &[&str] = &["core", "exporters", "obs"];
+
+/// Method names whose first string-literal argument is a metric name.
+const REGISTER_METHODS: &[&str] = &["counter", "gauge", "histogram", "ingest_sample"];
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Punct(char),
+}
+
+struct Lexed {
+    /// `(line, token)` in source order; comments/whitespace dropped.
+    toks: Vec<(usize, Tok)>,
+    /// Rules allowed per line, from `// lint:allow(rule)` comments.
+    allows: BTreeMap<usize, BTreeSet<String>>,
+}
+
+/// Lex Rust source into the minimal token stream the rules need. Handles
+/// line and nested block comments, plain/raw/byte strings, and the
+/// char-literal-vs-lifetime ambiguity.
+fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                record_allows(&src[start..i], line, &mut allows);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                record_allows(&src[start..i], start_line, &mut allows);
+            }
+            b'"' => {
+                let (s, ni, nl) = scan_string(src, i, line);
+                toks.push((line, Tok::Str(s)));
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let (s, ni, nl) = scan_raw_or_byte(src, i, line);
+                toks.push((line, Tok::Str(s)));
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let rest = &b[i + 1..];
+                let is_lifetime = match rest.first() {
+                    Some(&ch) if ch == b'_' || ch.is_ascii_alphabetic() => {
+                        // `'x'` is a char; `'xy`, `'x,` etc. are lifetimes.
+                        rest.get(1) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                } else {
+                    // Char literal: scan to the closing quote, honouring
+                    // escapes.
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == b'\\' {
+                            i += 2;
+                        } else if b[i] == b'\'' {
+                            i += 1;
+                            break;
+                        } else {
+                            if b[i] == b'\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                toks.push((line, Tok::Ident(src[start..i].to_string())));
+            }
+            _ if c.is_ascii_digit() => {
+                // Numbers (including suffixes/underscores); no token needed.
+                while i < b.len() && (b[i] == b'_' || b[i] == b'.' || b[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+            }
+            _ => {
+                if !c.is_ascii_whitespace() {
+                    toks.push((line, Tok::Punct(c as char)));
+                }
+                i += 1;
+            }
+        }
+    }
+    Lexed { toks, allows }
+}
+
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(&b'"') | Some(&b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(&b'"') => true,
+            Some(&b'r') => matches!(b.get(i + 2), Some(&b'"') | Some(&b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scan a plain `"..."` string starting at `i` (the opening quote).
+fn scan_string(src: &str, i: usize, mut line: usize) -> (String, usize, usize) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    let start = j;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => break,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let end = j.min(b.len());
+    (src[start..end].to_string(), end + 1, line)
+}
+
+/// Scan `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` starting at `i`.
+fn scan_raw_or_byte(src: &str, i: usize, mut line: usize) -> (String, usize, usize) {
+    let b = src.as_bytes();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = b.get(j) == Some(&b'r');
+    if !raw {
+        // Plain byte string `b"..."`.
+        return scan_string(src, j, line);
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // Opening quote.
+    j += 1;
+    let start = j;
+    let mut closer = Vec::with_capacity(hashes + 1);
+    closer.push(b'"');
+    closer.resize(hashes + 1, b'#');
+    while j < b.len() {
+        if b[j] == b'\n' {
+            line += 1;
+        }
+        if b[j] == b'"' && b[j..].starts_with(&closer) {
+            return (src[start..j].to_string(), j + closer.len(), line);
+        }
+        j += 1;
+    }
+    (src[start..].to_string(), b.len(), line)
+}
+
+/// Pull every `lint:allow(rule)` out of a comment's text.
+fn record_allows(comment: &str, line: usize, allows: &mut BTreeMap<usize, BTreeSet<String>>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        let after = &rest[pos + "lint:allow(".len()..];
+        if let Some(end) = after.find(')') {
+            allows.entry(line).or_default().insert(after[..end].trim().to_string());
+            rest = &after[end..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// Per-token flag: is this token inside a `#[cfg(test)]` / `#[test]`
+/// brace-matched region?
+fn mark_test_regions(toks: &[(usize, Tok)]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut region_depths: Vec<i64> = Vec::new();
+    let mut k = 0;
+    while k < toks.len() {
+        if is_test_attr(toks, k) {
+            pending = true;
+        }
+        match &toks[k].1 {
+            Tok::Punct('{') => {
+                depth += 1;
+                if pending {
+                    region_depths.push(depth);
+                    pending = false;
+                }
+            }
+            Tok::Punct('}') => {
+                if region_depths.last() == Some(&depth) {
+                    region_depths.pop();
+                    // The closing brace itself still belongs to the region.
+                    in_test[k] = true;
+                }
+                depth -= 1;
+            }
+            // `#[cfg(test)] use ...;` — no braced item follows.
+            Tok::Punct(';') if pending && region_depths.is_empty() => pending = false,
+            _ => {}
+        }
+        if !region_depths.is_empty() {
+            in_test[k] = true;
+        }
+        k += 1;
+    }
+    in_test
+}
+
+/// Does `#[cfg(test)]` or `#[test]` start at token `k`?
+fn is_test_attr(toks: &[(usize, Tok)], k: usize) -> bool {
+    let pat_cfg = ["#", "[", "cfg", "(", "test", ")", "]"];
+    let pat_test = ["#", "[", "test", "]"];
+    matches_toks(toks, k, &pat_cfg) || matches_toks(toks, k, &pat_test)
+}
+
+fn matches_toks(toks: &[(usize, Tok)], k: usize, pat: &[&str]) -> bool {
+    if k + pat.len() > toks.len() {
+        return false;
+    }
+    pat.iter().enumerate().all(|(n, want)| match &toks[k + n].1 {
+        Tok::Ident(s) => s == want,
+        Tok::Punct(c) => want.len() == 1 && *c == want.chars().next().unwrap_or(' '),
+        Tok::Str(_) => false,
+    })
+}
+
+fn allowed(lexed: &Lexed, line: usize, rule: &str) -> bool {
+    [line, line.saturating_sub(1)]
+        .iter()
+        .any(|l| lexed.allows.get(l).is_some_and(|set| set.contains(rule)))
+}
+
+/// Lint one source file. `rel_path` is the repo-relative path used in
+/// findings; `crate_name` selects which rules apply.
+pub fn lint_source(rel_path: &str, crate_name: &str, src: &str, catalog: &Catalog) -> Vec<Finding> {
+    let lexed = lex(src);
+    let in_test = mark_test_regions(&lexed.toks);
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+
+    let push = |lexed: &Lexed, line: usize, rule: &str, msg: String, out: &mut Vec<Finding>| {
+        if !allowed(lexed, line, rule) {
+            out.push(Finding::source(rel_path, line, rule, msg));
+        }
+    };
+
+    for k in 0..toks.len() {
+        let (line, tok) = &toks[k];
+        // wall-clock: Ident::now( — everywhere but crates/bench, tests
+        // included (replay determinism).
+        if crate_name != "bench" {
+            if let Tok::Ident(id) = tok {
+                if matches!(id.as_str(), "SystemTime" | "Instant" | "Utc" | "Local")
+                    && matches_toks(toks, k + 1, &[":", ":", "now"])
+                {
+                    push(
+                        &lexed,
+                        *line,
+                        "wall-clock",
+                        format!("{id}::now reads the wall clock; use the SimClock"),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        // no-unwrap: hot-path crates, non-test code only.
+        if HOT_PATH_CRATES.contains(&crate_name) && !in_test[k] {
+            if let Tok::Ident(id) = tok {
+                let unwrapish = (id == "unwrap" || id == "expect")
+                    && k > 0
+                    && toks[k - 1].1 == Tok::Punct('.')
+                    && matches_toks(toks, k + 1, &["("]);
+                if unwrapish {
+                    push(
+                        &lexed,
+                        *line,
+                        "no-unwrap",
+                        format!(".{id}() can panic on a hot path; propagate the error"),
+                        &mut out,
+                    );
+                }
+                if id == "panic" && matches_toks(toks, k + 1, &["!"]) {
+                    push(
+                        &lexed,
+                        *line,
+                        "no-unwrap",
+                        "panic! takes the pipeline down; return an error".to_string(),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        // metric-name / catalog-drift: registration sites with a string
+        // literal name. Tests are exempt — they deliberately register
+        // malformed names to exercise the renderer's degradation path.
+        if in_test[k] {
+            continue;
+        }
+        if let Some((name, name_line)) = registration_name(toks, k) {
+            if !omni_exporters::valid_metric_name(&name) {
+                push(
+                    &lexed,
+                    name_line,
+                    "metric-name",
+                    format!("metric name {name:?} is not a valid Prometheus metric name"),
+                    &mut out,
+                );
+            } else if CATALOG_CRATES.contains(&crate_name)
+                && !in_test[k]
+                && !catalog.has_metric(&name)
+                && !catalog.has_histogram_base(&name)
+            {
+                push(
+                    &lexed,
+                    name_line,
+                    "catalog-drift",
+                    format!(
+                        "metric {name:?} is registered here but missing from the shipped \
+                         catalog; add it to omni-lint's Catalog::shipped"
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// If a metric registration site starts at token `k`, return its
+/// string-literal name and the line it sits on. Recognized shapes:
+/// `.counter("name"`, `.gauge("name"`, `.histogram("name"`,
+/// `.ingest_sample("name"`, `MetricFamily::gauge("name"`,
+/// `MetricFamily::counter("name"`, `FamilySnapshot::new("name"`, and the
+/// bare `single("name"` collector shorthand.
+fn registration_name(toks: &[(usize, Tok)], k: usize) -> Option<(String, usize)> {
+    let grab = |at: usize| match toks.get(at) {
+        Some((line, Tok::Str(s))) => Some((s.clone(), *line)),
+        _ => None,
+    };
+    match &toks[k].1 {
+        Tok::Ident(id) if REGISTER_METHODS.contains(&id.as_str()) => {
+            if k > 0 && toks[k - 1].1 == Tok::Punct('.') && matches_toks(toks, k + 1, &["("]) {
+                return grab(k + 2);
+            }
+            None
+        }
+        Tok::Ident(id) if id == "single" => {
+            // Bare call, not a method (`.single(` would be a method).
+            if (k == 0 || toks[k - 1].1 != Tok::Punct('.')) && matches_toks(toks, k + 1, &["("]) {
+                return grab(k + 2);
+            }
+            None
+        }
+        Tok::Ident(id) if id == "MetricFamily" => {
+            if matches_toks(toks, k + 1, &[":", ":"]) {
+                if let Some((_, Tok::Ident(m))) = toks.get(k + 3) {
+                    if (m == "gauge" || m == "counter") && matches_toks(toks, k + 4, &["("]) {
+                        return grab(k + 5);
+                    }
+                }
+            }
+            None
+        }
+        Tok::Ident(id) if id == "FamilySnapshot" => {
+            if matches_toks(toks, k + 1, &[":", ":", "new", "("]) {
+                return grab(k + 5);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Walk `<root>/crates/*/src/**/*.rs` in sorted order and lint each
+/// file. `root` is the workspace root.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let catalog = Catalog::shipped();
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let mut crate_dirs: Vec<_> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect(),
+        Err(e) => {
+            out.push(Finding::source(
+                "crates",
+                0,
+                "io-error",
+                format!("cannot read {}: {e}", crates_dir.display()),
+            ));
+            return out;
+        }
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let crate_name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        let mut files = Vec::new();
+        collect_rs_files(&dir.join("src"), &mut files);
+        files.sort();
+        for f in files {
+            let Ok(src) = std::fs::read_to_string(&f) else { continue };
+            let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().replace('\\', "/");
+            out.extend(lint_source(&rel, &crate_name, &src, &catalog));
+        }
+    }
+    crate::normalize(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else { return };
+    for entry in rd.filter_map(Result::ok) {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source("crates/loki/src/x.rs", "loki", src, &Catalog::shipped())
+    }
+
+    #[test]
+    fn flags_unwrap_on_hot_path() {
+        let f = lint("fn f() { x.unwrap(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-unwrap");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn allows_unwrap_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(lint(src).is_empty());
+        let attr = "#[test]\nfn t() { x.expect(\"ok\"); }\n";
+        assert!(lint(attr).is_empty());
+    }
+
+    #[test]
+    fn non_test_code_after_test_region_still_checked() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }\nfn f() { b.unwrap(); }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn suppression_comment_works_on_line_and_line_above() {
+        let same = "fn f() { x.unwrap(); } // lint:allow(no-unwrap)\n";
+        assert!(lint(same).is_empty());
+        let above = "// invariant: never empty. lint:allow(no-unwrap)\nfn f() { x.unwrap(); }\n";
+        assert!(lint(above).is_empty());
+        let wrong_rule = "// lint:allow(wall-clock)\nfn f() { x.unwrap(); }\n";
+        assert_eq!(lint(wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn ignores_strings_and_comments() {
+        let src = "fn f() { let s = \".unwrap()\"; // .unwrap()\n /* x.unwrap() */ }\n";
+        assert!(lint(src).is_empty());
+        let raw = "fn f() { let s = r#\"a.unwrap() \"quoted\" \"#; }\n";
+        assert!(lint(raw).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) { y.unwrap(); }\n";
+        assert_eq!(lint(src).len(), 1);
+        let chars = "fn f() { let c = '\\''; let q = '\"'; z.unwrap(); }\n";
+        assert_eq!(lint(chars).len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_flagged_everywhere_but_bench() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let f = lint_source("crates/model/src/x.rs", "model", src, &Catalog::shipped());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+        let bench = lint_source("crates/bench/src/x.rs", "bench", src, &Catalog::shipped());
+        assert!(bench.is_empty());
+        // Tests are not exempt: replay determinism covers them too.
+        let in_test = "#[cfg(test)]\nmod t { fn f() { Instant::now(); } }\n";
+        assert_eq!(
+            lint_source("crates/model/src/x.rs", "model", in_test, &Catalog::shipped()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn bad_metric_name_flagged() {
+        let src = "fn f(r: &Registry) { r.counter(\"bad.name\", \"h\", labels!()); }\n";
+        let f = lint_source("crates/model/src/x.rs", "model", src, &Catalog::shipped());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "metric-name");
+    }
+
+    #[test]
+    fn catalog_drift_flagged_in_core_only() {
+        let src = "fn f(r: &Registry) { r.counter(\"omni_made_up_total\", \"h\", labels!()); }\n";
+        let core = lint_source("crates/core/src/x.rs", "core", src, &Catalog::shipped());
+        assert_eq!(core.len(), 1, "{core:?}");
+        assert_eq!(core[0].rule, "catalog-drift");
+        // Same site in a non-catalog crate: only name validity applies.
+        let model = lint_source("crates/model/src/x.rs", "model", src, &Catalog::shipped());
+        assert!(model.is_empty(), "{model:?}");
+    }
+
+    #[test]
+    fn known_registration_sites_pass() {
+        let src = concat!(
+            "fn f(r: &Registry) {\n",
+            "  r.counter(\"omni_steps_total\", \"h\", labels!());\n",
+            "  r.histogram(\"omni_ingest_batch_size\", \"h\", labels!(), B);\n",
+            "  let f = FamilySnapshot::new(\"omni_bus_consumer_lag\", \"h\", Gauge);\n",
+            "  single(\"omni_loki_shards_up\", \"h\", Gauge, 1.0);\n",
+            "}\n"
+        );
+        let f = lint_source("crates/core/src/x.rs", "core", src, &Catalog::shipped());
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

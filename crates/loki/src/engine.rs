@@ -44,7 +44,10 @@ fn gather(
             })
             .collect();
         for h in handles {
-            out.extend(h.join().expect("shard scan panicked"));
+            // Invariant: shard scans are read-only and must not panic; if
+            // one does, the query result would be silently partial, so
+            // propagating the panic is the correct behaviour here.
+            out.extend(h.join().expect("shard scan panicked")); // lint:allow(no-unwrap)
         }
     });
     out

@@ -141,9 +141,8 @@ impl Ingester {
                 return Err(IngestError::StreamLimitExceeded);
             }
             st.index.insert(&record.labels, fp);
-            st.streams.insert(fp, Stream::new(record.labels.clone()));
         }
-        let stream = st.streams.get_mut(&fp).unwrap();
+        let stream = st.streams.entry(fp).or_insert_with(|| Stream::new(record.labels.clone()));
         match stream.append(record.entry, limits) {
             Ok(sealed) => {
                 if sealed {
@@ -226,7 +225,7 @@ impl Ingester {
                 let mut run_seal_sizes: Vec<u64> = Vec::new();
                 if let Some(stream) = st.streams.get_mut(&fp) {
                     while it.peek().map(|(f, _)| *f) == Some(fp) {
-                        let (_, record) = it.next().unwrap();
+                        let Some((_, record)) = it.next() else { break };
                         if record.labels.is_empty() {
                             rejected += 1;
                             out.push(Err(IngestError::EmptyLabels));
@@ -297,10 +296,9 @@ impl Ingester {
                     return vec![Err(IngestError::StreamLimitExceeded); n];
                 }
                 st.index.insert(labels, fp);
-                st.streams.insert(fp, Stream::new(labels.clone()));
             }
             let mut run_seal_sizes: Vec<u64> = Vec::new();
-            let stream = st.streams.get_mut(&fp).unwrap();
+            let stream = st.streams.entry(fp).or_insert_with(|| Stream::new(labels.clone()));
             for entry in entries {
                 let b = entry.line.len() as u64;
                 match stream.append(entry, &self.limits) {

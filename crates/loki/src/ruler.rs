@@ -221,7 +221,7 @@ impl Ruler {
                 .cloned()
                 .collect();
             for key in stale {
-                let entry = self.active.remove(&key).unwrap();
+                let Some(entry) = self.active.remove(&key) else { continue };
                 if entry.firing {
                     out.push(self.notification(rule, &key.2, &entry, AlertState::Resolved));
                 }

@@ -32,7 +32,7 @@ pub mod trace;
 
 pub use registry::{
     Counter, FamilySnapshot, Gauge, Histogram, InstrumentKind, MetricSample, Registry,
-    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS, HISTOGRAM_SUFFIXES,
 };
 pub use trace::{format_trace_id, parse_trace_id, Span, TraceContext, TraceStore, TRACE_HEADER};
 

@@ -32,6 +32,12 @@ use std::sync::{Arc, Mutex};
 pub const DEFAULT_LATENCY_BUCKETS: &[f64] =
     &[0.5, 1.0, 2.5, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0];
 
+/// Family-name suffixes a histogram expands to at gather time (see
+/// [`Registry::gather`]). `omni-lint` uses this list to derive, from one
+/// registered histogram name, every queryable family it produces — keep
+/// it in sync with `expand_histogram`.
+pub const HISTOGRAM_SUFFIXES: &[&str] = &["_bucket", "_sum", "_count", "_p50", "_p99"];
+
 /// What kind of instrument a family holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstrumentKind {

@@ -37,6 +37,42 @@ pub struct MetricRule {
     pub annotations: Vec<(String, String)>,
 }
 
+impl MetricRule {
+    /// The metric alerting rules the shipped stack evaluates (thermal,
+    /// GPFS waiters, leak sensors) — the vmalert side of the paper's
+    /// case studies. `core::stack` loads these and `omni-lint` validates
+    /// them statically against the emittable-metric catalog.
+    pub fn shipped_rules() -> Vec<MetricRule> {
+        let minute = 60 * 1_000_000_000;
+        vec![
+            MetricRule {
+                name: "NodeTemperatureCritical".into(),
+                expr: "max by (xname) (shasta_temperature_celsius) > 90".into(),
+                for_ns: minute,
+                labels: LabelSet::from_pairs([("severity", "critical")]),
+                annotations: vec![("summary".into(), "node {{.xname}} above 90C".into())],
+            },
+            MetricRule {
+                name: "GpfsLongWaiters".into(),
+                expr: "max by (fs, server) (gpfs_longest_waiter_seconds) > 300".into(),
+                for_ns: minute,
+                labels: LabelSet::from_pairs([("severity", "critical")]),
+                annotations: vec![(
+                    "summary".into(),
+                    "GPFS {{.fs}}/{{.server}} has waiters over 300s".into(),
+                )],
+            },
+            MetricRule {
+                name: "LeakSensorWet".into(),
+                expr: "max by (xname) (shasta_leak_bool) > 0".into(),
+                for_ns: 0,
+                labels: LabelSet::from_pairs([("severity", "warning")]),
+                annotations: vec![("summary".into(), "leak sensor wet at {{.xname}}".into())],
+            },
+        ]
+    }
+}
+
 /// Notification emitted on firing/resolution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VmAlertNotification {
@@ -111,7 +147,7 @@ impl VmAlert {
                 .cloned()
                 .collect();
             for key in stale {
-                let entry = self.active.remove(&key).unwrap();
+                let Some(entry) = self.active.remove(&key) else { continue };
                 if entry.firing {
                     out.push(notification(&rule, &key.1, &entry, VmAlertState::Resolved));
                 }

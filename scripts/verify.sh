@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One-shot verification gate: formatting, release build, full workspace
-# tests, clippy (warnings denied) on the crates the resilience and
-# observability work touches, and a warning-free doc build.
+# tests, workspace-wide clippy (warnings denied), the omni-lint static
+# analysis gate, and a warning-free doc build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,10 +14,23 @@ cargo build --release
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
-echo "== cargo clippy -D warnings (touched crates) =="
-cargo clippy -q -p omni-model -p omni-bus -p omni-telemetry -p omni-loki \
-    -p omni-alertmanager -p omni-obs -p omni-exporters -p omni-core \
-    --all-targets -- -D warnings
+echo "== cargo clippy --workspace -D warnings =="
+cargo clippy -q --workspace --all-targets -- -D warnings
+
+echo "== omni-lint (static rule/query/source validation) =="
+# omni-lint exits non-zero when it has findings; capture the report
+# either way and let the JSON decide so the findings still get printed.
+lint_out="$(cargo run -q -p omni-lint -- --json || true)"
+python3 - "$lint_out" <<'PY'
+import json, sys
+report = json.loads(sys.argv[1])
+assert report["version"] == 1, f"unexpected report version: {report['version']}"
+if report["findings"]:
+    for f in report["findings"]:
+        print(f"{f['file']}:{f['line']}: [{f['rule']}] {f['message']}")
+    sys.exit(1)
+print("omni-lint: no findings")
+PY
 
 echo "== cargo doc --no-deps (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
