@@ -203,7 +203,16 @@ impl Omni {
         start: Timestamp,
         end: Timestamp,
     ) -> Result<usize, omni_loki::QueryError> {
-        let records = self.loki.query_logs(query, start, end, usize::MAX)?;
+        // Forward direction: the archive preserves oldest-first order so
+        // a later restore can re-push records without tripping each
+        // stream's ordering enforcement.
+        let records = self.loki.query_logs_directed(
+            query,
+            start,
+            end,
+            usize::MAX,
+            omni_loki::Direction::Forward,
+        )?;
         let n = records.len();
         if n > 0 {
             self.archive.store(self.clock.now(), records);
@@ -268,21 +277,27 @@ mod tests {
     fn two_year_retention_then_restore() {
         let day = 86_400 * NANOS_PER_SEC;
         let o = omni();
-        // Write data at day 1.
-        o.ingest_log(labels!("app" => "old"), day, "ancient event").unwrap();
+        // Write a multi-record stream on day 1: the restore path pushes
+        // sequentially, so the archive must hold records oldest-first or
+        // every record after the newest would bounce off ordering
+        // enforcement.
+        for i in 0..5 {
+            o.ingest_log(labels!("app" => "old"), day + i, format!("ancient event {i}")).unwrap();
+        }
         o.loki().flush();
         // Archive it, then advance past two years and expire.
         let archived = o.archive_window(r#"{app="old"}"#, 0, 2 * day).unwrap();
-        assert_eq!(archived, 1);
+        assert_eq!(archived, 5);
         o.clock().set(800 * day);
         o.loki().enforce_retention();
         assert!(o.loki().query_logs(r#"{app="old"}"#, 0, 2 * day, 10).unwrap().is_empty());
-        // Restore from the archive.
+        // Restore from the archive: every record comes back, not just the
+        // first one the per-stream ordering check happens to accept.
         let restored = o.restore_window(0, 2 * day);
-        assert_eq!(restored, 1);
+        assert_eq!(restored, 5);
         let back = o.loki().query_logs(r#"{app="old", restored="true"}"#, 0, 2 * day, 10).unwrap();
-        assert_eq!(back.len(), 1);
-        assert_eq!(back[0].entry.line, "ancient event");
+        assert_eq!(back.len(), 5, "all restored records must be queryable");
+        assert_eq!(back[0].entry.line, "ancient event 4", "backward query: newest first");
     }
 
     #[test]

@@ -175,6 +175,14 @@ impl Dashboard {
                     title: "Event → incident latency p99 (s)".into(),
                     query: PaneQuery::Metric("omni_event_to_incident_seconds_p99".into()),
                 },
+                Panel {
+                    title: "Query-frontend cache hits".into(),
+                    query: PaneQuery::Metric("omni_frontend_cache_hits_total".into()),
+                },
+                Panel {
+                    title: "Queries rejected by per-query limits".into(),
+                    query: PaneQuery::Metric("omni_frontend_rejected_total".into()),
+                },
             ],
         }
     }

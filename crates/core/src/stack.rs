@@ -124,6 +124,12 @@ const INGEST_BATCH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128
 /// full, size-triggered seals; low ratios are age-triggered seals.
 const CHUNK_FILL_BUCKETS: &[f64] = &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0];
 
+/// Bucket bounds for the query-frontend bytes-saved histogram (line
+/// bytes a cached split avoided re-scanning): powers of four from 1 KiB
+/// to 16 MiB.
+const FRONTEND_BYTES_SAVED_BUCKETS: &[f64] =
+    &[1_024.0, 4_096.0, 16_384.0, 65_536.0, 262_144.0, 1_048_576.0, 4_194_304.0, 16_777_216.0];
+
 /// The assembled pipeline.
 pub struct MonitoringStack {
     /// Shared virtual clock.
@@ -225,6 +231,10 @@ impl MonitoringStack {
         }
         lint.buckets.push(("stack:ingest-batch-size".to_string(), INGEST_BATCH_BUCKETS.to_vec()));
         lint.buckets.push(("stack:chunk-fill-ratio".to_string(), CHUNK_FILL_BUCKETS.to_vec()));
+        lint.buckets.push((
+            "stack:frontend-bytes-saved".to_string(),
+            FRONTEND_BYTES_SAVED_BUCKETS.to_vec(),
+        ));
         for r in &config.extra_metric_rules {
             lint.rules.push(RuleSpec {
                 source: format!("vmalert:{}", r.name),
@@ -556,6 +566,17 @@ impl MonitoringStack {
         );
         for ratio in self.omni.loki().take_seal_fill_ratios() {
             fill.observe(ratio);
+        }
+        // Query-frontend cache effectiveness: every cache hit since the
+        // last step contributes the bytes it avoided re-scanning.
+        let saved = self.registry.histogram(
+            "omni_frontend_bytes_saved",
+            "Line bytes a query-frontend cache hit avoided re-scanning.",
+            labels!(),
+            FRONTEND_BYTES_SAVED_BUCKETS,
+        );
+        for bytes in self.omni.loki().frontend().take_bytes_saved() {
+            saved.observe(bytes as f64);
         }
         self.omni.loki().offload(3_600 * NANOS_PER_SEC);
         // 7. Rule evaluation → Alertmanager, correlating alerts back to
@@ -922,6 +943,44 @@ fn register_self_collectors(
                     "Records appended to the WAL.",
                     Counter,
                     r.wal_records as f64,
+                ),
+            ]
+        });
+    }
+    {
+        let omni = omni.clone();
+        registry.register_collector(move || {
+            let f = omni.loki().frontend().stats();
+            vec![
+                single(
+                    "omni_frontend_splits_total",
+                    "Sub-queries the query frontend planned.",
+                    Counter,
+                    f.splits_total as f64,
+                ),
+                single(
+                    "omni_frontend_cache_hits_total",
+                    "Query splits served from the results cache.",
+                    Counter,
+                    f.cache_hits as f64,
+                ),
+                single(
+                    "omni_frontend_cache_misses_total",
+                    "Query splits executed against the ingester shards.",
+                    Counter,
+                    f.cache_misses as f64,
+                ),
+                single(
+                    "omni_frontend_rejected_total",
+                    "Queries rejected by per-query limits.",
+                    Counter,
+                    f.rejected_total as f64,
+                ),
+                single(
+                    "omni_frontend_cached_entries",
+                    "Split results currently held in the cache.",
+                    Gauge,
+                    f.cached_entries as f64,
                 ),
             ]
         });

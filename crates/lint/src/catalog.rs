@@ -98,6 +98,11 @@ impl Catalog {
             "omni_chaos_flaky_failures_total",
             "omni_servicenow_events_total",
             "omni_servicenow_incidents",
+            "omni_frontend_splits_total",
+            "omni_frontend_cache_hits_total",
+            "omni_frontend_cache_misses_total",
+            "omni_frontend_rejected_total",
+            "omni_frontend_cached_entries",
         ] {
             c.add_scraped_metric(name, &[]);
         }
@@ -120,9 +125,12 @@ impl Catalog {
             c.add_scraped_metric(name, &["bridge"]);
         }
         c.add_scraped_metric("omni_notifications_total", &["receiver"]);
-        for name in
-            ["omni_ingest_batch_size", "omni_chunk_fill_ratio", "omni_event_to_incident_seconds"]
-        {
+        for name in [
+            "omni_ingest_batch_size",
+            "omni_chunk_fill_ratio",
+            "omni_event_to_incident_seconds",
+            "omni_frontend_bytes_saved",
+        ] {
             c.add_scraped_histogram(name, &[]);
         }
 

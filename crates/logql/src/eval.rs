@@ -142,7 +142,9 @@ where
 {
     match mq {
         MetricQuery::RangeAgg { op, query, range_ns } => {
-            let entries = fetch(query, at - range_ns, at);
+            // `at` may be a sentinel near `i64::MIN`; a plain subtraction
+            // would overflow past the minimum.
+            let entries = fetch(query, at.saturating_sub(*range_ns), at);
             eval_range_agg(*op, &entries, *range_ns)
         }
         MetricQuery::VectorAgg { op, grouping, inner } => {

@@ -12,14 +12,27 @@ use std::sync::Arc;
 /// Execution statistics for one query (Loki's query-stats API).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
-    /// Streams whose labels matched the selector.
+    /// Streams whose labels matched the selector. When the frontend
+    /// splits a query, a stream counts once per split that scanned it.
     pub streams_matched: usize,
     /// Entries decompressed and scanned.
     pub entries_scanned: usize,
     /// Line bytes processed.
     pub bytes_scanned: usize,
-    /// Entries that survived the pipeline.
+    /// Entries actually returned after direction-aware limiting.
     pub entries_returned: usize,
+}
+
+/// The order in which a log query returns — and therefore limits — its
+/// records (Loki's `direction` query parameter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Oldest records first (ascending timestamps).
+    Forward,
+    /// Newest records first (descending timestamps) — Loki's default,
+    /// because a limited query from a dashboard wants the latest lines.
+    #[default]
+    Backward,
 }
 
 /// Raw (pre-pipeline) matching entries from every shard, scanned in
@@ -54,15 +67,18 @@ fn gather(
 }
 
 /// Run a log query over `(start, end]`, returning up to `limit` records
-/// sorted by timestamp (ties broken by labels for determinism).
+/// in `direction` order: `Backward` keeps the **newest** records when
+/// the limit bites (ties broken by labels for determinism — `Backward`
+/// is the exact reverse of the `Forward` total order).
 pub fn run_log_query(
     shards: &[Arc<Ingester>],
     query: &LogQuery,
     start: Timestamp,
     end: Timestamp,
     limit: usize,
+    direction: Direction,
 ) -> Vec<LogRecord> {
-    run_log_query_with_stats(shards, query, start, end, limit).0
+    run_log_query_with_stats(shards, query, start, end, limit, direction).0
 }
 
 /// [`run_log_query`] plus execution statistics.
@@ -72,6 +88,7 @@ pub fn run_log_query_with_stats(
     start: Timestamp,
     end: Timestamp,
     limit: usize,
+    direction: Direction,
 ) -> (Vec<LogRecord>, QueryStats) {
     let pipeline = Pipeline::new(query.stages.clone());
     let mut records = Vec::new();
@@ -86,23 +103,34 @@ pub fn run_log_query_with_stats(
             }
         }
     }
-    records.sort_by(|a, b| a.entry.ts.cmp(&b.entry.ts).then_with(|| a.labels.cmp(&b.labels)));
+    records.sort_by(|a, b| {
+        let forward = a.entry.ts.cmp(&b.entry.ts).then_with(|| a.labels.cmp(&b.labels));
+        match direction {
+            Direction::Forward => forward,
+            Direction::Backward => forward.reverse(),
+        }
+    });
     records.truncate(limit);
     stats.entries_returned = records.len();
     (records, stats)
 }
 
-/// Pipeline-processed entries for metric evaluation.
-fn fetch_range_entries(
+/// Pipeline-processed entries for metric evaluation, plus execution
+/// statistics.
+fn fetch_range_entries_with_stats(
     shards: &[Arc<Ingester>],
     query: &LogQuery,
     start: Timestamp,
     end: Timestamp,
-) -> Vec<RangeEntry> {
+) -> (Vec<RangeEntry>, QueryStats) {
     let pipeline = Pipeline::new(query.stages.clone());
     let mut out = Vec::new();
+    let mut stats = QueryStats::default();
     for (labels, entries) in gather(shards, query, start, end) {
+        stats.streams_matched += 1;
         for e in entries {
+            stats.entries_scanned += 1;
+            stats.bytes_scanned += e.line.len();
             if let Some(p) = pipeline.process(&e.line, &labels) {
                 out.push(RangeEntry {
                     ts: e.ts,
@@ -113,7 +141,8 @@ fn fetch_range_entries(
             }
         }
     }
-    out
+    stats.entries_returned = out.len();
+    (out, stats)
 }
 
 /// Evaluate a metric query at one instant.
@@ -122,8 +151,26 @@ pub fn run_instant_query(
     query: &MetricQuery,
     at: Timestamp,
 ) -> InstantVector {
-    let mut fetch = |q: &LogQuery, s: Timestamp, e: Timestamp| fetch_range_entries(shards, q, s, e);
-    eval_metric_at(query, at, &mut fetch)
+    run_instant_query_with_stats(shards, query, at).0
+}
+
+/// [`run_instant_query`] plus execution statistics.
+pub fn run_instant_query_with_stats(
+    shards: &[Arc<Ingester>],
+    query: &MetricQuery,
+    at: Timestamp,
+) -> (InstantVector, QueryStats) {
+    let mut stats = QueryStats::default();
+    let mut fetch = |q: &LogQuery, s: Timestamp, e: Timestamp| {
+        let (entries, st) = fetch_range_entries_with_stats(shards, q, s, e);
+        stats.streams_matched += st.streams_matched;
+        stats.entries_scanned += st.entries_scanned;
+        stats.bytes_scanned += st.bytes_scanned;
+        stats.entries_returned += st.entries_returned;
+        entries
+    };
+    let vector = eval_metric_at(query, at, &mut fetch);
+    (vector, stats)
 }
 
 /// Evaluate a metric query over a range at fixed steps (Grafana graphs).
@@ -139,17 +186,35 @@ pub fn run_range_query(
     end: Timestamp,
     step_ns: i64,
 ) -> Matrix {
+    run_range_query_with_stats(shards, query, start, end, step_ns).0
+}
+
+/// [`run_range_query`] plus execution statistics.
+pub fn run_range_query_with_stats(
+    shards: &[Arc<Ingester>],
+    query: &MetricQuery,
+    start: Timestamp,
+    end: Timestamp,
+    step_ns: i64,
+) -> (Matrix, QueryStats) {
     let bottom = query.log_query();
     let range_ns = query.range_ns();
-    let mut prefetched = fetch_range_entries(shards, bottom, start - range_ns, end);
+    // `start` may be a sentinel near `i64::MIN` (cf. `run_expr_instant`);
+    // a plain subtraction would overflow past the minimum.
+    let (mut prefetched, stats) =
+        fetch_range_entries_with_stats(shards, bottom, start.saturating_sub(range_ns), end);
     prefetched.sort_by_key(|e| e.ts);
-    let mut fetch = |_q: &LogQuery, s: Timestamp, e: Timestamp| {
+    let mut fetch = |q: &LogQuery, s: Timestamp, e: Timestamp| {
+        // The prefetch covers exactly the bottom log query; an expression
+        // shape with a second selector must never silently reuse it.
+        assert!(std::ptr::eq(q, bottom), "prefetched entries reused for a different log query");
         // Binary-search the window bounds in the sorted prefetch.
         let lo = prefetched.partition_point(|entry| entry.ts <= s);
         let hi = prefetched.partition_point(|entry| entry.ts <= e);
         prefetched[lo..hi].to_vec()
     };
-    eval_metric_range(query, start, end, step_ns, &mut fetch)
+    let matrix = eval_metric_range(query, start, end, step_ns, &mut fetch);
+    (matrix, stats)
 }
 
 /// Evaluate a parsed expression at an instant: log queries return their
@@ -157,9 +222,111 @@ pub fn run_range_query(
 pub fn run_expr_instant(shards: &[Arc<Ingester>], expr: &Expr, at: Timestamp) -> InstantVector {
     match expr {
         Expr::Log(q) => {
-            let records = run_log_query(shards, q, i64::MIN, at, usize::MAX);
+            // Counting only, so the direction is immaterial.
+            let records = run_log_query(shards, q, i64::MIN, at, usize::MAX, Direction::Forward);
             vec![(LabelSet::new(), records.len() as f64)]
         }
         Expr::Metric(m) => run_instant_query(shards, m, at),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limits::Limits;
+    use omni_logql::parse_expr;
+    use omni_model::{labels, NANOS_PER_SEC};
+
+    fn shard_with(n: i64) -> Vec<Arc<Ingester>> {
+        let ing = Ingester::new(Limits::default());
+        for i in 0..n {
+            ing.append(LogRecord {
+                labels: labels!("app" => "x", "stream" => format!("s{}", i % 2)),
+                entry: LogEntry::new(i * NANOS_PER_SEC, format!("line {i}")),
+            })
+            .unwrap();
+        }
+        vec![Arc::new(ing)]
+    }
+
+    fn log_query(text: &str) -> LogQuery {
+        match parse_expr(text).unwrap() {
+            Expr::Log(q) => q,
+            Expr::Metric(_) => panic!("expected a log query"),
+        }
+    }
+
+    #[test]
+    fn limited_backward_query_returns_newest_records() {
+        // Regression: the engine used to sort ascending and then truncate,
+        // so a limited query silently returned the *oldest* records.
+        let shards = shard_with(100);
+        let q = log_query(r#"{app="x"}"#);
+        let out = run_log_query(&shards, &q, i64::MIN, i64::MAX, 10, Direction::Backward);
+        assert_eq!(out.len(), 10);
+        assert!(out.windows(2).all(|w| w[0].entry.ts >= w[1].entry.ts), "newest first");
+        assert_eq!(out[0].entry.ts, 99 * NANOS_PER_SEC, "limit keeps the newest records");
+        assert_eq!(out[9].entry.ts, 90 * NANOS_PER_SEC);
+    }
+
+    #[test]
+    fn forward_direction_returns_oldest_ascending() {
+        let shards = shard_with(100);
+        let q = log_query(r#"{app="x"}"#);
+        let out = run_log_query(&shards, &q, i64::MIN, i64::MAX, 10, Direction::Forward);
+        assert_eq!(out.len(), 10);
+        assert!(out.windows(2).all(|w| w[0].entry.ts <= w[1].entry.ts), "oldest first");
+        assert_eq!(out[0].entry.ts, 0);
+        assert_eq!(out[9].entry.ts, 9 * NANOS_PER_SEC);
+    }
+
+    #[test]
+    fn backward_is_exact_reverse_of_forward() {
+        // Ties (equal timestamps across streams) must stay deterministic:
+        // backward is the reversal of the forward total order, not an
+        // independent sort.
+        let ing = Ingester::new(Limits::default());
+        for stream in ["a", "b", "c"] {
+            for i in 0..5i64 {
+                ing.append(LogRecord {
+                    labels: labels!("app" => "x", "stream" => stream),
+                    entry: LogEntry::new(i * NANOS_PER_SEC, format!("{stream} {i}")),
+                })
+                .unwrap();
+            }
+        }
+        let shards = vec![Arc::new(ing)];
+        let q = log_query(r#"{app="x"}"#);
+        let fwd = run_log_query(&shards, &q, i64::MIN, i64::MAX, usize::MAX, Direction::Forward);
+        let mut bwd =
+            run_log_query(&shards, &q, i64::MIN, i64::MAX, usize::MAX, Direction::Backward);
+        bwd.reverse();
+        assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn entries_returned_counts_post_limit_records() {
+        let shards = shard_with(100);
+        let q = log_query(r#"{app="x"}"#);
+        let (out, stats) =
+            run_log_query_with_stats(&shards, &q, i64::MIN, i64::MAX, 7, Direction::Backward);
+        assert_eq!(out.len(), 7);
+        assert_eq!(stats.entries_returned, 7, "returned = after the limit, not scanned");
+        assert_eq!(stats.entries_scanned, 100);
+    }
+
+    #[test]
+    fn range_query_with_sentinel_start_does_not_overflow() {
+        // Regression: `start - range_ns` overflowed i64 for sentinel
+        // starts near `i64::MIN` (debug builds panicked).
+        let shards = shard_with(10);
+        let mq = match parse_expr(r#"count_over_time({app="x"}[1m])"#).unwrap() {
+            Expr::Metric(m) => m,
+            Expr::Log(_) => panic!("expected a metric query"),
+        };
+        let start = i64::MIN + 1;
+        let step = NANOS_PER_SEC;
+        let matrix = run_range_query(&shards, &mq, start, start + 2 * step, step);
+        assert!(matrix.is_empty(), "no data that far in the past");
     }
 }

@@ -1,0 +1,679 @@
+//! The query frontend: interval splitting, a split-aligned results
+//! cache, and per-query limits — Loki's `query-frontend` component.
+//!
+//! The paper's single pane of glass (§IV) is Grafana dashboards
+//! re-issuing the same LogQL over overlapping, mostly-immutable windows
+//! against a two-year retention store. Real Loki serves that workload
+//! through its query-frontend: queries are split on
+//! `split_queries_by_interval` boundaries, the splits run in parallel,
+//! and each split's result is cached so the next refresh only executes
+//! the still-mutable tail. This module reproduces that shape:
+//!
+//! * [`QueryFrontend::run_log_query`] / [`QueryFrontend::run_range_query`]
+//!   split on absolute multiples of [`Limits::split_interval_ns`] —
+//!   alignment makes consecutive refreshes produce *identical* splits —
+//!   and fan the cache misses out over the engine's shard-scoped scan
+//!   threads;
+//! * results are cached per split, keyed by the normalized query text
+//!   and the split window, with the split's [`QueryStats`] stored
+//!   alongside so cache hits report truthful statistics;
+//! * cached windows are invalidated by appends landing inside them
+//!   (out-of-order data, restored archives), by retention sweeps
+//!   crossing them, and wholesale by shard crash/recovery;
+//! * per-query limits — [`Limits::max_entries_per_query`],
+//!   [`Limits::max_bytes_scanned`], and the virtual-clock deadline
+//!   [`Limits::query_timeout_ns`] — reject oversized queries with a
+//!   typed [`QueryError::LimitExceeded`].
+
+use crate::engine::{self, Direction, QueryStats};
+use crate::ingester::Ingester;
+use crate::limits::Limits;
+use crate::QueryError;
+use omni_logql::{InstantVector, LogQuery, Matrix, MetricQuery};
+use omni_model::{LabelSet, LogRecord, Sample, SimClock, Timestamp};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on cached split results; the cache is cleared wholesale
+/// when it fills (mirroring the distributor's fingerprint-cache policy:
+/// churn past this size means the cache is not earning its memory).
+const CACHE_MAX: usize = 4_096;
+
+/// A window that would split into more sub-queries than this executes
+/// unsplit: sentinel spans like `(i64::MIN, now]` must not explode into
+/// an astronomical number of splits.
+const MAX_SPLITS: usize = 256;
+
+/// Which per-query limit a rejected query hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitViolation {
+    /// The query requested more entries than `max_entries_per_query`.
+    Entries {
+        /// The configured ceiling.
+        limit: usize,
+        /// What the query asked for.
+        requested: usize,
+    },
+    /// Freshly executed splits scanned more than `max_bytes_scanned`.
+    BytesScanned {
+        /// The configured byte budget.
+        limit: usize,
+        /// Line bytes actually scanned before the query was cut off.
+        scanned: usize,
+    },
+    /// The virtual-clock deadline passed before the query completed.
+    Deadline {
+        /// Arrival time plus `query_timeout_ns`.
+        deadline: Timestamp,
+        /// The clock when the check failed.
+        now: Timestamp,
+    },
+}
+
+impl std::fmt::Display for LimitViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LimitViolation::Entries { limit, requested } => {
+                write!(f, "query requested {requested} entries, limit is {limit}")
+            }
+            LimitViolation::BytesScanned { limit, scanned } => {
+                write!(f, "query scanned {scanned} bytes, budget is {limit}")
+            }
+            LimitViolation::Deadline { deadline, now } => {
+                write!(f, "query deadline {deadline} passed (now {now})")
+            }
+        }
+    }
+}
+
+/// Point-in-time frontend counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Sub-queries planned (served from cache or executed).
+    pub splits_total: u64,
+    /// Splits answered from the results cache.
+    pub cache_hits: u64,
+    /// Splits that had to execute against the shards.
+    pub cache_misses: u64,
+    /// Queries rejected by a per-query limit.
+    pub rejected_total: u64,
+    /// Split results currently cached.
+    pub cached_entries: usize,
+}
+
+/// One split's cache identity: the normalized query text plus the exact
+/// split window and result-shaping parameters. Two textual spellings of
+/// the same query (whitespace differences outside string literals)
+/// share an entry; anything semantically distinct cannot collide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    query: String,
+    start: Timestamp,
+    end: Timestamp,
+    /// `0` for log queries, the evaluation step for range queries.
+    step_ns: i64,
+    limit: usize,
+    direction: Direction,
+}
+
+#[derive(Clone)]
+enum CachedData {
+    Logs(Vec<LogRecord>),
+    Series(Matrix),
+}
+
+struct CacheEntry {
+    data: CachedData,
+    /// The split's execution statistics, replayed verbatim on a hit so
+    /// warm and cold refreshes report the same truthful numbers.
+    stats: QueryStats,
+    /// Oldest timestamp the result depends on: the split start for log
+    /// splits, `first step − range` for range splits. An append or a
+    /// retention horizon inside `(data_start, end]` invalidates.
+    data_start: Timestamp,
+    end: Timestamp,
+}
+
+struct FrontendShared {
+    cache: Mutex<HashMap<CacheKey, CacheEntry>>,
+    /// Newest `end` across cached entries: an append strictly newer than
+    /// this cannot invalidate anything, keeping the hot in-order ingest
+    /// path at one atomic load.
+    max_cached_end: AtomicI64,
+    splits: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    /// `bytes_scanned` each cache hit avoided re-scanning; drained by
+    /// the stack into the `omni_frontend_bytes_saved` histogram.
+    bytes_saved: Mutex<Vec<u64>>,
+}
+
+/// The query frontend. Cheap to clone (shared state behind an `Arc`);
+/// one instance fronts a whole [`LokiCluster`](crate::LokiCluster).
+#[derive(Clone)]
+pub struct QueryFrontend {
+    shared: Arc<FrontendShared>,
+    limits: Limits,
+    clock: SimClock,
+}
+
+impl QueryFrontend {
+    pub(crate) fn new(limits: Limits, clock: SimClock) -> Self {
+        Self {
+            shared: Arc::new(FrontendShared {
+                cache: Mutex::new(HashMap::new()),
+                max_cached_end: AtomicI64::new(i64::MIN),
+                splits: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                bytes_saved: Mutex::new(Vec::new()),
+            }),
+            limits,
+            clock,
+        }
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> FrontendStats {
+        FrontendStats {
+            splits_total: self.shared.splits.load(Ordering::Relaxed),
+            cache_hits: self.shared.hits.load(Ordering::Relaxed),
+            cache_misses: self.shared.misses.load(Ordering::Relaxed),
+            rejected_total: self.shared.rejected.load(Ordering::Relaxed),
+            cached_entries: self.shared.cache.lock().len(),
+        }
+    }
+
+    /// Drain the bytes-saved samples accumulated by cache hits since the
+    /// last call (one sample per hit: the `bytes_scanned` the hit
+    /// avoided re-reading).
+    pub fn take_bytes_saved(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.shared.bytes_saved.lock())
+    }
+
+    /// An append of records spanning `[min_ts, max_ts]` landed: drop
+    /// every cached window such data could have changed. Streams may
+    /// appear at arbitrarily old timestamps (per-stream ordering only),
+    /// so this must handle out-of-order arrivals, not just the tail.
+    pub(crate) fn note_append(&self, min_ts: Timestamp, max_ts: Timestamp) {
+        if min_ts > self.shared.max_cached_end.load(Ordering::Acquire) {
+            return;
+        }
+        // A late-but-tolerated entry is clamped up to its stream head's
+        // newest timestamp, which ordering admission bounds by
+        // `entry.ts + tolerance` — widen the span to cover the clamp.
+        let max_ts = max_ts.saturating_add(self.limits.out_of_order_tolerance_ns);
+        let mut cache = self.shared.cache.lock();
+        // Keep an entry only if the whole append range is outside its
+        // data window (conservative: assumes any timestamp in
+        // `[min_ts, max_ts]` may have been written).
+        cache.retain(|_, e| e.end < min_ts || e.data_start >= max_ts);
+        let new_max = cache.values().map(|e| e.end).max().unwrap_or(i64::MIN);
+        self.shared.max_cached_end.store(new_max, Ordering::Release);
+    }
+
+    /// Retention advanced to `horizon`: any cached window that depends on
+    /// data at or before the horizon — including windows *spanning* it —
+    /// may now disagree with storage.
+    pub(crate) fn note_retention(&self, horizon: Timestamp) {
+        let mut cache = self.shared.cache.lock();
+        cache.retain(|_, e| e.data_start >= horizon);
+        let new_max = cache.values().map(|e| e.end).max().unwrap_or(i64::MIN);
+        self.shared.max_cached_end.store(new_max, Ordering::Release);
+    }
+
+    /// Drop every cached result. Called on shard crash/recovery (WAL
+    /// replay writes straight into the ingester, bypassing the append
+    /// hooks); public as an operator escape hatch and so benchmarks can
+    /// re-measure cold-cache latency without rebuilding the cluster.
+    pub fn invalidate_all(&self) {
+        self.shared.cache.lock().clear();
+        self.shared.max_cached_end.store(i64::MIN, Ordering::Release);
+    }
+
+    fn reject(&self, v: LimitViolation) -> QueryError {
+        self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+        QueryError::LimitExceeded(v)
+    }
+
+    /// Arrival time plus the configured budget (virtual clock).
+    fn deadline(&self) -> Timestamp {
+        self.clock.now().saturating_add(self.limits.query_timeout_ns)
+    }
+
+    fn check_deadline(&self, deadline: Timestamp) -> Result<(), QueryError> {
+        let now = self.clock.now();
+        if now >= deadline {
+            return Err(self.reject(LimitViolation::Deadline { deadline, now }));
+        }
+        Ok(())
+    }
+
+    fn check_bytes(&self, fresh_bytes: usize) -> Result<(), QueryError> {
+        if fresh_bytes > self.limits.max_bytes_scanned {
+            return Err(self.reject(LimitViolation::BytesScanned {
+                limit: self.limits.max_bytes_scanned,
+                scanned: fresh_bytes,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Split, cache, and limit a log query over `(start, end]`. `text`
+    /// is the original query string (the cache key); `query` its parsed
+    /// form. Results are merged in `direction` order and truncated to
+    /// `limit` — byte-identical to an unsplit
+    /// [`engine::run_log_query_with_stats`] call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_log_query(
+        &self,
+        shards: &[Arc<Ingester>],
+        text: &str,
+        query: &LogQuery,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+        direction: Direction,
+    ) -> Result<(Vec<LogRecord>, QueryStats), QueryError> {
+        if limit > self.limits.max_entries_per_query {
+            return Err(self.reject(LimitViolation::Entries {
+                limit: self.limits.max_entries_per_query,
+                requested: limit,
+            }));
+        }
+        let deadline = self.deadline();
+        self.check_deadline(deadline)?;
+
+        let bounds = split_bounds(start, end, self.limits.split_interval_ns);
+        self.shared.splits.fetch_add(bounds.len() as u64, Ordering::Relaxed);
+        let norm = normalize_query(text);
+        let key = |s: Timestamp, e: Timestamp| CacheKey {
+            query: norm.clone(),
+            start: s,
+            end: e,
+            step_ns: 0,
+            limit,
+            direction,
+        };
+
+        // Resolve each split from the cache; misses collect for a
+        // parallel pass.
+        let mut parts: Vec<Option<(Vec<LogRecord>, QueryStats)>> = Vec::with_capacity(bounds.len());
+        let mut todo: Vec<(usize, Timestamp, Timestamp)> = Vec::new();
+        {
+            let cache = self.shared.cache.lock();
+            let mut saved = self.shared.bytes_saved.lock();
+            for (i, &(s, e)) in bounds.iter().enumerate() {
+                match cache.get(&key(s, e)) {
+                    Some(entry) => {
+                        let CachedData::Logs(records) = &entry.data else {
+                            parts.push(None);
+                            todo.push((i, s, e));
+                            continue;
+                        };
+                        saved.push(entry.stats.bytes_scanned as u64);
+                        parts.push(Some((records.clone(), entry.stats)));
+                    }
+                    None => {
+                        parts.push(None);
+                        todo.push((i, s, e));
+                    }
+                }
+            }
+        }
+        self.shared.hits.fetch_add((bounds.len() - todo.len()) as u64, Ordering::Relaxed);
+        self.shared.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
+
+        // Each split keeps its own direction-ordered top-`limit`; the
+        // global top-`limit` is a prefix of their concatenation, so the
+        // per-split limit loses nothing.
+        let executed = run_parallel(&todo, |s, e| {
+            engine::run_log_query_with_stats(shards, query, s, e, limit, direction)
+        });
+        self.check_bytes(executed.iter().map(|(_, _, _, (_, st))| st.bytes_scanned).sum())?;
+        self.check_deadline(deadline)?;
+
+        {
+            let mut cache = self.shared.cache.lock();
+            for (i, s, e, (records, stats)) in executed {
+                if cache.len() >= CACHE_MAX {
+                    cache.clear();
+                }
+                cache.insert(
+                    key(s, e),
+                    CacheEntry {
+                        data: CachedData::Logs(records.clone()),
+                        stats,
+                        data_start: s,
+                        end: e,
+                    },
+                );
+                self.shared.max_cached_end.fetch_max(e, Ordering::AcqRel);
+                parts[i] = Some((records, stats));
+            }
+        }
+
+        // Splits cover disjoint ascending windows, and each is sorted in
+        // `direction` order internally — concatenating them (newest
+        // split first for backward) reproduces the global sort exactly.
+        let mut merged = QueryStats::default();
+        let mut records = Vec::new();
+        let resolved = parts.into_iter().flatten();
+        let ordered: Vec<(Vec<LogRecord>, QueryStats)> = match direction {
+            Direction::Forward => resolved.collect(),
+            Direction::Backward => {
+                let mut v: Vec<_> = resolved.collect();
+                v.reverse();
+                v
+            }
+        };
+        for (part, stats) in ordered {
+            merged.streams_matched += stats.streams_matched;
+            merged.entries_scanned += stats.entries_scanned;
+            merged.bytes_scanned += stats.bytes_scanned;
+            records.extend(part);
+        }
+        records.truncate(limit);
+        merged.entries_returned = records.len();
+        Ok((records, merged))
+    }
+
+    /// Split, cache, and limit a metric range query. The step grid is
+    /// partitioned into runs of steps sharing an aligned interval; each
+    /// run is an independent sub-query whose samples concatenate (per
+    /// series, ascending) into exactly what an unsplit
+    /// [`engine::run_range_query_with_stats`] call produces, because
+    /// every step is evaluated independently over its own lookback.
+    pub fn run_range_query(
+        &self,
+        shards: &[Arc<Ingester>],
+        text: &str,
+        query: &MetricQuery,
+        start: Timestamp,
+        end: Timestamp,
+        step_ns: i64,
+    ) -> Result<(Matrix, QueryStats), QueryError> {
+        let deadline = self.deadline();
+        self.check_deadline(deadline)?;
+
+        let groups = range_groups(start, end, step_ns, self.limits.split_interval_ns);
+        self.shared.splits.fetch_add(groups.len() as u64, Ordering::Relaxed);
+        let norm = normalize_query(text);
+        let range_ns = query.range_ns();
+        let key = |s: Timestamp, e: Timestamp| CacheKey {
+            query: norm.clone(),
+            start: s,
+            end: e,
+            step_ns,
+            limit: usize::MAX,
+            direction: Direction::Forward,
+        };
+
+        let mut parts: Vec<Option<(Matrix, QueryStats)>> = Vec::with_capacity(groups.len());
+        let mut todo: Vec<(usize, Timestamp, Timestamp)> = Vec::new();
+        {
+            let cache = self.shared.cache.lock();
+            let mut saved = self.shared.bytes_saved.lock();
+            for (i, &(s, e)) in groups.iter().enumerate() {
+                match cache.get(&key(s, e)) {
+                    Some(entry) => {
+                        let CachedData::Series(matrix) = &entry.data else {
+                            parts.push(None);
+                            todo.push((i, s, e));
+                            continue;
+                        };
+                        saved.push(entry.stats.bytes_scanned as u64);
+                        parts.push(Some((matrix.clone(), entry.stats)));
+                    }
+                    None => {
+                        parts.push(None);
+                        todo.push((i, s, e));
+                    }
+                }
+            }
+        }
+        self.shared.hits.fetch_add((groups.len() - todo.len()) as u64, Ordering::Relaxed);
+        self.shared.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
+
+        let executed = run_parallel(&todo, |s, e| {
+            engine::run_range_query_with_stats(shards, query, s, e, step_ns)
+        });
+        self.check_bytes(executed.iter().map(|(_, _, _, (_, st))| st.bytes_scanned).sum())?;
+        self.check_deadline(deadline)?;
+
+        {
+            let mut cache = self.shared.cache.lock();
+            for (i, s, e, (matrix, stats)) in executed {
+                if cache.len() >= CACHE_MAX {
+                    cache.clear();
+                }
+                cache.insert(
+                    key(s, e),
+                    CacheEntry {
+                        data: CachedData::Series(matrix.clone()),
+                        stats,
+                        // The first step's lookback reaches `range`
+                        // behind the group start.
+                        data_start: s.saturating_sub(range_ns),
+                        end: e,
+                    },
+                );
+                self.shared.max_cached_end.fetch_max(e, Ordering::AcqRel);
+                parts[i] = Some((matrix, stats));
+            }
+        }
+
+        // Groups are ascending and disjoint on the step grid; appending
+        // per-series samples in group order reproduces the unsplit
+        // evaluation's ascending sample vectors.
+        let mut merged = QueryStats::default();
+        let mut series: BTreeMap<LabelSet, Vec<Sample>> = BTreeMap::new();
+        for (matrix, stats) in parts.into_iter().flatten() {
+            merged.streams_matched += stats.streams_matched;
+            merged.entries_scanned += stats.entries_scanned;
+            merged.bytes_scanned += stats.bytes_scanned;
+            merged.entries_returned += stats.entries_returned;
+            for (labels, samples) in matrix {
+                series.entry(labels).or_default().extend(samples);
+            }
+        }
+        Ok((series.into_iter().collect(), merged))
+    }
+
+    /// Evaluate a metric query at one instant, under the per-query
+    /// limits. Instant queries are not split or cached (every ruler
+    /// evaluation uses a fresh `now`, so cache entries would never be
+    /// reused before an append invalidated them).
+    pub fn run_instant_query(
+        &self,
+        shards: &[Arc<Ingester>],
+        query: &MetricQuery,
+        at: Timestamp,
+    ) -> Result<(InstantVector, QueryStats), QueryError> {
+        let deadline = self.deadline();
+        self.check_deadline(deadline)?;
+        let (vector, stats) = engine::run_instant_query_with_stats(shards, query, at);
+        self.check_bytes(stats.bytes_scanned)?;
+        Ok((vector, stats))
+    }
+}
+
+/// Run `f` over every `(index, start, end)` work item, in parallel when
+/// there is more than one (the splits fan out exactly like the engine's
+/// shard scans: scoped threads, panics propagated).
+fn run_parallel<T: Send>(
+    todo: &[(usize, Timestamp, Timestamp)],
+    f: impl Fn(Timestamp, Timestamp) -> T + Sync,
+) -> Vec<(usize, Timestamp, Timestamp, T)> {
+    let f = &f;
+    match todo {
+        [] => Vec::new(),
+        [(i, s, e)] => vec![(*i, *s, *e, f(*s, *e))],
+        many => std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                many.iter().map(|&(i, s, e)| scope.spawn(move || (i, s, e, f(s, e)))).collect();
+            handles
+                .into_iter()
+                // As in `engine::gather`: a panicking split would yield a
+                // silently partial result, so propagate it.
+                .map(|h| h.join().expect("split scan panicked")) // lint:allow(no-unwrap)
+                .collect()
+        }),
+    }
+}
+
+/// Collapse whitespace outside string literals so textual variants of
+/// one query share a cache entry without any semantic risk.
+fn normalize_query(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_string: Option<char> = None;
+    let mut escaped = false;
+    let mut pending_space = false;
+    for ch in text.chars() {
+        if let Some(delim) = in_string {
+            out.push(ch);
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == delim {
+                in_string = None;
+            }
+        } else if ch.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(ch);
+            if ch == '"' || ch == '`' {
+                in_string = Some(ch);
+            }
+        }
+    }
+    out
+}
+
+/// Chop `(start, end]` at absolute multiples of `interval`. The
+/// alignment is what makes caching work: tomorrow's refresh of "last 6
+/// hours" shares every boundary with today's except the live tail.
+fn split_bounds(start: Timestamp, end: Timestamp, interval: i64) -> Vec<(Timestamp, Timestamp)> {
+    if interval <= 0 || start >= end {
+        return vec![(start, end)];
+    }
+    let span = end.saturating_sub(start);
+    if span == i64::MAX || (span / interval) as usize >= MAX_SPLITS {
+        return vec![(start, end)];
+    }
+    let mut out = Vec::new();
+    let mut s = start;
+    while s < end {
+        // The next absolute boundary strictly after `s`.
+        let e = s
+            .div_euclid(interval)
+            .checked_add(1)
+            .and_then(|q| q.checked_mul(interval))
+            .map_or(end, |b| b.min(end));
+        out.push((s, e));
+        s = e;
+    }
+    out
+}
+
+/// Partition the range-query step grid `start, start+step, ..` (while
+/// `<= end`) into maximal runs of steps whose timestamps share an
+/// aligned `interval` bucket. Returns `(first_step, last_step)` per run;
+/// degenerate shapes (no splitting configured, sentinel-wide spans, too
+/// many steps or runs) collapse to the unsplit single run.
+fn range_groups(
+    start: Timestamp,
+    end: Timestamp,
+    step_ns: i64,
+    interval: i64,
+) -> Vec<(Timestamp, Timestamp)> {
+    if interval <= 0 || step_ns <= 0 || start > end {
+        return vec![(start, end)];
+    }
+    let span = end.saturating_sub(start);
+    if span == i64::MAX || (span / interval) as usize >= MAX_SPLITS {
+        return vec![(start, end)];
+    }
+    let mut out: Vec<(i64, Timestamp, Timestamp)> = Vec::new();
+    let mut t = start;
+    while t <= end {
+        let bucket = t.div_euclid(interval);
+        match out.last_mut() {
+            Some((b, _, last)) if *b == bucket => *last = t,
+            _ => out.push((bucket, t, t)),
+        }
+        t = match t.checked_add(step_ns) {
+            Some(next) => next,
+            None => break,
+        };
+    }
+    if out.is_empty() {
+        return vec![(start, end)];
+    }
+    out.into_iter().map(|(_, s, e)| (s, e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_collapses_whitespace_outside_strings() {
+        assert_eq!(
+            normalize_query("  {app = \"x  y\"}   |=  \"a b\" "),
+            "{app = \"x  y\"} |= \"a b\""
+        );
+        assert_eq!(normalize_query("sum(rate({a=\"b\"}[5m]))"), "sum(rate({a=\"b\"}[5m]))");
+        // Escaped quotes do not end the literal.
+        assert_eq!(normalize_query(r#"{a="x\"  y"}  "#), r#"{a="x\"  y"}"#);
+    }
+
+    #[test]
+    fn split_bounds_align_to_absolute_boundaries() {
+        // Window (250, 950] with interval 300 → boundaries at 300, 600, 900.
+        assert_eq!(
+            split_bounds(250, 950, 300),
+            vec![(250, 300), (300, 600), (600, 900), (900, 950)]
+        );
+        // Aligned start produces whole intervals.
+        assert_eq!(split_bounds(300, 900, 300), vec![(300, 600), (600, 900)]);
+        // Negative timestamps align the same way (floor division).
+        assert_eq!(split_bounds(-450, -50, 300), vec![(-450, -300), (-300, -50)]);
+        // No interval, empty window: unsplit.
+        assert_eq!(split_bounds(0, 100, 0), vec![(0, 100)]);
+        assert_eq!(split_bounds(100, 100, 10), vec![(100, 100)]);
+    }
+
+    #[test]
+    fn sentinel_spans_do_not_split() {
+        assert_eq!(split_bounds(i64::MIN, 1_000, 300), vec![(i64::MIN, 1_000)]);
+        assert_eq!(split_bounds(0, i64::MAX, 300), vec![(0, i64::MAX)]);
+        assert_eq!(range_groups(i64::MIN, 1_000, 100, 300), vec![(i64::MIN, 1_000)]);
+    }
+
+    #[test]
+    fn range_groups_cover_the_step_grid_exactly() {
+        // Steps 0,100,...,900 with interval 300: buckets [0,300) [300,600)...
+        let groups = range_groups(0, 900, 100, 300);
+        assert_eq!(groups, vec![(0, 200), (300, 500), (600, 800), (900, 900)]);
+        // The union of group grids is the original grid.
+        let mut all = Vec::new();
+        for (s, e) in &groups {
+            let mut t = *s;
+            while t <= *e {
+                all.push(t);
+                t += 100;
+            }
+        }
+        assert_eq!(all, (0..=9).map(|k| k * 100).collect::<Vec<_>>());
+    }
+}

@@ -19,6 +19,7 @@ pub mod chunk;
 pub mod chunkstore;
 pub mod compress;
 pub mod engine;
+pub mod frontend;
 pub mod index;
 pub mod ingester;
 pub mod limits;
@@ -27,7 +28,8 @@ pub mod stream;
 pub mod wal;
 
 pub use chunkstore::{ChunkStore, MemObjectStore, ObjectStore};
-pub use engine::QueryStats;
+pub use engine::{Direction, QueryStats};
+pub use frontend::{FrontendStats, LimitViolation, QueryFrontend};
 pub use ingester::{IngestError, Ingester, IngesterStats};
 pub use limits::Limits;
 pub use ruler::{AlertState, AlertingRule, RuleGroup, RuleNotification, Ruler};
@@ -52,6 +54,10 @@ pub enum QueryError {
     Parse(ParseError),
     /// A log API was given a metric query or vice versa.
     WrongQueryKind(&'static str),
+    /// The query frontend rejected the query for exceeding a per-query
+    /// limit ([`Limits::max_entries_per_query`],
+    /// [`Limits::max_bytes_scanned`], or the virtual-clock deadline).
+    LimitExceeded(LimitViolation),
 }
 
 impl std::fmt::Display for QueryError {
@@ -59,6 +65,7 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::Parse(e) => write!(f, "{e}"),
             QueryError::WrongQueryKind(what) => write!(f, "wrong query kind: expected {what}"),
+            QueryError::LimitExceeded(v) => write!(f, "query rejected: {v}"),
         }
     }
 }
@@ -123,6 +130,9 @@ pub struct LokiCluster {
     /// records with the same labels, so the distributor caches the hash
     /// instead of re-canonicalising every push.
     fp_cache: Arc<RwLock<HashMap<LabelSet, u64>>>,
+    /// The query frontend every query API routes through: interval
+    /// splitting, the split-results cache, per-query limits.
+    frontend: QueryFrontend,
 }
 
 impl LokiCluster {
@@ -146,11 +156,17 @@ impl LokiCluster {
                     .collect(),
             ),
             chunk_store,
+            frontend: QueryFrontend::new(limits.clone(), clock.clone()),
             clock,
             limits,
             counters: Arc::new(ClusterCounters::default()),
             fp_cache: Arc::new(RwLock::new(HashMap::new())),
         }
+    }
+
+    /// The cluster's query frontend (splitting, caching, limits).
+    pub fn frontend(&self) -> &QueryFrontend {
+        &self.frontend
     }
 
     /// Fingerprint via the distributor's label-set cache. Hits skip the
@@ -193,6 +209,8 @@ impl LokiCluster {
             self.shards.len(),
         ));
         self.counters.crashes.fetch_add(1, Ordering::Relaxed);
+        // Cached query results may include the lost in-memory state.
+        self.frontend.invalidate_all();
     }
 
     /// Recover shard `i`: replay its WAL into the fresh ingester, then
@@ -212,6 +230,9 @@ impl LokiCluster {
         }
         self.counters.replayed.fetch_add(restored as u64, Ordering::Relaxed);
         slot.up.store(true, Ordering::SeqCst);
+        // Replay writes straight into the ingester, bypassing the push
+        // hooks, so the cache cannot track which windows it touched.
+        self.frontend.invalidate_all();
         restored
     }
 
@@ -305,7 +326,12 @@ impl LokiCluster {
         }
         let slot = &self.shards[serving];
         slot.wal.append(&record);
-        slot.ingester.read().append_with_fp(record, fp)
+        let ts = record.entry.ts;
+        let out = slot.ingester.read().append_with_fp(record, fp);
+        if out.is_ok() {
+            self.frontend.note_append(ts, ts);
+        }
+        out
     }
 
     /// Push a batch with per-record outcomes (input order). Records are
@@ -326,8 +352,15 @@ impl LokiCluster {
         // has this record's labels — an equality check against it skips
         // the fingerprint-cache hash for the whole run.
         let mut last: Option<(usize, u64)> = None;
+        // Conservative invalidation span for the whole batch (computed
+        // over routed records; rejects only over-invalidate).
+        let mut ts_span: Option<(Timestamp, Timestamp)> = None;
         for (i, record) in records.into_iter().enumerate() {
             out.push(Err(IngestError::AllShardsDown));
+            ts_span = Some(match ts_span {
+                Some((lo, hi)) => (lo.min(record.entry.ts), hi.max(record.entry.ts)),
+                None => (record.entry.ts, record.entry.ts),
+            });
             let fp = match last {
                 Some((s, fp))
                     if recs[s].last().is_some_and(|prev| prev.labels == record.labels) =>
@@ -361,6 +394,9 @@ impl LokiCluster {
                 out[i] = res;
             }
         }
+        if let Some((lo, hi)) = ts_span {
+            self.frontend.note_append(lo, hi);
+        }
         out
     }
 
@@ -386,7 +422,15 @@ impl LokiCluster {
         }
         let slot = &self.shards[serving];
         slot.wal.append_run(&labels, &entries);
-        slot.ingester.read().append_run(fp, &labels, entries)
+        let ts_span = entries.iter().map(|e| e.ts).fold(None, |acc, ts| match acc {
+            Some((lo, hi)) => Some((ts.min(lo), ts.max(hi))),
+            None => Some((ts, ts)),
+        });
+        let out = slot.ingester.read().append_run(fp, &labels, entries);
+        if let Some((lo, hi)) = ts_span {
+            self.frontend.note_append(lo, hi);
+        }
+        out
     }
 
     /// Push a batch (the Loki push API takes batches of streams). Every
@@ -411,7 +455,8 @@ impl LokiCluster {
         }
     }
 
-    /// Run a log query string over `(start, end]`.
+    /// Run a log query string over `(start, end]` in Loki's default
+    /// backward direction: up to `limit` records, **newest first**.
     pub fn query_logs(
         &self,
         query: &str,
@@ -419,14 +464,32 @@ impl LokiCluster {
         end: Timestamp,
         limit: usize,
     ) -> Result<Vec<LogRecord>, QueryError> {
+        self.query_logs_directed(query, start, end, limit, Direction::default())
+    }
+
+    /// [`query_logs`](Self::query_logs) with an explicit direction:
+    /// `Forward` returns (and keeps, when the limit bites) the oldest
+    /// records, `Backward` the newest.
+    pub fn query_logs_directed(
+        &self,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+        direction: Direction,
+    ) -> Result<Vec<LogRecord>, QueryError> {
         match parse_expr(query)? {
-            Expr::Log(q) => Ok(engine::run_log_query(&self.shards(), &q, start, end, limit)),
+            Expr::Log(q) => Ok(self
+                .frontend
+                .run_log_query(&self.shards(), query, &q, start, end, limit, direction)?
+                .0),
             Expr::Metric(_) => Err(QueryError::WrongQueryKind("log query")),
         }
     }
 
     /// Run a log query and return execution statistics alongside the
-    /// records (Loki's query-stats response).
+    /// records (Loki's query-stats response). Backward direction; cached
+    /// splits report the stats of the execution that filled them.
     pub fn query_logs_with_stats(
         &self,
         query: &str,
@@ -435,9 +498,15 @@ impl LokiCluster {
         limit: usize,
     ) -> Result<(Vec<LogRecord>, QueryStats), QueryError> {
         match parse_expr(query)? {
-            Expr::Log(q) => {
-                Ok(engine::run_log_query_with_stats(&self.shards(), &q, start, end, limit))
-            }
+            Expr::Log(q) => self.frontend.run_log_query(
+                &self.shards(),
+                query,
+                &q,
+                start,
+                end,
+                limit,
+                Direction::default(),
+            ),
             Expr::Metric(_) => Err(QueryError::WrongQueryKind("log query")),
         }
     }
@@ -456,12 +525,13 @@ impl LokiCluster {
     /// Evaluate a metric query string at one instant.
     pub fn query_instant(&self, query: &str, at: Timestamp) -> Result<InstantVector, QueryError> {
         match parse_expr(query)? {
-            Expr::Metric(m) => Ok(engine::run_instant_query(&self.shards(), &m, at)),
+            Expr::Metric(m) => Ok(self.frontend.run_instant_query(&self.shards(), &m, at)?.0),
             Expr::Log(_) => Err(QueryError::WrongQueryKind("metric query")),
         }
     }
 
-    /// Evaluate a metric query string over a range at `step_ns` intervals.
+    /// Evaluate a metric query string over a range at `step_ns` intervals
+    /// (split and cached by the frontend).
     pub fn query_range(
         &self,
         query: &str,
@@ -470,7 +540,9 @@ impl LokiCluster {
         step_ns: i64,
     ) -> Result<Matrix, QueryError> {
         match parse_expr(query)? {
-            Expr::Metric(m) => Ok(engine::run_range_query(&self.shards(), &m, start, end, step_ns)),
+            Expr::Metric(m) => {
+                Ok(self.frontend.run_range_query(&self.shards(), query, &m, start, end, step_ns)?.0)
+            }
             Expr::Log(_) => Err(QueryError::WrongQueryKind("metric query")),
         }
     }
@@ -528,6 +600,9 @@ impl LokiCluster {
             total.0 += c;
             total.1 += st;
         }
+        // Cached windows reaching at or past the horizon — including
+        // ones spanning it — may now disagree with storage.
+        self.frontend.note_retention(now.saturating_sub(self.limits.retention_ns));
         total
     }
 
@@ -618,8 +693,20 @@ mod tests {
         let out = c.query_logs(r#"{app="fm"} |= "event 1""#, -1, 100 * NANOS_PER_SEC, 100).unwrap();
         // "event 1" and "event 1x".
         assert_eq!(out.len(), 11);
-        // Sorted by time.
-        assert!(out.windows(2).all(|w| w[0].entry.ts <= w[1].entry.ts));
+        // Loki's default direction is backward: newest first.
+        assert!(out.windows(2).all(|w| w[0].entry.ts >= w[1].entry.ts));
+        // The forward direction yields the same set, oldest first.
+        let fwd = c
+            .query_logs_directed(
+                r#"{app="fm"} |= "event 1""#,
+                -1,
+                100 * NANOS_PER_SEC,
+                100,
+                Direction::Forward,
+            )
+            .unwrap();
+        assert!(fwd.windows(2).all(|w| w[0].entry.ts <= w[1].entry.ts));
+        assert_eq!(fwd.len(), out.len());
     }
 
     #[test]
@@ -716,8 +803,8 @@ mod tests {
         // Every entry is still queryable across both tiers.
         let out = c.query_logs(r#"{app="x"}"#, -1, 200 * NANOS_PER_SEC, usize::MAX).unwrap();
         assert_eq!(out.len(), 100);
-        // Ordered and exact.
-        assert!(out.windows(2).all(|w| w[0].entry.ts <= w[1].entry.ts));
+        // Ordered (backward: newest first) and exact.
+        assert!(out.windows(2).all(|w| w[0].entry.ts >= w[1].entry.ts));
     }
 
     #[test]
@@ -745,13 +832,16 @@ mod tests {
     fn query_stats_account_for_scanning() {
         let c = cluster(2);
         for i in 0..50 {
-            c.push(labels!("app" => "a"), i, "xxxxxxxxxx").unwrap();
+            c.push(labels!("app" => "a"), i + 1, "xxxxxxxxxx").unwrap();
         }
         for i in 0..50 {
-            c.push(labels!("app" => "b"), i, "leak here").unwrap();
+            c.push(labels!("app" => "b"), i + 1, "leak here").unwrap();
         }
+        // (0, 1_000] sits inside one aligned split interval, so the
+        // frontend executes it as a single sub-query and the per-split
+        // stream accounting stays exact.
         let (records, stats) =
-            c.query_logs_with_stats(r#"{app=~"a|b"} |= "leak""#, -1, 1_000, usize::MAX).unwrap();
+            c.query_logs_with_stats(r#"{app=~"a|b"} |= "leak""#, 0, 1_000, usize::MAX).unwrap();
         assert_eq!(records.len(), 50);
         assert_eq!(stats.streams_matched, 2);
         assert_eq!(stats.entries_scanned, 100);
@@ -1004,5 +1094,168 @@ mod tests {
         c.recover_shard(0);
         let out = c.query_logs(r#"{app="x"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX).unwrap();
         assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn retention_treats_memory_and_disk_tiers_identically() {
+        // Regression: unsealed head data used to outlive retention in the
+        // memory tier while the identical workload, flushed and offloaded
+        // to the disk tier, was deleted — the same records had two
+        // different lifetimes depending on where they happened to sit.
+        let run = |through_disk: bool| {
+            let limits = Limits { retention_ns: 100 * NANOS_PER_SEC, ..Default::default() };
+            let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+            for i in 0..50 {
+                c.push(labels!("app" => "x"), i * NANOS_PER_SEC, format!("event {i}")).unwrap();
+            }
+            if through_disk {
+                c.flush();
+                c.clock().set(60 * NANOS_PER_SEC);
+                c.offload(0);
+                assert!(c.chunk_store().objects().object_count() > 0);
+            }
+            c.clock().set(500 * NANOS_PER_SEC);
+            c.enforce_retention();
+            c.query_logs(r#"{app="x"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX).unwrap()
+        };
+        let memory = run(false);
+        let disk = run(true);
+        assert_eq!(memory, disk, "both tiers must expire the same data");
+        assert!(memory.is_empty(), "everything is past the horizon");
+    }
+
+    #[test]
+    fn frontend_caches_repeated_queries() {
+        // 2.5 hours of data: the default 1h split interval cuts the
+        // window into three aligned sub-queries.
+        let c = cluster(2);
+        for i in 0..150 {
+            c.push(labels!("app" => "fm"), i * 60 * NANOS_PER_SEC, format!("event {i}")).unwrap();
+        }
+        let end = 150 * 60 * NANOS_PER_SEC;
+        let q = r#"{app="fm"}"#;
+        let (cold, cold_stats) = c.query_logs_with_stats(q, 0, end, usize::MAX).unwrap();
+        let s = c.frontend().stats();
+        assert_eq!(s.splits_total, 3, "2.5h window over 1h intervals");
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.cache_hits, 0);
+
+        let (warm, warm_stats) = c.query_logs_with_stats(q, 0, end, usize::MAX).unwrap();
+        let s = c.frontend().stats();
+        assert_eq!(s.cache_hits, 3, "second refresh is all cache hits");
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(warm, cold, "cache must be invisible in the results");
+        assert_eq!(warm_stats, cold_stats, "cached hits report truthful stats");
+        assert!(c.frontend().take_bytes_saved().iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn out_of_order_append_into_cached_window_invalidates() {
+        // Streams are ordered per-stream only: a brand-new stream may
+        // appear at an arbitrarily old timestamp, landing inside an
+        // already-cached window.
+        let c = cluster(2);
+        c.push(labels!("app" => "fm", "host" => "a"), 1_000 * NANOS_PER_SEC, "early").unwrap();
+        let q = r#"{app="fm"}"#;
+        let window = 2_000 * NANOS_PER_SEC;
+        assert_eq!(c.query_logs(q, 0, window, usize::MAX).unwrap().len(), 1);
+        assert_eq!(c.query_logs(q, 0, window, usize::MAX).unwrap().len(), 1); // cached
+
+        c.push(labels!("app" => "fm", "host" => "b"), 500 * NANOS_PER_SEC, "late arrival").unwrap();
+        let out = c.query_logs(q, 0, window, usize::MAX).unwrap();
+        assert_eq!(out.len(), 2, "cached window must drop when data lands inside it");
+    }
+
+    #[test]
+    fn cached_window_spanning_retention_horizon_invalidates() {
+        let limits = Limits { retention_ns: 100 * NANOS_PER_SEC, ..Default::default() };
+        let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+        for i in 0..50 {
+            c.push(labels!("app" => "x"), i * NANOS_PER_SEC, format!("event {i}")).unwrap();
+        }
+        let q = r#"{app="x"}"#;
+        let window = 1_000 * NANOS_PER_SEC;
+        assert_eq!(c.query_logs(q, -1, window, usize::MAX).unwrap().len(), 50);
+        assert_eq!(c.query_logs(q, -1, window, usize::MAX).unwrap().len(), 50); // cached
+
+        // The horizon sweeps across the cached window.
+        c.clock().set(500 * NANOS_PER_SEC);
+        c.enforce_retention();
+        assert!(
+            c.query_logs(q, -1, window, usize::MAX).unwrap().is_empty(),
+            "retention must invalidate the cached window it swept through"
+        );
+    }
+
+    #[test]
+    fn per_query_limits_reject_with_typed_errors() {
+        // max_entries_per_query caps what a query may even request.
+        let limits = Limits { max_entries_per_query: 5, ..Default::default() };
+        let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+        c.push(labels!("a" => "b"), 1, "x").unwrap();
+        assert!(matches!(
+            c.query_logs(r#"{a="b"}"#, 0, 10, 6),
+            Err(QueryError::LimitExceeded(LimitViolation::Entries { limit: 5, requested: 6 }))
+        ));
+        assert_eq!(c.query_logs(r#"{a="b"}"#, 0, 10, 5).unwrap().len(), 1);
+
+        // max_bytes_scanned bounds the line bytes a query may touch.
+        let limits = Limits { max_bytes_scanned: 20, ..Default::default() };
+        let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+        for i in 0..10 {
+            c.push(labels!("a" => "b"), i, "0123456789").unwrap();
+        }
+        assert!(matches!(
+            c.query_logs(r#"{a="b"}"#, -1, 100, usize::MAX),
+            Err(QueryError::LimitExceeded(LimitViolation::BytesScanned { limit: 20, .. }))
+        ));
+        assert!(matches!(
+            c.query_instant(r#"count_over_time({a="b"}[1m])"#, 100),
+            Err(QueryError::LimitExceeded(LimitViolation::BytesScanned { .. }))
+        ));
+
+        // A zero deadline budget rejects deterministically on the
+        // virtual clock (it never advances mid-query in the simulation).
+        let limits = Limits { query_timeout_ns: 0, ..Default::default() };
+        let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+        c.push(labels!("a" => "b"), 1, "x").unwrap();
+        assert!(matches!(
+            c.query_logs(r#"{a="b"}"#, 0, 10, 1),
+            Err(QueryError::LimitExceeded(LimitViolation::Deadline { .. }))
+        ));
+        assert_eq!(c.frontend().stats().rejected_total, 1);
+        // The typed violation renders a readable message.
+        let err = c.query_logs(r#"{a="b"}"#, 0, 10, 1).unwrap_err();
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn split_range_query_matches_unsplit() {
+        let split = cluster(2);
+        let unsplit = {
+            let limits = Limits { split_interval_ns: 0, ..Default::default() };
+            LokiCluster::new(2, limits, SimClock::starting_at(0))
+        };
+        for c in [&split, &unsplit] {
+            for i in 0..300 {
+                c.push(
+                    labels!("app" => format!("a{}", i % 3)),
+                    i * 60 * NANOS_PER_SEC,
+                    format!("event {i}"),
+                )
+                .unwrap();
+            }
+        }
+        let q = r#"sum(count_over_time({app=~"a.*"}[10m])) by (app)"#;
+        let end = 300 * 60 * NANOS_PER_SEC;
+        let step = 7 * 60 * NANOS_PER_SEC;
+        let a = split.query_range(q, 0, end, step).unwrap();
+        let b = unsplit.query_range(q, 0, end, step).unwrap();
+        assert_eq!(a, b, "interval splitting must not change results");
+        assert!(split.frontend().stats().splits_total > 1, "the window did split");
+        assert_eq!(unsplit.frontend().stats().splits_total, 1);
+        // Warm pass: identical again.
+        assert_eq!(split.query_range(q, 0, end, step).unwrap(), b);
+        assert!(split.frontend().stats().cache_hits > 0);
     }
 }

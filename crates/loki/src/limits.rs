@@ -27,6 +27,24 @@ pub struct Limits {
     /// Retention horizon; chunks whose max timestamp falls behind
     /// `now - retention_ns` are deleted. The paper keeps "up to two years".
     pub retention_ns: i64,
+    /// The query frontend splits range/log queries into sub-queries of at
+    /// most this many nanoseconds, aligned to absolute multiples so
+    /// repeated dashboard refreshes produce identical, cacheable splits
+    /// (Loki's `split_queries_by_interval`). `0` disables splitting.
+    pub split_interval_ns: i64,
+    /// Reject log queries requesting more than this many entries
+    /// (Loki's `max_entries_limit_per_query`).
+    pub max_entries_per_query: usize,
+    /// Reject a query once its freshly executed splits have scanned more
+    /// than this many line bytes (Loki's `max_query_bytes_read`); bytes
+    /// served from the results cache do not count against the budget.
+    pub max_bytes_scanned: usize,
+    /// Per-query deadline on the shared virtual clock (Loki's
+    /// `query_timeout`): a query is rejected once `now` reaches its
+    /// arrival time plus this budget. The simulation's clock only
+    /// advances between steps, so `0` rejects deterministically and any
+    /// positive budget admits a same-tick query.
+    pub query_timeout_ns: i64,
 }
 
 impl Default for Limits {
@@ -39,6 +57,10 @@ impl Default for Limits {
             max_streams_per_shard: 100_000,
             out_of_order_tolerance_ns: 0,
             retention_ns: 2 * 365 * 86_400 * NANOS_PER_SEC, // two years
+            split_interval_ns: 3_600 * NANOS_PER_SEC,       // Loki defaults to 1h
+            max_entries_per_query: usize::MAX,
+            max_bytes_scanned: usize::MAX,
+            query_timeout_ns: i64::MAX,
         }
     }
 }

@@ -189,7 +189,15 @@ impl Ruler {
         let group_rules: Vec<AlertingRule> = group.rules.clone();
         let queries: Vec<MetricQuery> = parsed.clone();
         for (ri, (rule, query)) in group_rules.iter().zip(queries.iter()).enumerate() {
-            let vector = crate::engine::run_instant_query(&self.cluster.shards(), query, now);
+            // Rule queries go through the frontend so per-query limits
+            // apply to the ruler too; a rejected query contributes no
+            // series this cycle (the frontend counts the rejection).
+            let vector =
+                match self.cluster.frontend().run_instant_query(&self.cluster.shards(), query, now)
+                {
+                    Ok((v, _)) => v,
+                    Err(_) => Vec::new(),
+                };
             let mut seen: Vec<LabelSet> = Vec::new();
             for (series_labels, value) in vector {
                 let key = (gi, ri, series_labels.clone());

@@ -161,12 +161,23 @@ impl Stream {
         drained
     }
 
-    /// Drop sealed chunks entirely older than `horizon`. Returns chunks
-    /// dropped.
+    /// Drop chunks entirely older than `horizon` (whole-chunk
+    /// granularity, exactly like the disk tier's `delete_before`): a
+    /// sealed chunk — or the unsealed head — is removed iff its
+    /// `max_ts < horizon`, and kept whole when it spans the boundary.
+    /// Returns chunks dropped.
     pub fn enforce_retention(&mut self, horizon: Timestamp) -> usize {
         let before = self.chunks.len();
         self.chunks.retain(|c| c.max_ts >= horizon);
-        before - self.chunks.len()
+        let mut dropped = before - self.chunks.len();
+        // The head chunk must expire on the same predicate, or data that
+        // never sealed (quiet streams) would outlive retention in the
+        // memory tier while its flushed twin on disk is deleted.
+        if matches!(self.head.max_ts(), Some(max) if max < horizon) {
+            self.head = HeadChunk::new();
+            dropped += 1;
+        }
+        dropped
     }
 
     /// Whether the stream holds no data at all.
@@ -277,6 +288,26 @@ mod tests {
         assert!(s.sealed_chunks().len() < total_chunks);
         // Remaining data is only the newer half.
         assert!(s.entries_in(-1, 10_000).iter().all(|e| e.ts >= 400));
+    }
+
+    #[test]
+    fn retention_drops_expired_head_chunk() {
+        // Regression: the memory tier only expired *sealed* chunks, so
+        // unsealed head data older than the horizon survived retention
+        // while the same workload flushed to the disk tier was deleted.
+        let mut s = stream();
+        let limits = Limits::default(); // large target: data stays in the head
+        s.append(LogEntry::new(100, "stale head data"), &limits).unwrap();
+        assert_eq!(s.enforce_retention(1_000), 1);
+        assert!(s.is_empty());
+        assert!(s.entries_in(-1, 10_000).is_empty());
+
+        // A head spanning the horizon is kept whole (chunk granularity),
+        // matching the sealed and disk tiers.
+        s.append(LogEntry::new(2_000, "a"), &limits).unwrap();
+        s.append(LogEntry::new(4_000, "b"), &limits).unwrap();
+        assert_eq!(s.enforce_retention(3_000), 0);
+        assert_eq!(s.entries_in(-1, 10_000).len(), 2);
     }
 
     #[test]

@@ -38,12 +38,20 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 echo "== bench smoke (--quick: tiny workload, no report rewrite) =="
 cargo bench -q -p omni-bench --bench c1_ingest_throughput -- --quick | grep "pr3 ingest"
 cargo bench -q -p omni-bench --bench fig5_range_query -- --quick | grep "pr3 range_query"
+cargo bench -q -p omni-bench --bench c7_frontend_cache -- --quick | grep "pr5 frontend_cache"
 
 echo "== BENCH_PR3.json present and complete =="
 test -f BENCH_PR3.json
 for key in ingest range_query speedup per_record_msgs_per_sec batched_msgs_per_sec \
     blocks_total blocks_decoded; do
     grep -q "\"$key\"" BENCH_PR3.json || { echo "BENCH_PR3.json missing $key"; exit 1; }
+done
+
+echo "== BENCH_PR5.json present and complete =="
+test -f BENCH_PR5.json
+for key in frontend_cache cold_refresh_seconds warm_refresh_seconds speedup \
+    cache_hits cache_misses split_equals_unsplit; do
+    grep -q "\"$key\"" BENCH_PR5.json || { echo "BENCH_PR5.json missing $key"; exit 1; }
 done
 
 echo "verify: OK"
