@@ -202,13 +202,15 @@ impl Alertmanager {
         let mut out = Vec::new();
         for key in keys {
             let g = &self.groups[&key];
+            // Saturate the age arithmetic: groups created at sentinel
+            // timestamps must not overflow `now - created_at`.
             let due = match g.last_flush {
-                None => g.dirty && now - g.created_at >= g.group_wait_ns,
+                None => g.dirty && now.saturating_sub(g.created_at) >= g.group_wait_ns,
                 Some(last) => {
-                    (g.dirty && now - last >= g.group_interval_ns)
+                    (g.dirty && now.saturating_sub(last) >= g.group_interval_ns)
                         || (!g.alerts.is_empty()
                             && g.alerts.values().any(|a| a.status == AlertStatus::Firing)
-                            && now - last >= g.repeat_interval_ns)
+                            && now.saturating_sub(last) >= g.repeat_interval_ns)
                 }
             };
             if !due {

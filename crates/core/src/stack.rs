@@ -986,6 +986,63 @@ fn register_self_collectors(
         });
     }
     {
+        // Per-tenant admission ledger and fairness telemetry. Every
+        // family carries the `tenant` label (omni-lint's tenant-label
+        // rule enforces this for all omni_tenant_* metrics), which is
+        // what lets one Grafana panel show who is being shed and why.
+        let omni = omni.clone();
+        registry.register_collector(move || {
+            let mut offered = FamilySnapshot::new(
+                "omni_tenant_ingest_offered_total",
+                "Records offered for tenant admission, by tenant.",
+                Counter,
+            );
+            let mut accepted = FamilySnapshot::new(
+                "omni_tenant_ingest_accepted_total",
+                "Records past tenant admission, by tenant.",
+                Counter,
+            );
+            let mut rejected = FamilySnapshot::new(
+                "omni_tenant_ingest_rejected_total",
+                "Records shed by tenant admission control, by tenant.",
+                Counter,
+            );
+            let mut q_offered = FamilySnapshot::new(
+                "omni_tenant_queries_offered_total",
+                "Queries offered for tenant admission, by tenant.",
+                Counter,
+            );
+            let mut q_rejected = FamilySnapshot::new(
+                "omni_tenant_queries_rejected_total",
+                "Queries shed by tenant admission control, by tenant.",
+                Counter,
+            );
+            let mut streams = FamilySnapshot::new(
+                "omni_tenant_active_streams",
+                "Active streams attributed to the tenant.",
+                Gauge,
+            );
+            for s in omni.loki().tenant_snapshots() {
+                let l = labels!("tenant" => s.tenant.as_str());
+                offered.push(l.clone(), s.ingest_offered as f64);
+                accepted.push(l.clone(), s.ingest_accepted as f64);
+                rejected.push(l.clone(), s.ingest_rejected as f64);
+                q_offered.push(l.clone(), s.queries_offered as f64);
+                q_rejected.push(l.clone(), s.queries_rejected as f64);
+                streams.push(l, s.active_streams as f64);
+            }
+            let mut waits = FamilySnapshot::new(
+                "omni_tenant_query_wait_rounds",
+                "Peak fair-scheduler queue wait (grant rounds), by tenant.",
+                Gauge,
+            );
+            for (tenant, wait) in omni.loki().frontend().scheduler_stats().max_wait_rounds {
+                waits.push(labels!("tenant" => tenant.as_str()), wait as f64);
+            }
+            vec![offered, accepted, rejected, q_offered, q_rejected, streams, waits]
+        });
+    }
+    {
         let log = Arc::clone(log_bridge);
         let metric = Arc::clone(metric_bridge);
         registry.register_collector(move || {

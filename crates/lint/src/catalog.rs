@@ -115,6 +115,20 @@ impl Catalog {
         ] {
             c.add_scraped_metric(name, &["topic"]);
         }
+        // Per-tenant admission/fairness telemetry. Tenant-scoped
+        // families MUST carry the `tenant` label (the tenant-label
+        // source rule rejects an omni_tenant_* registration without it).
+        for name in [
+            "omni_tenant_ingest_offered_total",
+            "omni_tenant_ingest_accepted_total",
+            "omni_tenant_ingest_rejected_total",
+            "omni_tenant_queries_offered_total",
+            "omni_tenant_queries_rejected_total",
+            "omni_tenant_active_streams",
+            "omni_tenant_query_wait_rounds",
+        ] {
+            c.add_scraped_metric(name, &["tenant"]);
+        }
         for name in [
             "omni_bridge_fetch_retries_total",
             "omni_bridge_resubscribes_total",

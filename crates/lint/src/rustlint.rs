@@ -13,6 +13,10 @@
 //!   ingest path takes the whole pipeline down.
 //! - `metric-name`: string literals at metric registration sites must
 //!   satisfy [`omni_exporters::valid_metric_name`].
+//! - `tenant-label`: `omni_tenant_*` is the reserved prefix for
+//!   tenant-scoped telemetry; any registration of such a name must be
+//!   listed in [`Catalog::shipped`] with the `tenant` label, so no
+//!   per-tenant series can ship without a tenant dimension.
 //! - `catalog-drift`: registration sites in `core`, `exporters` and
 //!   `obs` must register names present in [`Catalog::shipped`] — the
 //!   guarantee that keeps the layer-1 catalog honest.
@@ -387,6 +391,19 @@ pub fn lint_source(rel_path: &str, crate_name: &str, src: &str, catalog: &Catalo
                     format!("metric name {name:?} is not a valid Prometheus metric name"),
                     &mut out,
                 );
+            } else if name.starts_with("omni_tenant_")
+                && !catalog.metric_labels(&name).is_some_and(|ls| ls.contains("tenant"))
+            {
+                push(
+                    &lexed,
+                    name_line,
+                    "tenant-label",
+                    format!(
+                        "tenant-scoped metric {name:?} must carry the `tenant` label; \
+                         register it in omni-lint's Catalog::shipped with labels [\"tenant\"]"
+                    ),
+                    &mut out,
+                );
             } else if CATALOG_CRATES.contains(&crate_name)
                 && !in_test[k]
                 && !catalog.has_metric(&name)
@@ -589,6 +606,31 @@ mod tests {
         // Same site in a non-catalog crate: only name validity applies.
         let model = lint_source("crates/model/src/x.rs", "model", src, &Catalog::shipped());
         assert!(model.is_empty(), "{model:?}");
+    }
+
+    #[test]
+    fn tenant_metric_must_carry_tenant_label() {
+        // Unknown omni_tenant_* name: reserved prefix, not in the catalog.
+        let src =
+            "fn f() { let f = FamilySnapshot::new(\"omni_tenant_made_up_total\", \"h\", C); }\n";
+        let f = lint_source("crates/core/src/x.rs", "core", src, &Catalog::shipped());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "tenant-label");
+        // The prefix is reserved everywhere, not just in catalog crates.
+        let model = lint_source("crates/model/src/x.rs", "model", src, &Catalog::shipped());
+        assert_eq!(model.len(), 1, "{model:?}");
+        assert_eq!(model[0].rule, "tenant-label");
+        // In the catalog but without the tenant label: still flagged.
+        let mut bare = Catalog::empty();
+        bare.add_scraped_metric("omni_tenant_made_up_total", &[]);
+        let f = lint_source("crates/core/src/x.rs", "core", src, &bare);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "tenant-label");
+        // Shipped tenant families carry the label and pass clean.
+        let ok =
+            "fn f() { let f = FamilySnapshot::new(\"omni_tenant_active_streams\", \"h\", G); }\n";
+        let f = lint_source("crates/core/src/x.rs", "core", ok, &Catalog::shipped());
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -287,6 +287,17 @@ impl MetricQuery {
         }
     }
 
+    /// Mutable access to the log query at the bottom of the chain — how
+    /// the multi-tenant frontend injects its `__tenant__` scope matcher
+    /// into an already-parsed metric query.
+    pub fn log_query_mut(&mut self) -> &mut LogQuery {
+        match self {
+            MetricQuery::RangeAgg { query, .. } => query,
+            MetricQuery::VectorAgg { inner, .. } => inner.log_query_mut(),
+            MetricQuery::Filter { inner, .. } => inner.log_query_mut(),
+        }
+    }
+
     /// The range window of the underlying range aggregation.
     pub fn range_ns(&self) -> i64 {
         match self {

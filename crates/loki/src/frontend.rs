@@ -27,10 +27,11 @@
 
 use crate::engine::{self, Direction, QueryStats};
 use crate::ingester::Ingester;
-use crate::limits::Limits;
+use crate::limits::{Limits, TenantLimits};
+use crate::scheduler::{FairScheduler, SchedulerStats};
 use crate::QueryError;
 use omni_logql::{InstantVector, LogQuery, Matrix, MetricQuery};
-use omni_model::{LabelSet, LogRecord, Sample, SimClock, Timestamp};
+use omni_model::{LabelSet, LogRecord, Sample, SimClock, TenantId, Timestamp};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -45,6 +46,49 @@ const CACHE_MAX: usize = 4_096;
 /// unsplit: sentinel spans like `(i64::MIN, now]` must not explode into
 /// an astronomical number of splits.
 const MAX_SPLITS: usize = 256;
+
+/// Concurrency bound of the split-scan pool the fair scheduler guards.
+/// Matches the order of shard-scan threads the engine itself spawns.
+const SCHED_POOL: usize = 8;
+
+/// Per-query execution context: whose query this is and which resolved
+/// per-tenant limits bound it. The tenant id partitions the results
+/// cache (two tenants never share an entry, even for the same query
+/// text) and the weight drives the fair scheduler.
+#[derive(Debug, Clone)]
+pub struct QueryContext {
+    /// The querying tenant.
+    pub tenant: TenantId,
+    /// Entry cap for this query.
+    pub max_entries_per_query: usize,
+    /// Fresh-bytes-scanned budget for this query.
+    pub max_bytes_scanned: usize,
+    /// Fair-scheduler weight.
+    pub weight: u32,
+}
+
+impl QueryContext {
+    /// The context unscoped (legacy, pre-tenant) queries run under: the
+    /// anonymous tenant bounded by the cluster-wide limits.
+    pub fn anonymous(limits: &Limits) -> Self {
+        Self {
+            tenant: TenantId::anonymous(),
+            max_entries_per_query: limits.max_entries_per_query,
+            max_bytes_scanned: limits.max_bytes_scanned,
+            weight: 1,
+        }
+    }
+
+    /// The context for `tenant` under its resolved limits.
+    pub fn for_tenant(tenant: TenantId, limits: &TenantLimits) -> Self {
+        Self {
+            tenant,
+            max_entries_per_query: limits.max_entries_per_query,
+            max_bytes_scanned: limits.max_bytes_scanned,
+            weight: limits.query_weight,
+        }
+    }
+}
 
 /// Which per-query limit a rejected query hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +153,9 @@ pub struct FrontendStats {
 /// share an entry; anything semantically distinct cannot collide.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
+    /// Owning tenant: the cache is tenant-partitioned so one tenant's
+    /// results can never be served to (or evicted into) another's view.
+    tenant: TenantId,
     query: String,
     start: Timestamp,
     end: Timestamp,
@@ -149,6 +196,10 @@ struct FrontendShared {
     /// `bytes_scanned` each cache hit avoided re-scanning; drained by
     /// the stack into the `omni_frontend_bytes_saved` histogram.
     bytes_saved: Mutex<Vec<u64>>,
+    /// Weighted fair gate over the split-scan pool: a noisy tenant's
+    /// fan-out queues on its own virtual time instead of monopolising
+    /// the scoped threads.
+    scheduler: FairScheduler,
 }
 
 /// The query frontend. Cheap to clone (shared state behind an `Arc`);
@@ -171,6 +222,7 @@ impl QueryFrontend {
                 misses: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 bytes_saved: Mutex::new(Vec::new()),
+                scheduler: FairScheduler::new(SCHED_POOL),
             }),
             limits,
             clock,
@@ -253,21 +305,28 @@ impl QueryFrontend {
         Ok(())
     }
 
-    fn check_bytes(&self, fresh_bytes: usize) -> Result<(), QueryError> {
-        if fresh_bytes > self.limits.max_bytes_scanned {
-            return Err(self.reject(LimitViolation::BytesScanned {
-                limit: self.limits.max_bytes_scanned,
-                scanned: fresh_bytes,
-            }));
+    fn check_bytes(&self, budget: usize, fresh_bytes: usize) -> Result<(), QueryError> {
+        if fresh_bytes > budget {
+            return Err(
+                self.reject(LimitViolation::BytesScanned { limit: budget, scanned: fresh_bytes })
+            );
         }
         Ok(())
     }
 
-    /// Split, cache, and limit a log query over `(start, end]`. `text`
-    /// is the original query string (the cache key); `query` its parsed
-    /// form. Results are merged in `direction` order and truncated to
-    /// `limit` — byte-identical to an unsplit
-    /// [`engine::run_log_query_with_stats`] call.
+    /// Fair-scheduler observability: total grants and per-tenant peak
+    /// queue waits (in grant rounds).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.shared.scheduler.stats()
+    }
+
+    /// Peak grant-round wait one tenant's splits have seen.
+    pub fn max_wait_rounds(&self, tenant: &TenantId) -> u64 {
+        self.shared.scheduler.max_wait_rounds(tenant)
+    }
+
+    /// Split, cache, and limit a log query over `(start, end]` as the
+    /// anonymous tenant under the cluster-wide limits.
     #[allow(clippy::too_many_arguments)]
     pub fn run_log_query(
         &self,
@@ -279,9 +338,30 @@ impl QueryFrontend {
         limit: usize,
         direction: Direction,
     ) -> Result<(Vec<LogRecord>, QueryStats), QueryError> {
-        if limit > self.limits.max_entries_per_query {
+        let ctx = QueryContext::anonymous(&self.limits);
+        self.run_log_query_ctx(shards, &ctx, text, query, start, end, limit, direction)
+    }
+
+    /// Split, cache, and limit a log query over `(start, end]` for the
+    /// tenant in `ctx`. `text` is the original query string (the cache
+    /// key); `query` its parsed form. Results are merged in `direction`
+    /// order and truncated to `limit` — byte-identical to an unsplit
+    /// [`engine::run_log_query_with_stats`] call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_log_query_ctx(
+        &self,
+        shards: &[Arc<Ingester>],
+        ctx: &QueryContext,
+        text: &str,
+        query: &LogQuery,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+        direction: Direction,
+    ) -> Result<(Vec<LogRecord>, QueryStats), QueryError> {
+        if limit > ctx.max_entries_per_query {
             return Err(self.reject(LimitViolation::Entries {
-                limit: self.limits.max_entries_per_query,
+                limit: ctx.max_entries_per_query,
                 requested: limit,
             }));
         }
@@ -292,6 +372,7 @@ impl QueryFrontend {
         self.shared.splits.fetch_add(bounds.len() as u64, Ordering::Relaxed);
         let norm = normalize_query(text);
         let key = |s: Timestamp, e: Timestamp| CacheKey {
+            tenant: ctx.tenant.clone(),
             query: norm.clone(),
             start: s,
             end: e,
@@ -331,10 +412,13 @@ impl QueryFrontend {
         // Each split keeps its own direction-ordered top-`limit`; the
         // global top-`limit` is a prefix of their concatenation, so the
         // per-split limit loses nothing.
-        let executed = run_parallel(&todo, |s, e| {
+        let executed = run_parallel(&self.shared.scheduler, ctx, &todo, |s, e| {
             engine::run_log_query_with_stats(shards, query, s, e, limit, direction)
         });
-        self.check_bytes(executed.iter().map(|(_, _, _, (_, st))| st.bytes_scanned).sum())?;
+        self.check_bytes(
+            ctx.max_bytes_scanned,
+            executed.iter().map(|(_, _, _, (_, st))| st.bytes_scanned).sum(),
+        )?;
         self.check_deadline(deadline)?;
 
         {
@@ -397,6 +481,22 @@ impl QueryFrontend {
         end: Timestamp,
         step_ns: i64,
     ) -> Result<(Matrix, QueryStats), QueryError> {
+        let ctx = QueryContext::anonymous(&self.limits);
+        self.run_range_query_ctx(shards, &ctx, text, query, start, end, step_ns)
+    }
+
+    /// [`Self::run_range_query`] for the tenant in `ctx`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_range_query_ctx(
+        &self,
+        shards: &[Arc<Ingester>],
+        ctx: &QueryContext,
+        text: &str,
+        query: &MetricQuery,
+        start: Timestamp,
+        end: Timestamp,
+        step_ns: i64,
+    ) -> Result<(Matrix, QueryStats), QueryError> {
         let deadline = self.deadline();
         self.check_deadline(deadline)?;
 
@@ -405,6 +505,7 @@ impl QueryFrontend {
         let norm = normalize_query(text);
         let range_ns = query.range_ns();
         let key = |s: Timestamp, e: Timestamp| CacheKey {
+            tenant: ctx.tenant.clone(),
             query: norm.clone(),
             start: s,
             end: e,
@@ -439,10 +540,13 @@ impl QueryFrontend {
         self.shared.hits.fetch_add((groups.len() - todo.len()) as u64, Ordering::Relaxed);
         self.shared.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
 
-        let executed = run_parallel(&todo, |s, e| {
+        let executed = run_parallel(&self.shared.scheduler, ctx, &todo, |s, e| {
             engine::run_range_query_with_stats(shards, query, s, e, step_ns)
         });
-        self.check_bytes(executed.iter().map(|(_, _, _, (_, st))| st.bytes_scanned).sum())?;
+        self.check_bytes(
+            ctx.max_bytes_scanned,
+            executed.iter().map(|(_, _, _, (_, st))| st.bytes_scanned).sum(),
+        )?;
         self.check_deadline(deadline)?;
 
         {
@@ -494,28 +598,52 @@ impl QueryFrontend {
         query: &MetricQuery,
         at: Timestamp,
     ) -> Result<(InstantVector, QueryStats), QueryError> {
+        let ctx = QueryContext::anonymous(&self.limits);
+        self.run_instant_query_ctx(shards, &ctx, query, at)
+    }
+
+    /// [`Self::run_instant_query`] for the tenant in `ctx`.
+    pub fn run_instant_query_ctx(
+        &self,
+        shards: &[Arc<Ingester>],
+        ctx: &QueryContext,
+        query: &MetricQuery,
+        at: Timestamp,
+    ) -> Result<(InstantVector, QueryStats), QueryError> {
         let deadline = self.deadline();
         self.check_deadline(deadline)?;
-        let (vector, stats) = engine::run_instant_query_with_stats(shards, query, at);
-        self.check_bytes(stats.bytes_scanned)?;
+        // Instant evaluations contend for the same pool as splits, so
+        // they are scheduled (and their waits bounded) the same way.
+        let (vector, stats) = self.shared.scheduler.run(&ctx.tenant, ctx.weight, || {
+            engine::run_instant_query_with_stats(shards, query, at)
+        });
+        self.check_bytes(ctx.max_bytes_scanned, stats.bytes_scanned)?;
         Ok((vector, stats))
     }
 }
 
 /// Run `f` over every `(index, start, end)` work item, in parallel when
 /// there is more than one (the splits fan out exactly like the engine's
-/// shard scans: scoped threads, panics propagated).
+/// shard scans: scoped threads, panics propagated). Every split —
+/// including the single-split fast path — passes through the fair
+/// scheduler, so a tenant's fan-out is metered against its virtual time.
 fn run_parallel<T: Send>(
+    sched: &FairScheduler,
+    ctx: &QueryContext,
     todo: &[(usize, Timestamp, Timestamp)],
     f: impl Fn(Timestamp, Timestamp) -> T + Sync,
 ) -> Vec<(usize, Timestamp, Timestamp, T)> {
     let f = &f;
     match todo {
         [] => Vec::new(),
-        [(i, s, e)] => vec![(*i, *s, *e, f(*s, *e))],
+        [(i, s, e)] => vec![(*i, *s, *e, sched.run(&ctx.tenant, ctx.weight, || f(*s, *e)))],
         many => std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                many.iter().map(|&(i, s, e)| scope.spawn(move || (i, s, e, f(s, e)))).collect();
+            let handles: Vec<_> = many
+                .iter()
+                .map(|&(i, s, e)| {
+                    scope.spawn(move || (i, s, e, sched.run(&ctx.tenant, ctx.weight, || f(s, e))))
+                })
+                .collect();
             handles
                 .into_iter()
                 // As in `engine::gather`: a panicking split would yield a

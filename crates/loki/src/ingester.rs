@@ -8,6 +8,7 @@ use crate::chunkstore::ChunkStore;
 use crate::index::LabelIndex;
 use crate::limits::Limits;
 use crate::stream::{AppendError, Stream};
+use crate::tenant::TenantRejection;
 use omni_logql::Selector;
 use omni_model::{LabelSet, LogEntry, LogRecord, Timestamp};
 use parking_lot::RwLock;
@@ -27,6 +28,9 @@ pub enum IngestError {
     EmptyLabels,
     /// Every ingester shard is down; the distributor has nowhere to route.
     AllShardsDown,
+    /// Tenant admission control shed the record — the `429` of the
+    /// simulation. Carries who and why; never a panic, never silent.
+    TenantRejected(TenantRejection),
 }
 
 impl std::fmt::Display for IngestError {
@@ -37,6 +41,7 @@ impl std::fmt::Display for IngestError {
             IngestError::StreamLimitExceeded => write!(f, "per-shard stream limit exceeded"),
             IngestError::EmptyLabels => write!(f, "entry has no labels"),
             IngestError::AllShardsDown => write!(f, "all ingester shards down"),
+            IngestError::TenantRejected(r) => write!(f, "{r}"),
         }
     }
 }
@@ -466,33 +471,53 @@ impl Ingester {
     /// Drop chunks and streams beyond the retention horizon.
     /// Returns `(chunks_dropped, streams_dropped)`.
     pub fn enforce_retention(&self, now: Timestamp) -> (usize, usize) {
-        let horizon = now - self.limits.retention_ns;
+        let (chunks, dropped) = self.enforce_retention_by(now, &|_| self.limits.retention_ns);
+        (chunks, dropped.len())
+    }
+
+    /// Drop chunks and streams beyond a *per-stream* retention horizon:
+    /// `retention_of(labels)` names each stream's horizon, which is how
+    /// per-tenant retention reaches storage (the resolver reads the
+    /// stream's `__tenant__` label). Returns the chunks dropped and the
+    /// `(fingerprint, labels)` of every fully retired stream so the
+    /// caller can release tenant stream-cap accounting.
+    pub fn enforce_retention_by(
+        &self,
+        now: Timestamp,
+        retention_of: &(dyn Fn(&LabelSet) -> i64 + Sync),
+    ) -> (usize, Vec<(u64, LabelSet)>) {
         let mut st = self.state.write();
         let mut chunks = 0;
         let mut dead: Vec<u64> = Vec::new();
         for (fp, s) in st.streams.iter_mut() {
+            // Saturate: a sentinel `now` must clamp, not wrap (the
+            // `start - range_ns` overflow class).
+            let horizon = now.saturating_sub(retention_of(&s.labels));
             chunks += s.enforce_retention(horizon);
             if s.is_empty() && s.newest_ts() < horizon {
                 dead.push(*fp);
             }
         }
+        let mut dropped: Vec<(u64, LabelSet)> = Vec::new();
         for fp in &dead {
             if let Some(s) = st.streams.remove(fp) {
                 let labels = s.labels.clone();
                 st.index.remove(&labels, *fp);
+                dropped.push((*fp, labels));
             }
         }
-        // The disk tier obeys the same horizon. Walk the store's series
+        // The disk tier obeys the same horizons. Walk the store's series
         // index, not the in-memory map — it also covers streams this
         // ingester no longer remembers (post-crash replacements).
         if let Some(store) = &self.chunk_store {
-            for (fp, _) in store.series() {
+            for (fp, labels) in store.series() {
                 if self.owns(fp) {
+                    let horizon = now.saturating_sub(retention_of(&labels));
                     chunks += store.delete_before(fp, horizon);
                 }
             }
         }
-        (chunks, dead.len())
+        (chunks, dropped)
     }
 
     /// Oldest timestamp held only in memory across every stream — the WAL

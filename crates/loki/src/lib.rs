@@ -24,23 +24,29 @@ pub mod index;
 pub mod ingester;
 pub mod limits;
 pub mod ruler;
+pub mod scheduler;
 pub mod stream;
+pub mod tenant;
 pub mod wal;
 
 pub use chunkstore::{ChunkStore, MemObjectStore, ObjectStore};
 pub use engine::{Direction, QueryStats};
-pub use frontend::{FrontendStats, LimitViolation, QueryFrontend};
+pub use frontend::{FrontendStats, LimitViolation, QueryContext, QueryFrontend};
 pub use ingester::{IngestError, Ingester, IngesterStats};
-pub use limits::Limits;
+pub use limits::{Limits, TenantLimits};
 pub use ruler::{AlertState, AlertingRule, RuleGroup, RuleNotification, Ruler};
-pub use wal::Wal;
+pub use scheduler::{FairScheduler, SchedulerStats};
+pub use tenant::{
+    ShedReason, TenantRegistry, TenantRejection, TenantSnapshot, TenantState, TENANT_LABEL,
+};
 
-use omni_logql::{parse_expr, Expr, InstantVector, Matrix, ParseError};
-use omni_model::{LabelSet, LogEntry, LogRecord, SimClock, Timestamp};
+use omni_logql::{parse_expr, Expr, InstantVector, Matcher, Matrix, ParseError};
+use omni_model::{LabelSet, LogEntry, LogRecord, SimClock, TenantId, Timestamp};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+pub use wal::Wal;
 
 /// Upper bound on cached label-set fingerprints; the cache is cleared
 /// wholesale when it fills (label churn past this size means the cache is
@@ -58,6 +64,9 @@ pub enum QueryError {
     /// limit ([`Limits::max_entries_per_query`],
     /// [`Limits::max_bytes_scanned`], or the virtual-clock deadline).
     LimitExceeded(LimitViolation),
+    /// Tenant admission control shed the query (the `429`): the tenant
+    /// is over its own query rate, never because of another tenant.
+    TenantRejected(TenantRejection),
 }
 
 impl std::fmt::Display for QueryError {
@@ -66,6 +75,7 @@ impl std::fmt::Display for QueryError {
             QueryError::Parse(e) => write!(f, "{e}"),
             QueryError::WrongQueryKind(what) => write!(f, "wrong query kind: expected {what}"),
             QueryError::LimitExceeded(v) => write!(f, "query rejected: {v}"),
+            QueryError::TenantRejected(r) => write!(f, "query rejected: {r}"),
         }
     }
 }
@@ -106,6 +116,10 @@ struct ShardSlot {
     ingester: RwLock<Arc<Ingester>>,
     wal: Wal,
     up: AtomicBool,
+    /// Guards WAL replay so recovery is idempotent: a second
+    /// `recover_shard` for a shard that is already recovering (or up)
+    /// must not replay — and thus duplicate — the same records.
+    recovering: AtomicBool,
 }
 
 #[derive(Default)]
@@ -133,6 +147,8 @@ pub struct LokiCluster {
     /// The query frontend every query API routes through: interval
     /// splitting, the split-results cache, per-query limits.
     frontend: QueryFrontend,
+    /// Per-tenant limits, admission buckets, and accounting.
+    tenants: Arc<TenantRegistry>,
 }
 
 impl LokiCluster {
@@ -152,11 +168,13 @@ impl LokiCluster {
                         ))),
                         wal: Wal::new(),
                         up: AtomicBool::new(true),
+                        recovering: AtomicBool::new(false),
                     })
                     .collect(),
             ),
             chunk_store,
             frontend: QueryFrontend::new(limits.clone(), clock.clone()),
+            tenants: Arc::new(TenantRegistry::new(limits.tenant_defaults(), clock.clone())),
             clock,
             limits,
             counters: Arc::new(ClusterCounters::default()),
@@ -202,6 +220,9 @@ impl LokiCluster {
     pub fn crash_shard(&self, i: usize) {
         let slot = &self.shards[i];
         slot.up.store(false, Ordering::SeqCst);
+        // A crash interrupts any in-flight recovery; the next
+        // `recover_shard` must start over, not be swallowed by the guard.
+        slot.recovering.store(false, Ordering::SeqCst);
         *slot.ingester.write() = Arc::new(Ingester::with_shard(
             self.limits.clone(),
             Some(self.chunk_store.clone()),
@@ -217,8 +238,20 @@ impl LokiCluster {
     /// mark it up. Returns the number of records restored. Replay applies
     /// records in original append order, so entries the shard had rejected
     /// (out-of-order, oversized) are rejected identically on replay.
+    ///
+    /// Idempotent: recovering a shard that is already up (or mid-replay
+    /// on another thread) is a no-op returning `0`. A crash-recovery
+    /// supervisor retrying at the same WAL offset therefore cannot
+    /// duplicate entries — the failure mode real Loki guards with WAL
+    /// checkpoints.
     pub fn recover_shard(&self, i: usize) -> usize {
         let slot = &self.shards[i];
+        if slot.up.load(Ordering::SeqCst) {
+            return 0;
+        }
+        if slot.recovering.swap(true, Ordering::SeqCst) {
+            return 0;
+        }
         let ingester = slot.ingester.read().clone();
         let mut restored = 0;
         if let Ok(records) = slot.wal.replay() {
@@ -230,6 +263,7 @@ impl LokiCluster {
         }
         self.counters.replayed.fetch_add(restored as u64, Ordering::Relaxed);
         slot.up.store(true, Ordering::SeqCst);
+        slot.recovering.store(false, Ordering::SeqCst);
         // Replay writes straight into the ingester, bypassing the push
         // hooks, so the cache cannot track which windows it touched.
         self.frontend.invalidate_all();
@@ -433,6 +467,84 @@ impl LokiCluster {
         out
     }
 
+    /// The per-tenant limit registry: overrides, admission state, and
+    /// accounting snapshots.
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.tenants
+    }
+
+    /// Per-tenant accounting for every tenant that has touched the
+    /// cluster, sorted by tenant id.
+    pub fn tenant_snapshots(&self) -> Vec<TenantSnapshot> {
+        self.tenants.snapshots()
+    }
+
+    fn tenant_rejected_ingest(tenant: &TenantId, reason: ShedReason) -> IngestError {
+        IngestError::TenantRejected(TenantRejection { tenant: tenant.clone(), reason })
+    }
+
+    /// Tenant-scoped [`push`](Self::push): the record passes the tenant's
+    /// admission control (ingest token bucket, then the active-stream
+    /// cap) and lands with the reserved [`TENANT_LABEL`] injected, which
+    /// is what scopes storage, queries, and retention to the tenant.
+    pub fn push_as(
+        &self,
+        tenant: &TenantId,
+        labels: LabelSet,
+        ts: Timestamp,
+        line: impl Into<String>,
+    ) -> Result<(), IngestError> {
+        self.push_record_as(tenant, LogRecord::new(labels, ts, line))
+    }
+
+    /// Tenant-scoped [`push_record`](Self::push_record). Sheds with a
+    /// typed [`IngestError::TenantRejected`] when the tenant is over its
+    /// own limits; the admission ledger keeps
+    /// `offered == accepted + rejected` (accepted means "passed tenant
+    /// admission" — a downstream ordering/size rejection does not
+    /// retroactively un-admit).
+    pub fn push_record_as(
+        &self,
+        tenant: &TenantId,
+        mut record: LogRecord,
+    ) -> Result<(), IngestError> {
+        let state = self.tenants.state(tenant);
+        if let Err(reason) = state.admit_ingest(self.clock.now(), 1) {
+            return Err(Self::tenant_rejected_ingest(tenant, reason));
+        }
+        record.labels.insert(TENANT_LABEL, tenant.as_str());
+        let fp = self.fingerprint_cached(&record.labels);
+        if let Err(reason) = state.admit_stream(fp, 1) {
+            return Err(Self::tenant_rejected_ingest(tenant, reason));
+        }
+        state.note_accepted(1);
+        self.push_record(record)
+    }
+
+    /// Tenant-scoped [`push_stream_batch`](Self::push_stream_batch): the
+    /// whole frame is admitted or shed atomically (one bucket draw for
+    /// all entries, one stream-cap check), then pays the usual
+    /// once-per-frame routing costs.
+    pub fn push_stream_batch_as(
+        &self,
+        tenant: &TenantId,
+        mut labels: LabelSet,
+        entries: Vec<LogEntry>,
+    ) -> Vec<Result<(), IngestError>> {
+        let n = entries.len();
+        let state = self.tenants.state(tenant);
+        if let Err(reason) = state.admit_ingest(self.clock.now(), n as u64) {
+            return vec![Err(Self::tenant_rejected_ingest(tenant, reason)); n];
+        }
+        labels.insert(TENANT_LABEL, tenant.as_str());
+        let fp = self.fingerprint_cached(&labels);
+        if let Err(reason) = state.admit_stream(fp, n as u64) {
+            return vec![Err(Self::tenant_rejected_ingest(tenant, reason)); n];
+        }
+        state.note_accepted(n as u64);
+        self.push_stream_batch(labels, entries)
+    }
+
     /// Push a batch (the Loki push API takes batches of streams). Every
     /// record is attempted; returns the accepted count, or the first
     /// error if any record was rejected.
@@ -547,6 +659,111 @@ impl LokiCluster {
         }
     }
 
+    /// Admit one query for `tenant` and build its execution context, or
+    /// shed with a typed rejection.
+    fn admit_query(&self, tenant: &TenantId) -> Result<QueryContext, QueryError> {
+        let state = self.tenants.state(tenant);
+        match state.admit_query(self.clock.now()) {
+            Ok(()) => Ok(QueryContext::for_tenant(tenant.clone(), &state.limits())),
+            Err(reason) => {
+                Err(QueryError::TenantRejected(TenantRejection { tenant: tenant.clone(), reason }))
+            }
+        }
+    }
+
+    /// The scope matcher confining a parsed query to one tenant's
+    /// streams. Isolation is structural: with this matcher injected the
+    /// selector physically cannot match another tenant's streams (or
+    /// unscoped legacy streams, which carry no tenant label at all).
+    fn tenant_matcher(tenant: &TenantId) -> Matcher {
+        Matcher::eq(TENANT_LABEL, tenant.as_str())
+    }
+
+    /// Tenant-scoped [`query_logs`](Self::query_logs): admission by the
+    /// tenant's query bucket, per-tenant entry/byte limits, the
+    /// tenant-partitioned results cache, and fair-scheduled splits.
+    pub fn query_logs_as(
+        &self,
+        tenant: &TenantId,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+    ) -> Result<Vec<LogRecord>, QueryError> {
+        self.query_logs_directed_as(tenant, query, start, end, limit, Direction::default())
+    }
+
+    /// [`query_logs_as`](Self::query_logs_as) with an explicit direction.
+    pub fn query_logs_directed_as(
+        &self,
+        tenant: &TenantId,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+        direction: Direction,
+    ) -> Result<Vec<LogRecord>, QueryError> {
+        let ctx = self.admit_query(tenant)?;
+        match parse_expr(query)? {
+            Expr::Log(mut q) => {
+                q.selector.matchers.push(Self::tenant_matcher(tenant));
+                Ok(self
+                    .frontend
+                    .run_log_query_ctx(
+                        &self.shards(),
+                        &ctx,
+                        query,
+                        &q,
+                        start,
+                        end,
+                        limit,
+                        direction,
+                    )?
+                    .0)
+            }
+            Expr::Metric(_) => Err(QueryError::WrongQueryKind("log query")),
+        }
+    }
+
+    /// Tenant-scoped [`query_instant`](Self::query_instant).
+    pub fn query_instant_as(
+        &self,
+        tenant: &TenantId,
+        query: &str,
+        at: Timestamp,
+    ) -> Result<InstantVector, QueryError> {
+        let ctx = self.admit_query(tenant)?;
+        match parse_expr(query)? {
+            Expr::Metric(mut m) => {
+                m.log_query_mut().selector.matchers.push(Self::tenant_matcher(tenant));
+                Ok(self.frontend.run_instant_query_ctx(&self.shards(), &ctx, &m, at)?.0)
+            }
+            Expr::Log(_) => Err(QueryError::WrongQueryKind("metric query")),
+        }
+    }
+
+    /// Tenant-scoped [`query_range`](Self::query_range).
+    pub fn query_range_as(
+        &self,
+        tenant: &TenantId,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        step_ns: i64,
+    ) -> Result<Matrix, QueryError> {
+        let ctx = self.admit_query(tenant)?;
+        match parse_expr(query)? {
+            Expr::Metric(mut m) => {
+                m.log_query_mut().selector.matchers.push(Self::tenant_matcher(tenant));
+                Ok(self
+                    .frontend
+                    .run_range_query_ctx(&self.shards(), &ctx, query, &m, start, end, step_ns)?
+                    .0)
+            }
+            Expr::Log(_) => Err(QueryError::WrongQueryKind("metric query")),
+        }
+    }
+
     /// Periodic maintenance: seal aged head chunks on every shard.
     pub fn tick(&self) {
         let now = self.clock.now();
@@ -591,18 +808,39 @@ impl LokiCluster {
         &self.chunk_store
     }
 
-    /// Enforce retention on every shard; returns (chunks, streams) dropped.
+    /// Enforce retention on every shard; returns (chunks, streams)
+    /// dropped. Retention is tenant-aware: a stream carrying the
+    /// [`TENANT_LABEL`] ages out at its tenant's resolved horizon
+    /// (default → override); unscoped streams age out at the cluster
+    /// horizon. Deleting one tenant's expired data can never touch
+    /// another tenant's streams, because the horizon is resolved per
+    /// stream from its own labels.
     pub fn enforce_retention(&self) -> (usize, usize) {
         let now = self.clock.now();
+        let resolve = |labels: &LabelSet| -> i64 {
+            match labels.get(TENANT_LABEL) {
+                Some(t) => self.tenants.retention_ns_for(t),
+                None => self.limits.retention_ns,
+            }
+        };
         let mut total = (0, 0);
+        let mut dropped: Vec<(u64, Option<TenantId>)> = Vec::new();
         for s in self.shards() {
-            let (c, st) = s.enforce_retention(now);
+            let (c, dead) = s.enforce_retention_by(now, &resolve);
             total.0 += c;
-            total.1 += st;
+            total.1 += dead.len();
+            dropped.extend(
+                dead.into_iter()
+                    .map(|(fp, labels)| (fp, labels.get(TENANT_LABEL).map(TenantId::new))),
+            );
         }
-        // Cached windows reaching at or past the horizon — including
-        // ones spanning it — may now disagree with storage.
-        self.frontend.note_retention(now.saturating_sub(self.limits.retention_ns));
+        // Retired streams free their tenants' active-stream cap room.
+        self.tenants.note_streams_dropped(&dropped);
+        // Cached windows reaching at or past the most aggressive horizon
+        // any tenant runs under — including ones spanning it — may now
+        // disagree with storage.
+        let min_retention = self.limits.retention_ns.min(self.tenants.min_retention_ns());
+        self.frontend.note_retention(now.saturating_sub(min_retention));
         total
     }
 
@@ -1257,5 +1495,222 @@ mod tests {
         // Warm pass: identical again.
         assert_eq!(split.query_range(q, 0, end, step).unwrap(), b);
         assert!(split.frontend().stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn repeated_recovery_does_not_duplicate_entries() {
+        // Regression: a supervisor retrying recovery at the same WAL
+        // offset used to replay the whole WAL into the already-recovered
+        // ingester, duplicating every entry.
+        let c = cluster(1);
+        for i in 0..50 {
+            c.push(labels!("app" => "fm"), i * NANOS_PER_SEC, format!("line {i}")).unwrap();
+        }
+        c.crash_shard(0);
+        assert_eq!(c.recover_shard(0), 50);
+        assert_eq!(c.recover_shard(0), 0, "second recovery must be a no-op");
+        assert_eq!(c.recover_shard(0), 0);
+        let out = c.query_logs(r#"{app="fm"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX).unwrap();
+        assert_eq!(out.len(), 50, "replay must not duplicate entries");
+        // A genuine second crash still recovers (and still exactly once).
+        c.crash_shard(0);
+        assert_eq!(c.recover_shard(0), 50);
+        assert_eq!(c.recover_shard(0), 0);
+        let out = c.query_logs(r#"{app="fm"}"#, -1, 1_000 * NANOS_PER_SEC, usize::MAX).unwrap();
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn tenant_queries_are_structurally_isolated() {
+        let c = cluster(2);
+        let alice = TenantId::new("alice");
+        let bob = TenantId::new("bob");
+        for i in 0..10 {
+            c.push_as(&alice, labels!("app" => "fm"), i, format!("alice {i}")).unwrap();
+        }
+        for i in 0..5 {
+            c.push_as(&bob, labels!("app" => "fm"), i, format!("bob {i}")).unwrap();
+        }
+        // Same query text, same labels — each tenant sees only its own.
+        let a = c.query_logs_as(&alice, r#"{app="fm"}"#, -1, 1_000, 100).unwrap();
+        let b = c.query_logs_as(&bob, r#"{app="fm"}"#, -1, 1_000, 100).unwrap();
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|r| r.entry.line.starts_with("alice")));
+        assert_eq!(b.len(), 5);
+        assert!(b.iter().all(|r| r.entry.line.starts_with("bob")));
+        // A tenant with no data gets nothing, even with warm caches for
+        // the same query text (the cache is tenant-partitioned).
+        let nobody = TenantId::new("nobody");
+        assert!(c.query_logs_as(&nobody, r#"{app="fm"}"#, -1, 1_000, 100).unwrap().is_empty());
+        // The unscoped admin surface still sees everything.
+        assert_eq!(c.query_logs(r#"{app="fm"}"#, -1, 1_000, 100).unwrap().len(), 15);
+        // Metric queries are scoped the same way.
+        let av = c.query_instant_as(&alice, r#"count_over_time({app="fm"}[1m])"#, 999).unwrap();
+        assert_eq!(av.len(), 1);
+        assert_eq!(av[0].1, 10.0);
+    }
+
+    #[test]
+    fn noisy_tenant_burst_never_rejects_other_tenants() {
+        let c = cluster(2);
+        let noisy = TenantId::new("noisy");
+        let calm = TenantId::new("calm");
+        c.tenants().set_override(
+            &noisy,
+            TenantLimits { ingest_rate_per_sec: 0, ingest_burst: 3, ..TenantLimits::default() },
+        );
+        let mut noisy_ok = 0;
+        for i in 0..10 {
+            match c.push_as(&noisy, labels!("app" => "burst"), i, "spam") {
+                Ok(()) => noisy_ok += 1,
+                Err(IngestError::TenantRejected(r)) => {
+                    assert_eq!(r.tenant, noisy);
+                    assert_eq!(r.reason, ShedReason::IngestRateExceeded);
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            // Tenant A's burst must never shed tenant B's ingest.
+            c.push_as(&calm, labels!("app" => "steady"), i, "fine").unwrap();
+        }
+        assert_eq!(noisy_ok, 3, "burst capacity admits exactly the burst");
+        let snaps = c.tenant_snapshots();
+        for s in &snaps {
+            assert_eq!(
+                s.ingest_offered,
+                s.ingest_accepted + s.ingest_rejected,
+                "ledger must balance for {}",
+                s.tenant
+            );
+        }
+        let noisy_snap = snaps.iter().find(|s| s.tenant == noisy).unwrap();
+        assert_eq!((noisy_snap.ingest_accepted, noisy_snap.ingest_rejected), (3, 7));
+        let calm_snap = snaps.iter().find(|s| s.tenant == calm).unwrap();
+        assert_eq!((calm_snap.ingest_accepted, calm_snap.ingest_rejected), (10, 0));
+        // Queries shed the same way: the noisy tenant's own rate gate,
+        // never the calm tenant's.
+        c.tenants().set_override(
+            &noisy,
+            TenantLimits { query_rate_per_sec: 0, query_burst: 0, ..TenantLimits::default() },
+        );
+        assert!(matches!(
+            c.query_logs_as(&noisy, r#"{app="burst"}"#, -1, 1_000, 10),
+            Err(QueryError::TenantRejected(r)) if r.reason == ShedReason::QueryRateExceeded
+        ));
+        assert_eq!(c.query_logs_as(&calm, r#"{app="steady"}"#, -1, 1_000, 100).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn zero_limit_tenant_is_fully_disabled() {
+        let c = cluster(1);
+        let off = TenantId::new("disabled");
+        c.tenants().set_override(&off, TenantLimits::zero());
+        assert!(matches!(
+            c.push_as(&off, labels!("app" => "x"), 0, "nope"),
+            Err(IngestError::TenantRejected(_))
+        ));
+        assert!(matches!(
+            c.query_logs_as(&off, r#"{app="x"}"#, -1, 1, 1),
+            Err(QueryError::TenantRejected(_))
+        ));
+        // Re-enabling mid-session works (hot reload).
+        c.tenants().clear_override(&off);
+        c.push_as(&off, labels!("app" => "x"), 0, "back").unwrap();
+        assert_eq!(c.query_logs_as(&off, r#"{app="x"}"#, -1, 1, 10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stream_cap_sheds_new_streams_only() {
+        let c = cluster(2);
+        let t = TenantId::new("capped");
+        c.tenants()
+            .set_override(&t, TenantLimits { max_active_streams: 2, ..TenantLimits::default() });
+        c.push_as(&t, labels!("app" => "a"), 0, "x").unwrap();
+        c.push_as(&t, labels!("app" => "b"), 0, "x").unwrap();
+        // Existing streams keep ingesting; a third stream is shed.
+        c.push_as(&t, labels!("app" => "a"), 1, "x").unwrap();
+        assert!(matches!(
+            c.push_as(&t, labels!("app" => "c"), 0, "x"),
+            Err(IngestError::TenantRejected(r)) if r.reason == ShedReason::MaxActiveStreams
+        ));
+        let snap = &c.tenant_snapshots()[0];
+        assert_eq!(snap.active_streams, 2);
+        assert_eq!(snap.ingest_offered, snap.ingest_accepted + snap.ingest_rejected);
+    }
+
+    #[test]
+    fn per_tenant_retention_never_leaks_across_tenants() {
+        let limits = Limits { chunk_target_bytes: 4, ..Default::default() };
+        let c = LokiCluster::new(2, limits, SimClock::starting_at(0));
+        let short = TenantId::new("short");
+        let long = TenantId::new("long");
+        c.tenants().set_override(
+            &short,
+            TenantLimits { retention_ns: 10 * NANOS_PER_SEC, ..TenantLimits::default() },
+        );
+        for i in 0..5 {
+            c.push_as(&short, labels!("app" => "fm"), i * NANOS_PER_SEC, "shortlived").unwrap();
+            c.push_as(&long, labels!("app" => "fm"), i * NANOS_PER_SEC, "longlived").unwrap();
+        }
+        c.flush();
+        c.clock().set(100 * NANOS_PER_SEC);
+        let (chunks, _) = c.enforce_retention();
+        assert!(chunks > 0, "short tenant's chunks must age out");
+        assert!(
+            c.query_logs_as(&short, r#"{app="fm"}"#, -1, i64::MAX - 1, 100).unwrap().is_empty(),
+            "short tenant's data past its horizon must be gone"
+        );
+        assert_eq!(
+            c.query_logs_as(&long, r#"{app="fm"}"#, -1, i64::MAX - 1, 100).unwrap().len(),
+            5,
+            "one tenant's retention must never delete another tenant's data"
+        );
+    }
+
+    #[test]
+    fn hot_reload_mid_burst_takes_effect_immediately() {
+        let c = cluster(1);
+        let t = TenantId::new("team");
+        c.tenants().set_override(
+            &t,
+            TenantLimits { ingest_rate_per_sec: 0, ingest_burst: 2, ..TenantLimits::default() },
+        );
+        c.push_as(&t, labels!("a" => "1"), 0, "x").unwrap();
+        c.push_as(&t, labels!("a" => "1"), 1, "x").unwrap();
+        assert!(c.push_as(&t, labels!("a" => "1"), 2, "x").is_err(), "burst exhausted");
+        // Operator raises the limit mid-burst; the very next push admits.
+        c.tenants().set_override(
+            &t,
+            TenantLimits { ingest_rate_per_sec: 0, ingest_burst: 8, ..TenantLimits::default() },
+        );
+        for i in 3..9 {
+            c.push_as(&t, labels!("a" => "1"), i, "x").unwrap();
+        }
+        let snap = &c.tenant_snapshots()[0];
+        assert_eq!(
+            (snap.ingest_offered, snap.ingest_accepted, snap.ingest_rejected),
+            (9, 8, 1),
+            "ledger must survive the reload"
+        );
+    }
+
+    #[test]
+    fn tenant_batch_push_admits_or_sheds_atomically() {
+        let c = cluster(1);
+        let t = TenantId::new("bulk");
+        c.tenants().set_override(
+            &t,
+            TenantLimits { ingest_rate_per_sec: 0, ingest_burst: 5, ..TenantLimits::default() },
+        );
+        let entries: Vec<LogEntry> = (0..4).map(|i| LogEntry::new(i, format!("l{i}"))).collect();
+        let out = c.push_stream_batch_as(&t, labels!("app" => "fm"), entries);
+        assert!(out.iter().all(|r| r.is_ok()));
+        // Next frame of 4 exceeds the remaining budget of 1: the whole
+        // frame sheds (no partial admit).
+        let entries: Vec<LogEntry> = (4..8).map(|i| LogEntry::new(i, format!("l{i}"))).collect();
+        let out = c.push_stream_batch_as(&t, labels!("app" => "fm"), entries);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|r| matches!(r, Err(IngestError::TenantRejected(_)))));
+        let snap = &c.tenant_snapshots()[0];
+        assert_eq!((snap.ingest_offered, snap.ingest_accepted, snap.ingest_rejected), (8, 4, 4));
     }
 }

@@ -70,4 +70,77 @@ impl Limits {
     pub fn tiny_chunks() -> Self {
         Self { chunk_target_bytes: 512, ..Default::default() }
     }
+
+    /// The per-tenant limits a tenant without an override runs under,
+    /// derived from the cluster limits (the `default → override`
+    /// resolution order real Loki applies to its `overrides:` block).
+    pub fn tenant_defaults(&self) -> TenantLimits {
+        TenantLimits {
+            max_entries_per_query: self.max_entries_per_query,
+            max_bytes_scanned: self.max_bytes_scanned,
+            retention_ns: self.retention_ns,
+            ..TenantLimits::default()
+        }
+    }
+}
+
+/// Per-tenant override limits — the reproduction of Loki's per-tenant
+/// `overrides:` block. Every field bounds one resource a noisy tenant
+/// could otherwise monopolise; admission control sheds (typed, `429`
+/// style) instead of panicking or silently dropping when a bound is hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantLimits {
+    /// Ingest token-bucket refill, in records per virtual second
+    /// (`u64::MAX` = unmetered).
+    pub ingest_rate_per_sec: u64,
+    /// Ingest token-bucket capacity, in records.
+    pub ingest_burst: u64,
+    /// Cap on the tenant's concurrently active streams across the
+    /// cluster (Loki's `max_global_streams_per_user`).
+    pub max_active_streams: usize,
+    /// Per-query entry cap for this tenant's queries.
+    pub max_entries_per_query: usize,
+    /// Per-query fresh-bytes-scanned budget for this tenant's queries.
+    pub max_bytes_scanned: usize,
+    /// Query admission rate, in queries per virtual second
+    /// (`u64::MAX` = unmetered).
+    pub query_rate_per_sec: u64,
+    /// Query token-bucket capacity.
+    pub query_burst: u64,
+    /// Retention horizon for this tenant's streams.
+    pub retention_ns: i64,
+    /// Weight in the frontend's fair scheduler: a tenant with twice the
+    /// weight gets twice the split-execution share under contention.
+    pub query_weight: u32,
+}
+
+impl Default for TenantLimits {
+    fn default() -> Self {
+        Self {
+            ingest_rate_per_sec: u64::MAX,
+            ingest_burst: u64::MAX,
+            max_active_streams: usize::MAX,
+            max_entries_per_query: usize::MAX,
+            max_bytes_scanned: usize::MAX,
+            query_rate_per_sec: u64::MAX,
+            query_burst: u64::MAX,
+            retention_ns: 2 * 365 * 86_400 * NANOS_PER_SEC,
+            query_weight: 1,
+        }
+    }
+}
+
+impl TenantLimits {
+    /// A zero-limit tenant: every ingest and query is shed. The edge case
+    /// operators use to hard-disable a tenant without deleting its data.
+    pub fn zero() -> Self {
+        Self {
+            ingest_rate_per_sec: 0,
+            ingest_burst: 0,
+            query_rate_per_sec: 0,
+            query_burst: 0,
+            max_active_streams: 0,
+            ..Default::default()
+        }
+    }
 }

@@ -171,7 +171,7 @@ impl Ruler {
         let mut out = Vec::new();
         for gi in 0..self.groups.len() {
             let due = match self.last_eval.get(&gi) {
-                Some(&last) => now - last >= self.groups[gi].0.interval_ns,
+                Some(&last) => now.saturating_sub(last) >= self.groups[gi].0.interval_ns,
                 None => true,
             };
             if !due {
@@ -208,7 +208,7 @@ impl Ruler {
                     last_value: value,
                 });
                 entry.last_value = value;
-                if !entry.firing && now - entry.active_at >= rule.for_ns {
+                if !entry.firing && now.saturating_sub(entry.active_at) >= rule.for_ns {
                     entry.firing = true;
                 }
                 let snapshot = entry.clone();

@@ -1,0 +1,254 @@
+//! Weighted fair scheduling of query splits across tenants.
+//!
+//! The query frontend fans each query out into per-split scans on a
+//! scoped thread pool. Without scheduling, a noisy tenant issuing
+//! hundreds of wide queries monopolises that pool and every other
+//! tenant's queries queue behind it. [`FairScheduler`] fixes that with
+//! classic weighted fair queueing over virtual time: each tenant's next
+//! split is stamped with a virtual finish tag `start + SCALE / weight`
+//! (where `start` is the later of the tenant's last tag and the global
+//! virtual time), and grants always go to the smallest tag. A tenant
+//! with a deep backlog accumulates far-future tags, so a freshly
+//! arriving tenant — whose tag starts at the global virtual time — jumps
+//! ahead of the backlog and waits only O(pool) grants, never O(backlog).
+//!
+//! Waits are measured in *grant rounds* (how many other splits were
+//! granted between enqueue and grant), which is deterministic under the
+//! virtual clock and is the quantity the chaos drill bounds.
+
+use omni_model::TenantId;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Virtual-time cost scale: a weight-1 split advances its tenant's
+/// virtual time by this much, a weight-2 split by half, and so on.
+const WEIGHT_SCALE: u64 = 1 << 20;
+
+/// Max-wait (in grant rounds) observed per tenant, plus total grants.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Total splits granted since construction.
+    pub grants: u64,
+    /// Peak grant-round wait per tenant, sorted by tenant id.
+    pub max_wait_rounds: Vec<(TenantId, u64)>,
+}
+
+struct Ticket {
+    tenant: TenantId,
+    finish: u64,
+    seq: u64,
+    enqueue_round: u64,
+}
+
+struct Inner {
+    /// Last assigned virtual finish tag per tenant.
+    vtime: HashMap<TenantId, u64>,
+    /// Global virtual time: the largest finish tag ever granted.
+    global: u64,
+    /// Tickets waiting for a grant.
+    queue: Vec<Ticket>,
+    /// Splits currently executing.
+    active: usize,
+    /// Monotonic ticket number (FIFO tie-break).
+    next_seq: u64,
+    /// Grants handed out so far.
+    rounds: u64,
+    max_wait: HashMap<TenantId, u64>,
+}
+
+/// A weighted-fair gate in front of the split-scan thread pool.
+pub struct FairScheduler {
+    pool: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl FairScheduler {
+    /// A scheduler admitting at most `pool` concurrent splits.
+    pub fn new(pool: usize) -> Self {
+        Self {
+            pool: pool.max(1),
+            inner: Mutex::new(Inner {
+                vtime: HashMap::new(),
+                global: 0,
+                queue: Vec::new(),
+                active: 0,
+                next_seq: 0,
+                rounds: 0,
+                max_wait: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Concurrency bound.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Lock the shared state, recovering the guard from a poisoned lock
+    /// (a panicking split must not wedge every other tenant's queries).
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Run `f` once the scheduler grants this tenant a slot. Blocks the
+    /// calling thread until granted; fairness comes from grant order, not
+    /// from preemption.
+    pub fn run<T>(&self, tenant: &TenantId, weight: u32, f: impl FnOnce() -> T) -> T {
+        let my_seq = self.enqueue(tenant, weight);
+        self.await_grant(my_seq);
+        let out = f();
+        let mut g = self.lock();
+        g.active -= 1;
+        drop(g);
+        self.cv.notify_all();
+        out
+    }
+
+    fn enqueue(&self, tenant: &TenantId, weight: u32) -> u64 {
+        let mut g = self.lock();
+        let start = g.vtime.get(tenant).copied().unwrap_or(0).max(g.global);
+        let cost = (WEIGHT_SCALE / u64::from(weight.max(1))).max(1);
+        let finish = start.saturating_add(cost);
+        g.vtime.insert(tenant.clone(), finish);
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        let enqueue_round = g.rounds;
+        g.queue.push(Ticket { tenant: tenant.clone(), finish, seq, enqueue_round });
+        seq
+    }
+
+    fn await_grant(&self, my_seq: u64) {
+        let mut g = self.lock();
+        loop {
+            if g.active < self.pool {
+                let best = g.queue.iter().map(|t| (t.finish, t.seq)).min();
+                if let Some((_, best_seq)) = best {
+                    if best_seq == my_seq {
+                        let pos = g
+                            .queue
+                            .iter()
+                            .position(|t| t.seq == my_seq)
+                            .expect("own ticket present"); // lint:allow(no-unwrap)
+                        let ticket = g.queue.swap_remove(pos);
+                        let wait = g.rounds - ticket.enqueue_round;
+                        let peak = g.max_wait.entry(ticket.tenant.clone()).or_insert(0);
+                        *peak = (*peak).max(wait);
+                        g.rounds += 1;
+                        g.global = g.global.max(ticket.finish);
+                        g.active += 1;
+                        drop(g);
+                        // Another waiter may also be grantable now.
+                        self.cv.notify_all();
+                        return;
+                    }
+                }
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Observed grants and per-tenant peak waits.
+    pub fn stats(&self) -> SchedulerStats {
+        let g = self.lock();
+        let mut waits: Vec<(TenantId, u64)> =
+            g.max_wait.iter().map(|(t, w)| (t.clone(), *w)).collect();
+        waits.sort_by(|a, b| a.0.cmp(&b.0));
+        SchedulerStats { grants: g.rounds, max_wait_rounds: waits }
+    }
+
+    /// Peak grant-round wait observed for one tenant (0 if never queued).
+    pub fn max_wait_rounds(&self, tenant: &TenantId) -> u64 {
+        self.lock().max_wait.get(tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_tenant_runs_everything() {
+        let s = FairScheduler::new(2);
+        let t = TenantId::new("a");
+        let hits = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| s.run(&t, 1, || hits.fetch_add(1, Ordering::Relaxed)));
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        assert_eq!(s.stats().grants, 16);
+    }
+
+    #[test]
+    fn late_arrival_jumps_a_deep_backlog() {
+        // Pool of 1, a noisy tenant with a deep backlog enqueued first, one
+        // well-behaved split arriving after. The newcomer's virtual tag
+        // starts at the global virtual time, so it must be granted long
+        // before the backlog drains.
+        let s = Arc::new(FairScheduler::new(1));
+        let noisy = TenantId::new("noisy");
+        let good = TenantId::new("good");
+        const BACKLOG: u64 = 64;
+        std::thread::scope(|scope| {
+            // Occupy the pool so the backlog queues deterministically.
+            let gate = Arc::new((Mutex::new(false), Condvar::new()));
+            {
+                let (s, gate) = (s.clone(), gate.clone());
+                let noisy = noisy.clone();
+                scope.spawn(move || {
+                    s.run(&noisy, 1, || {
+                        let mut open = gate.0.lock().unwrap();
+                        while !*open {
+                            open = gate.1.wait(open).unwrap();
+                        }
+                    })
+                });
+            }
+            // Wait until the holder is running, then pile up the backlog.
+            while s.stats().grants < 1 {
+                std::thread::yield_now();
+            }
+            for _ in 0..BACKLOG {
+                let (s, noisy) = (s.clone(), noisy.clone());
+                scope.spawn(move || s.run(&noisy, 1, || ()));
+            }
+            while s.lock().queue.len() < BACKLOG as usize {
+                std::thread::yield_now();
+            }
+            {
+                let (s, good) = (s.clone(), good.clone());
+                scope.spawn(move || s.run(&good, 1, || ()));
+            }
+            while s.lock().queue.len() < BACKLOG as usize + 1 {
+                std::thread::yield_now();
+            }
+            // Release the holder; everything drains.
+            *gate.0.lock().unwrap() = true;
+            gate.1.notify_all();
+        });
+        let good_wait = s.max_wait_rounds(&good);
+        let noisy_wait = s.max_wait_rounds(&noisy);
+        assert!(
+            good_wait <= 3,
+            "well-behaved tenant waited {good_wait} rounds behind a {BACKLOG}-deep backlog"
+        );
+        assert!(noisy_wait >= BACKLOG / 2, "noisy backlog should queue on itself");
+    }
+
+    #[test]
+    fn weight_divides_virtual_cost() {
+        let s = FairScheduler::new(1);
+        let heavy = TenantId::new("heavy");
+        // Two enqueues at weight 2 advance virtual time as far as one at
+        // weight 1 would.
+        s.run(&heavy, 2, || ());
+        s.run(&heavy, 2, || ());
+        let g = s.lock();
+        assert_eq!(g.vtime.get(&heavy).copied(), Some(WEIGHT_SCALE));
+    }
+}

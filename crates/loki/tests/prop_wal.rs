@@ -2,8 +2,8 @@
 //! survive an encode → replay cycle bit-for-bit, including non-ASCII
 //! lines and negative (pre-epoch) timestamps exercising the zigzag path.
 
-use omni_loki::Wal;
-use omni_model::{LabelSet, LogRecord};
+use omni_loki::{Limits, LokiCluster, Wal};
+use omni_model::{LabelSet, LogRecord, SimClock};
 use proptest::prelude::*;
 
 /// Arbitrary label sets: 1..6 pairs, names lowercase, values spanning
@@ -62,5 +62,37 @@ proptest! {
         prop_assert_eq!(wal.record_count(), expected.len() as u64);
         prop_assert!(wal.bytes() <= before_bytes);
         prop_assert_eq!(wal.replay().unwrap(), expected);
+    }
+
+    /// Crash-recovery is idempotent at the cluster level: any script of
+    /// crash/recover events — including a supervisor retrying recovery at
+    /// the same WAL offset — restores exactly the accepted records, never
+    /// duplicates. In-order pushes only, so acceptance is unconditional
+    /// and the expected count is exact.
+    #[test]
+    fn repeated_crash_recovery_never_duplicates(
+        // (push batch size, crash?, extra recover calls) per round.
+        script in prop::collection::vec((1usize..8, any::<bool>(), 0usize..3), 1..8),
+    ) {
+        let c = LokiCluster::new(1, Limits::default(), SimClock::starting_at(0));
+        let labels = LabelSet::from_pairs([("app", "fm")]);
+        let mut pushed = 0i64;
+        for (batch, crash, extra_recovers) in script {
+            for _ in 0..batch {
+                c.push(labels.clone(), pushed, format!("line {pushed}")).unwrap();
+                pushed += 1;
+            }
+            if crash {
+                c.crash_shard(0);
+                let restored = c.recover_shard(0);
+                prop_assert_eq!(restored as i64, pushed, "replay restores every record");
+            }
+            // Redundant recoveries (shard already up) must be no-ops.
+            for _ in 0..extra_recovers {
+                prop_assert_eq!(c.recover_shard(0), 0);
+            }
+            let out = c.query_logs(r#"{app="fm"}"#, -1, i64::MAX - 1, usize::MAX).unwrap();
+            prop_assert_eq!(out.len() as i64, pushed, "no loss and no duplication");
+        }
     }
 }

@@ -20,12 +20,14 @@ pub mod clock;
 pub mod labels;
 pub mod retry;
 pub mod severity;
+pub mod tenant;
 pub mod time;
 
 pub use clock::SimClock;
 pub use labels::{LabelSet, LabelSetBuilder};
 pub use retry::{CircuitBreaker, CircuitState, RetryPolicy, RetryState};
 pub use severity::Severity;
+pub use tenant::{TenantId, TokenBucket, ANONYMOUS_TENANT};
 pub use time::{format_iso8601, parse_iso8601, Timestamp, NANOS_PER_SEC};
 
 /// A single log line as stored by the log store: a nanosecond timestamp and

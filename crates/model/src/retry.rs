@@ -62,8 +62,9 @@ impl RetryPolicy {
     }
 
     /// The virtual timestamp at which retry `attempt` becomes due.
+    /// Saturates instead of overflowing near the `i64::MAX` sentinel.
     pub fn due_at(&self, now: Timestamp, attempt: u32, salt: u64) -> Timestamp {
-        now + self.delay_ns(attempt, salt)
+        now.saturating_add(self.delay_ns(attempt, salt))
     }
 }
 
@@ -175,7 +176,7 @@ impl CircuitBreaker {
     pub fn record_failure(&mut self, now: Timestamp) -> bool {
         self.consecutive_failures += 1;
         if self.consecutive_failures >= self.failure_threshold && self.allows(now) {
-            self.open_until = now + self.cooldown_ns;
+            self.open_until = now.saturating_add(self.cooldown_ns);
             self.opens += 1;
             return true;
         }
@@ -275,6 +276,27 @@ mod tests {
         let mut fresh = CircuitBreaker::new(2, 1_000);
         fresh.record_success();
         assert_eq!(fresh.closes(), 0);
+    }
+
+    #[test]
+    fn due_at_saturates_near_sentinel_now() {
+        // Regression: `now + delay` used to overflow in debug builds when
+        // the caller's clock sat at the `i64::MAX` "never" sentinel.
+        let p = RetryPolicy::default();
+        assert_eq!(p.due_at(i64::MAX, 1, 7), i64::MAX);
+        assert!(p.due_at(i64::MAX - 1, 8, 7) >= i64::MAX - 1);
+    }
+
+    #[test]
+    fn breaker_cooldown_saturates_near_sentinel_now() {
+        // Regression: tripping at a sentinel timestamp used to overflow
+        // `now + cooldown_ns`.
+        let mut cb = CircuitBreaker::new(1, i64::MAX);
+        assert!(cb.record_failure(1));
+        assert!(!cb.allows(i64::MAX - 1));
+        let mut cb2 = CircuitBreaker::new(1, 1_000);
+        assert!(cb2.record_failure(i64::MAX));
+        assert!(!cb2.allows(i64::MAX - 1));
     }
 
     #[test]

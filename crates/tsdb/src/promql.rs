@@ -431,7 +431,11 @@ pub fn eval_instant(db: &Tsdb, expr: &PromExpr, at: Timestamp) -> InstantVector 
         }
         PromExpr::RangeFn { func, selector, range_ns } => {
             let mut out = Vec::new();
-            for (mut labels, samples) in db.query_series(selector, at - range_ns, at) {
+            // Saturate: a sentinel `at` near `i64::MIN` must not overflow
+            // when the range is subtracted (same class as the frontend's
+            // `start - range_ns` fix).
+            for (mut labels, samples) in db.query_series(selector, at.saturating_sub(*range_ns), at)
+            {
                 if let Some(v) = func.apply(&samples, *range_ns) {
                     labels.remove("__name__");
                     out.push((labels, v));

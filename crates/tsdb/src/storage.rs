@@ -191,7 +191,7 @@ impl Tsdb {
         at: Timestamp,
         lookback_ns: i64,
     ) -> Vec<(LabelSet, Sample)> {
-        self.query_series(selector, at - lookback_ns, at)
+        self.query_series(selector, at.saturating_sub(lookback_ns), at)
             .into_iter()
             .filter_map(|(labels, samples)| samples.last().map(|&s| (labels, s)))
             .collect()
@@ -199,7 +199,7 @@ impl Tsdb {
 
     /// Drop blocks past retention. Returns blocks dropped.
     pub fn enforce_retention(&self, now: Timestamp) -> usize {
-        let horizon = now - self.config.retention_ns;
+        let horizon = now.saturating_sub(self.config.retention_ns);
         let mut dropped = 0;
         for shard in self.shards.iter() {
             let mut sh = shard.write();
@@ -316,6 +316,18 @@ mod tests {
         }
         let dropped = db.enforce_retention(1_000);
         assert!(dropped > 0);
+    }
+
+    #[test]
+    fn sentinel_timestamps_do_not_overflow() {
+        // Regression: `at - lookback_ns` / `now - retention_ns` used to
+        // overflow in debug builds with sentinel timestamps.
+        let db = store();
+        db.ingest_sample("up", labels!("job" => "a"), 100, 1.0);
+        let sel = parse_selector(r#"{__name__="up"}"#).unwrap();
+        assert!(db.query_instant(&sel, i64::MIN, 100).is_empty());
+        assert_eq!(db.query_instant(&sel, i64::MAX, i64::MAX).len(), 1);
+        assert_eq!(db.enforce_retention(i64::MIN), 0);
     }
 
     #[test]

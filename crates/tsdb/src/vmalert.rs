@@ -132,7 +132,7 @@ impl VmAlert {
                     last_value: value,
                 });
                 entry.last_value = value;
-                if !entry.firing && now - entry.active_at >= rule.for_ns {
+                if !entry.firing && now.saturating_sub(entry.active_at) >= rule.for_ns {
                     entry.firing = true;
                 }
                 if entry.firing {
@@ -224,6 +224,25 @@ mod tests {
         assert_eq!(notifs.len(), 1);
         assert_eq!(notifs[0].state, VmAlertState::Resolved);
         assert_eq!(va.active_count(), 0);
+    }
+
+    #[test]
+    fn evaluate_at_sentinel_now_does_not_overflow() {
+        // Regression: `now - entry.active_at` used to overflow when a rule
+        // first activated at a negative timestamp and was re-evaluated at a
+        // large one (the sentinel-start class PR5 fixed in the frontend).
+        let db = Tsdb::new(TsdbConfig::default());
+        let mut va = VmAlert::new(db.clone());
+        va.add_rule(hot_node_rule()).unwrap();
+        db.ingest_sample("node_temp", labels!("node" => "x9"), i64::MIN / 2, 95.0);
+        assert!(va.evaluate(i64::MIN / 2).is_empty()); // pending
+
+        // MIN/2 → MAX/2 keeps the gorilla timestamp delta representable
+        // while `now - active_at` still spans more than i64::MAX.
+        db.ingest_sample("node_temp", labels!("node" => "x9"), i64::MAX / 2, 96.0);
+        let notifs = va.evaluate(i64::MAX / 2);
+        assert_eq!(notifs.len(), 1);
+        assert_eq!(notifs[0].state, VmAlertState::Firing);
     }
 
     #[test]

@@ -35,6 +35,13 @@ PY
 echo "== cargo doc --no-deps (warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
+echo "== tenant chaos drill (fixed seed, isolation invariants) =="
+# The drill asserts its own invariants and exits non-zero on any
+# isolation breach; require the closing line so a silent truncation of
+# the drill also fails the gate.
+cargo run -q --release --example tenant_chaos_drill \
+    | grep "tenant chaos drill: all isolation invariants hold"
+
 echo "== bench smoke (--quick: tiny workload, no report rewrite) =="
 cargo bench -q -p omni-bench --bench c1_ingest_throughput -- --quick | grep "pr3 ingest"
 cargo bench -q -p omni-bench --bench fig5_range_query -- --quick | grep "pr3 range_query"
