@@ -207,6 +207,49 @@ impl Dashboard {
             ],
         }
     }
+
+    /// The provisioned pipeline-SLO dashboard: burn rates and error
+    /// budgets for the monitor's own objectives, the modeled query
+    /// latency, and the self-ingested slow-query log.
+    pub fn pipeline_slo() -> Dashboard {
+        Dashboard {
+            title: "OMNI — Pipeline SLOs".into(),
+            panels: vec![
+                Panel {
+                    title: "Fast-window burn rate".into(),
+                    query: PaneQuery::Metric(
+                        r#"max by (slo) (omni_slo_burn_rate{window="fast"})"#.into(),
+                    ),
+                },
+                Panel {
+                    title: "Slow-window burn rate".into(),
+                    query: PaneQuery::Metric(
+                        r#"max by (slo) (omni_slo_burn_rate{window="slow"})"#.into(),
+                    ),
+                },
+                Panel {
+                    title: "Error budget remaining".into(),
+                    query: PaneQuery::Metric(
+                        "max by (slo) (omni_slo_error_budget_remaining)".into(),
+                    ),
+                },
+                Panel {
+                    title: "Query latency p99 (modeled seconds)".into(),
+                    query: PaneQuery::Metric("omni_query_latency_seconds_p99".into()),
+                },
+                Panel {
+                    title: "Slow queries".into(),
+                    query: PaneQuery::Logs(r#"{job="omni-self", component="slowlog"}"#.into()),
+                },
+                Panel {
+                    title: "Slow queries (15m window)".into(),
+                    query: PaneQuery::LogMetric(
+                        r#"sum(count_over_time({job="omni-self", component="slowlog"} [15m])) by (component)"#.into(),
+                    ),
+                },
+            ],
+        }
+    }
 }
 
 /// The query surface.

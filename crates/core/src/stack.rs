@@ -15,11 +15,12 @@ use omni_exporters::{
     parse_exposition, ArubaExporter, BlackboxExporter, Exporter, GpfsExporter, KafkaExporter,
     NodeExporter, SelfExporter,
 };
-use omni_loki::{AlertState, AlertingRule, Limits, RuleGroup, Ruler};
+use omni_loki::{AlertState, AlertingRule, Limits, QueryRecord, QueryReport, RuleGroup, Ruler};
 use omni_model::{labels, SimClock, Timestamp, NANOS_PER_SEC};
 use omni_obs::{
-    format_trace_id, parse_trace_id, FamilySnapshot, InstrumentKind, Registry, TraceContext,
-    TraceStore, DEFAULT_LATENCY_BUCKETS, TRACE_HEADER,
+    format_trace_id, parse_trace_id, FamilySnapshot, InstrumentKind, Registry, Slo, SloBoard,
+    TailSampling, TraceContext, TraceStore, DEFAULT_LATENCY_BUCKETS, FAST_WINDOW, SLOW_WINDOW,
+    TRACE_HEADER,
 };
 use omni_redfish::{HmsCollector, RedfishEvent};
 use omni_servicenow::{IncidentRule, ServiceNow};
@@ -63,6 +64,15 @@ pub struct StackConfig {
     pub extra_metric_rules: Vec<MetricRule>,
     /// Extra Loki ruler (LogQL) rules, linted the same way.
     pub extra_logql_rules: Vec<AlertingRule>,
+    /// Modeled query latency at or above which a query lands in the
+    /// self-ingested slow-query log (and counts as bad for the
+    /// `query-latency` SLO). The virtual clock is frozen while a query
+    /// runs, so latency is priced from the query's execution statistics
+    /// (see `modeled_query_latency_ns`).
+    pub slow_query_threshold_ns: i64,
+    /// Tail-sampling policy for the trace store. The default keeps every
+    /// finished trace; drills tighten it to bound retention under load.
+    pub trace_sampling: TailSampling,
 }
 
 impl Default for StackConfig {
@@ -81,6 +91,8 @@ impl Default for StackConfig {
             enable_discovery: true,
             extra_metric_rules: Vec::new(),
             extra_logql_rules: Vec::new(),
+            slow_query_threshold_ns: 100_000_000, // 100ms of modeled work
+            trace_sampling: TailSampling::default(),
         }
     }
 }
@@ -130,6 +142,107 @@ const CHUNK_FILL_BUCKETS: &[f64] = &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 
 const FRONTEND_BYTES_SAVED_BUCKETS: &[f64] =
     &[1_024.0, 4_096.0, 16_384.0, 65_536.0, 262_144.0, 1_048_576.0, 4_194_304.0, 16_777_216.0];
 
+/// Bucket bounds for the modeled query-latency histogram (seconds).
+/// Modeled latencies live in the sub-millisecond-to-seconds range, well
+/// below alert-pipeline latencies, so this layout is much finer than
+/// [`DEFAULT_LATENCY_BUCKETS`].
+const QUERY_LATENCY_BUCKETS: &[f64] = &[0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5];
+
+/// Bucket bounds for the per-tenant fair-scheduler queue-wait histogram
+/// (virtual-clock seconds; one grant round is microseconds of virtual
+/// time, so the layout starts at 100µs).
+const QUERY_WAIT_BUCKETS: &[f64] = &[0.000_1, 0.000_5, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0];
+
+/// Modeled query execution pricing. The virtual clock does not advance
+/// while a query runs (queries are instantaneous in simulation time), so
+/// the slow-query log and the `query-latency` SLO price a query from the
+/// statistics its execution actually produced: blocks decompressed,
+/// bytes inflated, entries scanned, plus the scheduler queue wait the
+/// fair scheduler measured in virtual nanoseconds.
+const QUERY_COST_PER_BLOCK_NS: i64 = 200_000; // 0.2ms per decoded block
+const QUERY_COST_PER_KIB_NS: i64 = 50_000; // 0.05ms per decompressed KiB
+const QUERY_COST_PER_ENTRY_NS: i64 = 2_000; // 2µs per scanned entry
+
+/// Price one split's scan from its statistics (cached splits cost zero).
+fn modeled_scan_cost_ns(s: &omni_loki::QueryStats) -> i64 {
+    s.blocks_decoded as i64 * QUERY_COST_PER_BLOCK_NS
+        + (s.decompressed_bytes as i64 / 1024) * QUERY_COST_PER_KIB_NS
+        + s.entries_scanned as i64 * QUERY_COST_PER_ENTRY_NS
+}
+
+/// Price a whole query: scheduler queue wait plus the scan cost of every
+/// split that actually executed (cache hits are free).
+fn modeled_query_latency_ns(report: &QueryReport) -> i64 {
+    report.queue_wait_vns as i64
+        + report
+            .splits
+            .iter()
+            .filter(|sp| !sp.cached)
+            .map(|sp| modeled_scan_cost_ns(&sp.stats))
+            .sum::<i64>()
+}
+
+/// Event→incident latency at or under this is "good" for the
+/// `event-to-incident` SLO: ten virtual minutes, comfortably above the
+/// `for:` hold plus Alertmanager group_wait of a healthy pipeline.
+const EVENT_TO_INCIDENT_TARGET_NS: i64 = 600 * NANOS_PER_SEC;
+
+/// The shipped pipeline SLOs, evaluated as multi-window burn rates:
+/// event→incident latency, modeled query latency, and alert-delivery
+/// success. Objectives leave enough error budget that a healthy pipeline
+/// never pages, while a forced regression burns fast enough to trip the
+/// fast-window rule within its `for:` hold.
+fn slo_specs() -> Vec<Slo> {
+    let minute = 60 * NANOS_PER_SEC;
+    vec![
+        Slo {
+            name: "event-to-incident".into(),
+            objective: 0.99,
+            fast_window_ns: 5 * minute,
+            slow_window_ns: 60 * minute,
+        },
+        Slo {
+            name: "query-latency".into(),
+            objective: 0.95,
+            fast_window_ns: 5 * minute,
+            slow_window_ns: 60 * minute,
+        },
+        Slo {
+            name: "alert-delivery".into(),
+            objective: 0.99,
+            fast_window_ns: 5 * minute,
+            slow_window_ns: 60 * minute,
+        },
+    ]
+}
+
+/// Multi-window burn-rate meta-alerts over the `omni_slo_*` gauges the
+/// registry exports: the monitor alerting on its own service levels. The
+/// fast window pages (critical → ServiceNow) on a budget-torching burn;
+/// the slow window warns on a sustained simmer.
+fn slo_burn_rules() -> Vec<MetricRule> {
+    let minute = 60 * NANOS_PER_SEC;
+    vec![
+        MetricRule {
+            name: "SloFastBurn".into(),
+            expr: r#"max by (slo) (omni_slo_burn_rate{window="fast"}) > 14"#.into(),
+            for_ns: minute,
+            labels: omni_model::LabelSet::from_pairs([("severity", "critical")]),
+            annotations: vec![(
+                "summary".into(),
+                "SLO {{.slo}} is burning error budget 14x too fast".into(),
+            )],
+        },
+        MetricRule {
+            name: "SloSlowBurn".into(),
+            expr: r#"max by (slo) (omni_slo_burn_rate{window="slow"}) > 2"#.into(),
+            for_ns: 5 * minute,
+            labels: omni_model::LabelSet::from_pairs([("severity", "warning")]),
+            annotations: vec![("summary".into(), "SLO {{.slo}} burn is sustained above 2x".into())],
+        },
+    ]
+}
+
 /// The assembled pipeline.
 pub struct MonitoringStack {
     /// Shared virtual clock.
@@ -168,6 +281,13 @@ pub struct MonitoringStack {
     container_gen: ContainerLogGenerator,
     registry: Registry,
     traces: TraceStore,
+    slo: SloBoard,
+    slow_query_threshold_ns: i64,
+    /// Monotonic counter giving every query trace a unique context key.
+    query_trace_seq: u64,
+    /// Dead-lettered notifications already charged to the
+    /// `alert-delivery` SLO.
+    delivery_failures_seen: u64,
     notifications_dispatched: u64,
     /// Publishes a brownout bounced at the producer, replayed next step.
     publish_backlog: parking_lot::Mutex<Vec<PendingPublish>>,
@@ -214,9 +334,12 @@ impl MonitoringStack {
         use omni_lint::{NamedQuery, QueryLang, RuleSpec};
 
         let mut lint = omni_lint::shipped_config();
-        for dash in
-            [Dashboard::leak_detection(), Dashboard::pipeline_health(), Dashboard::fabric_health()]
-        {
+        for dash in [
+            Dashboard::leak_detection(),
+            Dashboard::pipeline_health(),
+            Dashboard::fabric_health(),
+            Dashboard::pipeline_slo(),
+        ] {
             for panel in &dash.panels {
                 let (lang, query) = match &panel.query {
                     PaneQuery::Logs(q) | PaneQuery::LogMetric(q) => (QueryLang::LogQl, q.clone()),
@@ -235,6 +358,18 @@ impl MonitoringStack {
             "stack:frontend-bytes-saved".to_string(),
             FRONTEND_BYTES_SAVED_BUCKETS.to_vec(),
         ));
+        lint.buckets.push(("stack:query-latency".to_string(), QUERY_LATENCY_BUCKETS.to_vec()));
+        lint.buckets.push(("stack:query-wait".to_string(), QUERY_WAIT_BUCKETS.to_vec()));
+        // The SLO burn-rate meta-alerts go through the same gate as
+        // every other rule: a drifted gauge name fails the boot.
+        for r in &slo_burn_rules() {
+            lint.rules.push(RuleSpec {
+                source: format!("vmalert:{}", r.name),
+                lang: QueryLang::PromQl,
+                expr: r.expr.clone(),
+                for_ns: r.for_ns,
+            });
+        }
         for r in &config.extra_metric_rules {
             lint.rules.push(RuleSpec {
                 source: format!("vmalert:{}", r.name),
@@ -272,7 +407,13 @@ impl MonitoringStack {
         // Self-telemetry: one registry on the shared clock, one trace
         // store seeded like everything else so ids replay byte-identically.
         let registry = Registry::new(clock.clone());
-        let traces = TraceStore::new(config.seed);
+        let traces = TraceStore::with_sampling(config.seed, config.trace_sampling);
+        // The pipeline's service-level objectives, fed from the step loop
+        // and delivery pump, exported as burn-rate gauges at gather time.
+        let slo = SloBoard::new();
+        for spec in slo_specs() {
+            slo.add(spec);
+        }
         let machine =
             Arc::new(ShastaMachine::new(config.topology.clone(), clock.clone(), config.seed));
         let broker = omni_bus::Broker::new(clock.clone());
@@ -329,8 +470,10 @@ impl MonitoringStack {
         // vmalert: the shipped thermal / leak-sensor / GPFS metric rules
         // (the same set omni-lint validates), plus the config's extras.
         let mut vmalert = VmAlert::new(omni.tsdb().clone());
-        for rule in
-            MetricRule::shipped_rules().into_iter().chain(config.extra_metric_rules.iter().cloned())
+        for rule in MetricRule::shipped_rules()
+            .into_iter()
+            .chain(slo_burn_rules())
+            .chain(config.extra_metric_rules.iter().cloned())
         {
             let name = rule.name.clone();
             vmalert
@@ -435,6 +578,7 @@ impl MonitoringStack {
             &chaos,
             &servicenow,
         );
+        register_introspection_collectors(&registry, &slo, &traces, &clock);
 
         Ok(Self {
             clock,
@@ -463,6 +607,10 @@ impl MonitoringStack {
             container_gen,
             registry,
             traces,
+            slo,
+            slow_query_threshold_ns: config.slow_query_threshold_ns,
+            query_trace_seq: 0,
+            delivery_failures_seen: 0,
             notifications_dispatched: 0,
             publish_backlog: parking_lot::Mutex::new(Vec::new()),
         })
@@ -579,6 +727,11 @@ impl MonitoringStack {
             saved.observe(bytes as f64);
         }
         self.omni.loki().offload(3_600 * NANOS_PER_SEC);
+        // 6b. Query introspection: price every query the frontend
+        // finished since the last step, build its span tree, feed the
+        // latency histogram (trace id as exemplar) and the query-latency
+        // SLO, and self-ingest slow queries as a Loki stream.
+        self.introspect_queries(now);
         // 7. Rule evaluation → Alertmanager, correlating alerts back to
         // their traces via the Context label the pipeline carries.
         for n in self.ruler.evaluate(now) {
@@ -619,6 +772,156 @@ impl MonitoringStack {
         notifications
     }
 
+    /// Drain the frontend's per-query reports and scheduler queue-wait
+    /// samples into the introspection surfaces: the modeled-latency
+    /// histogram (with the query's trace as exemplar), per-tenant wait
+    /// histograms, scan-volume counters, the `query-latency` SLO, and —
+    /// for queries at or over the slow threshold — a JSON line in the
+    /// self-ingested `{job="omni-self", component="slowlog"}` stream.
+    fn introspect_queries(&mut self, now: Timestamp) {
+        for (tenant, wait_vns) in self.omni.loki().frontend().take_scheduler_waits() {
+            self.registry
+                .histogram(
+                    "omni_tenant_query_wait_seconds",
+                    "Fair-scheduler queue wait per split grant, by tenant (virtual-clock seconds).",
+                    labels!("tenant" => tenant.as_str()),
+                    QUERY_WAIT_BUCKETS,
+                )
+                .observe(wait_vns as f64 / NANOS_PER_SEC as f64);
+        }
+        let records = self.omni.loki().frontend().take_query_records();
+        if records.is_empty() {
+            return;
+        }
+        let latency_hist = self.registry.histogram(
+            "omni_query_latency_seconds",
+            "Modeled query latency priced from execution statistics.",
+            labels!(),
+            QUERY_LATENCY_BUCKETS,
+        );
+        for record in records {
+            let latency_ns = modeled_query_latency_ns(&record.report);
+            let slow = latency_ns >= self.slow_query_threshold_ns;
+            let trace_id = self.trace_query(&record, latency_ns, now);
+            latency_hist.observe_with_exemplar(latency_ns as f64 / NANOS_PER_SEC as f64, trace_id);
+            let s = &record.report.stats;
+            for (name, help, delta) in [
+                ("omni_query_records_total", "Queries the frontend completed and recorded.", 1u64),
+                (
+                    "omni_query_chunks_touched_total",
+                    "Sealed chunks overlapping recorded query windows.",
+                    s.chunks_touched as u64,
+                ),
+                (
+                    "omni_query_blocks_decoded_total",
+                    "Chunk blocks decompressed for recorded queries.",
+                    s.blocks_decoded as u64,
+                ),
+                (
+                    "omni_query_blocks_skipped_total",
+                    "Chunk blocks skipped via timestamp headers for recorded queries.",
+                    s.blocks_skipped as u64,
+                ),
+                (
+                    "omni_query_bytes_decompressed_total",
+                    "Uncompressed bytes produced by recorded queries' block decodes.",
+                    s.decompressed_bytes as u64,
+                ),
+            ] {
+                self.registry.counter(name, help, labels!()).add(delta);
+            }
+            self.slo.record("query-latency", now, !slow);
+            if slow {
+                self.registry
+                    .counter(
+                        "omni_query_slow_total",
+                        "Recorded queries at or over the slow-query threshold.",
+                        labels!(),
+                    )
+                    .inc();
+                // Best-effort: with every shard down the line is lost,
+                // never the query itself.
+                let _ = self.omni.loki().push(
+                    labels!("job" => "omni-self", "component" => "slowlog"),
+                    now,
+                    slow_query_line(&record, latency_ns, trace_id),
+                );
+            }
+        }
+    }
+
+    /// Build the span tree for one completed query — a `query` root with
+    /// a `queue_wait` child and one `split_execute`/`split_cache_hit`
+    /// child per planned split, laid out on modeled time ending at `now`
+    /// — then finish the trace so tail sampling decides its fate.
+    fn trace_query(&mut self, record: &QueryRecord, latency_ns: i64, now: Timestamp) -> u64 {
+        self.query_trace_seq += 1;
+        let key = format!("query-{}", self.query_trace_seq);
+        let started = now.saturating_sub(latency_ns);
+        let ctx = self.traces.begin_trace(&key, &record.query, started);
+        let root = self.traces.span(
+            ctx.trace_id,
+            "query",
+            started,
+            now,
+            &format!(
+                "{} [{}..{}] tenant={} ({} splits: {} cached, {} executed)",
+                record.query,
+                record.start,
+                record.end,
+                record.tenant.as_str(),
+                record.report.splits.len(),
+                record.report.cache_hits,
+                record.report.cache_misses,
+            ),
+        );
+        let mut cursor = started;
+        if record.report.queue_wait_vns > 0 {
+            let end = cursor.saturating_add(record.report.queue_wait_vns as i64).min(now);
+            self.traces.span_child(
+                ctx.trace_id,
+                root,
+                "queue_wait",
+                cursor,
+                end,
+                &format!("{} vns behind the fair scheduler", record.report.queue_wait_vns),
+            );
+            cursor = end;
+        }
+        for (i, sp) in record.report.splits.iter().enumerate() {
+            if sp.cached {
+                self.traces.span_child(
+                    ctx.trace_id,
+                    root,
+                    "split_cache_hit",
+                    cursor,
+                    cursor,
+                    &format!("split {i} [{}..{}] served from the results cache", sp.start, sp.end),
+                );
+            } else {
+                let end = cursor.saturating_add(modeled_scan_cost_ns(&sp.stats)).min(now);
+                self.traces.span_child(
+                    ctx.trace_id,
+                    root,
+                    "split_execute",
+                    cursor,
+                    end,
+                    &format!(
+                        "split {i} [{}..{}]: {} entries, {} blocks decoded, {} skipped",
+                        sp.start,
+                        sp.end,
+                        sp.stats.entries_scanned,
+                        sp.stats.blocks_decoded,
+                        sp.stats.blocks_skipped,
+                    ),
+                );
+                cursor = end;
+            }
+        }
+        self.traces.finish(ctx.trace_id);
+        ctx.trace_id
+    }
+
     /// Tie an alert back to the trace of the event that raised it: the
     /// Redfish `Context` xname is the correlation key. Adds the
     /// `alert_rule` span (held `for:` window included) and a `trace_id`
@@ -650,13 +953,14 @@ impl MonitoringStack {
         let slack = self.slack.clone();
         let servicenow = self.servicenow.clone();
         let traces = self.traces.clone();
+        let slo = self.slo.clone();
         let latency = self.registry.histogram(
             "omni_event_to_incident_seconds",
             "End-to-end latency from hardware event to ServiceNow incident.",
             labels!(),
             DEFAULT_LATENCY_BUCKETS,
         );
-        self.delivery.lock().pump(now, |n| {
+        let delivered = self.delivery.lock().pump(now, |n| {
             if let Some(c) = chaos.lock().as_mut() {
                 if c.should_fail_send(&n.receiver, now) {
                     return false;
@@ -677,7 +981,10 @@ impl MonitoringStack {
                     for &id in &ids {
                         traces.span_once(id, "servicenow_incident", now, now, &incident);
                         if let Some(ns) = traces.latency_ns(id) {
-                            latency.observe(ns as f64 / NANOS_PER_SEC as f64);
+                            // The event's trace rides along as the
+                            // exemplar for the latency bucket it lands in.
+                            latency.observe_with_exemplar(ns as f64 / NANOS_PER_SEC as f64, id);
+                            slo.record("event-to-incident", now, ns <= EVENT_TO_INCIDENT_TARGET_NS);
                         }
                     }
                 }
@@ -686,8 +993,18 @@ impl MonitoringStack {
             for &id in &ids {
                 traces.end_span(id, &format!("deliver_{}", n.receiver), now, "delivered");
             }
+            slo.record("alert-delivery", now, true);
             true
-        })
+        });
+        // At-least-once semantics: a failed attempt that will retry is
+        // not an SLO violation — exhausting the retry budget is. Charge
+        // only freshly dead-lettered notifications as bad events.
+        let failed = self.delivery.lock().stats().permanently_failed;
+        if failed > self.delivery_failures_seen {
+            self.slo.record_many("alert-delivery", now, 0, failed - self.delivery_failures_seen);
+            self.delivery_failures_seen = failed;
+        }
+        delivered
     }
 
     fn publish_or_buffer(&self, item: PendingPublish) {
@@ -803,6 +1120,11 @@ impl MonitoringStack {
         &self.traces
     }
 
+    /// The SLO board — snapshot it for burn rates and budgets.
+    pub fn slos(&self) -> &SloBoard {
+        &self.slo
+    }
+
     /// Assemble the operator resilience panel: Loki crash/WAL counters,
     /// per-topic bus stats, bridge redelivery counters, notification
     /// delivery counters and what the chaos engine injected.
@@ -837,6 +1159,95 @@ fn notification_trace_ids(n: &Notification) -> Vec<u64> {
     ids.sort_unstable();
     ids.dedup();
     ids
+}
+
+/// Render one slow-query log line: compact JSON carrying the query, its
+/// tenant, the modeled latency, the trace id and the full statistics
+/// breakdown — shaped for LogQL `| json` pipelines over the
+/// `{job="omni-self", component="slowlog"}` stream.
+fn slow_query_line(record: &QueryRecord, latency_ns: i64, trace_id: u64) -> String {
+    let r = &record.report;
+    let s = &r.stats;
+    omni_json::jsonv!({
+        "query": (record.query.as_str()),
+        "tenant": (record.tenant.as_str()),
+        "start": (record.start),
+        "end": (record.end),
+        "latency_ms": (latency_ns as f64 / 1e6),
+        "trace_id": (format_trace_id(trace_id)),
+        "splits": (r.splits.len()),
+        "cache_hits": (r.cache_hits),
+        "cache_misses": (r.cache_misses),
+        "queue_wait_vns": (r.queue_wait_vns),
+        "streams_matched": (s.streams_matched),
+        "entries_scanned": (s.entries_scanned),
+        "bytes_scanned": (s.bytes_scanned),
+        "chunks_touched": (s.chunks_touched),
+        "blocks_decoded": (s.blocks_decoded),
+        "blocks_skipped": (s.blocks_skipped),
+        "decompressed_bytes": (s.decompressed_bytes),
+    })
+    .dump()
+}
+
+/// Register the introspection collectors: SLO burn-rate/budget gauges
+/// snapshotted from the board at gather time, and the trace store's
+/// tail-sampling outcome counters.
+fn register_introspection_collectors(
+    registry: &Registry,
+    slo: &SloBoard,
+    traces: &TraceStore,
+    clock: &SimClock,
+) {
+    use InstrumentKind::{Counter, Gauge};
+    {
+        let slo = slo.clone();
+        let clock = clock.clone();
+        registry.register_collector(move || {
+            let mut burn = FamilySnapshot::new(
+                "omni_slo_burn_rate",
+                "Error-budget burn rate relative to the objective, by SLO and window.",
+                Gauge,
+            );
+            let mut objective = FamilySnapshot::new(
+                "omni_slo_objective",
+                "Configured good-fraction objective, by SLO.",
+                Gauge,
+            );
+            let mut budget = FamilySnapshot::new(
+                "omni_slo_error_budget_remaining",
+                "Fraction of the slow-window error budget unspent, by SLO.",
+                Gauge,
+            );
+            for s in slo.snapshot(clock.now()) {
+                burn.push(labels!("slo" => s.name.clone(), "window" => FAST_WINDOW), s.fast_burn);
+                burn.push(labels!("slo" => s.name.clone(), "window" => SLOW_WINDOW), s.slow_burn);
+                objective.push(labels!("slo" => s.name.clone()), s.objective);
+                budget.push(labels!("slo" => s.name), s.budget_remaining);
+            }
+            vec![burn, objective, budget]
+        });
+    }
+    {
+        let traces = traces.clone();
+        registry.register_collector(move || {
+            let s = traces.sample_stats();
+            vec![
+                single(
+                    "omni_trace_kept_total",
+                    "Finished traces tail sampling retained (errored, slow, or sampled in).",
+                    Counter,
+                    (s.kept_error + s.kept_slow + s.kept_sampled) as f64,
+                ),
+                single(
+                    "omni_trace_dropped_total",
+                    "Finished traces tail sampling dropped, plus cap evictions.",
+                    Counter,
+                    (s.dropped + s.evicted) as f64,
+                ),
+            ]
+        });
+    }
 }
 
 /// One single-sample family with empty labels — collector shorthand.
@@ -1330,6 +1741,54 @@ mod tests {
             CHUNK_FILL_BUCKETS,
         );
         assert!(fill.count() > 0, "sealed chunks fed the fill-ratio histogram");
+    }
+
+    #[test]
+    fn slow_queries_self_ingest_with_traces_and_slo() {
+        // Threshold of one modeled nanosecond: every recorded query is
+        // slow, so the introspection path is fully exercised.
+        let config = StackConfig { slow_query_threshold_ns: 1, ..StackConfig::default() };
+        let mut stack = MonitoringStack::new(config);
+        for _ in 0..3 {
+            stack.step(minute(), 50, 10);
+        }
+        // A pane log query goes through the frontend's recording path…
+        let logs = stack.pane.logs(r#"{data_type="syslog"}"#, 0, stack.clock.now(), 1000).unwrap();
+        assert!(!logs.is_empty());
+        // …and the next step drains it into the introspection surfaces.
+        stack.step(minute(), 0, 0);
+        let now = stack.clock.now();
+        let slowlog =
+            stack.pane.logs(r#"{job="omni-self", component="slowlog"}"#, 0, now, 100).unwrap();
+        assert!(!slowlog.is_empty(), "the slow query must self-ingest");
+        // The line is JSON whose trace_id resolves to a retained span
+        // tree with the scheduler wait / split breakdown.
+        let parsed = omni_json::parse(&slowlog[0].entry.line).unwrap();
+        assert_eq!(parsed.pointer("/tenant").and_then(omni_json::Json::as_str), Some("anonymous"));
+        let trace_id = parsed
+            .pointer("/trace_id")
+            .and_then(omni_json::Json::as_str)
+            .and_then(parse_trace_id)
+            .expect("slow-query line carries a parseable trace id");
+        let timeline = stack.traces().render_timeline(trace_id);
+        assert!(!timeline.is_empty(), "trace retained");
+        assert!(timeline.contains("query"), "{timeline}");
+        assert!(timeline.contains("split_execute"), "{timeline}");
+        // The query-latency SLO saw only bad events: its burn rate is
+        // pinned at the objective's ceiling.
+        let snap = stack
+            .slos()
+            .snapshot(now)
+            .into_iter()
+            .find(|s| s.name == "query-latency")
+            .expect("query-latency SLO registered");
+        assert!(snap.slow_total > 0);
+        assert!(snap.fast_burn > 14.0, "all-bad events must torch the budget: {snap:?}");
+        // The latency histogram carries the trace as an exemplar on the
+        // scraped page.
+        let page = SelfExporter::new(stack.registry().clone()).render();
+        assert!(page.contains("# EXEMPLAR omni_query_latency_seconds_bucket"), "exemplar missing");
+        assert!(page.contains(&format_trace_id(trace_id)), "exemplar links the same trace");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ```
 
 use omni_model::{LabelSet, MetricRecord};
+use omni_obs::{format_trace_id, Exemplar};
 use std::fmt;
 
 /// One metric family: name, help, type and its samples.
@@ -21,12 +22,22 @@ pub struct MetricFamily {
     pub kind: &'static str,
     /// `(labels, value)` samples.
     pub samples: Vec<(LabelSet, f64)>,
+    /// Exemplars keyed by sample labels, rendered as `# EXEMPLAR`
+    /// comment lines after the matching sample so a latency bucket
+    /// links to a sampled trace without breaking text-format parsers.
+    pub exemplars: Vec<(LabelSet, Exemplar)>,
 }
 
 impl MetricFamily {
     /// A gauge family.
     pub fn gauge(name: &str, help: &str) -> Self {
-        Self { name: name.to_string(), help: help.to_string(), kind: "gauge", samples: Vec::new() }
+        Self {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: "gauge",
+            samples: Vec::new(),
+            exemplars: Vec::new(),
+        }
     }
 
     /// A counter family.
@@ -36,12 +47,19 @@ impl MetricFamily {
             help: help.to_string(),
             kind: "counter",
             samples: Vec::new(),
+            exemplars: Vec::new(),
         }
     }
 
     /// Add a sample.
     pub fn sample(&mut self, labels: LabelSet, value: f64) -> &mut Self {
         self.samples.push((labels, value));
+        self
+    }
+
+    /// Attach an exemplar to the sample carrying `labels`.
+    pub fn exemplar(&mut self, labels: LabelSet, exemplar: Exemplar) -> &mut Self {
+        self.exemplars.push((labels, exemplar));
         self
     }
 }
@@ -77,23 +95,34 @@ pub fn render_exposition(families: &[MetricFamily]) -> String {
         out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
         out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind));
         for (labels, value) in &f.samples {
-            if labels.is_empty() {
-                out.push_str(&format!("{} {}\n", f.name, fmt_value(*value)));
-            } else {
-                let rendered: Vec<String> = labels
-                    .iter()
-                    .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
-                    .collect();
-                out.push_str(&format!(
-                    "{}{{{}}} {}\n",
-                    f.name,
-                    rendered.join(","),
-                    fmt_value(*value)
-                ));
+            let rendered = render_labels(labels);
+            out.push_str(&format!("{}{} {}\n", f.name, rendered, fmt_value(*value)));
+            // Exemplars ride as comment lines (parsers skip `#`), so a
+            // page with exemplars stays valid classic text format.
+            for (els, ex) in &f.exemplars {
+                if els == labels {
+                    out.push_str(&format!(
+                        "# EXEMPLAR {}{} trace_id={} {}\n",
+                        f.name,
+                        rendered,
+                        format_trace_id(ex.trace_id),
+                        fmt_value(ex.value)
+                    ));
+                }
             }
         }
     }
     out
+}
+
+/// `{k="v",..}` for non-empty label sets, empty string otherwise.
+fn render_labels(labels: &LabelSet) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    format!("{{{}}}", rendered.join(","))
 }
 
 fn fmt_value(v: f64) -> String {
@@ -279,6 +308,45 @@ mod tests {
         let mut fam = MetricFamily::gauge("q", "says \"hi\"");
         fam.sample(LabelSet::new(), 1.0);
         assert!(render_exposition(&[fam]).contains("# HELP q says \"hi\"\n"));
+    }
+
+    #[test]
+    fn exemplars_render_as_comments_and_do_not_break_parsing() {
+        let mut fam = MetricFamily::counter("omni_query_latency_seconds_bucket", "Latency.");
+        fam.sample(labels!("le" => "0.5"), 3.0);
+        fam.sample(labels!("le" => "+Inf"), 4.0);
+        fam.exemplar(labels!("le" => "0.5"), Exemplar { trace_id: 0xabcd, value: 0.4 });
+        let text = render_exposition(&[fam]);
+        // The exemplar line follows its bucket, as a comment carrying
+        // the 16-hex trace id the trace store's timeline parser accepts.
+        assert!(
+            text.contains(
+                "omni_query_latency_seconds_bucket{le=\"0.5\"} 3\n\
+                 # EXEMPLAR omni_query_latency_seconds_bucket{le=\"0.5\"} \
+                 trace_id=000000000000abcd 0.4\n"
+            ),
+            "{text:?}"
+        );
+        // The un-exemplared bucket renders bare.
+        assert!(!text.contains("# EXEMPLAR omni_query_latency_seconds_bucket{le=\"+Inf\"}"));
+        // A conforming classic-format parser sees only the samples.
+        let records = parse_exposition(&text).unwrap();
+        assert_eq!(records.len(), 2);
+        // Help escaping still holds on an exemplar-bearing family.
+        let mut fam = MetricFamily::counter("m", "line one\nline two \\ done");
+        fam.sample(labels!("le" => "1"), 1.0);
+        fam.exemplar(labels!("le" => "1"), Exemplar { trace_id: 7, value: 0.9 });
+        let text = render_exposition(&[fam]);
+        assert!(text.contains("# HELP m line one\\nline two \\\\ done\n"), "{text:?}");
+        assert_eq!(parse_exposition(&text).unwrap().len(), 1);
+        // Exemplars never rescue an invalid family name: the whole
+        // family (exemplars included) degrades to the error comment.
+        let mut bad = MetricFamily::gauge("bad name", "h");
+        bad.sample(LabelSet::new(), 1.0);
+        bad.exemplar(LabelSet::new(), Exemplar { trace_id: 9, value: 1.0 });
+        let text = render_exposition(&[bad]);
+        assert!(!text.contains("EXEMPLAR"), "{text:?}");
+        assert!(parse_exposition(&text).unwrap().is_empty());
     }
 
     #[test]

@@ -35,6 +35,9 @@ impl SelfExporter {
                 for s in snap.samples {
                     fam.sample(s.labels, s.value);
                 }
+                for (labels, ex) in snap.exemplars {
+                    fam.exemplar(labels, ex);
+                }
                 fam
             })
             .collect()
@@ -78,6 +81,18 @@ mod tests {
         assert_eq!(depth.sample.value, 2.0);
         // p50/p99 convenience gauges are on the page too.
         assert!(records.iter().any(|r| r.name() == Some("omni_stage_seconds_p99")));
+    }
+
+    #[test]
+    fn exemplars_survive_the_self_scrape() {
+        let reg = Registry::new(SimClock::new());
+        reg.histogram("omni_query_latency_seconds", "Query latency.", labels!(), &[1.0])
+            .observe_with_exemplar(0.5, 0xbeef);
+        let page = SelfExporter::new(reg).render();
+        assert!(page.contains("# EXEMPLAR omni_query_latency_seconds_bucket"), "{page}");
+        assert!(page.contains("trace_id=000000000000beef 0.5"), "{page}");
+        // The page is still plain classic text format to a scraper.
+        parse_exposition(&page).unwrap();
     }
 
     #[test]

@@ -103,9 +103,22 @@ impl Catalog {
             "omni_frontend_cache_misses_total",
             "omni_frontend_rejected_total",
             "omni_frontend_cached_entries",
+            "omni_query_records_total",
+            "omni_query_slow_total",
+            "omni_query_chunks_touched_total",
+            "omni_query_blocks_decoded_total",
+            "omni_query_blocks_skipped_total",
+            "omni_query_bytes_decompressed_total",
+            "omni_trace_kept_total",
+            "omni_trace_dropped_total",
         ] {
             c.add_scraped_metric(name, &[]);
         }
+        // SLO meta-telemetry: burn rates per evaluation window, the
+        // objective itself, and the remaining error budget.
+        c.add_scraped_metric("omni_slo_burn_rate", &["slo", "window"]);
+        c.add_scraped_metric("omni_slo_objective", &["slo"]);
+        c.add_scraped_metric("omni_slo_error_budget_remaining", &["slo"]);
         for name in [
             "omni_bus_messages_in_total",
             "omni_bus_bytes_out_total",
@@ -144,9 +157,12 @@ impl Catalog {
             "omni_chunk_fill_ratio",
             "omni_event_to_incident_seconds",
             "omni_frontend_bytes_saved",
+            "omni_query_latency_seconds",
         ] {
             c.add_scraped_histogram(name, &[]);
         }
+        // Per-tenant scheduler queue wait, in virtual-clock seconds.
+        c.add_scraped_histogram("omni_tenant_query_wait_seconds", &["tenant"]);
 
         // Loki stream labels the LogBridge (and the archive restore
         // path) can attach.
@@ -160,6 +176,9 @@ impl Catalog {
             "server",
             "trace_id",
             "restored",
+            // Self-ingested telemetry streams (the slow-query log).
+            "job",
+            "component",
         ] {
             c.stream_labels.insert(l.to_string());
         }
@@ -253,5 +272,16 @@ mod tests {
         assert!(c.is_stream_label("data_type"));
         assert!(c.is_stream_label("trace_id"));
         assert!(!c.is_stream_label("Severity"));
+        // Introspection families: SLO gauges, query statistics, and the
+        // tenant queue-wait histogram (which must carry `tenant`).
+        assert!(c.metric_labels("omni_slo_burn_rate").unwrap().contains("window"));
+        assert!(c.has_metric("omni_query_slow_total"));
+        assert!(c.has_histogram_base("omni_query_latency_seconds"));
+        assert!(c.has_histogram_base("omni_tenant_query_wait_seconds"));
+        assert!(c
+            .metric_labels("omni_tenant_query_wait_seconds_bucket")
+            .unwrap()
+            .contains("tenant"));
+        assert!(c.is_stream_label("job") && c.is_stream_label("component"));
     }
 }

@@ -10,16 +10,28 @@ fn main() -> ExitCode {
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--catalog" => {
+                // The emittable-metric surface, one name per line — what
+                // the unknown-metric rule checks queries against. Lets
+                // scripts assert a family is registered without parsing
+                // Rust.
+                let catalog = omni_lint::Catalog::shipped();
+                for name in catalog.metric_names() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!(
                     "omni-lint: static validation of rules, queries and source invariants\n\
                      \n\
-                     usage: omni-lint [--json]\n\
+                     usage: omni-lint [--json | --catalog]\n\
                      \n\
                      Runs layer 1 (config analysis of the shipped rules, routes and\n\
                      buckets) and layer 2 (source invariants over crates/**/*.rs),\n\
                      prints findings sorted by (file, line, rule, message), and exits\n\
-                     with status 1 if any finding was produced."
+                     with status 1 if any finding was produced.\n\
+                     --catalog instead prints every emittable metric name and exits."
                 );
                 return ExitCode::SUCCESS;
             }

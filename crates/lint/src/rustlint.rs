@@ -391,9 +391,7 @@ pub fn lint_source(rel_path: &str, crate_name: &str, src: &str, catalog: &Catalo
                     format!("metric name {name:?} is not a valid Prometheus metric name"),
                     &mut out,
                 );
-            } else if name.starts_with("omni_tenant_")
-                && !catalog.metric_labels(&name).is_some_and(|ls| ls.contains("tenant"))
-            {
+            } else if name.starts_with("omni_tenant_") && !tenant_labelled(catalog, &name) {
                 push(
                     &lexed,
                     name_line,
@@ -423,6 +421,17 @@ pub fn lint_source(rel_path: &str, crate_name: &str, src: &str, catalog: &Catalo
         }
     }
     out
+}
+
+/// Whether a tenant-scoped registration carries the `tenant` label —
+/// directly, or (for histograms registered by their base name) via the
+/// gather-time `_bucket` expansion.
+fn tenant_labelled(catalog: &Catalog, name: &str) -> bool {
+    if catalog.metric_labels(name).is_some_and(|ls| ls.contains("tenant")) {
+        return true;
+    }
+    catalog.has_histogram_base(name)
+        && catalog.metric_labels(&format!("{name}_bucket")).is_some_and(|ls| ls.contains("tenant"))
 }
 
 /// If a metric registration site starts at token `k`, return its
@@ -630,6 +639,12 @@ mod tests {
         let ok =
             "fn f() { let f = FamilySnapshot::new(\"omni_tenant_active_streams\", \"h\", G); }\n";
         let f = lint_source("crates/core/src/x.rs", "core", ok, &Catalog::shipped());
+        assert!(f.is_empty(), "{f:?}");
+        // A tenant-scoped histogram registered by its *base* name gets
+        // the label from its gather-time `_bucket` expansion.
+        let hist = "fn f(r: &Registry) {\n  \
+                    r.histogram(\"omni_tenant_query_wait_seconds\", \"h\", labels!(), B);\n}\n";
+        let f = lint_source("crates/core/src/x.rs", "core", hist, &Catalog::shipped());
         assert!(f.is_empty(), "{f:?}");
     }
 

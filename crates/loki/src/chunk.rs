@@ -105,7 +105,30 @@ struct BlockRef<'a> {
     min_ts: Timestamp,
     max_ts: Timestamp,
     count: usize,
+    uncompressed_len: usize,
     payload: &'a [u8],
+}
+
+/// What a range decode actually did inside one chunk — the observable
+/// cost (and the observable block-skip win) that flows up into
+/// `QueryStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Blocks whose payload was decompressed and decoded.
+    pub blocks_decoded: usize,
+    /// Blocks the per-block timestamp index let us skip entirely.
+    pub blocks_skipped: usize,
+    /// Uncompressed bytes produced by the decoded blocks.
+    pub bytes_decompressed: usize,
+}
+
+impl DecodeStats {
+    /// Fold another decode's stats into this one.
+    pub fn absorb(&mut self, other: DecodeStats) {
+        self.blocks_decoded += other.blocks_decoded;
+        self.blocks_skipped += other.blocks_skipped;
+        self.bytes_decompressed += other.bytes_decompressed;
+    }
 }
 
 impl SealedChunk {
@@ -227,7 +250,7 @@ impl SealedChunk {
             pos += n;
             let (count, n) = get_uvarint(&buf[pos..])?;
             pos += n;
-            let (_uncompressed_len, n) = get_uvarint(&buf[pos..])?;
+            let (uncompressed_len, n) = get_uvarint(&buf[pos..])?;
             pos += n;
             let (compressed_len, n) = get_uvarint(&buf[pos..])?;
             pos += n;
@@ -239,6 +262,7 @@ impl SealedChunk {
                 min_ts: unzigzag(min_z),
                 max_ts: unzigzag(max_z),
                 count: count as usize,
+                uncompressed_len: uncompressed_len as usize,
                 payload: &buf[pos..pos + compressed_len],
             });
             pos += compressed_len;
@@ -310,18 +334,34 @@ impl SealedChunk {
         start: Timestamp,
         end: Timestamp,
     ) -> Result<(Vec<LogEntry>, usize), CorruptBlock> {
+        let (entries, stats) = self.decode_range_stats(start, end)?;
+        Ok((entries, stats.blocks_decoded))
+    }
+
+    /// [`Self::decode_range`] with full [`DecodeStats`]: blocks decoded
+    /// vs. skipped and the uncompressed bytes produced. A chunk entirely
+    /// outside the window counts all its blocks as skipped (the header
+    /// check *is* the skip).
+    pub fn decode_range_stats(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<(Vec<LogEntry>, DecodeStats), CorruptBlock> {
+        let mut stats = DecodeStats::default();
         if self.count == 0 || self.max_ts <= start || self.min_ts > end {
-            return Ok((Vec::new(), 0));
+            stats.blocks_skipped = self.block_count();
+            return Ok((Vec::new(), stats));
         }
         let mut out = Vec::new();
-        let mut decoded = 0;
         for block in self.blocks()? {
             if block.count == 0 || block.max_ts <= start || block.min_ts > end {
+                stats.blocks_skipped += 1;
                 continue;
             }
             let before = out.len();
             Self::decode_block(block.payload, &mut out)?;
-            decoded += 1;
+            stats.blocks_decoded += 1;
+            stats.bytes_decompressed += block.uncompressed_len;
             // Filter in place: only the freshly decoded tail needs it.
             let mut keep = before;
             for i in before..out.len() {
@@ -332,7 +372,7 @@ impl SealedChunk {
             }
             out.truncate(keep);
         }
-        Ok((out, decoded))
+        Ok((out, stats))
     }
 
     /// Whether this chunk may contain entries in `(start, end]`.
@@ -439,18 +479,33 @@ mod tests {
     }
 
     #[test]
-    fn narrow_range_decompresses_strictly_fewer_blocks() {
+    fn narrow_range_skip_win_is_visible_in_decode_stats() {
         let es = entries(2_000); // ts: 1000 .. 1000 + 1999*7
         let chunk = SealedChunk::from_entries(&es);
         let total = chunk.block_count();
         assert!(total > 2);
         // Narrow window in the middle of the chunk.
         let mid = 1_000 + 1_000 * 7;
-        let (got, decoded) = chunk.decode_range_counted(mid, mid + 70).unwrap();
+        let (got, stats) = chunk.decode_range_stats(mid, mid + 70).unwrap();
         assert_eq!(got.len(), 10);
         assert!(got.iter().all(|e| e.ts > mid && e.ts <= mid + 70));
-        assert!(decoded >= 1);
-        assert!(decoded < total, "narrow range should skip blocks: decoded {decoded} of {total}");
+        // The stats partition the chunk: every block either decoded or
+        // skipped, with most skipped for a narrow window.
+        assert_eq!(stats.blocks_decoded + stats.blocks_skipped, total);
+        assert!(stats.blocks_decoded >= 1);
+        assert!(
+            stats.blocks_skipped > stats.blocks_decoded,
+            "narrow range should skip most blocks: {stats:?} of {total}"
+        );
+        // Decompressed bytes account only for decoded blocks.
+        assert!(stats.bytes_decompressed > 0);
+        assert!(stats.bytes_decompressed < chunk.uncompressed);
+        // A fully disjoint window touches no payload at all.
+        let (none, miss) = chunk.decode_range_stats(1_000_000, 2_000_000).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(miss.blocks_decoded, 0);
+        assert_eq!(miss.blocks_skipped, total);
+        assert_eq!(miss.bytes_decompressed, 0);
     }
 
     #[test]

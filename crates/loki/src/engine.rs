@@ -2,6 +2,7 @@
 //! parallel (map) and merging results (reduce).
 
 use crate::ingester::Ingester;
+use crate::stream::ReadStats;
 use omni_logql::{
     eval::{eval_metric_at, eval_metric_range, InstantVector, Matrix, RangeEntry},
     Expr, LogQuery, MetricQuery, Pipeline,
@@ -9,7 +10,10 @@ use omni_logql::{
 use omni_model::{LabelSet, LogEntry, LogRecord, Timestamp};
 use std::sync::Arc;
 
-/// Execution statistics for one query (Loki's query-stats API).
+/// Execution statistics for one query, mirroring the shape of Loki's
+/// statistics API: scan volume (streams/entries/bytes) plus storage-side
+/// cost (chunks touched, blocks decoded vs. skipped by the per-block
+/// timestamp index, uncompressed bytes produced).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Streams whose labels matched the selector. When the frontend
@@ -21,6 +25,36 @@ pub struct QueryStats {
     pub bytes_scanned: usize,
     /// Entries actually returned after direction-aware limiting.
     pub entries_returned: usize,
+    /// Sealed chunks (memory or durable tier) overlapping the window.
+    pub chunks_touched: usize,
+    /// Compressed blocks actually decompressed.
+    pub blocks_decoded: usize,
+    /// Compressed blocks skipped via their min/max timestamp headers.
+    pub blocks_skipped: usize,
+    /// Uncompressed bytes produced by block decodes.
+    pub decompressed_bytes: usize,
+}
+
+impl QueryStats {
+    /// Fold another query's stats into this one (the frontend's merge
+    /// across splits).
+    pub fn absorb(&mut self, other: QueryStats) {
+        self.streams_matched += other.streams_matched;
+        self.entries_scanned += other.entries_scanned;
+        self.bytes_scanned += other.bytes_scanned;
+        self.entries_returned += other.entries_returned;
+        self.chunks_touched += other.chunks_touched;
+        self.blocks_decoded += other.blocks_decoded;
+        self.blocks_skipped += other.blocks_skipped;
+        self.decompressed_bytes += other.decompressed_bytes;
+    }
+
+    fn absorb_read(&mut self, read: ReadStats) {
+        self.chunks_touched += read.chunks_touched;
+        self.blocks_decoded += read.decode.blocks_decoded;
+        self.blocks_skipped += read.decode.blocks_skipped;
+        self.decompressed_bytes += read.decode.bytes_decompressed;
+    }
 }
 
 /// The order in which a log query returns — and therefore limits — its
@@ -42,28 +76,31 @@ fn gather(
     query: &LogQuery,
     start: Timestamp,
     end: Timestamp,
-) -> Vec<(LabelSet, Vec<LogEntry>)> {
+) -> (Vec<(LabelSet, Vec<LogEntry>)>, ReadStats) {
     if shards.len() == 1 {
-        return shards[0].query(&query.selector, start, end);
+        return shards[0].query_stats(&query.selector, start, end);
     }
     let mut out = Vec::new();
+    let mut read = ReadStats::default();
     std::thread::scope(|s| {
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
                 let shard = Arc::clone(shard);
                 let selector = &query.selector;
-                s.spawn(move || shard.query(selector, start, end))
+                s.spawn(move || shard.query_stats(selector, start, end))
             })
             .collect();
         for h in handles {
             // Invariant: shard scans are read-only and must not panic; if
             // one does, the query result would be silently partial, so
             // propagating the panic is the correct behaviour here.
-            out.extend(h.join().expect("shard scan panicked")); // lint:allow(no-unwrap)
+            let (streams, stats) = h.join().expect("shard scan panicked"); // lint:allow(no-unwrap)
+            out.extend(streams);
+            read.absorb(stats);
         }
     });
-    out
+    (out, read)
 }
 
 /// Run a log query over `(start, end]`, returning up to `limit` records
@@ -93,7 +130,9 @@ pub fn run_log_query_with_stats(
     let pipeline = Pipeline::new(query.stages.clone());
     let mut records = Vec::new();
     let mut stats = QueryStats::default();
-    for (labels, entries) in gather(shards, query, start, end) {
+    let (streams, read) = gather(shards, query, start, end);
+    stats.absorb_read(read);
+    for (labels, entries) in streams {
         stats.streams_matched += 1;
         for e in entries {
             stats.entries_scanned += 1;
@@ -126,7 +165,9 @@ fn fetch_range_entries_with_stats(
     let pipeline = Pipeline::new(query.stages.clone());
     let mut out = Vec::new();
     let mut stats = QueryStats::default();
-    for (labels, entries) in gather(shards, query, start, end) {
+    let (streams, read) = gather(shards, query, start, end);
+    stats.absorb_read(read);
+    for (labels, entries) in streams {
         stats.streams_matched += 1;
         for e in entries {
             stats.entries_scanned += 1;
@@ -163,10 +204,7 @@ pub fn run_instant_query_with_stats(
     let mut stats = QueryStats::default();
     let mut fetch = |q: &LogQuery, s: Timestamp, e: Timestamp| {
         let (entries, st) = fetch_range_entries_with_stats(shards, q, s, e);
-        stats.streams_matched += st.streams_matched;
-        stats.entries_scanned += st.entries_scanned;
-        stats.bytes_scanned += st.bytes_scanned;
-        stats.entries_returned += st.entries_returned;
+        stats.absorb(st);
         entries
     };
     let vector = eval_metric_at(query, at, &mut fetch);

@@ -33,7 +33,7 @@ use crate::QueryError;
 use omni_logql::{InstantVector, LogQuery, Matrix, MetricQuery};
 use omni_model::{LabelSet, LogRecord, Sample, SimClock, TenantId, Timestamp};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -50,6 +50,10 @@ const MAX_SPLITS: usize = 256;
 /// Concurrency bound of the split-scan pool the fair scheduler guards.
 /// Matches the order of shard-scan threads the engine itself spawns.
 const SCHED_POOL: usize = 8;
+
+/// Bound on buffered [`QueryRecord`]s awaiting a drain; oldest records
+/// are dropped first so a stalled consumer costs history, not memory.
+const RECORD_CAP: usize = 1_024;
 
 /// Per-query execution context: whose query this is and which resolved
 /// per-tenant limits bound it. The tenant id partitions the results
@@ -147,6 +151,71 @@ pub struct FrontendStats {
     pub cached_entries: usize,
 }
 
+/// One split's contribution to a query: the window it covered, whether
+/// the results cache answered it, the execution statistics behind its
+/// result (replayed verbatim for hits), and how long it queued behind
+/// the fair scheduler — Loki's per-subquery statistics breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitStat {
+    /// Split window start (exclusive).
+    pub start: Timestamp,
+    /// Split window end (inclusive).
+    pub end: Timestamp,
+    /// Whether the results cache answered this split.
+    pub cached: bool,
+    /// The split's execution statistics (for hits: the statistics of
+    /// the execution that filled the cache entry).
+    pub stats: QueryStats,
+    /// Virtual nanoseconds this split queued behind the fair scheduler
+    /// before its scan was granted. Zero for cache hits — they never
+    /// touch the scan pool.
+    pub queue_wait_vns: u64,
+}
+
+/// The full statistics report for one frontend query: the merged
+/// [`QueryStats`] every existing caller sees, plus the per-split
+/// breakdown behind it — Loki's `/loki/api/v1/query` statistics object.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryReport {
+    /// Statistics merged across every split.
+    pub stats: QueryStats,
+    /// Per-split breakdown, in ascending window order.
+    pub splits: Vec<SplitStat>,
+    /// Splits answered from the results cache.
+    pub cache_hits: usize,
+    /// Splits that executed against the shards.
+    pub cache_misses: usize,
+    /// Total scheduler queue wait across executed splits, in virtual
+    /// nanoseconds.
+    pub queue_wait_vns: u64,
+}
+
+impl QueryReport {
+    fn from_splits(stats: QueryStats, splits: Vec<SplitStat>) -> Self {
+        let cache_hits = splits.iter().filter(|s| s.cached).count();
+        let cache_misses = splits.len() - cache_hits;
+        let queue_wait_vns = splits.iter().map(|s| s.queue_wait_vns).sum();
+        Self { stats, splits, cache_hits, cache_misses, queue_wait_vns }
+    }
+}
+
+/// One completed query as observed by the frontend, buffered for the
+/// monitoring stack to drain: the slow-query log and the query-latency
+/// histogram are built from these.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// The querying tenant.
+    pub tenant: TenantId,
+    /// Normalized query text.
+    pub query: String,
+    /// Query window start.
+    pub start: Timestamp,
+    /// Query window end.
+    pub end: Timestamp,
+    /// The full statistics report.
+    pub report: QueryReport,
+}
+
 /// One split's cache identity: the normalized query text plus the exact
 /// split window and result-shaping parameters. Two textual spellings of
 /// the same query (whitespace differences outside string literals)
@@ -196,6 +265,10 @@ struct FrontendShared {
     /// `bytes_scanned` each cache hit avoided re-scanning; drained by
     /// the stack into the `omni_frontend_bytes_saved` histogram.
     bytes_saved: Mutex<Vec<u64>>,
+    /// Completed-query records awaiting a drain (oldest first, bounded
+    /// by [`RECORD_CAP`]); the stack builds the slow-query log and the
+    /// query-latency histogram from these.
+    records: Mutex<VecDeque<QueryRecord>>,
     /// Weighted fair gate over the split-scan pool: a noisy tenant's
     /// fan-out queues on its own virtual time instead of monopolising
     /// the scoped threads.
@@ -222,6 +295,7 @@ impl QueryFrontend {
                 misses: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 bytes_saved: Mutex::new(Vec::new()),
+                records: Mutex::new(VecDeque::new()),
                 scheduler: FairScheduler::new(SCHED_POOL),
             }),
             limits,
@@ -245,6 +319,35 @@ impl QueryFrontend {
     /// avoided re-reading).
     pub fn take_bytes_saved(&self) -> Vec<u64> {
         std::mem::take(&mut *self.shared.bytes_saved.lock())
+    }
+
+    /// Drain the completed-query records buffered since the last call
+    /// (oldest first). Log and range queries record one entry each;
+    /// instant queries do not (every ruler tick would flood the buffer
+    /// with identical rule evaluations).
+    pub fn take_query_records(&self) -> Vec<QueryRecord> {
+        self.shared.records.lock().drain(..).collect()
+    }
+
+    fn record_query(
+        &self,
+        ctx: &QueryContext,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        report: &QueryReport,
+    ) {
+        let mut records = self.shared.records.lock();
+        while records.len() >= RECORD_CAP {
+            records.pop_front();
+        }
+        records.push_back(QueryRecord {
+            tenant: ctx.tenant.clone(),
+            query: query.to_string(),
+            start,
+            end,
+            report: report.clone(),
+        });
     }
 
     /// An append of records spanning `[min_ts, max_ts]` landed: drop
@@ -325,6 +428,12 @@ impl QueryFrontend {
         self.shared.scheduler.max_wait_rounds(tenant)
     }
 
+    /// Drain the per-split scheduler queue-wait samples (tenant,
+    /// virtual nanoseconds) accumulated since the last call.
+    pub fn take_scheduler_waits(&self) -> Vec<(TenantId, u64)> {
+        self.shared.scheduler.take_waits()
+    }
+
     /// Split, cache, and limit a log query over `(start, end]` as the
     /// anonymous tenant under the cluster-wide limits.
     #[allow(clippy::too_many_arguments)]
@@ -359,6 +468,25 @@ impl QueryFrontend {
         limit: usize,
         direction: Direction,
     ) -> Result<(Vec<LogRecord>, QueryStats), QueryError> {
+        self.run_log_query_report(shards, ctx, text, query, start, end, limit, direction)
+            .map(|(records, report)| (records, report.stats))
+    }
+
+    /// [`Self::run_log_query_ctx`] returning the full [`QueryReport`]:
+    /// the merged statistics plus the per-split breakdown (window,
+    /// cache hit or miss, scan statistics, scheduler queue wait).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_log_query_report(
+        &self,
+        shards: &[Arc<Ingester>],
+        ctx: &QueryContext,
+        text: &str,
+        query: &LogQuery,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+        direction: Direction,
+    ) -> Result<(Vec<LogRecord>, QueryReport), QueryError> {
         if limit > ctx.max_entries_per_query {
             return Err(self.reject(LimitViolation::Entries {
                 limit: ctx.max_entries_per_query,
@@ -383,7 +511,7 @@ impl QueryFrontend {
 
         // Resolve each split from the cache; misses collect for a
         // parallel pass.
-        let mut parts: Vec<Option<(Vec<LogRecord>, QueryStats)>> = Vec::with_capacity(bounds.len());
+        let mut parts: Vec<Option<(Vec<LogRecord>, SplitStat)>> = Vec::with_capacity(bounds.len());
         let mut todo: Vec<(usize, Timestamp, Timestamp)> = Vec::new();
         {
             let cache = self.shared.cache.lock();
@@ -397,7 +525,16 @@ impl QueryFrontend {
                             continue;
                         };
                         saved.push(entry.stats.bytes_scanned as u64);
-                        parts.push(Some((records.clone(), entry.stats)));
+                        parts.push(Some((
+                            records.clone(),
+                            SplitStat {
+                                start: s,
+                                end: e,
+                                cached: true,
+                                stats: entry.stats,
+                                queue_wait_vns: 0,
+                            },
+                        )));
                     }
                     None => {
                         parts.push(None);
@@ -417,13 +554,13 @@ impl QueryFrontend {
         });
         self.check_bytes(
             ctx.max_bytes_scanned,
-            executed.iter().map(|(_, _, _, (_, st))| st.bytes_scanned).sum(),
+            executed.iter().map(|(_, _, _, ((_, st), _))| st.bytes_scanned).sum(),
         )?;
         self.check_deadline(deadline)?;
 
         {
             let mut cache = self.shared.cache.lock();
-            for (i, s, e, (records, stats)) in executed {
+            for (i, s, e, ((records, stats), wait_vns)) in executed {
                 if cache.len() >= CACHE_MAX {
                     cache.clear();
                 }
@@ -437,33 +574,37 @@ impl QueryFrontend {
                     },
                 );
                 self.shared.max_cached_end.fetch_max(e, Ordering::AcqRel);
-                parts[i] = Some((records, stats));
+                parts[i] = Some((
+                    records,
+                    SplitStat { start: s, end: e, cached: false, stats, queue_wait_vns: wait_vns },
+                ));
             }
         }
 
         // Splits cover disjoint ascending windows, and each is sorted in
         // `direction` order internally — concatenating them (newest
         // split first for backward) reproduces the global sort exactly.
-        let mut merged = QueryStats::default();
-        let mut records = Vec::new();
-        let resolved = parts.into_iter().flatten();
-        let ordered: Vec<(Vec<LogRecord>, QueryStats)> = match direction {
-            Direction::Forward => resolved.collect(),
+        let resolved: Vec<(Vec<LogRecord>, SplitStat)> = parts.into_iter().flatten().collect();
+        let splits: Vec<SplitStat> = resolved.iter().map(|(_, sp)| *sp).collect();
+        let ordered: Vec<(Vec<LogRecord>, SplitStat)> = match direction {
+            Direction::Forward => resolved,
             Direction::Backward => {
-                let mut v: Vec<_> = resolved.collect();
+                let mut v = resolved;
                 v.reverse();
                 v
             }
         };
-        for (part, stats) in ordered {
-            merged.streams_matched += stats.streams_matched;
-            merged.entries_scanned += stats.entries_scanned;
-            merged.bytes_scanned += stats.bytes_scanned;
+        let mut merged = QueryStats::default();
+        let mut records = Vec::new();
+        for (part, split) in ordered {
+            merged.absorb(split.stats);
             records.extend(part);
         }
         records.truncate(limit);
         merged.entries_returned = records.len();
-        Ok((records, merged))
+        let report = QueryReport::from_splits(merged, splits);
+        self.record_query(ctx, &norm, start, end, &report);
+        Ok((records, report))
     }
 
     /// Split, cache, and limit a metric range query. The step grid is
@@ -497,6 +638,22 @@ impl QueryFrontend {
         end: Timestamp,
         step_ns: i64,
     ) -> Result<(Matrix, QueryStats), QueryError> {
+        self.run_range_query_report(shards, ctx, text, query, start, end, step_ns)
+            .map(|(matrix, report)| (matrix, report.stats))
+    }
+
+    /// [`Self::run_range_query_ctx`] returning the full [`QueryReport`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_range_query_report(
+        &self,
+        shards: &[Arc<Ingester>],
+        ctx: &QueryContext,
+        text: &str,
+        query: &MetricQuery,
+        start: Timestamp,
+        end: Timestamp,
+        step_ns: i64,
+    ) -> Result<(Matrix, QueryReport), QueryError> {
         let deadline = self.deadline();
         self.check_deadline(deadline)?;
 
@@ -514,7 +671,7 @@ impl QueryFrontend {
             direction: Direction::Forward,
         };
 
-        let mut parts: Vec<Option<(Matrix, QueryStats)>> = Vec::with_capacity(groups.len());
+        let mut parts: Vec<Option<(Matrix, SplitStat)>> = Vec::with_capacity(groups.len());
         let mut todo: Vec<(usize, Timestamp, Timestamp)> = Vec::new();
         {
             let cache = self.shared.cache.lock();
@@ -528,7 +685,16 @@ impl QueryFrontend {
                             continue;
                         };
                         saved.push(entry.stats.bytes_scanned as u64);
-                        parts.push(Some((matrix.clone(), entry.stats)));
+                        parts.push(Some((
+                            matrix.clone(),
+                            SplitStat {
+                                start: s,
+                                end: e,
+                                cached: true,
+                                stats: entry.stats,
+                                queue_wait_vns: 0,
+                            },
+                        )));
                     }
                     None => {
                         parts.push(None);
@@ -545,13 +711,13 @@ impl QueryFrontend {
         });
         self.check_bytes(
             ctx.max_bytes_scanned,
-            executed.iter().map(|(_, _, _, (_, st))| st.bytes_scanned).sum(),
+            executed.iter().map(|(_, _, _, ((_, st), _))| st.bytes_scanned).sum(),
         )?;
         self.check_deadline(deadline)?;
 
         {
             let mut cache = self.shared.cache.lock();
-            for (i, s, e, (matrix, stats)) in executed {
+            for (i, s, e, ((matrix, stats), wait_vns)) in executed {
                 if cache.len() >= CACHE_MAX {
                     cache.clear();
                 }
@@ -567,25 +733,29 @@ impl QueryFrontend {
                     },
                 );
                 self.shared.max_cached_end.fetch_max(e, Ordering::AcqRel);
-                parts[i] = Some((matrix, stats));
+                parts[i] = Some((
+                    matrix,
+                    SplitStat { start: s, end: e, cached: false, stats, queue_wait_vns: wait_vns },
+                ));
             }
         }
 
         // Groups are ascending and disjoint on the step grid; appending
         // per-series samples in group order reproduces the unsplit
         // evaluation's ascending sample vectors.
+        let resolved: Vec<(Matrix, SplitStat)> = parts.into_iter().flatten().collect();
+        let splits: Vec<SplitStat> = resolved.iter().map(|(_, sp)| *sp).collect();
         let mut merged = QueryStats::default();
         let mut series: BTreeMap<LabelSet, Vec<Sample>> = BTreeMap::new();
-        for (matrix, stats) in parts.into_iter().flatten() {
-            merged.streams_matched += stats.streams_matched;
-            merged.entries_scanned += stats.entries_scanned;
-            merged.bytes_scanned += stats.bytes_scanned;
-            merged.entries_returned += stats.entries_returned;
+        for (matrix, split) in resolved {
+            merged.absorb(split.stats);
             for (labels, samples) in matrix {
                 series.entry(labels).or_default().extend(samples);
             }
         }
-        Ok((series.into_iter().collect(), merged))
+        let report = QueryReport::from_splits(merged, splits);
+        self.record_query(ctx, &norm, start, end, &report);
+        Ok((series.into_iter().collect(), report))
     }
 
     /// Evaluate a metric query at one instant, under the per-query
@@ -610,15 +780,39 @@ impl QueryFrontend {
         query: &MetricQuery,
         at: Timestamp,
     ) -> Result<(InstantVector, QueryStats), QueryError> {
+        self.run_instant_query_report(shards, ctx, query, at)
+            .map(|(vector, report)| (vector, report.stats))
+    }
+
+    /// [`Self::run_instant_query_ctx`] returning the full
+    /// [`QueryReport`]: one uncached "split" covering the instant's
+    /// lookback, with its scheduler queue wait. Instant evaluations are
+    /// not pushed into the query-record buffer — every ruler tick would
+    /// flood it with identical rule evaluations.
+    pub fn run_instant_query_report(
+        &self,
+        shards: &[Arc<Ingester>],
+        ctx: &QueryContext,
+        query: &MetricQuery,
+        at: Timestamp,
+    ) -> Result<(InstantVector, QueryReport), QueryError> {
         let deadline = self.deadline();
         self.check_deadline(deadline)?;
         // Instant evaluations contend for the same pool as splits, so
         // they are scheduled (and their waits bounded) the same way.
-        let (vector, stats) = self.shared.scheduler.run(&ctx.tenant, ctx.weight, || {
-            engine::run_instant_query_with_stats(shards, query, at)
-        });
+        let ((vector, stats), wait_vns) =
+            self.shared.scheduler.run_timed(&ctx.tenant, ctx.weight, || {
+                engine::run_instant_query_with_stats(shards, query, at)
+            });
         self.check_bytes(ctx.max_bytes_scanned, stats.bytes_scanned)?;
-        Ok((vector, stats))
+        let splits = vec![SplitStat {
+            start: at.saturating_sub(query.range_ns()),
+            end: at,
+            cached: false,
+            stats,
+            queue_wait_vns: wait_vns,
+        }];
+        Ok((vector, QueryReport::from_splits(stats, splits)))
     }
 }
 
@@ -626,31 +820,42 @@ impl QueryFrontend {
 /// there is more than one (the splits fan out exactly like the engine's
 /// shard scans: scoped threads, panics propagated). Every split —
 /// including the single-split fast path — passes through the fair
-/// scheduler, so a tenant's fan-out is metered against its virtual time.
+/// scheduler, so a tenant's fan-out is metered against its virtual
+/// time; each result carries the virtual nanoseconds its split queued.
+///
+/// The whole batch reserves its tickets *before* any split runs: each
+/// split's queue wait is then a pure function of its position on the
+/// WFQ virtual-time axis, independent of thread interleaving, keeping
+/// query reports deterministic across runs.
 fn run_parallel<T: Send>(
     sched: &FairScheduler,
     ctx: &QueryContext,
     todo: &[(usize, Timestamp, Timestamp)],
     f: impl Fn(Timestamp, Timestamp) -> T + Sync,
-) -> Vec<(usize, Timestamp, Timestamp, T)> {
+) -> Vec<(usize, Timestamp, Timestamp, (T, u64))> {
     let f = &f;
     match todo {
         [] => Vec::new(),
-        [(i, s, e)] => vec![(*i, *s, *e, sched.run(&ctx.tenant, ctx.weight, || f(*s, *e)))],
-        many => std::thread::scope(|scope| {
-            let handles: Vec<_> = many
-                .iter()
-                .map(|&(i, s, e)| {
-                    scope.spawn(move || (i, s, e, sched.run(&ctx.tenant, ctx.weight, || f(s, e))))
-                })
-                .collect();
-            handles
-                .into_iter()
-                // As in `engine::gather`: a panicking split would yield a
-                // silently partial result, so propagate it.
-                .map(|h| h.join().expect("split scan panicked")) // lint:allow(no-unwrap)
-                .collect()
-        }),
+        [(i, s, e)] => vec![(*i, *s, *e, sched.run_timed(&ctx.tenant, ctx.weight, || f(*s, *e)))],
+        many => {
+            let tickets: Vec<u64> =
+                many.iter().map(|_| sched.ticket(&ctx.tenant, ctx.weight)).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = many
+                    .iter()
+                    .zip(tickets)
+                    .map(|(&(i, s, e), ticket)| {
+                        scope.spawn(move || (i, s, e, sched.run_ticket(ticket, || f(s, e))))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    // As in `engine::gather`: a panicking split would yield a
+                    // silently partial result, so propagate it.
+                    .map(|h| h.join().expect("split scan panicked")) // lint:allow(no-unwrap)
+                    .collect()
+            })
+        }
     }
 }
 

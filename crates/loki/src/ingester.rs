@@ -7,7 +7,7 @@
 use crate::chunkstore::ChunkStore;
 use crate::index::LabelIndex;
 use crate::limits::Limits;
-use crate::stream::{AppendError, Stream};
+use crate::stream::{AppendError, ReadStats, Stream};
 use crate::tenant::TenantRejection;
 use omni_logql::Selector;
 use omni_model::{LabelSet, LogEntry, LogRecord, Timestamp};
@@ -366,7 +366,20 @@ impl Ingester {
         start: Timestamp,
         end: Timestamp,
     ) -> Vec<(LabelSet, Vec<LogEntry>)> {
+        self.query_stats(selector, start, end).0
+    }
+
+    /// [`Ingester::query`] that also reports the storage-side read cost:
+    /// chunks touched (memory and durable tier) and blocks decoded vs.
+    /// skipped inside them.
+    pub fn query_stats(
+        &self,
+        selector: &Selector,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> (Vec<(LabelSet, Vec<LogEntry>)>, ReadStats) {
         let st = self.state.read();
+        let mut stats = ReadStats::default();
         let mut out: Vec<(LabelSet, Vec<LogEntry>)> = st
             .index
             .candidates(selector.equality_matchers())
@@ -374,14 +387,17 @@ impl Ingester {
             .filter_map(|fp| st.streams.get(&fp))
             .filter(|s| selector.matches(&s.labels))
             .map(|s| {
-                let mut entries = s.entries_in(start, end);
+                let (mut entries, read) = s.entries_in_stats(start, end);
+                stats.absorb(read);
                 // Merge in offloaded chunks from the disk tier — home
                 // shard only, since the store is shared cluster-wide.
                 if let Some(store) = &self.chunk_store {
                     let fp = s.labels.fingerprint();
                     if self.owns(fp) {
                         for chunk in store.fetch(fp, start, end) {
-                            if let Ok(es) = chunk.decode_range(start, end) {
+                            stats.chunks_touched += 1;
+                            if let Ok((es, ds)) = chunk.decode_range_stats(start, end) {
+                                stats.decode.absorb(ds);
                                 entries.extend(es);
                             }
                         }
@@ -402,7 +418,9 @@ impl Ingester {
                 }
                 let mut entries = Vec::new();
                 for chunk in store.fetch(fp, start, end) {
-                    if let Ok(es) = chunk.decode_range(start, end) {
+                    stats.chunks_touched += 1;
+                    if let Ok((es, ds)) = chunk.decode_range_stats(start, end) {
+                        stats.decode.absorb(ds);
                         entries.extend(es);
                     }
                 }
@@ -412,7 +430,7 @@ impl Ingester {
                 }
             }
         }
-        out
+        (out, stats)
     }
 
     /// Offload sealed chunks entirely older than `older_than` to the

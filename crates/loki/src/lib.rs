@@ -31,7 +31,9 @@ pub mod wal;
 
 pub use chunkstore::{ChunkStore, MemObjectStore, ObjectStore};
 pub use engine::{Direction, QueryStats};
-pub use frontend::{FrontendStats, LimitViolation, QueryContext, QueryFrontend};
+pub use frontend::{
+    FrontendStats, LimitViolation, QueryContext, QueryFrontend, QueryRecord, QueryReport, SplitStat,
+};
 pub use ingester::{IngestError, Ingester, IngesterStats};
 pub use limits::{Limits, TenantLimits};
 pub use ruler::{AlertState, AlertingRule, RuleGroup, RuleNotification, Ruler};
@@ -612,6 +614,34 @@ impl LokiCluster {
         match parse_expr(query)? {
             Expr::Log(q) => self.frontend.run_log_query(
                 &self.shards(),
+                query,
+                &q,
+                start,
+                end,
+                limit,
+                Direction::default(),
+            ),
+            Expr::Metric(_) => Err(QueryError::WrongQueryKind("log query")),
+        }
+    }
+
+    /// [`query_logs_with_stats`](Self::query_logs_with_stats) returning
+    /// the full [`QueryReport`]: the merged statistics plus the
+    /// per-split breakdown (cache hits and misses, per-split scan
+    /// statistics, scheduler queue waits) — Loki's statistics object on
+    /// the query response.
+    pub fn query_logs_with_report(
+        &self,
+        query: &str,
+        start: Timestamp,
+        end: Timestamp,
+        limit: usize,
+    ) -> Result<(Vec<LogRecord>, QueryReport), QueryError> {
+        let ctx = QueryContext::anonymous(&self.limits);
+        match parse_expr(query)? {
+            Expr::Log(q) => self.frontend.run_log_query_report(
+                &self.shards(),
+                &ctx,
                 query,
                 &q,
                 start,
@@ -1385,6 +1415,51 @@ mod tests {
         assert_eq!(warm, cold, "cache must be invisible in the results");
         assert_eq!(warm_stats, cold_stats, "cached hits report truthful stats");
         assert!(c.frontend().take_bytes_saved().iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn query_report_breaks_stats_down_per_split() {
+        // Same shape as the cache test: three aligned 1h splits.
+        let c = cluster(2);
+        for i in 0..150 {
+            c.push(labels!("app" => "fm"), i * 60 * NANOS_PER_SEC, format!("event {i}")).unwrap();
+        }
+        let end = 150 * 60 * NANOS_PER_SEC;
+        let q = r#"{app="fm"}"#;
+
+        let (cold, report) = c.query_logs_with_report(q, 0, end, usize::MAX).unwrap();
+        assert_eq!(cold.len(), 149, "ts 0 is outside the exclusive start");
+        assert_eq!(report.splits.len(), 3);
+        assert_eq!(report.cache_misses, 3);
+        assert_eq!(report.cache_hits, 0);
+        // Split windows ascend and tile the query window.
+        assert!(report.splits.windows(2).all(|w| w[0].end == w[1].start));
+        // The merged stats are exactly the per-split sums.
+        let mut summed = QueryStats::default();
+        for sp in &report.splits {
+            assert!(!sp.cached);
+            summed.absorb(sp.stats);
+        }
+        summed.entries_returned = report.stats.entries_returned;
+        assert_eq!(summed, report.stats);
+        // The deepened fields made it through the frontend merge.
+        assert_eq!(report.stats.entries_scanned, 149);
+
+        // A warm refresh reports the same merged stats, now as hits.
+        let (warm, warm_report) = c.query_logs_with_report(q, 0, end, usize::MAX).unwrap();
+        assert_eq!(warm, cold);
+        assert_eq!(warm_report.stats, report.stats);
+        assert_eq!(warm_report.cache_hits, 3);
+        assert_eq!(warm_report.cache_misses, 0);
+        assert!(warm_report.splits.iter().all(|sp| sp.cached && sp.queue_wait_vns == 0));
+
+        // Both queries were recorded for the slow-query pipeline.
+        let records = c.frontend().take_query_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].query, q);
+        assert_eq!(records[0].report.cache_misses, 3);
+        assert_eq!(records[1].report.cache_hits, 3);
+        assert!(c.frontend().take_query_records().is_empty(), "drain empties the buffer");
     }
 
     #[test]

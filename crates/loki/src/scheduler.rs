@@ -12,9 +12,14 @@
 //! arriving tenant — whose tag starts at the global virtual time — jumps
 //! ahead of the backlog and waits only O(pool) grants, never O(backlog).
 //!
-//! Waits are measured in *grant rounds* (how many other splits were
-//! granted between enqueue and grant), which is deterministic under the
-//! virtual clock and is the quantity the chaos drill bounds.
+//! Waits are measured two ways, both deterministic under the virtual
+//! clock: in *grant rounds* (how many other splits were granted between
+//! enqueue and grant — the quantity the chaos drill bounds) and in
+//! **virtual nanoseconds** on the WFQ virtual-time axis (how far the
+//! global virtual time advanced while the ticket queued). The wall clock
+//! is useless here — the SimClock is frozen for the whole of a query —
+//! so the virtual-time axis is the only honest measure of "how long did
+//! this split sit behind other tenants' work".
 
 use omni_model::TenantId;
 use std::collections::HashMap;
@@ -22,7 +27,15 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Virtual-time cost scale: a weight-1 split advances its tenant's
 /// virtual time by this much, a weight-2 split by half, and so on.
+/// One unit is declared to be one *virtual nanosecond*, so a weight-1
+/// split models ~1.05ms of scheduler work and a split queued behind a
+/// 100-deep weight-1 backlog reports ~105ms of virtual queue wait.
 const WEIGHT_SCALE: u64 = 1 << 20;
+
+/// Cap on buffered per-grant wait samples between drains; beyond it new
+/// samples are dropped (the peak map keeps tracking) so an undrained
+/// scheduler cannot grow without bound.
+const WAIT_BUFFER_CAP: usize = 1 << 16;
 
 /// Max-wait (in grant rounds) observed per tenant, plus total grants.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -38,6 +51,8 @@ struct Ticket {
     finish: u64,
     seq: u64,
     enqueue_round: u64,
+    /// Global virtual time when the ticket entered the queue.
+    enqueue_vtime: u64,
 }
 
 struct Inner {
@@ -54,6 +69,9 @@ struct Inner {
     /// Grants handed out so far.
     rounds: u64,
     max_wait: HashMap<TenantId, u64>,
+    /// Per-grant `(tenant, virtual-ns wait)` samples since the last
+    /// [`FairScheduler::take_waits`] drain, capped at [`WAIT_BUFFER_CAP`].
+    waits: Vec<(TenantId, u64)>,
 }
 
 /// A weighted-fair gate in front of the split-scan thread pool.
@@ -76,6 +94,7 @@ impl FairScheduler {
                 next_seq: 0,
                 rounds: 0,
                 max_wait: HashMap::new(),
+                waits: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -96,14 +115,37 @@ impl FairScheduler {
     /// calling thread until granted; fairness comes from grant order, not
     /// from preemption.
     pub fn run<T>(&self, tenant: &TenantId, weight: u32, f: impl FnOnce() -> T) -> T {
+        self.run_timed(tenant, weight, f).0
+    }
+
+    /// [`FairScheduler::run`] that also returns how long this split
+    /// queued, in virtual nanoseconds on the WFQ virtual-time axis.
+    pub fn run_timed<T>(&self, tenant: &TenantId, weight: u32, f: impl FnOnce() -> T) -> (T, u64) {
         let my_seq = self.enqueue(tenant, weight);
-        self.await_grant(my_seq);
+        self.run_ticket(my_seq, f)
+    }
+
+    /// Reserve a queue ticket without blocking. Pairing this with
+    /// [`FairScheduler::run_ticket`] lets a caller enqueue a whole batch
+    /// of splits *before* any of them is granted: each ticket's measured
+    /// queue wait then depends only on its position and weight on the
+    /// virtual-time axis — not on how the executing threads happen to
+    /// interleave — which is what keeps query reports deterministic.
+    pub fn ticket(&self, tenant: &TenantId, weight: u32) -> u64 {
+        self.enqueue(tenant, weight)
+    }
+
+    /// Block until a previously reserved ticket is granted, run `f`, and
+    /// release the slot. Returns `f`'s result and the ticket's queue
+    /// wait in virtual nanoseconds.
+    pub fn run_ticket<T>(&self, ticket: u64, f: impl FnOnce() -> T) -> (T, u64) {
+        let wait_vns = self.await_grant(ticket);
         let out = f();
         let mut g = self.lock();
         g.active -= 1;
         drop(g);
         self.cv.notify_all();
-        out
+        (out, wait_vns)
     }
 
     fn enqueue(&self, tenant: &TenantId, weight: u32) -> u64 {
@@ -115,11 +157,12 @@ impl FairScheduler {
         let seq = g.next_seq;
         g.next_seq += 1;
         let enqueue_round = g.rounds;
-        g.queue.push(Ticket { tenant: tenant.clone(), finish, seq, enqueue_round });
+        let enqueue_vtime = g.global;
+        g.queue.push(Ticket { tenant: tenant.clone(), finish, seq, enqueue_round, enqueue_vtime });
         seq
     }
 
-    fn await_grant(&self, my_seq: u64) {
+    fn await_grant(&self, my_seq: u64) -> u64 {
         let mut g = self.lock();
         loop {
             if g.active < self.pool {
@@ -133,20 +176,34 @@ impl FairScheduler {
                             .expect("own ticket present"); // lint:allow(no-unwrap)
                         let ticket = g.queue.swap_remove(pos);
                         let wait = g.rounds - ticket.enqueue_round;
+                        // How far the global virtual time moved while the
+                        // ticket sat in the queue — measured *before* this
+                        // grant advances it.
+                        let wait_vns = g.global.saturating_sub(ticket.enqueue_vtime);
                         let peak = g.max_wait.entry(ticket.tenant.clone()).or_insert(0);
                         *peak = (*peak).max(wait);
+                        if g.waits.len() < WAIT_BUFFER_CAP {
+                            g.waits.push((ticket.tenant.clone(), wait_vns));
+                        }
                         g.rounds += 1;
                         g.global = g.global.max(ticket.finish);
                         g.active += 1;
                         drop(g);
                         // Another waiter may also be grantable now.
                         self.cv.notify_all();
-                        return;
+                        return wait_vns;
                     }
                 }
             }
             g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Drain the per-grant `(tenant, virtual-ns wait)` samples collected
+    /// since the last drain — the feed for the per-tenant queue-wait
+    /// histogram in the stack's self-telemetry.
+    pub fn take_waits(&self) -> Vec<(TenantId, u64)> {
+        std::mem::take(&mut self.lock().waits)
     }
 
     /// Observed grants and per-tenant peak waits.
@@ -238,6 +295,55 @@ mod tests {
             "well-behaved tenant waited {good_wait} rounds behind a {BACKLOG}-deep backlog"
         );
         assert!(noisy_wait >= BACKLOG / 2, "noisy backlog should queue on itself");
+    }
+
+    #[test]
+    fn queue_waits_measured_on_virtual_time_axis() {
+        let s = Arc::new(FairScheduler::new(1));
+        let a = TenantId::new("a");
+        let b = TenantId::new("b");
+        std::thread::scope(|scope| {
+            // Hold the pool so everything else queues.
+            let gate = Arc::new((Mutex::new(false), Condvar::new()));
+            {
+                let (s, gate, a) = (s.clone(), gate.clone(), a.clone());
+                scope.spawn(move || {
+                    s.run(&a, 1, || {
+                        let mut open = gate.0.lock().unwrap();
+                        while !*open {
+                            open = gate.1.wait(open).unwrap();
+                        }
+                    })
+                });
+            }
+            while s.stats().grants < 1 {
+                std::thread::yield_now();
+            }
+            for _ in 0..8 {
+                let (s, a) = (s.clone(), a.clone());
+                scope.spawn(move || s.run(&a, 1, || ()));
+            }
+            {
+                let (s, b) = (s.clone(), b.clone());
+                scope.spawn(move || s.run(&b, 1, || ()));
+            }
+            while s.lock().queue.len() < 9 {
+                std::thread::yield_now();
+            }
+            *gate.0.lock().unwrap() = true;
+            gate.1.notify_all();
+        });
+        let waits = s.take_waits();
+        assert_eq!(waits.len(), 10, "one wait sample per grant");
+        // The first grant saw an empty queue: zero virtual wait.
+        assert!(waits.iter().any(|(_, w)| *w == 0));
+        // Backlogged splits watched the global virtual time advance past
+        // them; a weight-1 grant moves it WEIGHT_SCALE units.
+        let a_max = waits.iter().filter(|(t, _)| *t == a).map(|(_, w)| *w).max().unwrap();
+        assert!(a_max >= WEIGHT_SCALE, "deep backlog must accrue virtual wait, got {a_max}");
+        assert!(waits.iter().any(|(t, w)| *t == b && *w > 0));
+        // Drained: a second take sees nothing.
+        assert!(s.take_waits().is_empty());
     }
 
     #[test]

@@ -1,9 +1,27 @@
 //! One log stream: "If logs share the same combination of unique labels,
 //! they are called a log stream. Each log stream fills a separate chunk."
 
-use crate::chunk::{HeadChunk, SealedChunk};
+use crate::chunk::{DecodeStats, HeadChunk, SealedChunk};
 use crate::limits::Limits;
 use omni_model::{LabelSet, LogEntry, Timestamp};
+
+/// Per-stream read cost of one range query: which chunks were touched and
+/// what the block index saved inside them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Sealed chunks whose time span overlapped the query window.
+    pub chunks_touched: usize,
+    /// Block-level decode cost inside those chunks.
+    pub decode: DecodeStats,
+}
+
+impl ReadStats {
+    /// Fold another read's stats into this one.
+    pub fn absorb(&mut self, other: ReadStats) {
+        self.chunks_touched += other.chunks_touched;
+        self.decode.absorb(other.decode);
+    }
+}
 
 /// Why an append was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,16 +127,25 @@ impl Stream {
 
     /// Entries in `(start, end]` across sealed chunks and the head.
     pub fn entries_in(&self, start: Timestamp, end: Timestamp) -> Vec<LogEntry> {
+        self.entries_in_stats(start, end).0
+    }
+
+    /// [`Self::entries_in`] that also reports the read cost: chunks
+    /// touched and blocks decoded vs. skipped inside them.
+    pub fn entries_in_stats(&self, start: Timestamp, end: Timestamp) -> (Vec<LogEntry>, ReadStats) {
         let mut out = Vec::new();
+        let mut stats = ReadStats::default();
         for c in &self.chunks {
             if c.overlaps(start, end) {
-                if let Ok(mut es) = c.decode_range(start, end) {
+                stats.chunks_touched += 1;
+                if let Ok((mut es, ds)) = c.decode_range_stats(start, end) {
+                    stats.decode.absorb(ds);
                     out.append(&mut es);
                 }
             }
         }
         out.extend(self.head.entries_in(start, end));
-        out
+        (out, stats)
     }
 
     /// Sealed chunk count.

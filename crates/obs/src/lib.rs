@@ -28,13 +28,18 @@
 //! renders byte-identical timelines and exposition pages.
 
 pub mod registry;
+pub mod slo;
 pub mod trace;
 
 pub use registry::{
-    Counter, FamilySnapshot, Gauge, Histogram, InstrumentKind, MetricSample, Registry,
+    Counter, Exemplar, FamilySnapshot, Gauge, Histogram, InstrumentKind, MetricSample, Registry,
     DEFAULT_LATENCY_BUCKETS, HISTOGRAM_SUFFIXES,
 };
-pub use trace::{format_trace_id, parse_trace_id, Span, TraceContext, TraceStore, TRACE_HEADER};
+pub use slo::{Slo, SloBoard, SloSnapshot, SloTracker, FAST_WINDOW, SLOW_WINDOW};
+pub use trace::{
+    format_trace_id, parse_trace_id, SampleStats, Span, TailSampling, TraceContext, TraceStore,
+    TRACE_HEADER,
+};
 
 #[cfg(test)]
 mod integration_tests {

@@ -56,6 +56,19 @@ pub struct MetricSample {
     pub value: f64,
 }
 
+/// An exemplar: the trace behind one observation, attached to the
+/// histogram bucket the observation landed in — the link from "this
+/// latency bucket is filling up" to "here is a sampled trace showing
+/// why". Each bucket keeps its most recent exemplar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// Trace id of the observation (render with
+    /// [`crate::format_trace_id`]).
+    pub trace_id: u64,
+    /// The observed value.
+    pub value: f64,
+}
+
 /// A gathered metric family: every sample of one name, plus metadata.
 ///
 /// Histograms are pre-expanded at gather time into `_bucket`/`_sum`/
@@ -71,12 +84,21 @@ pub struct FamilySnapshot {
     pub kind: InstrumentKind,
     /// All samples, sorted by label set.
     pub samples: Vec<MetricSample>,
+    /// Exemplars keyed by the sample labels they annotate (histogram
+    /// `_bucket` families only; empty elsewhere).
+    pub exemplars: Vec<(LabelSet, Exemplar)>,
 }
 
 impl FamilySnapshot {
     /// Convenience constructor for collectors.
     pub fn new(name: &str, help: &str, kind: InstrumentKind) -> Self {
-        Self { name: name.into(), help: help.into(), kind, samples: Vec::new() }
+        Self {
+            name: name.into(),
+            help: help.into(),
+            kind,
+            samples: Vec::new(),
+            exemplars: Vec::new(),
+        }
     }
 
     /// Append a sample.
@@ -127,6 +149,8 @@ struct HistCore {
     bounds: Vec<f64>,
     /// Per-bucket (non-cumulative) counts; the last slot is `+Inf`.
     counts: Vec<u64>,
+    /// Per-bucket most recent exemplar (same indexing as `counts`).
+    exemplars: Vec<Option<Exemplar>>,
     sum: f64,
     count: u64,
 }
@@ -141,6 +165,18 @@ impl Histogram {
         let mut h = self.0.lock().unwrap();
         let i = h.bounds.iter().position(|&b| v <= b).unwrap_or(h.bounds.len());
         h.counts[i] += 1;
+        h.sum += v;
+        h.count += 1;
+    }
+
+    /// Record one observation and remember its trace id as the owning
+    /// bucket's exemplar (last writer wins — a bucket always points at
+    /// the most recent trace that landed in it).
+    pub fn observe_with_exemplar(&self, v: f64, trace_id: u64) {
+        let mut h = self.0.lock().unwrap();
+        let i = h.bounds.iter().position(|&b| v <= b).unwrap_or(h.bounds.len());
+        h.counts[i] += 1;
+        h.exemplars[i] = Some(Exemplar { trace_id, value: v });
         h.sum += v;
         h.count += 1;
     }
@@ -283,6 +319,7 @@ impl Registry {
             Series::Histogram(Arc::new(Mutex::new(HistCore {
                 bounds: bounds.to_vec(),
                 counts: vec![0; bounds.len() + 1],
+                exemplars: vec![None; bounds.len() + 1],
                 sum: 0.0,
                 count: 0,
             })))
@@ -373,6 +410,9 @@ fn expand_histogram(
         let le = if i < h.bounds.len() { format_bound(h.bounds[i]) } else { "+Inf".to_string() };
         let mut ls = labels.clone();
         ls.insert("le", le);
+        if let Some(ex) = h.exemplars[i] {
+            bucket.exemplars.push((ls.clone(), ex));
+        }
         bucket.push(ls, cumulative as f64);
     }
     let mut snaps = vec![bucket];
@@ -483,6 +523,57 @@ mod tests {
         let h = r.histogram("omni_big", "Big.", LabelSet::new(), &[1.0]);
         h.observe(1e9);
         assert_eq!(h.quantile(0.99), 1.0); // clamped to largest finite bound
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_zero() {
+        let r = reg();
+        let h = r.histogram("omni_empty", "E.", LabelSet::new(), &[1.0, 2.0]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "q={q}");
+        }
+        // Gather still expands the empty histogram deterministically.
+        let g = r.gather();
+        let p99 = g.iter().find(|f| f.name == "omni_empty_p99").unwrap();
+        assert_eq!(p99.samples[0].value, 0.0);
+    }
+
+    #[test]
+    fn quantile_with_only_overflow_observations() {
+        let r = reg();
+        let h = r.histogram("omni_over", "O.", LabelSet::new(), &[1.0, 5.0]);
+        // Every observation beyond the largest finite bound: all quantiles
+        // clamp to that bound rather than reporting +Inf or garbage.
+        for _ in 0..10 {
+            h.observe(1e6);
+        }
+        assert_eq!(h.quantile(0.5), 5.0);
+        assert_eq!(h.quantile(0.99), 5.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn exemplars_ride_their_buckets() {
+        let r = reg();
+        let h = r.histogram("omni_lat_seconds", "Lat.", LabelSet::new(), &[1.0, 10.0]);
+        h.observe(0.2); // no exemplar
+        h.observe_with_exemplar(0.5, 0xabc);
+        h.observe_with_exemplar(0.7, 0xdef); // replaces 0xabc in the ≤1.0 bucket
+        h.observe_with_exemplar(42.0, 0xbeef); // +Inf bucket
+        let g = r.gather();
+        let bucket = g.iter().find(|f| f.name == "omni_lat_seconds_bucket").unwrap();
+        assert_eq!(bucket.exemplars.len(), 2);
+        let by_le: Vec<(&str, u64, f64)> = bucket
+            .exemplars
+            .iter()
+            .map(|(ls, ex)| (ls.get("le").unwrap(), ex.trace_id, ex.value))
+            .collect();
+        assert_eq!(by_le, vec![("1.0", 0xdef, 0.7), ("+Inf", 0xbeef, 42.0)]);
+        // Non-bucket families carry no exemplars.
+        for f in g.iter().filter(|f| f.name != "omni_lat_seconds_bucket") {
+            assert!(f.exemplars.is_empty(), "{}", f.name);
+        }
     }
 
     #[test]

@@ -4,17 +4,25 @@
 //! collector publishes it; the context travels as a Kafka-style message
 //! header ([`TRACE_HEADER`]), a Loki entry label and an alert annotation,
 //! and every stage it crosses records a [`Span`] with enter/exit times on
-//! the virtual clock. [`TraceStore::render_timeline`] then prints the
-//! whole journey — collector → bus → bridge → Loki → ruler →
-//! alertmanager → delivery → ServiceNow — including the gaps that chaos
-//! retries punched into it.
+//! the virtual clock. Spans form a *tree*: each span carries the id of
+//! its parent (the innermost span open when it started, or an explicit
+//! parent for fan-out work like per-split query execution), and
+//! [`TraceStore::render_timeline`] prints the whole journey — collector →
+//! bus → bridge → Loki → ruler → alertmanager → delivery → ServiceNow —
+//! with children indented under their parents, including the gaps that
+//! chaos retries punched into it.
 //!
 //! Ids are derived from `fnv1a64(seed ‖ sequence)`, never from a wall
 //! clock or global RNG, so the same seed produces byte-identical
-//! timelines.
+//! timelines. The same determinism extends to **tail-based sampling**
+//! ([`TailSampling`]): when a trace finishes, it is kept if it errored or
+//! exceeded the latency threshold, and otherwise kept only if a
+//! seed-derived hash of its trace id samples it in — so the store's
+//! memory stays bounded under chaos drills while every interesting trace
+//! survives, identically on every run.
 
 use omni_model::{fnv1a64, Timestamp, NANOS_PER_SEC};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 /// The message-header key that carries the trace id across the bus.
@@ -57,6 +65,8 @@ pub struct Span {
     pub trace_id: u64,
     /// Deterministic span id.
     pub span_id: u64,
+    /// The span this one nests under; `None` for a root span.
+    pub parent_span_id: Option<u64>,
     /// Stage name, e.g. `"kafka"` or `"deliver_slack"`.
     pub stage: String,
     /// Virtual time the stage was entered.
@@ -67,9 +77,54 @@ pub struct Span {
     pub note: String,
 }
 
+/// Tail-based sampling policy: the keep/drop decision is made when a
+/// trace *finishes*, with full knowledge of its outcome — the opposite of
+/// head sampling, which throws interesting traces away before they have
+/// become interesting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailSampling {
+    /// Keep every finished trace whose end-to-end latency reaches this
+    /// threshold.
+    pub latency_threshold_ns: i64,
+    /// Of the fast, error-free traces, keep one in this many (decided by
+    /// a seed-derived hash of the trace id, so the same seed keeps the
+    /// same traces). `0` or `1` keeps everything.
+    pub keep_one_in: u64,
+    /// Hard cap on retained traces; beyond it the oldest expendable
+    /// trace is evicted (finished clean traces first, then finished
+    /// errored ones, then still-open ones). Bounds store memory under
+    /// chaos drills no matter what the workload does.
+    pub max_retained: usize,
+}
+
+impl Default for TailSampling {
+    /// Keep everything: the policy of a store built with
+    /// [`TraceStore::new`], preserving full timelines for the shipped
+    /// stack and its drills.
+    fn default() -> Self {
+        Self { latency_threshold_ns: 0, keep_one_in: 1, max_retained: usize::MAX }
+    }
+}
+
+/// Counters describing what tail sampling did so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Finished traces kept because they errored.
+    pub kept_error: u64,
+    /// Finished traces kept for exceeding the latency threshold.
+    pub kept_slow: u64,
+    /// Fast, clean traces kept by the hash sample.
+    pub kept_sampled: u64,
+    /// Finished traces dropped by the sampler.
+    pub dropped: u64,
+    /// Traces evicted by the [`TailSampling::max_retained`] cap.
+    pub evicted: u64,
+}
+
 struct OpenSpan {
     stage: String,
     span_id: u64,
+    parent_span_id: Option<u64>,
     start: Timestamp,
     note: String,
 }
@@ -80,6 +135,8 @@ struct Trace {
     started: Timestamp,
     spans: Vec<Span>,
     open: Vec<OpenSpan>,
+    error: bool,
+    finished: bool,
 }
 
 struct Inner {
@@ -87,6 +144,11 @@ struct Inner {
     next_id: u64,
     traces: BTreeMap<u64, Trace>,
     by_context: BTreeMap<String, u64>,
+    /// Insertion order of live traces (trace ids), oldest first — the
+    /// eviction queue for the retention cap.
+    order: Vec<u64>,
+    sampling: TailSampling,
+    sample_stats: SampleStats,
 }
 
 impl Inner {
@@ -102,6 +164,44 @@ impl Inner {
             h
         }
     }
+
+    /// Seed-derived coin flip for the sample-in decision: depends only on
+    /// the store seed and the trace id, never on arrival order.
+    fn sampled_in(&self, trace_id: u64) -> bool {
+        if self.sampling.keep_one_in <= 1 {
+            return true;
+        }
+        let mut material = [0u8; 16];
+        material[..8].copy_from_slice(&self.seed.to_le_bytes());
+        material[8..].copy_from_slice(&trace_id.to_le_bytes());
+        fnv1a64(&material).is_multiple_of(self.sampling.keep_one_in)
+    }
+
+    fn remove_trace(&mut self, trace_id: u64) {
+        if let Some(t) = self.traces.remove(&trace_id) {
+            if self.by_context.get(&t.context) == Some(&trace_id) {
+                self.by_context.remove(&t.context);
+            }
+        }
+        self.order.retain(|&id| id != trace_id);
+    }
+
+    /// Evict the oldest expendable trace: finished clean traces first,
+    /// then finished errored ones, then still-open ones — so the cap
+    /// sacrifices the least interesting history first but *always* frees
+    /// a slot.
+    fn evict_one(&mut self) {
+        let pick = |inner: &Inner, f: &dyn Fn(&Trace) -> bool| {
+            inner.order.iter().copied().find(|id| inner.traces.get(id).is_some_and(f))
+        };
+        let victim = pick(self, &|t: &Trace| t.finished && !t.error)
+            .or_else(|| pick(self, &|t: &Trace| t.finished))
+            .or_else(|| self.order.first().copied());
+        if let Some(id) = victim {
+            self.remove_trace(id);
+            self.sample_stats.evicted += 1;
+        }
+    }
 }
 
 /// Shared store of every trace and span in a run. Cheap to clone.
@@ -112,14 +212,22 @@ pub struct TraceStore {
 
 impl TraceStore {
     /// Create a store seeded for deterministic id derivation (pass the
-    /// chaos/stack seed).
+    /// chaos/stack seed). Tail sampling defaults to keep-everything.
     pub fn new(seed: u64) -> Self {
+        Self::with_sampling(seed, TailSampling::default())
+    }
+
+    /// A store with an explicit tail-sampling policy.
+    pub fn with_sampling(seed: u64, sampling: TailSampling) -> Self {
         Self {
             inner: Arc::new(Mutex::new(Inner {
                 seed,
                 next_id: 0,
                 traces: BTreeMap::new(),
                 by_context: BTreeMap::new(),
+                order: Vec::new(),
+                sampling,
+                sample_stats: SampleStats::default(),
             })),
         }
     }
@@ -128,9 +236,12 @@ impl TraceStore {
     /// pipeline already carries end to end (the Redfish event's `Context`
     /// xname), `description` is free-form (e.g. the message id).
     pub fn begin_trace(&self, context: &str, description: &str, now: Timestamp) -> TraceContext {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.lock();
         let trace_id = g.derive_id();
         let span_id = g.derive_id();
+        while g.traces.len() >= g.sampling.max_retained.max(1) {
+            g.evict_one();
+        }
         g.traces.insert(
             trace_id,
             Trace {
@@ -139,31 +250,78 @@ impl TraceStore {
                 started: now,
                 spans: Vec::new(),
                 open: Vec::new(),
+                error: false,
+                finished: false,
             },
         );
+        g.order.push(trace_id);
         g.by_context.insert(context.to_string(), trace_id);
         TraceContext { trace_id, span_id }
     }
 
-    /// The most recent trace started for a correlation context, if any.
-    pub fn lookup(&self, context: &str) -> Option<u64> {
-        self.inner.lock().unwrap().by_context.get(context).copied()
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panicking holder leaves consistent state (plain maps/vecs).
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Record a completed span (enter and exit already known).
-    pub fn span(&self, trace_id: u64, stage: &str, start: Timestamp, end: Timestamp, note: &str) {
-        let mut g = self.inner.lock().unwrap();
+    /// The most recent trace started for a correlation context, if any.
+    pub fn lookup(&self, context: &str) -> Option<u64> {
+        self.lock().by_context.get(context).copied()
+    }
+
+    /// Record a completed span (enter and exit already known), nested
+    /// under the innermost currently-open span. Returns the span id so
+    /// callers can hang explicit children off it.
+    pub fn span(
+        &self,
+        trace_id: u64,
+        stage: &str,
+        start: Timestamp,
+        end: Timestamp,
+        note: &str,
+    ) -> u64 {
+        self.record_span(trace_id, None, stage, start, end, note)
+    }
+
+    /// Record a completed span as an explicit child of `parent_span_id`
+    /// — for fan-out work (per-split query execution) whose parent is
+    /// never "open" in the stack-of-stages sense. Returns the span id.
+    pub fn span_child(
+        &self,
+        trace_id: u64,
+        parent_span_id: u64,
+        stage: &str,
+        start: Timestamp,
+        end: Timestamp,
+        note: &str,
+    ) -> u64 {
+        self.record_span(trace_id, Some(parent_span_id), stage, start, end, note)
+    }
+
+    fn record_span(
+        &self,
+        trace_id: u64,
+        parent: Option<u64>,
+        stage: &str,
+        start: Timestamp,
+        end: Timestamp,
+        note: &str,
+    ) -> u64 {
+        let mut g = self.lock();
         let span_id = g.derive_id();
         if let Some(t) = g.traces.get_mut(&trace_id) {
+            let parent_span_id = parent.or_else(|| t.open.last().map(|o| o.span_id));
             t.spans.push(Span {
                 trace_id,
                 span_id,
+                parent_span_id,
                 stage: stage.to_string(),
                 start,
                 end,
                 note: note.to_string(),
             });
         }
+        span_id
     }
 
     /// Record a completed span only if the stage has not been recorded yet
@@ -181,19 +339,22 @@ impl TraceStore {
         }
     }
 
-    /// Enter a stage. Idempotent while open: re-entering keeps the
-    /// earliest start, which is exactly what makes retry gaps visible —
-    /// the span stretches from first attempt to eventual success.
+    /// Enter a stage, nested under the innermost span already open (the
+    /// top of the open stack). Idempotent while open: re-entering keeps
+    /// the earliest start, which is exactly what makes retry gaps visible
+    /// — the span stretches from first attempt to eventual success.
     pub fn begin_span(&self, trace_id: u64, stage: &str, now: Timestamp, note: &str) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.lock();
         let span_id = g.derive_id();
         if let Some(t) = g.traces.get_mut(&trace_id) {
             let already_open = t.open.iter().any(|o| o.stage == stage);
             let already_closed = t.spans.iter().any(|s| s.stage == stage);
             if !already_open && !already_closed {
+                let parent_span_id = t.open.last().map(|o| o.span_id);
                 t.open.push(OpenSpan {
                     stage: stage.to_string(),
                     span_id,
+                    parent_span_id,
                     start: now,
                     note: note.to_string(),
                 });
@@ -204,13 +365,14 @@ impl TraceStore {
     /// Exit a stage opened with [`Self::begin_span`]. Unmatched exits are
     /// ignored. An empty `note` keeps the note given at enter time.
     pub fn end_span(&self, trace_id: u64, stage: &str, now: Timestamp, note: &str) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.lock();
         if let Some(t) = g.traces.get_mut(&trace_id) {
             if let Some(i) = t.open.iter().position(|o| o.stage == stage) {
                 let o = t.open.remove(i);
                 t.spans.push(Span {
                     trace_id,
                     span_id: o.span_id,
+                    parent_span_id: o.parent_span_id,
                     stage: o.stage,
                     start: o.start,
                     end: now,
@@ -220,20 +382,68 @@ impl TraceStore {
         }
     }
 
+    /// Mark a trace as errored: it survives tail sampling unconditionally.
+    pub fn mark_error(&self, trace_id: u64) {
+        if let Some(t) = self.lock().traces.get_mut(&trace_id) {
+            t.error = true;
+        }
+    }
+
+    /// Finish a trace and apply the tail-sampling decision: keep it if it
+    /// errored, if its end-to-end latency reached the threshold, or if
+    /// the seed-derived hash samples it in; drop it (and its context
+    /// mapping) otherwise. Returns whether the trace was retained.
+    /// Finishing an unknown (or already dropped) trace returns `false`;
+    /// finishing a retained trace again is a kept no-op.
+    pub fn finish(&self, trace_id: u64) -> bool {
+        let mut g = self.lock();
+        let Some(t) = g.traces.get(&trace_id) else {
+            return false;
+        };
+        if t.finished {
+            return true;
+        }
+        let latency = t.spans.iter().map(|s| s.end).max().map(|end| end - t.started);
+        // A threshold of 0 disables the slow-keep rule (everything would
+        // trivially exceed it); `keep_one_in` alone decides then.
+        let slow = g.sampling.latency_threshold_ns > 0
+            && latency.is_some_and(|ns| ns >= g.sampling.latency_threshold_ns);
+        if t.error {
+            g.sample_stats.kept_error += 1;
+        } else if slow {
+            g.sample_stats.kept_slow += 1;
+        } else if g.sampled_in(trace_id) {
+            g.sample_stats.kept_sampled += 1;
+        } else {
+            g.sample_stats.dropped += 1;
+            g.remove_trace(trace_id);
+            return false;
+        }
+        if let Some(t) = g.traces.get_mut(&trace_id) {
+            t.finished = true;
+        }
+        true
+    }
+
+    /// What tail sampling has kept, dropped and evicted so far.
+    pub fn sample_stats(&self) -> SampleStats {
+        self.lock().sample_stats
+    }
+
+    /// Number of traces currently retained.
+    pub fn retained(&self) -> usize {
+        self.lock().traces.len()
+    }
+
     /// Whether a closed span exists for the stage.
     pub fn has_stage(&self, trace_id: u64, stage: &str) -> bool {
-        self.inner
-            .lock()
-            .unwrap()
-            .traces
-            .get(&trace_id)
-            .is_some_and(|t| t.spans.iter().any(|s| s.stage == stage))
+        self.lock().traces.get(&trace_id).is_some_and(|t| t.spans.iter().any(|s| s.stage == stage))
     }
 
     /// All closed spans of a trace, ordered by start time (insertion order
     /// breaks ties, so the order is deterministic).
     pub fn spans(&self, trace_id: u64) -> Vec<Span> {
-        let g = self.inner.lock().unwrap();
+        let g = self.lock();
         let mut spans = g.traces.get(&trace_id).map(|t| t.spans.clone()).unwrap_or_default();
         spans.sort_by_key(|s| s.start);
         spans
@@ -241,25 +451,26 @@ impl TraceStore {
 
     /// Every trace id in the store, sorted.
     pub fn trace_ids(&self) -> Vec<u64> {
-        self.inner.lock().unwrap().traces.keys().copied().collect()
+        self.lock().traces.keys().copied().collect()
     }
 
     /// End-to-end latency of a trace in nanoseconds: trace start to the
     /// latest span exit. `None` until at least one span has closed.
     pub fn latency_ns(&self, trace_id: u64) -> Option<i64> {
-        let g = self.inner.lock().unwrap();
+        let g = self.lock();
         let t = g.traces.get(&trace_id)?;
         let end = t.spans.iter().map(|s| s.end).max()?;
         Some(end - t.started)
     }
 
-    /// Print a deterministic, human-readable timeline of one trace:
-    /// per-stage enter/exit offsets from the trace start, notes, and the
+    /// Print a deterministic, human-readable timeline of one trace as a
+    /// span tree: children indented under their parents, per-stage
+    /// enter/exit offsets from the trace start, notes, and the
     /// end-to-end latency.
     pub fn render_timeline(&self, trace_id: u64) -> String {
         let spans = self.spans(trace_id);
         let (description, context, started) = {
-            let g = self.inner.lock().unwrap();
+            let g = self.lock();
             match g.traces.get(&trace_id) {
                 Some(t) => (t.description.clone(), t.context.clone(), t.started),
                 None => return format!("trace {}: not found\n", format_trace_id(trace_id)),
@@ -272,17 +483,40 @@ impl TraceStore {
             description,
             context
         ));
-        let stage_width = spans.iter().map(|s| s.stage.len()).max().unwrap_or(0).max(5);
-        for s in &spans {
+        // Depth-first walk of the span tree; spans are already sorted by
+        // start time, which the walk preserves among siblings. A span
+        // whose parent never closed renders as a root.
+        let closed: BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent_span_id {
+                Some(p) if p != s.span_id && closed.contains(&p) => {
+                    children.entry(p).or_default().push(i)
+                }
+                _ => roots.push(i),
+            }
+        }
+        let mut ordered: Vec<(usize, usize)> = Vec::with_capacity(spans.len());
+        let mut stack: Vec<(usize, usize)> = roots.into_iter().rev().map(|i| (i, 0)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            ordered.push((i, depth));
+            if let Some(kids) = children.get(&spans[i].span_id) {
+                for &k in kids.iter().rev() {
+                    stack.push((k, depth + 1));
+                }
+            }
+        }
+        let stage_width =
+            ordered.iter().map(|&(i, d)| 2 * d + spans[i].stage.len()).max().unwrap_or(0).max(5);
+        for &(i, depth) in &ordered {
+            let s = &spans[i];
             let from = offset_secs(s.start, started);
             let to = offset_secs(s.end, started);
+            let label = format!("{}{}", "  ".repeat(depth), s.stage);
             out.push_str(&format!(
-                "  {:<width$}  t+{:>9} .. t+{:>9}  {}\n",
-                s.stage,
-                from,
-                to,
-                s.note,
-                width = stage_width
+                "  {label:<stage_width$}  t+{from:>9} .. t+{to:>9}  {}\n",
+                s.note
             ));
         }
         match self.latency_ns(trace_id) {
@@ -336,6 +570,28 @@ mod tests {
     }
 
     #[test]
+    fn parse_trace_id_roundtrips_fuzzed_ids() {
+        // Pseudo-random (but seeded) 64-bit ids, including the edges.
+        let mut ids = vec![0, 1, u64::MAX, u64::MAX - 1, 0x8000_0000_0000_0000];
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..500 {
+            // xorshift64*: deterministic, no global RNG.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            ids.push(x.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        }
+        for id in ids {
+            let s = format_trace_id(id);
+            assert_eq!(s.len(), 16);
+            assert_eq!(parse_trace_id(&s), Some(id), "roundtrip failed for {id}");
+            // Uppercase and padded variants are not the wire format.
+            assert_eq!(parse_trace_id(&format!("{s} ")), None);
+            assert_eq!(parse_trace_id(&s[..15]), None);
+        }
+    }
+
+    #[test]
     fn lookup_by_context() {
         let s = TraceStore::new(1);
         let ctx = s.begin_trace("x3000c0s9b0", "leak", 10);
@@ -373,6 +629,81 @@ mod tests {
     }
 
     #[test]
+    fn nested_begin_spans_form_a_tree() {
+        let s = TraceStore::new(3);
+        let ctx = s.begin_trace("x", "query", 0);
+        s.begin_span(ctx.trace_id, "query", 0, "root");
+        s.begin_span(ctx.trace_id, "schedule", 10, "queued");
+        s.end_span(ctx.trace_id, "schedule", 20, "granted");
+        s.begin_span(ctx.trace_id, "execute", 20, "");
+        s.end_span(ctx.trace_id, "execute", 90, "done");
+        s.end_span(ctx.trace_id, "query", 100, "merged");
+        let spans = s.spans(ctx.trace_id);
+        assert_eq!(spans.len(), 3);
+        let root = spans.iter().find(|s| s.stage == "query").unwrap();
+        assert_eq!(root.parent_span_id, None);
+        for child in ["schedule", "execute"] {
+            let c = spans.iter().find(|s| s.stage == child).unwrap();
+            assert_eq!(c.parent_span_id, Some(root.span_id), "{child} must nest under query");
+        }
+        // The rendered tree indents children under the root.
+        let tl = s.render_timeline(ctx.trace_id);
+        assert!(tl.contains("\n  query "), "{tl}");
+        assert!(tl.contains("\n    schedule"), "{tl}");
+        assert!(tl.contains("\n    execute"), "{tl}");
+    }
+
+    #[test]
+    fn explicit_children_nest_under_given_parent() {
+        let s = TraceStore::new(4);
+        let ctx = s.begin_trace("q", "fanout", 0);
+        let root = s.span(ctx.trace_id, "query", 0, 100, "");
+        let a = s.span_child(ctx.trace_id, root, "split_0", 5, 40, "");
+        s.span_child(ctx.trace_id, a, "queue_wait", 5, 12, "");
+        s.span_child(ctx.trace_id, root, "split_1", 6, 60, "");
+        let spans = s.spans(ctx.trace_id);
+        assert_eq!(spans.len(), 4);
+        let wait = spans.iter().find(|s| s.stage == "queue_wait").unwrap();
+        assert_eq!(wait.parent_span_id, Some(a));
+        let tl = s.render_timeline(ctx.trace_id);
+        // Two levels of nesting under the root.
+        assert!(tl.contains("\n    split_0"), "{tl}");
+        assert!(tl.contains("\n      queue_wait"), "{tl}");
+        assert!(tl.contains("\n    split_1"), "{tl}");
+    }
+
+    #[test]
+    fn span_ordering_deterministic_under_interleaving() {
+        let run = || {
+            let s = TraceStore::new(11);
+            let ctx = s.begin_trace("x", "d", 0);
+            // Interleaved opens/closes, including same-start ties.
+            s.begin_span(ctx.trace_id, "a", 0, "");
+            s.begin_span(ctx.trace_id, "b", 0, "");
+            s.span(ctx.trace_id, "c", 0, 5, "");
+            s.end_span(ctx.trace_id, "b", 10, "");
+            s.begin_span(ctx.trace_id, "d", 2, "");
+            s.end_span(ctx.trace_id, "d", 3, "");
+            s.end_span(ctx.trace_id, "a", 20, "");
+            (
+                s.spans(ctx.trace_id)
+                    .iter()
+                    .map(|sp| (sp.stage.clone(), sp.start, sp.end, sp.parent_span_id))
+                    .collect::<Vec<_>>(),
+                s.render_timeline(ctx.trace_id),
+            )
+        };
+        let (spans_a, tl_a) = run();
+        let (spans_b, tl_b) = run();
+        assert_eq!(spans_a, spans_b);
+        assert_eq!(tl_a, tl_b);
+        // Sorted by start; same-start ties (c, b, a all at 0) keep the
+        // order the spans *closed* in, which is insertion order.
+        let order: Vec<&str> = spans_a.iter().map(|(st, ..)| st.as_str()).collect();
+        assert_eq!(order, vec!["c", "b", "a", "d"]);
+    }
+
+    #[test]
     fn timeline_renders_deterministically() {
         let render = || {
             let s = TraceStore::new(42);
@@ -399,5 +730,93 @@ mod tests {
     fn unknown_trace_renders_placeholder() {
         let s = TraceStore::new(1);
         assert!(s.render_timeline(123).contains("not found"));
+    }
+
+    #[test]
+    fn empty_trace_renders_no_spans_footer() {
+        let s = TraceStore::new(1);
+        let ctx = s.begin_trace("x", "nothing happened", 5);
+        let tl = s.render_timeline(ctx.trace_id);
+        assert!(tl.contains("nothing happened"), "{tl}");
+        assert!(tl.contains("(no spans recorded)"), "{tl}");
+        // A trace with only *open* spans renders the same footer.
+        s.begin_span(ctx.trace_id, "stuck", 6, "");
+        assert!(s.render_timeline(ctx.trace_id).contains("(no spans recorded)"));
+    }
+
+    #[test]
+    fn tail_sampling_keeps_slow_errored_and_sampled_traces() {
+        let sampling = TailSampling {
+            latency_threshold_ns: 100,
+            keep_one_in: u64::MAX, // hash-sample keeps essentially nothing
+            max_retained: usize::MAX,
+        };
+        let s = TraceStore::with_sampling(9, sampling);
+        // Fast and clean: dropped.
+        let fast = s.begin_trace("fast", "d", 0);
+        s.span(fast.trace_id, "work", 0, 10, "");
+        assert!(!s.finish(fast.trace_id));
+        assert!(s.lookup("fast").is_none(), "dropped trace must unmap its context");
+        // Slow: kept.
+        let slow = s.begin_trace("slow", "d", 0);
+        s.span(slow.trace_id, "work", 0, 500, "");
+        assert!(s.finish(slow.trace_id));
+        // Errored but fast: kept.
+        let err = s.begin_trace("err", "d", 0);
+        s.span(err.trace_id, "work", 0, 10, "");
+        s.mark_error(err.trace_id);
+        assert!(s.finish(err.trace_id));
+        let st = s.sample_stats();
+        assert_eq!((st.dropped, st.kept_slow, st.kept_error), (1, 1, 1));
+        assert_eq!(s.trace_ids(), {
+            let mut v = vec![slow.trace_id, err.trace_id];
+            v.sort_unstable();
+            v
+        });
+        // Finishing again is a kept no-op; finishing the dropped one is false.
+        assert!(s.finish(slow.trace_id));
+        assert!(!s.finish(fast.trace_id));
+    }
+
+    #[test]
+    fn tail_sampling_is_deterministic_across_runs() {
+        let run = || {
+            let sampling =
+                TailSampling { latency_threshold_ns: 1_000, keep_one_in: 4, max_retained: 1_000 };
+            let s = TraceStore::with_sampling(42, sampling);
+            let mut kept = Vec::new();
+            for i in 0..64 {
+                let ctx = s.begin_trace(&format!("c{i}"), "d", 0);
+                s.span(ctx.trace_id, "work", 0, 10, "");
+                if s.finish(ctx.trace_id) {
+                    kept.push(ctx.trace_id);
+                }
+            }
+            kept
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // 1-in-4 hash sampling keeps *some* but not all of 64 clean traces.
+        assert!(!a.is_empty() && a.len() < 64, "kept {}", a.len());
+    }
+
+    #[test]
+    fn retention_cap_bounds_the_store() {
+        let sampling = TailSampling { latency_threshold_ns: 0, keep_one_in: 1, max_retained: 8 };
+        let s = TraceStore::with_sampling(5, sampling);
+        let mut err_id = 0;
+        for i in 0..50 {
+            let ctx = s.begin_trace(&format!("c{i}"), "d", 0);
+            s.span(ctx.trace_id, "work", 0, 10, "");
+            if i == 20 {
+                s.mark_error(ctx.trace_id);
+                err_id = ctx.trace_id;
+            }
+            s.finish(ctx.trace_id);
+            assert!(s.retained() <= 8, "cap breached at {i}: {}", s.retained());
+        }
+        assert!(s.sample_stats().evicted > 0);
+        // Clean finished traces are evicted before the errored one.
+        assert!(s.trace_ids().contains(&err_id), "errored trace must outlive clean ones");
     }
 }

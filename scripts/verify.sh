@@ -42,6 +42,33 @@ echo "== tenant chaos drill (fixed seed, isolation invariants) =="
 cargo run -q --release --example tenant_chaos_drill \
     | grep "tenant chaos drill: all isolation invariants hold"
 
+echo "== introspection drill (slow-query log, span trees, exemplars, SLO burn) =="
+# The drill asserts the whole deep-introspection surface: the slow query
+# self-ingests with a trace id, the trace renders as a span tree with
+# queue-wait and per-split children, the exemplar links the same trace,
+# the forced regression fires SloFastBurn through vmalert→Alertmanager,
+# and tail sampling bounds retention. Require the closing line so a
+# silent truncation also fails the gate.
+drill_out="$(cargo run -q --release --example introspection_drill)"
+echo "$drill_out" | grep "introspection drill: all assertions hold"
+echo "$drill_out" | grep -q '"trace_id"' || { echo "slow-query log line missing"; exit 1; }
+
+echo "== introspection catalog families registered =="
+# The lint catalog must know every introspection family the stack emits;
+# a missing entry would make dashboards/rules over them fail the boot lint.
+python3 - <<'PY'
+import subprocess
+names = subprocess.run(
+    ["cargo", "run", "-q", "-p", "omni-lint", "--", "--catalog"],
+    capture_output=True, text=True, check=True,
+).stdout
+for family in ["omni_slo_burn_rate", "omni_query_latency_seconds_p99",
+               "omni_query_slow_total", "omni_tenant_query_wait_seconds_bucket",
+               "omni_trace_kept_total", "omni_trace_dropped_total"]:
+    assert family in names, f"catalog missing {family}"
+print("introspection families: all registered")
+PY
+
 echo "== bench smoke (--quick: tiny workload, no report rewrite) =="
 cargo bench -q -p omni-bench --bench c1_ingest_throughput -- --quick | grep "pr3 ingest"
 cargo bench -q -p omni-bench --bench fig5_range_query -- --quick | grep "pr3 range_query"
