@@ -162,12 +162,14 @@ const QUERY_WAIT_BUCKETS: &[f64] = &[0.000_1, 0.000_5, 0.001, 0.005, 0.01, 0.05,
 const QUERY_COST_PER_BLOCK_NS: i64 = 200_000; // 0.2ms per decoded block
 const QUERY_COST_PER_KIB_NS: i64 = 50_000; // 0.05ms per decompressed KiB
 const QUERY_COST_PER_ENTRY_NS: i64 = 2_000; // 2µs per scanned entry
+const QUERY_COST_PER_COLD_CHUNK_NS: i64 = 8_000_000; // 8ms per cold-tier object GET
 
 /// Price one split's scan from its statistics (cached splits cost zero).
 fn modeled_scan_cost_ns(s: &omni_loki::QueryStats) -> i64 {
     s.blocks_decoded as i64 * QUERY_COST_PER_BLOCK_NS
         + (s.decompressed_bytes as i64 / 1024) * QUERY_COST_PER_KIB_NS
         + s.entries_scanned as i64 * QUERY_COST_PER_ENTRY_NS
+        + s.cold_chunks_touched as i64 * QUERY_COST_PER_COLD_CHUNK_NS
 }
 
 /// Price a whole query: scheduler queue wait plus the scan cost of every
@@ -727,6 +729,11 @@ impl MonitoringStack {
             saved.observe(bytes as f64);
         }
         self.omni.loki().offload(3_600 * NANOS_PER_SEC);
+        // The compactor wakes on its own virtual-clock cadence
+        // (`compaction_interval_ns`): merges cold sealed chunks into the
+        // compacted tier, dedups replayed duplicates, executes retention
+        // deletes.
+        self.omni.loki().maybe_compact();
         // 6b. Query introspection: price every query the frontend
         // finished since the last step, build its span tree, feed the
         // latency histogram (trace id as exemplar) and the query-latency
@@ -826,6 +833,11 @@ impl MonitoringStack {
                     "omni_query_bytes_decompressed_total",
                     "Uncompressed bytes produced by recorded queries' block decodes.",
                     s.decompressed_bytes as u64,
+                ),
+                (
+                    "omni_query_cold_chunks_total",
+                    "Cold-tier (compacted) chunks fetched for recorded queries.",
+                    s.cold_chunks_touched as u64,
                 ),
             ] {
                 self.registry.counter(name, help, labels!()).add(delta);
@@ -1354,6 +1366,71 @@ fn register_self_collectors(
                     "Records appended to the WAL.",
                     Counter,
                     r.wal_records as f64,
+                ),
+            ]
+        });
+    }
+    {
+        // Compactor + tiered-storage telemetry: how the background job is
+        // reshaping the store, and what the cold tier costs queries.
+        let omni = omni.clone();
+        registry.register_collector(move || {
+            let c = omni.loki().compactor().stats();
+            let store = omni.loki().chunk_store();
+            vec![
+                single(
+                    "omni_compactor_runs_total",
+                    "Completed compaction runs.",
+                    Counter,
+                    c.runs as f64,
+                ),
+                single(
+                    "omni_compactor_chunks_merged_total",
+                    "Source sealed chunks merged into compacted objects.",
+                    Counter,
+                    c.chunks_merged as f64,
+                ),
+                single(
+                    "omni_compactor_objects_written_total",
+                    "Compacted objects written to the cold tier.",
+                    Counter,
+                    c.objects_written as f64,
+                ),
+                single(
+                    "omni_compactor_duplicates_dropped_total",
+                    "Byte-identical replayed chunks deduplicated away.",
+                    Counter,
+                    c.duplicates_dropped as f64,
+                ),
+                single(
+                    "omni_compactor_retention_deleted_total",
+                    "Objects deleted by compactor-executed retention.",
+                    Counter,
+                    c.retention_deleted as f64,
+                ),
+                single(
+                    "omni_compactor_hot_objects",
+                    "Objects currently in the hot (sealed) store tier.",
+                    Gauge,
+                    store.objects().object_count() as f64,
+                ),
+                single(
+                    "omni_compactor_cold_objects",
+                    "Objects currently in the cold (compacted) tier.",
+                    Gauge,
+                    store.cold().object_count() as f64,
+                ),
+                single(
+                    "omni_compactor_cold_bytes",
+                    "Bytes currently stored in the cold (compacted) tier.",
+                    Gauge,
+                    store.cold().stored_bytes() as f64,
+                ),
+                single(
+                    "omni_compactor_cold_transient_failures_total",
+                    "Cold-tier GETs that failed transiently and were retried.",
+                    Counter,
+                    store.cold().transient_failures() as f64,
                 ),
             ]
         });

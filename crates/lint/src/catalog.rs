@@ -109,8 +109,19 @@ impl Catalog {
             "omni_query_blocks_decoded_total",
             "omni_query_blocks_skipped_total",
             "omni_query_bytes_decompressed_total",
+            "omni_query_cold_chunks_total",
             "omni_trace_kept_total",
             "omni_trace_dropped_total",
+            // Compactor + tiered-storage telemetry.
+            "omni_compactor_runs_total",
+            "omni_compactor_chunks_merged_total",
+            "omni_compactor_objects_written_total",
+            "omni_compactor_duplicates_dropped_total",
+            "omni_compactor_retention_deleted_total",
+            "omni_compactor_hot_objects",
+            "omni_compactor_cold_objects",
+            "omni_compactor_cold_bytes",
+            "omni_compactor_cold_transient_failures_total",
         ] {
             c.add_scraped_metric(name, &[]);
         }
@@ -276,6 +287,10 @@ mod tests {
         // tenant queue-wait histogram (which must carry `tenant`).
         assert!(c.metric_labels("omni_slo_burn_rate").unwrap().contains("window"));
         assert!(c.has_metric("omni_query_slow_total"));
+        // Compaction & tiered retention families.
+        assert!(c.has_metric("omni_compactor_runs_total"));
+        assert!(c.has_metric("omni_compactor_cold_objects"));
+        assert!(c.has_metric("omni_query_cold_chunks_total"));
         assert!(c.has_histogram_base("omni_query_latency_seconds"));
         assert!(c.has_histogram_base("omni_tenant_query_wait_seconds"));
         assert!(c

@@ -3,9 +3,34 @@
 //!
 //! Real Loki offloads sealed chunks to an object store (S3/GCS/filesystem)
 //! and keeps only the label index plus recent chunks in the ingesters.
-//! This module provides the same split: an [`ObjectStore`] abstraction, an
-//! in-memory implementation standing in for the disk tier, and the
-//! serialization of [`SealedChunk`]s into self-describing objects.
+//! This module provides the same split — plus the compacted tier the
+//! compactor writes:
+//!
+//! * an [`ObjectStore`] abstraction and [`MemObjectStore`], the hot
+//!   "disk" tier sealed chunks are offloaded into;
+//! * [`ColdTier`], the simulated S3-style object store compacted chunks
+//!   are demoted to, with a configurable per-operation latency and a
+//!   deterministic transient-failure model (the `core::chaos` coin,
+//!   applied to object reads);
+//! * the serialization of [`SealedChunk`]s into self-describing objects
+//!   and of stream labels into series-index entries.
+//!
+//! ## Key scheme
+//!
+//! One chunk object's key is
+//! `chunks/<fp-hex>/<min-enc>-<max-enc>-<seq-hex>` (compacted objects use
+//! the `compacted/` prefix). Timestamps are encoded **offset-binary**:
+//! the i64 nanosecond value with its sign bit flipped, rendered as
+//! fixed-width hex, so lexicographic key order equals timestamp order
+//! even for pre-epoch (negative) timestamps. `seq` is a store-wide
+//! monotonic counter making every persisted chunk's key unique: two
+//! chunks of one stream with the identical `(min_ts, max_ts)` span (easy
+//! with same-timestamp bursts, or a WAL replay re-offloading a chunk)
+//! get distinct keys instead of silently overwriting each other.
+//!
+//! Because the span is part of the key, range reads and retention deletes
+//! prune non-overlapping objects from the listing alone — without
+//! fetching or decoding a single object body.
 
 use crate::chunk::SealedChunk;
 use crate::compress::{get_uvarint, put_uvarint, unzigzag, zigzag, CorruptBlock};
@@ -84,6 +109,142 @@ impl ObjectStore for MemObjectStore {
     }
 }
 
+/// Latency and transient-failure model of the cold (compacted) tier — an
+/// S3-style remote object store rather than local disk. Mirrors the
+/// deterministic permille coin of `core::chaos`: whether a given object's
+/// first read fails transiently is a pure function of `(seed, key)`, so a
+/// fixed-seed run produces identical retry counts regardless of query
+/// thread interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColdTierPolicy {
+    /// Simulated latency charged per GET attempt.
+    pub get_latency_ns: i64,
+    /// Simulated latency charged per PUT.
+    pub put_latency_ns: i64,
+    /// Permille of objects whose first GET attempt fails transiently
+    /// (the retry always succeeds — availability, not durability).
+    pub fail_permille: u16,
+    /// Seed of the failure coin.
+    pub seed: u64,
+}
+
+impl Default for ColdTierPolicy {
+    fn default() -> Self {
+        Self {
+            get_latency_ns: 8_000_000,  // 8ms: remote object-store GET
+            put_latency_ns: 15_000_000, // 15ms: remote object-store PUT
+            fail_permille: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// fnv1a64 over a byte string — the same deterministic coin basis
+/// `core::chaos` uses for its flaky-receiver rolls.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cold object tier: compacted chunks demoted out of the hot store.
+/// Wraps a [`MemObjectStore`] with the simulated latency/failure model of
+/// [`ColdTierPolicy`]; every charged nanosecond and transient failure is
+/// accounted so the drill and self-telemetry can surface the tier's cost.
+#[derive(Default)]
+pub struct ColdTier {
+    objects: MemObjectStore,
+    policy: RwLock<ColdTierPolicy>,
+    /// First-attempt GET failures (each retried once, successfully).
+    transient_failures: AtomicU64,
+    /// Total simulated nanoseconds charged across operations.
+    simulated_ns: AtomicU64,
+}
+
+impl ColdTier {
+    /// Empty cold tier with the default policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the latency/failure policy (chaos scenarios flip this at
+    /// runtime, exactly like `ChaosAction`s flip bus fault windows).
+    pub fn set_policy(&self, policy: ColdTierPolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// The current policy.
+    pub fn policy(&self) -> ColdTierPolicy {
+        *self.policy.read()
+    }
+
+    /// Whether this key's first GET attempt fails under the policy coin.
+    fn first_attempt_fails(&self, key: &str, policy: &ColdTierPolicy) -> bool {
+        if policy.fail_permille == 0 {
+            return false;
+        }
+        let mut buf = policy.seed.to_le_bytes().to_vec();
+        buf.extend_from_slice(key.as_bytes());
+        (fnv1a64(&buf) % 1_000) < policy.fail_permille as u64
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.object_count()
+    }
+
+    /// Total stored bytes.
+    pub fn stored_bytes(&self) -> usize {
+        self.objects.stored_bytes()
+    }
+
+    /// `(puts, gets)` operation counters (gets count every attempt).
+    pub fn op_counts(&self) -> (u64, u64) {
+        self.objects.op_counts()
+    }
+
+    /// First-attempt GET failures injected so far.
+    pub fn transient_failures(&self) -> u64 {
+        self.transient_failures.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated nanoseconds charged across operations.
+    pub fn simulated_latency_ns(&self) -> u64 {
+        self.simulated_ns.load(Ordering::Relaxed)
+    }
+}
+
+impl ObjectStore for ColdTier {
+    fn put(&self, key: String, data: Bytes) {
+        let policy = self.policy();
+        self.simulated_ns.fetch_add(policy.put_latency_ns.max(0) as u64, Ordering::Relaxed);
+        self.objects.put(key, data);
+    }
+
+    fn get(&self, key: &str) -> Option<Bytes> {
+        let policy = self.policy();
+        self.simulated_ns.fetch_add(policy.get_latency_ns.max(0) as u64, Ordering::Relaxed);
+        if self.first_attempt_fails(key, &policy) {
+            // Transient: charge the failed attempt, count it, retry once.
+            self.transient_failures.fetch_add(1, Ordering::Relaxed);
+            self.objects.get(key); // the failed attempt still counts as a GET
+            self.simulated_ns.fetch_add(policy.get_latency_ns.max(0) as u64, Ordering::Relaxed);
+        }
+        self.objects.get(key)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.objects.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> bool {
+        self.objects.delete(key)
+    }
+}
+
 /// Serialize a sealed chunk into a self-describing object:
 /// varint header (count, min_ts, max_ts, uncompressed, data_len) + block.
 pub fn chunk_to_object(chunk: &SealedChunk) -> Bytes {
@@ -124,10 +285,59 @@ pub fn object_to_chunk(data: &[u8]) -> Result<SealedChunk, CorruptBlock> {
     ))
 }
 
+/// Offset-binary encoding of a timestamp for object keys: flip the sign
+/// bit and render fixed-width hex, so `encode_key_ts(a) < encode_key_ts(b)`
+/// (lexicographically) iff `a < b` — including pre-epoch negatives, which
+/// the old `{min_ts:020}` decimal rendering sorted before *and among*
+/// positives in the wrong order (`-` sorts before digits, and `-2` sorts
+/// before `-1`).
+pub fn encode_key_ts(ts: Timestamp) -> String {
+    format!("{:016x}", (ts as u64) ^ (1u64 << 63))
+}
+
+/// Inverse of [`encode_key_ts`].
+pub fn decode_key_ts(s: &str) -> Option<Timestamp> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(|v| (v ^ (1u64 << 63)) as i64)
+}
+
 /// Object key for one chunk of one stream:
-/// `chunks/<fingerprint-hex>/<min_ts>-<max_ts>`.
-pub fn chunk_key(fingerprint: u64, min_ts: Timestamp, max_ts: Timestamp) -> String {
-    format!("chunks/{fingerprint:016x}/{min_ts:020}-{max_ts:020}")
+/// `chunks/<fp-hex>/<min-enc>-<max-enc>-<seq-hex>`. The sequence
+/// component makes same-span chunks distinct objects (the pre-fix scheme
+/// silently overwrote them), and the offset-binary timestamp encoding
+/// keeps key order equal to time order for the compactor's ordered scans.
+pub fn chunk_key(fingerprint: u64, min_ts: Timestamp, max_ts: Timestamp, seq: u64) -> String {
+    format!(
+        "chunks/{fingerprint:016x}/{}-{}-{seq:016x}",
+        encode_key_ts(min_ts),
+        encode_key_ts(max_ts)
+    )
+}
+
+/// Object key for one compacted chunk in the cold tier.
+pub fn compacted_key(fingerprint: u64, min_ts: Timestamp, max_ts: Timestamp, seq: u64) -> String {
+    format!(
+        "compacted/{fingerprint:016x}/{}-{}-{seq:016x}",
+        encode_key_ts(min_ts),
+        encode_key_ts(max_ts)
+    )
+}
+
+/// Parse the `(min_ts, max_ts)` span out of a chunk-object key (either
+/// tier). This is what lets `fetch`/`delete_before` prune objects from
+/// the listing without touching their bodies.
+pub fn parse_key_span(key: &str) -> Option<(Timestamp, Timestamp)> {
+    let leaf = key.rsplit('/').next()?;
+    let mut parts = leaf.split('-');
+    let min = decode_key_ts(parts.next()?)?;
+    let max = decode_key_ts(parts.next()?)?;
+    parts.next()?; // seq must be present
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((min, max))
 }
 
 /// Object key for one stream's series-index entry: `series/<fingerprint-hex>`.
@@ -135,7 +345,9 @@ pub fn series_key(fingerprint: u64) -> String {
     format!("series/{fingerprint:016x}")
 }
 
-fn labels_to_object(labels: &LabelSet) -> Bytes {
+/// Encode a stream's labels into a series-index object: a pair count
+/// followed by length-prefixed key/value strings.
+pub fn labels_to_object(labels: &LabelSet) -> Bytes {
     let mut out = Vec::new();
     put_uvarint(&mut out, labels.len() as u64);
     for (k, v) in labels.iter() {
@@ -147,7 +359,9 @@ fn labels_to_object(labels: &LabelSet) -> Bytes {
     Bytes::from(out)
 }
 
-fn object_to_labels(data: &[u8]) -> Result<LabelSet, CorruptBlock> {
+/// Decode a series-index object back into a label set. Corrupt or
+/// truncated objects yield an error, never a panic or garbage labels.
+pub fn object_to_labels(data: &[u8]) -> Result<LabelSet, CorruptBlock> {
     let mut pos = 0;
     let (n_labels, n) = get_uvarint(&data[pos..])?;
     pos += n;
@@ -160,6 +374,9 @@ fn object_to_labels(data: &[u8]) -> Result<LabelSet, CorruptBlock> {
         pos += n;
         let v = read_str(data, &mut pos, vlen as usize)?;
         labels.insert(k, v);
+    }
+    if pos != data.len() {
+        return Err(CorruptBlock("series entry has trailing bytes"));
     }
     Ok(labels)
 }
@@ -175,10 +392,26 @@ fn read_str(buf: &[u8], pos: &mut usize, len: usize) -> Result<String, CorruptBl
     Ok(s)
 }
 
-/// The chunk store: persistence + retrieval of offloaded chunks.
+/// Per-fetch accounting: which tier served what, and how much the
+/// key-span index saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Objects fetched from the hot (sealed) tier.
+    pub hot_objects: usize,
+    /// Objects fetched from the cold (compacted) tier.
+    pub cold_objects: usize,
+    /// Objects skipped from the key span alone, bodies never read.
+    pub skipped_by_key: usize,
+}
+
+/// The chunk store: persistence + retrieval of offloaded chunks across
+/// the hot (sealed) and cold (compacted) tiers.
 #[derive(Clone)]
 pub struct ChunkStore {
     store: Arc<MemObjectStore>,
+    cold: Arc<ColdTier>,
+    /// Store-wide monotonic sequence uniquifying chunk keys.
+    next_seq: Arc<AtomicU64>,
 }
 
 impl Default for ChunkStore {
@@ -188,22 +421,41 @@ impl Default for ChunkStore {
 }
 
 impl ChunkStore {
-    /// A chunk store over a fresh in-memory object tier.
+    /// A chunk store over fresh in-memory object tiers.
     pub fn new() -> Self {
-        Self { store: Arc::new(MemObjectStore::new()) }
+        Self {
+            store: Arc::new(MemObjectStore::new()),
+            cold: Arc::new(ColdTier::new()),
+            next_seq: Arc::new(AtomicU64::new(0)),
+        }
     }
 
-    /// The underlying object store (for accounting).
+    /// The underlying hot-tier object store (for accounting).
     pub fn objects(&self) -> &MemObjectStore {
         &self.store
     }
 
-    /// Persist one chunk of a stream.
+    /// The cold (compacted) tier.
+    pub fn cold(&self) -> &ColdTier {
+        &self.cold
+    }
+
+    /// Persist one chunk of a stream into the hot tier.
     pub fn persist(&self, fingerprint: u64, chunk: &SealedChunk) {
         if chunk.count == 0 {
             return;
         }
-        self.store.put(chunk_key(fingerprint, chunk.min_ts, chunk.max_ts), chunk_to_object(chunk));
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.store
+            .put(chunk_key(fingerprint, chunk.min_ts, chunk.max_ts, seq), chunk_to_object(chunk));
+    }
+
+    /// Write one compacted chunk into the cold tier, returning its key.
+    pub fn put_compacted(&self, fingerprint: u64, chunk: &SealedChunk) -> String {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let key = compacted_key(fingerprint, chunk.min_ts, chunk.max_ts, seq);
+        self.cold.put(key.clone(), chunk_to_object(chunk));
+        key
     }
 
     /// Record the stream's labels in the durable series index (idempotent).
@@ -229,38 +481,102 @@ impl ChunkStore {
             .collect()
     }
 
-    /// Fetch every chunk of a stream overlapping `(start, end]`.
-    pub fn fetch(&self, fingerprint: u64, start: Timestamp, end: Timestamp) -> Vec<SealedChunk> {
-        let prefix = format!("chunks/{fingerprint:016x}/");
-        let mut out = Vec::new();
-        for key in self.store.list(&prefix) {
-            if let Some(data) = self.store.get(&key) {
-                if let Ok(chunk) = object_to_chunk(&data) {
-                    if chunk.overlaps(start, end) {
-                        out.push(chunk);
-                    }
-                }
-            }
-        }
-        out
+    /// Chunk keys of one stream in one tier, in key (= time) order, each
+    /// with the span parsed from the key.
+    fn keys_with_spans(
+        tier: &dyn ObjectStore,
+        prefix: &str,
+    ) -> Vec<(String, Timestamp, Timestamp)> {
+        tier.list(prefix)
+            .into_iter()
+            .filter_map(|key| {
+                let (min, max) = parse_key_span(&key)?;
+                Some((key, min, max))
+            })
+            .collect()
     }
 
-    /// Delete chunks of a stream entirely older than `horizon`. Returns
-    /// how many objects were removed. A stream whose last chunk goes also
-    /// loses its series-index entry.
-    pub fn delete_before(&self, fingerprint: u64, horizon: Timestamp) -> usize {
-        let prefix = format!("chunks/{fingerprint:016x}/");
-        let mut removed = 0;
-        for key in self.store.list(&prefix) {
-            if let Some(data) = self.store.get(&key) {
-                if let Ok(chunk) = object_to_chunk(&data) {
-                    if chunk.max_ts < horizon && self.store.delete(&key) {
-                        removed += 1;
+    /// Hot-tier chunk keys of a stream with their spans, in time order
+    /// (the compactor's ordered scan).
+    pub fn hot_chunk_refs(&self, fingerprint: u64) -> Vec<(String, Timestamp, Timestamp)> {
+        Self::keys_with_spans(&*self.store, &format!("chunks/{fingerprint:016x}/"))
+    }
+
+    /// Cold-tier chunk keys of a stream with their spans, in time order.
+    pub fn cold_chunk_refs(&self, fingerprint: u64) -> Vec<(String, Timestamp, Timestamp)> {
+        Self::keys_with_spans(&*self.cold, &format!("compacted/{fingerprint:016x}/"))
+    }
+
+    /// Fetch every chunk of a stream overlapping `(start, end]`, both
+    /// tiers.
+    pub fn fetch(&self, fingerprint: u64, start: Timestamp, end: Timestamp) -> Vec<SealedChunk> {
+        self.fetch_stats(fingerprint, start, end).0
+    }
+
+    /// [`Self::fetch`] with per-tier accounting. Non-overlapping objects
+    /// are pruned from the key span alone — their bodies are never read —
+    /// so a narrow window over a long-lived stream costs O(overlap) GETs,
+    /// not O(stream history).
+    pub fn fetch_stats(
+        &self,
+        fingerprint: u64,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> (Vec<SealedChunk>, FetchStats) {
+        let mut out = Vec::new();
+        let mut stats = FetchStats::default();
+        for (tier, refs, fetched) in [
+            (
+                &*self.store as &dyn ObjectStore,
+                self.hot_chunk_refs(fingerprint),
+                &mut stats.hot_objects as &mut usize,
+            ),
+            (
+                &*self.cold as &dyn ObjectStore,
+                self.cold_chunk_refs(fingerprint),
+                &mut stats.cold_objects,
+            ),
+        ] {
+            for (key, min, max) in refs {
+                // Window semantics are `(start, end]`, mirroring
+                // `SealedChunk::overlaps`.
+                if max <= start || min > end {
+                    stats.skipped_by_key += 1;
+                    continue;
+                }
+                if let Some(data) = tier.get(&key) {
+                    if let Ok(chunk) = object_to_chunk(&data) {
+                        if chunk.overlaps(start, end) {
+                            *fetched += 1;
+                            out.push(chunk);
+                        }
                     }
                 }
             }
         }
-        if removed > 0 && self.store.list(&prefix).is_empty() {
+        (out, stats)
+    }
+
+    /// Delete chunks of a stream entirely older than `horizon`, both
+    /// tiers, deciding from the key span alone. Returns how many objects
+    /// were removed. A stream whose last chunk goes (in both tiers) also
+    /// loses its series-index entry.
+    pub fn delete_before(&self, fingerprint: u64, horizon: Timestamp) -> usize {
+        let mut removed = 0;
+        for (tier, refs) in [
+            (&*self.store as &dyn ObjectStore, self.hot_chunk_refs(fingerprint)),
+            (&*self.cold as &dyn ObjectStore, self.cold_chunk_refs(fingerprint)),
+        ] {
+            for (key, _, max) in refs {
+                if max < horizon && tier.delete(&key) {
+                    removed += 1;
+                }
+            }
+        }
+        if removed > 0
+            && self.hot_chunk_refs(fingerprint).is_empty()
+            && self.cold_chunk_refs(fingerprint).is_empty()
+        {
             self.store.delete(&series_key(fingerprint));
         }
         removed
@@ -314,6 +630,86 @@ mod tests {
     }
 
     #[test]
+    fn same_span_chunks_both_survive() {
+        // Regression for the chunk_key collision: two sealed chunks of the
+        // same stream with identical (min_ts, max_ts) — a same-timestamp
+        // burst cut by chunk_target_bytes, or a WAL replay re-offload —
+        // used to map to the same object key, so the second persist
+        // silently overwrote the first and offload lost data. The
+        // sequence component in the key makes them distinct objects.
+        let store = ChunkStore::new();
+        let a = SealedChunk::from_entries(&[
+            LogEntry::new(500, "burst line A1"),
+            LogEntry::new(500, "burst line A2"),
+        ]);
+        let b = SealedChunk::from_entries(&[
+            LogEntry::new(500, "burst line B1"),
+            LogEntry::new(500, "burst line B2"),
+        ]);
+        assert_eq!((a.min_ts, a.max_ts), (b.min_ts, b.max_ts), "same span by construction");
+        store.persist(1, &a);
+        store.persist(1, &b);
+        assert_eq!(store.objects().object_count(), 2, "same-span chunks must not collide");
+        let got = store.fetch(1, 0, 1_000);
+        assert_eq!(got.len(), 2);
+        let mut lines: Vec<String> =
+            got.iter().flat_map(|c| c.decode().unwrap()).map(|e| e.line).collect();
+        lines.sort();
+        assert_eq!(lines, ["burst line A1", "burst line A2", "burst line B1", "burst line B2"]);
+    }
+
+    #[test]
+    fn key_encoding_orders_negative_timestamps() {
+        // Pre-epoch timestamps: decimal rendering made `-` sort before
+        // digits and reversed the order among negatives. The offset-binary
+        // hex encoding keeps lexicographic key order equal to time order.
+        let timestamps = [i64::MIN, -2_000, -1_999, -1, 0, 1, 2_000, i64::MAX];
+        let encoded: Vec<String> = timestamps.iter().map(|&t| encode_key_ts(t)).collect();
+        let mut sorted = encoded.clone();
+        sorted.sort();
+        assert_eq!(encoded, sorted, "encoding must be order-preserving");
+        for &t in &timestamps {
+            assert_eq!(decode_key_ts(&encode_key_ts(t)), Some(t));
+        }
+    }
+
+    #[test]
+    fn pre_epoch_chunks_fetch_and_expire_correctly() {
+        let store = ChunkStore::new();
+        store.persist(9, &chunk(10, -5_000)); // ts -5000..-4991
+        store.persist(9, &chunk(10, 1_000)); // ts 1000..1009
+                                             // Keys list in time order: the negative-span chunk first.
+        let refs = store.hot_chunk_refs(9);
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].1, -5_000);
+        assert_eq!(refs[1].1, 1_000);
+        // Fetch finds the pre-epoch chunk through the key-span filter.
+        let got = store.fetch(9, -6_000, 0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].min_ts, -5_000);
+        // Retention at the epoch deletes only the pre-epoch chunk.
+        assert_eq!(store.delete_before(9, 0), 1);
+        assert_eq!(store.fetch(9, i64::MIN, i64::MAX).len(), 1);
+    }
+
+    #[test]
+    fn fetch_skips_non_overlapping_objects_without_get() {
+        // The key already carries the span, so a narrow fetch must not GET
+        // (let alone decode) objects outside the window.
+        let store = ChunkStore::new();
+        for i in 0..10 {
+            store.persist(3, &chunk(10, i * 1_000)); // spans [0..9], [1000..1009], ...
+        }
+        let (_, gets_before) = store.objects().op_counts();
+        let (chunks, stats) = store.fetch_stats(3, 4_000, 4_500);
+        assert_eq!(chunks.len(), 1, "exactly one chunk overlaps (4000, 4500]");
+        let (_, gets_after) = store.objects().op_counts();
+        assert_eq!(gets_after - gets_before, 1, "only the overlapping object is fetched");
+        assert_eq!(stats.hot_objects, 1);
+        assert_eq!(stats.skipped_by_key, 9);
+    }
+
+    #[test]
     fn delete_before_removes_old_objects() {
         let store = ChunkStore::new();
         store.persist(1, &chunk(10, 0));
@@ -341,5 +737,64 @@ mod tests {
         assert_eq!(store.stored_bytes(), 3);
         assert!(store.delete("a/1"));
         assert!(!store.delete("a/1"));
+    }
+
+    #[test]
+    fn cold_tier_serves_compacted_chunks_and_charges_latency() {
+        let store = ChunkStore::new();
+        let key = store.put_compacted(5, &chunk(20, 100));
+        assert!(key.starts_with("compacted/"));
+        store.register_series(5, &omni_model::labels!("app" => "x"));
+        let (chunks, stats) = store.fetch_stats(5, 0, 1_000);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(stats.cold_objects, 1);
+        assert_eq!(stats.hot_objects, 0);
+        let policy = store.cold().policy();
+        assert!(store.cold().simulated_latency_ns() >= policy.put_latency_ns as u64);
+    }
+
+    #[test]
+    fn cold_tier_transient_failures_are_deterministic_and_retried() {
+        let tier = ColdTier::new();
+        tier.set_policy(ColdTierPolicy { fail_permille: 1_000, seed: 7, ..Default::default() });
+        tier.put("compacted/x".into(), Bytes::from_static(b"abc"));
+        // With a 100% coin every GET fails once and succeeds on retry.
+        assert_eq!(tier.get("compacted/x").unwrap(), Bytes::from_static(b"abc"));
+        assert_eq!(tier.transient_failures(), 1);
+        assert_eq!(tier.get("compacted/x").unwrap(), Bytes::from_static(b"abc"));
+        assert_eq!(tier.transient_failures(), 2, "the coin is per (seed, key), not one-shot");
+        // The coin is deterministic: the same key under the same seed
+        // always rolls the same way.
+        let again = ColdTier::new();
+        again.set_policy(ColdTierPolicy { fail_permille: 500, seed: 7, ..Default::default() });
+        let probe = |t: &ColdTier| {
+            (0..20)
+                .map(|i| {
+                    let key = format!("compacted/{i}");
+                    t.put(key.clone(), Bytes::from_static(b"x"));
+                    let before = t.transient_failures();
+                    t.get(&key);
+                    t.transient_failures() > before
+                })
+                .collect::<Vec<bool>>()
+        };
+        let third = ColdTier::new();
+        third.set_policy(ColdTierPolicy { fail_permille: 500, seed: 7, ..Default::default() });
+        assert_eq!(probe(&again), probe(&third));
+    }
+
+    #[test]
+    fn delete_before_keeps_series_while_cold_data_remains() {
+        let store = ChunkStore::new();
+        store.register_series(11, &omni_model::labels!("app" => "cold"));
+        store.persist(11, &chunk(5, 0));
+        store.put_compacted(11, &chunk(5, 10_000));
+        // The hot chunk expires; the cold one is still live, so the
+        // series entry must survive.
+        assert_eq!(store.delete_before(11, 5_000), 1);
+        assert_eq!(store.series().len(), 1);
+        // Once the cold tier drains too, the series entry goes.
+        assert_eq!(store.delete_before(11, 50_000), 1);
+        assert!(store.series().is_empty());
     }
 }

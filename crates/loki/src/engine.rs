@@ -27,6 +27,9 @@ pub struct QueryStats {
     pub entries_returned: usize,
     /// Sealed chunks (memory or durable tier) overlapping the window.
     pub chunks_touched: usize,
+    /// Of those, chunks fetched from the cold (compacted) tier — each one
+    /// cost a simulated remote object-store GET.
+    pub cold_chunks_touched: usize,
     /// Compressed blocks actually decompressed.
     pub blocks_decoded: usize,
     /// Compressed blocks skipped via their min/max timestamp headers.
@@ -44,6 +47,7 @@ impl QueryStats {
         self.bytes_scanned += other.bytes_scanned;
         self.entries_returned += other.entries_returned;
         self.chunks_touched += other.chunks_touched;
+        self.cold_chunks_touched += other.cold_chunks_touched;
         self.blocks_decoded += other.blocks_decoded;
         self.blocks_skipped += other.blocks_skipped;
         self.decompressed_bytes += other.decompressed_bytes;
@@ -51,6 +55,7 @@ impl QueryStats {
 
     fn absorb_read(&mut self, read: ReadStats) {
         self.chunks_touched += read.chunks_touched;
+        self.cold_chunks_touched += read.cold_chunks_touched;
         self.blocks_decoded += read.decode.blocks_decoded;
         self.blocks_skipped += read.decode.blocks_skipped;
         self.decompressed_bytes += read.decode.bytes_decompressed;

@@ -381,6 +381,18 @@ impl QueryFrontend {
         self.shared.max_cached_end.store(new_max, Ordering::Release);
     }
 
+    /// The compactor deduplicated replayed chunks spanning
+    /// `[min_ts, max_ts]`: cached results over that window counted the
+    /// duplicate's entries and now disagree with storage. Merging alone
+    /// never triggers this — it preserves query results exactly — only
+    /// dedup does.
+    pub(crate) fn note_compaction(&self, min_ts: Timestamp, max_ts: Timestamp) {
+        let mut cache = self.shared.cache.lock();
+        cache.retain(|_, e| e.end < min_ts || e.data_start > max_ts);
+        let new_max = cache.values().map(|e| e.end).max().unwrap_or(i64::MIN);
+        self.shared.max_cached_end.store(new_max, Ordering::Release);
+    }
+
     /// Drop every cached result. Called on shard crash/recovery (WAL
     /// replay writes straight into the ingester, bypassing the append
     /// hooks); public as an operator escape hatch and so benchmarks can

@@ -394,7 +394,9 @@ impl Ingester {
                 if let Some(store) = &self.chunk_store {
                     let fp = s.labels.fingerprint();
                     if self.owns(fp) {
-                        for chunk in store.fetch(fp, start, end) {
+                        let (chunks, fetch) = store.fetch_stats(fp, start, end);
+                        stats.cold_chunks_touched += fetch.cold_objects;
+                        for chunk in chunks {
                             stats.chunks_touched += 1;
                             if let Ok((es, ds)) = chunk.decode_range_stats(start, end) {
                                 stats.decode.absorb(ds);
@@ -417,7 +419,9 @@ impl Ingester {
                     continue;
                 }
                 let mut entries = Vec::new();
-                for chunk in store.fetch(fp, start, end) {
+                let (chunks, fetch) = store.fetch_stats(fp, start, end);
+                stats.cold_chunks_touched += fetch.cold_objects;
+                for chunk in chunks {
                     stats.chunks_touched += 1;
                     if let Ok((es, ds)) = chunk.decode_range_stats(start, end) {
                         stats.decode.absorb(ds);
@@ -524,17 +528,10 @@ impl Ingester {
                 dropped.push((*fp, labels));
             }
         }
-        // The disk tier obeys the same horizons. Walk the store's series
-        // index, not the in-memory map — it also covers streams this
-        // ingester no longer remembers (post-crash replacements).
-        if let Some(store) = &self.chunk_store {
-            for (fp, labels) in store.series() {
-                if self.owns(fp) {
-                    let horizon = now.saturating_sub(retention_of(&labels));
-                    chunks += store.delete_before(fp, horizon);
-                }
-            }
-        }
+        // The disk tiers obey the same horizons, but their deletes are
+        // executed by the compactor's single store walk (see
+        // `compactor::Compactor::apply_retention`), not an eager
+        // per-shard sweep here.
         (chunks, dropped)
     }
 

@@ -17,6 +17,7 @@
 
 pub mod chunk;
 pub mod chunkstore;
+pub mod compactor;
 pub mod compress;
 pub mod engine;
 pub mod frontend;
@@ -29,7 +30,10 @@ pub mod stream;
 pub mod tenant;
 pub mod wal;
 
-pub use chunkstore::{ChunkStore, MemObjectStore, ObjectStore};
+pub use chunkstore::{
+    ChunkStore, ColdTier, ColdTierPolicy, FetchStats, MemObjectStore, ObjectStore,
+};
+pub use compactor::{CompactionReport, Compactor, CompactorStats};
 pub use engine::{Direction, QueryStats};
 pub use frontend::{
     FrontendStats, LimitViolation, QueryContext, QueryFrontend, QueryRecord, QueryReport, SplitStat,
@@ -46,7 +50,7 @@ use omni_logql::{parse_expr, Expr, InstantVector, Matcher, Matrix, ParseError};
 use omni_model::{LabelSet, LogEntry, LogRecord, SimClock, TenantId, Timestamp};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 pub use wal::Wal;
 
@@ -151,6 +155,11 @@ pub struct LokiCluster {
     frontend: QueryFrontend,
     /// Per-tenant limits, admission buckets, and accounting.
     tenants: Arc<TenantRegistry>,
+    /// The background compaction job over the shared chunk store.
+    compactor: Compactor,
+    /// Virtual time of the last compaction run (`i64::MIN` = never), for
+    /// [`Self::maybe_compact`]'s cadence.
+    last_compaction: Arc<AtomicI64>,
 }
 
 impl LokiCluster {
@@ -158,6 +167,11 @@ impl LokiCluster {
     pub fn new(shards: usize, limits: Limits, clock: SimClock) -> Self {
         assert!(shards > 0, "need at least one ingester shard");
         let chunk_store = ChunkStore::new();
+        let compactor = Compactor::new(
+            chunk_store.clone(),
+            limits.compact_after_ns,
+            limits.compacted_target_bytes,
+        );
         Self {
             shards: Arc::new(
                 (0..shards)
@@ -181,6 +195,8 @@ impl LokiCluster {
             limits,
             counters: Arc::new(ClusterCounters::default()),
             fp_cache: Arc::new(RwLock::new(HashMap::new())),
+            compactor,
+            last_compaction: Arc::new(AtomicI64::new(i64::MIN)),
         }
     }
 
@@ -838,6 +854,59 @@ impl LokiCluster {
         &self.chunk_store
     }
 
+    /// The background compactor (for accounting).
+    pub fn compactor(&self) -> &Compactor {
+        &self.compactor
+    }
+
+    /// Per-stream retention horizon resolver: a stream carrying the
+    /// [`TENANT_LABEL`] ages out at its tenant's resolved horizon,
+    /// unscoped streams at the cluster horizon.
+    fn retention_resolver(&self) -> impl Fn(&LabelSet) -> i64 + Sync + '_ {
+        |labels: &LabelSet| match labels.get(TENANT_LABEL) {
+            Some(t) => self.tenants.retention_ns_for(t),
+            None => self.limits.retention_ns,
+        }
+    }
+
+    /// Run one compaction cycle now: per-tenant retention deletes against
+    /// both storage tiers, then merge + dedup + demote of cold sealed
+    /// chunks (see [`compactor::Compactor::run`]). If dedup removed
+    /// replayed duplicates, cached query results over the affected window
+    /// are invalidated — merging alone preserves results exactly and
+    /// costs no cache.
+    pub fn compact(&self) -> CompactionReport {
+        let now = self.clock.now();
+        let report = self.compactor.run(now, &self.retention_resolver());
+        if let Some((lo, hi)) = report.dedup_window {
+            self.frontend.note_compaction(lo, hi);
+        }
+        if report.retention_deleted > 0 {
+            let min_retention = self.limits.retention_ns.min(self.tenants.min_retention_ns());
+            self.frontend.note_retention(now.saturating_sub(min_retention));
+        }
+        self.last_compaction.store(now, Ordering::Release);
+        report
+    }
+
+    /// Run a compaction cycle if at least
+    /// [`Limits::compaction_interval_ns`] of virtual time passed since
+    /// the last one (`0` disables the cadence). This is the hook the
+    /// simulation step loop calls every tick, mirroring how real Loki's
+    /// compactor wakes on `compaction_interval`.
+    pub fn maybe_compact(&self) -> Option<CompactionReport> {
+        let interval = self.limits.compaction_interval_ns;
+        if interval <= 0 {
+            return None;
+        }
+        let now = self.clock.now();
+        let last = self.last_compaction.load(Ordering::Acquire);
+        if last != i64::MIN && now.saturating_sub(last) < interval {
+            return None;
+        }
+        Some(self.compact())
+    }
+
     /// Enforce retention on every shard; returns (chunks, streams)
     /// dropped. Retention is tenant-aware: a stream carrying the
     /// [`TENANT_LABEL`] ages out at its tenant's resolved horizon
@@ -847,12 +916,7 @@ impl LokiCluster {
     /// stream from its own labels.
     pub fn enforce_retention(&self) -> (usize, usize) {
         let now = self.clock.now();
-        let resolve = |labels: &LabelSet| -> i64 {
-            match labels.get(TENANT_LABEL) {
-                Some(t) => self.tenants.retention_ns_for(t),
-                None => self.limits.retention_ns,
-            }
-        };
+        let resolve = self.retention_resolver();
         let mut total = (0, 0);
         let mut dropped: Vec<(u64, Option<TenantId>)> = Vec::new();
         for s in self.shards() {
@@ -864,6 +928,10 @@ impl LokiCluster {
                     .map(|(fp, labels)| (fp, labels.get(TENANT_LABEL).map(TenantId::new))),
             );
         }
+        // The storage tiers: one compactor walk over the shared store's
+        // series index (both tiers, per-stream horizons) instead of the
+        // old eager per-shard sweeps.
+        total.0 += self.compactor.apply_retention(now, &resolve);
         // Retired streams free their tenants' active-stream cap room.
         self.tenants.note_streams_dropped(&dropped);
         // Cached windows reaching at or past the most aggressive horizon
@@ -1094,6 +1162,81 @@ mod tests {
         c.enforce_retention();
         assert_eq!(c.chunk_store().objects().object_count(), 0);
         assert!(c.query_logs(r#"{app="x"}"#, -1, 2_000 * NANOS_PER_SEC, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_query_results_across_tiers() {
+        let limits = Limits {
+            chunk_target_bytes: 64,
+            compact_after_ns: 0,
+            compacted_target_bytes: 1024 * 1024,
+            ..Default::default()
+        };
+        let c = LokiCluster::new(2, limits, SimClock::starting_at(0));
+        for i in 0..100 {
+            c.push(labels!("app" => "x"), i * NANOS_PER_SEC, format!("event number {i}")).unwrap();
+        }
+        c.clock().set(200 * NANOS_PER_SEC);
+        c.offload(0);
+        let hot_objects = c.chunk_store().objects().list("chunks/").len();
+        assert!(hot_objects > 1, "need several sealed objects to merge");
+        let before = c.query_logs(r#"{app="x"}"#, -1, 200 * NANOS_PER_SEC, usize::MAX).unwrap();
+        let report = c.compact();
+        assert!(report.chunks_merged > 0);
+        assert!(c.chunk_store().cold().object_count() > 0, "compacted objects demoted to cold");
+        assert!(
+            c.chunk_store().objects().list("chunks/").len() < hot_objects,
+            "merged hot sources deleted"
+        );
+        // Cold-cache re-read must return byte-for-byte identical results.
+        c.frontend().invalidate_all();
+        let (after, stats) =
+            c.query_logs_with_stats(r#"{app="x"}"#, -1, 200 * NANOS_PER_SEC, usize::MAX).unwrap();
+        assert_eq!(before, after, "compaction must not change query results");
+        assert!(stats.cold_chunks_touched > 0, "the read was served from the cold tier");
+    }
+
+    #[test]
+    fn compaction_dedups_replayed_chunks_and_invalidates_cache() {
+        let limits = Limits { compact_after_ns: 0, ..Default::default() };
+        let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+        // Simulate the WAL-replay artifact: the same sealed chunk
+        // persisted twice (crash between persist and checkpoint).
+        let entries: Vec<omni_model::LogEntry> = (0..10)
+            .map(|i| omni_model::LogEntry::new(i * NANOS_PER_SEC, format!("replayed {i}")))
+            .collect();
+        let chunk = chunk::SealedChunk::from_entries(&entries);
+        let labels = labels!("app" => "replay");
+        let fp = labels.fingerprint();
+        c.chunk_store().register_series(fp, &labels);
+        c.chunk_store().persist(fp, &chunk);
+        c.chunk_store().persist(fp, &chunk);
+        c.clock().set(100 * NANOS_PER_SEC);
+        let dup = c.query_logs(r#"{app="replay"}"#, -1, 100 * NANOS_PER_SEC, usize::MAX).unwrap();
+        assert_eq!(dup.len(), 20, "pre-compaction reads see the duplicate");
+        let report = c.compact();
+        assert_eq!(report.duplicates_dropped, 1);
+        // The duplicate's window was invalidated in the results cache, so
+        // the same query now reflects storage, not the stale cache.
+        let clean = c.query_logs(r#"{app="replay"}"#, -1, 100 * NANOS_PER_SEC, usize::MAX).unwrap();
+        assert_eq!(clean.len(), 10);
+    }
+
+    #[test]
+    fn maybe_compact_honors_virtual_clock_cadence() {
+        let limits = Limits {
+            compaction_interval_ns: 100 * NANOS_PER_SEC,
+            compact_after_ns: 0,
+            ..Default::default()
+        };
+        let c = LokiCluster::new(1, limits, SimClock::starting_at(0));
+        assert!(c.maybe_compact().is_some(), "first call always runs");
+        assert!(c.maybe_compact().is_none(), "within the interval: skipped");
+        c.clock().set(50 * NANOS_PER_SEC);
+        assert!(c.maybe_compact().is_none());
+        c.clock().set(150 * NANOS_PER_SEC);
+        assert!(c.maybe_compact().is_some(), "interval elapsed: runs again");
+        assert_eq!(c.compactor().stats().runs, 2);
     }
 
     #[test]

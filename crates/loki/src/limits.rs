@@ -45,6 +45,17 @@ pub struct Limits {
     /// advances between steps, so `0` rejects deterministically and any
     /// positive budget admits a same-tick query.
     pub query_timeout_ns: i64,
+    /// How often the compactor runs on the virtual clock (Loki's
+    /// `compaction_interval`). `0` disables the background cadence
+    /// (explicit `compact()` calls still work).
+    pub compaction_interval_ns: i64,
+    /// Only sealed chunks whose newest entry is at least this old are
+    /// compacted — younger ones may still gain same-window siblings, and
+    /// recompacting a hot window churns objects for nothing.
+    pub compact_after_ns: i64,
+    /// Target uncompressed size of one compacted object ("Loki prefers
+    /// handling bigger but fewer chunks", §IV-A).
+    pub compacted_target_bytes: usize,
 }
 
 impl Default for Limits {
@@ -61,6 +72,9 @@ impl Default for Limits {
             max_entries_per_query: usize::MAX,
             max_bytes_scanned: usize::MAX,
             query_timeout_ns: i64::MAX,
+            compaction_interval_ns: 600 * NANOS_PER_SEC, // Loki's 10m default
+            compact_after_ns: 2 * 3_600 * NANOS_PER_SEC,
+            compacted_target_bytes: 1024 * 1024,
         }
     }
 }

@@ -11,6 +11,9 @@ use omni_model::{LabelSet, LogEntry, Timestamp};
 pub struct ReadStats {
     /// Sealed chunks whose time span overlapped the query window.
     pub chunks_touched: usize,
+    /// Of those, chunks served from the cold (compacted) object tier,
+    /// which carries a simulated remote-GET latency per object.
+    pub cold_chunks_touched: usize,
     /// Block-level decode cost inside those chunks.
     pub decode: DecodeStats,
 }
@@ -19,6 +22,7 @@ impl ReadStats {
     /// Fold another read's stats into this one.
     pub fn absorb(&mut self, other: ReadStats) {
         self.chunks_touched += other.chunks_touched;
+        self.cold_chunks_touched += other.cold_chunks_touched;
         self.decode.absorb(other.decode);
     }
 }

@@ -69,6 +69,27 @@ for family in ["omni_slo_burn_rate", "omni_query_latency_seconds_p99",
 print("introspection families: all registered")
 PY
 
+echo "== compaction drill (--quick: 10 days, no report rewrite) =="
+# The drill asserts tier equivalence (byte-identical archaeology results
+# before/after compaction), replayed-chunk dedup with cache invalidation,
+# reduced storage amplification, and retried transient cold-tier GETs.
+cargo run -q --release --example compaction_drill -- --quick \
+    | grep "compaction drill: all assertions hold"
+
+echo "== compactor catalog families registered =="
+python3 - <<'PY'
+import subprocess
+names = subprocess.run(
+    ["cargo", "run", "-q", "-p", "omni-lint", "--", "--catalog"],
+    capture_output=True, text=True, check=True,
+).stdout
+for family in ["omni_compactor_runs_total", "omni_compactor_chunks_merged_total",
+               "omni_compactor_duplicates_dropped_total", "omni_compactor_cold_objects",
+               "omni_compactor_cold_transient_failures_total", "omni_query_cold_chunks_total"]:
+    assert family in names, f"catalog missing {family}"
+print("compactor families: all registered")
+PY
+
 echo "== bench smoke (--quick: tiny workload, no report rewrite) =="
 cargo bench -q -p omni-bench --bench c1_ingest_throughput -- --quick | grep "pr3 ingest"
 cargo bench -q -p omni-bench --bench fig5_range_query -- --quick | grep "pr3 range_query"
@@ -86,6 +107,15 @@ test -f BENCH_PR5.json
 for key in frontend_cache cold_refresh_seconds warm_refresh_seconds speedup \
     cache_hits cache_misses split_equals_unsplit; do
     grep -q "\"$key\"" BENCH_PR5.json || { echo "BENCH_PR5.json missing $key"; exit 1; }
+done
+
+echo "== BENCH_PR8.json present and complete =="
+test -f BENCH_PR8.json
+for key in compaction_drill objects_merged duplicates_dropped \
+    storage_amplification_before storage_amplification_after \
+    tail_query_modeled_ms_before tail_query_modeled_ms_after \
+    objects_touched_before objects_touched_after cold_transient_failures; do
+    grep -q "\"$key\"" BENCH_PR8.json || { echo "BENCH_PR8.json missing $key"; exit 1; }
 done
 
 echo "verify: OK"
